@@ -1,0 +1,150 @@
+// Experiment A1 (ablation of the §4.1 goal): what does "push the most
+// selective subgraph to the lowest level of the join tree" buy? The same
+// query runs under a selective-first plan, the uninformed structural plan,
+// and an adversarial *frequent-first* plan (most common edge lowest). All
+// three emit identical matches; partial-match population and join work
+// differ by orders of magnitude on a skewed stream.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "streamworks/common/interner.h"
+#include "streamworks/common/timer.h"
+#include "streamworks/planner/planner.h"
+#include "streamworks/stream/news_gen.h"
+#include "streamworks/stream/workload_queries.h"
+
+namespace streamworks {
+namespace {
+
+/// Adversarial order: greedy *descending* cardinality under the
+/// connectivity constraint — the exact inverse of the paper's goal, built
+/// from the same public pieces.
+std::vector<Bitset64> FrequentFirstOrder(const QueryGraph& query,
+                                         const SelectivityEstimator& est) {
+  const int n = query.num_edges();
+  std::vector<double> card(n);
+  for (int e = 0; e < n; ++e) {
+    card[e] = est.EdgeCardinality(query, static_cast<QueryEdgeId>(e));
+  }
+  int seed = 0;
+  for (int e = 1; e < n; ++e) {
+    if (card[e] > card[seed]) seed = e;
+  }
+  std::vector<Bitset64> order = {Bitset64::Single(seed)};
+  Bitset64 covered = query.VerticesOfEdges(Bitset64::Single(seed));
+  Bitset64 remaining = query.AllEdges() - Bitset64::Single(seed);
+  while (!remaining.Empty()) {
+    int best = -1;
+    for (int e : remaining) {
+      const QueryEdge& qe = query.edge(static_cast<QueryEdgeId>(e));
+      if (!covered.Contains(qe.src) && !covered.Contains(qe.dst)) continue;
+      if (best < 0 || card[e] > card[best]) best = e;
+    }
+    order.push_back(Bitset64::Single(best));
+    covered = covered | query.VerticesOfEdges(Bitset64::Single(best));
+    remaining.Remove(best);
+  }
+  return order;
+}
+
+void Run() {
+  bench::Banner("A1", "selective-first vs frequent-first join order");
+  Interner interner;
+
+  // Sized so that even the adversarial frequent-first plan finishes in a
+  // few seconds; the population *ratio* is the result, not absolute time.
+  NewsGenerator::Options opt;
+  opt.seed = 1111;
+  opt.num_articles = 2500;
+  opt.entity_skew = 1.1;  // strong popularity skew
+  NewsGenerator generator(opt, &interner);
+  const Timestamp span = opt.num_articles / opt.articles_per_tick;
+  generator.InjectEvent(span / 3, "accident", 3);
+  generator.InjectEvent(2 * span / 3, "accident", 3);
+  const auto edges = generator.Generate();
+
+  // The Fig. 2 event query, but with the *common* hasLocation edges
+  // numbered before the rare hasKeyword(accident) edges — so the
+  // uninformed structural plan (which follows edge numbering) starts from
+  // a frequent primitive, while the informed plan must discover the rare
+  // seed itself.
+  QueryGraphBuilder qb(&interner);
+  const QueryVertexId kw = qb.AddVertex("accident");
+  const QueryVertexId loc = qb.AddVertex("Location");
+  QueryVertexId articles[3];
+  for (auto& a : articles) a = qb.AddVertex("Article");
+  for (const QueryVertexId a : articles) qb.AddEdge(a, loc, "hasLocation");
+  for (const QueryVertexId a : articles) qb.AddEdge(a, kw, "hasKeyword");
+  const QueryGraph query = qb.Build("news_event_accident_3").value();
+
+  DynamicGraph sample(&interner);
+  SummaryStatistics stats;
+  for (size_t i = 0; i < edges.size() / 5; ++i) {
+    auto id = sample.AddEdge(edges[i]);
+    if (id.ok()) stats.Observe(sample, id.value());
+  }
+  SelectivityEstimator estimator(&stats);
+  QueryPlanner planner(&estimator);
+
+  struct Variant {
+    std::string name;
+    Decomposition decomposition;
+  };
+  std::vector<Variant> variants;
+  variants.push_back(
+      {"selective_first",
+       planner.Plan(query, DecompositionStrategy::kSelectivityLeftDeep)
+           .value()});
+  variants.push_back(
+      {"structural",
+       planner.Plan(query, DecompositionStrategy::kLeftDeepEdgeOrder)
+           .value()});
+  variants.push_back(
+      {"frequent_first",
+       Decomposition::MakeLeftDeep(query,
+                                   FrequentFirstOrder(query, estimator))
+           .value()});
+
+  bench::Table table({18, 12, 16, 16, 10});
+  table.Row({"plan", "mappings", "peak partials", "join attempts",
+             "seconds"});
+  table.Separator();
+  uint64_t reference_matches = 0;
+  for (const Variant& variant : variants) {
+    SjTree tree(&query, variant.decomposition, /*window=*/40);
+    DynamicGraph graph(&interner);
+    graph.set_retention(40);
+    uint64_t matches = 0;
+    std::vector<Match> completed;
+    Timer timer;
+    int step = 0;
+    for (const StreamEdge& e : edges) {
+      completed.clear();
+      tree.ProcessEdge(graph, graph.AddEdge(e).value(), &completed);
+      matches += completed.size();
+      if (++step % 128 == 0) tree.ExpireOldMatches(graph.watermark());
+    }
+    const double seconds = timer.ElapsedSeconds();
+    if (reference_matches == 0) reference_matches = matches;
+    SW_CHECK_EQ(matches, reference_matches)
+        << "plans must agree on the match set";
+    uint64_t attempts = 0;
+    for (int n = 0; n < tree.decomposition().num_nodes(); ++n) {
+      attempts += tree.node_stats(n).join_attempts;
+    }
+    table.Row({variant.name, FormatCount(matches),
+               FormatCount(tree.PeakTotalPartialMatches()),
+               FormatCount(attempts), FormatDouble(seconds, 3)});
+  }
+  std::cout << "\nexpected shape: identical mappings; the frequent-first "
+               "plan accumulates a partial-match population orders of "
+               "magnitude larger than selective-first (the §4.1 claim)\n";
+}
+
+}  // namespace
+}  // namespace streamworks
+
+int main() { streamworks::Run(); }

@@ -1,0 +1,128 @@
+// Experiment A2 (ablation of §4.3's triad statistics): primitive-pair
+// plans chosen with the multi-relational triad census versus the same
+// strategy forced onto the independence assumption (census disabled). The
+// census knows which wedges are actually rare in the data — pairs that the
+// independence model mis-ranks — so its plans hold fewer partial matches.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "streamworks/common/interner.h"
+#include "streamworks/common/timer.h"
+#include "streamworks/planner/planner.h"
+#include "streamworks/stream/netflow_gen.h"
+#include "streamworks/stream/workload_queries.h"
+
+namespace streamworks {
+namespace {
+
+struct Outcome {
+  uint64_t matches = 0;
+  size_t peak_partials = 0;
+  uint64_t join_attempts = 0;
+  double seconds = 0;
+  std::string plan;
+};
+
+Outcome RunPlan(const QueryGraph& query, const Decomposition& decomposition,
+                const std::vector<StreamEdge>& edges, Interner* interner,
+                Timestamp window) {
+  Outcome out;
+  SjTree tree(&query, decomposition, window);
+  DynamicGraph graph(interner);
+  graph.set_retention(window);
+  std::vector<Match> completed;
+  Timer timer;
+  int step = 0;
+  for (const StreamEdge& e : edges) {
+    completed.clear();
+    tree.ProcessEdge(graph, graph.AddEdge(e).value(), &completed);
+    out.matches += completed.size();
+    if (++step % 512 == 0) tree.ExpireOldMatches(graph.watermark());
+  }
+  out.seconds = timer.ElapsedSeconds();
+  out.peak_partials = tree.PeakTotalPartialMatches();
+  for (int n = 0; n < tree.decomposition().num_nodes(); ++n) {
+    out.join_attempts += tree.node_stats(n).join_attempts;
+  }
+  return out;
+}
+
+void Run() {
+  bench::Banner("A2", "triad-informed vs independence-assumption planning");
+  Interner interner;
+
+  // Netflow with attack-label noise: icmpEchoReq and icmpEchoReply are
+  // individually rare-ish, but (req@A, reply@A) wedges through one host
+  // are much rarer than independence predicts, while (req, req) fan-out
+  // wedges are much more common. The triad census sees that.
+  NetflowGenerator::Options opt;
+  opt.seed = 222;
+  opt.num_hosts = 256;
+  opt.background_edges = 60000;
+  opt.attack_label_noise = true;
+  NetflowGenerator generator(opt, &interner);
+  const Timestamp span = opt.background_edges / opt.edges_per_tick;
+  generator.InjectSmurf(span / 2, 3);
+  const auto edges = generator.Generate();
+
+  const QueryGraph query = BuildSmurfQuery(&interner, 3);
+
+  // Two statistics collectors over the same prefix: one with the triad
+  // census, one without (the ablation knob).
+  DynamicGraph sample_a(&interner);
+  SummaryStatistics with_triads(/*wedge_sample_rate=*/1.0);
+  DynamicGraph sample_b(&interner);
+  SummaryStatistics without_triads(/*wedge_sample_rate=*/1.0);
+  without_triads.set_wedge_census_enabled(false);
+  for (size_t i = 0; i < edges.size() / 4; ++i) {
+    auto a = sample_a.AddEdge(edges[i]);
+    if (a.ok()) with_triads.Observe(sample_a, a.value());
+    auto b = sample_b.AddEdge(edges[i]);
+    if (b.ok()) without_triads.Observe(sample_b, b.value());
+  }
+
+  SelectivityEstimator informed(&with_triads);
+  SelectivityEstimator independent(&without_triads);
+  const Decomposition plan_informed =
+      QueryPlanner(&informed)
+          .Plan(query, DecompositionStrategy::kPrimitivePairs)
+          .value();
+  const Decomposition plan_independent =
+      QueryPlanner(&independent)
+          .Plan(query, DecompositionStrategy::kPrimitivePairs)
+          .value();
+
+  const Outcome a =
+      RunPlan(query, plan_informed, edges, &interner, /*window=*/60);
+  const Outcome b =
+      RunPlan(query, plan_independent, edges, &interner, /*window=*/60);
+  SW_CHECK_EQ(a.matches, b.matches);
+
+  bench::Table table({20, 12, 16, 16, 10});
+  table.Row({"estimator", "mappings", "peak partials", "join attempts",
+             "seconds"});
+  table.Separator();
+  table.Row({"triad census", FormatCount(a.matches),
+             FormatCount(a.peak_partials), FormatCount(a.join_attempts),
+             FormatDouble(a.seconds, 3)});
+  table.Row({"independence", FormatCount(b.matches),
+             FormatCount(b.peak_partials), FormatCount(b.join_attempts),
+             FormatDouble(b.seconds, 3)});
+
+  std::cout << "\nfirst primitive chosen --\n  triad census:  "
+            << QueryPlanner(&informed).ExplainPlan(
+                   query, plan_informed, interner)
+            << "  independence:  "
+            << QueryPlanner(&independent)
+                   .ExplainPlan(query, plan_independent, interner)
+            << "\nexpected shape: identical mappings; the triad-informed "
+               "plan pays fewer join attempts / partial matches whenever "
+               "the census re-ranks the candidate wedges\n";
+}
+
+}  // namespace
+}  // namespace streamworks
+
+int main() { streamworks::Run(); }

@@ -1,0 +1,70 @@
+#ifndef STREAMWORKS_BENCH_BENCH_UTIL_H_
+#define STREAMWORKS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table benches: a fixed-width table printer
+// matching the layout used in EXPERIMENTS.md, and a driver that replays a
+// stream through an engine while sampling per-tick series.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "streamworks/common/str_util.h"
+#include "streamworks/common/timer.h"
+#include "streamworks/core/engine.h"
+
+namespace streamworks::bench {
+
+/// Prints a header banner for one experiment.
+inline void Banner(std::string_view experiment, std::string_view title) {
+  std::cout << "\n=== " << experiment << ": " << title << " ===\n";
+}
+
+/// Fixed-width row printer: Row({"col", ...}) with widths per column.
+class Table {
+ public:
+  explicit Table(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void Row(const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const int w = i < widths_.size() ? widths_[i] : 12;
+      os << std::left << std::setw(w) << cells[i] << "  ";
+    }
+    std::cout << os.str() << "\n";
+  }
+
+  void Separator() {
+    int total = 0;
+    for (int w : widths_) total += w + 2;
+    std::cout << std::string(total, '-') << "\n";
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+/// Replays `edges` through `engine`, returning wall-clock seconds.
+inline double Replay(StreamWorksEngine& engine,
+                     const std::vector<StreamEdge>& edges) {
+  Timer timer;
+  for (const StreamEdge& e : edges) {
+    const Status s = engine.ProcessEdge(e);
+    if (!s.ok()) {
+      std::cerr << "ingest error: " << s.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  return timer.ElapsedSeconds();
+}
+
+inline std::string Rate(uint64_t count, double seconds) {
+  return FormatCount(
+      static_cast<uint64_t>(count / std::max(seconds, 1e-9)));
+}
+
+}  // namespace streamworks::bench
+
+#endif  // STREAMWORKS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+// Cyber-security monitoring (paper §5.1, Fig. 3): four attack-pattern
+// queries run concurrently over a synthetic internet-traffic stream with
+// planted attacks, reporting detections as an event table plus a per-subnet
+// activity grid (Fig. 6 style).
+//
+//   $ ./build/examples/cyber_monitor [background_edges]
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/str_util.h"
+#include "streamworks/core/engine.h"
+#include "streamworks/stream/netflow_gen.h"
+#include "streamworks/stream/workload_queries.h"
+#include "streamworks/viz/dot_export.h"
+#include "streamworks/viz/event_table.h"
+#include "streamworks/viz/gexf_export.h"
+#include "streamworks/viz/grid_view.h"
+
+using namespace streamworks;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  const int background_edges = argc > 1 ? std::atoi(argv[1]) : 20000;
+
+  Interner interner;
+  NetflowGenerator::Options options;
+  options.seed = 2013;
+  options.num_hosts = 256;
+  options.num_subnets = 8;
+  options.background_edges = background_edges;
+  options.attack_label_noise = true;
+  NetflowGenerator generator(options, &interner);
+
+  // Plant a campaign: two Smurf attacks on different subnets, a worm, a
+  // port scan and an exfiltration.
+  const Timestamp span = background_edges / options.edges_per_tick;
+  generator.InjectSmurf(span / 5, /*num_amplifiers=*/3,
+                        /*attacker_subnet=*/1, /*victim_subnet=*/6);
+  generator.InjectSmurf(3 * span / 5, /*num_amplifiers=*/3,
+                        /*attacker_subnet=*/2, /*victim_subnet=*/4);
+  generator.InjectWorm(2 * span / 5, /*hops=*/3);
+  generator.InjectPortScan(span / 2, /*num_targets=*/4);
+  generator.InjectExfiltration(4 * span / 5);
+
+  StreamWorksEngine engine(&interner);
+  EventTable events;
+  GridView subnet_grid(/*slice_width=*/std::max<Timestamp>(1, span / 40));
+  // The most recent detection's edges, for the Gephi-style snapshot.
+  std::vector<Match> last_detection;
+
+  auto register_query = [&](const QueryGraph& q, Timestamp window) {
+    const auto id = engine.RegisterQuery(
+        q, DecompositionStrategy::kPrimitivePairs, window,
+        [&, name = q.name()](const CompleteMatch& cm) {
+          // Key detections by the victim-side subnet: the data vertex bound
+          // to the last query vertex.
+          const VertexId some_vertex =
+              cm.match.vertex(static_cast<QueryVertexId>(
+                  cm.match.bound_vertices().First()));
+          const int subnet = generator.SubnetOf(
+              engine.graph().external_id(some_vertex));
+          events.Add(cm.completed_at, name, StrCat("subnet_", subnet),
+                     StrCat("edges=", cm.match.bound_edges().Count()));
+          subnet_grid.Add(StrCat("subnet_", subnet), cm.completed_at);
+          last_detection.assign(1, cm.match);
+        });
+    if (!id.ok()) {
+      std::cerr << "register failed: " << id.status().ToString() << "\n";
+      std::exit(1);
+    }
+    std::cout << "registered " << q.name() << " (window " << window
+              << ")\n";
+  };
+
+  register_query(BuildSmurfQuery(&interner, 3), /*window=*/30);
+  register_query(BuildWormQuery(&interner, 3), /*window=*/30);
+  register_query(BuildPortScanQuery(&interner, 4), /*window=*/30);
+  register_query(BuildExfiltrationQuery(&interner), /*window=*/30);
+
+  const auto edges = generator.Generate();
+  std::cout << "\nstreaming " << FormatCount(edges.size())
+            << " flow records over " << span << " ticks...\n\n";
+  for (const StreamEdge& e : edges) {
+    if (Status s = engine.ProcessEdge(e); !s.ok()) {
+      std::cerr << "ingest error: " << s.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "== detections (" << events.size() << " matches, "
+            << generator.injections().size() << " injected attacks) ==\n";
+  // Automorphic mappings make raw match counts larger than attack counts;
+  // the key summary groups them.
+  for (const auto& [key, count] : events.CountByKey()) {
+    std::cout << "  " << key << ": " << count << " matches\n";
+  }
+  std::cout << "\n== per-subnet detection activity (Fig. 6 style) ==\n"
+            << subnet_grid.RenderAscii();
+
+  std::cout << "\n== per-query summary ==\n";
+  for (size_t qid = 0; qid < engine.num_queries(); ++qid) {
+    const QueryRuntimeInfo info = engine.query_info(static_cast<int>(qid));
+    std::cout << "  " << info.name << ": " << info.completions
+              << " completions, peak partial matches "
+              << info.peak_partial_matches << "\n";
+  }
+  // Gephi-style snapshot (paper §6.2): the final window with the latest
+  // detection's edges highlighted.
+  if (!last_detection.empty()) {
+    const std::string gexf_path = "/tmp/cyber_monitor_window.gexf";
+    std::ofstream(gexf_path)
+        << DataGraphToGexf(engine.graph(), interner,
+                           ColorMatches(last_detection, "red"));
+    std::cout << "\nGephi snapshot of the final window written to "
+              << gexf_path << "\n";
+  }
+
+  std::cout << "\nprocessed " << FormatCount(engine.metrics().edges_processed)
+            << " edges in "
+            << FormatDouble(engine.metrics().processing_seconds, 3) << "s ("
+            << FormatCount(static_cast<uint64_t>(
+                   engine.metrics().edges_processed /
+                   std::max(1e-9, engine.metrics().processing_seconds)))
+            << " edges/s)\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// News/social-media monitoring (paper §5.2, Figs. 2 & 5): topic-specialised
+// "emerging event" queries — three articles sharing a keyword and a
+// location — run concurrently over a synthetic news stream; detections are
+// grouped by location as in the demo's map view.
+//
+//   $ ./build/examples/news_monitor [num_articles]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/str_util.h"
+#include "streamworks/core/dedup.h"
+#include "streamworks/core/engine.h"
+#include "streamworks/stream/news_gen.h"
+#include "streamworks/stream/workload_queries.h"
+#include "streamworks/viz/event_table.h"
+
+using namespace streamworks;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  const int num_articles = argc > 1 ? std::atoi(argv[1]) : 4000;
+
+  Interner interner;
+  NewsGenerator::Options options;
+  options.seed = 1306;  // arXiv month of the paper
+  options.num_articles = num_articles;
+  options.entity_skew = 0.7;
+  NewsGenerator generator(options, &interner);
+
+  // Plant events for three topics at different times.
+  const Timestamp span = num_articles / options.articles_per_tick;
+  generator.InjectEvent(span / 4, "politics", 3);
+  generator.InjectEvent(span / 2, "accident", 3);
+  generator.InjectEvent(3 * span / 4, "politics", 3);
+
+  StreamWorksEngine engine(&interner);
+  EventTable events;
+
+  for (const char* topic :
+       {"politics", "sports", "business", "accident", "science", "health"}) {
+    const QueryGraph q = BuildNewsEventQuery(&interner, topic, 3);
+    // The three article slots of the query are interchangeable, so each
+    // event would surface as 3! automorphic mappings; DistinctSubgraphs
+    // collapses them to one event per data subgraph.
+    const auto id = engine.RegisterQuery(
+        q, DecompositionStrategy::kSelectivityLeftDeep, /*window=*/40,
+        DistinctSubgraphs([&, topic](const CompleteMatch& cm) {
+          // Query vertex 1 is the shared Location (see
+          // BuildNewsEventQuery); report the event under it.
+          const VertexId loc = cm.match.vertex(1);
+          events.Add(cm.completed_at, StrCat("event_", topic),
+                     StrCat("location_",
+                            engine.graph().external_id(loc) -
+                                NewsGenerator::kLocationBase),
+                     StrCat("articles=3"));
+        }));
+    if (!id.ok()) {
+      std::cerr << "register failed: " << id.status().ToString() << "\n";
+      return 1;
+    }
+  }
+  std::cout << "registered 6 topic queries (Fig. 5 style)\n";
+
+  const auto edges = generator.Generate();
+  std::cout << "streaming " << FormatCount(edges.size())
+            << " article-entity links (" << FormatCount(num_articles)
+            << " articles)...\n\n";
+  for (const StreamEdge& e : edges) {
+    if (Status s = engine.ProcessEdge(e); !s.ok()) {
+      std::cerr << "ingest error: " << s.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "== emerging events (deduplicated; " << events.size()
+            << " distinct, 3 injected) ==\n"
+            << events.RenderAscii();
+  std::cout << "\n== events by location (map-view substitute) ==\n";
+  for (const auto& [key, count] : events.CountByKey()) {
+    std::cout << "  " << key << ": " << count << " events\n";
+  }
+  std::cout << "\nprocessed "
+            << FormatCount(engine.metrics().edges_processed) << " edges, "
+            << engine.metrics().completions
+            << " raw mappings before deduplication\n";
+  return 0;
+}

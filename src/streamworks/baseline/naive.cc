@@ -1,0 +1,49 @@
+#include "streamworks/baseline/naive.h"
+
+#include "streamworks/match/local_search.h"
+
+namespace streamworks {
+
+NaiveIncrementalMatcher::NaiveIncrementalMatcher(const QueryGraph* query,
+                                                 Timestamp window,
+                                                 const Interner* interner)
+    : query_(query), window_(window), graph_(interner) {
+  if (window != kMaxTimestamp) graph_.set_retention(window);
+  orders_.reserve(query_->num_edges());
+  for (int qe = 0; qe < query_->num_edges(); ++qe) {
+    orders_.push_back(ConnectedEdgeOrder(*query_, query_->AllEdges(),
+                                         static_cast<QueryEdgeId>(qe)));
+  }
+}
+
+StatusOr<std::vector<Match>> NaiveIncrementalMatcher::ProcessEdge(
+    const StreamEdge& edge) {
+  SW_ASSIGN_OR_RETURN(const EdgeId id, graph_.AddEdge(edge));
+  std::vector<Match> out;
+  const EdgeRecord& record = graph_.edge_record(id);
+  for (int qe = 0; qe < query_->num_edges(); ++qe) {
+    if (!EdgeLabelsMatch(graph_, *query_, static_cast<QueryEdgeId>(qe),
+                         record)) {
+      continue;
+    }
+    FindAnchoredMatches(graph_, *query_, orders_[qe], id, window_,
+                        [&](const Match& m) {
+                          out.push_back(m);
+                          return true;
+                        });
+  }
+  total_matches_ += out.size();
+  return out;
+}
+
+StatusOr<std::vector<Match>> NaiveIncrementalMatcher::ProcessBatch(
+    const EdgeBatch& batch) {
+  std::vector<Match> out;
+  for (const StreamEdge& e : batch) {
+    SW_ASSIGN_OR_RETURN(std::vector<Match> fresh, ProcessEdge(e));
+    out.insert(out.end(), fresh.begin(), fresh.end());
+  }
+  return out;
+}
+
+}  // namespace streamworks

@@ -1,0 +1,51 @@
+#ifndef STREAMWORKS_BASELINE_NAIVE_H_
+#define STREAMWORKS_BASELINE_NAIVE_H_
+
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/match/backtrack.h"
+#include "streamworks/match/match.h"
+#include "streamworks/stream/batching.h"
+
+namespace streamworks {
+
+/// The paper's §3.1 "simplistic approach": for every arriving edge, check
+/// whether it matches some query edge and, if so, explore every combination
+/// it can participate in — i.e. an anchored backtracking search over the
+/// *whole* query at once, with no decomposition and no reuse of partial
+/// matches across edges.
+///
+/// It is incremental (per-edge) and exact, so it serves as the second
+/// independent oracle; but because it re-derives every partial match from
+/// scratch inside each anchored search, dense neighbourhoods make it blow
+/// up combinatorially — the motivation for the SJ-Tree (§3.1).
+class NaiveIncrementalMatcher {
+ public:
+  NaiveIncrementalMatcher(const QueryGraph* query, Timestamp window,
+                          const Interner* interner);
+
+  /// Ingests one edge and returns the matches completed by it.
+  StatusOr<std::vector<Match>> ProcessEdge(const StreamEdge& edge);
+
+  /// Batch convenience: per-edge processing in order.
+  StatusOr<std::vector<Match>> ProcessBatch(const EdgeBatch& batch);
+
+  const DynamicGraph& graph() const { return graph_; }
+  uint64_t total_matches() const { return total_matches_; }
+
+ private:
+  const QueryGraph* query_;
+  Timestamp window_;
+  DynamicGraph graph_;
+  /// orders_[qe]: whole-query expansion order anchored at query edge qe.
+  std::vector<std::vector<QueryEdgeId>> orders_;
+  uint64_t total_matches_ = 0;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_BASELINE_NAIVE_H_

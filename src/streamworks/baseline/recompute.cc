@@ -1,0 +1,36 @@
+#include "streamworks/baseline/recompute.h"
+
+#include "streamworks/match/subgraph_iso.h"
+
+namespace streamworks {
+
+RecomputeMatcher::RecomputeMatcher(const QueryGraph* query, Timestamp window,
+                                   const Interner* interner)
+    : query_(query), window_(window), graph_(interner) {
+  if (window != kMaxTimestamp) graph_.set_retention(window);
+}
+
+StatusOr<std::vector<Match>> RecomputeMatcher::ProcessBatch(
+    const EdgeBatch& batch) {
+  for (const StreamEdge& e : batch) {
+    SW_RETURN_IF_ERROR(graph_.AddEdge(e).status());
+  }
+  // Full re-search over the window. Matches made of pre-existing edges are
+  // re-enumerated and filtered by the seen-set; their edge ids are stable,
+  // so the signature identifies them across batches.
+  IsoOptions options;
+  options.window = window_;
+  std::vector<Match> fresh;
+  last_enumerated_ = 0;
+  ForEachMatch(graph_, *query_, options, [&](const Match& m) {
+    ++last_enumerated_;
+    if (seen_.insert(m.MappingSignature()).second) {
+      fresh.push_back(m);
+    }
+    return true;
+  });
+  total_matches_ += fresh.size();
+  return fresh;
+}
+
+}  // namespace streamworks

@@ -1,0 +1,61 @@
+#ifndef STREAMWORKS_BASELINE_RECOMPUTE_H_
+#define STREAMWORKS_BASELINE_RECOMPUTE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/match/match.h"
+#include "streamworks/stream/batching.h"
+
+namespace streamworks {
+
+/// The *repeated search* strategy the paper contrasts with (§2.2, the Fan
+/// et al. [7] approach to subgraph isomorphism): after every batch, re-run
+/// the full batch matcher over the windowed graph and report the matches
+/// that were not seen before.
+///
+/// Used as (a) an independent correctness oracle in the equivalence tests
+/// and (b) the baseline of the B1 comparison bench. Its per-batch cost is
+/// proportional to the whole window, not to the batch — the gap the
+/// incremental SJ-Tree is designed to eliminate.
+///
+/// Completeness caveat (inherent to periodic re-evaluation, and part of
+/// why continuous queries exist): the matcher only observes the graph at
+/// batch boundaries. If a batch spans multiple timestamp ticks, a match
+/// can both complete and fall out of the retention window *inside* the
+/// batch, in which case it is never enumerated. With one batch per tick
+/// (BatchByTick) the matcher is exact and serves as an oracle; with larger
+/// batches it trades completeness for amortisation — the B1 bench
+/// quantifies exactly that loss.
+class RecomputeMatcher {
+ public:
+  /// The matcher owns a private windowed graph (retention == window).
+  RecomputeMatcher(const QueryGraph* query, Timestamp window,
+                   const Interner* interner);
+
+  /// Ingests the batch, re-runs the search, and returns the matches that
+  /// newly appeared (each exactly once across the stream's lifetime).
+  StatusOr<std::vector<Match>> ProcessBatch(const EdgeBatch& batch);
+
+  const DynamicGraph& graph() const { return graph_; }
+  uint64_t total_matches() const { return total_matches_; }
+  /// Matches enumerated by the last re-search (including re-discoveries) —
+  /// the work the strategy wastes.
+  uint64_t last_enumerated() const { return last_enumerated_; }
+
+ private:
+  const QueryGraph* query_;
+  Timestamp window_;
+  DynamicGraph graph_;
+  std::unordered_set<uint64_t> seen_;
+  uint64_t total_matches_ = 0;
+  uint64_t last_enumerated_ = 0;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_BASELINE_RECOMPUTE_H_

@@ -1,0 +1,97 @@
+#ifndef STREAMWORKS_COMMON_BITSET64_H_
+#define STREAMWORKS_COMMON_BITSET64_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+/// Set of small integers in [0, 64), used for query-edge and query-vertex
+/// sets throughout the SJ-Tree machinery (kMaxQuerySize == 64). Plain value
+/// type; all operations are O(1) bit arithmetic.
+class Bitset64 {
+ public:
+  constexpr Bitset64() : bits_(0) {}
+  constexpr explicit Bitset64(uint64_t bits) : bits_(bits) {}
+
+  /// The set {i}.
+  static constexpr Bitset64 Single(int i) { return Bitset64(1ull << i); }
+
+  /// The set {0, 1, ..., n-1}. n may be 0..64.
+  static constexpr Bitset64 FirstN(int n) {
+    return Bitset64(n >= 64 ? ~0ull : (1ull << n) - 1);
+  }
+
+  void Add(int i) {
+    SW_DCHECK(i >= 0 && i < 64);
+    bits_ |= (1ull << i);
+  }
+  void Remove(int i) {
+    SW_DCHECK(i >= 0 && i < 64);
+    bits_ &= ~(1ull << i);
+  }
+  bool Contains(int i) const {
+    SW_DCHECK(i >= 0 && i < 64);
+    return (bits_ >> i) & 1;
+  }
+
+  bool Empty() const { return bits_ == 0; }
+  int Count() const { return std::popcount(bits_); }
+  uint64_t bits() const { return bits_; }
+
+  /// Smallest element; the set must be non-empty.
+  int First() const {
+    SW_DCHECK(bits_ != 0);
+    return std::countr_zero(bits_);
+  }
+
+  bool IsSubsetOf(Bitset64 other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  bool Intersects(Bitset64 other) const { return (bits_ & other.bits_) != 0; }
+
+  friend constexpr Bitset64 operator|(Bitset64 a, Bitset64 b) {
+    return Bitset64(a.bits_ | b.bits_);
+  }
+  friend constexpr Bitset64 operator&(Bitset64 a, Bitset64 b) {
+    return Bitset64(a.bits_ & b.bits_);
+  }
+  friend constexpr Bitset64 operator-(Bitset64 a, Bitset64 b) {
+    return Bitset64(a.bits_ & ~b.bits_);
+  }
+  friend constexpr bool operator==(Bitset64 a, Bitset64 b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(Bitset64 a, Bitset64 b) {
+    return a.bits_ != b.bits_;
+  }
+
+  /// Iterates set elements in increasing order:
+  ///   for (int i : mask) { ... }
+  class Iterator {
+   public:
+    explicit Iterator(uint64_t bits) : bits_(bits) {}
+    int operator*() const { return std::countr_zero(bits_); }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return bits_ != other.bits_;
+    }
+
+   private:
+    uint64_t bits_;
+  };
+  Iterator begin() const { return Iterator(bits_); }
+  Iterator end() const { return Iterator(0); }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_COMMON_BITSET64_H_

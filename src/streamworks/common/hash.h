@@ -1,0 +1,42 @@
+#ifndef STREAMWORKS_COMMON_HASH_H_
+#define STREAMWORKS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace streamworks {
+
+/// 64-bit finalizer from SplitMix64 / MurmurHash3. Good avalanche behaviour
+/// for integer keys; used for join-key hashing and match signatures.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combiner: fold `value` into the running hash `seed`.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// FNV-1a over raw bytes; used for string interning.
+inline uint64_t HashBytes(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_COMMON_HASH_H_

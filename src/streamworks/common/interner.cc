@@ -1,0 +1,28 @@
+#include "streamworks/common/interner.h"
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+LabelId Interner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId Interner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidLabelId : it->second;
+}
+
+const std::string& Interner::Name(LabelId id) const {
+  SW_CHECK_LT(id, names_.size()) << "unknown label id";
+  return names_[id];
+}
+
+}  // namespace streamworks

@@ -1,0 +1,44 @@
+#ifndef STREAMWORKS_COMMON_INTERNER_H_
+#define STREAMWORKS_COMMON_INTERNER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "streamworks/common/types.h"
+
+namespace streamworks {
+
+/// Bidirectional mapping between label strings ("Host", "connectsTo", ...)
+/// and dense LabelIds. One Interner is shared by a data graph and every query
+/// registered against it so that label comparison is an integer compare.
+///
+/// Ids are assigned in first-seen order starting at 0 and are never recycled.
+/// Not thread-safe; the engine is single-threaded per stream by design.
+class Interner {
+ public:
+  Interner() = default;
+
+  /// Returns the id for `name`, interning it on first sight.
+  LabelId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidLabelId if it was never interned.
+  LabelId Find(std::string_view name) const;
+
+  /// Returns the string for `id`. `id` must be a valid interned id.
+  const std::string& Name(LabelId id) const;
+
+  /// True if `id` was produced by this interner.
+  bool Contains(LabelId id) const { return id < names_.size(); }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_COMMON_INTERNER_H_

@@ -1,0 +1,62 @@
+#include "streamworks/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace streamworks {
+namespace internal_logging {
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  return base;
+}
+
+}  // namespace
+
+LogSeverity GetMinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load());
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity));
+}
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line,
+                       bool fatal)
+    : severity_(severity), file_(file), line_(line), fatal_(fatal) {}
+
+LogMessage::~LogMessage() {
+  if (fatal_ || severity_ >= GetMinLogSeverity()) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_),
+                 Basename(file_), line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (fatal_) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace streamworks

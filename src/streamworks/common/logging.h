@@ -1,0 +1,107 @@
+#ifndef STREAMWORKS_COMMON_LOGGING_H_
+#define STREAMWORKS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace streamworks {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Minimum severity that is actually written to stderr. Defaults to kInfo.
+LogSeverity GetMinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Stream-style log message collector. Emits on destruction; if
+/// `fatal` is set, aborts the process after emitting (used by SW_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line,
+             bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lower-precedence-than-<< sink that turns a stream chain into void, so
+/// SW_CHECK can live in a ternary expression (the glog idiom).
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace internal_logging
+}  // namespace streamworks
+
+#define SW_LOG(severity)                                                   \
+  ::streamworks::internal_logging::LogMessage(                             \
+      ::streamworks::LogSeverity::k##severity, __FILE__, __LINE__)         \
+      .stream()
+
+/// Aborts the process with a diagnostic if `condition` is false. Active in
+/// all build modes; use for invariants whose violation is unrecoverable.
+#define SW_CHECK(condition)                                                 \
+  (condition)                                                               \
+      ? (void)0                                                             \
+      : ::streamworks::internal_logging::Voidify() &                        \
+            ::streamworks::internal_logging::LogMessage(                    \
+                ::streamworks::LogSeverity::kError, __FILE__, __LINE__,    \
+                true)                                                       \
+                .stream()                                                   \
+            << "Check failed: " #condition " "
+
+#define SW_CHECK_OP(op, a, b)                                  \
+  SW_CHECK((a)op(b)) << "(" << (a) << " vs. " << (b) << ") "
+
+#define SW_CHECK_EQ(a, b) SW_CHECK_OP(==, a, b)
+#define SW_CHECK_NE(a, b) SW_CHECK_OP(!=, a, b)
+#define SW_CHECK_LT(a, b) SW_CHECK_OP(<, a, b)
+#define SW_CHECK_LE(a, b) SW_CHECK_OP(<=, a, b)
+#define SW_CHECK_GT(a, b) SW_CHECK_OP(>, a, b)
+#define SW_CHECK_GE(a, b) SW_CHECK_OP(>=, a, b)
+
+/// Aborts if a Status-returning expression is not OK. For call sites where
+/// failure indicates a programming error rather than bad input.
+#define SW_CHECK_OK(expr)                                   \
+  do {                                                      \
+    ::streamworks::Status sw_check_ok_status_ = (expr);     \
+    SW_CHECK(sw_check_ok_status_.ok())                      \
+        << "status = " << sw_check_ok_status_.ToString();   \
+  } while (false)
+
+#ifdef NDEBUG
+#define SW_DCHECK(condition) \
+  while (false) SW_CHECK(condition)
+#else
+#define SW_DCHECK(condition) SW_CHECK(condition)
+#endif
+
+#define SW_DCHECK_EQ(a, b) SW_DCHECK((a) == (b))
+#define SW_DCHECK_NE(a, b) SW_DCHECK((a) != (b))
+#define SW_DCHECK_LT(a, b) SW_DCHECK((a) < (b))
+#define SW_DCHECK_LE(a, b) SW_DCHECK((a) <= (b))
+#define SW_DCHECK_GT(a, b) SW_DCHECK((a) > (b))
+#define SW_DCHECK_GE(a, b) SW_DCHECK((a) >= (b))
+
+#endif  // STREAMWORKS_COMMON_LOGGING_H_

@@ -1,0 +1,101 @@
+#ifndef STREAMWORKS_COMMON_STATUS_H_
+#define STREAMWORKS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace streamworks {
+
+/// Error category carried by a Status. Mirrors the small subset of canonical
+/// codes the library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kIoError,
+  kInternal,
+};
+
+/// Returns the canonical lower_snake name of a code ("invalid_argument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error type used instead of exceptions (the library is
+/// built with Google-style error handling: no C++ exceptions cross the API).
+///
+/// An OK status carries no message and is cheap to copy. Error statuses
+/// carry a code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor (or OkStatus()) for success.
+  Status(StatusCode code, std::string_view message)
+      : code_(code), message_(message) {}
+
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(StatusCode::kIoError, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "ok" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns an OK status; reads better than `Status()` at call sites.
+inline Status OkStatus() { return Status(); }
+
+}  // namespace streamworks
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define SW_RETURN_IF_ERROR(expr)                          \
+  do {                                                    \
+    ::streamworks::Status sw_status_macro_tmp_ = (expr);  \
+    if (!sw_status_macro_tmp_.ok()) {                     \
+      return sw_status_macro_tmp_;                        \
+    }                                                     \
+  } while (false)
+
+#endif  // STREAMWORKS_COMMON_STATUS_H_

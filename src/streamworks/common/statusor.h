@@ -1,0 +1,78 @@
+#ifndef STREAMWORKS_COMMON_STATUSOR_H_
+#define STREAMWORKS_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "streamworks/common/logging.h"
+#include "streamworks/common/status.h"
+
+namespace streamworks {
+
+/// Union of a Status and a value of type T: either an error status, or an OK
+/// status plus a value. Accessing the value of an errored StatusOr aborts
+/// (checked precondition), matching the no-exceptions error model.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SW_CHECK(!status_.ok()) << "StatusOr constructed from an OK status "
+                               "without a value";
+  }
+
+  /// Constructs an OK StatusOr holding `value`.
+  StatusOr(T value)  // NOLINT
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; aborts if !ok().
+  const T& value() const& {
+    SW_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SW_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SW_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace streamworks
+
+/// Evaluates a StatusOr expression; on error returns the status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define SW_ASSIGN_OR_RETURN(lhs, expr)                \
+  SW_ASSIGN_OR_RETURN_IMPL_(                          \
+      SW_STATUS_MACRO_CONCAT_(sw_statusor_, __LINE__), lhs, expr)
+
+#define SW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp).value()
+
+#define SW_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define SW_STATUS_MACRO_CONCAT_(x, y) SW_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // STREAMWORKS_COMMON_STATUSOR_H_

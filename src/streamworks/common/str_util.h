@@ -1,0 +1,52 @@
+#ifndef STREAMWORKS_COMMON_STR_UTIL_H_
+#define STREAMWORKS_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streamworks {
+
+/// Splits `text` on `sep`, trimming nothing. Empty fields are preserved
+/// ("a,,b" -> {"a", "", "b"}); an empty input yields a single empty field.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a signed 64-bit integer; returns false on any non-numeric input,
+/// overflow, or trailing garbage.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses an unsigned 64-bit integer (no sign allowed).
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+/// Parses a double via strtod semantics; rejects trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Variadic ostream-based concatenation: StrCat("x=", 3, "!") == "x=3!".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Renders `value` with `precision` significant decimal digits after the
+/// point (fixed notation). Used by the bench table printers.
+std::string FormatDouble(double value, int precision);
+
+/// Renders a count with thousands separators: 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t value);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_COMMON_STR_UTIL_H_

@@ -1,0 +1,50 @@
+#ifndef STREAMWORKS_COMMON_TYPES_H_
+#define STREAMWORKS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace streamworks {
+
+/// External vertex identifier supplied by the data source (e.g. an IP
+/// address hash or an article id). Mapped to a dense internal id on ingest.
+using ExternalVertexId = uint64_t;
+
+/// Dense internal vertex id assigned by DynamicGraph in insertion order.
+using VertexId = uint32_t;
+
+/// Globally unique, monotonically increasing edge id assigned on ingest.
+/// Edge ids double as arrival sequence numbers.
+using EdgeId = uint64_t;
+
+/// Interned label id for vertex and edge type strings.
+using LabelId = uint32_t;
+
+/// Event timestamp attached to every streamed edge. Units are defined by the
+/// data source (ticks, seconds, ...); the engine only compares differences
+/// against the query window.
+using Timestamp = int64_t;
+
+/// Vertex id inside a *query* graph. Query graphs are small by construction.
+using QueryVertexId = uint8_t;
+
+/// Edge id inside a *query* graph.
+using QueryEdgeId = uint8_t;
+
+inline constexpr VertexId kInvalidVertexId =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdgeId = std::numeric_limits<EdgeId>::max();
+inline constexpr LabelId kInvalidLabelId =
+    std::numeric_limits<LabelId>::max();
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// Upper bound on query graph size (vertices and edges each). Query edge and
+/// vertex sets are represented as 64-bit masks throughout the engine.
+inline constexpr int kMaxQuerySize = 64;
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_COMMON_TYPES_H_

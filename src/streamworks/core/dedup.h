@@ -1,0 +1,61 @@
+#ifndef STREAMWORKS_CORE_DEDUP_H_
+#define STREAMWORKS_CORE_DEDUP_H_
+
+#include <unordered_set>
+
+#include "streamworks/core/engine.h"
+
+namespace streamworks {
+
+/// Collapses automorphic mappings into one event per data subgraph.
+///
+/// A symmetric query (e.g. the Fig. 2 news pattern, whose three article
+/// slots are interchangeable) matches each data subgraph k! times — once
+/// per automorphism. Applications that want *events* rather than mappings
+/// wrap their callback in this filter, which forwards only the first
+/// mapping of each distinct bound-data-edge set.
+///
+/// Memory is O(matches completed by one edge), not O(stream): every
+/// automorphic image of a data subgraph binds the same edge set, so they
+/// all complete at the arrival of the same (maximal) data edge. The seen
+/// set therefore resets whenever the completing edge changes; distinct
+/// completing edges can never produce duplicate subgraphs.
+class DistinctSubgraphFilter {
+ public:
+  /// Wraps `inner`; the returned callable is a valid MatchCallback.
+  explicit DistinctSubgraphFilter(MatchCallback inner)
+      : inner_(std::move(inner)) {}
+
+  void operator()(const CompleteMatch& cm) {
+    const EdgeId completing = cm.match.MaxDataEdgeId();
+    if (completing != current_edge_) {
+      current_edge_ = completing;
+      seen_.clear();
+    }
+    if (seen_.insert(cm.match.EdgeSetSignature()).second) {
+      ++forwarded_;
+      inner_(cm);
+    }
+  }
+
+  uint64_t distinct_forwarded() const { return forwarded_; }
+
+ private:
+  MatchCallback inner_;
+  EdgeId current_edge_ = kInvalidEdgeId;
+  std::unordered_set<uint64_t> seen_;
+  uint64_t forwarded_ = 0;
+};
+
+/// Convenience: builds a MatchCallback that forwards one event per
+/// distinct data subgraph to `inner`.
+inline MatchCallback DistinctSubgraphs(MatchCallback inner) {
+  // The filter is stateful; share it across copies of the callback.
+  auto filter =
+      std::make_shared<DistinctSubgraphFilter>(std::move(inner));
+  return [filter](const CompleteMatch& cm) { (*filter)(cm); };
+}
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_CORE_DEDUP_H_

@@ -1,0 +1,231 @@
+#include "streamworks/core/engine.h"
+
+#include "streamworks/common/logging.h"
+#include "streamworks/common/timer.h"
+
+namespace streamworks {
+
+StreamWorksEngine::StreamWorksEngine(Interner* interner,
+                                     EngineOptions options)
+    : interner_(interner),
+      options_(options),
+      graph_(interner),
+      statistics_(options.collect_statistics ? options.wedge_sample_rate
+                                             : 1.0) {
+  SW_CHECK_GT(options_.expiry_sweep_interval, 0);
+  SW_CHECK(options_.replan_interval == 0 || options_.collect_statistics)
+      << "adaptive re-planning requires statistics collection";
+  if (options_.stats_half_life > 0) {
+    statistics_.set_decay_half_life(options_.stats_half_life);
+  }
+}
+
+StatusOr<int> StreamWorksEngine::RegisterQuery(const QueryGraph& query,
+                                               Decomposition decomposition,
+                                               Timestamp window,
+                                               MatchCallback callback) {
+  return RegisterQueryImpl(query, std::move(decomposition), window,
+                           std::move(callback), std::nullopt);
+}
+
+StatusOr<Decomposition> StreamWorksEngine::PlanWithCurrentStats(
+    const QueryGraph& query, DecompositionStrategy strategy) const {
+  const SummaryStatistics* stats =
+      (options_.collect_statistics && statistics_.num_edges_observed() > 0)
+          ? &statistics_
+          : nullptr;
+  SelectivityEstimator estimator(stats);
+  QueryPlanner planner(&estimator);
+  return planner.Plan(query, strategy);
+}
+
+StatusOr<int> StreamWorksEngine::RegisterQuery(const QueryGraph& query,
+                                               DecompositionStrategy strategy,
+                                               Timestamp window,
+                                               MatchCallback callback) {
+  SW_ASSIGN_OR_RETURN(Decomposition decomposition,
+                      PlanWithCurrentStats(query, strategy));
+  return RegisterQueryImpl(query, std::move(decomposition), window,
+                           std::move(callback), strategy);
+}
+
+std::unique_ptr<SjTree> StreamWorksEngine::BuildBackfilledTree(
+    const QueryGraph* query, Decomposition decomposition,
+    Timestamp window) {
+  auto tree = std::make_unique<SjTree>(query, std::move(decomposition),
+                                       window);
+  // Replay the current window so that pre-existing edges can join with
+  // future arrivals. Completions produced here finished in the past and
+  // are suppressed (continuous-query semantics).
+  std::vector<Match> suppressed;
+  for (EdgeId id = graph_.first_stored_edge_id(); id < graph_.next_edge_id();
+       ++id) {
+    tree->ProcessEdge(graph_, id, &suppressed);
+    suppressed.clear();
+  }
+  return tree;
+}
+
+void StreamWorksEngine::RebuildRoutes() {
+  routes_.clear();
+  for (size_t qid = 0; qid < queries_.size(); ++qid) {
+    const auto& plans = queries_[qid]->tree->anchor_plans();
+    for (size_t i = 0; i < plans.size(); ++i) {
+      routes_[plans[i].edge_label].push_back(
+          Route{static_cast<int>(qid), i, plans[i].src_label,
+                plans[i].dst_label});
+    }
+  }
+}
+
+StatusOr<int> StreamWorksEngine::RegisterQueryImpl(
+    const QueryGraph& query, Decomposition decomposition, Timestamp window,
+    MatchCallback callback, std::optional<DecompositionStrategy> strategy) {
+  if (window <= 0) {
+    return Status::InvalidArgument("query window must be positive");
+  }
+  SW_RETURN_IF_ERROR(decomposition.Validate(query));
+
+  auto entry = std::make_unique<RegisteredQuery>();
+  entry->query = query;
+  entry->window = window;
+  entry->callback = std::move(callback);
+  entry->strategy = strategy;
+
+  // The shared graph must retain edges as long as the longest window; it
+  // never shrinks (other queries may still need the older edges).
+  if (graph_.retention() == kMaxTimestamp) {
+    if (window != kMaxTimestamp && queries_.empty()) {
+      graph_.set_retention(window);
+    }
+  } else if (window > graph_.retention()) {
+    graph_.set_retention(window);
+  }
+
+  // The tree holds a pointer to the entry's own query copy; the entry is
+  // heap-allocated and never moved, so the pointer is stable.
+  entry->tree =
+      BuildBackfilledTree(&entry->query, std::move(decomposition), window);
+  const int query_id = static_cast<int>(queries_.size());
+  queries_.push_back(std::move(entry));
+  RebuildRoutes();
+  return query_id;
+}
+
+StatusOr<bool> StreamWorksEngine::ReplanQuery(
+    int query_id, std::optional<DecompositionStrategy> strategy) {
+  if (query_id < 0 || query_id >= static_cast<int>(queries_.size())) {
+    return Status::InvalidArgument("unknown query id");
+  }
+  RegisteredQuery& rq = *queries_[query_id];
+  if (!strategy.has_value()) strategy = rq.strategy;
+  if (!strategy.has_value()) {
+    return Status::FailedPrecondition(
+        "query was registered with an explicit decomposition; pass a "
+        "strategy to re-plan it");
+  }
+  SW_ASSIGN_OR_RETURN(Decomposition decomposition,
+                      PlanWithCurrentStats(rq.query, *strategy));
+  if (decomposition == rq.tree->decomposition()) {
+    return false;  // same plan; keep the live tree and its partials
+  }
+  rq.tree = BuildBackfilledTree(&rq.query, std::move(decomposition),
+                                rq.window);
+  rq.strategy = strategy;
+  RebuildRoutes();
+  ++replans_performed_;
+  return true;
+}
+
+Status StreamWorksEngine::ProcessEdge(const StreamEdge& edge) {
+  Timer timer;
+  auto added = graph_.AddEdge(edge);
+  if (!added.ok()) {
+    ++metrics_.edges_rejected;
+    return added.status();
+  }
+  const EdgeId id = added.value();
+  ++metrics_.edges_processed;
+  if (options_.collect_statistics) statistics_.Observe(graph_, id);
+
+  auto route_it = routes_.find(edge.edge_label);
+  if (route_it != routes_.end()) {
+    for (const Route& route : route_it->second) {
+      if (route.src_label != edge.src_label ||
+          route.dst_label != edge.dst_label) {
+        continue;
+      }
+      RegisteredQuery& rq = *queries_[route.query_id];
+      scratch_completed_.clear();
+      rq.tree->RunAnchorPlan(graph_, route.plan_index, id,
+                             &scratch_completed_);
+      for (Match& m : scratch_completed_) {
+        ++rq.completions;
+        ++metrics_.completions;
+        if (rq.callback) {
+          CompleteMatch cm;
+          cm.query_id = route.query_id;
+          cm.match = std::move(m);
+          cm.completed_at = graph_.watermark();
+          rq.callback(cm);
+        }
+      }
+    }
+  }
+
+  if (++edges_since_sweep_ >= options_.expiry_sweep_interval) {
+    edges_since_sweep_ = 0;
+    for (auto& rq : queries_) {
+      rq->tree->ExpireOldMatches(graph_.watermark());
+    }
+  }
+
+  // Adaptive re-planning (§4.3 future work): between edges, re-plan every
+  // strategy-registered query against the live statistics.
+  if (options_.replan_interval > 0 &&
+      ++edges_since_replan_ >= options_.replan_interval) {
+    edges_since_replan_ = 0;
+    for (size_t qid = 0; qid < queries_.size(); ++qid) {
+      if (!queries_[qid]->strategy.has_value()) continue;
+      auto swapped = ReplanQuery(static_cast<int>(qid));
+      if (!swapped.ok()) {
+        SW_LOG(Warning) << "re-plan of query " << qid
+                        << " failed: " << swapped.status().ToString();
+      }
+    }
+  }
+  metrics_.processing_seconds += timer.ElapsedSeconds();
+  return OkStatus();
+}
+
+Status StreamWorksEngine::ProcessBatch(const EdgeBatch& batch) {
+  ++metrics_.batches_processed;
+  for (const StreamEdge& e : batch) {
+    SW_RETURN_IF_ERROR(ProcessEdge(e));
+  }
+  return OkStatus();
+}
+
+const SjTree& StreamWorksEngine::sjtree(int query_id) const {
+  SW_CHECK(query_id >= 0 &&
+           query_id < static_cast<int>(queries_.size()))
+      << "unknown query id " << query_id;
+  return *queries_[query_id]->tree;
+}
+
+QueryRuntimeInfo StreamWorksEngine::query_info(int query_id) const {
+  SW_CHECK(query_id >= 0 &&
+           query_id < static_cast<int>(queries_.size()))
+      << "unknown query id " << query_id;
+  const RegisteredQuery& rq = *queries_[query_id];
+  QueryRuntimeInfo info;
+  info.query_id = query_id;
+  info.name = rq.query.name();
+  info.window = rq.window;
+  info.completions = rq.completions;
+  info.live_partial_matches = rq.tree->TotalPartialMatches();
+  info.peak_partial_matches = rq.tree->PeakTotalPartialMatches();
+  return info;
+}
+
+}  // namespace streamworks

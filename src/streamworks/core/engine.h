@@ -1,0 +1,205 @@
+#ifndef STREAMWORKS_CORE_ENGINE_H_
+#define STREAMWORKS_CORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/planner/planner.h"
+#include "streamworks/planner/stats.h"
+#include "streamworks/sjtree/sj_tree.h"
+#include "streamworks/stream/batching.h"
+
+namespace streamworks {
+
+/// A completed match delivered to a query's callback.
+struct CompleteMatch {
+  int query_id = -1;
+  Match match;
+  /// Stream watermark when the match completed (== the completing edge's
+  /// timestamp).
+  Timestamp completed_at = 0;
+};
+
+/// Receives every complete match of one registered query, in completion
+/// order, exactly once.
+using MatchCallback = std::function<void(const CompleteMatch&)>;
+
+/// Global engine configuration.
+struct EngineOptions {
+  /// Edges between periodic partial-match expiry sweeps (lazy expiry on
+  /// probe happens regardless).
+  int expiry_sweep_interval = 1024;
+  /// Maintain SummaryStatistics while streaming (costs O(degree) per edge
+  /// on a sample of edges).
+  bool collect_statistics = false;
+  /// Wedge-census sampling rate when collect_statistics is on.
+  double wedge_sample_rate = 0.1;
+  /// Half-life in edges for recency weighting of the summary statistics
+  /// (SummaryStatistics::set_decay_half_life); 0 keeps them cumulative.
+  /// Recency weighting is what lets adaptive re-planning follow
+  /// distribution drift instead of the stream's lifetime average.
+  uint64_t stats_half_life = 0;
+  /// Adaptive re-planning (the paper's §4.3 future work: "continuously
+  /// collecting the statistics … and updating the query decomposition"):
+  /// every this many edges, each strategy-registered query is re-planned
+  /// against the live statistics and its SJ-Tree is swapped if the plan
+  /// changed. 0 disables. Requires collect_statistics. Swapping preserves
+  /// exactly-once semantics (see ReplanQuery).
+  int replan_interval = 0;
+};
+
+/// Aggregate runtime counters.
+struct EngineMetrics {
+  uint64_t edges_processed = 0;
+  uint64_t edges_rejected = 0;  ///< Malformed input (bad ts / label clash).
+  uint64_t batches_processed = 0;
+  uint64_t completions = 0;
+  double processing_seconds = 0;
+};
+
+/// Snapshot of one registered query's state.
+struct QueryRuntimeInfo {
+  int query_id = -1;
+  std::string name;
+  Timestamp window = 0;
+  uint64_t completions = 0;
+  size_t live_partial_matches = 0;
+  size_t peak_partial_matches = 0;
+};
+
+/// StreamWorks (paper Fig. 1): the continuous-query engine for dynamic
+/// graph search. Users register graph queries (each with a time window, a
+/// decomposition — explicit or planned — and a callback); the engine then
+/// consumes the edge stream, maintaining
+///
+///   * the shared windowed data graph (retention = the largest registered
+///     window),
+///   * optional summarisation statistics (§4.3) for planning later
+///     registrations,
+///   * one SJ-Tree per query, reached through a label-routing index so an
+///     arriving edge only touches queries whose leaves it can anchor,
+///
+/// and delivers the incremental match set f(Gd, Gq, E_k+1) through the
+/// callbacks, each match exactly once at the moment its last edge arrives.
+class StreamWorksEngine {
+ public:
+  /// `interner` must outlive the engine and be the one used to intern the
+  /// stream's and queries' labels.
+  explicit StreamWorksEngine(Interner* interner, EngineOptions options = {});
+
+  // --- Query registration --------------------------------------------------
+  /// Registers `query` with an explicit decomposition. Returns the query
+  /// id. `window` must be positive (kMaxTimestamp = unbounded).
+  ///
+  /// Mid-stream registration backfills the current window into the new
+  /// SJ-Tree: edges already in the graph can join with future arrivals,
+  /// but matches that completed before registration are not reported.
+  StatusOr<int> RegisterQuery(const QueryGraph& query,
+                              Decomposition decomposition, Timestamp window,
+                              MatchCallback callback);
+
+  /// Registers `query`, planning the decomposition with `strategy` against
+  /// the engine's current summary statistics (uninformed if statistics
+  /// collection is off or no edges have been seen). Strategy-registered
+  /// queries participate in adaptive re-planning (replan_interval).
+  StatusOr<int> RegisterQuery(const QueryGraph& query,
+                              DecompositionStrategy strategy,
+                              Timestamp window, MatchCallback callback);
+
+  /// Re-plans one query against the engine's current statistics (with
+  /// `strategy` overriding the registration strategy if given) and swaps
+  /// in a fresh SJ-Tree built from the new decomposition.
+  ///
+  /// The swap preserves exactly-once delivery: the new tree is backfilled
+  /// from the current window with completions suppressed (anything it
+  /// would complete during backfill already completed — and was emitted —
+  /// before the swap), then replaces the old tree atomically between
+  /// edges. Costs one window replay. Returns whether the decomposition
+  /// actually changed.
+  StatusOr<bool> ReplanQuery(int query_id,
+                             std::optional<DecompositionStrategy> strategy =
+                                 std::nullopt);
+
+  /// Number of tree swaps performed by adaptive re-planning so far.
+  uint64_t replans_performed() const { return replans_performed_; }
+
+  // --- Streaming --------------------------------------------------------------
+  /// Ingests one edge and runs every routed query. Invalid edges (time
+  /// regression, vertex label clash) are counted and reported, not fatal.
+  Status ProcessEdge(const StreamEdge& edge);
+
+  /// Ingests one timestep batch E_k+1; callbacks fire as each match
+  /// completes within the batch.
+  Status ProcessBatch(const EdgeBatch& batch);
+
+  // --- Introspection ------------------------------------------------------------
+  const DynamicGraph& graph() const { return graph_; }
+  const SummaryStatistics& statistics() const { return statistics_; }
+  const EngineMetrics& metrics() const { return metrics_; }
+  size_t num_queries() const { return queries_.size(); }
+  const SjTree& sjtree(int query_id) const;
+  QueryRuntimeInfo query_info(int query_id) const;
+
+ private:
+  struct RegisteredQuery {
+    QueryGraph query;
+    Timestamp window = 0;
+    MatchCallback callback;
+    std::unique_ptr<SjTree> tree;
+    uint64_t completions = 0;
+    /// Strategy used at registration; nullopt for explicit decompositions
+    /// (those are never auto-replanned).
+    std::optional<DecompositionStrategy> strategy;
+  };
+
+  /// (query, anchor-plan) pair reached from the routing index.
+  struct Route {
+    int query_id;
+    size_t plan_index;
+    LabelId src_label;
+    LabelId dst_label;
+  };
+
+  StatusOr<int> RegisterQueryImpl(const QueryGraph& query,
+                                  Decomposition decomposition,
+                                  Timestamp window, MatchCallback callback,
+                                  std::optional<DecompositionStrategy>
+                                      strategy);
+
+  /// Builds a tree for `query` over `decomposition` and replays the
+  /// current window into it with completions suppressed.
+  std::unique_ptr<SjTree> BuildBackfilledTree(const QueryGraph* query,
+                                              Decomposition decomposition,
+                                              Timestamp window);
+
+  /// Recomputes the label-routing index from every registered query.
+  void RebuildRoutes();
+
+  /// Plans `query` with the engine's current statistics.
+  StatusOr<Decomposition> PlanWithCurrentStats(
+      const QueryGraph& query, DecompositionStrategy strategy) const;
+
+  Interner* interner_;
+  EngineOptions options_;
+  DynamicGraph graph_;
+  SummaryStatistics statistics_;
+  std::vector<std::unique_ptr<RegisteredQuery>> queries_;
+  std::unordered_map<LabelId, std::vector<Route>> routes_;
+  EngineMetrics metrics_;
+  int edges_since_sweep_ = 0;
+  int edges_since_replan_ = 0;
+  uint64_t replans_performed_ = 0;
+  std::vector<Match> scratch_completed_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_CORE_ENGINE_H_

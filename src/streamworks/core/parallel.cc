@@ -1,0 +1,152 @@
+#include "streamworks/core/parallel.h"
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+ParallelEngineGroup::ParallelEngineGroup(Interner* interner, int num_shards,
+                                         EngineOptions options) {
+  SW_CHECK_GT(num_shards, 0);
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(interner, options));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
+  }
+}
+
+ParallelEngineGroup::~ParallelEngineGroup() { Close(); }
+
+StatusOr<int> ParallelEngineGroup::RegisterQuery(
+    const QueryGraph& query, DecompositionStrategy strategy,
+    Timestamp window, MatchCallback callback) {
+  SW_CHECK(!streaming_started_)
+      << "register queries before streaming begins";
+  Shard& shard = *shards_[next_shard_];
+  // The worker is idle (no edges yet), so touching its engine is safe.
+  SW_ASSIGN_OR_RETURN(
+      const int local_id,
+      shard.engine.RegisterQuery(query, strategy, window,
+                                 std::move(callback)));
+  const int group_id =
+      next_shard_ + local_id * static_cast<int>(shards_.size());
+  next_shard_ = (next_shard_ + 1) % static_cast<int>(shards_.size());
+  return group_id;
+}
+
+void ParallelEngineGroup::ProcessEdge(const StreamEdge& edge) {
+  streaming_started_ = true;
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->cv_producer.wait(lock, [&] {
+      return shard->queue.size() < kMaxQueuedEdges;
+    });
+    const bool was_empty = shard->queue.empty();
+    shard->queue.push_back(edge);
+    shard->idle = false;
+    // The worker only sleeps when the queue is empty, so a wakeup is
+    // needed just on the empty -> non-empty transition (it re-checks the
+    // queue after finishing its current swap buffer regardless).
+    if (was_empty) shard->cv_consumer.notify_one();
+  }
+}
+
+void ParallelEngineGroup::ProcessBatch(const EdgeBatch& batch) {
+  if (batch.empty()) return;
+  streaming_started_ = true;
+  for (auto& shard : shards_) {
+    size_t appended = 0;
+    while (appended < batch.size()) {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv_producer.wait(lock, [&] {
+        return shard->queue.size() < kMaxQueuedEdges;
+      });
+      const bool was_empty = shard->queue.empty();
+      const size_t room = kMaxQueuedEdges - shard->queue.size();
+      const size_t take = std::min(room, batch.size() - appended);
+      shard->queue.insert(shard->queue.end(),
+                          batch.begin() + static_cast<ptrdiff_t>(appended),
+                          batch.begin() +
+                              static_cast<ptrdiff_t>(appended + take));
+      appended += take;
+      shard->idle = false;
+      if (was_empty) shard->cv_consumer.notify_one();
+    }
+  }
+}
+
+void ParallelEngineGroup::WorkerLoop(Shard* shard) {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv_consumer.wait(lock, [&] {
+        return !shard->queue.empty() || shard->closing;
+      });
+      if (shard->queue.empty() && shard->closing) return;
+      shard->taking.swap(shard->queue);
+      shard->cv_producer.notify_one();
+    }
+    for (const StreamEdge& e : shard->taking) {
+      // Rejected edges are counted by the engine; a parallel consumer has
+      // no way to surface per-edge status, matching the callback model.
+      shard->engine.ProcessEdge(e).ok();
+    }
+    shard->taking.clear();
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      if (shard->queue.empty()) {
+        shard->idle = true;
+        shard->cv_producer.notify_one();
+      }
+    }
+  }
+}
+
+void ParallelEngineGroup::Flush() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->cv_producer.wait(lock, [&] {
+      return shard->idle && shard->queue.empty();
+    });
+  }
+}
+
+void ParallelEngineGroup::Close() {
+  if (closed_) return;
+  closed_ = true;
+  for (auto& shard : shards_) {
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->closing = true;
+      shard->cv_consumer.notify_one();
+    }
+    shard->worker.join();
+  }
+}
+
+uint64_t ParallelEngineGroup::total_completions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->engine.metrics().completions;
+  }
+  return total;
+}
+
+uint64_t ParallelEngineGroup::total_rejected() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->engine.metrics().edges_rejected;
+  }
+  return total;
+}
+
+double ParallelEngineGroup::total_processing_seconds() const {
+  double total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->engine.metrics().processing_seconds;
+  }
+  return total;
+}
+
+}  // namespace streamworks

@@ -1,0 +1,102 @@
+#ifndef STREAMWORKS_CORE_PARALLEL_H_
+#define STREAMWORKS_CORE_PARALLEL_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "streamworks/core/engine.h"
+
+namespace streamworks {
+
+/// Multi-core query execution (the paper's demo ran many concurrent
+/// queries on a 48-core shared-memory node): registered queries are
+/// sharded round-robin across N worker threads, each owning a private
+/// StreamWorksEngine (its own window graph and SJ-Trees). Every ingested
+/// edge is broadcast to all shards through bounded per-shard queues.
+///
+/// This is coarse-grained parallelism — queries never share partial
+/// matches, so shards are fully independent and results are identical to a
+/// single engine run (verified by the equivalence tests). The window graph
+/// is duplicated per shard: memory for parallelism, the standard trade for
+/// multi-query streaming engines.
+///
+/// Threading contract: callbacks run on worker threads, one shard at a
+/// time per query (a query lives on exactly one shard), so a callback only
+/// needs to be thread-safe against callbacks of queries on *other* shards.
+/// Close() (or destruction) drains the queues and joins the workers.
+class ParallelEngineGroup {
+ public:
+  /// Creates `num_shards` workers configured with `options`.
+  ParallelEngineGroup(Interner* interner, int num_shards,
+                      EngineOptions options = {});
+  ~ParallelEngineGroup();
+
+  ParallelEngineGroup(const ParallelEngineGroup&) = delete;
+  ParallelEngineGroup& operator=(const ParallelEngineGroup&) = delete;
+
+  /// Registers a query on the next shard (round-robin). Must be called
+  /// before the first ProcessEdge (registration is not thread-safe against
+  /// streaming). Returns a group-wide query id.
+  StatusOr<int> RegisterQuery(const QueryGraph& query,
+                              DecompositionStrategy strategy,
+                              Timestamp window, MatchCallback callback);
+
+  /// Enqueues one edge for every shard. Blocks when a shard's queue is
+  /// full (backpressure). Not thread-safe; one producer.
+  void ProcessEdge(const StreamEdge& edge);
+
+  /// Enqueues a batch for every shard with one lock acquisition per shard
+  /// — the fast path for replay (per-edge broadcast pays a wakeup per
+  /// shard per edge; batches amortise it).
+  void ProcessBatch(const EdgeBatch& batch);
+
+  /// Waits until every shard has drained its queue. The group remains
+  /// usable afterwards.
+  void Flush();
+
+  /// Drains and joins the workers. Called by the destructor.
+  void Close();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Aggregate completions across shards (call after Flush).
+  uint64_t total_completions() const;
+  /// Aggregate rejected-edge count across shards (call after Flush).
+  uint64_t total_rejected() const;
+
+  /// Sum of per-shard engine processing time (call after Flush). With N
+  /// shards this can exceed wall-clock time; wall / (this / N) measures
+  /// pipeline efficiency.
+  double total_processing_seconds() const;
+
+ private:
+  struct Shard {
+    explicit Shard(Interner* interner, EngineOptions options)
+        : engine(interner, options) {}
+
+    StreamWorksEngine engine;
+    std::thread worker;
+    std::mutex mu;
+    std::condition_variable cv_producer;
+    std::condition_variable cv_consumer;
+    std::vector<StreamEdge> queue;   // guarded by mu
+    std::vector<StreamEdge> taking;  // worker-local swap buffer
+    bool closing = false;            // guarded by mu
+    bool idle = true;                // guarded by mu; true when drained
+  };
+
+  void WorkerLoop(Shard* shard);
+
+  static constexpr size_t kMaxQueuedEdges = 32768;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int next_shard_ = 0;
+  bool streaming_started_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_CORE_PARALLEL_H_

@@ -1,0 +1,99 @@
+#include "streamworks/graph/dynamic_graph.h"
+
+#include "streamworks/common/logging.h"
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+void DynamicGraph::AdjList::PopFront() {
+  SW_DCHECK_LT(start, entries.size());
+  ++start;
+  // Compact once the dead prefix dominates, to bound memory.
+  if (start > 64 && start * 2 > entries.size()) {
+    entries.erase(entries.begin(),
+                  entries.begin() + static_cast<ptrdiff_t>(start));
+    start = 0;
+  }
+}
+
+void DynamicGraph::set_retention(Timestamp retention) {
+  SW_CHECK_GT(retention, 0) << "retention must be positive";
+  retention_ = retention;
+}
+
+StatusOr<VertexId> DynamicGraph::EnsureVertex(ExternalVertexId ext,
+                                              LabelId label) {
+  auto [it, inserted] = vertex_index_.try_emplace(
+      ext, static_cast<VertexId>(vertex_labels_.size()));
+  if (inserted) {
+    vertex_labels_.push_back(label);
+    external_ids_.push_back(ext);
+    out_.emplace_back();
+    in_.emplace_back();
+    return it->second;
+  }
+  if (vertex_labels_[it->second] != label) {
+    return Status::InvalidArgument(
+        StrCat("vertex ", ext, " re-ingested with label '",
+               interner_->Name(label), "' but was first seen as '",
+               interner_->Name(vertex_labels_[it->second]), "'"));
+  }
+  return it->second;
+}
+
+StatusOr<EdgeId> DynamicGraph::AddEdge(const StreamEdge& e) {
+  if (e.ts < 0) {
+    return Status::InvalidArgument(
+        StrCat("edge timestamp must be non-negative, got ", e.ts));
+  }
+  if (e.ts < watermark_) {
+    return Status::InvalidArgument(
+        StrCat("edge timestamp ", e.ts, " decreases below watermark ",
+               watermark_, "; the stream must be time-ordered"));
+  }
+  SW_ASSIGN_OR_RETURN(VertexId src, EnsureVertex(e.src, e.src_label));
+  SW_ASSIGN_OR_RETURN(VertexId dst, EnsureVertex(e.dst, e.dst_label));
+
+  const EdgeId id = next_edge_id();
+  edges_.push_back(EdgeRecord{src, dst, e.edge_label, e.ts});
+  out_[src].entries.push_back(AdjEntry{dst, id, e.edge_label, e.ts});
+  in_[dst].entries.push_back(AdjEntry{src, id, e.edge_label, e.ts});
+  watermark_ = e.ts;
+  EvictExpired();
+  return id;
+}
+
+VertexId DynamicGraph::FindVertex(ExternalVertexId ext) const {
+  auto it = vertex_index_.find(ext);
+  return it == vertex_index_.end() ? kInvalidVertexId : it->second;
+}
+
+const EdgeRecord& DynamicGraph::edge_record(EdgeId id) const {
+  SW_CHECK(IsStored(id)) << "edge " << id << " is not stored (range ["
+                         << base_edge_id_ << ", " << next_edge_id() << "))";
+  return edges_[id - base_edge_id_];
+}
+
+Timestamp DynamicGraph::MinLiveTs() const {
+  if (retention_ > watermark_) return 0;  // Also covers kMaxTimestamp.
+  return watermark_ - retention_ + 1;
+}
+
+void DynamicGraph::EvictExpired() {
+  const Timestamp min_live = MinLiveTs();
+  while (!edges_.empty() && edges_.front().ts < min_live) {
+    const EdgeRecord& record = edges_.front();
+    // Arrival order equals per-vertex adjacency order, so the oldest stored
+    // edge is exactly the first live entry of both endpoint lists.
+    AdjList& src_out = out_[record.src];
+    SW_DCHECK_EQ(src_out.entries[src_out.start].edge, base_edge_id_);
+    src_out.PopFront();
+    AdjList& dst_in = in_[record.dst];
+    SW_DCHECK_EQ(dst_in.entries[dst_in.start].edge, base_edge_id_);
+    dst_in.PopFront();
+    edges_.pop_front();
+    ++base_edge_id_;
+  }
+}
+
+}  // namespace streamworks

@@ -1,0 +1,144 @@
+#ifndef STREAMWORKS_GRAPH_DYNAMIC_GRAPH_H_
+#define STREAMWORKS_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/common/types.h"
+#include "streamworks/graph/stream_edge.h"
+
+namespace streamworks {
+
+/// Internal, immutable record of an ingested edge.
+struct EdgeRecord {
+  VertexId src = kInvalidVertexId;
+  VertexId dst = kInvalidVertexId;
+  LabelId label = kInvalidLabelId;
+  Timestamp ts = 0;
+};
+
+/// One incident edge from a vertex's point of view. Adjacency lists store
+/// entries in arrival order, which (because stream timestamps are
+/// non-decreasing) is also ascending timestamp order — matchers exploit this
+/// to scan only the recent suffix of a list.
+struct AdjEntry {
+  VertexId other = kInvalidVertexId;  ///< Opposite endpoint.
+  EdgeId edge = kInvalidEdgeId;
+  LabelId label = kInvalidLabelId;
+  Timestamp ts = 0;
+};
+
+/// The dynamic multi-relational data graph Gd (paper §2.1).
+///
+/// A directed multigraph over typed vertices and typed, timestamped edges.
+/// Edges arrive with non-decreasing timestamps; vertices are created on
+/// first sight from the labels carried by each StreamEdge. The graph keeps a
+/// sliding *retention* window behind the newest timestamp (the watermark):
+/// an edge with timestamp `t` is expired once `watermark - t >= retention`,
+/// because under the strict match-span constraint `τ < tW` (with
+/// `retention >= tW`) it can never again participate in a match completed by
+/// a future edge. Expired edges are evicted in O(1) amortised per edge —
+/// arrival order equals per-vertex adjacency order, so eviction trims list
+/// prefixes.
+///
+/// Edge ids are global sequence numbers and are never reused, so they double
+/// as arrival order and remain meaningful after eviction (for match
+/// signatures); only dereferencing an evicted record is an error.
+///
+/// Vertices are never evicted: the vertex universe of the target workloads
+/// (hosts, IPs, news entities) is orders of magnitude smaller than the edge
+/// stream. This matches the paper's shared-memory design.
+class DynamicGraph {
+ public:
+  /// `interner` must outlive the graph; it resolves the labels carried by
+  /// ingested edges (shared with the queries registered against this graph).
+  explicit DynamicGraph(const Interner* interner) : interner_(interner) {}
+
+  /// Sets the retention window. Must be positive. kMaxTimestamp (default)
+  /// disables eviction. Lowering retention below a previously used value is
+  /// allowed; expiry applies from the next ingest.
+  void set_retention(Timestamp retention);
+  Timestamp retention() const { return retention_; }
+
+  /// Ingests one edge. Fails with InvalidArgument if the timestamp is
+  /// negative or decreases, or if an endpoint's label contradicts the label
+  /// recorded when that external vertex was first seen.
+  StatusOr<EdgeId> AddEdge(const StreamEdge& e);
+
+  // --- Vertices ---------------------------------------------------------
+  size_t num_vertices() const { return vertex_labels_.size(); }
+  /// Dense id for an external id, or kInvalidVertexId if never seen.
+  VertexId FindVertex(ExternalVertexId ext) const;
+  LabelId vertex_label(VertexId v) const { return vertex_labels_[v]; }
+  ExternalVertexId external_id(VertexId v) const { return external_ids_[v]; }
+
+  // --- Edges ------------------------------------------------------------
+  /// Total number of edges ever ingested; also the id of the next edge.
+  EdgeId next_edge_id() const { return base_edge_id_ + edges_.size(); }
+  /// Smallest edge id still stored (not yet evicted).
+  EdgeId first_stored_edge_id() const { return base_edge_id_; }
+  size_t num_stored_edges() const { return edges_.size(); }
+  bool IsStored(EdgeId id) const {
+    return id >= base_edge_id_ && id < next_edge_id();
+  }
+  /// The record for a stored (non-evicted) edge id.
+  const EdgeRecord& edge_record(EdgeId id) const;
+
+  /// Largest timestamp ingested so far; -1 before the first edge.
+  Timestamp watermark() const { return watermark_; }
+  /// Smallest timestamp that is still live under the retention window.
+  Timestamp MinLiveTs() const;
+
+  // --- Adjacency ---------------------------------------------------------
+  /// Live outgoing / incoming edges of `v`, ascending by timestamp.
+  std::span<const AdjEntry> OutEdges(VertexId v) const {
+    return out_[v].Live();
+  }
+  std::span<const AdjEntry> InEdges(VertexId v) const {
+    return in_[v].Live();
+  }
+
+  const Interner& interner() const { return *interner_; }
+
+  /// Cumulative count of evicted edges (monitoring / tests).
+  uint64_t num_evicted_edges() const { return base_edge_id_; }
+
+ private:
+  struct AdjList {
+    std::vector<AdjEntry> entries;
+    size_t start = 0;  ///< Entries before `start` belong to evicted edges.
+
+    std::span<const AdjEntry> Live() const {
+      return {entries.data() + start, entries.size() - start};
+    }
+    void PopFront();
+  };
+
+  /// Returns the dense id for (ext, label), creating the vertex on first
+  /// sight; fails on label mismatch with the recorded label.
+  StatusOr<VertexId> EnsureVertex(ExternalVertexId ext, LabelId label);
+
+  /// Evicts every stored edge whose timestamp has expired.
+  void EvictExpired();
+
+  const Interner* interner_;
+  Timestamp retention_ = kMaxTimestamp;
+  Timestamp watermark_ = -1;
+
+  std::unordered_map<ExternalVertexId, VertexId> vertex_index_;
+  std::vector<LabelId> vertex_labels_;
+  std::vector<ExternalVertexId> external_ids_;
+  std::vector<AdjList> out_;
+  std::vector<AdjList> in_;
+
+  std::deque<EdgeRecord> edges_;  ///< Stored edges; front is the oldest.
+  EdgeId base_edge_id_ = 0;       ///< Id of edges_.front().
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,81 @@
+#include "streamworks/graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+std::string SerializeEdgeStream(const std::vector<StreamEdge>& edges,
+                                const Interner& interner) {
+  std::ostringstream os;
+  os << "# ts,src_id,src_label,dst_id,dst_label,edge_label\n";
+  for (const StreamEdge& e : edges) {
+    os << e.ts << ',' << e.src << ',' << interner.Name(e.src_label) << ','
+       << e.dst << ',' << interner.Name(e.dst_label) << ','
+       << interner.Name(e.edge_label) << '\n';
+  }
+  return os.str();
+}
+
+StatusOr<std::vector<StreamEdge>> ParseEdgeStream(std::string_view text,
+                                                  Interner* interner) {
+  std::vector<StreamEdge> edges;
+  int line_no = 0;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string_view> fields = Split(line, ',');
+    if (fields.size() != 6) {
+      return Status::InvalidArgument(
+          StrCat("edge stream line ", line_no, ": expected 6 fields, got ",
+                 fields.size()));
+    }
+    StreamEdge e;
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    if (!ParseInt64(StripWhitespace(fields[0]), &e.ts) ||
+        !ParseUint64(StripWhitespace(fields[1]), &src) ||
+        !ParseUint64(StripWhitespace(fields[3]), &dst)) {
+      return Status::InvalidArgument(
+          StrCat("edge stream line ", line_no, ": malformed numeric field"));
+    }
+    e.src = src;
+    e.dst = dst;
+    e.src_label = interner->Intern(StripWhitespace(fields[2]));
+    e.dst_label = interner->Intern(StripWhitespace(fields[4]));
+    e.edge_label = interner->Intern(StripWhitespace(fields[5]));
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+Status WriteEdgeStreamFile(const std::string& path,
+                           const std::vector<StreamEdge>& edges,
+                           const Interner& interner) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError(StrCat("cannot open '", path, "' for writing"));
+  }
+  out << SerializeEdgeStream(edges, interner);
+  out.close();
+  if (!out) {
+    return Status::IoError(StrCat("failed while writing '", path, "'"));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<StreamEdge>> ReadEdgeStreamFile(const std::string& path,
+                                                     Interner* interner) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrCat("cannot open '", path, "' for reading"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseEdgeStream(buffer.str(), interner);
+}
+
+}  // namespace streamworks

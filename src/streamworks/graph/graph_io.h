@@ -1,0 +1,40 @@
+#ifndef STREAMWORKS_GRAPH_GRAPH_IO_H_
+#define STREAMWORKS_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/graph/stream_edge.h"
+
+namespace streamworks {
+
+/// Serialises an edge stream to the line format
+///
+///   ts,src_id,src_label,dst_id,dst_label,edge_label
+///
+/// with labels rendered as strings through `interner`. Lines starting with
+/// '#' are comments. This is the interchange format used by file replay and
+/// the example binaries.
+std::string SerializeEdgeStream(const std::vector<StreamEdge>& edges,
+                                const Interner& interner);
+
+/// Parses the format produced by SerializeEdgeStream, interning labels.
+/// Returns InvalidArgument with a line number on malformed input. Does not
+/// require timestamps to be ordered (DynamicGraph enforces that on ingest).
+StatusOr<std::vector<StreamEdge>> ParseEdgeStream(std::string_view text,
+                                                  Interner* interner);
+
+/// Writes `edges` to `path` in the SerializeEdgeStream format.
+Status WriteEdgeStreamFile(const std::string& path,
+                           const std::vector<StreamEdge>& edges,
+                           const Interner& interner);
+
+/// Reads an edge stream file written by WriteEdgeStreamFile.
+StatusOr<std::vector<StreamEdge>> ReadEdgeStreamFile(const std::string& path,
+                                                     Interner* interner);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,225 @@
+#include "streamworks/graph/query_graph.h"
+
+#include <map>
+#include <sstream>
+
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+Bitset64 QueryGraph::VerticesOfEdges(Bitset64 edge_set) const {
+  Bitset64 out;
+  for (int e : edge_set) {
+    out.Add(edges_[e].src);
+    out.Add(edges_[e].dst);
+  }
+  return out;
+}
+
+Bitset64 QueryGraph::EdgesTouchingVertices(Bitset64 vertex_set) const {
+  Bitset64 out;
+  for (int v : vertex_set) {
+    for (const QueryIncidence& inc : incidence_[v]) {
+      out.Add(inc.edge);
+    }
+  }
+  return out;
+}
+
+bool QueryGraph::IsEdgeSetConnected(Bitset64 edge_set) const {
+  if (edge_set.Empty()) return true;
+  // BFS over edges: start from one edge, repeatedly absorb edges sharing a
+  // vertex with the frontier.
+  Bitset64 reached_vertices = VerticesOfEdges(Bitset64::Single(
+      edge_set.First()));
+  Bitset64 remaining = edge_set - Bitset64::Single(edge_set.First());
+  bool progress = true;
+  while (progress && !remaining.Empty()) {
+    progress = false;
+    for (int e : remaining) {
+      if (reached_vertices.Contains(edges_[e].src) ||
+          reached_vertices.Contains(edges_[e].dst)) {
+        reached_vertices.Add(edges_[e].src);
+        reached_vertices.Add(edges_[e].dst);
+        remaining.Remove(e);
+        progress = true;
+      }
+    }
+  }
+  return remaining.Empty();
+}
+
+std::string QueryGraph::ToString(const Interner& interner) const {
+  std::ostringstream os;
+  os << "query";
+  if (!name_.empty()) os << " " << name_;
+  os << " {";
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (v > 0) os << ",";
+    os << " v" << v << ":" << interner.Name(vertex_labels_[v]);
+  }
+  os << ";";
+  for (int e = 0; e < num_edges(); ++e) {
+    os << " v" << static_cast<int>(edges_[e].src) << "-["
+       << interner.Name(edges_[e].label) << "]->v"
+       << static_cast<int>(edges_[e].dst);
+  }
+  os << " }";
+  return os.str();
+}
+
+QueryVertexId QueryGraphBuilder::AddVertex(std::string_view label) {
+  SW_CHECK_LT(vertex_labels_.size(), static_cast<size_t>(kMaxQuerySize))
+      << "query vertex limit exceeded";
+  vertex_labels_.push_back(interner_->Intern(label));
+  return static_cast<QueryVertexId>(vertex_labels_.size() - 1);
+}
+
+QueryEdgeId QueryGraphBuilder::AddEdge(QueryVertexId src, QueryVertexId dst,
+                                       std::string_view label) {
+  SW_CHECK_LT(edges_.size(), static_cast<size_t>(kMaxQuerySize))
+      << "query edge limit exceeded";
+  edges_.push_back(QueryEdge{src, dst, interner_->Intern(label)});
+  return static_cast<QueryEdgeId>(edges_.size() - 1);
+}
+
+StatusOr<QueryGraph> QueryGraphBuilder::Build(std::string_view name) const {
+  if (edges_.empty()) {
+    return Status::InvalidArgument("query graph must have at least one edge");
+  }
+  for (const QueryEdge& e : edges_) {
+    if (e.src >= vertex_labels_.size() || e.dst >= vertex_labels_.size()) {
+      return Status::InvalidArgument(
+          StrCat("edge endpoint out of range: v", static_cast<int>(e.src),
+                 " -> v", static_cast<int>(e.dst)));
+    }
+  }
+  QueryGraph g;
+  g.name_ = std::string(name);
+  g.vertex_labels_ = vertex_labels_;
+  g.edges_ = edges_;
+  g.incidence_.resize(vertex_labels_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const QueryEdge& e = edges_[i];
+    const auto id = static_cast<QueryEdgeId>(i);
+    g.incidence_[e.src].push_back(QueryIncidence{id, e.dst, true});
+    if (e.dst != e.src) {
+      g.incidence_[e.dst].push_back(QueryIncidence{id, e.src, false});
+    }
+  }
+  if (!g.IsEdgeSetConnected(g.AllEdges())) {
+    return Status::InvalidArgument("query graph must be connected");
+  }
+  // Vertices not touched by any edge would be unmatchable by an edge-driven
+  // engine; reject them (isolated query vertices make no sense here).
+  if (g.VerticesOfEdges(g.AllEdges()) != g.AllVertices()) {
+    return Status::InvalidArgument("query graph has an isolated vertex");
+  }
+  return g;
+}
+
+StatusOr<ParsedQuery> ParseQueryText(std::string_view text,
+                                     Interner* interner) {
+  QueryGraphBuilder builder(interner);
+  std::map<std::string, QueryVertexId, std::less<>> vertex_names;
+  std::string name;
+  Timestamp window = kMaxTimestamp;
+  bool saw_window = false;
+
+  int line_no = 0;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string_view> tokens;
+    for (std::string_view t : Split(line, ' ')) {
+      if (!StripWhitespace(t).empty()) tokens.push_back(StripWhitespace(t));
+    }
+    const auto error = [&](std::string_view msg) {
+      return Status::InvalidArgument(
+          StrCat("query DSL line ", line_no, ": ", msg, " in '", line, "'"));
+    };
+
+    if (tokens[0] == "query") {
+      if (tokens.size() != 2) return error("expected 'query <name>'");
+      name = std::string(tokens[1]);
+    } else if (tokens[0] == "node") {
+      if (tokens.size() != 3) return error("expected 'node <id> <label>'");
+      if (vertex_names.count(std::string(tokens[1])) > 0) {
+        return error("duplicate node id");
+      }
+      vertex_names.emplace(std::string(tokens[1]),
+                           builder.AddVertex(tokens[2]));
+    } else if (tokens[0] == "edge") {
+      if (tokens.size() != 4) {
+        return error("expected 'edge <src> <dst> <label>'");
+      }
+      auto src = vertex_names.find(tokens[1]);
+      auto dst = vertex_names.find(tokens[2]);
+      if (src == vertex_names.end()) return error("unknown source node");
+      if (dst == vertex_names.end()) return error("unknown target node");
+      builder.AddEdge(src->second, dst->second, tokens[3]);
+    } else if (tokens[0] == "window") {
+      if (tokens.size() != 2) return error("expected 'window <ticks>'");
+      int64_t w = 0;
+      if (!ParseInt64(tokens[1], &w) || w <= 0) {
+        return error("window must be a positive integer");
+      }
+      if (saw_window) return error("duplicate window directive");
+      saw_window = true;
+      window = w;
+    } else {
+      return error("unknown directive");
+    }
+  }
+
+  SW_ASSIGN_OR_RETURN(QueryGraph graph, builder.Build(name));
+  return ParsedQuery{std::move(graph), window};
+}
+
+StatusOr<std::vector<ParsedQuery>> ParseQueryLibrary(std::string_view text,
+                                                     Interner* interner) {
+  // Split the file into blocks at each `query` directive, keeping a blank
+  // prefix per block so ParseQueryText reports file-global line numbers.
+  struct Block {
+    std::string padded_text;
+  };
+  std::vector<Block> blocks;
+  int line_no = 0;
+  bool saw_content_before_first_query = false;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = StripWhitespace(raw_line);
+    const bool is_query_directive =
+        StartsWith(line, "query ") || line == "query";
+    if (is_query_directive) {
+      Block block;
+      block.padded_text.assign(static_cast<size_t>(line_no - 1), '\n');
+      blocks.push_back(std::move(block));
+    } else if (blocks.empty() && !line.empty() && line[0] != '#') {
+      saw_content_before_first_query = true;
+    }
+    if (!blocks.empty()) {
+      blocks.back().padded_text.append(raw_line);
+      blocks.back().padded_text.push_back('\n');
+    }
+  }
+  if (saw_content_before_first_query) {
+    return Status::InvalidArgument(
+        "query library: directives before the first 'query' block");
+  }
+  if (blocks.empty()) {
+    return Status::InvalidArgument("query library: no 'query' blocks");
+  }
+  std::vector<ParsedQuery> queries;
+  queries.reserve(blocks.size());
+  for (const Block& block : blocks) {
+    SW_ASSIGN_OR_RETURN(ParsedQuery parsed,
+                        ParseQueryText(block.padded_text, interner));
+    queries.push_back(std::move(parsed));
+  }
+  return queries;
+}
+
+}  // namespace streamworks

@@ -1,0 +1,147 @@
+#ifndef STREAMWORKS_GRAPH_QUERY_GRAPH_H_
+#define STREAMWORKS_GRAPH_QUERY_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamworks/common/bitset64.h"
+#include "streamworks/common/interner.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/common/types.h"
+
+namespace streamworks {
+
+/// A directed, labelled edge of a query graph.
+struct QueryEdge {
+  QueryVertexId src = 0;
+  QueryVertexId dst = 0;
+  LabelId label = kInvalidLabelId;
+};
+
+/// Occurrence of an edge at a vertex, from that vertex's point of view.
+struct QueryIncidence {
+  QueryEdgeId edge = 0;
+  QueryVertexId other = 0;  ///< The opposite endpoint.
+  bool out = false;         ///< True if the vertex is the edge's source.
+};
+
+/// Immutable pattern graph: a small connected directed multigraph whose
+/// vertices and edges carry interned type labels. Query graphs are built via
+/// QueryGraphBuilder (programmatic) or ParseQueryText (DSL) and validated at
+/// build time: connected, at least one edge, at most kMaxQuerySize vertices
+/// and edges (vertex and edge subsets are 64-bit masks everywhere downstream).
+class QueryGraph {
+ public:
+  int num_vertices() const { return static_cast<int>(vertex_labels_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  LabelId vertex_label(QueryVertexId v) const { return vertex_labels_[v]; }
+  const QueryEdge& edge(QueryEdgeId e) const { return edges_[e]; }
+  const std::vector<QueryEdge>& edges() const { return edges_; }
+
+  /// All edges incident to `v` (both directions), in edge-id order.
+  const std::vector<QueryIncidence>& incident(QueryVertexId v) const {
+    return incidence_[v];
+  }
+
+  /// Mask of vertices touched by any edge in `edge_set`.
+  Bitset64 VerticesOfEdges(Bitset64 edge_set) const;
+
+  /// Mask of all edges incident to any vertex in `vertex_set`.
+  Bitset64 EdgesTouchingVertices(Bitset64 vertex_set) const;
+
+  /// True if the subgraph induced by `edge_set` (with its endpoint vertices)
+  /// is connected. The empty set is considered connected.
+  bool IsEdgeSetConnected(Bitset64 edge_set) const;
+
+  /// Mask of every query edge, {0..num_edges-1}.
+  Bitset64 AllEdges() const { return Bitset64::FirstN(num_edges()); }
+  /// Mask of every query vertex.
+  Bitset64 AllVertices() const { return Bitset64::FirstN(num_vertices()); }
+
+  /// Human-readable rendering using `interner` to resolve label names.
+  std::string ToString(const Interner& interner) const;
+
+  /// Optional descriptive name ("smurf_ddos", "fig2_news", ...).
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class QueryGraphBuilder;
+
+  std::string name_;
+  std::vector<LabelId> vertex_labels_;
+  std::vector<QueryEdge> edges_;
+  std::vector<std::vector<QueryIncidence>> incidence_;
+};
+
+/// Incremental construction of a QueryGraph.
+///
+///   QueryGraphBuilder b(&interner);
+///   auto host = b.AddVertex("Host");
+///   auto ip = b.AddVertex("IP");
+///   b.AddEdge(host, ip, "hasIP");
+///   SW_ASSIGN_OR_RETURN(QueryGraph q, b.Build("my_query"));
+class QueryGraphBuilder {
+ public:
+  /// `interner` must outlive the builder; labels are interned through it.
+  explicit QueryGraphBuilder(Interner* interner) : interner_(interner) {}
+
+  /// Adds a vertex with the given type label and returns its id.
+  QueryVertexId AddVertex(std::string_view label);
+
+  /// Adds a directed edge src -> dst with the given type label.
+  QueryEdgeId AddEdge(QueryVertexId src, QueryVertexId dst,
+                      std::string_view label);
+
+  /// Validates and returns the graph: non-empty, connected, within
+  /// kMaxQuerySize, all edge endpoints in range.
+  StatusOr<QueryGraph> Build(std::string_view name = "") const;
+
+ private:
+  Interner* interner_;
+  std::vector<LabelId> vertex_labels_;
+  std::vector<QueryEdge> edges_;
+};
+
+/// A query parsed from the text DSL: the pattern plus its time window.
+struct ParsedQuery {
+  QueryGraph graph;
+  Timestamp window = kMaxTimestamp;
+};
+
+/// Parses the line-oriented query DSL:
+///
+///   # comment, blank lines ignored
+///   query smurf_ddos
+///   node a Attacker
+///   node b Amplifier
+///   edge a b icmpEchoReq
+///   window 3600
+///
+/// Vertex names are arbitrary identifiers local to the file; `window` is
+/// optional (defaults to unbounded). Returns InvalidArgument with a
+/// line-numbered message on any malformed input.
+StatusOr<ParsedQuery> ParseQueryText(std::string_view text,
+                                     Interner* interner);
+
+/// Parses a *query library*: one file holding several queries, each block
+/// opened by its `query <name>` line:
+///
+///   query port_scan
+///   node s Host
+///   ...
+///   window 30
+///
+///   query exfiltration
+///   ...
+///
+/// Every block must begin with a `query` directive (node ids are local to
+/// their block). Returns the queries in file order; errors carry the
+/// file-global line number.
+StatusOr<std::vector<ParsedQuery>> ParseQueryLibrary(std::string_view text,
+                                                     Interner* interner);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_GRAPH_QUERY_GRAPH_H_

@@ -1,0 +1,186 @@
+#include "streamworks/graph/random_graphs.h"
+
+#include <bit>
+#include <string>
+
+#include "streamworks/common/logging.h"
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+namespace {
+
+/// Interns "VL0".."VLn-1" / "EL0".."ELn-1" and returns the ids.
+std::vector<LabelId> InternNumberedLabels(Interner* interner,
+                                          std::string_view prefix, int n) {
+  std::vector<LabelId> ids;
+  ids.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(interner->Intern(StrCat(prefix, i)));
+  }
+  return ids;
+}
+
+/// Shared scaffolding: fixed per-vertex labels, per-edge Zipf labels,
+/// timestamps i / edges_per_tick.
+class StreamAssembler {
+ public:
+  StreamAssembler(const RandomStreamOptions& opt, Interner* interner)
+      : opt_(opt),
+        rng_(opt.seed),
+        vertex_labels_(InternNumberedLabels(interner, "VL",
+                                            opt.num_vertex_labels)),
+        edge_labels_(InternNumberedLabels(interner, "EL",
+                                          opt.num_edge_labels)),
+        vertex_label_sampler_(opt.num_vertex_labels, opt.vertex_label_skew),
+        edge_label_sampler_(opt.num_edge_labels, opt.edge_label_skew) {
+    SW_CHECK_GT(opt.num_vertices, 0);
+    SW_CHECK_GT(opt.num_vertex_labels, 0);
+    SW_CHECK_GT(opt.num_edge_labels, 0);
+    SW_CHECK_GT(opt.edges_per_tick, 0);
+    per_vertex_label_.reserve(opt.num_vertices);
+    for (int v = 0; v < opt.num_vertices; ++v) {
+      per_vertex_label_.push_back(
+          vertex_labels_[vertex_label_sampler_.Sample(rng_)]);
+    }
+  }
+
+  Rng& rng() { return rng_; }
+
+  StreamEdge MakeEdge(uint64_t src, uint64_t dst, int index) {
+    StreamEdge e;
+    e.src = src;
+    e.dst = dst;
+    e.src_label = per_vertex_label_[src];
+    e.dst_label = per_vertex_label_[dst];
+    e.edge_label = edge_labels_[edge_label_sampler_.Sample(rng_)];
+    e.ts = index / opt_.edges_per_tick;
+    return e;
+  }
+
+ private:
+  const RandomStreamOptions& opt_;
+  Rng rng_;
+  std::vector<LabelId> vertex_labels_;
+  std::vector<LabelId> edge_labels_;
+  ZipfSampler vertex_label_sampler_;
+  ZipfSampler edge_label_sampler_;
+  std::vector<LabelId> per_vertex_label_;
+};
+
+}  // namespace
+
+std::vector<StreamEdge> GenerateUniformStream(const RandomStreamOptions& opt,
+                                              Interner* interner) {
+  StreamAssembler assembler(opt, interner);
+  std::vector<StreamEdge> edges;
+  edges.reserve(opt.num_edges);
+  for (int i = 0; i < opt.num_edges; ++i) {
+    const uint64_t src = assembler.rng().NextBounded(opt.num_vertices);
+    const uint64_t dst = assembler.rng().NextBounded(opt.num_vertices);
+    edges.push_back(assembler.MakeEdge(src, dst, i));
+  }
+  return edges;
+}
+
+std::vector<StreamEdge> GeneratePreferentialStream(
+    const RandomStreamOptions& opt, Interner* interner) {
+  StreamAssembler assembler(opt, interner);
+  std::vector<StreamEdge> edges;
+  edges.reserve(opt.num_edges);
+  // Endpoint pool: every endpoint of every prior edge appears once, so a
+  // draw from the pool is degree-proportional; mix in a uniform draw with
+  // probability 0.25 so new vertices keep entering.
+  std::vector<uint64_t> pool;
+  pool.reserve(2 * opt.num_edges);
+  auto draw = [&]() -> uint64_t {
+    if (pool.empty() || assembler.rng().NextBool(0.25)) {
+      return assembler.rng().NextBounded(opt.num_vertices);
+    }
+    return pool[assembler.rng().NextBounded(pool.size())];
+  };
+  for (int i = 0; i < opt.num_edges; ++i) {
+    const uint64_t src = draw();
+    const uint64_t dst = draw();
+    edges.push_back(assembler.MakeEdge(src, dst, i));
+    pool.push_back(src);
+    pool.push_back(dst);
+  }
+  return edges;
+}
+
+std::vector<StreamEdge> GenerateRMatStream(const RandomStreamOptions& opt,
+                                           const RMatParams& params,
+                                           Interner* interner) {
+  SW_CHECK(params.a + params.b + params.c <= 1.0 + 1e-9)
+      << "RMAT quadrant probabilities exceed 1";
+  StreamAssembler assembler(opt, interner);
+  const int levels =
+      std::bit_width(static_cast<unsigned>(opt.num_vertices - 1));
+  std::vector<StreamEdge> edges;
+  edges.reserve(opt.num_edges);
+  for (int i = 0; i < opt.num_edges; ++i) {
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    do {
+      src = 0;
+      dst = 0;
+      for (int level = 0; level < levels; ++level) {
+        const double p = assembler.rng().NextDouble();
+        src <<= 1;
+        dst <<= 1;
+        if (p < params.a) {
+          // top-left quadrant: no bits set
+        } else if (p < params.a + params.b) {
+          dst |= 1;
+        } else if (p < params.a + params.b + params.c) {
+          src |= 1;
+        } else {
+          src |= 1;
+          dst |= 1;
+        }
+      }
+    } while (src >= static_cast<uint64_t>(opt.num_vertices) ||
+             dst >= static_cast<uint64_t>(opt.num_vertices));
+    edges.push_back(assembler.MakeEdge(src, dst, i));
+  }
+  return edges;
+}
+
+StatusOr<QueryGraph> GenerateRandomConnectedQuery(Rng& rng, int num_vertices,
+                                                  int num_edges,
+                                                  int num_vertex_labels,
+                                                  int num_edge_labels,
+                                                  Interner* interner) {
+  if (num_vertices < 2 || num_edges < num_vertices - 1) {
+    return Status::InvalidArgument(
+        "need >= 2 vertices and enough edges for a spanning tree");
+  }
+  QueryGraphBuilder builder(interner);
+  for (int v = 0; v < num_vertices; ++v) {
+    builder.AddVertex(
+        StrCat("VL", rng.NextBounded(num_vertex_labels)));
+  }
+  // Random spanning tree first (guarantees connectivity), then extras.
+  for (int v = 1; v < num_vertices; ++v) {
+    const auto other =
+        static_cast<QueryVertexId>(rng.NextBounded(v));
+    const auto self = static_cast<QueryVertexId>(v);
+    const std::string label = StrCat("EL", rng.NextBounded(num_edge_labels));
+    if (rng.NextBool()) {
+      builder.AddEdge(self, other, label);
+    } else {
+      builder.AddEdge(other, self, label);
+    }
+  }
+  for (int e = num_vertices - 1; e < num_edges; ++e) {
+    const auto src =
+        static_cast<QueryVertexId>(rng.NextBounded(num_vertices));
+    const auto dst =
+        static_cast<QueryVertexId>(rng.NextBounded(num_vertices));
+    builder.AddEdge(src, dst, StrCat("EL", rng.NextBounded(num_edge_labels)));
+  }
+  return builder.Build(StrCat("random_q", rng.NextBounded(1u << 30)));
+}
+
+}  // namespace streamworks

@@ -1,0 +1,69 @@
+#ifndef STREAMWORKS_GRAPH_RANDOM_GRAPHS_H_
+#define STREAMWORKS_GRAPH_RANDOM_GRAPHS_H_
+
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/random.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/graph/stream_edge.h"
+
+namespace streamworks {
+
+/// Parameters shared by the random stream generators. Vertex labels are
+/// named "VL0".."VL<k-1>" and edge labels "EL0".."EL<k-1>"; each vertex gets
+/// a fixed Zipf-distributed label at creation, and each edge an independent
+/// Zipf-distributed label, so the same Interner and label counts let random
+/// queries (GenerateRandomConnectedQuery) match random streams.
+struct RandomStreamOptions {
+  uint64_t seed = 1;
+  int num_vertices = 100;
+  int num_edges = 1000;
+  int num_vertex_labels = 3;
+  int num_edge_labels = 4;
+  /// Zipf exponents for label popularity; 0 = uniform.
+  double vertex_label_skew = 0.8;
+  double edge_label_skew = 0.8;
+  /// Edges sharing one timestamp tick; timestamps are i / edges_per_tick.
+  int edges_per_tick = 10;
+};
+
+/// Uniform (Erdős–Rényi style) stream: each edge picks both endpoints
+/// uniformly at random. Self-loops are permitted (they occur in real flow
+/// data) but rare.
+std::vector<StreamEdge> GenerateUniformStream(const RandomStreamOptions& opt,
+                                              Interner* interner);
+
+/// Preferential-attachment style stream: endpoints are drawn with
+/// probability proportional to (current degree + 1), producing the heavy
+/// degree skew of social/news graphs.
+std::vector<StreamEdge> GeneratePreferentialStream(
+    const RandomStreamOptions& opt, Interner* interner);
+
+/// R-MAT recursive quadrant probabilities; d is implicitly 1 - a - b - c.
+struct RMatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+};
+
+/// R-MAT stream over a 2^ceil(log2(num_vertices)) id space (ids are clipped
+/// to num_vertices by rejection), matching internet-topology skew.
+std::vector<StreamEdge> GenerateRMatStream(const RandomStreamOptions& opt,
+                                           const RMatParams& params,
+                                           Interner* interner);
+
+/// Generates a random *connected* query graph with `num_vertices` vertices
+/// and `num_edges >= num_vertices - 1` edges over the same "VLi"/"ELi" label
+/// universe as the stream generators (labels drawn uniformly). Used by the
+/// property-test and ablation sweeps.
+StatusOr<QueryGraph> GenerateRandomConnectedQuery(Rng& rng, int num_vertices,
+                                                  int num_edges,
+                                                  int num_vertex_labels,
+                                                  int num_edge_labels,
+                                                  Interner* interner);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_GRAPH_RANDOM_GRAPHS_H_

@@ -1,0 +1,37 @@
+#ifndef STREAMWORKS_GRAPH_STREAM_EDGE_H_
+#define STREAMWORKS_GRAPH_STREAM_EDGE_H_
+
+#include <vector>
+
+#include "streamworks/common/types.h"
+
+namespace streamworks {
+
+/// One record of the input stream: a typed edge between two externally
+/// identified, typed vertices, carrying an event timestamp.
+///
+/// Vertex labels ride along on every edge so that the data graph can create
+/// vertices on first sight without a separate vertex stream (the convention
+/// of netflow- and news-style feeds, where entities are implied by records).
+struct StreamEdge {
+  ExternalVertexId src = 0;
+  ExternalVertexId dst = 0;
+  LabelId src_label = kInvalidLabelId;
+  LabelId dst_label = kInvalidLabelId;
+  LabelId edge_label = kInvalidLabelId;
+  Timestamp ts = 0;
+
+  friend bool operator==(const StreamEdge& a, const StreamEdge& b) {
+    return a.src == b.src && a.dst == b.dst && a.src_label == b.src_label &&
+           a.dst_label == b.dst_label && a.edge_label == b.edge_label &&
+           a.ts == b.ts;
+  }
+};
+
+/// A timestep's worth of edges (the paper's E_{k+1}). Edges inside a batch
+/// are processed in order; timestamps are non-decreasing across the stream.
+using EdgeBatch = std::vector<StreamEdge>;
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_GRAPH_STREAM_EDGE_H_

@@ -1,0 +1,176 @@
+#include "streamworks/match/backtrack.h"
+
+#include <algorithm>
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+std::vector<QueryEdgeId> ConnectedEdgeOrder(const QueryGraph& query,
+                                            Bitset64 edge_set,
+                                            QueryEdgeId first) {
+  SW_DCHECK(edge_set.Contains(first));
+  std::vector<QueryEdgeId> order;
+  order.reserve(edge_set.Count());
+  order.push_back(first);
+  Bitset64 placed_vertices =
+      query.VerticesOfEdges(Bitset64::Single(first));
+  Bitset64 remaining = edge_set - Bitset64::Single(first);
+  while (!remaining.Empty()) {
+    // Prefer an edge with both endpoints placed (its candidate check is a
+    // cheap existence test); otherwise any edge touching the frontier.
+    int chosen = -1;
+    for (int e : remaining) {
+      const QueryEdge& qe = query.edge(static_cast<QueryEdgeId>(e));
+      const bool src_in = placed_vertices.Contains(qe.src);
+      const bool dst_in = placed_vertices.Contains(qe.dst);
+      if (src_in && dst_in) {
+        chosen = e;
+        break;
+      }
+      if (chosen < 0 && (src_in || dst_in)) chosen = e;
+    }
+    SW_CHECK_GE(chosen, 0) << "ConnectedEdgeOrder on a disconnected set";
+    const QueryEdge& qe = query.edge(static_cast<QueryEdgeId>(chosen));
+    placed_vertices.Add(qe.src);
+    placed_vertices.Add(qe.dst);
+    remaining.Remove(chosen);
+    order.push_back(static_cast<QueryEdgeId>(chosen));
+  }
+  return order;
+}
+
+bool EdgeLabelsMatch(const DynamicGraph& graph, const QueryGraph& query,
+                     QueryEdgeId qe, const EdgeRecord& record) {
+  const QueryEdge& qedge = query.edge(qe);
+  return record.label == qedge.label &&
+         graph.vertex_label(record.src) == query.vertex_label(qedge.src) &&
+         graph.vertex_label(record.dst) == query.vertex_label(qedge.dst);
+}
+
+bool TryBindEdge(const DynamicGraph& graph, const QueryGraph& query,
+                 QueryEdgeId qe, EdgeId de, const EdgeRecord& record,
+                 Timestamp window, Match* partial, BindUndo* undo) {
+  const QueryEdge& qedge = query.edge(qe);
+  if (!EdgeLabelsMatch(graph, query, qe, record)) return false;
+  if (partial->UsesDataEdge(de)) return false;
+  if (!partial->FitsWindowWith(record.ts, window)) return false;
+  if (qedge.src == qedge.dst && record.src != record.dst) return false;
+
+  bool bind_src = false;
+  if (partial->HasVertex(qedge.src)) {
+    if (partial->vertex(qedge.src) != record.src) return false;
+  } else {
+    if (partial->UsesDataVertex(record.src)) return false;
+    bind_src = true;
+  }
+
+  bool bind_dst = false;
+  if (partial->HasVertex(qedge.dst)) {
+    if (partial->vertex(qedge.dst) != record.dst) return false;
+  } else if (qedge.dst != qedge.src) {
+    if (partial->UsesDataVertex(record.dst)) return false;
+    // Two distinct unbound query vertices must not land on one data vertex.
+    if (bind_src && record.dst == record.src) return false;
+    bind_dst = true;
+  }
+
+  if (bind_src) partial->BindVertex(qedge.src, record.src);
+  if (bind_dst) partial->BindVertex(qedge.dst, record.dst);
+  partial->BindEdge(qe, de, record.ts);
+  undo->bound_src = bind_src;
+  undo->bound_dst = bind_dst;
+  return true;
+}
+
+void UndoBindEdge(const QueryGraph& query, QueryEdgeId qe, BindUndo undo,
+                  Match* partial) {
+  const QueryEdge& qedge = query.edge(qe);
+  partial->UnbindEdge(qe);
+  if (undo.bound_src) partial->UnbindVertex(qedge.src);
+  if (undo.bound_dst) partial->UnbindVertex(qedge.dst);
+}
+
+namespace {
+
+/// Lowest timestamp a candidate may carry given the limits and the span
+/// already committed in `partial`.
+Timestamp CandidateMinTs(const BacktrackLimits& limits,
+                         const Match& partial) {
+  Timestamp lo = limits.min_ts;
+  if (limits.window != kMaxTimestamp && !partial.bound_edges().Empty()) {
+    lo = std::max(lo, partial.max_ts() - limits.window + 1);
+  }
+  return lo;
+}
+
+/// Highest timestamp a candidate may carry.
+Timestamp CandidateMaxTs(const BacktrackLimits& limits,
+                         const Match& partial) {
+  if (limits.window == kMaxTimestamp || partial.bound_edges().Empty()) {
+    return kMaxTimestamp;
+  }
+  const Timestamp min_ts = partial.min_ts();
+  if (min_ts > kMaxTimestamp - limits.window) return kMaxTimestamp;
+  return min_ts + limits.window - 1;
+}
+
+/// First index in the ts-ascending adjacency span with ts >= lo.
+size_t LowerBoundByTs(std::span<const AdjEntry> adj, Timestamp lo) {
+  return static_cast<size_t>(
+      std::lower_bound(adj.begin(), adj.end(), lo,
+                       [](const AdjEntry& e, Timestamp t) {
+                         return e.ts < t;
+                       }) -
+      adj.begin());
+}
+
+}  // namespace
+
+bool ExtendMatch(const DynamicGraph& graph, const QueryGraph& query,
+                 const std::vector<QueryEdgeId>& order, size_t from,
+                 const BacktrackLimits& limits, Match* partial,
+                 const MatchSink& emit) {
+  if (from == order.size()) return emit(*partial);
+
+  const QueryEdgeId qe = order[from];
+  const QueryEdge& qedge = query.edge(qe);
+  const bool src_bound = partial->HasVertex(qedge.src);
+  const bool dst_bound = partial->HasVertex(qedge.dst);
+  SW_DCHECK(src_bound || dst_bound)
+      << "expansion order reached an edge with no bound endpoint";
+
+  const Timestamp lo = CandidateMinTs(limits, *partial);
+  const Timestamp hi = CandidateMaxTs(limits, *partial);
+
+  // Enumerate from the bound endpoint's adjacency; when both are bound,
+  // still scan one side — TryBindEdge enforces the other endpoint.
+  std::span<const AdjEntry> adj =
+      src_bound ? graph.OutEdges(partial->vertex(qedge.src))
+                : graph.InEdges(partial->vertex(qedge.dst));
+
+  for (size_t i = LowerBoundByTs(adj, lo); i < adj.size(); ++i) {
+    const AdjEntry& entry = adj[i];
+    if (entry.ts > hi) break;  // ts-sorted: nothing later can fit
+    if (entry.label != qedge.label) continue;
+    if (entry.edge >= limits.max_edge_id) continue;
+    const EdgeRecord record =
+        src_bound
+            ? EdgeRecord{partial->vertex(qedge.src), entry.other,
+                         entry.label, entry.ts}
+            : EdgeRecord{entry.other, partial->vertex(qedge.dst),
+                         entry.label, entry.ts};
+    BindUndo undo;
+    if (!TryBindEdge(graph, query, qe, entry.edge, record, limits.window,
+                     partial, &undo)) {
+      continue;
+    }
+    const bool keep_going =
+        ExtendMatch(graph, query, order, from + 1, limits, partial, emit);
+    UndoBindEdge(query, qe, undo, partial);
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace streamworks

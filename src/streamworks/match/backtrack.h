@@ -1,0 +1,77 @@
+#ifndef STREAMWORKS_MATCH_BACKTRACK_H_
+#define STREAMWORKS_MATCH_BACKTRACK_H_
+
+#include <functional>
+#include <vector>
+
+#include "streamworks/common/bitset64.h"
+#include "streamworks/common/types.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/match/match.h"
+
+namespace streamworks {
+
+/// Receives each discovered match; return false to stop the enumeration.
+using MatchSink = std::function<bool(const Match&)>;
+
+/// Candidate-edge constraints shared by the batch matcher and the
+/// incremental local search.
+struct BacktrackLimits {
+  /// Strict span constraint: every (partial) match keeps max-min < window.
+  Timestamp window = kMaxTimestamp;
+  /// Candidates must have ts >= min_ts (window-graph pruning).
+  Timestamp min_ts = kMinTimestamp;
+  /// Candidates must have id < max_edge_id. Local search sets this to the
+  /// anchor's id so that every non-anchor edge strictly precedes the anchor
+  /// — the rule that makes each mapping get discovered exactly once, when
+  /// its newest edge arrives (DESIGN.md §3.2).
+  EdgeId max_edge_id = kInvalidEdgeId;
+};
+
+/// Orders the edges of `edge_set` so that order[0] == first and every later
+/// edge shares at least one vertex with the union of its predecessors.
+/// `edge_set` must be connected (QueryGraph::IsEdgeSetConnected) and contain
+/// `first`. This is the expansion order ExtendMatch consumes.
+std::vector<QueryEdgeId> ConnectedEdgeOrder(const QueryGraph& query,
+                                            Bitset64 edge_set,
+                                            QueryEdgeId first);
+
+/// Core backtracking extension: maps order[from..] one edge at a time,
+/// enumerating candidate data edges from the adjacency of an already-bound
+/// endpoint, under `limits` plus label equality, vertex/edge injectivity and
+/// the strict window. `partial` must already bind every edge of
+/// order[0..from) including endpoints. Emits each complete extension;
+/// `partial` is restored before returning. Returns false iff the sink
+/// requested a stop.
+bool ExtendMatch(const DynamicGraph& graph, const QueryGraph& query,
+                 const std::vector<QueryEdgeId>& order, size_t from,
+                 const BacktrackLimits& limits, Match* partial,
+                 const MatchSink& emit);
+
+/// True if data edge `record` can serve as query edge `qe`: edge label and
+/// both endpoint vertex labels match.
+bool EdgeLabelsMatch(const DynamicGraph& graph, const QueryGraph& query,
+                     QueryEdgeId qe, const EdgeRecord& record);
+
+/// Binds query edge `qe` to data edge `de` (with `record`'s endpoints and
+/// timestamp) in `partial`, if the binding is consistent: labels match,
+/// endpoints agree with existing bindings or are fresh and injective, self
+/// loops line up, the window holds, and `de` is unused. Returns false and
+/// leaves `partial` untouched if any check fails; on success the caller must
+/// eventually call UnbindAnchor with the returned undo record.
+struct BindUndo {
+  bool bound_src = false;
+  bool bound_dst = false;
+};
+bool TryBindEdge(const DynamicGraph& graph, const QueryGraph& query,
+                 QueryEdgeId qe, EdgeId de, const EdgeRecord& record,
+                 Timestamp window, Match* partial, BindUndo* undo);
+
+/// Reverses a successful TryBindEdge.
+void UndoBindEdge(const QueryGraph& query, QueryEdgeId qe, BindUndo undo,
+                  Match* partial);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_MATCH_BACKTRACK_H_

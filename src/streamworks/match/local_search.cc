@@ -1,0 +1,46 @@
+#include "streamworks/match/local_search.h"
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+bool FindAnchoredMatches(const DynamicGraph& graph, const QueryGraph& query,
+                         const std::vector<QueryEdgeId>& order,
+                         EdgeId anchor_id, Timestamp window,
+                         const MatchSink& sink) {
+  SW_DCHECK(!order.empty());
+  const EdgeRecord& record = graph.edge_record(anchor_id);
+
+  Match partial(query);
+  BindUndo undo;
+  if (!TryBindEdge(graph, query, order[0], anchor_id, record, window,
+                   &partial, &undo)) {
+    return true;  // anchor does not fit this slot; nothing to enumerate
+  }
+  BacktrackLimits limits;
+  limits.window = window;
+  limits.max_edge_id = anchor_id;  // non-anchor edges strictly older
+  const bool keep_going =
+      ExtendMatch(graph, query, order, 1, limits, &partial, sink);
+  UndoBindEdge(query, order[0], undo, &partial);
+  return keep_going;
+}
+
+std::vector<Match> FindLeafMatches(const DynamicGraph& graph,
+                                   const QueryGraph& query,
+                                   Bitset64 leaf_edges, EdgeId anchor_id,
+                                   Timestamp window) {
+  std::vector<Match> out;
+  for (int qe : leaf_edges) {
+    const std::vector<QueryEdgeId> order = ConnectedEdgeOrder(
+        query, leaf_edges, static_cast<QueryEdgeId>(qe));
+    FindAnchoredMatches(graph, query, order, anchor_id, window,
+                        [&](const Match& m) {
+                          out.push_back(m);
+                          return true;
+                        });
+  }
+  return out;
+}
+
+}  // namespace streamworks

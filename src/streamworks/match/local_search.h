@@ -1,0 +1,44 @@
+#ifndef STREAMWORKS_MATCH_LOCAL_SEARCH_H_
+#define STREAMWORKS_MATCH_LOCAL_SEARCH_H_
+
+#include <vector>
+
+#include "streamworks/common/bitset64.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/match/backtrack.h"
+#include "streamworks/match/match.h"
+
+namespace streamworks {
+
+/// The paper's *local search* (§4.1/§4.2): a subgraph search performed in
+/// the neighbourhood of one newly arrived data edge for a small query
+/// subgraph (a search primitive / SJ-Tree leaf).
+///
+/// The discipline that makes incremental search emit each mapping exactly
+/// once: the anchor edge is the *newest* edge of the mapping, so every
+/// non-anchor candidate is restricted to id < anchor_id. A mapping's
+/// maximal edge id is unique, so exactly one (arriving edge, anchor slot)
+/// pair produces it.
+
+/// Enumerates matches of the sub-pattern `order` (a ConnectedEdgeOrder of a
+/// leaf's edge set) where query edge order[0] is mapped to the data edge
+/// `anchor_id`. `window` is the query's strict time window. Returns false
+/// iff the sink stopped the enumeration.
+bool FindAnchoredMatches(const DynamicGraph& graph, const QueryGraph& query,
+                         const std::vector<QueryEdgeId>& order,
+                         EdgeId anchor_id, Timestamp window,
+                         const MatchSink& sink);
+
+/// Convenience wrapper: tries every edge of `leaf_edges` as the anchor slot
+/// for data edge `anchor_id` and collects all resulting leaf matches. The
+/// engine proper precomputes the per-anchor-slot orders instead of calling
+/// this (see sjtree/sj_tree.h), but tests and the naive baseline use it.
+std::vector<Match> FindLeafMatches(const DynamicGraph& graph,
+                                   const QueryGraph& query,
+                                   Bitset64 leaf_edges, EdgeId anchor_id,
+                                   Timestamp window);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_MATCH_LOCAL_SEARCH_H_

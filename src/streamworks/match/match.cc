@@ -1,0 +1,175 @@
+#include "streamworks/match/match.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "streamworks/common/hash.h"
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+void Match::BindVertex(QueryVertexId qv, VertexId dv) {
+  SW_DCHECK(vertex_map_[qv] == kInvalidVertexId || vertex_map_[qv] == dv)
+      << "rebinding query vertex to a different data vertex";
+  vertex_map_[qv] = dv;
+  bound_vertices_.Add(qv);
+}
+
+void Match::UnbindVertex(QueryVertexId qv) {
+  vertex_map_[qv] = kInvalidVertexId;
+  bound_vertices_.Remove(qv);
+}
+
+bool Match::UsesDataVertex(VertexId dv) const {
+  for (int qv : bound_vertices_) {
+    if (vertex_map_[qv] == dv) return true;
+  }
+  return false;
+}
+
+void Match::BindEdge(QueryEdgeId qe, EdgeId de, Timestamp ts) {
+  SW_DCHECK(!HasEdge(qe)) << "query edge already bound";
+  if (ts_of_edge_.size() < edge_map_.size()) {
+    ts_of_edge_.resize(edge_map_.size(), 0);
+  }
+  edge_map_[qe] = de;
+  ts_of_edge_[qe] = ts;
+  bound_edges_.Add(qe);
+  min_ts_ = std::min(min_ts_, ts);
+  max_ts_ = std::max(max_ts_, ts);
+}
+
+void Match::UnbindEdge(QueryEdgeId qe) {
+  SW_DCHECK(HasEdge(qe));
+  edge_map_[qe] = kInvalidEdgeId;
+  bound_edges_.Remove(qe);
+  min_ts_ = kMaxTimestamp;
+  max_ts_ = kMinTimestamp;
+  for (int e : bound_edges_) {
+    min_ts_ = std::min(min_ts_, ts_of_edge_[e]);
+    max_ts_ = std::max(max_ts_, ts_of_edge_[e]);
+  }
+}
+
+bool Match::UsesDataEdge(EdgeId de) const {
+  for (int qe : bound_edges_) {
+    if (edge_map_[qe] == de) return true;
+  }
+  return false;
+}
+
+Timestamp Match::min_ts() const {
+  SW_DCHECK(!bound_edges_.Empty());
+  return min_ts_;
+}
+
+Timestamp Match::max_ts() const {
+  SW_DCHECK(!bound_edges_.Empty());
+  return max_ts_;
+}
+
+bool Match::FitsWindowWith(Timestamp ts, Timestamp window) const {
+  if (bound_edges_.Empty()) return true;
+  const Timestamp lo = std::min(min_ts_, ts);
+  const Timestamp hi = std::max(max_ts_, ts);
+  return hi - lo < window;
+}
+
+EdgeId Match::MaxDataEdgeId() const {
+  SW_DCHECK(!bound_edges_.Empty());
+  EdgeId max_id = 0;
+  for (int qe : bound_edges_) {
+    max_id = std::max(max_id, edge_map_[qe]);
+  }
+  return max_id;
+}
+
+uint64_t Match::MappingSignature() const {
+  // Ordered fold over ascending query ids: equal mappings hash equal.
+  uint64_t h = 0x5741d8a3c5u;
+  for (int qv : bound_vertices_) {
+    h = HashCombine(h, (static_cast<uint64_t>(qv) << 32) ^ vertex_map_[qv]);
+  }
+  for (int qe : bound_edges_) {
+    h = HashCombine(h, (static_cast<uint64_t>(qe + 64) << 32) ^
+                           Mix64(edge_map_[qe]));
+  }
+  return h;
+}
+
+uint64_t Match::EdgeSetSignature() const {
+  // XOR of per-edge hashes: order-independent over the data edge *set*.
+  uint64_t h = Mix64(static_cast<uint64_t>(bound_edges_.Count()) + 1);
+  for (int qe : bound_edges_) {
+    h ^= Mix64(edge_map_[qe] + 0x9e37u);
+  }
+  return h;
+}
+
+Match Match::Union(const Match& a, const Match& b) {
+  SW_DCHECK(!a.bound_edges().Intersects(b.bound_edges()))
+      << "joining matches with overlapping query edges";
+  Match out = a;
+  for (int qv : b.bound_vertices_) {
+    out.BindVertex(static_cast<QueryVertexId>(qv), b.vertex_map_[qv]);
+  }
+  for (int qe : b.bound_edges_) {
+    out.BindEdge(static_cast<QueryEdgeId>(qe), b.edge_map_[qe],
+                 b.ts_of_edge_[qe]);
+  }
+  return out;
+}
+
+std::string Match::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int qv : bound_vertices_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "v" << qv << "->" << vertex_map_[qv];
+  }
+  os << " | ";
+  first = true;
+  for (int qe : bound_edges_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "e" << qe << "->#" << edge_map_[qe] << "@" << ts_of_edge_[qe];
+  }
+  os << "}";
+  if (!bound_edges_.Empty()) os << " span=" << Span();
+  return os.str();
+}
+
+bool JoinCompatible(const Match& a, const Match& b, Timestamp window) {
+  if (a.bound_edges().Intersects(b.bound_edges())) return false;
+  if (a.bound_edges().Empty() || b.bound_edges().Empty()) return false;
+
+  // Combined time span must respect the strict window.
+  const Timestamp lo = std::min(a.min_ts(), b.min_ts());
+  const Timestamp hi = std::max(a.max_ts(), b.max_ts());
+  if (hi - lo >= window) return false;
+
+  // Shared query vertices must agree; exclusive ones must stay injective.
+  const Bitset64 shared = a.bound_vertices() & b.bound_vertices();
+  for (int qv : shared) {
+    if (a.vertex(static_cast<QueryVertexId>(qv)) !=
+        b.vertex(static_cast<QueryVertexId>(qv))) {
+      return false;
+    }
+  }
+  for (int qv : b.bound_vertices() - shared) {
+    if (a.UsesDataVertex(b.vertex(static_cast<QueryVertexId>(qv)))) {
+      return false;
+    }
+  }
+
+  // No data edge may serve two query edges (parallel data edges are
+  // distinct, but the same data edge must not be reused).
+  for (int qe : b.bound_edges()) {
+    if (a.UsesDataEdge(b.edge(static_cast<QueryEdgeId>(qe)))) return false;
+  }
+  return true;
+}
+
+}  // namespace streamworks

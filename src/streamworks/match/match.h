@@ -1,0 +1,124 @@
+#ifndef STREAMWORKS_MATCH_MATCH_H_
+#define STREAMWORKS_MATCH_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "streamworks/common/bitset64.h"
+#include "streamworks/common/types.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+
+namespace streamworks {
+
+/// A (partial) match: an injective mapping from query vertices to data
+/// vertices and from query edges to data edges (paper §2.1; Property 3's
+/// match elements). A Match is sized for its whole query graph; the subset
+/// of bound edges identifies which SJ-Tree node it belongs to.
+///
+/// Matches are small value types (queries have <= 64 vertices/edges, and in
+/// practice < 10) and are copied freely during backtracking and joins.
+class Match {
+ public:
+  Match() = default;
+
+  /// An empty match shaped for `query`: nothing bound.
+  explicit Match(const QueryGraph& query)
+      : vertex_map_(query.num_vertices(), kInvalidVertexId),
+        edge_map_(query.num_edges(), kInvalidEdgeId) {}
+
+  // --- Vertex bindings ----------------------------------------------------
+  bool HasVertex(QueryVertexId qv) const {
+    return vertex_map_[qv] != kInvalidVertexId;
+  }
+  VertexId vertex(QueryVertexId qv) const { return vertex_map_[qv]; }
+
+  /// Binds query vertex `qv` to data vertex `dv`. Rebinding to a different
+  /// data vertex is a programming error (checked).
+  void BindVertex(QueryVertexId qv, VertexId dv);
+  /// Removes the binding of `qv` (backtracking).
+  void UnbindVertex(QueryVertexId qv);
+
+  /// True if some query vertex is already mapped to data vertex `dv`.
+  bool UsesDataVertex(VertexId dv) const;
+
+  // --- Edge bindings -------------------------------------------------------
+  bool HasEdge(QueryEdgeId qe) const {
+    return edge_map_[qe] != kInvalidEdgeId;
+  }
+  EdgeId edge(QueryEdgeId qe) const { return edge_map_[qe]; }
+
+  /// Binds query edge `qe` to data edge `de` with timestamp `ts`, updating
+  /// the match's time span. Does not bind endpoints; callers bind vertices
+  /// explicitly (they may already be bound).
+  void BindEdge(QueryEdgeId qe, EdgeId de, Timestamp ts);
+  /// Removes the binding of `qe`. The time span is recomputed from the
+  /// remaining bound edges' `ts` values in `ts_of_edge_`.
+  void UnbindEdge(QueryEdgeId qe);
+
+  bool UsesDataEdge(EdgeId de) const;
+
+  // --- Shape and time span --------------------------------------------------
+  Bitset64 bound_edges() const { return bound_edges_; }
+  Bitset64 bound_vertices() const { return bound_vertices_; }
+  int num_bound_edges() const { return bound_edges_.Count(); }
+
+  /// Earliest / latest timestamp over bound edges. Undefined (checked) when
+  /// no edge is bound.
+  Timestamp min_ts() const;
+  Timestamp max_ts() const;
+  /// max_ts - min_ts; 0 when a single edge is bound.
+  Timestamp Span() const { return max_ts() - min_ts(); }
+
+  /// True if binding an edge with timestamp `ts` keeps the span < `window`.
+  bool FitsWindowWith(Timestamp ts, Timestamp window) const;
+
+  // --- Identity ---------------------------------------------------------------
+  /// Order-independent 64-bit signature of the complete mapping (vertex and
+  /// edge assignments). Equal mappings always collide; unequal mappings
+  /// collide with probability ~2^-64. Used for oracle set comparison.
+  uint64_t MappingSignature() const;
+
+  /// Signature of just the set of bound data edges (ignores which query
+  /// edge maps where) — identifies the data subgraph for deduplication of
+  /// automorphic images.
+  uint64_t EdgeSetSignature() const;
+
+  /// Largest bound data edge id — the edge whose arrival completed this
+  /// match (edge ids are arrival sequence numbers). Undefined (checked)
+  /// when no edge is bound.
+  EdgeId MaxDataEdgeId() const;
+
+  /// Exact equality of the two mappings (not just signatures).
+  friend bool operator==(const Match& a, const Match& b) {
+    return a.vertex_map_ == b.vertex_map_ && a.edge_map_ == b.edge_map_;
+  }
+
+  /// Merges two matches of the same query with disjoint bound edge sets and
+  /// consistent vertex bindings (the SJ-Tree join, Property 2). The caller
+  /// must have validated compatibility (JoinCompatible below).
+  static Match Union(const Match& a, const Match& b);
+
+  /// Debug rendering: "{v0->17, v1->4 | e0->#123@5, ...} span=..".
+  std::string ToString() const;
+
+ private:
+  std::vector<VertexId> vertex_map_;
+  std::vector<EdgeId> edge_map_;
+  std::vector<Timestamp> ts_of_edge_;  // parallel to edge_map_, lazily sized
+  Bitset64 bound_vertices_;
+  Bitset64 bound_edges_;
+  Timestamp min_ts_ = kMaxTimestamp;
+  Timestamp max_ts_ = kMinTimestamp;
+};
+
+/// Validates that `a` and `b` can be joined into one consistent mapping:
+/// disjoint bound query-edge sets, agreeing data vertices on shared query
+/// vertices, global vertex injectivity (distinct query vertices never share
+/// a data vertex), edge injectivity (no data edge bound twice), and combined
+/// time span < `window`.
+bool JoinCompatible(const Match& a, const Match& b, Timestamp window);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_MATCH_MATCH_H_

@@ -1,0 +1,85 @@
+#include "streamworks/match/subgraph_iso.h"
+
+#include <algorithm>
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+namespace {
+
+/// Binary search over the id-contiguous, ts-ascending edge store: smallest
+/// stored id whose record has ts >= min_ts.
+EdgeId FirstStoredEdgeWithTsAtLeast(const DynamicGraph& graph,
+                                    Timestamp min_ts) {
+  EdgeId lo = graph.first_stored_edge_id();
+  EdgeId hi = graph.next_edge_id();
+  while (lo < hi) {
+    const EdgeId mid = lo + (hi - lo) / 2;
+    if (graph.edge_record(mid).ts < min_ts) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+void ForEachMatch(const DynamicGraph& graph, const QueryGraph& query,
+                  const IsoOptions& options, const MatchSink& sink) {
+  SW_CHECK_GT(query.num_edges(), 0);
+  if (graph.num_stored_edges() == 0) return;
+
+  const std::vector<QueryEdgeId> order =
+      ConnectedEdgeOrder(query, query.AllEdges(), /*first=*/0);
+  BacktrackLimits limits;
+  limits.window = options.window;
+  limits.min_ts = options.min_ts;
+  limits.max_edge_id = options.max_edge_id;
+
+  size_t emitted = 0;
+  const MatchSink counting_sink = [&](const Match& m) {
+    if (!sink(m)) return false;
+    return ++emitted < options.max_matches;
+  };
+
+  // Anchor the first query edge on every eligible stored edge; ExtendMatch
+  // enumerates the rest. Each mapping is produced exactly once because the
+  // anchor slot is a fixed query edge.
+  const EdgeId begin = options.min_ts == kMinTimestamp
+                           ? graph.first_stored_edge_id()
+                           : FirstStoredEdgeWithTsAtLeast(graph,
+                                                          options.min_ts);
+  const EdgeId end = options.max_edge_id == kInvalidEdgeId
+                         ? graph.next_edge_id()
+                         : std::min(graph.next_edge_id(),
+                                    options.max_edge_id);
+  Match partial(query);
+  for (EdgeId anchor = begin; anchor < end; ++anchor) {
+    const EdgeRecord& record = graph.edge_record(anchor);
+    BindUndo undo;
+    if (!TryBindEdge(graph, query, order[0], anchor, record, options.window,
+                     &partial, &undo)) {
+      continue;
+    }
+    const bool keep_going =
+        ExtendMatch(graph, query, order, 1, limits, &partial, counting_sink);
+    UndoBindEdge(query, order[0], undo, &partial);
+    if (!keep_going) return;
+  }
+}
+
+std::vector<Match> FindAllMatches(const DynamicGraph& graph,
+                                  const QueryGraph& query,
+                                  const IsoOptions& options) {
+  std::vector<Match> out;
+  ForEachMatch(graph, query, options, [&](const Match& m) {
+    out.push_back(m);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace streamworks

@@ -1,0 +1,44 @@
+#ifndef STREAMWORKS_MATCH_SUBGRAPH_ISO_H_
+#define STREAMWORKS_MATCH_SUBGRAPH_ISO_H_
+
+#include <vector>
+
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/match/backtrack.h"
+#include "streamworks/match/match.h"
+
+namespace streamworks {
+
+/// Options for the batch subgraph-isomorphism search.
+struct IsoOptions {
+  /// Strict match-span constraint: τ(match) < window.
+  Timestamp window = kMaxTimestamp;
+  /// Only data edges with ts >= min_ts participate.
+  Timestamp min_ts = kMinTimestamp;
+  /// Only data edges with id < max_edge_id participate (exclusive bound);
+  /// kInvalidEdgeId means no bound.
+  EdgeId max_edge_id = kInvalidEdgeId;
+  /// Stop after this many matches.
+  size_t max_matches = std::numeric_limits<size_t>::max();
+};
+
+/// Enumerates every isomorphic mapping of `query` among the stored edges of
+/// `graph`, subject to `options`, invoking `sink` per mapping (return false
+/// to stop early). This is the non-incremental "search the whole graph"
+/// strategy (paper §2.2's repeated-search alternative); the incremental
+/// engine uses it only as a correctness oracle and comparison baseline.
+///
+/// Distinct mappings are emitted exactly once each; automorphic images of
+/// one data subgraph are distinct mappings and all emitted.
+void ForEachMatch(const DynamicGraph& graph, const QueryGraph& query,
+                  const IsoOptions& options, const MatchSink& sink);
+
+/// Materialising convenience wrapper over ForEachMatch.
+std::vector<Match> FindAllMatches(const DynamicGraph& graph,
+                                  const QueryGraph& query,
+                                  const IsoOptions& options = {});
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_MATCH_SUBGRAPH_ISO_H_

@@ -1,0 +1,84 @@
+#ifndef STREAMWORKS_PLANNER_PLANNER_H_
+#define STREAMWORKS_PLANNER_PLANNER_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "streamworks/common/statusor.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/planner/selectivity.h"
+#include "streamworks/sjtree/decomposition.h"
+
+namespace streamworks {
+
+/// The query decomposition strategies (paper §4.1): how a query graph is
+/// partitioned into search primitives and in what order their matches are
+/// joined.
+enum class DecompositionStrategy {
+  /// Single-edge leaves in a structural (BFS-from-edge-0) connected order;
+  /// left-deep joins. The uninformed baseline plan.
+  kLeftDeepEdgeOrder,
+  /// Single-edge leaves: seed with the most selective edge, then greedily
+  /// extend with the connectable edge that minimises the estimated
+  /// cardinality of the accumulated join (System-R style) — keeping every
+  /// intermediate partial-match population small, the paper's §4.1 goal;
+  /// left-deep.
+  kSelectivityLeftDeep,
+  /// Greedy 2-edge primitives (wedges) chosen by triad rarity, leftovers
+  /// as single edges; left-deep over primitives ordered by rarity. The
+  /// Fig. 2 style decomposition.
+  kPrimitivePairs,
+  /// Selectivity-ordered single-edge leaves arranged as a balanced binary
+  /// tree (ablation of tree *shape*); falls back to left-deep when a
+  /// bisection would create an empty cut.
+  kBalancedBisection,
+};
+
+inline constexpr std::array<DecompositionStrategy, 4>
+    kAllDecompositionStrategies = {
+        DecompositionStrategy::kLeftDeepEdgeOrder,
+        DecompositionStrategy::kSelectivityLeftDeep,
+        DecompositionStrategy::kPrimitivePairs,
+        DecompositionStrategy::kBalancedBisection,
+};
+
+/// Short stable name ("left_deep_edge_order", ...) for tables and CLI.
+std::string_view DecompositionStrategyName(DecompositionStrategy strategy);
+
+/// Turns query graphs into validated SJ-Tree decompositions under a chosen
+/// strategy, using a SelectivityEstimator fed by stream summarisation
+/// (§4.3). With a null estimator, informed strategies degenerate to
+/// deterministic structural orders.
+class QueryPlanner {
+ public:
+  explicit QueryPlanner(const SelectivityEstimator* estimator = nullptr)
+      : estimator_(estimator) {}
+
+  /// Builds and validates the decomposition for `query` under `strategy`.
+  StatusOr<Decomposition> Plan(const QueryGraph& query,
+                               DecompositionStrategy strategy) const;
+
+  /// Renders the decomposition with each node's estimated cardinality —
+  /// the "query planning" pane of the demo (paper §1.1).
+  std::string ExplainPlan(const QueryGraph& query, const Decomposition& d,
+                          const Interner& interner) const;
+
+ private:
+  double Cardinality(const QueryGraph& query, Bitset64 edges) const;
+
+  /// Single-edge leaves: most-selective seed, then greedy minimum
+  /// prefix-cardinality connected order.
+  std::vector<Bitset64> SelectivityConnectedOrder(
+      const QueryGraph& query) const;
+
+  /// Greedy rare-first wedge pairing; leftovers as single edges; leaves in
+  /// ascending-cardinality connected order.
+  std::vector<Bitset64> GreedyPrimitivePairs(const QueryGraph& query) const;
+
+  const SelectivityEstimator* estimator_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_PLANNER_PLANNER_H_

@@ -1,0 +1,87 @@
+#include "streamworks/planner/selectivity.h"
+
+#include <algorithm>
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+double SelectivityEstimator::EdgeCardinality(const QueryGraph& query,
+                                             QueryEdgeId qe) const {
+  if (stats_ == nullptr) return 1.0;
+  const QueryEdge& edge = query.edge(qe);
+  return static_cast<double>(stats_->TypedEdgeCount(
+      query.vertex_label(edge.src), edge.label,
+      query.vertex_label(edge.dst)));
+}
+
+double SelectivityEstimator::WedgeCardinality(const QueryGraph& query,
+                                              QueryEdgeId e1,
+                                              QueryEdgeId e2) const {
+  const QueryEdge& a = query.edge(e1);
+  const QueryEdge& b = query.edge(e2);
+  // Centre: the smallest shared query vertex.
+  const Bitset64 shared =
+      query.VerticesOfEdges(Bitset64::Single(e1)) &
+      query.VerticesOfEdges(Bitset64::Single(e2));
+  SW_DCHECK(!shared.Empty()) << "wedge estimate on disjoint edges";
+  const auto center = static_cast<QueryVertexId>(shared.First());
+
+  if (stats_ != nullptr && stats_->has_wedge_counts()) {
+    WedgeKey key;
+    key.center_vertex_label = query.vertex_label(center);
+    key.leg1_out = (a.src == center);
+    key.leg1_label = a.label;
+    key.leg2_out = (b.src == center);
+    key.leg2_label = b.label;
+    return stats_->WedgeCount(key);
+  }
+  // Independence fallback: card(a) * card(b) / |vertices with the centre
+  // label|.
+  const double denom =
+      stats_ == nullptr
+          ? 1.0
+          : std::max<double>(
+                1.0, static_cast<double>(stats_->VertexLabelCount(
+                         query.vertex_label(center))));
+  return EdgeCardinality(query, e1) * EdgeCardinality(query, e2) / denom;
+}
+
+double SelectivityEstimator::SubgraphCardinality(const QueryGraph& query,
+                                                 Bitset64 edges) const {
+  SW_DCHECK(!edges.Empty());
+  if (edges.Count() == 1) {
+    return EdgeCardinality(query, static_cast<QueryEdgeId>(edges.First()));
+  }
+  if (edges.Count() == 2) {
+    const int e1 = edges.First();
+    const int e2 = (edges - Bitset64::Single(e1)).First();
+    return WedgeCardinality(query, static_cast<QueryEdgeId>(e1),
+                            static_cast<QueryEdgeId>(e2));
+  }
+  // Chain rule: product of edge cardinalities divided by the label count of
+  // every shared vertex, once per extra incidence.
+  double estimate = 1.0;
+  for (int e : edges) {
+    estimate *= EdgeCardinality(query, static_cast<QueryEdgeId>(e));
+  }
+  for (int v : query.VerticesOfEdges(edges)) {
+    int incidences = 0;
+    for (const QueryIncidence& inc :
+         query.incident(static_cast<QueryVertexId>(v))) {
+      if (edges.Contains(inc.edge)) ++incidences;
+    }
+    if (incidences <= 1) continue;
+    const double denom =
+        stats_ == nullptr
+            ? 1.0
+            : std::max<double>(
+                  1.0, static_cast<double>(stats_->VertexLabelCount(
+                           query.vertex_label(
+                               static_cast<QueryVertexId>(v)))));
+    for (int i = 1; i < incidences; ++i) estimate /= denom;
+  }
+  return estimate;
+}
+
+}  // namespace streamworks

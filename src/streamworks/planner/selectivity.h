@@ -1,0 +1,51 @@
+#ifndef STREAMWORKS_PLANNER_SELECTIVITY_H_
+#define STREAMWORKS_PLANNER_SELECTIVITY_H_
+
+#include "streamworks/common/bitset64.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/planner/stats.h"
+
+namespace streamworks {
+
+/// Cardinality estimation for query subgraphs from SummaryStatistics.
+///
+/// Model:
+///  * single query edge -> the exact typed-edge count
+///    (src label, edge label, dst label) from the summary;
+///  * 2-edge connected primitive (wedge) -> the triad-census count when
+///    available, otherwise the independence estimate
+///    card(e1) * card(e2) / count(shared vertex label);
+///  * larger connected subgraphs -> chain-rule product: multiply edge
+///    cardinalities, divide by the label count of every internal shared
+///    vertex (the classic System-R style independence assumption).
+///
+/// Estimates drive the §4.1 goal — "push the most selective subgraph to the
+/// lowest level of the join tree" — so *relative* order matters more than
+/// absolute accuracy.
+class SelectivityEstimator {
+ public:
+  /// `stats` may be null: every estimate degenerates to a constant, which
+  /// turns selectivity-ordered strategies into plain structural orders.
+  explicit SelectivityEstimator(const SummaryStatistics* stats)
+      : stats_(stats) {}
+
+  /// Estimated number of data edges matching query edge `qe`.
+  double EdgeCardinality(const QueryGraph& query, QueryEdgeId qe) const;
+
+  /// Estimated number of matches of the connected subgraph `edges`.
+  /// 1-edge and wedge subsets get the precise models above; larger sets use
+  /// the chain rule.
+  double SubgraphCardinality(const QueryGraph& query, Bitset64 edges) const;
+
+  bool has_stats() const { return stats_ != nullptr; }
+
+ private:
+  double WedgeCardinality(const QueryGraph& query, QueryEdgeId e1,
+                          QueryEdgeId e2) const;
+
+  const SummaryStatistics* stats_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_PLANNER_SELECTIVITY_H_

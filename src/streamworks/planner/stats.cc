@@ -1,0 +1,200 @@
+#include "streamworks/planner/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <iomanip>
+#include <sstream>
+
+#include "streamworks/common/hash.h"
+#include "streamworks/common/logging.h"
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+namespace {
+
+uint64_t PackTypedEdge(LabelId src_label, LabelId edge_label,
+                       LabelId dst_label) {
+  return (static_cast<uint64_t>(src_label) << 42) ^
+         (static_cast<uint64_t>(edge_label) << 21) ^ dst_label;
+}
+
+}  // namespace
+
+uint64_t WedgeKey::Pack() const {
+  uint64_t a = (static_cast<uint64_t>(leg1_label) << 1) | (leg1_out ? 1 : 0);
+  uint64_t b = (static_cast<uint64_t>(leg2_label) << 1) | (leg2_out ? 1 : 0);
+  if (a > b) std::swap(a, b);
+  return HashCombine(HashCombine(center_vertex_label, a), b);
+}
+
+SummaryStatistics::SummaryStatistics(double wedge_sample_rate, uint64_t seed)
+    : sample_rate_(wedge_sample_rate), rng_(seed) {
+  SW_CHECK(wedge_sample_rate > 0.0 && wedge_sample_rate <= 1.0)
+      << "wedge sample rate must be in (0, 1]";
+}
+
+void SummaryStatistics::Observe(const DynamicGraph& graph, EdgeId id) {
+  const EdgeRecord& record = graph.edge_record(id);
+  ++num_edges_;
+  ++edge_label_counts_[record.label];
+  const LabelId src_label = graph.vertex_label(record.src);
+  const LabelId dst_label = graph.vertex_label(record.dst);
+  ++typed_edge_counts_[PackTypedEdge(src_label, record.label, dst_label)];
+
+  // Per-vertex cumulative degrees; first sight of a vertex also counts its
+  // label (labels are immutable per vertex).
+  const auto grow_to = static_cast<size_t>(
+      std::max(record.src, record.dst) + 1);
+  if (out_degree_.size() < grow_to) {
+    out_degree_.resize(grow_to, 0);
+    in_degree_.resize(grow_to, 0);
+  }
+  if (out_degree_[record.src] == 0 && in_degree_[record.src] == 0) {
+    ++vertex_label_counts_[src_label];
+  }
+  if (record.dst != record.src && out_degree_[record.dst] == 0 &&
+      in_degree_[record.dst] == 0) {
+    ++vertex_label_counts_[dst_label];
+  }
+  ++out_degree_[record.src];
+  ++in_degree_[record.dst];
+
+  // Triad census with subsampling (§4.3: triad statistics are the most
+  // expensive summary; the paper flags them as the refinement knob).
+  if (wedge_census_enabled_ &&
+      (sample_rate_ >= 1.0 || rng_.NextDouble() < sample_rate_)) {
+    CountWedgesAt(graph, record.src, /*new_leg_out=*/true, record.label, id);
+    if (record.dst != record.src) {
+      CountWedgesAt(graph, record.dst, /*new_leg_out=*/false, record.label,
+                    id);
+    }
+  }
+
+  if (decay_half_life_ > 0 && ++observed_since_decay_ >= decay_half_life_) {
+    observed_since_decay_ = 0;
+    DecayCounts();
+  }
+}
+
+void SummaryStatistics::DecayCounts() {
+  auto halve = [](auto& table) {
+    for (auto it = table.begin(); it != table.end();) {
+      it->second /= 2;
+      if (it->second == 0) {
+        it = table.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  halve(vertex_label_counts_);
+  halve(edge_label_counts_);
+  halve(typed_edge_counts_);
+  halve(wedge_counts_);
+}
+
+void SummaryStatistics::CountWedgesAt(const DynamicGraph& graph,
+                                      VertexId center, bool new_leg_out,
+                                      LabelId new_leg_label, EdgeId new_id) {
+  const LabelId center_label = graph.vertex_label(center);
+  auto count_against = [&](std::span<const AdjEntry> adj, bool other_out) {
+    for (const AdjEntry& entry : adj) {
+      if (entry.edge == new_id) continue;  // don't pair the edge with itself
+      WedgeKey key;
+      key.center_vertex_label = center_label;
+      key.leg1_out = new_leg_out;
+      key.leg1_label = new_leg_label;
+      key.leg2_out = other_out;
+      key.leg2_label = entry.label;
+      ++wedge_counts_[key.Pack()];
+    }
+  };
+  count_against(graph.OutEdges(center), /*other_out=*/true);
+  count_against(graph.InEdges(center), /*other_out=*/false);
+}
+
+uint64_t SummaryStatistics::VertexLabelCount(LabelId label) const {
+  auto it = vertex_label_counts_.find(label);
+  return it == vertex_label_counts_.end() ? 0 : it->second;
+}
+
+uint64_t SummaryStatistics::EdgeLabelCount(LabelId label) const {
+  auto it = edge_label_counts_.find(label);
+  return it == edge_label_counts_.end() ? 0 : it->second;
+}
+
+uint64_t SummaryStatistics::TypedEdgeCount(LabelId src_label,
+                                           LabelId edge_label,
+                                           LabelId dst_label) const {
+  auto it = typed_edge_counts_.find(
+      PackTypedEdge(src_label, edge_label, dst_label));
+  return it == typed_edge_counts_.end() ? 0 : it->second;
+}
+
+double SummaryStatistics::WedgeCount(const WedgeKey& key) const {
+  auto it = wedge_counts_.find(key.Pack());
+  if (it == wedge_counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / sample_rate_;
+}
+
+std::vector<uint64_t> SummaryStatistics::DegreeHistogram(
+    bool out_degree) const {
+  const std::vector<uint32_t>& degrees =
+      out_degree ? out_degree_ : in_degree_;
+  std::vector<uint64_t> hist;
+  for (uint32_t d : degrees) {
+    if (d == 0) continue;
+    const int bucket = std::bit_width(d) - 1;  // log2 bucket
+    if (hist.size() <= static_cast<size_t>(bucket)) {
+      hist.resize(bucket + 1, 0);
+    }
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+std::string SummaryStatistics::ReportTable(const Interner& interner) const {
+  std::ostringstream os;
+  os << "== Summary statistics (" << FormatCount(num_edges_)
+     << " edges observed) ==\n";
+
+  os << "-- degree distribution (log2 buckets: [2^i, 2^(i+1))) --\n";
+  const auto out_hist = DegreeHistogram(true);
+  const auto in_hist = DegreeHistogram(false);
+  const size_t buckets = std::max(out_hist.size(), in_hist.size());
+  os << "bucket     out-deg     in-deg\n";
+  for (size_t i = 0; i < buckets; ++i) {
+    std::ostringstream row;
+    row << std::left << std::setw(11) << StrCat("2^", i) << std::setw(12)
+        << FormatCount(i < out_hist.size() ? out_hist[i] : 0)
+        << FormatCount(i < in_hist.size() ? in_hist[i] : 0);
+    os << row.str() << "\n";
+  }
+
+  os << "-- vertex type distribution --\n";
+  std::vector<std::pair<LabelId, uint64_t>> vlabels(
+      vertex_label_counts_.begin(), vertex_label_counts_.end());
+  std::sort(vlabels.begin(), vlabels.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [label, count] : vlabels) {
+    os << "  " << interner.Name(label) << ": " << FormatCount(count) << "\n";
+  }
+
+  os << "-- edge type distribution --\n";
+  std::vector<std::pair<LabelId, uint64_t>> elabels(
+      edge_label_counts_.begin(), edge_label_counts_.end());
+  std::sort(elabels.begin(), elabels.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [label, count] : elabels) {
+    os << "  " << interner.Name(label) << ": " << FormatCount(count) << "\n";
+  }
+
+  os << "-- triad census: " << wedge_counts_.size()
+     << " distinct wedge types";
+  if (sample_rate_ < 1.0) os << " (sample rate " << sample_rate_ << ")";
+  os << " --\n";
+  return os.str();
+}
+
+}  // namespace streamworks

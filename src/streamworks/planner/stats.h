@@ -1,0 +1,119 @@
+#ifndef STREAMWORKS_PLANNER_STATS_H_
+#define STREAMWORKS_PLANNER_STATS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/random.h"
+#include "streamworks/common/types.h"
+#include "streamworks/graph/dynamic_graph.h"
+
+namespace streamworks {
+
+/// Canonical key of a *multi-relational wedge* (2-edge triad): two edges
+/// meeting at a centre vertex, each characterised by its direction relative
+/// to the centre and its edge label. The two (direction, label) legs are
+/// stored in sorted order so that the key is orientation-independent.
+struct WedgeKey {
+  LabelId center_vertex_label = kInvalidLabelId;
+  bool leg1_out = false;  ///< Centre is the source of leg 1.
+  LabelId leg1_label = kInvalidLabelId;
+  bool leg2_out = false;
+  LabelId leg2_label = kInvalidLabelId;
+
+  /// Canonicalises leg order and packs into a hashable 64-bit key.
+  uint64_t Pack() const;
+};
+
+/// Summarisation (paper §4.3): the three statistics families collected from
+/// the data stream to drive query planning —
+///   1. degree distribution (log2-bucketed, in and out),
+///   2. vertex / edge type distribution (plus typed-edge triples, the
+///      (src label, edge label, dst label) counts that selectivity uses),
+///   3. multi-relational triad (wedge) distribution.
+///
+/// The collector observes edges *after* graph ingest, so it can read vertex
+/// labels and current adjacency. Wedge counting costs O(degree) per edge,
+/// so it supports subsampling: with sample_rate r, each arriving edge's
+/// wedges are counted with probability r and WedgeCount() scales by 1/r.
+class SummaryStatistics {
+ public:
+  /// `wedge_sample_rate` in (0, 1]; 1.0 counts every wedge exactly.
+  explicit SummaryStatistics(double wedge_sample_rate = 1.0,
+                             uint64_t seed = 0x57a75u);
+
+  /// Disables (or re-enables) the triad census from the next Observe on.
+  /// With the census off, estimators fall back to the independence
+  /// assumption — the A2 ablation knob, and a cost saver for workloads
+  /// with hub vertices where O(degree) per edge is too much.
+  void set_wedge_census_enabled(bool enabled) {
+    wedge_census_enabled_ = enabled;
+  }
+
+  /// Enables recency weighting: every `edges` observations, all label /
+  /// typed-edge / wedge counts are halved (exponential decay with the
+  /// given half-life). Without decay the statistics are cumulative and a
+  /// drifting stream's old distribution dominates forever — the wrong
+  /// input for adaptive re-planning (A3). 0 disables. Degree counters stay
+  /// cumulative (they describe structure, not rates).
+  void set_decay_half_life(uint64_t edges) { decay_half_life_ = edges; }
+
+  /// Accounts for edge `id`, which must already be in `graph` (newest
+  /// edge). Call once per ingested edge.
+  void Observe(const DynamicGraph& graph, EdgeId id);
+
+  // --- Type distributions ---------------------------------------------------
+  uint64_t num_edges_observed() const { return num_edges_; }
+  uint64_t VertexLabelCount(LabelId label) const;
+  uint64_t EdgeLabelCount(LabelId label) const;
+  /// Count of edges with the exact (src vertex label, edge label, dst
+  /// vertex label) triple — the unit of edge selectivity.
+  uint64_t TypedEdgeCount(LabelId src_label, LabelId edge_label,
+                          LabelId dst_label) const;
+
+  // --- Triads ------------------------------------------------------------------
+  /// Estimated number of wedges with this key (scaled by the sample rate).
+  double WedgeCount(const WedgeKey& key) const;
+  /// True once at least one wedge was counted (estimators fall back to the
+  /// independence assumption until then).
+  bool has_wedge_counts() const { return !wedge_counts_.empty(); }
+
+  // --- Degree distribution --------------------------------------------------
+  /// Histogram over log2 degree buckets: bucket i counts vertices with
+  /// degree in [2^i, 2^(i+1)) (bucket 0 holds degree 1; isolated vertices
+  /// are not represented). Computed from live per-vertex counters.
+  std::vector<uint64_t> DegreeHistogram(bool out_degree) const;
+
+  /// Multi-line human-readable report of all three statistic families
+  /// (degree histogram, label tables, top wedges) for the demo tables.
+  std::string ReportTable(const Interner& interner) const;
+
+ private:
+  void CountWedgesAt(const DynamicGraph& graph, VertexId center,
+                     bool new_leg_out, LabelId new_leg_label, EdgeId new_id);
+
+  /// Halves every count table, erasing entries that reach zero.
+  void DecayCounts();
+
+  double sample_rate_;
+  bool wedge_census_enabled_ = true;
+  uint64_t decay_half_life_ = 0;
+  uint64_t observed_since_decay_ = 0;
+  Rng rng_;
+  uint64_t num_edges_ = 0;
+
+  std::unordered_map<LabelId, uint64_t> vertex_label_counts_;
+  std::unordered_map<LabelId, uint64_t> edge_label_counts_;
+  std::unordered_map<uint64_t, uint64_t> typed_edge_counts_;
+  std::unordered_map<uint64_t, uint64_t> wedge_counts_;
+
+  // Cumulative degree counters per internal vertex id (index == VertexId).
+  std::vector<uint32_t> out_degree_;
+  std::vector<uint32_t> in_degree_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_PLANNER_STATS_H_

@@ -1,0 +1,236 @@
+#include "streamworks/sjtree/decomposition.h"
+
+#include <functional>
+#include <sstream>
+
+#include "streamworks/common/logging.h"
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+int Decomposition::Sibling(int i) const {
+  const int p = nodes_[i].parent;
+  SW_CHECK_GE(p, 0) << "root has no sibling";
+  return nodes_[p].left == i ? nodes_[p].right : nodes_[p].left;
+}
+
+int Decomposition::Height() const {
+  std::function<int(int)> height = [&](int n) -> int {
+    if (IsLeaf(n)) return 1;
+    return 1 + std::max(height(nodes_[n].left), height(nodes_[n].right));
+  };
+  return root_ < 0 ? 0 : height(root_);
+}
+
+Status Decomposition::Validate(const QueryGraph& query) const {
+  if (root_ < 0 || nodes_.empty()) {
+    return Status::InvalidArgument("decomposition has no nodes");
+  }
+  if (query_edges_ != query.num_edges()) {
+    return Status::InvalidArgument("decomposition built for another query");
+  }
+  // Property 1: the root covers the query.
+  if (nodes_[root_].edges != query.AllEdges()) {
+    return Status::InvalidArgument(
+        "root subgraph is not the whole query (Property 1)");
+  }
+  Bitset64 leaf_union;
+  int leaf_edge_total = 0;
+  for (int leaf : leaves_) {
+    const DecompositionNode& n = nodes_[leaf];
+    if (!IsLeaf(leaf)) {
+      return Status::Internal("leaves_ contains an internal node");
+    }
+    if (n.edges.Empty()) {
+      return Status::InvalidArgument("empty leaf subgraph");
+    }
+    if (!query.IsEdgeSetConnected(n.edges)) {
+      return Status::InvalidArgument(
+          "leaf subgraph is disconnected; local search requires connected "
+          "search primitives");
+    }
+    if (leaf_union.Intersects(n.edges)) {
+      return Status::InvalidArgument("leaves overlap on query edges");
+    }
+    leaf_union = leaf_union | n.edges;
+    leaf_edge_total += n.edges.Count();
+  }
+  if (leaf_union != query.AllEdges()) {
+    return Status::InvalidArgument(
+        "leaves do not cover every query edge");
+  }
+  for (int i = 0; i < num_nodes(); ++i) {
+    const DecompositionNode& n = nodes_[i];
+    if (n.vertices != query.VerticesOfEdges(n.edges)) {
+      return Status::Internal("cached vertex set is stale");
+    }
+    if (IsLeaf(i)) continue;
+    const DecompositionNode& l = nodes_[n.left];
+    const DecompositionNode& r = nodes_[n.right];
+    if (l.parent != i || r.parent != i) {
+      return Status::Internal("child parent pointers are inconsistent");
+    }
+    if (l.edges.Intersects(r.edges)) {
+      return Status::InvalidArgument(
+          "children share query edges (join must be edge-disjoint)");
+    }
+    if ((l.edges | r.edges) != n.edges) {
+      return Status::InvalidArgument(
+          "internal node is not the union of its children (Property 2)");
+    }
+    if (n.cut_vertices != (l.vertices & r.vertices)) {
+      return Status::InvalidArgument(
+          "cut subgraph is not the children's intersection (Property 4)");
+    }
+    if (n.cut_vertices.Empty()) {
+      return Status::InvalidArgument(
+          "empty cut: join would be a Cartesian product");
+    }
+  }
+  return OkStatus();
+}
+
+std::string Decomposition::ToString(const QueryGraph& query,
+                                    const Interner& interner) const {
+  std::ostringstream os;
+  std::function<void(int, int)> render = [&](int n, int depth) {
+    const DecompositionNode& node = nodes_[n];
+    os << std::string(static_cast<size_t>(depth) * 2, ' ');
+    os << (IsLeaf(n) ? "leaf" : "join") << " n" << n << " {";
+    bool first = true;
+    for (int e : node.edges) {
+      if (!first) os << ", ";
+      first = false;
+      const QueryEdge& qe = query.edge(static_cast<QueryEdgeId>(e));
+      os << "v" << static_cast<int>(qe.src) << "-["
+         << interner.Name(qe.label) << "]->v" << static_cast<int>(qe.dst);
+    }
+    os << "}";
+    if (!IsLeaf(n)) {
+      os << " cut={";
+      first = true;
+      for (int v : node.cut_vertices) {
+        if (!first) os << ", ";
+        first = false;
+        os << "v" << v << ":" << interner.Name(query.vertex_label(
+                                   static_cast<QueryVertexId>(v)));
+      }
+      os << "}";
+    }
+    os << "\n";
+    if (!IsLeaf(n)) {
+      render(node.left, depth + 1);
+      render(node.right, depth + 1);
+    }
+  };
+  if (root_ >= 0) render(root_, 0);
+  return os.str();
+}
+
+StatusOr<Decomposition> Decomposition::Finish(const QueryGraph& query,
+                                              Decomposition d) {
+  d.query_edges_ = query.num_edges();
+  SW_RETURN_IF_ERROR(d.Validate(query));
+  return d;
+}
+
+StatusOr<Decomposition> Decomposition::MakeLeftDeep(
+    const QueryGraph& query, const std::vector<Bitset64>& ordered_leaves) {
+  if (ordered_leaves.empty()) {
+    return Status::InvalidArgument("no leaves given");
+  }
+  Decomposition d;
+  auto add_leaf = [&](Bitset64 edges) {
+    DecompositionNode n;
+    n.edges = edges;
+    n.vertices = query.VerticesOfEdges(edges);
+    d.nodes_.push_back(n);
+    d.leaves_.push_back(d.num_nodes() - 1);
+    return d.num_nodes() - 1;
+  };
+  auto add_join = [&](int left, int right) {
+    DecompositionNode n;
+    n.edges = d.nodes_[left].edges | d.nodes_[right].edges;
+    n.vertices = d.nodes_[left].vertices | d.nodes_[right].vertices;
+    n.cut_vertices = d.nodes_[left].vertices & d.nodes_[right].vertices;
+    n.left = left;
+    n.right = right;
+    d.nodes_.push_back(n);
+    const int id = d.num_nodes() - 1;
+    d.nodes_[left].parent = id;
+    d.nodes_[right].parent = id;
+    return id;
+  };
+
+  int acc = add_leaf(ordered_leaves[0]);
+  for (size_t i = 1; i < ordered_leaves.size(); ++i) {
+    const int leaf = add_leaf(ordered_leaves[i]);
+    if (!d.nodes_[acc].vertices.Intersects(d.nodes_[leaf].vertices)) {
+      return Status::InvalidArgument(StrCat(
+          "left-deep join order disconnected at leaf ", i,
+          ": no shared vertex with the accumulated prefix"));
+    }
+    acc = add_join(acc, leaf);
+  }
+  d.root_ = acc;
+  return Finish(query, std::move(d));
+}
+
+StatusOr<Decomposition> Decomposition::MakeBalanced(
+    const QueryGraph& query, const std::vector<Bitset64>& ordered_leaves) {
+  if (ordered_leaves.empty()) {
+    return Status::InvalidArgument("no leaves given");
+  }
+  Decomposition d;
+  Status build_error = OkStatus();
+  // Recursively bisect [lo, hi); returns node id or -1 on failure.
+  std::function<int(size_t, size_t)> build = [&](size_t lo,
+                                                 size_t hi) -> int {
+    if (hi - lo == 1) {
+      DecompositionNode n;
+      n.edges = ordered_leaves[lo];
+      n.vertices = query.VerticesOfEdges(n.edges);
+      d.nodes_.push_back(n);
+      d.leaves_.push_back(d.num_nodes() - 1);
+      return d.num_nodes() - 1;
+    }
+    const size_t mid = lo + (hi - lo) / 2;
+    const int left = build(lo, mid);
+    if (left < 0) return -1;
+    const int right = build(mid, hi);
+    if (right < 0) return -1;
+    if (!d.nodes_[left].vertices.Intersects(d.nodes_[right].vertices)) {
+      build_error = Status::InvalidArgument(
+          "balanced bisection produced a join with an empty cut");
+      return -1;
+    }
+    DecompositionNode n;
+    n.edges = d.nodes_[left].edges | d.nodes_[right].edges;
+    n.vertices = d.nodes_[left].vertices | d.nodes_[right].vertices;
+    n.cut_vertices = d.nodes_[left].vertices & d.nodes_[right].vertices;
+    n.left = left;
+    n.right = right;
+    d.nodes_.push_back(n);
+    const int id = d.num_nodes() - 1;
+    d.nodes_[left].parent = id;
+    d.nodes_[right].parent = id;
+    return id;
+  };
+  d.root_ = build(0, ordered_leaves.size());
+  if (d.root_ < 0) return build_error;
+  return Finish(query, std::move(d));
+}
+
+StatusOr<Decomposition> Decomposition::MakeSingleLeaf(
+    const QueryGraph& query) {
+  Decomposition d;
+  DecompositionNode n;
+  n.edges = query.AllEdges();
+  n.vertices = query.AllVertices();
+  d.nodes_.push_back(n);
+  d.leaves_.push_back(0);
+  d.root_ = 0;
+  return Finish(query, std::move(d));
+}
+
+}  // namespace streamworks

@@ -1,0 +1,109 @@
+#ifndef STREAMWORKS_SJTREE_DECOMPOSITION_H_
+#define STREAMWORKS_SJTREE_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "streamworks/common/bitset64.h"
+#include "streamworks/common/interner.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/graph/query_graph.h"
+
+namespace streamworks {
+
+/// One node of a query decomposition: the structural skeleton of an SJ-Tree
+/// node (paper Definition 4.1.1). `edges` is the query subgraph VSG{n} as an
+/// edge mask; `vertices` its endpoint set; `cut_vertices` is CUT-SUBGRAPH(n)
+/// (Property 4) for internal nodes.
+struct DecompositionNode {
+  Bitset64 edges;
+  Bitset64 vertices;
+  Bitset64 cut_vertices;  ///< Empty for leaves.
+  int left = -1;          ///< Child index, -1 for leaves.
+  int right = -1;
+  int parent = -1;        ///< -1 for the root.
+
+  friend bool operator==(const DecompositionNode& a,
+                         const DecompositionNode& b) = default;
+};
+
+/// A validated binary decomposition of a query graph: the static shape of an
+/// SJ-Tree. Construction goes through MakeLeftDeep / MakeBalanced (from an
+/// ordered list of leaf subgraphs, produced by the planner) and always ends
+/// in Validate(), which enforces:
+///
+///  * leaves partition the query edge set, each leaf non-empty & connected
+///    (search primitives must admit local search);
+///  * every internal node's edge set is the disjoint union of its
+///    children's (Property 2, with the paper's union-join);
+///  * every internal node's children share at least one vertex — the cut is
+///    non-empty, so the join is an equi-join on vertices, never a Cartesian
+///    product;
+///  * the root covers the whole query (Property 1).
+class Decomposition {
+ public:
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const DecompositionNode& node(int i) const { return nodes_[i]; }
+  int root() const { return root_; }
+  bool IsLeaf(int i) const { return nodes_[i].left < 0; }
+
+  /// Node ids of all leaves, in join order (the order leaves were given).
+  const std::vector<int>& leaves() const { return leaves_; }
+
+  /// The sibling of non-root node `i`.
+  int Sibling(int i) const;
+
+  /// Number of edges in the query this decomposes.
+  int query_edges() const { return query_edges_; }
+
+  /// Height of the tree (root alone = 1).
+  int Height() const;
+
+  /// Structural validation against `query`; returns the first violated
+  /// property as InvalidArgument. Called by the factory functions; exposed
+  /// for tests and for externally supplied decompositions.
+  Status Validate(const QueryGraph& query) const;
+
+  /// Render as an indented tree with label names, for logs and the plan
+  /// explorer example.
+  std::string ToString(const QueryGraph& query,
+                       const Interner& interner) const;
+
+  /// Builds the left-deep tree join(...join(join(L0, L1), L2)..., Lk).
+  /// `ordered_leaves` must partition the query edges; consecutive joins
+  /// must be connected (each leaf shares a vertex with the union of its
+  /// predecessors) or an InvalidArgument is returned.
+  static StatusOr<Decomposition> MakeLeftDeep(
+      const QueryGraph& query, const std::vector<Bitset64>& ordered_leaves);
+
+  /// Builds a balanced tree by recursive bisection of `ordered_leaves`.
+  /// Fails (InvalidArgument) if any internal join would have an empty cut;
+  /// callers typically fall back to MakeLeftDeep.
+  static StatusOr<Decomposition> MakeBalanced(
+      const QueryGraph& query, const std::vector<Bitset64>& ordered_leaves);
+
+  /// Single-node degenerate decomposition (the whole query as one leaf):
+  /// turns the SJ-Tree engine into the §3.1 naive incremental matcher.
+  /// Valid only because the root is allowed to be a leaf in this one case.
+  static StatusOr<Decomposition> MakeSingleLeaf(const QueryGraph& query);
+
+  /// Structural equality: same node list (subgraphs, cuts, wiring) and
+  /// root. Used by adaptive re-planning to detect no-op plans.
+  friend bool operator==(const Decomposition& a, const Decomposition& b) {
+    return a.nodes_ == b.nodes_ && a.root_ == b.root_ &&
+           a.leaves_ == b.leaves_;
+  }
+
+ private:
+  std::vector<DecompositionNode> nodes_;
+  std::vector<int> leaves_;
+  int root_ = -1;
+  int query_edges_ = 0;
+
+  static StatusOr<Decomposition> Finish(const QueryGraph& query,
+                                        Decomposition d);
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_SJTREE_DECOMPOSITION_H_

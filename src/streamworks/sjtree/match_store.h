@@ -1,0 +1,81 @@
+#ifndef STREAMWORKS_SJTREE_MATCH_STORE_H_
+#define STREAMWORKS_SJTREE_MATCH_STORE_H_
+
+#include <unordered_map>
+
+#include "streamworks/common/types.h"
+#include "streamworks/match/match.h"
+
+namespace streamworks {
+
+/// The match collection of one SJ-Tree node (Property 3), hash-indexed by
+/// the *join key*: the signature of the data vertices assigned to the parent
+/// node's cut vertices. Sibling nodes index by the same cut, so combining
+/// partial matches (paper §4.2) is one hash probe instead of a scan.
+///
+/// Expiry is lazy: a partial match whose earliest edge has fallen further
+/// than the query window behind the stream watermark can never be part of a
+/// future completion (any future completion's span would be >= window), so
+/// probes erase such entries in passing and the engine runs periodic full
+/// sweeps to bound memory between probes.
+class MatchStore {
+ public:
+  void Insert(uint64_t key, const Match& m) {
+    map_.emplace(key, m);
+    ++total_inserted_;
+    peak_size_ = std::max(peak_size_, map_.size());
+  }
+
+  /// Invokes `f` on every live match stored under `key`; erases dead ones
+  /// (min_ts < cutoff) encountered on the way. `f` must not touch this
+  /// store. Returns the number of live matches visited.
+  template <typename F>
+  size_t ProbeKey(uint64_t key, Timestamp cutoff, F&& f) {
+    size_t visited = 0;
+    auto [it, end] = map_.equal_range(key);
+    while (it != end) {
+      if (it->second.min_ts() < cutoff) {
+        it = map_.erase(it);
+        ++total_expired_;
+        continue;
+      }
+      ++visited;
+      f(it->second);
+      ++it;
+    }
+    return visited;
+  }
+
+  /// Full sweep: erases every dead match.
+  void Expire(Timestamp cutoff) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->second.min_ts() < cutoff) {
+        it = map_.erase(it);
+        ++total_expired_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Invokes `f(key, match)` on every stored match (live or not-yet-swept).
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const auto& [key, match] : map_) f(key, match);
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t peak_size() const { return peak_size_; }
+  uint64_t total_inserted() const { return total_inserted_; }
+  uint64_t total_expired() const { return total_expired_; }
+
+ private:
+  std::unordered_multimap<uint64_t, Match> map_;
+  size_t peak_size_ = 0;
+  uint64_t total_inserted_ = 0;
+  uint64_t total_expired_ = 0;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_SJTREE_MATCH_STORE_H_

@@ -1,0 +1,154 @@
+#include "streamworks/sjtree/sj_tree.h"
+
+#include <sstream>
+
+#include "streamworks/common/hash.h"
+#include "streamworks/common/logging.h"
+#include "streamworks/match/backtrack.h"
+#include "streamworks/match/local_search.h"
+
+namespace streamworks {
+
+SjTree::SjTree(const QueryGraph* query, Decomposition decomposition,
+               Timestamp window)
+    : query_(query),
+      decomposition_(std::move(decomposition)),
+      window_(window),
+      stores_(decomposition_.num_nodes()),
+      stats_(decomposition_.num_nodes()) {
+  SW_CHECK_OK(decomposition_.Validate(*query_));
+  SW_CHECK_GT(window_, 0);
+  // Precompute one anchor plan per (leaf, query edge in leaf): the arriving
+  // edge may enter the leaf through any of its edges.
+  for (int leaf : decomposition_.leaves()) {
+    const Bitset64 leaf_edges = decomposition_.node(leaf).edges;
+    for (int qe : leaf_edges) {
+      AnchorPlan plan;
+      plan.leaf = leaf;
+      plan.anchor = static_cast<QueryEdgeId>(qe);
+      plan.order = ConnectedEdgeOrder(*query_, leaf_edges, plan.anchor);
+      const QueryEdge& qedge = query_->edge(plan.anchor);
+      plan.edge_label = qedge.label;
+      plan.src_label = query_->vertex_label(qedge.src);
+      plan.dst_label = query_->vertex_label(qedge.dst);
+      anchor_plans_.push_back(std::move(plan));
+    }
+  }
+}
+
+Timestamp SjTree::Cutoff(Timestamp watermark) const {
+  if (window_ == kMaxTimestamp || window_ > watermark) return 0;
+  return watermark - window_ + 1;
+}
+
+uint64_t SjTree::CutKey(int parent, const Match& m) const {
+  const Bitset64 cut = decomposition_.node(parent).cut_vertices;
+  uint64_t h = 0x536a74726565ull;  // arbitrary seed
+  for (int qv : cut) {
+    SW_DCHECK(m.HasVertex(static_cast<QueryVertexId>(qv)))
+        << "cut vertex unbound in stored match";
+    h = HashCombine(h, (static_cast<uint64_t>(qv) << 40) ^
+                           m.vertex(static_cast<QueryVertexId>(qv)));
+  }
+  return h;
+}
+
+void SjTree::InsertAndPropagate(const DynamicGraph& graph, int node,
+                                const Match& m,
+                                std::vector<Match>* completed) {
+  ++stats_[node].matches_inserted;
+  if (node == decomposition_.root()) {
+    ++completed_count_;
+    completed->push_back(m);
+    return;
+  }
+  const int parent = decomposition_.node(node).parent;
+  const int sibling = decomposition_.Sibling(node);
+  const uint64_t key = CutKey(parent, m);
+  stores_[node].Insert(key, m);
+  const size_t total = TotalPartialMatches();
+  peak_total_ = std::max(peak_total_, total);
+
+  // Probe the sibling's collection through the parent's cut (§4.2): the
+  // hash key equates cut-vertex assignments; JoinCompatible re-validates
+  // them exactly and adds injectivity + window checks.
+  ++stats_[node].probes;
+  const Timestamp cutoff = Cutoff(graph.watermark());
+  std::vector<Match> combined;  // buffered: the probe must not re-enter
+  stores_[sibling].ProbeKey(key, cutoff, [&](const Match& s) {
+    ++stats_[node].join_attempts;
+    if (JoinCompatible(m, s, window_)) {
+      ++stats_[node].joins_succeeded;
+      combined.push_back(Match::Union(m, s));
+    }
+  });
+  for (const Match& c : combined) {
+    InsertAndPropagate(graph, parent, c, completed);
+  }
+}
+
+void SjTree::RunAnchorPlan(const DynamicGraph& graph, size_t plan_index,
+                           EdgeId edge_id, std::vector<Match>* completed) {
+  const AnchorPlan& plan = anchor_plans_[plan_index];
+  FindAnchoredMatches(graph, *query_, plan.order, edge_id, window_,
+                      [&](const Match& m) {
+                        InsertAndPropagate(graph, plan.leaf, m, completed);
+                        return true;
+                      });
+}
+
+void SjTree::ProcessEdge(const DynamicGraph& graph, EdgeId edge_id,
+                         std::vector<Match>* completed) {
+  const EdgeRecord& record = graph.edge_record(edge_id);
+  const LabelId src_label = graph.vertex_label(record.src);
+  const LabelId dst_label = graph.vertex_label(record.dst);
+  for (size_t i = 0; i < anchor_plans_.size(); ++i) {
+    const AnchorPlan& plan = anchor_plans_[i];
+    if (plan.edge_label != record.label || plan.src_label != src_label ||
+        plan.dst_label != dst_label) {
+      continue;
+    }
+    RunAnchorPlan(graph, i, edge_id, completed);
+  }
+}
+
+void SjTree::ExpireOldMatches(Timestamp watermark) {
+  const Timestamp cutoff = Cutoff(watermark);
+  if (cutoff <= 0) return;
+  for (MatchStore& store : stores_) store.Expire(cutoff);
+}
+
+size_t SjTree::TotalPartialMatches() const {
+  size_t total = 0;
+  for (const MatchStore& store : stores_) total += store.size();
+  return total;
+}
+
+double SjTree::MaxMatchedFraction() const {
+  if (completed_count_ > 0) return 1.0;
+  double best = 0;
+  for (int n = 0; n < decomposition_.num_nodes(); ++n) {
+    if (stores_[n].size() == 0) continue;
+    best = std::max(best, static_cast<double>(
+                              decomposition_.node(n).edges.Count()) /
+                              query_->num_edges());
+  }
+  return best;
+}
+
+std::string SjTree::DebugString() const {
+  std::ostringstream os;
+  os << "SjTree(query=" << query_->name() << ", window=" << window_ << ")\n";
+  for (int n = 0; n < decomposition_.num_nodes(); ++n) {
+    os << "  n" << n << (decomposition_.IsLeaf(n) ? " leaf" : " join")
+       << " edges=" << decomposition_.node(n).edges.Count()
+       << " live=" << stores_[n].size()
+       << " inserted=" << stats_[n].matches_inserted
+       << " join_attempts=" << stats_[n].join_attempts
+       << " joined=" << stats_[n].joins_succeeded << "\n";
+  }
+  os << "  completed=" << completed_count_ << "\n";
+  return os.str();
+}
+
+}  // namespace streamworks

@@ -1,0 +1,30 @@
+#include "streamworks/stream/batching.h"
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+std::vector<EdgeBatch> BatchByTick(const std::vector<StreamEdge>& edges) {
+  std::vector<EdgeBatch> batches;
+  for (const StreamEdge& e : edges) {
+    if (batches.empty() || batches.back().back().ts != e.ts) {
+      batches.emplace_back();
+    }
+    batches.back().push_back(e);
+  }
+  return batches;
+}
+
+std::vector<EdgeBatch> BatchBySize(const std::vector<StreamEdge>& edges,
+                                   size_t batch_size) {
+  SW_CHECK_GT(batch_size, 0u);
+  std::vector<EdgeBatch> batches;
+  for (size_t i = 0; i < edges.size(); i += batch_size) {
+    const size_t end = std::min(edges.size(), i + batch_size);
+    batches.emplace_back(edges.begin() + static_cast<ptrdiff_t>(i),
+                         edges.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace streamworks

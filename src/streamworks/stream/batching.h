@@ -1,0 +1,23 @@
+#ifndef STREAMWORKS_STREAM_BATCHING_H_
+#define STREAMWORKS_STREAM_BATCHING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "streamworks/graph/stream_edge.h"
+
+namespace streamworks {
+
+/// Splits a timestamp-sorted edge vector into one batch per distinct
+/// timestamp — the paper's per-timestep edge sets E_1, E_2, ….
+std::vector<EdgeBatch> BatchByTick(const std::vector<StreamEdge>& edges);
+
+/// Splits a timestamp-sorted edge vector into fixed-size batches (the last
+/// batch may be short). Used by the batch-size sweeps in the baseline
+/// comparison bench.
+std::vector<EdgeBatch> BatchBySize(const std::vector<StreamEdge>& edges,
+                                   size_t batch_size);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_STREAM_BATCHING_H_

@@ -1,0 +1,199 @@
+#include "streamworks/stream/netflow_gen.h"
+
+#include <algorithm>
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+namespace {
+
+/// Background protocol table, most-common-first; the Zipf sampler makes
+/// rank 0 dominate.
+constexpr const char* kCommonProtocols[] = {
+    "tcpConn", "udpFlow", "dnsQuery", "httpReq", "tlsHandshake", "ntpSync",
+};
+constexpr const char* kAttackProtocols[] = {
+    "icmpEchoReq", "icmpEchoReply", "synProbe", "exploit", "copy", "upload",
+};
+
+}  // namespace
+
+NetflowGenerator::NetflowGenerator(const Options& options,
+                                   Interner* interner)
+    : options_(options),
+      interner_(interner),
+      rng_(options.seed),
+      hosts_per_subnet_(options.num_hosts / options.num_subnets),
+      host_label_(interner->Intern("Host")),
+      protocol_sampler_(
+          (options.attack_label_noise ? std::size(kCommonProtocols) +
+                                            std::size(kAttackProtocols)
+                                      : std::size(kCommonProtocols)),
+          options.protocol_skew) {
+  SW_CHECK_GT(options.num_hosts, 1);
+  SW_CHECK_GT(options.num_subnets, 0);
+  SW_CHECK_GE(options.num_hosts, options.num_subnets);
+  SW_CHECK_GT(options.edges_per_tick, 0);
+  for (const char* p : kCommonProtocols) {
+    background_protocols_.push_back(interner->Intern(p));
+  }
+  icmp_echo_req_ = interner->Intern("icmpEchoReq");
+  icmp_echo_reply_ = interner->Intern("icmpEchoReply");
+  syn_probe_ = interner->Intern("synProbe");
+  exploit_ = interner->Intern("exploit");
+  copy_ = interner->Intern("copy");
+  upload_ = interner->Intern("upload");
+  if (options.attack_label_noise) {
+    for (const char* p : kAttackProtocols) {
+      background_protocols_.push_back(interner->Intern(p));
+    }
+  }
+}
+
+StreamEdge NetflowGenerator::MakeFlow(ExternalVertexId src,
+                                      ExternalVertexId dst, LabelId protocol,
+                                      Timestamp ts) const {
+  StreamEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.src_label = host_label_;
+  e.dst_label = host_label_;
+  e.edge_label = protocol;
+  e.ts = ts;
+  return e;
+}
+
+ExternalVertexId NetflowGenerator::RandomHostInSubnet(int subnet) {
+  if (subnet < 0) {
+    subnet = static_cast<int>(rng_.NextBounded(options_.num_subnets));
+  }
+  return static_cast<ExternalVertexId>(subnet) * hosts_per_subnet_ +
+         rng_.NextBounded(hosts_per_subnet_);
+}
+
+ExternalVertexId NetflowGenerator::RandomHost() {
+  return rng_.NextBounded(options_.num_hosts);
+}
+
+void NetflowGenerator::InjectSmurf(Timestamp at, int num_amplifiers,
+                                   int attacker_subnet, int victim_subnet) {
+  SW_CHECK_GT(num_amplifiers, 0);
+  Injection inj;
+  inj.kind = "smurf";
+  inj.at = at;
+  const ExternalVertexId attacker = RandomHostInSubnet(attacker_subnet);
+  ExternalVertexId victim = RandomHostInSubnet(victim_subnet);
+  while (victim == attacker) victim = RandomHostInSubnet(victim_subnet);
+  // Distinct amplifiers, none equal to attacker or victim. Echo requests go
+  // out over the first tick; replies cascade on the next ticks — the
+  // "emerging pattern" of Fig. 7.
+  std::vector<ExternalVertexId> amplifiers;
+  while (static_cast<int>(amplifiers.size()) < num_amplifiers) {
+    const ExternalVertexId amp = RandomHost();
+    if (amp == attacker || amp == victim) continue;
+    if (std::find(amplifiers.begin(), amplifiers.end(), amp) !=
+        amplifiers.end()) {
+      continue;
+    }
+    amplifiers.push_back(amp);
+  }
+  for (const ExternalVertexId amp : amplifiers) {
+    inj.edges.push_back(MakeFlow(attacker, amp, icmp_echo_req_, at));
+  }
+  Timestamp reply_ts = at + 1;
+  for (const ExternalVertexId amp : amplifiers) {
+    inj.edges.push_back(MakeFlow(amp, victim, icmp_echo_reply_, reply_ts));
+    ++reply_ts;
+  }
+  injections_.push_back(std::move(inj));
+}
+
+void NetflowGenerator::InjectWorm(Timestamp at, int hops) {
+  SW_CHECK_GT(hops, 0);
+  Injection inj;
+  inj.kind = "worm";
+  inj.at = at;
+  std::vector<ExternalVertexId> chain = {RandomHost()};
+  while (static_cast<int>(chain.size()) < hops + 1) {
+    const ExternalVertexId next = RandomHost();
+    if (std::find(chain.begin(), chain.end(), next) != chain.end()) continue;
+    chain.push_back(next);
+  }
+  for (int h = 0; h < hops; ++h) {
+    inj.edges.push_back(MakeFlow(chain[h], chain[h + 1], exploit_, at + h));
+  }
+  injections_.push_back(std::move(inj));
+}
+
+void NetflowGenerator::InjectPortScan(Timestamp at, int num_targets) {
+  SW_CHECK_GT(num_targets, 0);
+  Injection inj;
+  inj.kind = "port_scan";
+  inj.at = at;
+  const ExternalVertexId scanner = RandomHost();
+  std::vector<ExternalVertexId> targets;
+  while (static_cast<int>(targets.size()) < num_targets) {
+    const ExternalVertexId t = RandomHost();
+    if (t == scanner ||
+        std::find(targets.begin(), targets.end(), t) != targets.end()) {
+      continue;
+    }
+    targets.push_back(t);
+  }
+  for (int i = 0; i < num_targets; ++i) {
+    inj.edges.push_back(MakeFlow(scanner, targets[i], syn_probe_, at + i));
+  }
+  injections_.push_back(std::move(inj));
+}
+
+void NetflowGenerator::InjectExfiltration(Timestamp at) {
+  Injection inj;
+  inj.kind = "exfiltration";
+  inj.at = at;
+  const ExternalVertexId internal = RandomHost();
+  ExternalVertexId staging = RandomHost();
+  while (staging == internal) staging = RandomHost();
+  ExternalVertexId external = RandomHost();
+  while (external == internal || external == staging) {
+    external = RandomHost();
+  }
+  inj.edges.push_back(MakeFlow(internal, staging, copy_, at));
+  inj.edges.push_back(MakeFlow(staging, external, upload_, at + 1));
+  injections_.push_back(std::move(inj));
+}
+
+std::vector<StreamEdge> NetflowGenerator::Generate() {
+  SW_CHECK(!generated_) << "Generate() may be called once";
+  generated_ = true;
+
+  std::vector<StreamEdge> edges;
+  edges.reserve(options_.background_edges);
+  // Preferential endpoint pool, as in GeneratePreferentialStream.
+  std::vector<ExternalVertexId> pool;
+  auto draw = [&]() -> ExternalVertexId {
+    if (pool.empty() || rng_.NextBool(0.3)) return RandomHost();
+    return pool[rng_.NextBounded(pool.size())];
+  };
+  for (int i = 0; i < options_.background_edges; ++i) {
+    const ExternalVertexId src = draw();
+    ExternalVertexId dst = draw();
+    if (dst == src) dst = RandomHost();
+    const LabelId protocol =
+        background_protocols_[protocol_sampler_.Sample(rng_)];
+    edges.push_back(
+        MakeFlow(src, dst, protocol, i / options_.edges_per_tick));
+    pool.push_back(src);
+    pool.push_back(dst);
+  }
+  for (const Injection& inj : injections_) {
+    edges.insert(edges.end(), inj.edges.begin(), inj.edges.end());
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const StreamEdge& a, const StreamEdge& b) {
+                     return a.ts < b.ts;
+                   });
+  return edges;
+}
+
+}  // namespace streamworks

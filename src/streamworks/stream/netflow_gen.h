@@ -1,0 +1,109 @@
+#ifndef STREAMWORKS_STREAM_NETFLOW_GEN_H_
+#define STREAMWORKS_STREAM_NETFLOW_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/random.h"
+#include "streamworks/graph/stream_edge.h"
+
+namespace streamworks {
+
+/// An attack (or event) planted into a generated stream, with the exact
+/// edges that realise it — the ground truth the detection tests check
+/// against.
+struct Injection {
+  std::string kind;          ///< "smurf", "worm", "port_scan", ...
+  Timestamp at = 0;          ///< Timestamp of the injection's first edge.
+  std::vector<StreamEdge> edges;
+};
+
+/// CAIDA-substitute (DESIGN.md §5): a synthetic internet-traffic stream
+/// over `num_hosts` hosts partitioned into `num_subnets` subnets.
+///
+/// Background traffic draws source/destination with preferential attachment
+/// (heavy-tailed degrees, like real flow data) and a Zipf-skewed protocol
+/// mix over the standard labels (tcpConn most common; icmpEchoReq /
+/// icmpEchoReply / synProbe / exploit / copy / upload present as rare noise
+/// so attack patterns are non-trivially selective). All vertices carry the
+/// "Host" label; multi-relational structure lives in the edge labels, as in
+/// flow records.
+///
+/// Attack motifs (paper Fig. 3) are planted with Inject* before Generate():
+///   * Smurf DDoS: attacker -> k amplifiers (icmpEchoReq), each amplifier
+///     -> victim (icmpEchoReply), unfolding over a few ticks;
+///   * worm propagation: a chain of `hops` exploit edges;
+///   * port scan: one scanner -> k distinct targets (synProbe);
+///   * exfiltration: internal -[copy]-> staging -[upload]-> external.
+///
+/// Generation is deterministic for a seed, and injections are recorded as
+/// ground truth.
+class NetflowGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    int num_hosts = 256;
+    int num_subnets = 8;
+    int background_edges = 10000;
+    int edges_per_tick = 20;
+    /// Zipf exponent over the protocol table (0 = uniform mix).
+    double protocol_skew = 1.2;
+    /// If false, the background never emits attack-class protocols
+    /// (icmpEcho*/synProbe/exploit/copy/upload), so every detection is an
+    /// injection. If true (default), those labels occur as noise.
+    bool attack_label_noise = true;
+  };
+
+  NetflowGenerator(const Options& options, Interner* interner);
+
+  /// Subnet index of a host id.
+  int SubnetOf(ExternalVertexId host) const {
+    return static_cast<int>(host) / hosts_per_subnet_;
+  }
+  int hosts_per_subnet() const { return hosts_per_subnet_; }
+
+  // --- Attack injection (call before Generate) -----------------------------
+  /// Smurf reflector attack at time `at`: the attacker and victim are drawn
+  /// from the given subnets (use -1 for a random subnet).
+  void InjectSmurf(Timestamp at, int num_amplifiers, int attacker_subnet = -1,
+                   int victim_subnet = -1);
+  void InjectWorm(Timestamp at, int hops);
+  void InjectPortScan(Timestamp at, int num_targets);
+  void InjectExfiltration(Timestamp at);
+
+  /// Produces the full stream: background plus injections, merged in
+  /// timestamp order. Can be called once.
+  std::vector<StreamEdge> Generate();
+
+  /// Ground truth of everything injected.
+  const std::vector<Injection>& injections() const { return injections_; }
+
+ private:
+  StreamEdge MakeFlow(ExternalVertexId src, ExternalVertexId dst,
+                      LabelId protocol, Timestamp ts) const;
+  ExternalVertexId RandomHostInSubnet(int subnet);
+  ExternalVertexId RandomHost();
+
+  Options options_;
+  Interner* interner_;
+  Rng rng_;
+  int hosts_per_subnet_;
+  LabelId host_label_;
+  std::vector<LabelId> background_protocols_;
+  ZipfSampler protocol_sampler_;
+
+  LabelId icmp_echo_req_;
+  LabelId icmp_echo_reply_;
+  LabelId syn_probe_;
+  LabelId exploit_;
+  LabelId copy_;
+  LabelId upload_;
+
+  std::vector<Injection> injections_;
+  bool generated_ = false;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_STREAM_NETFLOW_GEN_H_

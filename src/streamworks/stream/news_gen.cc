@@ -1,0 +1,152 @@
+#include "streamworks/stream/news_gen.h"
+
+#include <algorithm>
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+NewsGenerator::NewsGenerator(const Options& options, Interner* interner)
+    : options_(options),
+      interner_(interner),
+      rng_(options.seed),
+      keyword_sampler_(options.num_keywords, options.entity_skew),
+      location_sampler_(options.num_locations, options.entity_skew),
+      person_sampler_(options.num_people, options.entity_skew),
+      org_sampler_(options.num_organizations, options.entity_skew) {
+  SW_CHECK_GT(options.num_articles, 0);
+  SW_CHECK_GT(options.num_keywords, 0);
+  SW_CHECK_GT(options.num_locations, 0);
+  SW_CHECK(!options.topics.empty());
+  SW_CHECK_GE(options.keywords_per_article, 1.0);
+  article_label_ = interner->Intern("Article");
+  location_label_ = interner->Intern("Location");
+  person_label_ = interner->Intern("Person");
+  org_label_ = interner->Intern("Organization");
+  has_keyword_ = interner->Intern("hasKeyword");
+  has_location_ = interner->Intern("hasLocation");
+  mentions_person_ = interner->Intern("mentionsPerson");
+  mentions_org_ = interner->Intern("mentionsOrg");
+  for (const std::string& t : options.topics) {
+    topic_labels_.push_back(interner->Intern(t));
+  }
+}
+
+StreamEdge NewsGenerator::Link(ExternalVertexId article,
+                               ExternalVertexId entity,
+                               LabelId entity_label, LabelId edge_label,
+                               Timestamp ts) const {
+  StreamEdge e;
+  e.src = article;
+  e.dst = entity;
+  e.src_label = article_label_;
+  e.dst_label = entity_label;
+  e.edge_label = edge_label;
+  e.ts = ts;
+  return e;
+}
+
+void NewsGenerator::EmitArticle(ExternalVertexId article, Timestamp ts,
+                                const std::vector<int>& keyword_ranks,
+                                int location_rank, int person_rank,
+                                int org_rank,
+                                std::vector<StreamEdge>* out) const {
+  for (int rank : keyword_ranks) {
+    out->push_back(Link(article, kKeywordBase + rank,
+                        topic_labels_[rank % topic_labels_.size()],
+                        has_keyword_, ts));
+  }
+  if (location_rank >= 0) {
+    out->push_back(Link(article, kLocationBase + location_rank,
+                        location_label_, has_location_, ts));
+  }
+  if (person_rank >= 0) {
+    out->push_back(Link(article, kPersonBase + person_rank, person_label_,
+                        mentions_person_, ts));
+  }
+  if (org_rank >= 0) {
+    out->push_back(Link(article, kOrganizationBase + org_rank, org_label_,
+                        mentions_org_, ts));
+  }
+}
+
+void NewsGenerator::InjectEvent(Timestamp at, std::string_view topic,
+                                int num_articles) {
+  SW_CHECK_GT(num_articles, 0);
+  // Find the topic index; the keyword is drawn among keywords of that
+  // topic (topics stripe the keyword ranks).
+  int topic_index = -1;
+  for (size_t i = 0; i < options_.topics.size(); ++i) {
+    if (options_.topics[i] == topic) {
+      topic_index = static_cast<int>(i);
+      break;
+    }
+  }
+  SW_CHECK_GE(topic_index, 0) << "unknown topic '" << topic << "'";
+  const int strides =
+      (options_.num_keywords - 1 - topic_index) /
+          static_cast<int>(options_.topics.size()) +
+      1;
+  const int keyword_rank =
+      topic_index + static_cast<int>(options_.topics.size()) *
+                        static_cast<int>(rng_.NextBounded(strides));
+  const int location_rank =
+      static_cast<int>(rng_.NextBounded(options_.num_locations));
+
+  Injection inj;
+  inj.kind = std::string("event_") + std::string(topic);
+  inj.at = at;
+  for (int i = 0; i < num_articles; ++i) {
+    // Injected articles get ids above the background range so they never
+    // collide with organically published ones.
+    const ExternalVertexId article =
+        kArticleBase + options_.num_articles + next_injected_article_++;
+    EmitArticle(article, at + i, {keyword_rank}, location_rank,
+                /*person_rank=*/-1, /*org_rank=*/-1, &inj.edges);
+  }
+  injections_.push_back(std::move(inj));
+}
+
+std::vector<StreamEdge> NewsGenerator::Generate() {
+  SW_CHECK(!generated_) << "Generate() may be called once";
+  generated_ = true;
+
+  std::vector<StreamEdge> edges;
+  for (int i = 0; i < options_.num_articles; ++i) {
+    const ExternalVertexId article = kArticleBase + i;
+    const Timestamp ts = i / options_.articles_per_tick;
+    // 1 + geometric-ish keyword count with the configured mean.
+    const int num_keywords = static_cast<int>(
+        rng_.NextBurstSize(options_.keywords_per_article));
+    std::vector<int> keyword_ranks;
+    for (int k = 0; k < num_keywords; ++k) {
+      const int rank = static_cast<int>(keyword_sampler_.Sample(rng_));
+      if (std::find(keyword_ranks.begin(), keyword_ranks.end(), rank) ==
+          keyword_ranks.end()) {
+        keyword_ranks.push_back(rank);
+      }
+    }
+    const int location_rank =
+        rng_.NextBool(0.85)
+            ? static_cast<int>(location_sampler_.Sample(rng_))
+            : -1;
+    const int person_rank =
+        rng_.NextBool(0.6) ? static_cast<int>(person_sampler_.Sample(rng_))
+                           : -1;
+    const int org_rank =
+        rng_.NextBool(0.4) ? static_cast<int>(org_sampler_.Sample(rng_))
+                           : -1;
+    EmitArticle(article, ts, keyword_ranks, location_rank, person_rank,
+                org_rank, &edges);
+  }
+  for (const Injection& inj : injections_) {
+    edges.insert(edges.end(), inj.edges.begin(), inj.edges.end());
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const StreamEdge& a, const StreamEdge& b) {
+                     return a.ts < b.ts;
+                   });
+  return edges;
+}
+
+}  // namespace streamworks

@@ -1,0 +1,111 @@
+#ifndef STREAMWORKS_STREAM_NEWS_GEN_H_
+#define STREAMWORKS_STREAM_NEWS_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/random.h"
+#include "streamworks/graph/stream_edge.h"
+#include "streamworks/stream/netflow_gen.h"  // Injection
+
+namespace streamworks {
+
+/// New-York-Times-substitute (DESIGN.md §5): a synthetic news/social stream
+/// as a multi-relational graph, after the paper's Fig. 2 / §5.2 model.
+///
+/// Vertices: Article (one per published article), Keyword, Location,
+/// Person, Organization. Each keyword belongs to a *topic* ("politics",
+/// "sports", ...) and carries the topic as its vertex label, so topic-
+/// specialised queries (Fig. 5) are expressible as label constraints.
+/// Locations/people/organizations carry their generic labels.
+///
+/// Edges (article -> entity): hasKeyword, hasLocation, mentionsPerson,
+/// mentionsOrg, timestamped by publication tick. Entity popularity is
+/// Zipf-skewed, so popular keyword/location pairs co-occur organically —
+/// the background against which planted events must be detected.
+///
+/// InjectEvent plants the Fig. 2 pattern: `num_articles` articles published
+/// back-to-back that share one keyword (of a chosen topic) and one
+/// location.
+class NewsGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    int num_articles = 2000;
+    int num_keywords = 400;
+    int num_locations = 150;
+    int num_people = 300;
+    int num_organizations = 120;
+    /// Zipf exponent over entity popularity.
+    double entity_skew = 1.0;
+    /// Mean number of keyword links per article (>= 1); locations, people
+    /// and organizations attach with fixed probabilities.
+    double keywords_per_article = 1.6;
+    int articles_per_tick = 4;
+    std::vector<std::string> topics = {"politics", "sports",   "business",
+                                       "accident", "science",  "health"};
+  };
+
+  NewsGenerator(const Options& options, Interner* interner);
+
+  // --- External-id scheme (stable, disjoint ranges) -------------------------
+  static constexpr ExternalVertexId kArticleBase = 1'000'000'000ull;
+  static constexpr ExternalVertexId kKeywordBase = 2'000'000'000ull;
+  static constexpr ExternalVertexId kLocationBase = 3'000'000'000ull;
+  static constexpr ExternalVertexId kPersonBase = 4'000'000'000ull;
+  static constexpr ExternalVertexId kOrganizationBase = 5'000'000'000ull;
+
+  /// Topic name of keyword `rank` (keywords are striped across topics).
+  const std::string& TopicOfKeyword(int rank) const {
+    return options_.topics[rank % options_.topics.size()];
+  }
+
+  /// Plants a Fig. 2 event at time `at`: `num_articles` fresh articles all
+  /// linked to one keyword of `topic` and one shared location. Call before
+  /// Generate().
+  void InjectEvent(Timestamp at, std::string_view topic,
+                   int num_articles = 3);
+
+  /// Produces the stream (background + events) in timestamp order. Once.
+  std::vector<StreamEdge> Generate();
+
+  const std::vector<Injection>& injections() const { return injections_; }
+
+ private:
+  /// Emits the edges of one article given its entity choices.
+  void EmitArticle(ExternalVertexId article, Timestamp ts,
+                   const std::vector<int>& keyword_ranks, int location_rank,
+                   int person_rank, int org_rank,
+                   std::vector<StreamEdge>* out) const;
+
+  StreamEdge Link(ExternalVertexId article, ExternalVertexId entity,
+                  LabelId entity_label, LabelId edge_label,
+                  Timestamp ts) const;
+
+  Options options_;
+  Interner* interner_;
+  Rng rng_;
+  ZipfSampler keyword_sampler_;
+  ZipfSampler location_sampler_;
+  ZipfSampler person_sampler_;
+  ZipfSampler org_sampler_;
+
+  LabelId article_label_;
+  LabelId location_label_;
+  LabelId person_label_;
+  LabelId org_label_;
+  LabelId has_keyword_;
+  LabelId has_location_;
+  LabelId mentions_person_;
+  LabelId mentions_org_;
+  std::vector<LabelId> topic_labels_;  ///< Vertex label per topic.
+
+  std::vector<Injection> injections_;
+  int next_injected_article_ = 0;  ///< Ids above the background range.
+  bool generated_ = false;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_STREAM_NEWS_GEN_H_

@@ -1,0 +1,69 @@
+#include "streamworks/stream/workload_queries.h"
+
+#include "streamworks/common/logging.h"
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+QueryGraph BuildSmurfQuery(Interner* interner, int num_amplifiers) {
+  SW_CHECK_GT(num_amplifiers, 0);
+  QueryGraphBuilder builder(interner);
+  const QueryVertexId attacker = builder.AddVertex("Host");
+  const QueryVertexId victim = builder.AddVertex("Host");
+  for (int i = 0; i < num_amplifiers; ++i) {
+    const QueryVertexId amp = builder.AddVertex("Host");
+    builder.AddEdge(attacker, amp, "icmpEchoReq");
+    builder.AddEdge(amp, victim, "icmpEchoReply");
+  }
+  return builder.Build(StrCat("smurf_ddos_", num_amplifiers)).value();
+}
+
+QueryGraph BuildWormQuery(Interner* interner, int hops) {
+  SW_CHECK_GT(hops, 0);
+  QueryGraphBuilder builder(interner);
+  QueryVertexId prev = builder.AddVertex("Host");
+  for (int i = 0; i < hops; ++i) {
+    const QueryVertexId next = builder.AddVertex("Host");
+    builder.AddEdge(prev, next, "exploit");
+    prev = next;
+  }
+  return builder.Build(StrCat("worm_", hops, "hop")).value();
+}
+
+QueryGraph BuildPortScanQuery(Interner* interner, int num_targets) {
+  SW_CHECK_GT(num_targets, 0);
+  QueryGraphBuilder builder(interner);
+  const QueryVertexId scanner = builder.AddVertex("Host");
+  for (int i = 0; i < num_targets; ++i) {
+    const QueryVertexId target = builder.AddVertex("Host");
+    builder.AddEdge(scanner, target, "synProbe");
+  }
+  return builder.Build(StrCat("port_scan_", num_targets)).value();
+}
+
+QueryGraph BuildExfiltrationQuery(Interner* interner) {
+  QueryGraphBuilder builder(interner);
+  const QueryVertexId internal = builder.AddVertex("Host");
+  const QueryVertexId staging = builder.AddVertex("Host");
+  const QueryVertexId external = builder.AddVertex("Host");
+  builder.AddEdge(internal, staging, "copy");
+  builder.AddEdge(staging, external, "upload");
+  return builder.Build("exfiltration").value();
+}
+
+QueryGraph BuildNewsEventQuery(Interner* interner, std::string_view topic,
+                               int num_articles) {
+  SW_CHECK_GT(num_articles, 0);
+  QueryGraphBuilder builder(interner);
+  const QueryVertexId keyword = builder.AddVertex(topic);
+  const QueryVertexId location = builder.AddVertex("Location");
+  for (int i = 0; i < num_articles; ++i) {
+    const QueryVertexId article = builder.AddVertex("Article");
+    builder.AddEdge(article, keyword, "hasKeyword");
+    builder.AddEdge(article, location, "hasLocation");
+  }
+  return builder.Build(StrCat("news_event_", topic, "_", num_articles))
+      .value();
+}
+
+}  // namespace streamworks

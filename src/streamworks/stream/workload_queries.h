@@ -1,0 +1,38 @@
+#ifndef STREAMWORKS_STREAM_WORKLOAD_QUERIES_H_
+#define STREAMWORKS_STREAM_WORKLOAD_QUERIES_H_
+
+#include <string_view>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/graph/query_graph.h"
+
+namespace streamworks {
+
+/// The paper's example queries, ready-built against the label vocabularies
+/// of NetflowGenerator and NewsGenerator.
+
+/// Smurf DDoS reflector pattern (paper Fig. 3 / Fig. 7): an attacker sends
+/// icmpEchoReq to `num_amplifiers` distinct amplifiers, each of which sends
+/// icmpEchoReply to one victim. 2 + num_amplifiers vertices,
+/// 2 * num_amplifiers edges.
+QueryGraph BuildSmurfQuery(Interner* interner, int num_amplifiers = 3);
+
+/// Worm propagation: a chain of `hops` exploit edges across distinct hosts.
+QueryGraph BuildWormQuery(Interner* interner, int hops = 3);
+
+/// Port scan: one scanner probes `num_targets` distinct targets (synProbe).
+QueryGraph BuildPortScanQuery(Interner* interner, int num_targets = 4);
+
+/// Data exfiltration: internal -[copy]-> staging -[upload]-> external.
+QueryGraph BuildExfiltrationQuery(Interner* interner);
+
+/// The Fig. 2 news query: `num_articles` articles sharing one keyword of
+/// the given topic and one location. The keyword vertex carries the topic
+/// as its label (NewsGenerator's convention), so the same shape specialises
+/// per topic as in Fig. 5 ("politics", "accident", ...).
+QueryGraph BuildNewsEventQuery(Interner* interner, std::string_view topic,
+                               int num_articles = 3);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_STREAM_WORKLOAD_QUERIES_H_

@@ -1,0 +1,107 @@
+#include "streamworks/viz/dot_export.h"
+
+#include <sstream>
+
+namespace streamworks {
+
+std::string QueryGraphToDot(const QueryGraph& query,
+                            const Interner& interner) {
+  std::ostringstream os;
+  os << "digraph query {\n";
+  os << "  label=\"" << query.name() << "\";\n";
+  os << "  node [shape=ellipse];\n";
+  for (int v = 0; v < query.num_vertices(); ++v) {
+    os << "  v" << v << " [label=\"v" << v << ": "
+       << interner.Name(query.vertex_label(static_cast<QueryVertexId>(v)))
+       << "\"];\n";
+  }
+  for (int e = 0; e < query.num_edges(); ++e) {
+    const QueryEdge& qe = query.edge(static_cast<QueryEdgeId>(e));
+    os << "  v" << static_cast<int>(qe.src) << " -> v"
+       << static_cast<int>(qe.dst) << " [label=\""
+       << interner.Name(qe.label) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string DataGraphToDot(const DynamicGraph& graph,
+                           const Interner& interner,
+                           const EdgeColorMap& colors, size_t max_edges) {
+  std::ostringstream os;
+  os << "digraph window {\n";
+  os << "  node [shape=circle, fontsize=10];\n";
+  std::unordered_map<VertexId, bool> emitted_vertex;
+  auto emit_vertex = [&](VertexId v) {
+    if (emitted_vertex.emplace(v, true).second) {
+      os << "  n" << v << " [label=\"" << graph.external_id(v) << "\\n"
+         << interner.Name(graph.vertex_label(v)) << "\"];\n";
+    }
+  };
+  size_t count = 0;
+  for (EdgeId id = graph.first_stored_edge_id();
+       id < graph.next_edge_id() && count < max_edges; ++id, ++count) {
+    const EdgeRecord& record = graph.edge_record(id);
+    emit_vertex(record.src);
+    emit_vertex(record.dst);
+    os << "  n" << record.src << " -> n" << record.dst << " [label=\""
+       << interner.Name(record.label) << "@" << record.ts << "\"";
+    auto color_it = colors.find(id);
+    if (color_it != colors.end()) {
+      os << ", color=\"" << color_it->second << "\", penwidth=2.5";
+    }
+    os << "];\n";
+  }
+  if (count == max_edges && graph.num_stored_edges() > max_edges) {
+    os << "  truncated [shape=note, label=\"+"
+       << graph.num_stored_edges() - max_edges << " more edges\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+EdgeColorMap ColorMatches(const std::vector<Match>& matches,
+                          std::string_view color) {
+  EdgeColorMap map;
+  for (const Match& m : matches) {
+    for (int qe : m.bound_edges()) {
+      map[m.edge(static_cast<QueryEdgeId>(qe))] = std::string(color);
+    }
+  }
+  return map;
+}
+
+std::string SjTreeToDot(const SjTree& tree, const Interner& interner) {
+  const Decomposition& d = tree.decomposition();
+  const QueryGraph& q = tree.query();
+  std::ostringstream os;
+  os << "digraph sjtree {\n";
+  os << "  label=\"SJ-Tree for " << q.name() << "\";\n";
+  os << "  node [shape=box, fontsize=10];\n";
+  for (int n = 0; n < d.num_nodes(); ++n) {
+    os << "  t" << n << " [label=\"";
+    os << (d.IsLeaf(n) ? "leaf" : "join") << " n" << n << "\\n";
+    for (int e : d.node(n).edges) {
+      const QueryEdge& qe = q.edge(static_cast<QueryEdgeId>(e));
+      os << "v" << static_cast<int>(qe.src) << "-"
+         << interner.Name(qe.label) << "->v" << static_cast<int>(qe.dst)
+         << "\\n";
+    }
+    if (!d.IsLeaf(n)) {
+      os << "cut:";
+      for (int v : d.node(n).cut_vertices) os << " v" << v;
+      os << "\\n";
+    }
+    os << "live=" << tree.NumPartialMatches(n)
+       << " ins=" << tree.node_stats(n).matches_inserted << "\"];\n";
+  }
+  for (int n = 0; n < d.num_nodes(); ++n) {
+    if (d.IsLeaf(n)) continue;
+    os << "  t" << n << " -> t" << d.node(n).left << ";\n";
+    os << "  t" << n << " -> t" << d.node(n).right << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace streamworks

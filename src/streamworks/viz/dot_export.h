@@ -1,0 +1,50 @@
+#ifndef STREAMWORKS_VIZ_DOT_EXPORT_H_
+#define STREAMWORKS_VIZ_DOT_EXPORT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/match/match.h"
+#include "streamworks/sjtree/sj_tree.h"
+
+namespace streamworks {
+
+/// Graphviz-DOT exports — the data artefacts behind the demo's Gephi-based
+/// views (paper §6.2, Fig. 7): data-graph snapshots with partial and
+/// complete matches colour-coded by their SJ-Tree node, query graphs, and
+/// SJ-Tree shapes with live occupancy.
+
+/// Renders a query graph: vertices labelled "v0: Host", edges labelled
+/// with their type.
+std::string QueryGraphToDot(const QueryGraph& query,
+                            const Interner& interner);
+
+/// Optional colouring of data edges by id (e.g. the edges of partial or
+/// complete matches). Colors are any graphviz color strings.
+using EdgeColorMap = std::unordered_map<EdgeId, std::string>;
+
+/// Renders the live window of the data graph (only vertices with at least
+/// one live edge, capped at `max_edges` edges to keep snapshots readable).
+/// Edges found in `colors` are drawn bold in that colour.
+std::string DataGraphToDot(const DynamicGraph& graph,
+                           const Interner& interner,
+                           const EdgeColorMap& colors = {},
+                           size_t max_edges = 500);
+
+/// Builds an EdgeColorMap from matches: every edge of every match gets the
+/// colour of the palette entry for the match's SJ-Tree node depth (partial
+/// matches shallow, completions saturated) — the Fig. 7 encoding.
+EdgeColorMap ColorMatches(const std::vector<Match>& matches,
+                          std::string_view color);
+
+/// Renders an SJ-Tree: one box per node with its query subgraph, cut, and
+/// current live-match count (the "choice of decomposition" view).
+std::string SjTreeToDot(const SjTree& tree, const Interner& interner);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_VIZ_DOT_EXPORT_H_

@@ -1,0 +1,64 @@
+#include "streamworks/viz/event_table.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace streamworks {
+
+void EventTable::Add(Timestamp time, std::string query, std::string key,
+                     std::string detail) {
+  rows_.push_back(Row{time, std::move(query), std::move(key),
+                      std::move(detail)});
+}
+
+std::vector<std::pair<std::string, size_t>> EventTable::CountByKey() const {
+  std::map<std::string, size_t> counts;
+  for (const Row& row : rows_) ++counts[row.key];
+  std::vector<std::pair<std::string, size_t>> out(counts.begin(),
+                                                  counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::string EventTable::RenderAscii() const {
+  size_t query_w = 5;
+  size_t key_w = 3;
+  size_t time_w = 4;
+  for (const Row& row : rows_) {
+    query_w = std::max(query_w, row.query.size());
+    key_w = std::max(key_w, row.key.size());
+    time_w = std::max(time_w, std::to_string(row.time).size());
+  }
+  std::ostringstream os;
+  auto pad = [&](const std::string& s, size_t w) {
+    os << s << std::string(w - s.size(), ' ') << "  ";
+  };
+  pad("time", time_w);
+  pad("query", query_w);
+  pad("key", key_w);
+  os << "detail\n";
+  os << std::string(time_w + query_w + key_w + 12, '-') << "\n";
+  for (const Row& row : rows_) {
+    pad(std::to_string(row.time), time_w);
+    pad(row.query, query_w);
+    pad(row.key, key_w);
+    os << row.detail << "\n";
+  }
+  return os.str();
+}
+
+std::string EventTable::RenderCsv() const {
+  std::ostringstream os;
+  os << "time,query,key,detail\n";
+  for (const Row& row : rows_) {
+    os << row.time << "," << row.query << "," << row.key << "," << row.detail
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace streamworks

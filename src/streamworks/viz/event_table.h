@@ -1,0 +1,46 @@
+#ifndef STREAMWORKS_VIZ_EVENT_TABLE_H_
+#define STREAMWORKS_VIZ_EVENT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "streamworks/common/types.h"
+
+namespace streamworks {
+
+/// Tabular event view (paper Figs. 5/6 substitute): one row per detected
+/// event with time, query name, a grouping key (location, subnet, ...) and
+/// free-form detail, rendered as an aligned ASCII table or CSV. This is the
+/// engine-side data artefact behind the demo's map view: any consumer can
+/// group rows by the key column.
+class EventTable {
+ public:
+  struct Row {
+    Timestamp time = 0;
+    std::string query;
+    std::string key;
+    std::string detail;
+  };
+
+  void Add(Timestamp time, std::string query, std::string key,
+           std::string detail);
+
+  size_t size() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Count of rows per distinct key, descending — the "events by location"
+  /// summary of Fig. 5.
+  std::vector<std::pair<std::string, size_t>> CountByKey() const;
+
+  /// Aligned ASCII table with a header.
+  std::string RenderAscii() const;
+  /// CSV with header "time,query,key,detail".
+  std::string RenderCsv() const;
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_VIZ_EVENT_TABLE_H_

@@ -1,0 +1,108 @@
+#include "streamworks/viz/gexf_export.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace streamworks {
+
+namespace {
+
+struct Rgb {
+  int r, g, b;
+};
+
+Rgb ColorToRgb(const std::string& name) {
+  if (name == "red") return {220, 40, 40};
+  if (name == "blue") return {40, 80, 220};
+  if (name == "green") return {30, 160, 60};
+  if (name == "orange") return {240, 150, 20};
+  if (name == "purple") return {150, 60, 200};
+  return {128, 128, 128};
+}
+
+/// Minimal XML text escaping for label attributes.
+std::string XmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DataGraphToGexf(const DynamicGraph& graph,
+                            const Interner& interner,
+                            const EdgeColorMap& colors, size_t max_edges) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  os << "<gexf xmlns=\"http://www.gexf.net/1.2draft\" "
+        "xmlns:viz=\"http://www.gexf.net/1.2draft/viz\" "
+        "version=\"1.2\">\n";
+  os << "  <graph mode=\"dynamic\" defaultedgetype=\"directed\" "
+        "timeformat=\"double\">\n";
+  os << "    <attributes class=\"node\">\n"
+        "      <attribute id=\"0\" title=\"type\" type=\"string\"/>\n"
+        "    </attributes>\n";
+  os << "    <attributes class=\"edge\">\n"
+        "      <attribute id=\"1\" title=\"type\" type=\"string\"/>\n"
+        "    </attributes>\n";
+
+  // Nodes: every vertex incident to an exported edge.
+  std::unordered_map<VertexId, bool> used;
+  const EdgeId begin = graph.first_stored_edge_id();
+  const EdgeId end =
+      std::min<EdgeId>(graph.next_edge_id(), begin + max_edges);
+  for (EdgeId id = begin; id < end; ++id) {
+    const EdgeRecord& rec = graph.edge_record(id);
+    used.emplace(rec.src, true);
+    used.emplace(rec.dst, true);
+  }
+  os << "    <nodes>\n";
+  for (const auto& [v, unused] : used) {
+    os << "      <node id=\"" << v << "\" label=\""
+       << graph.external_id(v) << "\">\n"
+       << "        <attvalues><attvalue for=\"0\" value=\""
+       << XmlEscape(interner.Name(graph.vertex_label(v)))
+       << "\"/></attvalues>\n"
+       << "      </node>\n";
+  }
+  os << "    </nodes>\n";
+
+  os << "    <edges>\n";
+  for (EdgeId id = begin; id < end; ++id) {
+    const EdgeRecord& rec = graph.edge_record(id);
+    os << "      <edge id=\"" << id << "\" source=\"" << rec.src
+       << "\" target=\"" << rec.dst << "\" start=\"" << rec.ts << "\">\n"
+       << "        <attvalues><attvalue for=\"1\" value=\""
+       << XmlEscape(interner.Name(rec.label)) << "\"/></attvalues>\n";
+    auto color_it = colors.find(id);
+    if (color_it != colors.end()) {
+      const Rgb rgb = ColorToRgb(color_it->second);
+      os << "        <viz:color r=\"" << rgb.r << "\" g=\"" << rgb.g
+         << "\" b=\"" << rgb.b << "\"/>\n";
+    }
+    os << "      </edge>\n";
+  }
+  os << "    </edges>\n";
+  os << "  </graph>\n</gexf>\n";
+  return os.str();
+}
+
+}  // namespace streamworks

@@ -1,0 +1,29 @@
+#ifndef STREAMWORKS_VIZ_GEXF_EXPORT_H_
+#define STREAMWORKS_VIZ_GEXF_EXPORT_H_
+
+#include <string>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/viz/dot_export.h"  // EdgeColorMap
+
+namespace streamworks {
+
+/// GEXF 1.2 export of the live data-graph window — the interchange format
+/// of the Gephi visualisation tool the paper adapts for rendering data
+/// graph snapshots with partial/complete matches (§6.2). Vertices carry
+/// their external id and type label; edges carry type label and timestamp
+/// (as a dynamic "start" attribute, so Gephi's timeline can replay the
+/// window); edges present in `colors` get an RGB <viz:color> matching the
+/// Fig. 7 encoding. Supported colour names: red, blue, green, orange,
+/// purple (anything else renders grey).
+///
+/// Output is valid standalone XML; `max_edges` caps snapshot size.
+std::string DataGraphToGexf(const DynamicGraph& graph,
+                            const Interner& interner,
+                            const EdgeColorMap& colors = {},
+                            size_t max_edges = 2000);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_VIZ_GEXF_EXPORT_H_

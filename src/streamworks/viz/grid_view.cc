@@ -1,0 +1,75 @@
+#include "streamworks/viz/grid_view.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+GridView::GridView(Timestamp slice_width) : slice_width_(slice_width) {
+  SW_CHECK_GT(slice_width, 0);
+}
+
+void GridView::Add(const std::string& row, Timestamp ts, uint64_t count) {
+  auto [it, inserted] = cells_.try_emplace(row);
+  if (inserted) row_order_.push_back(row);
+  const int slice = static_cast<int>(ts / slice_width_);
+  it->second[slice] += count;
+  num_slices_ = std::max(num_slices_, slice + 1);
+}
+
+uint64_t GridView::CellCount(const std::string& row, int slice) const {
+  auto row_it = cells_.find(row);
+  if (row_it == cells_.end()) return 0;
+  auto cell_it = row_it->second.find(slice);
+  return cell_it == row_it->second.end() ? 0 : cell_it->second;
+}
+
+std::string GridView::RenderAscii() const {
+  static constexpr char kShades[] = {' ', '.', ':', '*', '#', '@'};
+  uint64_t max_cell = 1;
+  for (const auto& [row, cells] : cells_) {
+    for (const auto& [slice, count] : cells) {
+      max_cell = std::max(max_cell, count);
+    }
+  }
+  size_t name_width = 4;
+  for (const std::string& row : row_order_) {
+    name_width = std::max(name_width, row.size());
+  }
+  std::ostringstream os;
+  os << std::string(name_width, ' ') << " |";
+  for (int s = 0; s < num_slices_; ++s) os << (s % 10);
+  os << "|  (time slices of " << slice_width_ << " ticks, max cell "
+     << max_cell << ")\n";
+  for (const std::string& row : row_order_) {
+    os << row << std::string(name_width - row.size(), ' ') << " |";
+    for (int s = 0; s < num_slices_; ++s) {
+      const uint64_t count = CellCount(row, s);
+      // 0 -> ' '; otherwise scale into 1..5 with the maximum cell at '@'.
+      const size_t shade =
+          count == 0
+              ? 0
+              : 1 + (count * (std::size(kShades) - 1) - 1) / max_cell;
+      os << kShades[std::min(shade, std::size(kShades) - 1)];
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string GridView::RenderCsv() const {
+  std::ostringstream os;
+  os << "row";
+  for (int s = 0; s < num_slices_; ++s) os << ",slice_" << s;
+  os << "\n";
+  for (const std::string& row : row_order_) {
+    os << row;
+    for (int s = 0; s < num_slices_; ++s) os << "," << CellCount(row, s);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace streamworks

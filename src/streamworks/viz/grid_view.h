@@ -1,0 +1,44 @@
+#ifndef STREAMWORKS_VIZ_GRID_VIEW_H_
+#define STREAMWORKS_VIZ_GRID_VIEW_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "streamworks/common/types.h"
+
+namespace streamworks {
+
+/// The grid view of paper Fig. 6: rows are named entities (subnetworks in
+/// the Smurf demo), columns are time slices, cells count events — rendered
+/// as an ASCII heat grid or CSV. Rows appear in insertion order; columns
+/// are the dense range [0, max slice seen].
+class GridView {
+ public:
+  /// `slice_width` is the number of timestamp units per column.
+  explicit GridView(Timestamp slice_width);
+
+  /// Adds `count` events for `row` at timestamp `ts`.
+  void Add(const std::string& row, Timestamp ts, uint64_t count = 1);
+
+  uint64_t CellCount(const std::string& row, int slice) const;
+  int num_slices() const { return num_slices_; }
+  size_t num_rows() const { return row_order_.size(); }
+
+  /// ASCII heat grid: one row per entity; cells use ' .:*#@' scaled to the
+  /// maximum cell count.
+  std::string RenderAscii() const;
+
+  /// CSV: header "row,slice_0,slice_1,..." then one line per row.
+  std::string RenderCsv() const;
+
+ private:
+  Timestamp slice_width_;
+  std::vector<std::string> row_order_;
+  std::map<std::string, std::map<int, uint64_t>> cells_;
+  int num_slices_ = 0;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_VIZ_GRID_VIEW_H_

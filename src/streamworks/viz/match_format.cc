@@ -1,0 +1,31 @@
+#include "streamworks/viz/match_format.h"
+
+#include <sstream>
+
+namespace streamworks {
+
+std::string FormatMatch(const Match& match, const QueryGraph& query,
+                        const DynamicGraph& graph,
+                        const Interner& interner) {
+  std::ostringstream os;
+  os << (query.name().empty() ? "match" : query.name());
+  if (!match.bound_edges().Empty()) {
+    os << " @ [" << match.min_ts() << ", " << match.max_ts() << "]";
+  }
+  os << ":\n";
+  for (int qe : match.bound_edges()) {
+    const QueryEdge& qedge = query.edge(static_cast<QueryEdgeId>(qe));
+    const EdgeId de = match.edge(static_cast<QueryEdgeId>(qe));
+    const EdgeRecord& rec = graph.edge_record(de);
+    os << "  v" << static_cast<int>(qedge.src) << ":"
+       << interner.Name(query.vertex_label(qedge.src)) << "="
+       << graph.external_id(rec.src) << " -["
+       << interner.Name(rec.label) << " @" << rec.ts << "]-> v"
+       << static_cast<int>(qedge.dst) << ":"
+       << interner.Name(query.vertex_label(qedge.dst)) << "="
+       << graph.external_id(rec.dst) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace streamworks

@@ -1,0 +1,29 @@
+#ifndef STREAMWORKS_VIZ_MATCH_FORMAT_H_
+#define STREAMWORKS_VIZ_MATCH_FORMAT_H_
+
+#include <string>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/match/match.h"
+
+namespace streamworks {
+
+/// Human-readable one-per-line rendering of a match against its data
+/// graph, resolving external vertex ids and label names:
+///
+///   smurf_ddos_3 @ [10, 13]:
+///     v0:Host=192 -[icmpEchoReq @10]-> v2:Host=7
+///     ...
+///
+/// Every bound query edge must still be stored in `graph` (true for
+/// matches rendered inside their completion callback; stored partials may
+/// outlive their edges' window).
+std::string FormatMatch(const Match& match, const QueryGraph& query,
+                        const DynamicGraph& graph,
+                        const Interner& interner);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_VIZ_MATCH_FORMAT_H_

@@ -1,0 +1,260 @@
+// Tests for adaptive re-planning (the paper's §4.3 future work implemented
+// in StreamWorksEngine): swapping a query's SJ-Tree mid-stream from live
+// statistics must preserve exactly-once match delivery, and must actually
+// adapt the plan when the stream's label distribution drifts.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "streamworks/baseline/naive.h"
+#include "streamworks/common/interner.h"
+#include "streamworks/core/engine.h"
+#include "streamworks/graph/random_graphs.h"
+
+namespace streamworks {
+namespace {
+
+StreamEdge MakeEdge(Interner* interner, uint64_t src, uint64_t dst,
+                    std::string_view elabel, Timestamp ts) {
+  StreamEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.src_label = interner->Intern("V");
+  e.dst_label = interner->Intern("V");
+  e.edge_label = interner->Intern(elabel);
+  e.ts = ts;
+  return e;
+}
+
+QueryGraph PathQuery(Interner* interner) {
+  QueryGraphBuilder builder(interner);
+  const auto va = builder.AddVertex("V");
+  const auto vb = builder.AddVertex("V");
+  const auto vc = builder.AddVertex("V");
+  builder.AddEdge(va, vb, "a");
+  builder.AddEdge(vb, vc, "b");
+  return builder.Build("drift_path").value();
+}
+
+TEST(ReplanTest, ExplicitDecompositionNeedsStrategyArgument) {
+  Interner interner;
+  EngineOptions options;
+  options.collect_statistics = true;
+  StreamWorksEngine engine(&interner, options);
+  const QueryGraph q = PathQuery(&interner);
+  const auto leaves = std::vector<Bitset64>{Bitset64::Single(0),
+                                            Bitset64::Single(1)};
+  const int id =
+      engine
+          .RegisterQuery(q, Decomposition::MakeLeftDeep(q, leaves).value(),
+                         100, nullptr)
+          .value();
+  auto result = engine.ReplanQuery(id);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  // Passing a strategy explicitly makes it re-plannable.
+  EXPECT_TRUE(
+      engine.ReplanQuery(id, DecompositionStrategy::kSelectivityLeftDeep)
+          .ok());
+}
+
+TEST(ReplanTest, UnknownQueryIdIsRejected) {
+  Interner interner;
+  EngineOptions options;
+  options.collect_statistics = true;
+  StreamWorksEngine engine(&interner, options);
+  EXPECT_FALSE(engine.ReplanQuery(0).ok());
+  EXPECT_FALSE(engine.ReplanQuery(-1).ok());
+}
+
+TEST(ReplanTest, UnchangedStatsYieldNoOpSwap) {
+  Interner interner;
+  EngineOptions options;
+  options.collect_statistics = true;
+  StreamWorksEngine engine(&interner, options);
+  const QueryGraph q = PathQuery(&interner);
+  const int id = engine
+                     .RegisterQuery(
+                         q, DecompositionStrategy::kSelectivityLeftDeep,
+                         100, nullptr)
+                     .value();
+  // Re-planning immediately sees the same statistics: same plan, no swap.
+  EXPECT_FALSE(engine.ReplanQuery(id).value());
+  EXPECT_EQ(engine.replans_performed(), 0u);
+}
+
+TEST(ReplanTest, AdaptsToLabelDistributionDrift) {
+  Interner interner;
+  EngineOptions options;
+  options.collect_statistics = true;
+  options.wedge_sample_rate = 1.0;
+  StreamWorksEngine engine(&interner, options);
+
+  // Phase 1: "a" edges are rare, "b" edges common.
+  Timestamp ts = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        engine.ProcessEdge(MakeEdge(&interner, 500 + i, 600 + i, "b", ts++))
+            .ok());
+  }
+  ASSERT_TRUE(
+      engine.ProcessEdge(MakeEdge(&interner, 1, 2, "a", ts++)).ok());
+
+  const QueryGraph q = PathQuery(&interner);
+  const int id = engine
+                     .RegisterQuery(
+                         q, DecompositionStrategy::kSelectivityLeftDeep,
+                         1000, nullptr)
+                     .value();
+  // The plan seeds with the rare "a" edge (query edge 0).
+  const Decomposition& before = engine.sjtree(id).decomposition();
+  EXPECT_TRUE(before.node(before.leaves()[0]).edges.Contains(0));
+
+  // Phase 2: flood of "a" edges makes "b" the selective one.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        engine.ProcessEdge(MakeEdge(&interner, 700 + i, 800 + i, "a", ts++))
+            .ok());
+  }
+  ASSERT_TRUE(engine.ReplanQuery(id).value());
+  EXPECT_EQ(engine.replans_performed(), 1u);
+  const Decomposition& after = engine.sjtree(id).decomposition();
+  EXPECT_TRUE(after.node(after.leaves()[0]).edges.Contains(1));
+}
+
+TEST(ReplanTest, SwapPreservesPendingPartialMatches) {
+  Interner interner;
+  EngineOptions options;
+  options.collect_statistics = true;
+  StreamWorksEngine engine(&interner, options);
+  const QueryGraph q = PathQuery(&interner);
+  int hits = 0;
+  const int id = engine
+                     .RegisterQuery(
+                         q, DecompositionStrategy::kSelectivityLeftDeep,
+                         100,
+                         [&](const CompleteMatch&) { ++hits; })
+                     .value();
+  // Half a match arrives, then a forced swap, then the other half: the
+  // backfill must carry the pending partial across the swap.
+  ASSERT_TRUE(engine.ProcessEdge(MakeEdge(&interner, 1, 2, "a", 0)).ok());
+  ASSERT_TRUE(
+      engine.ReplanQuery(id, DecompositionStrategy::kLeftDeepEdgeOrder)
+          .ok());
+  ASSERT_TRUE(engine.ProcessEdge(MakeEdge(&interner, 2, 3, "b", 1)).ok());
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ReplanTest, SwapDoesNotReemitCompletedMatches) {
+  Interner interner;
+  EngineOptions options;
+  options.collect_statistics = true;
+  StreamWorksEngine engine(&interner, options);
+  const QueryGraph q = PathQuery(&interner);
+  int hits = 0;
+  const int id = engine
+                     .RegisterQuery(
+                         q, DecompositionStrategy::kSelectivityLeftDeep,
+                         100,
+                         [&](const CompleteMatch&) { ++hits; })
+                     .value();
+  ASSERT_TRUE(engine.ProcessEdge(MakeEdge(&interner, 1, 2, "a", 0)).ok());
+  ASSERT_TRUE(engine.ProcessEdge(MakeEdge(&interner, 2, 3, "b", 1)).ok());
+  EXPECT_EQ(hits, 1);
+  // Force swaps with both strategies; the completed match must not fire
+  // again even though the backfill re-derives it inside the new tree.
+  ASSERT_TRUE(
+      engine.ReplanQuery(id, DecompositionStrategy::kLeftDeepEdgeOrder)
+          .ok());
+  ASSERT_TRUE(
+      engine.ReplanQuery(id, DecompositionStrategy::kBalancedBisection)
+          .ok());
+  EXPECT_EQ(hits, 1);
+  // And a fresh completion still works after the swaps.
+  ASSERT_TRUE(engine.ProcessEdge(MakeEdge(&interner, 2, 4, "b", 2)).ok());
+  EXPECT_EQ(hits, 2);
+}
+
+/// The decisive property: an auto-replanning engine emits exactly the same
+/// match multiset as a static engine and as the naive oracle, across
+/// random workloads.
+struct AutoReplanCase {
+  uint64_t seed;
+  int query_vertices;
+  int query_edges;
+  Timestamp window;
+  int replan_interval;
+};
+
+class AutoReplanEquivalenceTest
+    : public testing::TestWithParam<AutoReplanCase> {};
+
+TEST_P(AutoReplanEquivalenceTest, MatchesStaticEngineAndOracle) {
+  const auto& c = GetParam();
+  Interner interner;
+  RandomStreamOptions opt;
+  opt.seed = c.seed;
+  opt.num_vertices = 16;
+  opt.num_edges = 400;
+  opt.num_vertex_labels = 2;
+  opt.num_edge_labels = 3;
+  const auto edges = GenerateUniformStream(opt, &interner);
+
+  Rng rng(c.seed * 31 + 7);
+  const QueryGraph q =
+      GenerateRandomConnectedQuery(rng, c.query_vertices, c.query_edges, 2,
+                                   3, &interner)
+          .value();
+
+  EngineOptions adaptive_options;
+  adaptive_options.collect_statistics = true;
+  adaptive_options.wedge_sample_rate = 1.0;
+  adaptive_options.replan_interval = c.replan_interval;
+  StreamWorksEngine adaptive(&interner, adaptive_options);
+  std::multiset<uint64_t> adaptive_sigs;
+  ASSERT_TRUE(adaptive
+                  .RegisterQuery(
+                      q, DecompositionStrategy::kSelectivityLeftDeep,
+                      c.window,
+                      [&](const CompleteMatch& cm) {
+                        adaptive_sigs.insert(cm.match.MappingSignature());
+                      })
+                  .ok());
+
+  StreamWorksEngine static_engine(&interner);
+  std::multiset<uint64_t> static_sigs;
+  ASSERT_TRUE(static_engine
+                  .RegisterQuery(
+                      q, DecompositionStrategy::kLeftDeepEdgeOrder,
+                      c.window,
+                      [&](const CompleteMatch& cm) {
+                        static_sigs.insert(cm.match.MappingSignature());
+                      })
+                  .ok());
+
+  NaiveIncrementalMatcher naive(&q, c.window, &interner);
+  std::multiset<uint64_t> naive_sigs;
+  for (const StreamEdge& e : edges) {
+    ASSERT_TRUE(adaptive.ProcessEdge(e).ok());
+    ASSERT_TRUE(static_engine.ProcessEdge(e).ok());
+    const std::vector<Match> found = naive.ProcessEdge(e).value();
+    for (const Match& m : found) naive_sigs.insert(m.MappingSignature());
+  }
+
+  EXPECT_EQ(adaptive_sigs, static_sigs) << q.ToString(interner);
+  EXPECT_EQ(adaptive_sigs, naive_sigs) << q.ToString(interner);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AutoReplanEquivalenceTest,
+    testing::Values(AutoReplanCase{21, 3, 2, 12, 32},
+                    AutoReplanCase{22, 3, 3, 15, 64},
+                    AutoReplanCase{23, 4, 3, 10, 16},
+                    AutoReplanCase{24, 4, 4, 20, 48},
+                    AutoReplanCase{25, 5, 4, 25, 100},
+                    AutoReplanCase{26, 4, 5, 30, 24}));
+
+}  // namespace
+}  // namespace streamworks

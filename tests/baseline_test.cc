@@ -1,0 +1,179 @@
+// Tests for streamworks/baseline: the repeated-search matcher and the
+// naive no-decomposition incremental matcher.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "streamworks/baseline/naive.h"
+#include "streamworks/baseline/recompute.h"
+#include "streamworks/common/interner.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/graph/random_graphs.h"
+
+namespace streamworks {
+namespace {
+
+StreamEdge MakeEdge(Interner* interner, uint64_t src, uint64_t dst,
+                    std::string_view elabel, Timestamp ts) {
+  StreamEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.src_label = interner->Intern("V");
+  e.dst_label = interner->Intern("V");
+  e.edge_label = interner->Intern(elabel);
+  e.ts = ts;
+  return e;
+}
+
+QueryGraph PathQuery(Interner* interner) {
+  QueryGraphBuilder builder(interner);
+  const auto va = builder.AddVertex("V");
+  const auto vb = builder.AddVertex("V");
+  const auto vc = builder.AddVertex("V");
+  builder.AddEdge(va, vb, "x");
+  builder.AddEdge(vb, vc, "y");
+  return builder.Build("path2").value();
+}
+
+TEST(RecomputeMatcherTest, ReportsEachMatchOnce) {
+  Interner interner;
+  const QueryGraph q = PathQuery(&interner);
+  RecomputeMatcher matcher(&q, 100, &interner);
+
+  auto r1 = matcher.ProcessBatch({MakeEdge(&interner, 1, 2, "x", 0)});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->empty());
+
+  auto r2 = matcher.ProcessBatch({MakeEdge(&interner, 2, 3, "y", 1)});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 1u);
+
+  // Re-running on an unrelated batch re-enumerates the old match but does
+  // not report it again.
+  auto r3 = matcher.ProcessBatch({MakeEdge(&interner, 7, 8, "zz", 2)});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->empty());
+  EXPECT_GE(matcher.last_enumerated(), 1u);  // wasted re-discovery
+  EXPECT_EQ(matcher.total_matches(), 1u);
+}
+
+TEST(RecomputeMatcherTest, WastedWorkGrowsWithWindowContent) {
+  Interner interner;
+  const QueryGraph q = PathQuery(&interner);
+  RecomputeMatcher matcher(&q, 1000, &interner);
+  // Build k complete matches, then measure enumeration on a no-op batch.
+  Timestamp ts = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(matcher
+                    .ProcessBatch({MakeEdge(&interner, 100 + i, 200 + i,
+                                            "x", ts++)})
+                    .ok());
+    ASSERT_TRUE(matcher
+                    .ProcessBatch({MakeEdge(&interner, 200 + i, 300 + i,
+                                            "y", ts++)})
+                    .ok());
+  }
+  ASSERT_TRUE(
+      matcher.ProcessBatch({MakeEdge(&interner, 1, 2, "zz", ts)}).ok());
+  EXPECT_EQ(matcher.last_enumerated(), 10u);  // re-found all 10, reported 0
+  EXPECT_EQ(matcher.total_matches(), 10u);
+}
+
+TEST(RecomputeMatcherTest, WindowEvictionForgetsOldEdges) {
+  Interner interner;
+  const QueryGraph q = PathQuery(&interner);
+  RecomputeMatcher matcher(&q, 5, &interner);
+  ASSERT_TRUE(
+      matcher.ProcessBatch({MakeEdge(&interner, 1, 2, "x", 0)}).ok());
+  // 100 ticks later the x edge is long evicted; no match forms.
+  auto r = matcher.ProcessBatch({MakeEdge(&interner, 2, 3, "y", 100)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  EXPECT_LE(matcher.graph().num_stored_edges(), 1u);
+}
+
+TEST(RecomputeMatcherTest, PropagatesIngestErrors) {
+  Interner interner;
+  const QueryGraph q = PathQuery(&interner);
+  RecomputeMatcher matcher(&q, 100, &interner);
+  ASSERT_TRUE(
+      matcher.ProcessBatch({MakeEdge(&interner, 1, 2, "x", 10)}).ok());
+  EXPECT_FALSE(
+      matcher.ProcessBatch({MakeEdge(&interner, 1, 2, "x", 3)}).ok());
+}
+
+TEST(NaiveIncrementalMatcherTest, FindsMatchOnCompletingEdge) {
+  Interner interner;
+  const QueryGraph q = PathQuery(&interner);
+  NaiveIncrementalMatcher matcher(&q, 100, &interner);
+  EXPECT_TRUE(matcher.ProcessEdge(MakeEdge(&interner, 1, 2, "x", 0))
+                  .value()
+                  .empty());
+  const auto found =
+      matcher.ProcessEdge(MakeEdge(&interner, 2, 3, "y", 1)).value();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].bound_edges().Count(), 2);
+  EXPECT_EQ(matcher.total_matches(), 1u);
+}
+
+TEST(NaiveIncrementalMatcherTest, NoDuplicatesAcrossAnchorSlots) {
+  Interner interner;
+  // Query with two same-labelled edges: both anchor slots apply to every
+  // "x" edge; the id discipline must still prevent duplicates.
+  QueryGraphBuilder builder(&interner);
+  const auto v0 = builder.AddVertex("V");
+  const auto v1 = builder.AddVertex("V");
+  const auto v2 = builder.AddVertex("V");
+  builder.AddEdge(v0, v1, "x");
+  builder.AddEdge(v1, v2, "x");
+  const QueryGraph q = builder.Build().value();
+  NaiveIncrementalMatcher matcher(&q, 100, &interner);
+
+  std::multiset<uint64_t> sigs;
+  const std::vector<StreamEdge> stream = {MakeEdge(&interner, 1, 2, "x", 0),
+                                          MakeEdge(&interner, 2, 3, "x", 1),
+                                          MakeEdge(&interner, 3, 4, "x", 2)};
+  for (const StreamEdge& e : stream) {
+    const std::vector<Match> found_839 = matcher.ProcessEdge(e).value();
+    for (const Match& m : found_839) {
+      sigs.insert(m.MappingSignature());
+    }
+  }
+  // Matches: (e0,e1) and (e1,e2); each exactly once.
+  EXPECT_EQ(sigs.size(), 2u);
+  EXPECT_EQ(std::set<uint64_t>(sigs.begin(), sigs.end()).size(), 2u);
+}
+
+TEST(NaiveIncrementalMatcherTest, AgreesWithRecomputeOnRandomStream) {
+  Interner interner;
+  RandomStreamOptions opt;
+  opt.seed = 5150;
+  opt.num_vertices = 15;
+  opt.num_edges = 300;
+  opt.num_vertex_labels = 2;
+  opt.num_edge_labels = 2;
+  const auto edges = GenerateUniformStream(opt, &interner);
+  Rng rng(909);
+  const QueryGraph q =
+      GenerateRandomConnectedQuery(rng, 3, 3, 2, 2, &interner).value();
+
+  NaiveIncrementalMatcher naive(&q, 20, &interner);
+  RecomputeMatcher recompute(&q, 20, &interner);
+  std::multiset<uint64_t> naive_sigs;
+  std::multiset<uint64_t> recompute_sigs;
+  for (const StreamEdge& e : edges) {
+    const std::vector<Match> found_737 = naive.ProcessEdge(e).value();
+    for (const Match& m : found_737) {
+      naive_sigs.insert(m.MappingSignature());
+    }
+    const std::vector<Match> found_714 = recompute.ProcessBatch({e}).value();
+    for (const Match& m : found_714) {
+      recompute_sigs.insert(m.MappingSignature());
+    }
+  }
+  EXPECT_EQ(naive_sigs, recompute_sigs);
+}
+
+}  // namespace
+}  // namespace streamworks

@@ -1,0 +1,348 @@
+// Unit tests for streamworks/common: Status, StatusOr, hashing, Rng,
+// ZipfSampler, Interner, string utilities, Bitset64.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "streamworks/common/bitset64.h"
+#include "streamworks/common/hash.h"
+#include "streamworks/common/interner.h"
+#include "streamworks/common/random.h"
+#include "streamworks/common/status.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+namespace {
+
+// --- Status / StatusOr ----------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad window");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad window");
+  EXPECT_NE(s.ToString().find("invalid_argument"), std::string::npos);
+  EXPECT_NE(s.ToString().find("bad window"), std::string::npos);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return OkStatus();
+}
+
+Status UsesReturnIfError(int x) {
+  SW_RETURN_IF_ERROR(FailsIfNegative(x));
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(3).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+StatusOr<int> DoublePositive(int x) {
+  SW_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(StatusOrTest, ValueAndErrorPaths) {
+  StatusOr<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 21);
+  EXPECT_EQ(*ok, 21);
+
+  StatusOr<int> err = ParsePositive(0);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(-7), -7);
+}
+
+TEST(StatusOrTest, AssignOrReturnUnwraps) {
+  EXPECT_EQ(DoublePositive(5).value(), 10);
+  EXPECT_FALSE(DoublePositive(-5).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> s = std::make_unique<int>(9);
+  ASSERT_TRUE(s.ok());
+  std::unique_ptr<int> v = std::move(s).value();
+  EXPECT_EQ(*v, 9);
+}
+
+// --- Hashing ----------------------------------------------------------------
+
+TEST(HashTest, Mix64AvalanchesAndIsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+  // Flipping one input bit should flip roughly half the output bits.
+  const uint64_t a = Mix64(0x1234);
+  const uint64_t b = Mix64(0x1235);
+  const int differing = std::popcount(a ^ b);
+  EXPECT_GT(differing, 16);
+  EXPECT_LT(differing, 48);
+}
+
+TEST(HashTest, HashCombineOrderDependent) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HashTest, HashStringMatchesBytesAndDiffers) {
+  EXPECT_EQ(HashString("abc"), HashBytes("abc", 3));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+// --- Rng -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.2);
+  EXPECT_NEAR(hits / 10000.0, 0.2, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(19);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+// --- ZipfSampler -------------------------------------------------------------
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  Rng rng(23);
+  ZipfSampler zipf(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[25]);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  Rng rng(29);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 50);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(31);
+  ZipfSampler zipf(5, 2.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 5u);
+}
+
+// --- Interner ----------------------------------------------------------------
+
+TEST(InternerTest, AssignsDenseIdsInOrder) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern("Host"), 0u);
+  EXPECT_EQ(interner.Intern("IP"), 1u);
+  EXPECT_EQ(interner.Intern("Host"), 0u);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, FindDoesNotIntern) {
+  Interner interner;
+  EXPECT_EQ(interner.Find("missing"), kInvalidLabelId);
+  EXPECT_EQ(interner.size(), 0u);
+  interner.Intern("x");
+  EXPECT_EQ(interner.Find("x"), 0u);
+}
+
+TEST(InternerTest, NameRoundTrips) {
+  Interner interner;
+  const LabelId id = interner.Intern("connectsTo");
+  EXPECT_EQ(interner.Name(id), "connectsTo");
+  EXPECT_TRUE(interner.Contains(id));
+  EXPECT_FALSE(interner.Contains(5));
+}
+
+// --- String utilities ---------------------------------------------------------
+
+TEST(StrUtilTest, SplitPreservesEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StrUtilTest, JoinAndStartsWith) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWith("streamworks", "stream"));
+  EXPECT_FALSE(StartsWith("str", "stream"));
+}
+
+TEST(StrUtilTest, ParseInt64Strict) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &v));
+}
+
+TEST(StrUtilTest, ParseUint64Strict) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("1.5", &v));
+}
+
+TEST(StrUtilTest, ParseDoubleStrict) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("2.5e3", &v));
+  EXPECT_DOUBLE_EQ(v, 2500.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.0junk", &v));
+}
+
+TEST(StrUtilTest, StrCatAndFormat) {
+  EXPECT_EQ(StrCat("x=", 3, ", y=", 4.5), "x=3, y=4.5");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(0), "0");
+}
+
+// --- Bitset64 -----------------------------------------------------------------
+
+TEST(Bitset64Test, BasicSetOperations) {
+  Bitset64 s;
+  EXPECT_TRUE(s.Empty());
+  s.Add(3);
+  s.Add(40);
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(40));
+  EXPECT_FALSE(s.Contains(4));
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.First(), 40);
+}
+
+TEST(Bitset64Test, AlgebraAndOrdering) {
+  const Bitset64 a = Bitset64::Single(1) | Bitset64::Single(5);
+  const Bitset64 b = Bitset64::Single(5) | Bitset64::Single(9);
+  EXPECT_EQ((a & b), Bitset64::Single(5));
+  EXPECT_EQ((a | b).Count(), 3);
+  EXPECT_EQ((a - b), Bitset64::Single(1));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(Bitset64::Single(5).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(Bitset64Test, FirstNAndIteration) {
+  const Bitset64 s = Bitset64::FirstN(4);
+  EXPECT_EQ(s.Count(), 4);
+  std::vector<int> elems;
+  for (int i : s) elems.push_back(i);
+  EXPECT_EQ(elems, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(Bitset64::FirstN(64).Count(), 64);
+  EXPECT_EQ(Bitset64::FirstN(0).Count(), 0);
+}
+
+TEST(Bitset64Test, IterationSkipsGaps) {
+  Bitset64 s;
+  s.Add(0);
+  s.Add(17);
+  s.Add(63);
+  std::vector<int> elems;
+  for (int i : s) elems.push_back(i);
+  EXPECT_EQ(elems, (std::vector<int>{0, 17, 63}));
+}
+
+}  // namespace
+}  // namespace streamworks

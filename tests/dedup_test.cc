@@ -1,0 +1,163 @@
+// Tests for DistinctSubgraphFilter: automorphic mappings collapse to one
+// event per data subgraph, distinct subgraphs all pass, and the filter's
+// per-completing-edge memory model is sound end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/core/dedup.h"
+#include "streamworks/core/engine.h"
+#include "streamworks/stream/netflow_gen.h"
+#include "streamworks/stream/workload_queries.h"
+
+namespace streamworks {
+namespace {
+
+StreamEdge MakeEdge(Interner* interner, uint64_t src, uint64_t dst,
+                    std::string_view elabel, Timestamp ts) {
+  StreamEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.src_label = interner->Intern("Host");
+  e.dst_label = interner->Intern("Host");
+  e.edge_label = interner->Intern(elabel);
+  e.ts = ts;
+  return e;
+}
+
+TEST(MatchMaxDataEdgeIdTest, ReturnsLargestBoundEdge) {
+  Interner interner;
+  QueryGraphBuilder builder(&interner);
+  const auto v0 = builder.AddVertex("V");
+  const auto v1 = builder.AddVertex("V");
+  const auto v2 = builder.AddVertex("V");
+  builder.AddEdge(v0, v1, "x");
+  builder.AddEdge(v1, v2, "y");
+  const QueryGraph q = builder.Build().value();
+  Match m(q);
+  m.BindVertex(0, 1);
+  m.BindVertex(1, 2);
+  m.BindVertex(2, 3);
+  m.BindEdge(0, 42, 5);
+  m.BindEdge(1, 17, 9);  // later ts but smaller id
+  EXPECT_EQ(m.MaxDataEdgeId(), 42u);
+}
+
+TEST(DistinctSubgraphFilterTest, CollapsesScanAutomorphisms) {
+  Interner interner;
+  // A 3-target port scan: 3! = 6 automorphic mappings per scan instance.
+  const QueryGraph q = BuildPortScanQuery(&interner, 3);
+  StreamWorksEngine engine(&interner);
+  int events = 0;
+  uint64_t mappings = 0;
+  ASSERT_TRUE(
+      engine
+          .RegisterQuery(q, DecompositionStrategy::kLeftDeepEdgeOrder, 100,
+                         DistinctSubgraphs([&](const CompleteMatch&) {
+                           ++events;
+                         }))
+          .ok());
+  ASSERT_TRUE(engine
+                  .RegisterQuery(
+                      q, DecompositionStrategy::kLeftDeepEdgeOrder, 100,
+                      [&](const CompleteMatch&) { ++mappings; })
+                  .ok());
+
+  // Two scan instances from different scanners.
+  Timestamp ts = 0;
+  for (const uint64_t scanner : {1u, 50u}) {
+    for (int t = 0; t < 3; ++t) {
+      ASSERT_TRUE(engine
+                      .ProcessEdge(MakeEdge(&interner, scanner,
+                                            scanner + 10 + t, "synProbe",
+                                            ts++))
+                      .ok());
+    }
+  }
+  EXPECT_EQ(mappings, 12u);  // 2 instances x 3! mappings
+  EXPECT_EQ(events, 2);      // 2 distinct subgraphs
+}
+
+TEST(DistinctSubgraphFilterTest, DistinctSubgraphsOnSameEdgeAllPass) {
+  Interner interner;
+  // One completing edge can finish matches over *different* edge sets:
+  // y completes two paths through different x edges.
+  QueryGraphBuilder builder(&interner);
+  const auto v0 = builder.AddVertex("Host");
+  const auto v1 = builder.AddVertex("Host");
+  const auto v2 = builder.AddVertex("Host");
+  builder.AddEdge(v0, v1, "x");
+  builder.AddEdge(v1, v2, "y");
+  const QueryGraph q = builder.Build().value();
+
+  StreamWorksEngine engine(&interner);
+  int events = 0;
+  ASSERT_TRUE(
+      engine
+          .RegisterQuery(q, DecompositionStrategy::kLeftDeepEdgeOrder, 100,
+                         DistinctSubgraphs([&](const CompleteMatch&) {
+                           ++events;
+                         }))
+          .ok());
+  ASSERT_TRUE(engine.ProcessEdge(MakeEdge(&interner, 1, 5, "x", 0)).ok());
+  ASSERT_TRUE(engine.ProcessEdge(MakeEdge(&interner, 2, 5, "x", 1)).ok());
+  ASSERT_TRUE(engine.ProcessEdge(MakeEdge(&interner, 5, 9, "y", 2)).ok());
+  EXPECT_EQ(events, 2);
+}
+
+TEST(DistinctSubgraphFilterTest, MemoryResetsAcrossCompletingEdges) {
+  Interner interner;
+  const QueryGraph q = BuildPortScanQuery(&interner, 2);
+  DistinctSubgraphFilter filter([](const CompleteMatch&) {});
+  // Feed synthetic matches directly: two mappings of one subgraph on edge
+  // 7, then one on edge 9, then another batch on edge 12.
+  auto feed = [&](EdgeId e1, EdgeId e2) {
+    CompleteMatch cm;
+    cm.match = Match(q);
+    cm.match.BindVertex(0, 1);
+    cm.match.BindVertex(1, 2);
+    cm.match.BindVertex(2, 3);
+    cm.match.BindEdge(0, e1, 0);
+    cm.match.BindEdge(1, e2, 1);
+    filter(cm);
+  };
+  feed(5, 7);
+  feed(7, 5);  // automorphic image, same edge set -> suppressed
+  EXPECT_EQ(filter.distinct_forwarded(), 1u);
+  feed(6, 9);
+  EXPECT_EQ(filter.distinct_forwarded(), 2u);
+  feed(6, 12);
+  feed(12, 6);
+  EXPECT_EQ(filter.distinct_forwarded(), 3u);
+}
+
+TEST(DistinctSubgraphFilterTest, EndToEndOnInjectedAttackStream) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.seed = 404;
+  opt.background_edges = 5000;
+  opt.attack_label_noise = false;
+  NetflowGenerator gen(opt, &interner);
+  gen.InjectSmurf(50, 3);
+  gen.InjectSmurf(150, 3);
+  const QueryGraph q = BuildSmurfQuery(&interner, 3);
+
+  StreamWorksEngine engine(&interner);
+  int events = 0;
+  ASSERT_TRUE(
+      engine
+          .RegisterQuery(q, DecompositionStrategy::kPrimitivePairs, 40,
+                         DistinctSubgraphs([&](const CompleteMatch&) {
+                           ++events;
+                         }))
+          .ok());
+  for (const StreamEdge& e : gen.Generate()) {
+    ASSERT_TRUE(engine.ProcessEdge(e).ok());
+  }
+  EXPECT_EQ(events, 2);  // one event per injected attack, 6 mappings each
+}
+
+}  // namespace
+}  // namespace streamworks

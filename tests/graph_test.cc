@@ -1,0 +1,590 @@
+// Unit tests for streamworks/graph: QueryGraph + builder + DSL parser,
+// DynamicGraph ingest/window/eviction, edge-stream IO, random generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/random.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/graph_io.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/graph/random_graphs.h"
+#include "streamworks/graph/stream_edge.h"
+
+namespace streamworks {
+namespace {
+
+// --- QueryGraph construction -------------------------------------------------
+
+TEST(QueryGraphBuilderTest, BuildsTriangle) {
+  Interner interner;
+  QueryGraphBuilder b(&interner);
+  const auto v0 = b.AddVertex("A");
+  const auto v1 = b.AddVertex("B");
+  const auto v2 = b.AddVertex("C");
+  b.AddEdge(v0, v1, "x");
+  b.AddEdge(v1, v2, "y");
+  b.AddEdge(v2, v0, "z");
+  auto result = b.Build("triangle");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryGraph& q = result.value();
+  EXPECT_EQ(q.num_vertices(), 3);
+  EXPECT_EQ(q.num_edges(), 3);
+  EXPECT_EQ(q.name(), "triangle");
+  EXPECT_EQ(q.edge(0).src, v0);
+  EXPECT_EQ(q.edge(0).dst, v1);
+  EXPECT_EQ(interner.Name(q.vertex_label(v1)), "B");
+}
+
+TEST(QueryGraphBuilderTest, RejectsEmpty) {
+  Interner interner;
+  QueryGraphBuilder b(&interner);
+  b.AddVertex("A");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(QueryGraphBuilderTest, RejectsDisconnected) {
+  Interner interner;
+  QueryGraphBuilder b(&interner);
+  const auto v0 = b.AddVertex("A");
+  const auto v1 = b.AddVertex("B");
+  const auto v2 = b.AddVertex("C");
+  const auto v3 = b.AddVertex("D");
+  b.AddEdge(v0, v1, "x");
+  b.AddEdge(v2, v3, "x");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(QueryGraphBuilderTest, RejectsIsolatedVertex) {
+  Interner interner;
+  QueryGraphBuilder b(&interner);
+  const auto v0 = b.AddVertex("A");
+  const auto v1 = b.AddVertex("B");
+  b.AddVertex("Lonely");
+  b.AddEdge(v0, v1, "x");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(QueryGraphBuilderTest, RejectsOutOfRangeEndpoint) {
+  Interner interner;
+  QueryGraphBuilder b(&interner);
+  b.AddVertex("A");
+  b.AddEdge(0, 5, "x");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(QueryGraphBuilderTest, AllowsSelfLoopAndParallelEdges) {
+  Interner interner;
+  QueryGraphBuilder b(&interner);
+  const auto v0 = b.AddVertex("A");
+  const auto v1 = b.AddVertex("B");
+  b.AddEdge(v0, v1, "x");
+  b.AddEdge(v0, v1, "x");  // parallel
+  b.AddEdge(v0, v0, "loop");
+  auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 3);
+  // Self-loop appears once in the incidence list of v0, not twice.
+  int loop_entries = 0;
+  for (const QueryIncidence& inc : result->incident(v0)) {
+    if (inc.edge == 2) ++loop_entries;
+  }
+  EXPECT_EQ(loop_entries, 1);
+}
+
+TEST(QueryGraphTest, IncidenceListsAreComplete) {
+  Interner interner;
+  QueryGraphBuilder b(&interner);
+  const auto v0 = b.AddVertex("A");
+  const auto v1 = b.AddVertex("B");
+  const auto v2 = b.AddVertex("C");
+  b.AddEdge(v0, v1, "x");
+  b.AddEdge(v2, v1, "y");
+  const QueryGraph q = b.Build().value();
+  ASSERT_EQ(q.incident(v1).size(), 2u);
+  EXPECT_FALSE(q.incident(v1)[0].out);  // v1 is the target of edge 0
+  EXPECT_EQ(q.incident(v1)[0].other, v0);
+  EXPECT_FALSE(q.incident(v1)[1].out);
+  EXPECT_EQ(q.incident(v1)[1].other, v2);
+  EXPECT_TRUE(q.incident(v0)[0].out);
+}
+
+TEST(QueryGraphTest, VerticesOfEdgesAndConnectivity) {
+  Interner interner;
+  QueryGraphBuilder b(&interner);
+  const auto v0 = b.AddVertex("A");
+  const auto v1 = b.AddVertex("B");
+  const auto v2 = b.AddVertex("C");
+  const auto v3 = b.AddVertex("D");
+  b.AddEdge(v0, v1, "x");  // e0
+  b.AddEdge(v1, v2, "x");  // e1
+  b.AddEdge(v2, v3, "x");  // e2
+  const QueryGraph q = b.Build().value();
+
+  const Bitset64 e02 = Bitset64::Single(0) | Bitset64::Single(2);
+  EXPECT_FALSE(q.IsEdgeSetConnected(e02));
+  EXPECT_TRUE(q.IsEdgeSetConnected(Bitset64::Single(0) | Bitset64::Single(1)));
+  EXPECT_TRUE(q.IsEdgeSetConnected(q.AllEdges()));
+  EXPECT_TRUE(q.IsEdgeSetConnected(Bitset64()));
+
+  const Bitset64 verts = q.VerticesOfEdges(e02);
+  EXPECT_EQ(verts.Count(), 4);
+  EXPECT_EQ(q.VerticesOfEdges(Bitset64::Single(1)).Count(), 2);
+  EXPECT_TRUE(q.EdgesTouchingVertices(Bitset64::Single(v1))
+                  .Contains(0));
+  EXPECT_TRUE(q.EdgesTouchingVertices(Bitset64::Single(v1)).Contains(1));
+  EXPECT_FALSE(q.EdgesTouchingVertices(Bitset64::Single(v1)).Contains(2));
+}
+
+TEST(QueryGraphTest, ToStringMentionsLabelsAndShape) {
+  Interner interner;
+  QueryGraphBuilder b(&interner);
+  const auto v0 = b.AddVertex("Host");
+  const auto v1 = b.AddVertex("IP");
+  b.AddEdge(v0, v1, "hasIP");
+  const QueryGraph q = b.Build("probe").value();
+  const std::string s = q.ToString(interner);
+  EXPECT_NE(s.find("probe"), std::string::npos);
+  EXPECT_NE(s.find("Host"), std::string::npos);
+  EXPECT_NE(s.find("hasIP"), std::string::npos);
+}
+
+// --- Query DSL ---------------------------------------------------------------
+
+TEST(ParseQueryTextTest, ParsesFullQuery) {
+  Interner interner;
+  auto parsed = ParseQueryText(R"(
+    # Smurf reflector
+    query smurf
+    node a Attacker
+    node amp Amplifier
+    node v Victim
+    edge a amp icmpEchoReq
+    edge amp v icmpEchoReply
+    window 3600
+  )",
+                               &interner);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->graph.name(), "smurf");
+  EXPECT_EQ(parsed->graph.num_vertices(), 3);
+  EXPECT_EQ(parsed->graph.num_edges(), 2);
+  EXPECT_EQ(parsed->window, 3600);
+  EXPECT_NE(interner.Find("icmpEchoReq"), kInvalidLabelId);
+}
+
+TEST(ParseQueryTextTest, WindowDefaultsToUnbounded) {
+  Interner interner;
+  auto parsed = ParseQueryText("node a A\nnode b B\nedge a b x\n", &interner);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->window, kMaxTimestamp);
+}
+
+TEST(ParseQueryTextTest, RejectsMalformedLines) {
+  Interner interner;
+  EXPECT_FALSE(ParseQueryText("node a\n", &interner).ok());
+  EXPECT_FALSE(ParseQueryText("frobnicate a b\n", &interner).ok());
+  EXPECT_FALSE(
+      ParseQueryText("node a A\nnode b B\nedge a missing x\n", &interner)
+          .ok());
+  EXPECT_FALSE(
+      ParseQueryText("node a A\nnode a B\nedge a a x\n", &interner).ok());
+  EXPECT_FALSE(ParseQueryText("node a A\nnode b B\nedge a b x\nwindow -5\n",
+                              &interner)
+                   .ok());
+  EXPECT_FALSE(ParseQueryText(
+                   "node a A\nnode b B\nedge a b x\nwindow 5\nwindow 6\n",
+                   &interner)
+                   .ok());
+}
+
+TEST(ParseQueryTextTest, ErrorsIncludeLineNumber) {
+  Interner interner;
+  auto result = ParseQueryText("node a A\nbogus\n", &interner);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseQueryLibraryTest, ParsesMultipleBlocks) {
+  Interner interner;
+  auto result = ParseQueryLibrary(R"(
+    # shared library of watch patterns
+    query scan
+    node s Host
+    node t Host
+    edge s t synProbe
+    window 30
+
+    query exfil
+    node a Host
+    node b Host
+    edge a b copy
+  )",
+                                  &interner);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].graph.name(), "scan");
+  EXPECT_EQ((*result)[0].window, 30);
+  EXPECT_EQ((*result)[1].graph.name(), "exfil");
+  EXPECT_EQ((*result)[1].window, kMaxTimestamp);
+}
+
+TEST(ParseQueryLibraryTest, NodeIdsAreLocalToTheirBlock) {
+  Interner interner;
+  auto result = ParseQueryLibrary(
+      "query q1\nnode a A\nnode b B\nedge a b x\n"
+      "query q2\nnode a C\nnode b D\nedge a b y\n",
+      &interner);
+  ASSERT_TRUE(result.ok());
+  // The second block's "a" is a fresh vertex with its own label.
+  EXPECT_EQ((*result)[1].graph.vertex_label(0), interner.Find("C"));
+}
+
+TEST(ParseQueryLibraryTest, ErrorsCarryFileGlobalLineNumbers) {
+  Interner interner;
+  auto result = ParseQueryLibrary(
+      "query ok\nnode a A\nnode b B\nedge a b x\n"  // lines 1-4
+      "query broken\nnode a A\nbogus directive here\n",
+      &interner);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 7"), std::string::npos);
+}
+
+TEST(ParseQueryLibraryTest, RejectsContentBeforeFirstBlockAndEmpty) {
+  Interner interner;
+  EXPECT_FALSE(
+      ParseQueryLibrary("node a A\nquery q\n", &interner).ok());
+  EXPECT_FALSE(ParseQueryLibrary("# only comments\n", &interner).ok());
+  // Comments/blank lines before the first block are fine.
+  EXPECT_TRUE(ParseQueryLibrary(
+                  "# header\n\nquery q\nnode a A\nnode b B\nedge a b x\n",
+                  &interner)
+                  .ok());
+}
+
+// --- DynamicGraph ------------------------------------------------------------
+
+StreamEdge MakeEdge(Interner* interner, uint64_t src, uint64_t dst,
+                    std::string_view elabel, Timestamp ts,
+                    std::string_view src_label = "V",
+                    std::string_view dst_label = "V") {
+  StreamEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.src_label = interner->Intern(src_label);
+  e.dst_label = interner->Intern(dst_label);
+  e.edge_label = interner->Intern(elabel);
+  e.ts = ts;
+  return e;
+}
+
+TEST(DynamicGraphTest, IngestCreatesVerticesOnFirstSight) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 10, 20, "e", 0, "A", "B")).ok());
+  EXPECT_EQ(g.num_vertices(), 2u);
+  const VertexId a = g.FindVertex(10);
+  const VertexId b = g.FindVertex(20);
+  ASSERT_NE(a, kInvalidVertexId);
+  ASSERT_NE(b, kInvalidVertexId);
+  EXPECT_EQ(interner.Name(g.vertex_label(a)), "A");
+  EXPECT_EQ(interner.Name(g.vertex_label(b)), "B");
+  EXPECT_EQ(g.external_id(a), 10u);
+  EXPECT_EQ(g.FindVertex(999), kInvalidVertexId);
+}
+
+TEST(DynamicGraphTest, EdgeRecordsAndAdjacency) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  const EdgeId e0 = g.AddEdge(MakeEdge(&interner, 1, 2, "x", 5)).value();
+  const EdgeId e1 = g.AddEdge(MakeEdge(&interner, 2, 3, "y", 6)).value();
+  EXPECT_EQ(e0, 0u);
+  EXPECT_EQ(e1, 1u);
+  EXPECT_EQ(g.num_stored_edges(), 2u);
+  EXPECT_EQ(g.watermark(), 6);
+
+  const VertexId v2 = g.FindVertex(2);
+  ASSERT_EQ(g.OutEdges(v2).size(), 1u);
+  ASSERT_EQ(g.InEdges(v2).size(), 1u);
+  EXPECT_EQ(g.OutEdges(v2)[0].edge, e1);
+  EXPECT_EQ(g.InEdges(v2)[0].edge, e0);
+  EXPECT_EQ(g.edge_record(e0).ts, 5);
+  EXPECT_EQ(interner.Name(g.edge_record(e1).label), "y");
+}
+
+TEST(DynamicGraphTest, RejectsDecreasingTimestamps) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 1, 2, "x", 10)).ok());
+  EXPECT_FALSE(g.AddEdge(MakeEdge(&interner, 1, 2, "x", 9)).ok());
+  EXPECT_TRUE(g.AddEdge(MakeEdge(&interner, 1, 2, "x", 10)).ok());
+  EXPECT_FALSE(g.AddEdge(MakeEdge(&interner, 3, 4, "x", -1)).ok());
+}
+
+TEST(DynamicGraphTest, RejectsVertexLabelMismatch) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 1, 2, "x", 0, "A", "B")).ok());
+  auto bad = g.AddEdge(MakeEdge(&interner, 1, 3, "x", 1, "C", "B"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DynamicGraphTest, EvictsBeyondRetention) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  g.set_retention(10);
+  for (Timestamp t = 0; t < 30; ++t) {
+    ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, t % 5, (t + 1) % 5, "x", t))
+                    .ok());
+  }
+  // watermark = 29, retention 10 -> live ts in [20, 29].
+  EXPECT_EQ(g.MinLiveTs(), 20);
+  EXPECT_EQ(g.num_stored_edges(), 10u);
+  EXPECT_EQ(g.first_stored_edge_id(), 20u);
+  EXPECT_EQ(g.num_evicted_edges(), 20u);
+  EXPECT_FALSE(g.IsStored(19));
+  EXPECT_TRUE(g.IsStored(20));
+  // Adjacency spans contain only live edges, ascending by ts.
+  for (uint64_t ext = 0; ext < 5; ++ext) {
+    const VertexId v = g.FindVertex(ext);
+    Timestamp prev = -1;
+    for (const AdjEntry& entry : g.OutEdges(v)) {
+      EXPECT_GE(entry.ts, 20);
+      EXPECT_GE(entry.ts, prev);
+      prev = entry.ts;
+    }
+  }
+}
+
+TEST(DynamicGraphTest, StrictWindowBoundary) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  g.set_retention(5);
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 1, 2, "x", 0)).ok());
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 2, 3, "x", 4)).ok());
+  // span(0,4) = 4 < 5: both live.
+  EXPECT_EQ(g.num_stored_edges(), 2u);
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 3, 4, "x", 5)).ok());
+  // Edge at ts=0 now has watermark - ts == 5 >= retention: dead.
+  EXPECT_EQ(g.num_stored_edges(), 2u);
+  EXPECT_EQ(g.MinLiveTs(), 1);
+  EXPECT_FALSE(g.IsStored(0));
+}
+
+TEST(DynamicGraphTest, UnboundedRetentionNeverEvicts) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  for (Timestamp t = 0; t < 100; ++t) {
+    ASSERT_TRUE(
+        g.AddEdge(MakeEdge(&interner, t % 7, (t + 3) % 7, "x", t * 1000))
+            .ok());
+  }
+  EXPECT_EQ(g.num_stored_edges(), 100u);
+  EXPECT_EQ(g.MinLiveTs(), 0);
+}
+
+TEST(DynamicGraphTest, SelfLoopsAndParallelEdges) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 1, 1, "loop", 0)).ok());
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 1, 2, "x", 1)).ok());
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 1, 2, "x", 2)).ok());
+  const VertexId v1 = g.FindVertex(1);
+  EXPECT_EQ(g.OutEdges(v1).size(), 3u);
+  EXPECT_EQ(g.InEdges(v1).size(), 1u);  // the self loop
+  EXPECT_EQ(g.num_stored_edges(), 3u);
+}
+
+TEST(DynamicGraphTest, EvictionWithSelfLoops) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  g.set_retention(3);
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 1, 1, "loop", 0)).ok());
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 1, 2, "x", 10)).ok());
+  EXPECT_EQ(g.num_stored_edges(), 1u);
+  const VertexId v1 = g.FindVertex(1);
+  EXPECT_EQ(g.OutEdges(v1).size(), 1u);
+  EXPECT_EQ(g.InEdges(v1).size(), 0u);
+}
+
+TEST(DynamicGraphTest, AdjacencyCompactionPreservesLiveEdges) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  g.set_retention(50);
+  // Hammer one hub vertex so its adjacency list is compacted repeatedly.
+  for (Timestamp t = 0; t < 2000; ++t) {
+    ASSERT_TRUE(
+        g.AddEdge(MakeEdge(&interner, 0, 1 + (t % 9), "x", t)).ok());
+  }
+  const VertexId hub = g.FindVertex(0);
+  EXPECT_EQ(g.OutEdges(hub).size(), 50u);
+  for (const AdjEntry& entry : g.OutEdges(hub)) {
+    EXPECT_GE(entry.ts, g.MinLiveTs());
+    EXPECT_TRUE(g.IsStored(entry.edge));
+  }
+}
+
+// --- Edge stream IO ------------------------------------------------------------
+
+TEST(GraphIoTest, SerializeParseRoundTrip) {
+  Interner interner;
+  std::vector<StreamEdge> edges;
+  edges.push_back(MakeEdge(&interner, 1, 2, "flow", 100, "Host", "Host"));
+  edges.push_back(MakeEdge(&interner, 2, 3, "login", 101, "Host", "User"));
+  const std::string text = SerializeEdgeStream(edges, interner);
+
+  Interner interner2;
+  auto parsed = ParseEdgeStream(text, &interner2);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].src, 1u);
+  EXPECT_EQ((*parsed)[0].ts, 100);
+  EXPECT_EQ(interner2.Name((*parsed)[1].edge_label), "login");
+}
+
+TEST(GraphIoTest, ParseRejectsMalformedLines) {
+  Interner interner;
+  EXPECT_FALSE(ParseEdgeStream("1,2,A\n", &interner).ok());
+  EXPECT_FALSE(ParseEdgeStream("x,1,A,2,B,e\n", &interner).ok());
+  auto err = ParseEdgeStream("# ok\n1,1,A,2,B,e\nbogus line\n", &interner);
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Interner interner;
+  std::vector<StreamEdge> edges;
+  for (int i = 0; i < 20; ++i) {
+    edges.push_back(MakeEdge(&interner, i, i + 1, "e", i));
+  }
+  const std::string path = testing::TempDir() + "/stream_io_test.csv";
+  ASSERT_TRUE(WriteEdgeStreamFile(path, edges, interner).ok());
+  auto loaded = ReadEdgeStreamFile(path, &interner);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, edges);
+}
+
+TEST(GraphIoTest, ReadMissingFileIsIoError) {
+  Interner interner;
+  auto result = ReadEdgeStreamFile("/nonexistent/nowhere.csv", &interner);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+// --- Random generators ----------------------------------------------------------
+
+TEST(RandomGraphsTest, UniformStreamShapeAndDeterminism) {
+  RandomStreamOptions opt;
+  opt.seed = 42;
+  opt.num_vertices = 50;
+  opt.num_edges = 500;
+  Interner interner;
+  const auto a = GenerateUniformStream(opt, &interner);
+  const auto b = GenerateUniformStream(opt, &interner);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 500u);
+  Timestamp prev = 0;
+  for (const StreamEdge& e : a) {
+    EXPECT_LT(e.src, 50u);
+    EXPECT_LT(e.dst, 50u);
+    EXPECT_GE(e.ts, prev);
+    prev = e.ts;
+  }
+  // 500 edges at 10/tick -> ts spans [0, 49].
+  EXPECT_EQ(a.back().ts, 49);
+}
+
+TEST(RandomGraphsTest, VertexLabelsAreStablePerVertex) {
+  RandomStreamOptions opt;
+  opt.seed = 7;
+  opt.num_vertices = 20;
+  opt.num_edges = 400;
+  Interner interner;
+  const auto edges = GenerateUniformStream(opt, &interner);
+  std::unordered_map<uint64_t, LabelId> label_of;
+  for (const StreamEdge& e : edges) {
+    auto [it, inserted] = label_of.try_emplace(e.src, e.src_label);
+    EXPECT_EQ(it->second, e.src_label);
+    auto [it2, inserted2] = label_of.try_emplace(e.dst, e.dst_label);
+    EXPECT_EQ(it2->second, e.dst_label);
+  }
+}
+
+TEST(RandomGraphsTest, StreamsIngestCleanly) {
+  RandomStreamOptions opt;
+  opt.seed = 9;
+  opt.num_vertices = 64;
+  opt.num_edges = 1000;
+  Interner interner;
+  for (const auto& edges :
+       {GenerateUniformStream(opt, &interner),
+        GeneratePreferentialStream(opt, &interner),
+        GenerateRMatStream(opt, RMatParams{}, &interner)}) {
+    DynamicGraph g(&interner);
+    g.set_retention(25);
+    for (const StreamEdge& e : edges) {
+      ASSERT_TRUE(g.AddEdge(e).ok());
+    }
+    EXPECT_GT(g.num_vertices(), 0u);
+  }
+}
+
+TEST(RandomGraphsTest, PreferentialStreamIsMoreSkewedThanUniform) {
+  RandomStreamOptions opt;
+  opt.seed = 11;
+  opt.num_vertices = 200;
+  opt.num_edges = 4000;
+  Interner interner;
+  auto max_degree = [](const std::vector<StreamEdge>& edges) {
+    std::unordered_map<uint64_t, int> deg;
+    for (const StreamEdge& e : edges) {
+      ++deg[e.src];
+      ++deg[e.dst];
+    }
+    int best = 0;
+    for (const auto& [v, d] : deg) best = std::max(best, d);
+    return best;
+  };
+  const int uniform_max = max_degree(GenerateUniformStream(opt, &interner));
+  const int pref_max = max_degree(GeneratePreferentialStream(opt, &interner));
+  EXPECT_GT(pref_max, uniform_max);
+}
+
+TEST(RandomGraphsTest, RMatIdsWithinRangeForNonPowerOfTwo) {
+  RandomStreamOptions opt;
+  opt.seed = 13;
+  opt.num_vertices = 100;  // not a power of two: exercises rejection
+  opt.num_edges = 2000;
+  Interner interner;
+  for (const StreamEdge& e : GenerateRMatStream(opt, RMatParams{}, &interner)) {
+    EXPECT_LT(e.src, 100u);
+    EXPECT_LT(e.dst, 100u);
+  }
+}
+
+TEST(RandomGraphsTest, RandomConnectedQueryIsValid) {
+  Interner interner;
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int nv = 2 + static_cast<int>(rng.NextBounded(5));
+    const int ne = nv - 1 + static_cast<int>(rng.NextBounded(4));
+    auto q = GenerateRandomConnectedQuery(rng, nv, ne, 3, 3, &interner);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_EQ(q->num_vertices(), nv);
+    EXPECT_EQ(q->num_edges(), ne);
+    EXPECT_TRUE(q->IsEdgeSetConnected(q->AllEdges()));
+  }
+}
+
+TEST(RandomGraphsTest, RandomQueryRejectsImpossibleShape) {
+  Interner interner;
+  Rng rng(19);
+  EXPECT_FALSE(GenerateRandomConnectedQuery(rng, 1, 0, 2, 2, &interner).ok());
+  EXPECT_FALSE(GenerateRandomConnectedQuery(rng, 5, 2, 2, 2, &interner).ok());
+}
+
+}  // namespace
+}  // namespace streamworks

@@ -1,0 +1,412 @@
+// Tests for streamworks/stream: batching, the netflow generator with
+// attack injection, the news generator with planted events, and the
+// workload query builders — including end-to-end detection of every
+// injected pattern through the SJ-Tree.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/match/backtrack.h"
+#include "streamworks/sjtree/sj_tree.h"
+#include "streamworks/stream/batching.h"
+#include "streamworks/stream/netflow_gen.h"
+#include "streamworks/stream/news_gen.h"
+#include "streamworks/stream/workload_queries.h"
+
+namespace streamworks {
+namespace {
+
+// --- Batching --------------------------------------------------------------------
+
+TEST(BatchingTest, BatchByTickGroupsEqualTimestamps) {
+  Interner interner;
+  std::vector<StreamEdge> edges(6);
+  const Timestamp ts[] = {0, 0, 1, 1, 1, 5};
+  for (int i = 0; i < 6; ++i) {
+    edges[i].src = i;
+    edges[i].dst = i + 1;
+    edges[i].src_label = edges[i].dst_label = interner.Intern("V");
+    edges[i].edge_label = interner.Intern("e");
+    edges[i].ts = ts[i];
+  }
+  const auto batches = BatchByTick(edges);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 2u);
+  EXPECT_EQ(batches[1].size(), 3u);
+  EXPECT_EQ(batches[2].size(), 1u);
+  EXPECT_TRUE(BatchByTick({}).empty());
+}
+
+TEST(BatchingTest, BatchBySizeSplitsEvenly) {
+  std::vector<StreamEdge> edges(10);
+  const auto batches = BatchBySize(edges, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 4u);
+  EXPECT_EQ(batches[2].size(), 2u);
+}
+
+// --- NetflowGenerator ---------------------------------------------------------------
+
+TEST(NetflowGeneratorTest, DeterministicAndTimeOrdered) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.seed = 5;
+  opt.background_edges = 2000;
+  NetflowGenerator gen_a(opt, &interner);
+  NetflowGenerator gen_b(opt, &interner);
+  const auto a = gen_a.Generate();
+  const auto b = gen_b.Generate();
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 2000u);
+  Timestamp prev = 0;
+  for (const StreamEdge& e : a) {
+    EXPECT_GE(e.ts, prev);
+    prev = e.ts;
+    EXPECT_LT(e.src, 256u);
+    EXPECT_LT(e.dst, 256u);
+  }
+}
+
+TEST(NetflowGeneratorTest, SubnetPartition) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.num_hosts = 64;
+  opt.num_subnets = 4;
+  NetflowGenerator gen(opt, &interner);
+  EXPECT_EQ(gen.hosts_per_subnet(), 16);
+  EXPECT_EQ(gen.SubnetOf(0), 0);
+  EXPECT_EQ(gen.SubnetOf(15), 0);
+  EXPECT_EQ(gen.SubnetOf(16), 1);
+  EXPECT_EQ(gen.SubnetOf(63), 3);
+}
+
+TEST(NetflowGeneratorTest, ProtocolMixIsSkewed) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.seed = 7;
+  opt.background_edges = 5000;
+  NetflowGenerator gen(opt, &interner);
+  std::unordered_map<LabelId, int> counts;
+  for (const StreamEdge& e : gen.Generate()) ++counts[e.edge_label];
+  const LabelId tcp = interner.Find("tcpConn");
+  ASSERT_NE(tcp, kInvalidLabelId);
+  int max_other = 0;
+  for (const auto& [label, count] : counts) {
+    if (label != tcp) max_other = std::max(max_other, count);
+  }
+  EXPECT_GT(counts[tcp], max_other);  // rank-0 protocol dominates
+}
+
+TEST(NetflowGeneratorTest, NoAttackNoiseOptionExcludesAttackLabels) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.seed = 11;
+  opt.background_edges = 3000;
+  opt.attack_label_noise = false;
+  NetflowGenerator gen(opt, &interner);
+  const LabelId probe = interner.Find("synProbe");
+  const LabelId echo = interner.Find("icmpEchoReq");
+  for (const StreamEdge& e : gen.Generate()) {
+    EXPECT_NE(e.edge_label, probe);
+    EXPECT_NE(e.edge_label, echo);
+  }
+}
+
+TEST(NetflowGeneratorTest, SmurfInjectionShape) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.seed = 13;
+  opt.background_edges = 100;
+  NetflowGenerator gen(opt, &interner);
+  gen.InjectSmurf(/*at=*/3, /*num_amplifiers=*/4, /*attacker_subnet=*/0,
+                  /*victim_subnet=*/2);
+  ASSERT_EQ(gen.injections().size(), 1u);
+  const Injection& inj = gen.injections()[0];
+  EXPECT_EQ(inj.kind, "smurf");
+  ASSERT_EQ(inj.edges.size(), 8u);  // 4 requests + 4 replies
+  const LabelId req = interner.Find("icmpEchoReq");
+  const LabelId reply = interner.Find("icmpEchoReply");
+  std::set<ExternalVertexId> amplifiers;
+  ExternalVertexId attacker = inj.edges[0].src;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(inj.edges[i].edge_label, req);
+    EXPECT_EQ(inj.edges[i].src, attacker);
+    amplifiers.insert(inj.edges[i].dst);
+  }
+  EXPECT_EQ(amplifiers.size(), 4u);
+  const ExternalVertexId victim = inj.edges[4].dst;
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(inj.edges[i].edge_label, reply);
+    EXPECT_TRUE(amplifiers.count(inj.edges[i].src));
+    EXPECT_EQ(inj.edges[i].dst, victim);
+  }
+  EXPECT_EQ(gen.SubnetOf(attacker), 0);
+  EXPECT_EQ(gen.SubnetOf(victim), 2);
+  // The injection lands in the generated stream.
+  const auto edges = gen.Generate();
+  int found = 0;
+  for (const StreamEdge& e : edges) {
+    for (const StreamEdge& inj_e : inj.edges) {
+      if (e == inj_e) ++found;
+    }
+  }
+  EXPECT_EQ(found, 8);
+}
+
+TEST(NetflowGeneratorTest, WormScanExfilInjectionShapes) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.seed = 17;
+  opt.background_edges = 50;
+  NetflowGenerator gen(opt, &interner);
+  gen.InjectWorm(5, /*hops=*/3);
+  gen.InjectPortScan(9, /*num_targets=*/5);
+  gen.InjectExfiltration(12);
+  ASSERT_EQ(gen.injections().size(), 3u);
+
+  const Injection& worm = gen.injections()[0];
+  ASSERT_EQ(worm.edges.size(), 3u);
+  EXPECT_EQ(worm.edges[0].dst, worm.edges[1].src);  // chain links
+  EXPECT_EQ(worm.edges[1].dst, worm.edges[2].src);
+
+  const Injection& scan = gen.injections()[1];
+  ASSERT_EQ(scan.edges.size(), 5u);
+  std::set<ExternalVertexId> targets;
+  for (const StreamEdge& e : scan.edges) {
+    EXPECT_EQ(e.src, scan.edges[0].src);
+    targets.insert(e.dst);
+  }
+  EXPECT_EQ(targets.size(), 5u);
+
+  const Injection& exfil = gen.injections()[2];
+  ASSERT_EQ(exfil.edges.size(), 2u);
+  EXPECT_EQ(exfil.edges[0].dst, exfil.edges[1].src);
+  EXPECT_EQ(exfil.edges[0].edge_label, interner.Find("copy"));
+  EXPECT_EQ(exfil.edges[1].edge_label, interner.Find("upload"));
+}
+
+// --- NewsGenerator ---------------------------------------------------------------
+
+TEST(NewsGeneratorTest, DeterministicTimeOrderedAndWellLabelled) {
+  Interner interner;
+  NewsGenerator::Options opt;
+  opt.seed = 3;
+  opt.num_articles = 500;
+  NewsGenerator gen_a(opt, &interner);
+  NewsGenerator gen_b(opt, &interner);
+  const auto a = gen_a.Generate();
+  EXPECT_EQ(a, gen_b.Generate());
+  ASSERT_GT(a.size(), 500u);  // >= 1 keyword edge per article
+
+  const LabelId article = interner.Find("Article");
+  Timestamp prev = 0;
+  for (const StreamEdge& e : a) {
+    EXPECT_GE(e.ts, prev);
+    prev = e.ts;
+    EXPECT_EQ(e.src_label, article);  // article -> entity orientation
+    EXPECT_GE(e.src, NewsGenerator::kArticleBase);
+    EXPECT_GE(e.dst, NewsGenerator::kKeywordBase);
+  }
+}
+
+TEST(NewsGeneratorTest, KeywordVerticesCarryTopicLabels) {
+  Interner interner;
+  NewsGenerator::Options opt;
+  opt.seed = 5;
+  opt.num_articles = 300;
+  NewsGenerator gen(opt, &interner);
+  const auto edges = gen.Generate();
+  const LabelId has_keyword = interner.Find("hasKeyword");
+  std::set<LabelId> keyword_labels;
+  for (const StreamEdge& e : edges) {
+    if (e.edge_label == has_keyword) keyword_labels.insert(e.dst_label);
+  }
+  // All six topics should appear among keyword vertex labels.
+  for (const char* topic : {"politics", "sports", "business", "accident",
+                            "science", "health"}) {
+    EXPECT_TRUE(keyword_labels.count(interner.Find(topic)))
+        << topic << " missing";
+  }
+}
+
+TEST(NewsGeneratorTest, EntityPopularityIsSkewed) {
+  Interner interner;
+  NewsGenerator::Options opt;
+  opt.seed = 7;
+  opt.num_articles = 1000;
+  opt.entity_skew = 1.1;
+  NewsGenerator gen(opt, &interner);
+  std::unordered_map<ExternalVertexId, int> keyword_counts;
+  const LabelId has_keyword = interner.Find("hasKeyword");
+  for (const StreamEdge& e : gen.Generate()) {
+    if (e.edge_label == has_keyword) ++keyword_counts[e.dst];
+  }
+  // Rank-0 keyword should be far more popular than the median keyword.
+  const int top = keyword_counts[NewsGenerator::kKeywordBase + 0];
+  int total = 0;
+  for (const auto& [k, c] : keyword_counts) total += c;
+  EXPECT_GT(top * 10, total / static_cast<int>(keyword_counts.size()) * 10
+                          * 5);  // top >= 5x mean
+}
+
+TEST(NewsGeneratorTest, InjectedEventSharesKeywordAndLocation) {
+  Interner interner;
+  NewsGenerator::Options opt;
+  opt.seed = 9;
+  opt.num_articles = 200;
+  NewsGenerator gen(opt, &interner);
+  gen.InjectEvent(10, "accident", 3);
+  ASSERT_EQ(gen.injections().size(), 1u);
+  const Injection& inj = gen.injections()[0];
+  ASSERT_EQ(inj.edges.size(), 6u);  // 3 articles x (keyword + location)
+  std::set<ExternalVertexId> keywords;
+  std::set<ExternalVertexId> locations;
+  std::set<ExternalVertexId> articles;
+  for (const StreamEdge& e : inj.edges) {
+    articles.insert(e.src);
+    if (e.edge_label == interner.Find("hasKeyword")) {
+      keywords.insert(e.dst);
+      EXPECT_EQ(e.dst_label, interner.Find("accident"));
+    } else {
+      locations.insert(e.dst);
+    }
+  }
+  EXPECT_EQ(keywords.size(), 1u);
+  EXPECT_EQ(locations.size(), 1u);
+  EXPECT_EQ(articles.size(), 3u);
+}
+
+// --- Workload queries ------------------------------------------------------------
+
+TEST(WorkloadQueriesTest, ShapesAreValid) {
+  Interner interner;
+  const QueryGraph smurf = BuildSmurfQuery(&interner, 3);
+  EXPECT_EQ(smurf.num_vertices(), 5);
+  EXPECT_EQ(smurf.num_edges(), 6);
+  const QueryGraph worm = BuildWormQuery(&interner, 3);
+  EXPECT_EQ(worm.num_vertices(), 4);
+  EXPECT_EQ(worm.num_edges(), 3);
+  const QueryGraph scan = BuildPortScanQuery(&interner, 4);
+  EXPECT_EQ(scan.num_vertices(), 5);
+  EXPECT_EQ(scan.num_edges(), 4);
+  const QueryGraph exfil = BuildExfiltrationQuery(&interner);
+  EXPECT_EQ(exfil.num_edges(), 2);
+  const QueryGraph news = BuildNewsEventQuery(&interner, "politics", 3);
+  EXPECT_EQ(news.num_vertices(), 5);
+  EXPECT_EQ(news.num_edges(), 6);
+  EXPECT_EQ(news.vertex_label(0), interner.Find("politics"));
+}
+
+// --- End-to-end detection through the SJ-Tree ---------------------------------------
+
+/// Replays a stream through a left-deep SJ-Tree and returns completions.
+std::vector<Match> Detect(const std::vector<StreamEdge>& edges,
+                          const QueryGraph& q, Interner* interner,
+                          Timestamp window) {
+  auto order = ConnectedEdgeOrder(q, q.AllEdges(), 0);
+  std::vector<Bitset64> leaves;
+  for (QueryEdgeId e : order) leaves.push_back(Bitset64::Single(e));
+  SjTree tree(&q, Decomposition::MakeLeftDeep(q, leaves).value(), window);
+  DynamicGraph g(interner);
+  g.set_retention(window);
+  std::vector<Match> completed;
+  for (const StreamEdge& e : edges) {
+    tree.ProcessEdge(g, g.AddEdge(e).value(), &completed);
+  }
+  return completed;
+}
+
+TEST(EndToEndDetectionTest, SmurfInjectionIsDetected) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.seed = 21;
+  opt.background_edges = 4000;
+  opt.attack_label_noise = false;  // every detection is the injection
+  NetflowGenerator gen(opt, &interner);
+  gen.InjectSmurf(/*at=*/100, /*num_amplifiers=*/3);
+  const QueryGraph q = BuildSmurfQuery(&interner, 3);
+  const auto matches = Detect(gen.Generate(), q, &interner, 50);
+  // 3 amplifiers in the query, 3 injected: 3! = 6 automorphic mappings of
+  // one underlying attack subgraph.
+  ASSERT_EQ(matches.size(), 6u);
+  std::set<uint64_t> distinct_subgraphs;
+  for (const Match& m : matches) {
+    distinct_subgraphs.insert(m.EdgeSetSignature());
+  }
+  EXPECT_EQ(distinct_subgraphs.size(), 1u);
+}
+
+TEST(EndToEndDetectionTest, EverySeparateInjectionFound) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.seed = 23;
+  opt.background_edges = 6000;
+  opt.attack_label_noise = false;
+  NetflowGenerator gen(opt, &interner);
+  gen.InjectPortScan(40, 4);
+  gen.InjectPortScan(120, 4);
+  gen.InjectWorm(200, 3);
+  gen.InjectExfiltration(260);
+  const auto edges = gen.Generate();
+
+  const auto scans =
+      Detect(edges, BuildPortScanQuery(&interner, 4), &interner, 30);
+  // Each injected scan yields 4! = 24 automorphic mappings; two scans.
+  std::set<uint64_t> scan_subgraphs;
+  for (const Match& m : scans) scan_subgraphs.insert(m.EdgeSetSignature());
+  EXPECT_EQ(scan_subgraphs.size(), 2u);
+  EXPECT_EQ(scans.size(), 48u);
+
+  const auto worms =
+      Detect(edges, BuildWormQuery(&interner, 3), &interner, 30);
+  EXPECT_EQ(worms.size(), 1u);
+
+  const auto exfils =
+      Detect(edges, BuildExfiltrationQuery(&interner), &interner, 30);
+  EXPECT_EQ(exfils.size(), 1u);
+}
+
+TEST(EndToEndDetectionTest, WindowSeparatesSlowAttack) {
+  Interner interner;
+  NetflowGenerator::Options opt;
+  opt.seed = 29;
+  opt.background_edges = 1000;
+  opt.attack_label_noise = false;
+  NetflowGenerator gen(opt, &interner);
+  gen.InjectWorm(10, 2);  // hops at ts 10, 11
+  const auto edges = gen.Generate();
+  const QueryGraph q = BuildWormQuery(&interner, 2);
+  EXPECT_EQ(Detect(edges, q, &interner, 5).size(), 1u);
+  // A window of 1 cannot span the two ticks.
+  EXPECT_TRUE(Detect(edges, q, &interner, 1).empty());
+}
+
+TEST(EndToEndDetectionTest, NewsEventDetectedPerTopic) {
+  Interner interner;
+  NewsGenerator::Options opt;
+  opt.seed = 31;
+  opt.num_articles = 600;
+  opt.entity_skew = 0.4;  // flatter popularity: few organic co-occurrences
+  NewsGenerator gen(opt, &interner);
+  gen.InjectEvent(30, "accident", 3);
+  const auto edges = gen.Generate();
+  const QueryGraph q = BuildNewsEventQuery(&interner, "accident", 3);
+  const auto matches = Detect(edges, q, &interner, 20);
+  // The injected event must be found: 3 articles are interchangeable, so
+  // its subgraph appears as 3! = 6 mappings; organic accident events may
+  // add more.
+  ASSERT_GE(matches.size(), 6u);
+  std::set<uint64_t> subgraphs;
+  for (const Match& m : matches) subgraphs.insert(m.EdgeSetSignature());
+  // At least one distinct subgraph is the injection; all its articles link
+  // one keyword and one location.
+  EXPECT_GE(subgraphs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace streamworks

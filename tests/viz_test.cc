@@ -1,0 +1,222 @@
+// Tests for streamworks/viz: DOT exports, the Fig. 6 grid view, and the
+// Fig. 5 event table.
+
+#include <gtest/gtest.h>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/query_graph.h"
+#include "streamworks/match/backtrack.h"
+#include "streamworks/sjtree/sj_tree.h"
+#include "streamworks/viz/dot_export.h"
+#include "streamworks/viz/event_table.h"
+#include "streamworks/viz/gexf_export.h"
+#include "streamworks/viz/grid_view.h"
+#include "streamworks/viz/match_format.h"
+
+namespace streamworks {
+namespace {
+
+StreamEdge MakeEdge(Interner* interner, uint64_t src, uint64_t dst,
+                    std::string_view elabel, Timestamp ts) {
+  StreamEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.src_label = interner->Intern("V");
+  e.dst_label = interner->Intern("V");
+  e.edge_label = interner->Intern(elabel);
+  e.ts = ts;
+  return e;
+}
+
+QueryGraph PathQuery(Interner* interner) {
+  QueryGraphBuilder builder(interner);
+  const auto va = builder.AddVertex("V");
+  const auto vb = builder.AddVertex("V");
+  const auto vc = builder.AddVertex("V");
+  builder.AddEdge(va, vb, "x");
+  builder.AddEdge(vb, vc, "y");
+  return builder.Build("viz_path").value();
+}
+
+TEST(DotExportTest, QueryGraphDotHasVerticesAndEdges) {
+  Interner interner;
+  const QueryGraph q = PathQuery(&interner);
+  const std::string dot = QueryGraphToDot(q, interner);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("viz_path"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"x\""), std::string::npos);
+}
+
+TEST(DotExportTest, DataGraphDotColorsHighlightedEdges) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  const EdgeId e0 = g.AddEdge(MakeEdge(&interner, 1, 2, "x", 0)).value();
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 2, 3, "y", 1)).ok());
+  EdgeColorMap colors;
+  colors[e0] = "red";
+  const std::string dot = DataGraphToDot(g, interner, colors);
+  EXPECT_NE(dot.find("color=\"red\""), std::string::npos);
+  EXPECT_NE(dot.find("x@0"), std::string::npos);
+  EXPECT_NE(dot.find("y@1"), std::string::npos);
+}
+
+TEST(DotExportTest, DataGraphDotTruncatesLargeWindows) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, i, i + 1, "x", i)).ok());
+  }
+  const std::string dot =
+      DataGraphToDot(g, interner, {}, /*max_edges=*/10);
+  EXPECT_NE(dot.find("+40 more edges"), std::string::npos);
+}
+
+TEST(DotExportTest, ColorMatchesMapsEveryBoundEdge) {
+  Interner interner;
+  const QueryGraph q = PathQuery(&interner);
+  Match m(q);
+  m.BindVertex(0, 1);
+  m.BindVertex(1, 2);
+  m.BindEdge(0, 17, 5);
+  const EdgeColorMap colors = ColorMatches({m}, "blue");
+  ASSERT_EQ(colors.size(), 1u);
+  EXPECT_EQ(colors.at(17), "blue");
+}
+
+TEST(DotExportTest, SjTreeDotShowsOccupancy) {
+  Interner interner;
+  const QueryGraph q = PathQuery(&interner);
+  std::vector<Bitset64> leaves = {Bitset64::Single(0), Bitset64::Single(1)};
+  SjTree tree(&q, Decomposition::MakeLeftDeep(q, leaves).value(), 100);
+  DynamicGraph g(&interner);
+  std::vector<Match> completed;
+  tree.ProcessEdge(g, g.AddEdge(MakeEdge(&interner, 1, 2, "x", 0)).value(),
+                   &completed);
+  const std::string dot = SjTreeToDot(tree, interner);
+  EXPECT_NE(dot.find("live=1"), std::string::npos);
+  EXPECT_NE(dot.find("cut:"), std::string::npos);
+  EXPECT_NE(dot.find("t2 -> t0"), std::string::npos);
+}
+
+TEST(GexfExportTest, EmitsValidStructureWithColors) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  const EdgeId e0 = g.AddEdge(MakeEdge(&interner, 1, 2, "x", 0)).value();
+  ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, 2, 3, "y", 5)).ok());
+  EdgeColorMap colors;
+  colors[e0] = "red";
+  const std::string gexf = DataGraphToGexf(g, interner, colors);
+  EXPECT_NE(gexf.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(gexf.find("<gexf"), std::string::npos);
+  EXPECT_NE(gexf.find("mode=\"dynamic\""), std::string::npos);
+  EXPECT_NE(gexf.find("start=\"5\""), std::string::npos);  // edge ts
+  EXPECT_NE(gexf.find("<viz:color r=\"220\""), std::string::npos);
+  EXPECT_NE(gexf.find("value=\"y\""), std::string::npos);
+  // Two edges, three nodes.
+  size_t node_count = 0;
+  for (size_t pos = gexf.find("<node id="); pos != std::string::npos;
+       pos = gexf.find("<node id=", pos + 1)) {
+    ++node_count;
+  }
+  EXPECT_EQ(node_count, 3u);
+}
+
+TEST(GexfExportTest, EscapesXmlSpecialsInLabels) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  StreamEdge e = MakeEdge(&interner, 1, 2, "a<b>&\"c", 0);
+  ASSERT_TRUE(g.AddEdge(e).ok());
+  const std::string gexf = DataGraphToGexf(g, interner);
+  EXPECT_NE(gexf.find("a&lt;b&gt;&amp;&quot;c"), std::string::npos);
+  EXPECT_EQ(gexf.find("value=\"a<b"), std::string::npos);
+}
+
+TEST(GexfExportTest, RespectsMaxEdgesCap) {
+  Interner interner;
+  DynamicGraph g(&interner);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(g.AddEdge(MakeEdge(&interner, i, i + 1, "x", i)).ok());
+  }
+  const std::string gexf = DataGraphToGexf(g, interner, {}, 5);
+  size_t edge_count = 0;
+  for (size_t pos = gexf.find("<edge id="); pos != std::string::npos;
+       pos = gexf.find("<edge id=", pos + 1)) {
+    ++edge_count;
+  }
+  EXPECT_EQ(edge_count, 5u);
+}
+
+TEST(MatchFormatTest, RendersExternalIdsAndLabels) {
+  Interner interner;
+  const QueryGraph q = PathQuery(&interner);
+  DynamicGraph g(&interner);
+  const EdgeId e0 =
+      g.AddEdge(MakeEdge(&interner, 100, 200, "x", 3)).value();
+  const EdgeId e1 =
+      g.AddEdge(MakeEdge(&interner, 200, 300, "y", 7)).value();
+  Match m(q);
+  m.BindVertex(0, g.FindVertex(100));
+  m.BindVertex(1, g.FindVertex(200));
+  m.BindVertex(2, g.FindVertex(300));
+  m.BindEdge(0, e0, 3);
+  m.BindEdge(1, e1, 7);
+  const std::string text = FormatMatch(m, q, g, interner);
+  EXPECT_NE(text.find("viz_path @ [3, 7]"), std::string::npos);
+  EXPECT_NE(text.find("=100 -[x @3]-> "), std::string::npos);
+  EXPECT_NE(text.find("=300"), std::string::npos);
+  EXPECT_NE(text.find("v1:V"), std::string::npos);
+}
+
+TEST(GridViewTest, CellsAccumulateAndSliceCorrectly) {
+  GridView grid(10);
+  grid.Add("subnet_0", 5);
+  grid.Add("subnet_0", 9);
+  grid.Add("subnet_0", 15);
+  grid.Add("subnet_1", 25, 3);
+  EXPECT_EQ(grid.CellCount("subnet_0", 0), 2u);
+  EXPECT_EQ(grid.CellCount("subnet_0", 1), 1u);
+  EXPECT_EQ(grid.CellCount("subnet_1", 2), 3u);
+  EXPECT_EQ(grid.CellCount("subnet_1", 0), 0u);
+  EXPECT_EQ(grid.CellCount("missing", 0), 0u);
+  EXPECT_EQ(grid.num_slices(), 3);
+  EXPECT_EQ(grid.num_rows(), 2u);
+}
+
+TEST(GridViewTest, AsciiRenderingShowsHeatAndCsvRoundTrips) {
+  GridView grid(10);
+  grid.Add("alpha", 0, 1);
+  grid.Add("beta", 10, 100);
+  const std::string ascii = grid.RenderAscii();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("beta"), std::string::npos);
+  EXPECT_NE(ascii.find("@"), std::string::npos);  // hot cell
+
+  const std::string csv = grid.RenderCsv();
+  EXPECT_NE(csv.find("row,slice_0,slice_1"), std::string::npos);
+  EXPECT_NE(csv.find("alpha,1,0"), std::string::npos);
+  EXPECT_NE(csv.find("beta,0,100"), std::string::npos);
+}
+
+TEST(EventTableTest, RowsAndCountByKey) {
+  EventTable table;
+  table.Add(10, "smurf", "subnet_3", "victim=42");
+  table.Add(12, "smurf", "subnet_3", "victim=42");
+  table.Add(15, "news_event", "Paris", "keyword=politics");
+  EXPECT_EQ(table.size(), 3u);
+  const auto by_key = table.CountByKey();
+  ASSERT_EQ(by_key.size(), 2u);
+  EXPECT_EQ(by_key[0].first, "subnet_3");
+  EXPECT_EQ(by_key[0].second, 2u);
+
+  const std::string ascii = table.RenderAscii();
+  EXPECT_NE(ascii.find("time"), std::string::npos);
+  EXPECT_NE(ascii.find("subnet_3"), std::string::npos);
+  const std::string csv = table.RenderCsv();
+  EXPECT_NE(csv.find("15,news_event,Paris,keyword=politics"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamworks
