@@ -69,6 +69,7 @@ std::unique_ptr<SjTree> StreamWorksEngine::BuildBackfilledTree(
 void StreamWorksEngine::RebuildRoutes() {
   routes_.clear();
   for (size_t qid = 0; qid < queries_.size(); ++qid) {
+    if (queries_[qid] == nullptr) continue;
     const auto& plans = queries_[qid]->tree->anchor_plans();
     for (size_t i = 0; i < plans.size(); ++i) {
       routes_[plans[i].edge_label].push_back(
@@ -93,9 +94,10 @@ StatusOr<int> StreamWorksEngine::RegisterQueryImpl(
   entry->strategy = strategy;
 
   // The shared graph must retain edges as long as the longest window; it
-  // never shrinks (other queries may still need the older edges).
+  // only shrinks from unbounded when no live query needs the older edges
+  // (unregistered slots don't count).
   if (graph_.retention() == kMaxTimestamp) {
-    if (window != kMaxTimestamp && queries_.empty()) {
+    if (window != kMaxTimestamp && num_queries() == 0) {
       graph_.set_retention(window);
     }
   } else if (window > graph_.retention()) {
@@ -112,9 +114,26 @@ StatusOr<int> StreamWorksEngine::RegisterQueryImpl(
   return query_id;
 }
 
+Status StreamWorksEngine::UnregisterQuery(int query_id) {
+  if (!has_query(query_id)) {
+    return Status::NotFound("unknown or already-unregistered query id");
+  }
+  queries_[query_id] = nullptr;
+  RebuildRoutes();
+  return OkStatus();
+}
+
+size_t StreamWorksEngine::num_queries() const {
+  size_t n = 0;
+  for (const auto& rq : queries_) {
+    if (rq != nullptr) ++n;
+  }
+  return n;
+}
+
 StatusOr<bool> StreamWorksEngine::ReplanQuery(
     int query_id, std::optional<DecompositionStrategy> strategy) {
-  if (query_id < 0 || query_id >= static_cast<int>(queries_.size())) {
+  if (!has_query(query_id)) {
     return Status::InvalidArgument("unknown query id");
   }
   RegisteredQuery& rq = *queries_[query_id];
@@ -176,7 +195,7 @@ Status StreamWorksEngine::ProcessEdge(const StreamEdge& edge) {
   if (++edges_since_sweep_ >= options_.expiry_sweep_interval) {
     edges_since_sweep_ = 0;
     for (auto& rq : queries_) {
-      rq->tree->ExpireOldMatches(graph_.watermark());
+      if (rq != nullptr) rq->tree->ExpireOldMatches(graph_.watermark());
     }
   }
 
@@ -186,6 +205,7 @@ Status StreamWorksEngine::ProcessEdge(const StreamEdge& edge) {
       ++edges_since_replan_ >= options_.replan_interval) {
     edges_since_replan_ = 0;
     for (size_t qid = 0; qid < queries_.size(); ++qid) {
+      if (queries_[qid] == nullptr) continue;
       if (!queries_[qid]->strategy.has_value()) continue;
       auto swapped = ReplanQuery(static_cast<int>(qid));
       if (!swapped.ok()) {
@@ -207,16 +227,12 @@ Status StreamWorksEngine::ProcessBatch(const EdgeBatch& batch) {
 }
 
 const SjTree& StreamWorksEngine::sjtree(int query_id) const {
-  SW_CHECK(query_id >= 0 &&
-           query_id < static_cast<int>(queries_.size()))
-      << "unknown query id " << query_id;
+  SW_CHECK(has_query(query_id)) << "unknown query id " << query_id;
   return *queries_[query_id]->tree;
 }
 
 QueryRuntimeInfo StreamWorksEngine::query_info(int query_id) const {
-  SW_CHECK(query_id >= 0 &&
-           query_id < static_cast<int>(queries_.size()))
-      << "unknown query id " << query_id;
+  SW_CHECK(has_query(query_id)) << "unknown query id " << query_id;
   const RegisteredQuery& rq = *queries_[query_id];
   QueryRuntimeInfo info;
   info.query_id = query_id;

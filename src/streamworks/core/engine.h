@@ -131,6 +131,20 @@ class StreamWorksEngine {
   /// Number of tree swaps performed by adaptive re-planning so far.
   uint64_t replans_performed() const { return replans_performed_; }
 
+  /// Unregisters a query: its SJ-Tree (and every live partial match) is
+  /// dropped and the routing index is rebuilt so subsequent edges no longer
+  /// touch it. The id is never reused; the shared graph's retention is not
+  /// shrunk (remaining queries may rely on it, and a later registration
+  /// with a long window would just re-grow it).
+  Status UnregisterQuery(int query_id);
+
+  /// True if `query_id` names a live (registered, not yet unregistered)
+  /// query.
+  bool has_query(int query_id) const {
+    return query_id >= 0 && query_id < static_cast<int>(queries_.size()) &&
+           queries_[query_id] != nullptr;
+  }
+
   // --- Streaming --------------------------------------------------------------
   /// Ingests one edge and runs every routed query. Invalid edges (time
   /// regression, vertex label clash) are counted and reported, not fatal.
@@ -144,7 +158,8 @@ class StreamWorksEngine {
   const DynamicGraph& graph() const { return graph_; }
   const SummaryStatistics& statistics() const { return statistics_; }
   const EngineMetrics& metrics() const { return metrics_; }
-  size_t num_queries() const { return queries_.size(); }
+  /// Number of live queries (unregistered slots excluded).
+  size_t num_queries() const;
   const SjTree& sjtree(int query_id) const;
   QueryRuntimeInfo query_info(int query_id) const;
 
@@ -191,6 +206,8 @@ class StreamWorksEngine {
   EngineOptions options_;
   DynamicGraph graph_;
   SummaryStatistics statistics_;
+  /// Indexed by query id. Unregistered queries leave a null slot so ids
+  /// stay stable for the lifetime of the engine.
   std::vector<std::unique_ptr<RegisteredQuery>> queries_;
   std::unordered_map<LabelId, std::vector<Route>> routes_;
   EngineMetrics metrics_;

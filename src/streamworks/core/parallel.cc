@@ -18,13 +18,34 @@ ParallelEngineGroup::ParallelEngineGroup(Interner* interner, int num_shards,
 
 ParallelEngineGroup::~ParallelEngineGroup() { Close(); }
 
+std::unique_lock<std::mutex> ParallelEngineGroup::Quiesce(Shard* shard) {
+  std::unique_lock<std::mutex> lock(shard->mu);
+  shard->cv_producer.wait(lock, [&] {
+    return shard->idle && shard->queue.empty();
+  });
+  // With the queue empty and the lock held, the worker is parked in (or on
+  // its way into) cv_consumer.wait and cannot touch the engine until a new
+  // edge is enqueued — which requires this lock.
+  return lock;
+}
+
+Status ParallelEngineGroup::ResolveGroupId(int group_query_id,
+                                           int* shard_index,
+                                           int* local_id) const {
+  const int n = static_cast<int>(shards_.size());
+  if (group_query_id < 0) {
+    return Status::InvalidArgument("negative group query id");
+  }
+  *shard_index = group_query_id % n;
+  *local_id = group_query_id / n;
+  return OkStatus();
+}
+
 StatusOr<int> ParallelEngineGroup::RegisterQuery(
     const QueryGraph& query, DecompositionStrategy strategy,
     Timestamp window, MatchCallback callback) {
-  SW_CHECK(!streaming_started_)
-      << "register queries before streaming begins";
   Shard& shard = *shards_[next_shard_];
-  // The worker is idle (no edges yet), so touching its engine is safe.
+  auto lock = Quiesce(&shard);
   SW_ASSIGN_OR_RETURN(
       const int local_id,
       shard.engine.RegisterQuery(query, strategy, window,
@@ -35,8 +56,31 @@ StatusOr<int> ParallelEngineGroup::RegisterQuery(
   return group_id;
 }
 
+Status ParallelEngineGroup::UnregisterQuery(int group_query_id) {
+  int shard_index = 0, local_id = 0;
+  SW_RETURN_IF_ERROR(
+      ResolveGroupId(group_query_id, &shard_index, &local_id));
+  Shard& shard = *shards_[shard_index];
+  auto lock = Quiesce(&shard);
+  return shard.engine.UnregisterQuery(local_id);
+}
+
+StatusOr<QueryRuntimeInfo> ParallelEngineGroup::query_info(
+    int group_query_id) {
+  int shard_index = 0, local_id = 0;
+  SW_RETURN_IF_ERROR(
+      ResolveGroupId(group_query_id, &shard_index, &local_id));
+  Shard& shard = *shards_[shard_index];
+  auto lock = Quiesce(&shard);
+  if (!shard.engine.has_query(local_id)) {
+    return Status::NotFound("unknown or unregistered group query id");
+  }
+  QueryRuntimeInfo info = shard.engine.query_info(local_id);
+  info.query_id = group_query_id;
+  return info;
+}
+
 void ParallelEngineGroup::ProcessEdge(const StreamEdge& edge) {
-  streaming_started_ = true;
   for (auto& shard : shards_) {
     std::unique_lock<std::mutex> lock(shard->mu);
     shard->cv_producer.wait(lock, [&] {
@@ -54,7 +98,6 @@ void ParallelEngineGroup::ProcessEdge(const StreamEdge& edge) {
 
 void ParallelEngineGroup::ProcessBatch(const EdgeBatch& batch) {
   if (batch.empty()) return;
-  streaming_started_ = true;
   for (auto& shard : shards_) {
     size_t appended = 0;
     while (appended < batch.size()) {
@@ -105,10 +148,7 @@ void ParallelEngineGroup::WorkerLoop(Shard* shard) {
 
 void ParallelEngineGroup::Flush() {
   for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->mu);
-    shard->cv_producer.wait(lock, [&] {
-      return shard->idle && shard->queue.empty();
-    });
+    auto lock = Quiesce(shard.get());
   }
 }
 

@@ -37,12 +37,24 @@ class ParallelEngineGroup {
   ParallelEngineGroup(const ParallelEngineGroup&) = delete;
   ParallelEngineGroup& operator=(const ParallelEngineGroup&) = delete;
 
-  /// Registers a query on the next shard (round-robin). Must be called
-  /// before the first ProcessEdge (registration is not thread-safe against
-  /// streaming). Returns a group-wide query id.
+  /// Registers a query on the next shard (round-robin) and returns a
+  /// group-wide query id. May be called mid-stream: the target shard is
+  /// quiesced (its queue drained and its worker parked) for the duration
+  /// of the registration, so the new SJ-Tree is backfilled from a
+  /// consistent window. Not thread-safe against other control calls or the
+  /// producer; one control thread.
   StatusOr<int> RegisterQuery(const QueryGraph& query,
                               DecompositionStrategy strategy,
                               Timestamp window, MatchCallback callback);
+
+  /// Unregisters a group query id on whichever shard owns it (shard-aware
+  /// detach). Quiesces that shard first, so once this returns no further
+  /// callbacks fire for the query. Same threading contract as
+  /// RegisterQuery.
+  Status UnregisterQuery(int group_query_id);
+
+  /// Runtime snapshot of one group query (quiesces the owning shard).
+  StatusOr<QueryRuntimeInfo> query_info(int group_query_id);
 
   /// Enqueues one edge for every shard. Blocks when a shard's queue is
   /// full (backpressure). Not thread-safe; one producer.
@@ -89,11 +101,19 @@ class ParallelEngineGroup {
 
   void WorkerLoop(Shard* shard);
 
+  /// Waits (holding shard->mu, which is returned locked) until the shard's
+  /// queue is drained and its worker is parked, so the caller may touch
+  /// shard->engine directly.
+  std::unique_lock<std::mutex> Quiesce(Shard* shard);
+
+  /// Splits a group query id into (shard index, shard-local query id).
+  Status ResolveGroupId(int group_query_id, int* shard_index,
+                        int* local_id) const;
+
   static constexpr size_t kMaxQueuedEdges = 32768;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   int next_shard_ = 0;
-  bool streaming_started_ = false;
   bool closed_ = false;
 };
 

@@ -1,0 +1,56 @@
+#include "streamworks/service/backend.h"
+
+namespace streamworks {
+
+StatusOr<int> SingleEngineBackend::Register(const QueryGraph& query,
+                                            DecompositionStrategy strategy,
+                                            Timestamp window,
+                                            MatchCallback callback) {
+  return engine_->RegisterQuery(query, strategy, window, std::move(callback));
+}
+
+Status SingleEngineBackend::Unregister(int query_id) {
+  return engine_->UnregisterQuery(query_id);
+}
+
+StatusOr<QueryRuntimeInfo> SingleEngineBackend::Info(int query_id) {
+  if (!engine_->has_query(query_id)) {
+    return Status::NotFound("unknown or unregistered query id");
+  }
+  return engine_->query_info(query_id);
+}
+
+Status SingleEngineBackend::Feed(const StreamEdge& edge) {
+  return engine_->ProcessEdge(edge);
+}
+
+Status SingleEngineBackend::FeedBatch(const EdgeBatch& batch) {
+  return engine_->ProcessBatch(batch);
+}
+
+StatusOr<int> ParallelGroupBackend::Register(const QueryGraph& query,
+                                             DecompositionStrategy strategy,
+                                             Timestamp window,
+                                             MatchCallback callback) {
+  return group_->RegisterQuery(query, strategy, window, std::move(callback));
+}
+
+Status ParallelGroupBackend::Unregister(int query_id) {
+  return group_->UnregisterQuery(query_id);
+}
+
+StatusOr<QueryRuntimeInfo> ParallelGroupBackend::Info(int query_id) {
+  return group_->query_info(query_id);
+}
+
+Status ParallelGroupBackend::Feed(const StreamEdge& edge) {
+  group_->ProcessEdge(edge);
+  return OkStatus();
+}
+
+Status ParallelGroupBackend::FeedBatch(const EdgeBatch& batch) {
+  group_->ProcessBatch(batch);
+  return OkStatus();
+}
+
+}  // namespace streamworks

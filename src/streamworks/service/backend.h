@@ -1,0 +1,85 @@
+#ifndef STREAMWORKS_SERVICE_BACKEND_H_
+#define STREAMWORKS_SERVICE_BACKEND_H_
+
+#include "streamworks/core/engine.h"
+#include "streamworks/core/parallel.h"
+
+namespace streamworks {
+
+/// Uniform control surface the service layer drives, hiding whether
+/// queries run on one StreamWorksEngine or are sharded across a
+/// ParallelEngineGroup. This is the seam later deployment modes (remote
+/// workers, multi-backend fan-out) plug into.
+///
+/// Threading contract: one control thread calls Register / Unregister /
+/// Info / Feed* / Flush; match callbacks may run on backend worker threads
+/// and must be thread-safe (the service hands the backend callbacks that
+/// only touch ResultQueue and atomics).
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  virtual StatusOr<int> Register(const QueryGraph& query,
+                                 DecompositionStrategy strategy,
+                                 Timestamp window, MatchCallback callback) = 0;
+
+  /// After this returns, no further callbacks fire for the query.
+  virtual Status Unregister(int query_id) = 0;
+
+  virtual StatusOr<QueryRuntimeInfo> Info(int query_id) = 0;
+
+  /// Ingests one edge. A malformed-edge error is reported for the
+  /// single-engine backend; the parallel backend surfaces those only in
+  /// aggregate counters (its ingestion is asynchronous).
+  virtual Status Feed(const StreamEdge& edge) = 0;
+  virtual Status FeedBatch(const EdgeBatch& batch) = 0;
+
+  /// Blocks until every previously fed edge is fully processed (and its
+  /// callbacks have run).
+  virtual void Flush() = 0;
+};
+
+/// In-process, single-threaded deployment: every query on one engine,
+/// callbacks fire synchronously inside Feed.
+class SingleEngineBackend : public QueryBackend {
+ public:
+  /// `engine` must outlive the backend.
+  explicit SingleEngineBackend(StreamWorksEngine* engine) : engine_(engine) {}
+
+  StatusOr<int> Register(const QueryGraph& query,
+                         DecompositionStrategy strategy, Timestamp window,
+                         MatchCallback callback) override;
+  Status Unregister(int query_id) override;
+  StatusOr<QueryRuntimeInfo> Info(int query_id) override;
+  Status Feed(const StreamEdge& edge) override;
+  Status FeedBatch(const EdgeBatch& batch) override;
+  void Flush() override {}
+
+ private:
+  StreamWorksEngine* engine_;
+};
+
+/// Sharded deployment: queries spread across a ParallelEngineGroup's
+/// workers, callbacks fire on shard threads, Feed is an asynchronous
+/// enqueue.
+class ParallelGroupBackend : public QueryBackend {
+ public:
+  /// `group` must outlive the backend.
+  explicit ParallelGroupBackend(ParallelEngineGroup* group) : group_(group) {}
+
+  StatusOr<int> Register(const QueryGraph& query,
+                         DecompositionStrategy strategy, Timestamp window,
+                         MatchCallback callback) override;
+  Status Unregister(int query_id) override;
+  StatusOr<QueryRuntimeInfo> Info(int query_id) override;
+  Status Feed(const StreamEdge& edge) override;
+  Status FeedBatch(const EdgeBatch& batch) override;
+  void Flush() override { group_->Flush(); }
+
+ private:
+  ParallelEngineGroup* group_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_SERVICE_BACKEND_H_

@@ -1,0 +1,282 @@
+#include "streamworks/service/interpreter.h"
+
+#include <sstream>
+
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+namespace {
+
+/// Whitespace-splits a line into tokens (multiple separators collapse).
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream is{std::string(line)};
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+StatusOr<DecompositionStrategy> ParseStrategy(std::string_view name) {
+  for (DecompositionStrategy s : kAllDecompositionStrategies) {
+    if (DecompositionStrategyName(s) == name) return s;
+  }
+  return Status::InvalidArgument("unknown decomposition strategy: " +
+                                 std::string(name));
+}
+
+}  // namespace
+
+CommandInterpreter::CommandInterpreter(QueryService* service,
+                                       Interner* interner, std::ostream* out)
+    : service_(service), interner_(interner), out_(out) {}
+
+Status CommandInterpreter::Emit(const std::string& line) {
+  if (out_ != nullptr) *out_ << line << "\n";
+  return OkStatus();
+}
+
+Status CommandInterpreter::ExecuteScript(std::string_view script) {
+  for (std::string_view line : Split(script, '\n')) {
+    SW_RETURN_IF_ERROR(ExecuteLine(line));
+  }
+  if (in_define_) {
+    return Status::InvalidArgument("script ended inside DEFINE " +
+                                   define_name_ + " (missing END)");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::pair<int, int>> CommandInterpreter::ResolveSubscription(
+    std::string_view session, std::string_view sub) const {
+  auto session_it = session_ids_.find(std::string(session));
+  if (session_it == session_ids_.end()) {
+    return Status::NotFound("unknown session: " + std::string(session));
+  }
+  auto sub_it = subscription_ids_.find(
+      {std::string(session), std::string(sub)});
+  if (sub_it == subscription_ids_.end()) {
+    return Status::NotFound("unknown subscription: " + std::string(session) +
+                            "." + std::string(sub));
+  }
+  return std::make_pair(session_it->second, sub_it->second);
+}
+
+Status CommandInterpreter::ExecuteLine(std::string_view line) {
+  ++line_number_;
+  const std::string_view stripped = StripWhitespace(line);
+  if (stripped.empty() || stripped[0] == '#') return OkStatus();
+
+  std::vector<std::string> tokens = Tokenize(stripped);
+  const std::string& verb = tokens[0];
+
+  if (in_define_) {
+    if (verb == "END") {
+      in_define_ = false;
+      auto parsed = ParseQueryText(define_body_, interner_);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number_) + ": DEFINE " +
+            define_name_ + ": " + parsed.status().message());
+      }
+      definitions_.insert_or_assign(define_name_, std::move(parsed).value());
+      ++commands_executed_;
+      return Emit("OK define " + define_name_);
+    }
+    define_body_ += std::string(stripped);
+    define_body_ += '\n';
+    return OkStatus();
+  }
+
+  const auto error = [this](std::string_view msg) {
+    return Status::InvalidArgument("line " + std::to_string(line_number_) +
+                                   ": " + std::string(msg));
+  };
+
+  Status status = OkStatus();
+  if (verb == "DEFINE") {
+    if (tokens.size() != 2) return error("DEFINE takes one name");
+    in_define_ = true;
+    define_name_ = tokens[1];
+    define_body_ = "query " + define_name_ + "\n";
+    return OkStatus();  // counted when END closes the block
+  } else if (verb == "SESSION") {
+    status = HandleSession(tokens);
+  } else if (verb == "SUBMIT") {
+    status = HandleSubmit(tokens);
+  } else if (verb == "PAUSE" || verb == "RESUME" || verb == "DETACH") {
+    status = HandleLifecycle(verb, tokens);
+  } else if (verb == "FEED") {
+    status = HandleFeed(tokens);
+  } else if (verb == "FLUSH") {
+    service_->Flush();
+    status = Emit("OK flush");
+  } else if (verb == "POLL") {
+    status = HandlePoll(tokens);
+  } else if (verb == "STATS") {
+    service_->Flush();
+    if (out_ != nullptr) *out_ << service_->Snapshot().ToString();
+    status = OkStatus();
+  } else {
+    return error("unknown command: " + verb);
+  }
+  if (!status.ok()) {
+    return error(verb + ": " + status.message());
+  }
+  ++commands_executed_;
+  return OkStatus();
+}
+
+Status CommandInterpreter::HandleSession(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) return Status::InvalidArgument("takes one name");
+  SW_ASSIGN_OR_RETURN(const int id, service_->OpenSession(tokens[1]));
+  session_ids_[tokens[1]] = id;
+  return Emit("OK session " + tokens[1] + " id=" + std::to_string(id));
+}
+
+Status CommandInterpreter::HandleSubmit(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 4) {
+    return Status::InvalidArgument(
+        "usage: SUBMIT <session> <sub> <query> [WINDOW w] [CAP n] "
+        "[POLICY p] [STRATEGY s]");
+  }
+  const std::string& session_name = tokens[1];
+  const std::string& sub_name = tokens[2];
+  const std::string& query_name = tokens[3];
+
+  auto session_it = session_ids_.find(session_name);
+  if (session_it == session_ids_.end()) {
+    return Status::NotFound("unknown session: " + session_name);
+  }
+  // A sub name addresses lifecycle commands, so a live one must not be
+  // silently replaced; the name frees once its subscription detaches
+  // (the detach/re-submit flow).
+  auto existing = subscription_ids_.find({session_name, sub_name});
+  if (existing != subscription_ids_.end()) {
+    auto state = service_->state(session_it->second, existing->second);
+    if (state.ok() && *state != SubscriptionState::kDetached) {
+      return Status::AlreadyExists("subscription name in use: " +
+                                   session_name + "." + sub_name);
+    }
+  }
+  auto def_it = definitions_.find(query_name);
+  if (def_it == definitions_.end()) {
+    return Status::NotFound("undefined query: " + query_name);
+  }
+
+  SubmitOptions options;
+  options.window = def_it->second.window;  // DSL window, unless overridden
+  for (size_t i = 4; i + 1 < tokens.size(); i += 2) {
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    if (key == "WINDOW") {
+      int64_t w = 0;
+      if (!ParseInt64(value, &w) || w <= 0) {
+        return Status::InvalidArgument("bad WINDOW: " + value);
+      }
+      options.window = w;
+    } else if (key == "CAP") {
+      uint64_t cap = 0;
+      if (!ParseUint64(value, &cap) || cap == 0) {
+        return Status::InvalidArgument("bad CAP: " + value);
+      }
+      options.queue_capacity = cap;
+    } else if (key == "POLICY") {
+      SW_ASSIGN_OR_RETURN(const OverflowPolicy policy,
+                          ParseOverflowPolicy(value));
+      options.policy = policy;
+    } else if (key == "STRATEGY") {
+      SW_ASSIGN_OR_RETURN(options.strategy, ParseStrategy(value));
+    } else {
+      return Status::InvalidArgument("unknown SUBMIT option: " + key);
+    }
+  }
+  if ((tokens.size() - 4) % 2 != 0) {
+    return Status::InvalidArgument("dangling SUBMIT option value");
+  }
+
+  auto submitted =
+      service_->Submit(session_it->second, def_it->second.graph, options);
+  if (!submitted.ok()) {
+    if (submitted.status().code() == StatusCode::kResourceExhausted) {
+      // Admission rejection is a scenario outcome scripts assert on, not a
+      // malformed script.
+      return Emit("REJECTED " + session_name + "." + sub_name + " " +
+                  submitted.status().ToString());
+    }
+    return submitted.status();
+  }
+  subscription_ids_[{session_name, sub_name}] = submitted.value();
+  return Emit("OK submit " + session_name + "." + sub_name +
+              " id=" + std::to_string(submitted.value()));
+}
+
+Status CommandInterpreter::HandleLifecycle(
+    const std::string& verb, const std::vector<std::string>& tokens) {
+  if (tokens.size() != 3) {
+    return Status::InvalidArgument("usage: " + verb + " <session> <sub>");
+  }
+  SW_ASSIGN_OR_RETURN(const auto ids,
+                      ResolveSubscription(tokens[1], tokens[2]));
+  if (verb == "PAUSE") {
+    SW_RETURN_IF_ERROR(service_->Pause(ids.first, ids.second));
+  } else if (verb == "RESUME") {
+    SW_RETURN_IF_ERROR(service_->Resume(ids.first, ids.second));
+  } else {
+    // Detach after a flush so every edge fed before the DETACH line has
+    // delivered its matches (script time is stream time).
+    service_->Flush();
+    SW_RETURN_IF_ERROR(service_->Detach(ids.first, ids.second));
+  }
+  return Emit("OK " + verb + " " + tokens[1] + "." + tokens[2]);
+}
+
+Status CommandInterpreter::HandleFeed(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() != 7) {
+    return Status::InvalidArgument(
+        "usage: FEED <src> <SrcLabel> <dst> <DstLabel> <edgeLabel> <ts>");
+  }
+  StreamEdge edge;
+  if (!ParseUint64(tokens[1], &edge.src)) {
+    return Status::InvalidArgument("bad src vertex id: " + tokens[1]);
+  }
+  edge.src_label = interner_->Intern(tokens[2]);
+  if (!ParseUint64(tokens[3], &edge.dst)) {
+    return Status::InvalidArgument("bad dst vertex id: " + tokens[3]);
+  }
+  edge.dst_label = interner_->Intern(tokens[4]);
+  edge.edge_label = interner_->Intern(tokens[5]);
+  if (!ParseInt64(tokens[6], &edge.ts)) {
+    return Status::InvalidArgument("bad timestamp: " + tokens[6]);
+  }
+  // A malformed edge (time regression, label clash) is a stream property,
+  // not a script error: the engine counts it and the stream continues.
+  service_->Feed(edge).ok();
+  return OkStatus();
+}
+
+Status CommandInterpreter::HandlePoll(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() != 3) {
+    return Status::InvalidArgument("usage: POLL <session> <sub>");
+  }
+  SW_ASSIGN_OR_RETURN(const auto ids,
+                      ResolveSubscription(tokens[1], tokens[2]));
+  // Matches still in flight on backend workers belong to this poll.
+  service_->Flush();
+  ResultQueue* queue = service_->queue(ids.first, ids.second);
+  if (queue == nullptr) return Status::NotFound("subscription has no queue");
+  std::vector<CompleteMatch> matches;
+  queue->Drain(&matches);
+  for (const CompleteMatch& cm : matches) {
+    Emit("MATCH " + tokens[1] + "." + tokens[2] + " completed_at=" +
+         std::to_string(cm.completed_at) + " " + cm.match.ToString());
+  }
+  return Emit("POLLED " + tokens[1] + "." + tokens[2] +
+              " n=" + std::to_string(matches.size()));
+}
+
+}  // namespace streamworks

@@ -1,0 +1,92 @@
+#ifndef STREAMWORKS_SERVICE_INTERPRETER_H_
+#define STREAMWORKS_SERVICE_INTERPRETER_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamworks/service/query_service.h"
+
+namespace streamworks {
+
+/// Line protocol that scripts whole multi-tenant scenarios against a
+/// QueryService from text — fixtures, the service demo, and (later) a
+/// network frontend all speak it. One command per line; `#` starts a
+/// comment; blank lines are ignored.
+///
+///   DEFINE <query>              begin a query definition; the following
+///     node <v> <Label>          lines are the query DSL body (node/edge/
+///     edge <u> <v> <label>      window directives, see ParseQueryText)
+///   END                         end the definition
+///
+///   SESSION <session>           open a session
+///   SUBMIT <session> <sub> <query> [WINDOW <w>] [CAP <n>]
+///          [POLICY block|drop_oldest|drop_newest] [STRATEGY <name>]
+///                               submit <query> as subscription <sub>;
+///                               prints "OK ..." or "REJECTED ..." (an
+///                               admission rejection is a scenario
+///                               outcome, not a script error)
+///   PAUSE <session> <sub>
+///   RESUME <session> <sub>
+///   DETACH <session> <sub>
+///   FEED <src> <SrcLabel> <dst> <DstLabel> <edgeLabel> <ts>
+///                               ingest one stream edge
+///   FLUSH                       wait until the backend drained everything
+///   POLL <session> <sub>        drain the subscription's queue, printing
+///                               one MATCH line per result
+///   STATS                       print the service-wide snapshot
+///
+/// Malformed commands stop the script with InvalidArgument carrying the
+/// line number.
+class CommandInterpreter {
+ public:
+  /// All pointees must outlive the interpreter. `out` receives command
+  /// output (OK/REJECTED/MATCH/STATS lines); nullptr silences it.
+  CommandInterpreter(QueryService* service, Interner* interner,
+                     std::ostream* out);
+
+  /// Runs a whole script; stops at the first malformed line.
+  Status ExecuteScript(std::string_view script);
+
+  /// Runs one line (or accumulates it into an open DEFINE block).
+  Status ExecuteLine(std::string_view line);
+
+  uint64_t commands_executed() const { return commands_executed_; }
+
+  /// Subscription handle resolved by "<session> <sub>" names; exposed so
+  /// tests can cross-check interpreter-created state through the service
+  /// API.
+  StatusOr<std::pair<int, int>> ResolveSubscription(
+      std::string_view session, std::string_view sub) const;
+
+ private:
+  Status Emit(const std::string& line);
+
+  Status HandleSession(const std::vector<std::string>& tokens);
+  Status HandleSubmit(const std::vector<std::string>& tokens);
+  Status HandleLifecycle(const std::string& verb,
+                         const std::vector<std::string>& tokens);
+  Status HandleFeed(const std::vector<std::string>& tokens);
+  Status HandlePoll(const std::vector<std::string>& tokens);
+
+  QueryService* service_;
+  Interner* interner_;
+  std::ostream* out_;
+
+  std::map<std::string, ParsedQuery> definitions_;
+  std::map<std::string, int> session_ids_;
+  /// (session name, sub name) -> subscription id.
+  std::map<std::pair<std::string, std::string>, int> subscription_ids_;
+
+  bool in_define_ = false;
+  std::string define_name_;
+  std::string define_body_;
+  int line_number_ = 0;
+  uint64_t commands_executed_ = 0;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_SERVICE_INTERPRETER_H_

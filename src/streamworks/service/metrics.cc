@@ -1,0 +1,69 @@
+#include "streamworks/service/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace streamworks {
+
+void LagHistogram::Record(uint64_t lag_us) {
+  int bucket = lag_us == 0 ? 0 : std::bit_width(lag_us);
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  ++counts_[bucket];
+  ++total_count_;
+}
+
+void LagHistogram::Merge(const LagHistogram& other) {
+  for (int b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
+  total_count_ += other.total_count_;
+}
+
+uint64_t LagHistogram::Quantile(double q) const {
+  if (total_count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th sample, 1-based; ceil so Quantile(1.0) lands in the
+  // last occupied bucket.
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(total_count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      return b == 0 ? 0 : (uint64_t{1} << b) - 1;  // bucket upper bound
+    }
+  }
+  return (uint64_t{1} << (kNumBuckets - 1)) - 1;
+}
+
+std::string ServiceStatsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "service: sessions=" << sessions_opened
+     << " submissions=" << submissions << " admitted=" << admitted
+     << " rejected(quota=" << rejected_session_quota
+     << ",budget=" << rejected_partial_budget << ",other=" << rejected_other
+     << ")"
+     << " pauses=" << pauses << " resumes=" << resumes
+     << " detaches=" << detaches << " edges_fed=" << edges_fed << "\n";
+  os << "matches: enqueued=" << matches_enqueued
+     << " delivered=" << matches_delivered << " dropped=" << matches_dropped
+     << " suppressed=" << matches_suppressed
+     << " lag_p50_us=" << delivery_lag_p50_us
+     << " lag_p99_us=" << delivery_lag_p99_us << "\n";
+  for (const SessionStatsSnapshot& s : sessions) {
+    os << "session " << s.session_id << " '" << s.name << "'"
+       << (s.open ? "" : " (closed)") << ": live=" << s.live_queries
+       << " submitted=" << s.submissions << " admitted=" << s.admitted
+       << " rejected=" << s.rejected << " detached=" << s.detaches << "\n";
+    for (const SubscriptionStatsSnapshot& sub : s.subscriptions) {
+      os << "  sub " << sub.subscription_id << " query='" << sub.query_name
+         << "' state=" << sub.state << " policy=" << sub.policy
+         << " enqueued=" << sub.enqueued << " delivered=" << sub.delivered
+         << " dropped=" << sub.dropped
+         << " suppressed=" << sub.suppressed_while_paused
+         << " depth=" << sub.queue_depth << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace streamworks

@@ -1,0 +1,95 @@
+#ifndef STREAMWORKS_SERVICE_METRICS_H_
+#define STREAMWORKS_SERVICE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "streamworks/common/types.h"
+
+namespace streamworks {
+
+/// Fixed-footprint latency histogram with power-of-two microsecond buckets
+/// (bucket b holds samples in [2^(b-1), 2^b), bucket 0 holds 0us). Built
+/// for delivery-lag tracking: Record() is O(1) with no allocation, Merge()
+/// aggregates per-queue histograms into service-wide percentiles.
+class LagHistogram {
+ public:
+  static constexpr int kNumBuckets = 40;  ///< Covers up to ~2^39 us (~6 days).
+
+  void Record(uint64_t lag_us);
+  void Merge(const LagHistogram& other);
+
+  uint64_t total_count() const { return total_count_; }
+
+  /// Approximate value at quantile `q` in [0, 1]: the upper bound of the
+  /// bucket holding the q-th sample. Returns 0 when empty.
+  uint64_t Quantile(double q) const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t total_count_ = 0;
+};
+
+/// Point-in-time counters for one subscription. `state` and `policy` are
+/// rendered as strings so this header stays free of service-layer types.
+struct SubscriptionStatsSnapshot {
+  int subscription_id = -1;
+  int session_id = -1;
+  std::string query_name;
+  std::string state;    ///< "active" | "paused" | "detached".
+  std::string policy;   ///< Overflow policy name.
+  Timestamp window = 0;
+  uint64_t enqueued = 0;    ///< Matches accepted into the result queue.
+  uint64_t delivered = 0;   ///< Matches popped by the consumer.
+  uint64_t dropped = 0;     ///< Matches lost to overflow (or post-close).
+  uint64_t suppressed_while_paused = 0;
+  size_t queue_depth = 0;   ///< Matches currently waiting in the queue.
+};
+
+/// Point-in-time counters for one session.
+struct SessionStatsSnapshot {
+  int session_id = -1;
+  std::string name;
+  bool open = true;
+  uint64_t submissions = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t detaches = 0;
+  int live_queries = 0;
+  std::vector<SubscriptionStatsSnapshot> subscriptions;
+};
+
+/// Service-wide snapshot returned by QueryService::Snapshot() — the one
+/// introspection call aggregating admission, delivery, and lag counters
+/// across every session.
+struct ServiceStatsSnapshot {
+  uint64_t sessions_opened = 0;
+  uint64_t submissions = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected_session_quota = 0;
+  uint64_t rejected_partial_budget = 0;
+  uint64_t rejected_other = 0;   ///< Planner/validation failures.
+  uint64_t pauses = 0;
+  uint64_t resumes = 0;
+  uint64_t detaches = 0;
+  uint64_t edges_fed = 0;
+
+  uint64_t matches_enqueued = 0;
+  uint64_t matches_delivered = 0;
+  uint64_t matches_dropped = 0;
+  uint64_t matches_suppressed = 0;
+
+  uint64_t delivery_lag_p50_us = 0;
+  uint64_t delivery_lag_p99_us = 0;
+
+  std::vector<SessionStatsSnapshot> sessions;
+
+  /// Multi-line fixed-width rendering (the STATS command's output).
+  std::string ToString() const;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_SERVICE_METRICS_H_

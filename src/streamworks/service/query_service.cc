@@ -1,0 +1,324 @@
+#include "streamworks/service/query_service.h"
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+std::string_view SubscriptionStateName(SubscriptionState state) {
+  switch (state) {
+    case SubscriptionState::kActive:
+      return "active";
+    case SubscriptionState::kPaused:
+      return "paused";
+    case SubscriptionState::kDetached:
+      return "detached";
+  }
+  return "unknown";
+}
+
+QueryService::QueryService(QueryBackend* backend, ServiceLimits limits)
+    : backend_(backend), limits_(limits) {
+  SW_CHECK_GT(limits_.max_queries_per_session, 0);
+  SW_CHECK_GT(limits_.default_queue_capacity, 0u);
+}
+
+QueryService::~QueryService() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Close every queue first so no backend worker is left blocked in a
+  // kBlock Push (which would wedge the unregisters below).
+  for (Subscription& sub : subscriptions_) {
+    if (sub.state != SubscriptionState::kDetached) {
+      sub.delivery->queue.Close();
+    }
+  }
+  for (Subscription& sub : subscriptions_) {
+    if (sub.state == SubscriptionState::kDetached) continue;
+    backend_->Unregister(sub.backend_query_id).ok();
+    sub.state = SubscriptionState::kDetached;
+  }
+}
+
+StatusOr<int> QueryService::OpenSession(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Session& s : sessions_) {
+    if (s.open && s.name == name) {
+      return Status::AlreadyExists("session name already open: " + name);
+    }
+  }
+  Session session;
+  session.id = static_cast<int>(sessions_.size());
+  session.name = std::move(name);
+  sessions_.push_back(std::move(session));
+  return sessions_.back().id;
+}
+
+QueryService::Session* QueryService::FindOpenSession(int session_id) {
+  if (session_id < 0 || session_id >= static_cast<int>(sessions_.size())) {
+    return nullptr;
+  }
+  Session& s = sessions_[session_id];
+  return s.open ? &s : nullptr;
+}
+
+QueryService::Subscription* QueryService::FindSubscription(
+    int session_id, int subscription_id) {
+  if (subscription_id < 0 ||
+      subscription_id >= static_cast<int>(subscriptions_.size())) {
+    return nullptr;
+  }
+  Subscription& sub = subscriptions_[subscription_id];
+  return sub.session_id == session_id ? &sub : nullptr;
+}
+
+const QueryService::Subscription* QueryService::FindSubscription(
+    int session_id, int subscription_id) const {
+  return const_cast<QueryService*>(this)->FindSubscription(session_id,
+                                                           subscription_id);
+}
+
+size_t QueryService::TotalLivePartialMatches() {
+  size_t total = 0;
+  for (const Subscription& sub : subscriptions_) {
+    if (sub.state == SubscriptionState::kDetached) continue;
+    auto info = backend_->Info(sub.backend_query_id);
+    if (info.ok()) total += info->live_partial_matches;
+  }
+  return total;
+}
+
+StatusOr<int> QueryService::Submit(int session_id, const QueryGraph& query,
+                                   SubmitOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* session = FindOpenSession(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown or closed session id");
+  }
+  ++submissions_;
+  ++session->submissions;
+
+  int live = 0;
+  for (int sid : session->subscription_ids) {
+    if (subscriptions_[sid].state != SubscriptionState::kDetached) ++live;
+  }
+  if (live >= limits_.max_queries_per_session) {
+    ++rejected_session_quota_;
+    ++session->rejected;
+    return Status::ResourceExhausted(
+        "session query quota exceeded (max " +
+        std::to_string(limits_.max_queries_per_session) + ")");
+  }
+  if (limits_.live_partial_match_budget > 0 &&
+      TotalLivePartialMatches() >= limits_.live_partial_match_budget) {
+    ++rejected_partial_budget_;
+    ++session->rejected;
+    return Status::ResourceExhausted(
+        "service live partial-match budget exhausted");
+  }
+
+  const size_t capacity = options.queue_capacity > 0
+                              ? options.queue_capacity
+                              : limits_.default_queue_capacity;
+  const OverflowPolicy policy =
+      options.policy.value_or(limits_.default_policy);
+  auto delivery = std::make_shared<DeliveryState>(capacity, policy);
+
+  // The callback owns a reference to the delivery state, so it stays valid
+  // even if it races a detach on another shard's last in-flight edge.
+  auto callback = [delivery](const CompleteMatch& cm) {
+    if (delivery->paused.load(std::memory_order_acquire)) {
+      delivery->suppressed_while_paused.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return;
+    }
+    delivery->queue.Push(cm);
+  };
+
+  auto registered = backend_->Register(query, options.strategy,
+                                       options.window, std::move(callback));
+  if (!registered.ok()) {
+    ++rejected_other_;
+    ++session->rejected;
+    return registered.status();
+  }
+
+  Subscription sub;
+  sub.id = static_cast<int>(subscriptions_.size());
+  sub.session_id = session_id;
+  sub.backend_query_id = registered.value();
+  sub.query_name = query.name();
+  sub.window = options.window;
+  sub.delivery = std::move(delivery);
+  session->subscription_ids.push_back(sub.id);
+  subscriptions_.push_back(std::move(sub));
+  ++admitted_;
+  ++session->admitted;
+  return subscriptions_.back().id;
+}
+
+Status QueryService::Pause(int session_id, int subscription_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Subscription* sub = FindSubscription(session_id, subscription_id);
+  if (sub == nullptr) return Status::NotFound("unknown subscription");
+  if (sub->state != SubscriptionState::kActive) {
+    return Status::FailedPrecondition(
+        "can only pause an active subscription (state is " +
+        std::string(SubscriptionStateName(sub->state)) + ")");
+  }
+  sub->state = SubscriptionState::kPaused;
+  sub->delivery->paused.store(true, std::memory_order_release);
+  ++pauses_;
+  return OkStatus();
+}
+
+Status QueryService::Resume(int session_id, int subscription_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Subscription* sub = FindSubscription(session_id, subscription_id);
+  if (sub == nullptr) return Status::NotFound("unknown subscription");
+  if (sub->state != SubscriptionState::kPaused) {
+    return Status::FailedPrecondition(
+        "can only resume a paused subscription (state is " +
+        std::string(SubscriptionStateName(sub->state)) + ")");
+  }
+  sub->state = SubscriptionState::kActive;
+  sub->delivery->paused.store(false, std::memory_order_release);
+  ++resumes_;
+  return OkStatus();
+}
+
+Status QueryService::DetachLocked(Session& session, Subscription& sub) {
+  if (sub.state == SubscriptionState::kDetached) {
+    return Status::FailedPrecondition("subscription already detached");
+  }
+  // Close the queue BEFORE unregistering: a kBlock producer stuck in
+  // Push on a backend worker would otherwise keep its shard from ever
+  // quiescing, deadlocking the unregister. Post-close completions racing
+  // the unregister are counted as drops — detach discards them by
+  // definition; already-queued matches stay drainable.
+  sub.delivery->queue.Close();
+  SW_RETURN_IF_ERROR(backend_->Unregister(sub.backend_query_id));
+  sub.state = SubscriptionState::kDetached;
+  ++detaches_;
+  ++session.detaches;
+  return OkStatus();
+}
+
+Status QueryService::Detach(int session_id, int subscription_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* session = FindOpenSession(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown or closed session id");
+  }
+  Subscription* sub = FindSubscription(session_id, subscription_id);
+  if (sub == nullptr) return Status::NotFound("unknown subscription");
+  return DetachLocked(*session, *sub);
+}
+
+Status QueryService::CloseSession(int session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* session = FindOpenSession(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown or closed session id");
+  }
+  for (int sid : session->subscription_ids) {
+    Subscription& sub = subscriptions_[sid];
+    if (sub.state != SubscriptionState::kDetached) {
+      SW_RETURN_IF_ERROR(DetachLocked(*session, sub));
+    }
+  }
+  session->open = false;
+  return OkStatus();
+}
+
+Status QueryService::Feed(const StreamEdge& edge) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++edges_fed_;
+  }
+  return backend_->Feed(edge);
+}
+
+Status QueryService::FeedBatch(const EdgeBatch& batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    edges_fed_ += batch.size();
+  }
+  return backend_->FeedBatch(batch);
+}
+
+void QueryService::Flush() { backend_->Flush(); }
+
+ResultQueue* QueryService::queue(int session_id, int subscription_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Subscription* sub = FindSubscription(session_id, subscription_id);
+  return sub == nullptr ? nullptr : &sub->delivery->queue;
+}
+
+StatusOr<SubscriptionState> QueryService::state(int session_id,
+                                                int subscription_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Subscription* sub = FindSubscription(session_id, subscription_id);
+  if (sub == nullptr) return Status::NotFound("unknown subscription");
+  return sub->state;
+}
+
+ServiceStatsSnapshot QueryService::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStatsSnapshot snap;
+  snap.sessions_opened = sessions_.size();
+  snap.submissions = submissions_;
+  snap.admitted = admitted_;
+  snap.rejected_session_quota = rejected_session_quota_;
+  snap.rejected_partial_budget = rejected_partial_budget_;
+  snap.rejected_other = rejected_other_;
+  snap.pauses = pauses_;
+  snap.resumes = resumes_;
+  snap.detaches = detaches_;
+  snap.edges_fed = edges_fed_;
+
+  LagHistogram merged_lag;
+  for (const Session& session : sessions_) {
+    SessionStatsSnapshot ss;
+    ss.session_id = session.id;
+    ss.name = session.name;
+    ss.open = session.open;
+    ss.submissions = session.submissions;
+    ss.admitted = session.admitted;
+    ss.rejected = session.rejected;
+    ss.detaches = session.detaches;
+    for (int sid : session.subscription_ids) {
+      const Subscription& sub = subscriptions_[sid];
+      if (sub.state != SubscriptionState::kDetached) ++ss.live_queries;
+
+      SubscriptionStatsSnapshot sub_snap;
+      sub_snap.subscription_id = sub.id;
+      sub_snap.session_id = sub.session_id;
+      sub_snap.query_name = sub.query_name;
+      sub_snap.state = std::string(SubscriptionStateName(sub.state));
+      sub_snap.policy =
+          std::string(OverflowPolicyName(sub.delivery->queue.policy()));
+      sub_snap.window = sub.window;
+      const ResultQueueCounters counters = sub.delivery->queue.counters();
+      sub_snap.enqueued = counters.enqueued;
+      sub_snap.delivered = counters.delivered;
+      sub_snap.dropped = counters.dropped;
+      sub_snap.suppressed_while_paused =
+          sub.delivery->suppressed_while_paused.load(
+              std::memory_order_relaxed);
+      sub_snap.queue_depth = sub.delivery->queue.size();
+
+      snap.matches_enqueued += sub_snap.enqueued;
+      snap.matches_delivered += sub_snap.delivered;
+      snap.matches_dropped += sub_snap.dropped;
+      snap.matches_suppressed += sub_snap.suppressed_while_paused;
+      merged_lag.Merge(sub.delivery->queue.lag_histogram());
+
+      ss.subscriptions.push_back(std::move(sub_snap));
+    }
+    snap.sessions.push_back(std::move(ss));
+  }
+  snap.delivery_lag_p50_us = merged_lag.Quantile(0.5);
+  snap.delivery_lag_p99_us = merged_lag.Quantile(0.99);
+  return snap;
+}
+
+}  // namespace streamworks

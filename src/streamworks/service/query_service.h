@@ -1,0 +1,194 @@
+#ifndef STREAMWORKS_SERVICE_QUERY_SERVICE_H_
+#define STREAMWORKS_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamworks/service/backend.h"
+#include "streamworks/service/metrics.h"
+#include "streamworks/service/result_queue.h"
+
+namespace streamworks {
+
+/// Lifecycle of one subscription (a continuous query owned by a session):
+///
+///   Submit --> kActive <--> kPaused        (Pause / Resume)
+///                 |            |
+///                 +--> kDetached <--+      (Detach; terminal)
+///
+/// While paused the engine keeps maintaining the query's partial matches
+/// (so a resume sees matches spanning the pause), but completions are
+/// suppressed at the delivery boundary instead of entering the result
+/// queue. Detach unregisters the query from the backend and closes the
+/// queue; already-queued matches stay drainable.
+enum class SubscriptionState { kActive, kPaused, kDetached };
+
+std::string_view SubscriptionStateName(SubscriptionState state);
+
+/// Admission-control and defaulting knobs of a QueryService.
+struct ServiceLimits {
+  /// Live (non-detached) subscriptions allowed per session.
+  int max_queries_per_session = 8;
+  /// Service-wide budget of live partial matches across all live
+  /// subscriptions; a Submit that finds the budget already exhausted is
+  /// rejected. 0 = unlimited.
+  size_t live_partial_match_budget = 1u << 20;
+  /// Result-queue capacity when SubmitOptions doesn't pick one.
+  size_t default_queue_capacity = 1024;
+  /// Overflow policy when SubmitOptions doesn't pick one.
+  OverflowPolicy default_policy = OverflowPolicy::kDropOldest;
+};
+
+/// Per-submission knobs.
+struct SubmitOptions {
+  Timestamp window = kMaxTimestamp;
+  DecompositionStrategy strategy = DecompositionStrategy::kSelectivityLeftDeep;
+  size_t queue_capacity = 0;  ///< 0 = service default.
+  std::optional<OverflowPolicy> policy;
+};
+
+/// Multi-tenant continuous-query front door: sessions own subscriptions,
+/// subscriptions own result queues, and the service mediates between them
+/// and one QueryBackend — admission control on the way in (per-session
+/// quota, service-wide partial-match budget), per-subscription flow control
+/// on the way out (bounded queues with selectable overflow policy), and a
+/// lifecycle (pause / resume / detach) the raw engine doesn't have.
+///
+/// Threading: control-plane calls (Open/Close/Submit/Pause/Resume/Detach/
+/// Feed/Snapshot) are serialized by the caller or an internal mutex — one
+/// control thread is the expected shape, matching the backend contract.
+/// Match delivery runs on backend threads and only touches each
+/// subscription's queue and atomics, so consumers may drain queues from
+/// any thread at any time.
+class QueryService {
+ public:
+  /// `backend` must outlive the service.
+  explicit QueryService(QueryBackend* backend, ServiceLimits limits = {});
+
+  /// Detaches every live subscription.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // --- Sessions ------------------------------------------------------------
+  /// Opens a session and returns its id. Names must be unique among open
+  /// sessions (they address sessions in the line protocol).
+  StatusOr<int> OpenSession(std::string name);
+
+  /// Detaches all of the session's live subscriptions and closes it.
+  Status CloseSession(int session_id);
+
+  // --- Subscription lifecycle ----------------------------------------------
+  /// Admission control, then registers `query` on the backend and wires
+  /// its completions into a fresh ResultQueue. Returns the subscription
+  /// id. ResourceExhausted when the session's quota or the service's
+  /// partial-match budget is exceeded.
+  StatusOr<int> Submit(int session_id, const QueryGraph& query,
+                       SubmitOptions options = {});
+
+  /// Suppresses delivery (matches completing while paused are counted,
+  /// not queued). FailedPrecondition unless the subscription is active.
+  Status Pause(int session_id, int subscription_id);
+
+  /// Re-enables delivery. FailedPrecondition unless paused.
+  Status Resume(int session_id, int subscription_id);
+
+  /// Unregisters the query from the backend and closes the queue
+  /// (queued matches stay drainable). Terminal; idempotent calls fail
+  /// with FailedPrecondition.
+  Status Detach(int session_id, int subscription_id);
+
+  // --- Streaming -----------------------------------------------------------
+  /// Forwards one edge to the backend.
+  Status Feed(const StreamEdge& edge);
+  Status FeedBatch(const EdgeBatch& batch);
+  /// Blocks until the backend has processed everything fed so far.
+  void Flush();
+
+  // --- Introspection -------------------------------------------------------
+  /// The subscription's result queue, or nullptr if the ids are unknown.
+  /// Valid until the service is destroyed (detach keeps the queue).
+  ResultQueue* queue(int session_id, int subscription_id);
+
+  StatusOr<SubscriptionState> state(int session_id,
+                                    int subscription_id) const;
+
+  /// One call aggregating every admission / delivery / lag counter, per
+  /// subscription, per session, and service-wide.
+  ServiceStatsSnapshot Snapshot() const;
+
+  const ServiceLimits& limits() const { return limits_; }
+
+ private:
+  /// State shared with the backend's callback; outlives detach via
+  /// shared_ptr so a callback racing a detach stays safe.
+  struct DeliveryState {
+    DeliveryState(size_t capacity, OverflowPolicy policy)
+        : queue(capacity, policy) {}
+    ResultQueue queue;
+    std::atomic<bool> paused{false};
+    std::atomic<uint64_t> suppressed_while_paused{0};
+  };
+
+  struct Subscription {
+    int id = -1;
+    int session_id = -1;
+    int backend_query_id = -1;
+    std::string query_name;
+    Timestamp window = 0;
+    SubscriptionState state = SubscriptionState::kActive;
+    std::shared_ptr<DeliveryState> delivery;
+  };
+
+  struct Session {
+    int id = -1;
+    std::string name;
+    bool open = true;
+    uint64_t submissions = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t detaches = 0;
+    std::vector<int> subscription_ids;
+  };
+
+  Session* FindOpenSession(int session_id);
+  Subscription* FindSubscription(int session_id, int subscription_id);
+  const Subscription* FindSubscription(int session_id,
+                                       int subscription_id) const;
+
+  /// Live partial matches across every live subscription (admission
+  /// control's budget probe).
+  size_t TotalLivePartialMatches();
+
+  /// Detach with mu_ already held.
+  Status DetachLocked(Session& session, Subscription& sub);
+
+  QueryBackend* backend_;
+  ServiceLimits limits_;
+
+  /// Guards sessions_/subscriptions_ and the counters below. Never held
+  /// while delivering matches (callbacks bypass the control plane).
+  mutable std::mutex mu_;
+  std::vector<Session> sessions_;
+  std::vector<Subscription> subscriptions_;
+
+  uint64_t submissions_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_session_quota_ = 0;
+  uint64_t rejected_partial_budget_ = 0;
+  uint64_t rejected_other_ = 0;
+  uint64_t pauses_ = 0;
+  uint64_t resumes_ = 0;
+  uint64_t detaches_ = 0;
+  uint64_t edges_fed_ = 0;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_SERVICE_QUERY_SERVICE_H_

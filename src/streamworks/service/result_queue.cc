@@ -1,0 +1,136 @@
+#include "streamworks/service/result_queue.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+std::string_view OverflowPolicyName(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kBlock:
+      return "block";
+    case OverflowPolicy::kDropOldest:
+      return "drop_oldest";
+    case OverflowPolicy::kDropNewest:
+      return "drop_newest";
+  }
+  return "unknown";
+}
+
+StatusOr<OverflowPolicy> ParseOverflowPolicy(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "block") return OverflowPolicy::kBlock;
+  if (lower == "drop_oldest") return OverflowPolicy::kDropOldest;
+  if (lower == "drop_newest") return OverflowPolicy::kDropNewest;
+  return Status::InvalidArgument("unknown overflow policy: " +
+                                 std::string(name));
+}
+
+ResultQueue::ResultQueue(size_t capacity, OverflowPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  SW_CHECK_GT(capacity, 0u);
+}
+
+void ResultQueue::Push(CompleteMatch match) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) {
+    ++counters_.dropped;
+    return;
+  }
+  if (queue_.size() >= capacity_) {
+    switch (policy_) {
+      case OverflowPolicy::kBlock:
+        cv_space_.wait(lock, [&] {
+          return closed_ || queue_.size() < capacity_;
+        });
+        if (closed_) {
+          ++counters_.dropped;
+          return;
+        }
+        break;
+      case OverflowPolicy::kDropOldest:
+        queue_.pop_front();
+        ++counters_.dropped;
+        break;
+      case OverflowPolicy::kDropNewest:
+        ++counters_.dropped;
+        return;
+    }
+  }
+  queue_.push_back(Entry{std::move(match), std::chrono::steady_clock::now()});
+  ++counters_.enqueued;
+  cv_items_.notify_one();
+}
+
+void ResultQueue::PopFrontLocked(CompleteMatch* out) {
+  Entry& front = queue_.front();
+  const auto lag = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - front.enqueued_at);
+  lag_.Record(static_cast<uint64_t>(std::max<int64_t>(0, lag.count())));
+  *out = std::move(front.match);
+  queue_.pop_front();
+  ++counters_.delivered;
+  cv_space_.notify_one();
+}
+
+bool ResultQueue::TryPop(CompleteMatch* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  PopFrontLocked(out);
+  return true;
+}
+
+bool ResultQueue::WaitPop(CompleteMatch* out,
+                          std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_items_.wait_for(lock, timeout,
+                     [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  PopFrontLocked(out);
+  return true;
+}
+
+size_t ResultQueue::Drain(std::vector<CompleteMatch>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = queue_.size();
+  for (size_t i = 0; i < n; ++i) {
+    CompleteMatch m;
+    PopFrontLocked(&m);
+    out->push_back(std::move(m));
+  }
+  return n;
+}
+
+void ResultQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_space_.notify_all();
+  cv_items_.notify_all();
+}
+
+bool ResultQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t ResultQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ResultQueueCounters ResultQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+LagHistogram ResultQueue::lag_histogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lag_;
+}
+
+}  // namespace streamworks

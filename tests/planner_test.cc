@@ -38,7 +38,7 @@ StreamEdge MakeEdge(Interner* interner, uint64_t src, uint64_t dst,
 
 /// Ingests edges into a fresh graph while feeding the statistics collector.
 void IngestWithStats(const std::vector<StreamEdge>& edges,
-                     Interner* interner, DynamicGraph* g,
+                     Interner* /*interner*/, DynamicGraph* g,
                      SummaryStatistics* stats) {
   for (const StreamEdge& e : edges) {
     const EdgeId id = g->AddEdge(e).value();
