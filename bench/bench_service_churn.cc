@@ -127,7 +127,13 @@ void RunAll(int num_edges) {
              "rel_to_base", "matches", "dropped"});
   table.Separator();
 
-  for (const bool parallel : {false, true}) {
+  // single: one engine, backfill inline. parallel4: broadcast group,
+  // churn quiesces one shard. partition4: vertex-partitioned group, churn
+  // quiesces the whole group and backfills through the exchange — the
+  // worst churn case, priced here on purpose.
+  enum class Backend { kSingle, kBroadcast, kPartitioned };
+  for (const Backend backend_kind :
+       {Backend::kSingle, Backend::kBroadcast, Backend::kPartitioned}) {
     double baseline_rate = 0;
     for (const int churn_every : {0, 2000, 500}) {
       // Fresh interner + stream per run: each scenario starts cold.
@@ -142,8 +148,14 @@ void RunAll(int num_edges) {
       const std::vector<StreamEdge> stream = gen.Generate();
 
       ChurnResult result;
-      if (parallel) {
+      if (backend_kind == Backend::kBroadcast) {
         ParallelEngineGroup group(&interner, 4);
+        ParallelGroupBackend backend(&group);
+        result = RunScenario(stream, &backend, &interner, churn_every);
+        group.Close();
+      } else if (backend_kind == Backend::kPartitioned) {
+        ParallelEngineGroup group(&interner, 4, {},
+                                  ShardingMode::kPartitionedData);
         ParallelGroupBackend backend(&group);
         result = RunScenario(stream, &backend, &interner, churn_every);
         group.Close();
@@ -156,7 +168,9 @@ void RunAll(int num_edges) {
       const double rate =
           static_cast<double>(stream.size()) / result.wall_seconds;
       if (churn_every == 0) baseline_rate = rate;
-      table.Row({parallel ? "parallel4" : "single",
+      table.Row({backend_kind == Backend::kSingle      ? "single"
+                 : backend_kind == Backend::kBroadcast ? "parallel4"
+                                                       : "partition4",
                  churn_every == 0 ? "off" : std::to_string(churn_every),
                  std::to_string(kNumSessions * kInitialQueriesPerSession),
                  std::to_string(result.detaches), FormatCount(

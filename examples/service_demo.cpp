@@ -20,6 +20,7 @@
 // and delivery-lag counters diverging per tenant.
 
 #include <iostream>
+#include <string_view>
 
 #include "streamworks/common/interner.h"
 #include "streamworks/core/parallel.h"
@@ -88,9 +89,18 @@ STATS
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Tenants pick the sharding mode where the engine group is built:
+  // broadcast (default) replicates the window graph per shard and spreads
+  // queries; `service_demo partitioned` shards the data graph by vertex
+  // ownership and exchanges cross-shard partial matches — same scenario,
+  // same output, and STATS grows per-shard retained/forwarded lines.
+  const bool partitioned =
+      argc > 1 && std::string_view(argv[1]) == "partitioned";
   Interner interner;
-  ParallelEngineGroup group(&interner, /*num_shards=*/2);
+  ParallelEngineGroup group(&interner, /*num_shards=*/2, {},
+                            partitioned ? ShardingMode::kPartitionedData
+                                        : ShardingMode::kBroadcastData);
   ParallelGroupBackend backend(&group);
 
   ServiceLimits limits;

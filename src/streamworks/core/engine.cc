@@ -1,5 +1,6 @@
 #include "streamworks/core/engine.h"
 
+#include "streamworks/common/hash.h"
 #include "streamworks/common/logging.h"
 #include "streamworks/common/timer.h"
 
@@ -58,9 +59,8 @@ std::unique_ptr<SjTree> StreamWorksEngine::BuildBackfilledTree(
   // future arrivals. Completions produced here finished in the past and
   // are suppressed (continuous-query semantics).
   std::vector<Match> suppressed;
-  for (EdgeId id = graph_.first_stored_edge_id(); id < graph_.next_edge_id();
-       ++id) {
-    tree->ProcessEdge(graph_, id, &suppressed);
+  for (size_t i = 0; i < graph_.num_stored_edges(); ++i) {
+    tree->ProcessEdge(graph_, graph_.stored_edge_id(i), &suppressed);
     suppressed.clear();
   }
   return tree;
@@ -106,8 +106,19 @@ StatusOr<int> StreamWorksEngine::RegisterQueryImpl(
 
   // The tree holds a pointer to the entry's own query copy; the entry is
   // heap-allocated and never moved, so the pointer is stable.
-  entry->tree =
-      BuildBackfilledTree(&entry->query, std::move(decomposition), window);
+  //
+  // Shard mode skips the local backfill: replaying only this shard's edge
+  // subset would both miss cross-shard partial matches and double-run
+  // anchors for edges stored on two shards. The group instead drives a
+  // distributed backfill (BackfillQueryEdge + exchange pumping) right
+  // after registering the query on every shard.
+  if (shard_mode()) {
+    entry->tree = std::make_unique<SjTree>(
+        &entry->query, std::move(decomposition), window);
+  } else {
+    entry->tree =
+        BuildBackfilledTree(&entry->query, std::move(decomposition), window);
+  }
   const int query_id = static_cast<int>(queries_.size());
   queries_.push_back(std::move(entry));
   RebuildRoutes();
@@ -178,17 +189,7 @@ Status StreamWorksEngine::ProcessEdge(const StreamEdge& edge) {
       scratch_completed_.clear();
       rq.tree->RunAnchorPlan(graph_, route.plan_index, id,
                              &scratch_completed_);
-      for (Match& m : scratch_completed_) {
-        ++rq.completions;
-        ++metrics_.completions;
-        if (rq.callback) {
-          CompleteMatch cm;
-          cm.query_id = route.query_id;
-          cm.match = std::move(m);
-          cm.completed_at = graph_.watermark();
-          rq.callback(cm);
-        }
-      }
+      DeliverCompletions(route.query_id, rq);
     }
   }
 
@@ -216,6 +217,219 @@ Status StreamWorksEngine::ProcessEdge(const StreamEdge& edge) {
   }
   metrics_.processing_seconds += timer.ElapsedSeconds();
   return OkStatus();
+}
+
+void StreamWorksEngine::DeliverCompletions(int query_id,
+                                           RegisteredQuery& rq) {
+  if (suppress_completions_) {
+    scratch_completed_.clear();
+    return;
+  }
+  for (Match& m : scratch_completed_) {
+    ++rq.completions;
+    ++metrics_.completions;
+    if (rq.callback) {
+      CompleteMatch cm;
+      cm.query_id = query_id;
+      // Classic mode: the completing edge is the newest ingested, so the
+      // watermark is its timestamp. Shard mode: this shard's watermark may
+      // have moved past (or lag) the completing edge of a forwarded match,
+      // so read the time off the match itself — identical values, one of
+      // them always available.
+      cm.completed_at = shard_mode() ? m.max_ts() : graph_.watermark();
+      cm.graph = &graph_;
+      cm.match = std::move(m);
+      rq.callback(cm);
+    }
+  }
+  scratch_completed_.clear();
+}
+
+// --- Shard mode --------------------------------------------------------------
+
+int StreamWorksEngine::Router::self_shard() const {
+  return engine_->shard_.shard_index;
+}
+
+int StreamWorksEngine::Router::OwnerOfVertex(ExternalVertexId v) const {
+  return engine_->shard_.partitioner->OwnerShard(v,
+                                                 engine_->shard_.num_shards);
+}
+
+int StreamWorksEngine::Router::HomeShard(uint64_t ext_cut_key) const {
+  // Mix the query id in so distinct queries with coincident cut
+  // assignments spread over different homes.
+  const uint64_t h =
+      HashCombine(Mix64(static_cast<uint64_t>(current_query_id) + 1),
+                  ext_cut_key);
+  return static_cast<int>(h % static_cast<uint64_t>(
+                                  engine_->shard_.num_shards));
+}
+
+int StreamWorksEngine::Router::callback_home() const {
+  return current_query_id % engine_->shard_.num_shards;
+}
+
+Timestamp StreamWorksEngine::Router::safe_watermark() const {
+  return engine_->safe_watermark_;
+}
+
+ExchangeItem StreamWorksEngine::Router::WireItem(ExchangeKind kind,
+                                                 const Match& m) const {
+  ExchangeItem item;
+  item.kind = kind;
+  item.query_id = current_query_id;
+  item.match = MatchExchange::ToWire(engine_->graph_, m);
+  return item;
+}
+
+void StreamWorksEngine::Router::ForwardExpansion(int dest, uint32_t plan,
+                                                 int step, const Match& m) {
+  ExchangeItem item = WireItem(ExchangeKind::kExpand, m);
+  item.plan = plan;
+  item.step = step;
+  engine_->shard_.exchange->Send(dest, std::move(item));
+}
+
+void StreamWorksEngine::Router::ForwardInsert(int dest, int node,
+                                              const Match& m) {
+  ExchangeItem item = WireItem(ExchangeKind::kInsert, m);
+  item.node = node;
+  engine_->shard_.exchange->Send(dest, std::move(item));
+}
+
+void StreamWorksEngine::Router::ForwardCompletion(int dest, const Match& m) {
+  engine_->shard_.exchange->Send(dest,
+                                 WireItem(ExchangeKind::kComplete, m));
+}
+
+void StreamWorksEngine::EnableShardMode(const ShardConfig& config) {
+  SW_CHECK(config.partitioner != nullptr && config.exchange != nullptr);
+  SW_CHECK_GT(config.num_shards, 0);
+  SW_CHECK_GE(config.shard_index, 0);
+  SW_CHECK_LT(config.shard_index, config.num_shards);
+  SW_CHECK(queries_.empty() && metrics_.edges_processed == 0)
+      << "shard mode must be enabled before registrations and ingest";
+  SW_CHECK_EQ(options_.replan_interval, 0)
+      << "adaptive re-planning is per-engine and would diverge the "
+         "replicated trees; disable it in shard mode";
+  shard_ = config;
+  graph_.set_manual_eviction(true);
+}
+
+Status StreamWorksEngine::ProcessShardEdge(const StreamEdge& edge,
+                                           EdgeId global_id,
+                                           bool run_anchors) {
+  SW_DCHECK(shard_mode());
+  Timer timer;
+  auto added = graph_.AddEdgeWithId(edge, global_id);
+  if (!added.ok()) {
+    ++metrics_.edges_rejected;
+    return added.status();
+  }
+  ++metrics_.edges_processed;
+  if (options_.collect_statistics) statistics_.Observe(graph_, global_id);
+
+  if (run_anchors) {
+    auto route_it = routes_.find(edge.edge_label);
+    if (route_it != routes_.end()) {
+      for (const Route& route : route_it->second) {
+        if (route.src_label != edge.src_label ||
+            route.dst_label != edge.dst_label) {
+          continue;
+        }
+        RegisteredQuery& rq = *queries_[route.query_id];
+        router_.current_query_id = route.query_id;
+        scratch_completed_.clear();
+        rq.tree->RunAnchorPlanSharded(graph_, route.plan_index, global_id,
+                                      &router_, &scratch_completed_);
+        DeliverCompletions(route.query_id, rq);
+      }
+    }
+  }
+
+  // Periodic partial-match sweeps against the *safe* (epoch) watermark —
+  // a lower bound on every in-flight match's completing edge; the local
+  // watermark could be ahead of forwarded work and expire its partners.
+  if (++edges_since_sweep_ >= options_.expiry_sweep_interval) {
+    edges_since_sweep_ = 0;
+    for (auto& rq : queries_) {
+      if (rq != nullptr) rq->tree->ExpireOldMatches(safe_watermark_);
+    }
+  }
+  metrics_.processing_seconds += timer.ElapsedSeconds();
+  return OkStatus();
+}
+
+void StreamWorksEngine::HandleExchangeItem(const ExchangeItem& item) {
+  SW_DCHECK(shard_mode());
+  Timer timer;
+  shard_.exchange->CountReceived(item.kind);
+  SW_CHECK(has_query(item.query_id))
+      << "exchange item for unknown query " << item.query_id
+      << " (unregister must quiesce the whole group first)";
+  RegisteredQuery& rq = *queries_[item.query_id];
+  auto localized = MatchExchange::Localize(&graph_, rq.query, item.match);
+  SW_CHECK(localized.ok())
+      << "forwarded match failed to localize: "
+      << localized.status().ToString();
+  Match m = std::move(localized).value();
+
+  router_.current_query_id = item.query_id;
+  scratch_completed_.clear();
+  switch (item.kind) {
+    case ExchangeKind::kExpand:
+      rq.tree->ResumeExpansion(graph_, item.plan,
+                               static_cast<size_t>(item.step), &m, &router_,
+                               &scratch_completed_);
+      break;
+    case ExchangeKind::kInsert:
+      rq.tree->InsertForwarded(graph_, item.node, m, &router_,
+                               &scratch_completed_);
+      break;
+    case ExchangeKind::kComplete:
+      scratch_completed_.push_back(std::move(m));
+      break;
+  }
+  DeliverCompletions(item.query_id, rq);
+  metrics_.processing_seconds += timer.ElapsedSeconds();
+}
+
+void StreamWorksEngine::AdvanceWatermark(Timestamp watermark) {
+  if (watermark > safe_watermark_) safe_watermark_ = watermark;
+  graph_.AdvanceWatermark(watermark);
+  for (auto& rq : queries_) {
+    if (rq != nullptr) rq->tree->ExpireOldMatches(safe_watermark_);
+  }
+}
+
+void StreamWorksEngine::BackfillQueryEdge(int query_id, EdgeId edge_id) {
+  SW_DCHECK(shard_mode());
+  SW_CHECK(has_query(query_id));
+  RegisteredQuery& rq = *queries_[query_id];
+  const EdgeRecord& record = graph_.edge_record(edge_id);
+  const LabelId src_label = graph_.vertex_label(record.src);
+  const LabelId dst_label = graph_.vertex_label(record.dst);
+  router_.current_query_id = query_id;
+  const auto& plans = rq.tree->anchor_plans();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i].edge_label != record.label ||
+        plans[i].src_label != src_label || plans[i].dst_label != dst_label) {
+      continue;
+    }
+    scratch_completed_.clear();
+    rq.tree->RunAnchorPlanSharded(graph_, i, edge_id, &router_,
+                                  &scratch_completed_);
+    DeliverCompletions(query_id, rq);
+  }
+}
+
+size_t StreamWorksEngine::total_live_partial_matches() const {
+  size_t total = 0;
+  for (const auto& rq : queries_) {
+    if (rq != nullptr) total += rq->tree->TotalPartialMatches();
+  }
+  return total;
 }
 
 Status StreamWorksEngine::ProcessBatch(const EdgeBatch& batch) {

@@ -11,9 +11,11 @@
 #include "streamworks/common/interner.h"
 #include "streamworks/common/statusor.h"
 #include "streamworks/graph/dynamic_graph.h"
+#include "streamworks/graph/partition.h"
 #include "streamworks/graph/query_graph.h"
 #include "streamworks/planner/planner.h"
 #include "streamworks/planner/stats.h"
+#include "streamworks/sjtree/exchange.h"
 #include "streamworks/sjtree/sj_tree.h"
 #include "streamworks/stream/batching.h"
 
@@ -26,6 +28,20 @@ struct CompleteMatch {
   /// Stream watermark when the match completed (== the completing edge's
   /// timestamp).
   Timestamp completed_at = 0;
+  /// Graph whose id space `match` is expressed in (the delivering engine's;
+  /// the pointer stays valid for the engine's lifetime). Use it to resolve
+  /// vertex ids to external ids / labels — internal ids are per-engine
+  /// artifacts, and in a vertex-partitioned group each shard numbers
+  /// vertices differently. Edge *records* resolve only where the edge is
+  /// stored; edge ids themselves are globally meaningful in every mode.
+  ///
+  /// Thread safety: the graph keeps mutating as the stream flows, so only
+  /// dereference (a) inside the delivering callback, which runs on the
+  /// engine's processing thread, or (b) after the backend has been
+  /// flushed/quiesced with no concurrent ingest — e.g. draining a
+  /// ResultQueue after Flush(). A consumer thread racing live ingest must
+  /// copy what it needs inside the callback instead.
+  const DynamicGraph* graph = nullptr;
 };
 
 /// Receives every complete match of one registered query, in completion
@@ -73,6 +89,18 @@ struct QueryRuntimeInfo {
   uint64_t completions = 0;
   size_t live_partial_matches = 0;
   size_t peak_partial_matches = 0;
+};
+
+/// Identity one engine assumes when it runs as one shard of a
+/// vertex-partitioned group (ParallelEngineGroup in kPartitionedData
+/// mode). `partitioner` and `exchange` must outlive the engine; both are
+/// shared with the group, which owns routing edges in and forwarding
+/// matches out.
+struct ShardConfig {
+  int shard_index = 0;
+  int num_shards = 1;
+  const Partitioner* partitioner = nullptr;
+  MatchExchange* exchange = nullptr;
 };
 
 /// StreamWorks (paper Fig. 1): the continuous-query engine for dynamic
@@ -154,6 +182,45 @@ class StreamWorksEngine {
   /// completes within the batch.
   Status ProcessBatch(const EdgeBatch& batch);
 
+  // --- Vertex-partitioned shard mode --------------------------------------
+  /// Turns this engine into one shard of a vertex-partitioned group. Must
+  /// be called before any registration or ingest. Requires
+  /// replan_interval == 0 (per-shard re-planning would diverge the
+  /// replicated trees). Switches the graph to manual eviction: expiry
+  /// advances at AdvanceWatermark (group epoch) boundaries, never racing
+  /// ahead of forwarded matches still in flight.
+  void EnableShardMode(const ShardConfig& config);
+  bool shard_mode() const { return shard_.exchange != nullptr; }
+
+  /// Ingests one edge this shard owns at least one endpoint of, under its
+  /// group-global id. `run_anchors` is set only on the shard owning the
+  /// source vertex, so each edge anchors local search exactly once
+  /// group-wide; the other endpoint's shard just stores the edge for
+  /// future expansions through its vertex.
+  Status ProcessShardEdge(const StreamEdge& edge, EdgeId global_id,
+                          bool run_anchors);
+
+  /// Executes one forwarded work item (expansion resume, homed insert, or
+  /// completion delivery) against this shard's state.
+  void HandleExchangeItem(const ExchangeItem& item);
+
+  /// Raises the shard's watermark to the group watermark and expires
+  /// edges + partial matches under it (group epoch barrier).
+  void AdvanceWatermark(Timestamp watermark);
+
+  /// Re-runs anchor plans of `query_id` for the stored edge `edge_id`
+  /// (sharded path, exchange via the router). The group drives this during
+  /// distributed backfill of a mid-stream registration, with completions
+  /// suppressed; call only on the shard owning the edge's source vertex.
+  void BackfillQueryEdge(int query_id, EdgeId edge_id);
+
+  /// While set, completed matches are dropped before counting/delivery
+  /// (distributed backfill replays the window; anything completing there
+  /// already completed — and was emitted — in the past).
+  void set_suppress_completions(bool suppress) {
+    suppress_completions_ = suppress;
+  }
+
   // --- Introspection ------------------------------------------------------------
   const DynamicGraph& graph() const { return graph_; }
   const SummaryStatistics& statistics() const { return statistics_; }
@@ -162,6 +229,8 @@ class StreamWorksEngine {
   size_t num_queries() const;
   const SjTree& sjtree(int query_id) const;
   QueryRuntimeInfo query_info(int query_id) const;
+  /// Live partial matches across every registered query's tree.
+  size_t total_live_partial_matches() const;
 
  private:
   struct RegisteredQuery {
@@ -183,11 +252,43 @@ class StreamWorksEngine {
     LabelId dst_label;
   };
 
+  /// ShardRouter the trees consult in shard mode: ownership and homing
+  /// questions answer from the shared partitioner; Forward* serialise the
+  /// match against this engine's graph and queue it on the exchange. The
+  /// tree never forwards to self, so these calls never re-enter the
+  /// engine.
+  class Router final : public ShardRouter {
+   public:
+    explicit Router(StreamWorksEngine* engine) : engine_(engine) {}
+
+    int self_shard() const override;
+    int OwnerOfVertex(ExternalVertexId v) const override;
+    int HomeShard(uint64_t ext_cut_key) const override;
+    int callback_home() const override;
+    Timestamp safe_watermark() const override;
+    void ForwardExpansion(int dest, uint32_t plan, int step,
+                          const Match& m) override;
+    void ForwardInsert(int dest, int node, const Match& m) override;
+    void ForwardCompletion(int dest, const Match& m) override;
+
+    /// Query whose tree is currently executing (set by the engine before
+    /// every tree call; routing and homing are per-query).
+    int current_query_id = -1;
+
+   private:
+    ExchangeItem WireItem(ExchangeKind kind, const Match& m) const;
+    StreamWorksEngine* engine_;
+  };
+
   StatusOr<int> RegisterQueryImpl(const QueryGraph& query,
                                   Decomposition decomposition,
                                   Timestamp window, MatchCallback callback,
                                   std::optional<DecompositionStrategy>
                                       strategy);
+
+  /// Counts and delivers scratch_completed_ to `rq`'s callback (drops all
+  /// of it while suppress_completions_ is set), then clears the scratch.
+  void DeliverCompletions(int query_id, RegisteredQuery& rq);
 
   /// Builds a tree for `query` over `decomposition` and replays the
   /// current window into it with completions suppressed.
@@ -204,6 +305,12 @@ class StreamWorksEngine {
 
   Interner* interner_;
   EngineOptions options_;
+  ShardConfig shard_;  ///< num_shards == 1 / null exchange: classic mode.
+  Router router_{this};
+  bool suppress_completions_ = false;
+  /// Shard mode: last group watermark received through AdvanceWatermark —
+  /// the only timestamp expiry may use (see ShardRouter::safe_watermark).
+  Timestamp safe_watermark_ = -1;
   DynamicGraph graph_;
   SummaryStatistics statistics_;
   /// Indexed by query id. Unregistered queries leave a null slot so ids

@@ -1,15 +1,34 @@
 #include "streamworks/core/parallel.h"
 
+#include <algorithm>
+
 #include "streamworks/common/logging.h"
+#include "streamworks/planner/selectivity.h"
 
 namespace streamworks {
 
 ParallelEngineGroup::ParallelEngineGroup(Interner* interner, int num_shards,
-                                         EngineOptions options) {
+                                         EngineOptions options,
+                                         ShardingMode mode,
+                                         const Partitioner* partitioner)
+    : mode_(mode),
+      options_(options),
+      partitioner_(partitioner != nullptr ? partitioner
+                                          : &default_partitioner_) {
   SW_CHECK_GT(num_shards, 0);
-  shards_.reserve(num_shards);
+  shards_.reserve(static_cast<size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(interner, options));
+  }
+  if (mode_ == ShardingMode::kPartitionedData) {
+    for (int i = 0; i < num_shards; ++i) {
+      ShardConfig config;
+      config.shard_index = i;
+      config.num_shards = num_shards;
+      config.partitioner = partitioner_;
+      config.exchange = &shards_[static_cast<size_t>(i)]->exchange;
+      shards_[static_cast<size_t>(i)]->engine.EnableShardMode(config);
+    }
   }
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
@@ -25,8 +44,24 @@ std::unique_lock<std::mutex> ParallelEngineGroup::Quiesce(Shard* shard) {
   });
   // With the queue empty and the lock held, the worker is parked in (or on
   // its way into) cv_consumer.wait and cannot touch the engine until a new
-  // edge is enqueued — which requires this lock.
+  // task is enqueued — which requires this lock.
   return lock;
+}
+
+void ParallelEngineGroup::WaitDrained() {
+  std::unique_lock<std::mutex> lock(drained_mu_);
+  drained_cv_.wait(lock, [&] { return pending_.load() == 0; });
+}
+
+void ParallelEngineGroup::QuiesceAll() {
+  WaitDrained();
+  // pending_ == 0 and the control thread (the sole external producer) is
+  // here, so no new work can appear; wait out each worker's parking. Once
+  // this returns the control thread may touch every engine/exchange: the
+  // per-shard mutex handoff orders those accesses against the workers.
+  for (auto& shard : shards_) {
+    auto lock = Quiesce(shard.get());
+  }
 }
 
 Status ParallelEngineGroup::ResolveGroupId(int group_query_id,
@@ -41,63 +76,283 @@ Status ParallelEngineGroup::ResolveGroupId(int group_query_id,
   return OkStatus();
 }
 
+StatusOr<Decomposition> ParallelEngineGroup::PlanForGroup(
+    const QueryGraph& query, DecompositionStrategy strategy) const {
+  // One plan for every shard: the replicated trees must agree on node
+  // numbering and cut vertices or the exchange's homing would scatter
+  // siblings. Shard 0's statistics stand in for the group's (each shard
+  // observes only its own edge subset; planning quality, not correctness).
+  const StreamWorksEngine& engine0 = shards_[0]->engine;
+  const SummaryStatistics* stats =
+      (options_.collect_statistics &&
+       engine0.statistics().num_edges_observed() > 0)
+          ? &engine0.statistics()
+          : nullptr;
+  SelectivityEstimator estimator(stats);
+  QueryPlanner planner(&estimator);
+  return planner.Plan(query, strategy);
+}
+
 StatusOr<int> ParallelEngineGroup::RegisterQuery(
     const QueryGraph& query, DecompositionStrategy strategy,
     Timestamp window, MatchCallback callback) {
-  Shard& shard = *shards_[next_shard_];
-  auto lock = Quiesce(&shard);
-  SW_ASSIGN_OR_RETURN(
-      const int local_id,
-      shard.engine.RegisterQuery(query, strategy, window,
-                                 std::move(callback)));
-  const int group_id =
-      next_shard_ + local_id * static_cast<int>(shards_.size());
-  next_shard_ = (next_shard_ + 1) % static_cast<int>(shards_.size());
+  if (mode_ == ShardingMode::kBroadcastData) {
+    Shard& shard = *shards_[static_cast<size_t>(next_shard_)];
+    auto lock = Quiesce(&shard);
+    SW_ASSIGN_OR_RETURN(
+        const int local_id,
+        shard.engine.RegisterQuery(query, strategy, window,
+                                   std::move(callback)));
+    const int group_id =
+        next_shard_ + local_id * static_cast<int>(shards_.size());
+    next_shard_ = (next_shard_ + 1) % static_cast<int>(shards_.size());
+    return group_id;
+  }
+
+  QuiesceAll();
+  SW_ASSIGN_OR_RETURN(const Decomposition planned,
+                      PlanForGroup(query, strategy));
+  // Replicate onto every shard. Identical registration sequences keep the
+  // per-engine ids aligned, so the group id is the engine id.
+  auto first = shards_[0]->engine.RegisterQuery(query, planned, window,
+                                                callback);
+  SW_RETURN_IF_ERROR(first.status());
+  const int group_id = first.value();
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    auto replicated =
+        shards_[s]->engine.RegisterQuery(query, planned, window, callback);
+    // Shard 0 already passed the same deterministic validation.
+    SW_CHECK(replicated.ok()) << replicated.status().ToString();
+    SW_CHECK_EQ(replicated.value(), group_id)
+        << "shard registration sequences diverged";
+  }
+  BackfillQueryDistributed(group_id);
   return group_id;
 }
 
+void ParallelEngineGroup::BackfillQueryDistributed(int query_id) {
+  bool any_edges = false;
+  for (auto& shard : shards_) {
+    any_edges = any_edges || shard->engine.graph().num_stored_edges() > 0;
+  }
+  if (!any_edges) return;
+
+  // Replay the retained window through the sharded pipeline with
+  // completions suppressed — the distributed analogue of the engine's
+  // BuildBackfilledTree. Only the new query's tree is touched (anchors run
+  // per query id), so the group-wide suppression flag is safe. Order
+  // across shards is irrelevant: the graph is static here and the anchor
+  // discipline bounds candidates by edge id, not by ingest recency.
+  for (auto& shard : shards_) {
+    shard->engine.set_suppress_completions(true);
+  }
+  const int n = num_shards();
+  for (int s = 0; s < n; ++s) {
+    StreamWorksEngine& engine = shards_[static_cast<size_t>(s)]->engine;
+    const DynamicGraph& graph = engine.graph();
+    for (size_t i = 0; i < graph.num_stored_edges(); ++i) {
+      const EdgeId id = graph.stored_edge_id(i);
+      const EdgeRecord& record = graph.edge_record(id);
+      // Anchor each edge once group-wide: on its source-owner shard, the
+      // same shard that gets run_anchors during live ingest.
+      if (partitioner_->OwnerShard(graph.external_id(record.src), n) != s) {
+        continue;
+      }
+      engine.BackfillQueryEdge(query_id, id);
+    }
+    PumpExchange();
+  }
+  for (auto& shard : shards_) {
+    shard->engine.set_suppress_completions(false);
+  }
+}
+
+void ParallelEngineGroup::PumpExchange() {
+  // Control-thread fixpoint (group quiesced): deliver forwarded items
+  // directly until no shard produces more.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& shard : shards_) {
+      for (auto& [dest, item] : shard->exchange.Drain()) {
+        shards_[static_cast<size_t>(dest)]->engine.HandleExchangeItem(item);
+        progress = true;
+      }
+    }
+  }
+}
+
 Status ParallelEngineGroup::UnregisterQuery(int group_query_id) {
-  int shard_index = 0, local_id = 0;
-  SW_RETURN_IF_ERROR(
-      ResolveGroupId(group_query_id, &shard_index, &local_id));
-  Shard& shard = *shards_[shard_index];
-  auto lock = Quiesce(&shard);
-  return shard.engine.UnregisterQuery(local_id);
+  if (mode_ == ShardingMode::kBroadcastData) {
+    int shard_index = 0, local_id = 0;
+    SW_RETURN_IF_ERROR(
+        ResolveGroupId(group_query_id, &shard_index, &local_id));
+    Shard& shard = *shards_[static_cast<size_t>(shard_index)];
+    auto lock = Quiesce(&shard);
+    return shard.engine.UnregisterQuery(local_id);
+  }
+
+  // Any shard may hold the query's partials and in-flight exchange items
+  // reference it by id, so the whole group quiesces first.
+  QuiesceAll();
+  Status status = OkStatus();
+  for (auto& shard : shards_) {
+    const Status s = shard->engine.UnregisterQuery(group_query_id);
+    if (!s.ok()) status = s;
+  }
+  return status;
 }
 
 StatusOr<QueryRuntimeInfo> ParallelEngineGroup::query_info(
     int group_query_id) {
-  int shard_index = 0, local_id = 0;
-  SW_RETURN_IF_ERROR(
-      ResolveGroupId(group_query_id, &shard_index, &local_id));
-  Shard& shard = *shards_[shard_index];
-  auto lock = Quiesce(&shard);
-  if (!shard.engine.has_query(local_id)) {
+  if (mode_ == ShardingMode::kBroadcastData) {
+    int shard_index = 0, local_id = 0;
+    SW_RETURN_IF_ERROR(
+        ResolveGroupId(group_query_id, &shard_index, &local_id));
+    Shard& shard = *shards_[static_cast<size_t>(shard_index)];
+    auto lock = Quiesce(&shard);
+    if (!shard.engine.has_query(local_id)) {
+      return Status::NotFound("unknown or unregistered group query id");
+    }
+    QueryRuntimeInfo info = shard.engine.query_info(local_id);
+    info.query_id = group_query_id;
+    return info;
+  }
+
+  QuiesceAll();
+  if (group_query_id < 0 || !shards_[0]->engine.has_query(group_query_id)) {
     return Status::NotFound("unknown or unregistered group query id");
   }
-  QueryRuntimeInfo info = shard.engine.query_info(local_id);
+  // Completions are counted where they are delivered: the callback home.
+  const size_t home =
+      static_cast<size_t>(group_query_id % num_shards());
+  QueryRuntimeInfo info = shards_[home]->engine.query_info(group_query_id);
   info.query_id = group_query_id;
+  info.live_partial_matches = 0;
+  info.peak_partial_matches = 0;
+  for (auto& shard : shards_) {
+    const QueryRuntimeInfo per = shard->engine.query_info(group_query_id);
+    info.live_partial_matches += per.live_partial_matches;
+    info.peak_partial_matches += per.peak_partial_matches;
+  }
   return info;
 }
 
-void ParallelEngineGroup::ProcessEdge(const StreamEdge& edge) {
-  for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->mu);
+void ParallelEngineGroup::EnqueueTask(Shard* shard, ShardTask task,
+                                      bool bounded) {
+  std::unique_lock<std::mutex> lock(shard->mu);
+  if (bounded) {
     shard->cv_producer.wait(lock, [&] {
       return shard->queue.size() < kMaxQueuedEdges;
     });
-    const bool was_empty = shard->queue.empty();
-    shard->queue.push_back(edge);
-    shard->idle = false;
-    // The worker only sleeps when the queue is empty, so a wakeup is
-    // needed just on the empty -> non-empty transition (it re-checks the
-    // queue after finishing its current swap buffer regardless).
-    if (was_empty) shard->cv_consumer.notify_one();
+  }
+  const bool was_empty = shard->queue.empty();
+  shard->queue.push_back(std::move(task));
+  shard->idle = false;
+  pending_.fetch_add(1);
+  // The worker only sleeps when the queue is empty, so a wakeup is needed
+  // just on the empty -> non-empty transition (it re-checks the queue
+  // after finishing its current swap buffer regardless).
+  if (was_empty) shard->cv_consumer.notify_one();
+}
+
+bool ParallelEngineGroup::AdmitPartitionedEdge(const StreamEdge& edge) {
+  // The checks AddEdge would apply, against *group* state: shards see only
+  // the edges incident to their owned vertices, so an endpoint-label clash
+  // the owner shard would reject could slip into the other endpoint's
+  // shard (which has never seen the clashing vertex) and corrupt results.
+  // Validating once here keeps every shard's vertex records globally
+  // consistent — and rejects exactly the edges a single engine rejects.
+  if (edge.ts < 0 || edge.ts < group_watermark_) {
+    ++group_rejected_;
+    return false;
+  }
+  // Mirror AddEdge's sequential endpoint checks, including the side effect
+  // that an edge rejected on its dst label has still recorded its src.
+  auto [src_it, src_new] =
+      admitted_vertex_labels_.try_emplace(edge.src, edge.src_label);
+  if (!src_new && src_it->second != edge.src_label) {
+    ++group_rejected_;
+    return false;
+  }
+  auto [dst_it, dst_new] =
+      admitted_vertex_labels_.try_emplace(edge.dst, edge.dst_label);
+  if (!dst_new && dst_it->second != edge.dst_label) {
+    ++group_rejected_;
+    return false;
+  }
+  return true;
+}
+
+void ParallelEngineGroup::PartitionedIngest(const StreamEdge& edge) {
+  if (!AdmitPartitionedEdge(edge)) return;
+  const EdgeId id = next_global_edge_id_++;
+  group_watermark_ = edge.ts;
+  ++edges_since_epoch_;
+  const int n = num_shards();
+  const int src_owner = partitioner_->OwnerShard(edge.src, n);
+  const int dst_owner = partitioner_->OwnerShard(edge.dst, n);
+  ShardTask task;
+  task.kind = ShardTask::Kind::kEdge;
+  task.run_anchors = true;  // the src owner anchors; exactly one shard
+  task.edge = edge;
+  task.edge_id = id;
+  EnqueueTask(shards_[static_cast<size_t>(src_owner)].get(),
+              std::move(task), /*bounded=*/true);
+  if (dst_owner != src_owner) {
+    ShardTask copy;
+    copy.kind = ShardTask::Kind::kEdge;
+    copy.run_anchors = false;
+    copy.edge = edge;
+    copy.edge_id = id;
+    EnqueueTask(shards_[static_cast<size_t>(dst_owner)].get(),
+                std::move(copy), /*bounded=*/true);
+  }
+}
+
+void ParallelEngineGroup::EpochFlush() {
+  edges_since_epoch_ = 0;
+  // Drain every queue and everything the exchange spawned, so no in-flight
+  // match still needs a neighbourhood the watermark broadcast may evict.
+  WaitDrained();
+  if (group_watermark_ <= last_broadcast_watermark_) return;
+  last_broadcast_watermark_ = group_watermark_;
+  for (auto& shard : shards_) {
+    ShardTask task;
+    task.kind = ShardTask::Kind::kWatermark;
+    task.watermark = group_watermark_;
+    EnqueueTask(shard.get(), std::move(task), /*bounded=*/false);
+  }
+}
+
+void ParallelEngineGroup::ProcessEdge(const StreamEdge& edge) {
+  if (mode_ == ShardingMode::kPartitionedData) {
+    PartitionedIngest(edge);
+    if (edges_since_epoch_ >= kEpochEdges) EpochFlush();
+    return;
+  }
+  for (auto& shard : shards_) {
+    ShardTask task;
+    task.kind = ShardTask::Kind::kEdge;
+    task.edge = edge;
+    EnqueueTask(shard.get(), std::move(task), /*bounded=*/true);
   }
 }
 
 void ParallelEngineGroup::ProcessBatch(const EdgeBatch& batch) {
   if (batch.empty()) return;
+  if (mode_ == ShardingMode::kPartitionedData) {
+    for (const StreamEdge& edge : batch) {
+      PartitionedIngest(edge);
+      // One huge batch must not suspend eviction for its whole duration —
+      // keep the same per-kEpochEdges bound the single-edge path has.
+      if (edges_since_epoch_ >= kEpochEdges) EpochFlush();
+    }
+    // The batch boundary is an epoch boundary: exchange drained, watermark
+    // broadcast, expiry advanced consistently on every shard.
+    EpochFlush();
+    return;
+  }
   for (auto& shard : shards_) {
     size_t appended = 0;
     while (appended < batch.size()) {
@@ -108,14 +363,67 @@ void ParallelEngineGroup::ProcessBatch(const EdgeBatch& batch) {
       const bool was_empty = shard->queue.empty();
       const size_t room = kMaxQueuedEdges - shard->queue.size();
       const size_t take = std::min(room, batch.size() - appended);
-      shard->queue.insert(shard->queue.end(),
-                          batch.begin() + static_cast<ptrdiff_t>(appended),
-                          batch.begin() +
-                              static_cast<ptrdiff_t>(appended + take));
+      shard->queue.reserve(shard->queue.size() + take);
+      for (size_t i = 0; i < take; ++i) {
+        ShardTask task;
+        task.kind = ShardTask::Kind::kEdge;
+        task.edge = batch[appended + i];
+        shard->queue.push_back(std::move(task));
+      }
       appended += take;
       shard->idle = false;
+      pending_.fetch_add(take);
       if (was_empty) shard->cv_consumer.notify_one();
     }
+  }
+}
+
+void ParallelEngineGroup::ExecuteTask(Shard* shard, ShardTask& task) {
+  switch (task.kind) {
+    case ShardTask::Kind::kEdge:
+      // Rejected edges are counted by the engine; a parallel consumer has
+      // no way to surface per-edge status, matching the callback model.
+      if (mode_ == ShardingMode::kBroadcastData) {
+        shard->engine.ProcessEdge(task.edge).ok();
+      } else {
+        shard->engine
+            .ProcessShardEdge(task.edge, task.edge_id, task.run_anchors)
+            .ok();
+      }
+      break;
+    case ShardTask::Kind::kItem:
+      shard->engine.HandleExchangeItem(*task.item);
+      break;
+    case ShardTask::Kind::kWatermark:
+      shard->engine.AdvanceWatermark(task.watermark);
+      break;
+  }
+}
+
+void ParallelEngineGroup::DispatchExchange(Shard* from) {
+  if (from->exchange.empty()) return;
+  auto items = from->exchange.Drain();
+  // One lock acquisition per destination: group the batch first.
+  std::vector<std::vector<std::unique_ptr<ExchangeItem>>> per_dest(
+      shards_.size());
+  for (auto& [dest, item] : items) {
+    per_dest[static_cast<size_t>(dest)].push_back(
+        std::make_unique<ExchangeItem>(std::move(item)));
+  }
+  for (size_t d = 0; d < per_dest.size(); ++d) {
+    if (per_dest[d].empty()) continue;
+    Shard* dst = shards_[d].get();
+    std::unique_lock<std::mutex> lock(dst->mu);
+    const bool was_empty = dst->queue.empty();
+    for (auto& item : per_dest[d]) {
+      ShardTask task;
+      task.kind = ShardTask::Kind::kItem;
+      task.item = std::move(item);
+      dst->queue.push_back(std::move(task));
+    }
+    dst->idle = false;
+    pending_.fetch_add(per_dest[d].size());
+    if (was_empty) dst->cv_consumer.notify_one();
   }
 }
 
@@ -128,25 +436,37 @@ void ParallelEngineGroup::WorkerLoop(Shard* shard) {
       });
       if (shard->queue.empty() && shard->closing) return;
       shard->taking.swap(shard->queue);
-      shard->cv_producer.notify_one();
+      shard->cv_producer.notify_all();
     }
-    for (const StreamEdge& e : shard->taking) {
-      // Rejected edges are counted by the engine; a parallel consumer has
-      // no way to surface per-edge status, matching the callback model.
-      shard->engine.ProcessEdge(e).ok();
+    const size_t taken = shard->taking.size();
+    for (ShardTask& task : shard->taking) {
+      ExecuteTask(shard, task);
     }
+    // Forward everything the batch produced before retiring it from
+    // pending_, so "drained" can never be observed with items in flight.
+    DispatchExchange(shard);
     shard->taking.clear();
     {
       std::unique_lock<std::mutex> lock(shard->mu);
       if (shard->queue.empty()) {
         shard->idle = true;
-        shard->cv_producer.notify_one();
+        shard->cv_producer.notify_all();
       }
+    }
+    if (pending_.fetch_sub(taken) == taken) {
+      std::lock_guard<std::mutex> guard(drained_mu_);
+      drained_cv_.notify_all();
     }
   }
 }
 
 void ParallelEngineGroup::Flush() {
+  if (mode_ == ShardingMode::kPartitionedData) {
+    EpochFlush();   // drain + final watermark broadcast
+    WaitDrained();  // drain the watermark tasks themselves
+  } else {
+    WaitDrained();
+  }
   for (auto& shard : shards_) {
     auto lock = Quiesce(shard.get());
   }
@@ -154,6 +474,11 @@ void ParallelEngineGroup::Flush() {
 
 void ParallelEngineGroup::Close() {
   if (closed_) return;
+  if (mode_ == ShardingMode::kPartitionedData) {
+    // Partitioned workers forward to each other; a worker must never exit
+    // while a peer might still send it work, so drain globally first.
+    Flush();
+  }
   closed_ = true;
   for (auto& shard : shards_) {
     {
@@ -174,7 +499,7 @@ uint64_t ParallelEngineGroup::total_completions() const {
 }
 
 uint64_t ParallelEngineGroup::total_rejected() const {
-  uint64_t total = 0;
+  uint64_t total = group_rejected_;
   for (const auto& shard : shards_) {
     total += shard->engine.metrics().edges_rejected;
   }
@@ -187,6 +512,26 @@ double ParallelEngineGroup::total_processing_seconds() const {
     total += shard->engine.metrics().processing_seconds;
   }
   return total;
+}
+
+std::vector<ShardStatsSnapshot> ParallelEngineGroup::ShardStats() {
+  QuiesceAll();
+  std::vector<ShardStatsSnapshot> out;
+  out.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const StreamWorksEngine& engine = shards_[s]->engine;
+    ShardStatsSnapshot snap;
+    snap.shard = static_cast<int>(s);
+    snap.retained_edges = engine.graph().num_stored_edges();
+    snap.retained_vertices = engine.graph().num_vertices();
+    snap.evicted_edges = engine.graph().num_evicted_edges();
+    snap.edges_processed = engine.metrics().edges_processed;
+    snap.completions = engine.metrics().completions;
+    snap.live_partial_matches = engine.total_live_partial_matches();
+    snap.exchange = shards_[s]->exchange.counters();
+    out.push_back(snap);
+  }
+  return out;
 }
 
 }  // namespace streamworks

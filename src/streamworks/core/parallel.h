@@ -1,81 +1,141 @@
 #ifndef STREAMWORKS_CORE_PARALLEL_H_
 #define STREAMWORKS_CORE_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "streamworks/core/engine.h"
+#include "streamworks/graph/partition.h"
 
 namespace streamworks {
 
+/// How a ParallelEngineGroup spreads work over its shards.
+enum class ShardingMode {
+  /// The original coarse-grained mode: *queries* are partitioned
+  /// round-robin across shards and every edge is broadcast to every shard.
+  /// Shards never talk to each other, but each one retains the whole
+  /// window graph — memory grows with the shard count.
+  kBroadcastData,
+
+  /// Vertex-partitioned scale-out: the *data graph* is partitioned by
+  /// vertex ownership (a pluggable Partitioner) and every query is
+  /// replicated onto every shard. An edge is routed only to the shard(s)
+  /// owning its endpoints, so each shard retains O(owned edges) instead of
+  /// O(all edges); partial matches whose expansion or join leaves a shard
+  /// are forwarded through the MatchExchange. Match sets are identical to
+  /// a single engine's (the exchange relocates each exactly-once event, it
+  /// never duplicates or drops one).
+  kPartitionedData,
+};
+
+/// Point-in-time per-shard load/traffic counters (call sites: ShardStats).
+struct ShardStatsSnapshot {
+  int shard = 0;
+  uint64_t retained_edges = 0;    ///< Edges currently stored in the window.
+  uint64_t retained_vertices = 0;
+  uint64_t evicted_edges = 0;
+  uint64_t edges_processed = 0;   ///< Ingested copies (not group-unique).
+  uint64_t completions = 0;       ///< Matches this shard delivered.
+  uint64_t live_partial_matches = 0;
+  ExchangeCounters exchange;      ///< All zero in broadcast mode.
+};
+
 /// Multi-core query execution (the paper's demo ran many concurrent
-/// queries on a 48-core shared-memory node): registered queries are
-/// sharded round-robin across N worker threads, each owning a private
-/// StreamWorksEngine (its own window graph and SJ-Trees). Every ingested
-/// edge is broadcast to all shards through bounded per-shard queues.
+/// queries on a 48-core shared-memory node): N worker threads, each owning
+/// a private StreamWorksEngine, fed through bounded per-shard queues.
 ///
-/// This is coarse-grained parallelism — queries never share partial
-/// matches, so shards are fully independent and results are identical to a
-/// single engine run (verified by the equivalence tests). The window graph
-/// is duplicated per shard: memory for parallelism, the standard trade for
-/// multi-query streaming engines.
+/// Two sharding modes (ShardingMode above): kBroadcastData trades memory
+/// for fully independent shards; kPartitionedData shards the data graph by
+/// vertex ownership and exchanges cross-shard partial matches, the real
+/// scale-out step. Either way the result set equals a single engine run
+/// (verified by the equivalence tests).
 ///
 /// Threading contract: callbacks run on worker threads, one shard at a
-/// time per query (a query lives on exactly one shard), so a callback only
-/// needs to be thread-safe against callbacks of queries on *other* shards.
-/// Close() (or destruction) drains the queues and joins the workers.
+/// time per query (broadcast: a query lives on one shard; partitioned: all
+/// of a query's completions are delivered by its *callback-home* shard),
+/// so a callback only needs to be thread-safe against callbacks of queries
+/// homed on other shards. Control calls (Register/Unregister/query_info/
+/// Process*/Flush/Close) come from one control thread. Close() (or
+/// destruction) drains the queues and joins the workers.
+///
+/// Partitioned-mode ingest runs in *epochs*: every ProcessBatch (and every
+/// kEpochEdges single edges) ends with a barrier that drains the exchange,
+/// then broadcasts the group watermark so window expiry advances
+/// consistently on every shard — a shard holding only old vertices would
+/// otherwise never see a new edge and never expire, and eager local expiry
+/// could race ahead of forwarded matches still needing old neighbourhoods.
 class ParallelEngineGroup {
  public:
-  /// Creates `num_shards` workers configured with `options`.
+  /// Creates `num_shards` workers configured with `options`. In
+  /// kPartitionedData mode, `partitioner` picks vertex ownership (null =
+  /// built-in hash+modulo); it must outlive the group. Partitioned mode
+  /// requires options.replan_interval == 0 (per-shard re-planning would
+  /// diverge the replicated trees).
   ParallelEngineGroup(Interner* interner, int num_shards,
-                      EngineOptions options = {});
+                      EngineOptions options = {},
+                      ShardingMode mode = ShardingMode::kBroadcastData,
+                      const Partitioner* partitioner = nullptr);
   ~ParallelEngineGroup();
 
   ParallelEngineGroup(const ParallelEngineGroup&) = delete;
   ParallelEngineGroup& operator=(const ParallelEngineGroup&) = delete;
 
-  /// Registers a query on the next shard (round-robin) and returns a
-  /// group-wide query id. May be called mid-stream: the target shard is
-  /// quiesced (its queue drained and its worker parked) for the duration
-  /// of the registration, so the new SJ-Tree is backfilled from a
-  /// consistent window. Not thread-safe against other control calls or the
-  /// producer; one control thread.
+  /// Registers a query and returns a group-wide query id. May be called
+  /// mid-stream; the affected shard(s) are quiesced so the new SJ-Tree is
+  /// backfilled from a consistent window. Broadcast mode places the query
+  /// on the next shard round-robin; partitioned mode plans once (against
+  /// shard 0's statistics), replicates the tree onto every shard, and runs
+  /// a distributed backfill through the exchange. Not thread-safe against
+  /// other control calls or the producer; one control thread.
   StatusOr<int> RegisterQuery(const QueryGraph& query,
                               DecompositionStrategy strategy,
                               Timestamp window, MatchCallback callback);
 
-  /// Unregisters a group query id on whichever shard owns it (shard-aware
-  /// detach). Quiesces that shard first, so once this returns no further
-  /// callbacks fire for the query. Same threading contract as
-  /// RegisterQuery.
+  /// Unregisters a group query id. Quiesces the owning shard (broadcast)
+  /// or the whole group (partitioned; any shard may hold its partials), so
+  /// once this returns no further callbacks fire for the query. Same
+  /// threading contract as RegisterQuery.
   Status UnregisterQuery(int group_query_id);
 
-  /// Runtime snapshot of one group query (quiesces the owning shard).
+  /// Runtime snapshot of one group query (quiesces the owning shard or,
+  /// partitioned, the group; partial-match gauges aggregate over shards).
   StatusOr<QueryRuntimeInfo> query_info(int group_query_id);
 
-  /// Enqueues one edge for every shard. Blocks when a shard's queue is
-  /// full (backpressure). Not thread-safe; one producer.
+  /// Ingests one edge: broadcast enqueues it for every shard, partitioned
+  /// validates it group-wide and routes it to its endpoint owners. Blocks
+  /// when a target shard's queue is full (backpressure). Not thread-safe;
+  /// one producer.
   void ProcessEdge(const StreamEdge& edge);
 
-  /// Enqueues a batch for every shard with one lock acquisition per shard
-  /// — the fast path for replay (per-edge broadcast pays a wakeup per
-  /// shard per edge; batches amortise it).
+  /// Ingests a batch with one lock acquisition per target shard — the fast
+  /// path for replay. In partitioned mode the batch boundary is an epoch
+  /// boundary (exchange drained, watermark broadcast).
   void ProcessBatch(const EdgeBatch& batch);
 
-  /// Waits until every shard has drained its queue. The group remains
-  /// usable afterwards.
+  /// Waits until every shard has drained its queue and (partitioned) the
+  /// exchange has reached quiescence; also broadcasts the final watermark.
+  /// The group remains usable afterwards.
   void Flush();
 
   /// Drains and joins the workers. Called by the destructor.
   void Close();
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  /// Aggregate completions across shards (call after Flush).
+  ShardingMode mode() const { return mode_; }
+  const Partitioner& partitioner() const { return *partitioner_; }
+
+  /// Aggregate completions across shards (call after Flush). Each match
+  /// counts once in either mode.
   uint64_t total_completions() const;
-  /// Aggregate rejected-edge count across shards (call after Flush).
+  /// Aggregate rejected-edge count across shards (call after Flush). In
+  /// partitioned mode invalid edges are rejected once, at group admission,
+  /// before they consume a global id — matching the single engine; in
+  /// broadcast mode every shard rejects its own copy.
   uint64_t total_rejected() const;
 
   /// Sum of per-shard engine processing time (call after Flush). With N
@@ -83,38 +143,119 @@ class ParallelEngineGroup {
   /// pipeline efficiency.
   double total_processing_seconds() const;
 
+  /// Per-shard retained-memory and exchange-traffic counters (quiesces the
+  /// group). The partitioned-vs-broadcast memory claim is measured from
+  /// exactly this: retained_edges per shard drops from O(total) to
+  /// O(owned).
+  std::vector<ShardStatsSnapshot> ShardStats();
+
  private:
+  /// One unit of queued shard work.
+  struct ShardTask {
+    enum class Kind : uint8_t { kEdge, kItem, kWatermark };
+    Kind kind = Kind::kEdge;
+    /// kEdge (partitioned): this shard owns edge.src and must anchor local
+    /// search; exactly one shard per edge gets this bit.
+    bool run_anchors = true;
+    StreamEdge edge{};
+    EdgeId edge_id = kInvalidEdgeId;  ///< kEdge: global id (partitioned).
+    Timestamp watermark = -1;         ///< kWatermark.
+    std::unique_ptr<ExchangeItem> item;  ///< kItem.
+  };
+
   struct Shard {
-    explicit Shard(Interner* interner, EngineOptions options)
+    Shard(Interner* interner, EngineOptions options)
         : engine(interner, options) {}
 
     StreamWorksEngine engine;
+    MatchExchange exchange;  ///< Worker-owned outbox (control during quiesce).
     std::thread worker;
     std::mutex mu;
     std::condition_variable cv_producer;
     std::condition_variable cv_consumer;
-    std::vector<StreamEdge> queue;   // guarded by mu
-    std::vector<StreamEdge> taking;  // worker-local swap buffer
-    bool closing = false;            // guarded by mu
-    bool idle = true;                // guarded by mu; true when drained
+    std::vector<ShardTask> queue;   // guarded by mu
+    std::vector<ShardTask> taking;  // worker-local swap buffer
+    bool closing = false;           // guarded by mu
+    bool idle = true;               // guarded by mu; true when drained
   };
 
   void WorkerLoop(Shard* shard);
+  void ExecuteTask(Shard* shard, ShardTask& task);
+
+  /// Moves the shard's freshly forwarded exchange items onto their
+  /// destination queues, one lock acquisition per destination (worker
+  /// thread; the batching half of "batched, epoch-flushed").
+  void DispatchExchange(Shard* from);
+
+  /// Enqueues one task. `bounded` waits for queue room (ingest
+  /// backpressure); exchange and watermark tasks never wait — a forwarding
+  /// worker that blocked on a full peer queue could deadlock with a peer
+  /// forwarding back.
+  void EnqueueTask(Shard* shard, ShardTask task, bool bounded);
+
+  /// Blocks until every queued task — including everything the exchange
+  /// spawned transitively — has been executed.
+  void WaitDrained();
 
   /// Waits (holding shard->mu, which is returned locked) until the shard's
   /// queue is drained and its worker is parked, so the caller may touch
   /// shard->engine directly.
   std::unique_lock<std::mutex> Quiesce(Shard* shard);
 
-  /// Splits a group query id into (shard index, shard-local query id).
+  /// WaitDrained + every worker parked: the control thread may touch any
+  /// shard's engine/exchange until it enqueues new work.
+  void QuiesceAll();
+
+  // --- Partitioned-mode internals (control thread only) ---------------------
+  /// Group-level admission: the checks DynamicGraph::AddEdge would apply,
+  /// evaluated against group state, so shards only ever see valid edges
+  /// and agree on every vertex's label (a shard seeing only one endpoint
+  /// could otherwise record a clashing label the owner shard rejected).
+  bool AdmitPartitionedEdge(const StreamEdge& edge);
+  void PartitionedIngest(const StreamEdge& edge);
+  /// Drains everything, then broadcasts the group watermark so shards
+  /// evict and expire consistently.
+  void EpochFlush();
+  /// Control-thread fixpoint over the shard outboxes (used while quiesced:
+  /// distributed backfill of a mid-stream registration).
+  void PumpExchange();
+  /// Plans once for the whole group against shard 0's statistics.
+  StatusOr<Decomposition> PlanForGroup(const QueryGraph& query,
+                                       DecompositionStrategy strategy) const;
+  /// Distributed, completion-suppressed window replay for a mid-stream
+  /// registration (all shards quiesced).
+  void BackfillQueryDistributed(int query_id);
+
+  /// Splits a broadcast-mode group query id into (shard, local id).
   Status ResolveGroupId(int group_query_id, int* shard_index,
                         int* local_id) const;
 
   static constexpr size_t kMaxQueuedEdges = 32768;
+  /// Single-edge ingest runs an epoch barrier at least this often.
+  static constexpr int kEpochEdges = 1024;
+
+  ShardingMode mode_;
+  EngineOptions options_;
+  HashModuloPartitioner default_partitioner_;
+  const Partitioner* partitioner_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  int next_shard_ = 0;
+  int next_shard_ = 0;  ///< Broadcast round-robin cursor.
   bool closed_ = false;
+
+  /// Tasks enqueued but not yet fully executed (including tasks their
+  /// execution spawned). Zero <=> the group is globally drained.
+  std::atomic<uint64_t> pending_{0};
+  std::mutex drained_mu_;
+  std::condition_variable drained_cv_;
+
+  // Partitioned ingest state (control thread only).
+  EdgeId next_global_edge_id_ = 0;
+  Timestamp group_watermark_ = -1;
+  Timestamp last_broadcast_watermark_ = -1;
+  int edges_since_epoch_ = 0;
+  uint64_t group_rejected_ = 0;
+  std::unordered_map<ExternalVertexId, LabelId> admitted_vertex_labels_;
 };
 
 }  // namespace streamworks

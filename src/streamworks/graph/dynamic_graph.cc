@@ -1,5 +1,7 @@
 #include "streamworks/graph/dynamic_graph.h"
 
+#include <algorithm>
+
 #include "streamworks/common/logging.h"
 #include "streamworks/common/str_util.h"
 
@@ -41,7 +43,7 @@ StatusOr<VertexId> DynamicGraph::EnsureVertex(ExternalVertexId ext,
   return it->second;
 }
 
-StatusOr<EdgeId> DynamicGraph::AddEdge(const StreamEdge& e) {
+StatusOr<EdgeId> DynamicGraph::AddEdgeImpl(const StreamEdge& e, EdgeId id) {
   if (e.ts < 0) {
     return Status::InvalidArgument(
         StrCat("edge timestamp must be non-negative, got ", e.ts));
@@ -54,13 +56,44 @@ StatusOr<EdgeId> DynamicGraph::AddEdge(const StreamEdge& e) {
   SW_ASSIGN_OR_RETURN(VertexId src, EnsureVertex(e.src, e.src_label));
   SW_ASSIGN_OR_RETURN(VertexId dst, EnsureVertex(e.dst, e.dst_label));
 
-  const EdgeId id = next_edge_id();
   edges_.push_back(EdgeRecord{src, dst, e.edge_label, e.ts});
+  if (assigned_ids_) {
+    edge_ids_.push_back(id);
+    next_assigned_id_ = id + 1;
+  }
   out_[src].entries.push_back(AdjEntry{dst, id, e.edge_label, e.ts});
   in_[dst].entries.push_back(AdjEntry{src, id, e.edge_label, e.ts});
   watermark_ = e.ts;
-  EvictExpired();
+  if (!manual_eviction_) EvictExpired();
   return id;
+}
+
+StatusOr<EdgeId> DynamicGraph::AddEdge(const StreamEdge& e) {
+  SW_CHECK(!assigned_ids_)
+      << "graph is in assigned-id mode; use AddEdgeWithId";
+  return AddEdgeImpl(e, next_edge_id());
+}
+
+StatusOr<EdgeId> DynamicGraph::AddEdgeWithId(const StreamEdge& e, EdgeId id) {
+  if (!assigned_ids_) {
+    SW_CHECK(edges_.empty() && base_edge_id_ == 0)
+        << "cannot switch to assigned ids after sequential ingest";
+    assigned_ids_ = true;
+  }
+  SW_CHECK_GE(id, next_assigned_id_) << "assigned edge ids must ascend";
+  return AddEdgeImpl(e, id);
+}
+
+void DynamicGraph::AdvanceWatermark(Timestamp watermark) {
+  if (watermark > watermark_) watermark_ = watermark;
+  EvictExpired();
+}
+
+bool DynamicGraph::IsStored(EdgeId id) const {
+  if (!assigned_ids_) {
+    return id >= base_edge_id_ && id < next_edge_id();
+  }
+  return std::binary_search(edge_ids_.begin(), edge_ids_.end(), id);
 }
 
 VertexId DynamicGraph::FindVertex(ExternalVertexId ext) const {
@@ -69,9 +102,16 @@ VertexId DynamicGraph::FindVertex(ExternalVertexId ext) const {
 }
 
 const EdgeRecord& DynamicGraph::edge_record(EdgeId id) const {
-  SW_CHECK(IsStored(id)) << "edge " << id << " is not stored (range ["
-                         << base_edge_id_ << ", " << next_edge_id() << "))";
-  return edges_[id - base_edge_id_];
+  if (!assigned_ids_) {
+    SW_CHECK(id >= base_edge_id_ && id < next_edge_id())
+        << "edge " << id << " is not stored (range [" << base_edge_id_
+        << ", " << next_edge_id() << "))";
+    return edges_[id - base_edge_id_];
+  }
+  const auto it = std::lower_bound(edge_ids_.begin(), edge_ids_.end(), id);
+  SW_CHECK(it != edge_ids_.end() && *it == id)
+      << "edge " << id << " is not stored on this shard";
+  return edges_[static_cast<size_t>(it - edge_ids_.begin())];
 }
 
 Timestamp DynamicGraph::MinLiveTs() const {
@@ -83,16 +123,23 @@ void DynamicGraph::EvictExpired() {
   const Timestamp min_live = MinLiveTs();
   while (!edges_.empty() && edges_.front().ts < min_live) {
     const EdgeRecord& record = edges_.front();
+    const EdgeId front_id =
+        assigned_ids_ ? edge_ids_.front() : base_edge_id_;
     // Arrival order equals per-vertex adjacency order, so the oldest stored
     // edge is exactly the first live entry of both endpoint lists.
     AdjList& src_out = out_[record.src];
-    SW_DCHECK_EQ(src_out.entries[src_out.start].edge, base_edge_id_);
+    SW_DCHECK_EQ(src_out.entries[src_out.start].edge, front_id);
     src_out.PopFront();
     AdjList& dst_in = in_[record.dst];
-    SW_DCHECK_EQ(dst_in.entries[dst_in.start].edge, base_edge_id_);
+    SW_DCHECK_EQ(dst_in.entries[dst_in.start].edge, front_id);
     dst_in.PopFront();
     edges_.pop_front();
-    ++base_edge_id_;
+    if (assigned_ids_) {
+      edge_ids_.pop_front();
+    } else {
+      ++base_edge_id_;
+    }
+    ++evicted_count_;
   }
 }
 

@@ -69,6 +69,40 @@ class DynamicGraph {
   /// recorded when that external vertex was first seen.
   StatusOr<EdgeId> AddEdge(const StreamEdge& e);
 
+  /// Ingests one edge under a caller-assigned id instead of the next
+  /// sequence number. Vertex-partitioned shards use this to thread the
+  /// *group-global* ingest sequence through every shard: each shard stores
+  /// only the edges incident to its owned vertices, but ids (and therefore
+  /// the arrival-order comparisons the exactly-once anchor discipline
+  /// relies on) stay globally meaningful. `id` must be >= next_edge_id();
+  /// gaps are the edges other shards own. The first call switches the graph
+  /// permanently into assigned-id bookkeeping (id lookup via binary search
+  /// over the stored-id sequence).
+  StatusOr<EdgeId> AddEdgeWithId(const StreamEdge& e, EdgeId id);
+
+  /// Resolves (ext, label) to the dense internal id, creating the vertex on
+  /// first sight — the same mapping ingest uses, exposed so a shard can
+  /// localize a forwarded match that references vertices it has never seen
+  /// in its own edge subset. Fails on a label clash with the recorded
+  /// label. A vertex created this way has empty adjacency until an
+  /// incident edge is ingested.
+  StatusOr<VertexId> InternVertex(ExternalVertexId ext, LabelId label) {
+    return EnsureVertex(ext, label);
+  }
+
+  /// When set, AddEdge/AddEdgeWithId no longer evict on ingest; eviction
+  /// runs only through AdvanceWatermark. Partitioned shards use this so
+  /// window expiry advances at group-controlled epoch boundaries — after
+  /// the exchange has drained — instead of racing ahead of forwarded
+  /// matches that still need the local neighbourhood of an older anchor.
+  void set_manual_eviction(bool manual) { manual_eviction_ = manual; }
+
+  /// Raises the watermark to at least `watermark` (no-op if behind) and
+  /// evicts everything expired under it. Edges ingested later must carry
+  /// ts >= the raised watermark, which holds for any time-ordered stream
+  /// routed through a group epoch barrier.
+  void AdvanceWatermark(Timestamp watermark);
+
   // --- Vertices ---------------------------------------------------------
   size_t num_vertices() const { return vertex_labels_.size(); }
   /// Dense id for an external id, or kInvalidVertexId if never seen.
@@ -77,13 +111,23 @@ class DynamicGraph {
   ExternalVertexId external_id(VertexId v) const { return external_ids_[v]; }
 
   // --- Edges ------------------------------------------------------------
-  /// Total number of edges ever ingested; also the id of the next edge.
-  EdgeId next_edge_id() const { return base_edge_id_ + edges_.size(); }
-  /// Smallest edge id still stored (not yet evicted).
-  EdgeId first_stored_edge_id() const { return base_edge_id_; }
+  /// One past the largest id ever ingested (== total edges ingested in
+  /// sequential-id mode, where ids have no gaps).
+  EdgeId next_edge_id() const {
+    return assigned_ids_ ? next_assigned_id_ : base_edge_id_ + edges_.size();
+  }
+  /// Smallest edge id still stored (not yet evicted); next_edge_id() when
+  /// nothing is stored.
+  EdgeId first_stored_edge_id() const {
+    if (!assigned_ids_) return base_edge_id_;
+    return edge_ids_.empty() ? next_assigned_id_ : edge_ids_.front();
+  }
   size_t num_stored_edges() const { return edges_.size(); }
-  bool IsStored(EdgeId id) const {
-    return id >= base_edge_id_ && id < next_edge_id();
+  bool IsStored(EdgeId id) const;
+  /// Id of the i-th stored edge, ascending (i < num_stored_edges()). The
+  /// gap-tolerant way to iterate stored edges in assigned-id mode.
+  EdgeId stored_edge_id(size_t i) const {
+    return assigned_ids_ ? edge_ids_[i] : base_edge_id_ + i;
   }
   /// The record for a stored (non-evicted) edge id.
   const EdgeRecord& edge_record(EdgeId id) const;
@@ -105,7 +149,7 @@ class DynamicGraph {
   const Interner& interner() const { return *interner_; }
 
   /// Cumulative count of evicted edges (monitoring / tests).
-  uint64_t num_evicted_edges() const { return base_edge_id_; }
+  uint64_t num_evicted_edges() const { return evicted_count_; }
 
  private:
   struct AdjList {
@@ -122,12 +166,16 @@ class DynamicGraph {
   /// sight; fails on label mismatch with the recorded label.
   StatusOr<VertexId> EnsureVertex(ExternalVertexId ext, LabelId label);
 
+  /// Shared ingest body for AddEdge / AddEdgeWithId.
+  StatusOr<EdgeId> AddEdgeImpl(const StreamEdge& e, EdgeId id);
+
   /// Evicts every stored edge whose timestamp has expired.
   void EvictExpired();
 
   const Interner* interner_;
   Timestamp retention_ = kMaxTimestamp;
   Timestamp watermark_ = -1;
+  bool manual_eviction_ = false;
 
   std::unordered_map<ExternalVertexId, VertexId> vertex_index_;
   std::vector<LabelId> vertex_labels_;
@@ -136,7 +184,13 @@ class DynamicGraph {
   std::vector<AdjList> in_;
 
   std::deque<EdgeRecord> edges_;  ///< Stored edges; front is the oldest.
-  EdgeId base_edge_id_ = 0;       ///< Id of edges_.front().
+  EdgeId base_edge_id_ = 0;       ///< Id of edges_.front() (sequential mode).
+  uint64_t evicted_count_ = 0;
+
+  /// Assigned-id (gap-tolerant) bookkeeping; engaged by AddEdgeWithId.
+  bool assigned_ids_ = false;
+  std::deque<EdgeId> edge_ids_;   ///< Parallel to edges_, ascending.
+  EdgeId next_assigned_id_ = 0;   ///< Largest assigned id + 1.
 };
 
 }  // namespace streamworks

@@ -1,0 +1,57 @@
+#ifndef STREAMWORKS_GRAPH_PARTITION_H_
+#define STREAMWORKS_GRAPH_PARTITION_H_
+
+#include <string>
+
+#include "streamworks/common/hash.h"
+#include "streamworks/common/logging.h"
+#include "streamworks/common/types.h"
+
+namespace streamworks {
+
+/// Vertex-ownership policy for data-graph sharding: maps every external
+/// vertex id to the shard that owns its adjacency. An edge is routed to the
+/// shard(s) owning its endpoints, so the owner of `v` always holds the
+/// complete incident edge set of `v` — the invariant the cross-shard match
+/// exchange relies on when it forwards a partial match to the shard that can
+/// continue expanding it.
+///
+/// Implementations must be pure functions of (vertex, num_shards): every
+/// shard and the group's control thread evaluate ownership independently and
+/// must agree, and they may do so concurrently (no internal state).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Owning shard for `v`, in [0, num_shards). `num_shards` >= 1.
+  virtual int OwnerShard(ExternalVertexId v, int num_shards) const = 0;
+
+  /// Human-readable policy name (metrics / logs).
+  virtual std::string name() const = 0;
+};
+
+/// Default policy: SplitMix64-mixed hash modulo shard count. The mix step
+/// matters — external ids are often dense sequences (row ids, netflow host
+/// indices) and a bare modulo would correlate ownership with id arithmetic,
+/// skewing shard load under structured id spaces.
+class HashModuloPartitioner final : public Partitioner {
+ public:
+  /// `seed` perturbs the hash so tests can exercise different placements of
+  /// the same stream.
+  explicit HashModuloPartitioner(uint64_t seed = 0) : seed_(seed) {}
+
+  int OwnerShard(ExternalVertexId v, int num_shards) const override {
+    SW_DCHECK_GT(num_shards, 0);
+    return static_cast<int>(Mix64(v ^ seed_) %
+                            static_cast<uint64_t>(num_shards));
+  }
+
+  std::string name() const override { return "hash_modulo"; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_GRAPH_PARTITION_H_

@@ -125,12 +125,27 @@ size_t LowerBoundByTs(std::span<const AdjEntry> adj, Timestamp lo) {
       adj.begin());
 }
 
-}  // namespace
+/// Statically-inlined "always local" gate/defer for the classic path, so
+/// the shared template body compiles down to exactly the old ExtendMatch.
+struct AlwaysLocalGate {
+  bool operator()(VertexId) const { return true; }
+};
+struct NeverDefer {
+  void operator()(const Match&, size_t) const {}
+};
 
-bool ExtendMatch(const DynamicGraph& graph, const QueryGraph& query,
-                 const std::vector<QueryEdgeId>& order, size_t from,
-                 const BacktrackLimits& limits, Match* partial,
-                 const MatchSink& emit) {
+/// One enumeration body for both the classic and the sharded search. The
+/// scan-side choice, candidate bounds, and filters MUST be identical in
+/// both modes — a deferred branch resumes at this exact step on another
+/// shard, and exactly-once across shards depends on every shard agreeing
+/// on what the step would have enumerated — so they are shared by
+/// construction rather than kept in sync by hand.
+template <typename Gate, typename Defer>
+bool ExtendMatchImpl(const DynamicGraph& graph, const QueryGraph& query,
+                     const std::vector<QueryEdgeId>& order, size_t from,
+                     const BacktrackLimits& limits, Match* partial,
+                     const Gate& gate, const Defer& defer,
+                     const MatchSink& emit) {
   if (from == order.size()) return emit(*partial);
 
   const QueryEdgeId qe = order[from];
@@ -140,14 +155,19 @@ bool ExtendMatch(const DynamicGraph& graph, const QueryGraph& query,
   SW_DCHECK(src_bound || dst_bound)
       << "expansion order reached an edge with no bound endpoint";
 
-  const Timestamp lo = CandidateMinTs(limits, *partial);
-  const Timestamp hi = CandidateMaxTs(limits, *partial);
-
   // Enumerate from the bound endpoint's adjacency; when both are bound,
   // still scan one side — TryBindEdge enforces the other endpoint.
+  const VertexId scan_vertex = src_bound ? partial->vertex(qedge.src)
+                                         : partial->vertex(qedge.dst);
+  if (!gate(scan_vertex)) {
+    defer(*partial, from);
+    return true;
+  }
+
+  const Timestamp lo = CandidateMinTs(limits, *partial);
+  const Timestamp hi = CandidateMaxTs(limits, *partial);
   std::span<const AdjEntry> adj =
-      src_bound ? graph.OutEdges(partial->vertex(qedge.src))
-                : graph.InEdges(partial->vertex(qedge.dst));
+      src_bound ? graph.OutEdges(scan_vertex) : graph.InEdges(scan_vertex);
 
   for (size_t i = LowerBoundByTs(adj, lo); i < adj.size(); ++i) {
     const AdjEntry& entry = adj[i];
@@ -165,12 +185,32 @@ bool ExtendMatch(const DynamicGraph& graph, const QueryGraph& query,
                      partial, &undo)) {
       continue;
     }
-    const bool keep_going =
-        ExtendMatch(graph, query, order, from + 1, limits, partial, emit);
+    const bool keep_going = ExtendMatchImpl(graph, query, order, from + 1,
+                                            limits, partial, gate, defer,
+                                            emit);
     UndoBindEdge(query, qe, undo, partial);
     if (!keep_going) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool ExtendMatch(const DynamicGraph& graph, const QueryGraph& query,
+                 const std::vector<QueryEdgeId>& order, size_t from,
+                 const BacktrackLimits& limits, Match* partial,
+                 const MatchSink& emit) {
+  return ExtendMatchImpl(graph, query, order, from, limits, partial,
+                         AlwaysLocalGate{}, NeverDefer{}, emit);
+}
+
+bool ExtendMatchGated(const DynamicGraph& graph, const QueryGraph& query,
+                      const std::vector<QueryEdgeId>& order, size_t from,
+                      const BacktrackLimits& limits, Match* partial,
+                      const ScanGate& gate, const DeferSink& defer,
+                      const MatchSink& emit) {
+  return ExtendMatchImpl(graph, query, order, from, limits, partial, gate,
+                         defer, emit);
 }
 
 }  // namespace streamworks

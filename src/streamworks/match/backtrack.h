@@ -49,6 +49,27 @@ bool ExtendMatch(const DynamicGraph& graph, const QueryGraph& query,
                  const BacktrackLimits& limits, Match* partial,
                  const MatchSink& emit);
 
+/// Consulted before an expansion step enumerates: true iff this execution
+/// context may scan data vertex `v`'s adjacency (sharded execution answers
+/// "does this shard own v").
+using ScanGate = std::function<bool(VertexId)>;
+
+/// Receives (partial, step) for a branch the gate refused; the caller
+/// migrates it to wherever the scan is possible. `partial` is only valid
+/// during the call — copy it.
+using DeferSink = std::function<void(const Match& partial, size_t step)>;
+
+/// ExtendMatch with a scan gate: identical enumeration, but each step first
+/// asks `gate` about its scan vertex and hands refused branches to `defer`
+/// instead of descending. A separate function (not a null-gate default on
+/// ExtendMatch) so the single-graph hot path stays free of per-level
+/// std::function checks.
+bool ExtendMatchGated(const DynamicGraph& graph, const QueryGraph& query,
+                      const std::vector<QueryEdgeId>& order, size_t from,
+                      const BacktrackLimits& limits, Match* partial,
+                      const ScanGate& gate, const DeferSink& defer,
+                      const MatchSink& emit);
+
 /// True if data edge `record` can serve as query edge `qe`: edge label and
 /// both endpoint vertex labels match.
 bool EdgeLabelsMatch(const DynamicGraph& graph, const QueryGraph& query,

@@ -26,6 +26,49 @@ bool FindAnchoredMatches(const DynamicGraph& graph, const QueryGraph& query,
   return keep_going;
 }
 
+bool FindAnchoredMatchesSharded(const DynamicGraph& graph,
+                                const QueryGraph& query,
+                                const std::vector<QueryEdgeId>& order,
+                                EdgeId anchor_id, Timestamp window,
+                                const VertexIsLocalFn& is_local,
+                                const MatchSink& sink,
+                                const ExpandForward& forward) {
+  SW_DCHECK(!order.empty());
+  const EdgeRecord& record = graph.edge_record(anchor_id);
+
+  Match partial(query);
+  BindUndo undo;
+  if (!TryBindEdge(graph, query, order[0], anchor_id, record, window,
+                   &partial, &undo)) {
+    return true;  // anchor does not fit this slot; nothing to enumerate
+  }
+  BacktrackLimits limits;
+  limits.window = window;
+  limits.max_edge_id = anchor_id;  // non-anchor edges strictly older
+  const bool keep_going = ExtendMatchGated(graph, query, order, 1, limits,
+                                           &partial, is_local, forward,
+                                           sink);
+  UndoBindEdge(query, order[0], undo, &partial);
+  return keep_going;
+}
+
+bool ResumeAnchoredMatchesSharded(const DynamicGraph& graph,
+                                  const QueryGraph& query,
+                                  const std::vector<QueryEdgeId>& order,
+                                  size_t from, Timestamp window,
+                                  Match* partial,
+                                  const VertexIsLocalFn& is_local,
+                                  const MatchSink& sink,
+                                  const ExpandForward& forward) {
+  SW_DCHECK(partial->HasEdge(order[0]))
+      << "forwarded expansion lost its anchor binding";
+  BacktrackLimits limits;
+  limits.window = window;
+  limits.max_edge_id = partial->edge(order[0]);
+  return ExtendMatchGated(graph, query, order, from, limits, partial,
+                          is_local, forward, sink);
+}
+
 std::vector<Match> FindLeafMatches(const DynamicGraph& graph,
                                    const QueryGraph& query,
                                    Bitset64 leaf_edges, EdgeId anchor_id,

@@ -39,6 +39,51 @@ std::vector<Match> FindLeafMatches(const DynamicGraph& graph,
                                    Bitset64 leaf_edges, EdgeId anchor_id,
                                    Timestamp window);
 
+// --- Sharded (vertex-partitioned) expansion ---------------------------------
+//
+// Under vertex partitioning a shard holds the complete adjacency only of
+// the vertices it owns, so an expansion step may only *enumerate* from a
+// locally owned scan vertex. The sharded variants thread a gate through the
+// backtracking: before a step scans, the gate is asked whether the step's
+// scan vertex is local; if not, the current partial (plus the step index to
+// resume at) is handed to `forward` and that branch of the search migrates
+// to the owning shard. Progress is monotone — the receiving shard owns the
+// scan vertex, so the resumed step always enumerates there.
+
+/// Receives a partial match whose next expansion step (`next_step` into the
+/// order) needs a foreign shard's adjacency.
+using ExpandForward =
+    std::function<void(const Match& partial, size_t next_step)>;
+
+/// True if this shard owns (holds the complete adjacency of) data vertex
+/// `v`; the gate consulted before each expansion step scans.
+using VertexIsLocalFn = std::function<bool(VertexId)>;
+
+/// Sharded counterpart of FindAnchoredMatches: binds the anchor (the caller
+/// runs this on the shard owning the arriving edge's source, which stores
+/// the edge) and extends under the gate. Complete leaf matches go to
+/// `sink`; branches leaving the shard go to `forward`.
+bool FindAnchoredMatchesSharded(const DynamicGraph& graph,
+                                const QueryGraph& query,
+                                const std::vector<QueryEdgeId>& order,
+                                EdgeId anchor_id, Timestamp window,
+                                const VertexIsLocalFn& is_local,
+                                const MatchSink& sink,
+                                const ExpandForward& forward);
+
+/// Resumes a forwarded expansion at `from` (the step the sending shard
+/// could not scan). `partial` must bind every edge of order[0..from)
+/// including the anchor order[0], whose id restores the exactly-once
+/// candidate bound (id < anchor).
+bool ResumeAnchoredMatchesSharded(const DynamicGraph& graph,
+                                  const QueryGraph& query,
+                                  const std::vector<QueryEdgeId>& order,
+                                  size_t from, Timestamp window,
+                                  Match* partial,
+                                  const VertexIsLocalFn& is_local,
+                                  const MatchSink& sink,
+                                  const ExpandForward& forward);
+
 }  // namespace streamworks
 
 #endif  // STREAMWORKS_MATCH_LOCAL_SEARCH_H_

@@ -58,6 +58,11 @@ bool Match::UsesDataEdge(EdgeId de) const {
   return false;
 }
 
+Timestamp Match::edge_ts(QueryEdgeId qe) const {
+  SW_DCHECK(HasEdge(qe));
+  return ts_of_edge_[qe];
+}
+
 Timestamp Match::min_ts() const {
   SW_DCHECK(!bound_edges_.Empty());
   return min_ts_;
@@ -89,6 +94,19 @@ uint64_t Match::MappingSignature() const {
   uint64_t h = 0x5741d8a3c5u;
   for (int qv : bound_vertices_) {
     h = HashCombine(h, (static_cast<uint64_t>(qv) << 32) ^ vertex_map_[qv]);
+  }
+  for (int qe : bound_edges_) {
+    h = HashCombine(h, (static_cast<uint64_t>(qe + 64) << 32) ^
+                           Mix64(edge_map_[qe]));
+  }
+  return h;
+}
+
+uint64_t Match::ExternalMappingSignature(const DynamicGraph& graph) const {
+  uint64_t h = 0x5741d8a3c5u;
+  for (int qv : bound_vertices_) {
+    h = HashCombine(h, (static_cast<uint64_t>(qv) << 32) ^
+                           Mix64(graph.external_id(vertex_map_[qv])));
   }
   for (int qe : bound_edges_) {
     h = HashCombine(h, (static_cast<uint64_t>(qe + 64) << 32) ^

@@ -63,6 +63,9 @@ class Match {
   Bitset64 bound_vertices() const { return bound_vertices_; }
   int num_bound_edges() const { return bound_edges_.Count(); }
 
+  /// Timestamp bound alongside edge `qe` (checked: `qe` must be bound).
+  Timestamp edge_ts(QueryEdgeId qe) const;
+
   /// Earliest / latest timestamp over bound edges. Undefined (checked) when
   /// no edge is bound.
   Timestamp min_ts() const;
@@ -83,6 +86,14 @@ class Match {
   /// edge maps where) — identifies the data subgraph for deduplication of
   /// automorphic images.
   uint64_t EdgeSetSignature() const;
+
+  /// Like MappingSignature, but vertices hash by their *external* ids
+  /// (resolved through `graph`) instead of graph-local dense ids. Internal
+  /// vertex ids are an artifact of per-graph ingestion order, so this is
+  /// the signature that stays comparable across deployment modes — e.g. a
+  /// single engine vs. the shards of a vertex-partitioned group, which
+  /// ingest different edge subsets and number vertices differently.
+  uint64_t ExternalMappingSignature(const DynamicGraph& graph) const;
 
   /// Largest bound data edge id — the edge whose arrival completed this
   /// match (edge ids are arrival sequence numbers). Undefined (checked)

@@ -8,15 +8,16 @@ namespace streamworks {
 
 namespace {
 
-/// Binary search over the id-contiguous, ts-ascending edge store: smallest
-/// stored id whose record has ts >= min_ts.
-EdgeId FirstStoredEdgeWithTsAtLeast(const DynamicGraph& graph,
-                                    Timestamp min_ts) {
-  EdgeId lo = graph.first_stored_edge_id();
-  EdgeId hi = graph.next_edge_id();
+/// Binary search over the ts-ascending edge store, by stored *index* (ids
+/// may have gaps on a vertex-partitioned shard graph): smallest index
+/// whose record has ts >= min_ts.
+size_t FirstStoredIndexWithTsAtLeast(const DynamicGraph& graph,
+                                     Timestamp min_ts) {
+  size_t lo = 0;
+  size_t hi = graph.num_stored_edges();
   while (lo < hi) {
-    const EdgeId mid = lo + (hi - lo) / 2;
-    if (graph.edge_record(mid).ts < min_ts) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (graph.edge_record(graph.stored_edge_id(mid)).ts < min_ts) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -48,16 +49,18 @@ void ForEachMatch(const DynamicGraph& graph, const QueryGraph& query,
   // Anchor the first query edge on every eligible stored edge; ExtendMatch
   // enumerates the rest. Each mapping is produced exactly once because the
   // anchor slot is a fixed query edge.
-  const EdgeId begin = options.min_ts == kMinTimestamp
-                           ? graph.first_stored_edge_id()
-                           : FirstStoredEdgeWithTsAtLeast(graph,
-                                                          options.min_ts);
-  const EdgeId end = options.max_edge_id == kInvalidEdgeId
-                         ? graph.next_edge_id()
-                         : std::min(graph.next_edge_id(),
-                                    options.max_edge_id);
+  const size_t begin = options.min_ts == kMinTimestamp
+                           ? 0
+                           : FirstStoredIndexWithTsAtLeast(graph,
+                                                           options.min_ts);
   Match partial(query);
-  for (EdgeId anchor = begin; anchor < end; ++anchor) {
+  for (size_t i = begin; i < graph.num_stored_edges(); ++i) {
+    const EdgeId anchor = graph.stored_edge_id(i);
+    // Stored ids ascend, so the id bound is a clean break.
+    if (options.max_edge_id != kInvalidEdgeId &&
+        anchor >= options.max_edge_id) {
+      break;
+    }
     const EdgeRecord& record = graph.edge_record(anchor);
     BindUndo undo;
     if (!TryBindEdge(graph, query, order[0], anchor, record, options.window,

@@ -53,4 +53,27 @@ Status ParallelGroupBackend::FeedBatch(const EdgeBatch& batch) {
   return OkStatus();
 }
 
+std::vector<ShardLoadSnapshot> ParallelGroupBackend::ShardLoads() {
+  const std::string sharding =
+      (group_->mode() == ShardingMode::kPartitionedData
+           ? "partitioned/" + group_->partitioner().name()
+           : "broadcast");
+  std::vector<ShardLoadSnapshot> out;
+  for (const ShardStatsSnapshot& s : group_->ShardStats()) {
+    ShardLoadSnapshot load;
+    load.shard = s.shard;
+    load.sharding = sharding;
+    load.retained_edges = s.retained_edges;
+    load.retained_vertices = s.retained_vertices;
+    load.evicted_edges = s.evicted_edges;
+    load.edges_processed = s.edges_processed;
+    load.completions = s.completions;
+    load.live_partial_matches = s.live_partial_matches;
+    load.matches_forwarded = s.exchange.total_sent();
+    load.matches_received = s.exchange.total_received();
+    out.push_back(std::move(load));
+  }
+  return out;
+}
+
 }  // namespace streamworks

@@ -1,8 +1,11 @@
 #ifndef STREAMWORKS_SERVICE_BACKEND_H_
 #define STREAMWORKS_SERVICE_BACKEND_H_
 
+#include <vector>
+
 #include "streamworks/core/engine.h"
 #include "streamworks/core/parallel.h"
+#include "streamworks/service/metrics.h"
 
 namespace streamworks {
 
@@ -37,6 +40,11 @@ class QueryBackend {
   /// Blocks until every previously fed edge is fully processed (and its
   /// callbacks have run).
   virtual void Flush() = 0;
+
+  /// Per-shard load/exchange counters, for ServiceMetrics. Deployment
+  /// modes without shards report nothing; the parallel backend quiesces
+  /// its group to read consistent gauges — call from the control thread.
+  virtual std::vector<ShardLoadSnapshot> ShardLoads() { return {}; }
 };
 
 /// In-process, single-threaded deployment: every query on one engine,
@@ -59,9 +67,14 @@ class SingleEngineBackend : public QueryBackend {
   StreamWorksEngine* engine_;
 };
 
-/// Sharded deployment: queries spread across a ParallelEngineGroup's
-/// workers, callbacks fire on shard threads, Feed is an asynchronous
-/// enqueue.
+/// Sharded deployment over a ParallelEngineGroup in either sharding mode —
+/// the tenant-facing choice between them is made where the group is
+/// constructed (ShardingMode::kBroadcastData replicates the window graph
+/// per shard and spreads queries; kPartitionedData partitions the data
+/// graph by vertex and replicates queries, exchanging cross-shard partial
+/// matches). Callbacks fire on shard threads, Feed is an asynchronous
+/// enqueue, and ShardLoads surfaces per-shard retained memory plus
+/// exchange traffic into ServiceMetrics.
 class ParallelGroupBackend : public QueryBackend {
  public:
   /// `group` must outlive the backend.
@@ -75,6 +88,7 @@ class ParallelGroupBackend : public QueryBackend {
   Status Feed(const StreamEdge& edge) override;
   Status FeedBatch(const EdgeBatch& batch) override;
   void Flush() override { group_->Flush(); }
+  std::vector<ShardLoadSnapshot> ShardLoads() override;
 
  private:
   ParallelEngineGroup* group_;

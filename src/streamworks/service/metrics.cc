@@ -49,6 +49,17 @@ std::string ServiceStatsSnapshot::ToString() const {
      << " suppressed=" << matches_suppressed
      << " lag_p50_us=" << delivery_lag_p50_us
      << " lag_p99_us=" << delivery_lag_p99_us << "\n";
+  for (const ShardLoadSnapshot& sh : shards) {
+    os << "shard " << sh.shard << " [" << sh.sharding << "]"
+       << ": retained_edges=" << sh.retained_edges
+       << " retained_vertices=" << sh.retained_vertices
+       << " evicted=" << sh.evicted_edges
+       << " processed=" << sh.edges_processed
+       << " completions=" << sh.completions
+       << " live_partials=" << sh.live_partial_matches
+       << " forwarded=" << sh.matches_forwarded
+       << " received=" << sh.matches_received << "\n";
+  }
   for (const SessionStatsSnapshot& s : sessions) {
     os << "session " << s.session_id << " '" << s.name << "'"
        << (s.open ? "" : " (closed)") << ": live=" << s.live_queries

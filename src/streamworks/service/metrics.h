@@ -32,6 +32,26 @@ class LagHistogram {
   uint64_t total_count_ = 0;
 };
 
+/// Point-in-time per-shard load of the backend's engine group (empty for
+/// single-engine deployments). `sharding` names the mode ("broadcast" /
+/// "partitioned" plus the partitioner); the forwarded/received counters are
+/// the cross-shard match exchange's and stay zero under broadcast. The
+/// memory story of vertex partitioning reads directly off `retained_edges`:
+/// broadcast retains the whole window on every shard, partitioned only the
+/// shard's owned edges.
+struct ShardLoadSnapshot {
+  int shard = 0;
+  std::string sharding;
+  uint64_t retained_edges = 0;
+  uint64_t retained_vertices = 0;
+  uint64_t evicted_edges = 0;
+  uint64_t edges_processed = 0;
+  uint64_t completions = 0;
+  uint64_t live_partial_matches = 0;
+  uint64_t matches_forwarded = 0;  ///< Exchange items this shard sent.
+  uint64_t matches_received = 0;   ///< Exchange items this shard executed.
+};
+
 /// Point-in-time counters for one subscription. `state` and `policy` are
 /// rendered as strings so this header stays free of service-layer types.
 struct SubscriptionStatsSnapshot {
@@ -85,6 +105,8 @@ struct ServiceStatsSnapshot {
   uint64_t delivery_lag_p99_us = 0;
 
   std::vector<SessionStatsSnapshot> sessions;
+  /// Per-shard backend load (empty for single-engine backends).
+  std::vector<ShardLoadSnapshot> shards;
 
   /// Multi-line fixed-width rendering (the STATS command's output).
   std::string ToString() const;

@@ -262,8 +262,18 @@ StatusOr<SubscriptionState> QueryService::state(int session_id,
 }
 
 ServiceStatsSnapshot QueryService::Snapshot() const {
+  // Shard gauges come first, before mu_ is taken: ShardLoads quiesces a
+  // sharded backend, which waits on workers that may in turn be blocked
+  // delivering into a full kBlock queue whose consumer needs mu_ to fetch
+  // its queue pointer — holding mu_ across the quiesce would deadlock that
+  // cycle (and stall every control-plane call behind the drain even
+  // without it). ShardLoads touches no service state, so no lock is
+  // needed.
+  std::vector<ShardLoadSnapshot> shard_loads = backend_->ShardLoads();
+
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStatsSnapshot snap;
+  snap.shards = std::move(shard_loads);
   snap.sessions_opened = sessions_.size();
   snap.submissions = submissions_;
   snap.admitted = admitted_;

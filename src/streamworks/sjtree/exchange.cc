@@ -1,0 +1,77 @@
+#include "streamworks/sjtree/exchange.h"
+
+#include "streamworks/common/logging.h"
+
+namespace streamworks {
+
+void MatchExchange::Send(int dest_shard, ExchangeItem item) {
+  switch (item.kind) {
+    case ExchangeKind::kExpand:
+      ++counters_.sent_expansions;
+      break;
+    case ExchangeKind::kInsert:
+      ++counters_.sent_inserts;
+      break;
+    case ExchangeKind::kComplete:
+      ++counters_.sent_completions;
+      break;
+  }
+  outbox_.emplace_back(dest_shard, std::move(item));
+}
+
+std::vector<std::pair<int, ExchangeItem>> MatchExchange::Drain() {
+  std::vector<std::pair<int, ExchangeItem>> out;
+  out.swap(outbox_);
+  return out;
+}
+
+void MatchExchange::CountReceived(ExchangeKind kind) {
+  switch (kind) {
+    case ExchangeKind::kExpand:
+      ++counters_.received_expansions;
+      break;
+    case ExchangeKind::kInsert:
+      ++counters_.received_inserts;
+      break;
+    case ExchangeKind::kComplete:
+      ++counters_.received_completions;
+      break;
+  }
+}
+
+WireMatch MatchExchange::ToWire(const DynamicGraph& graph, const Match& m) {
+  WireMatch wire;
+  const Bitset64 vertices = m.bound_vertices();
+  const Bitset64 edges = m.bound_edges();
+  wire.vertices.reserve(static_cast<size_t>(vertices.Count()));
+  wire.edges.reserve(static_cast<size_t>(edges.Count()));
+  for (int qv : vertices) {
+    const VertexId dv = m.vertex(static_cast<QueryVertexId>(qv));
+    wire.vertices.push_back(WireVertexBinding{
+        static_cast<QueryVertexId>(qv), graph.external_id(dv),
+        graph.vertex_label(dv)});
+  }
+  for (int qe : edges) {
+    wire.edges.push_back(WireEdgeBinding{
+        static_cast<QueryEdgeId>(qe), m.edge(static_cast<QueryEdgeId>(qe)),
+        m.edge_ts(static_cast<QueryEdgeId>(qe))});
+  }
+  return wire;
+}
+
+StatusOr<Match> MatchExchange::Localize(DynamicGraph* graph,
+                                        const QueryGraph& query,
+                                        const WireMatch& wire) {
+  Match m(query);
+  for (const WireVertexBinding& vb : wire.vertices) {
+    SW_ASSIGN_OR_RETURN(const VertexId dv,
+                        graph->InternVertex(vb.vertex, vb.label));
+    m.BindVertex(vb.qv, dv);
+  }
+  for (const WireEdgeBinding& eb : wire.edges) {
+    m.BindEdge(eb.qe, eb.edge, eb.ts);
+  }
+  return m;
+}
+
+}  // namespace streamworks

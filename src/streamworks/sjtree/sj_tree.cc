@@ -53,16 +53,48 @@ uint64_t SjTree::CutKey(int parent, const Match& m) const {
   return h;
 }
 
+uint64_t SjTree::ExtCutKey(const DynamicGraph& graph, int parent,
+                           const Match& m) const {
+  const Bitset64 cut = decomposition_.node(parent).cut_vertices;
+  uint64_t h = 0x45787443757400ull;  // arbitrary seed, distinct from CutKey
+  h = HashCombine(h, static_cast<uint64_t>(parent));
+  for (int qv : cut) {
+    SW_DCHECK(m.HasVertex(static_cast<QueryVertexId>(qv)))
+        << "cut vertex unbound in stored match";
+    h = HashCombine(
+        h, (static_cast<uint64_t>(qv) << 40) ^
+               Mix64(graph.external_id(
+                   m.vertex(static_cast<QueryVertexId>(qv)))));
+  }
+  return h;
+}
+
 void SjTree::InsertAndPropagate(const DynamicGraph& graph, int node,
                                 const Match& m,
-                                std::vector<Match>* completed) {
-  ++stats_[node].matches_inserted;
+                                std::vector<Match>* completed,
+                                ShardRouter* router) {
   if (node == decomposition_.root()) {
+    ++stats_[node].matches_inserted;
     ++completed_count_;
+    if (router != nullptr) {
+      const int home = router->callback_home();
+      if (home != router->self_shard()) {
+        router->ForwardCompletion(home, m);
+        return;
+      }
+    }
     completed->push_back(m);
     return;
   }
   const int parent = decomposition_.node(node).parent;
+  if (router != nullptr) {
+    const int home = router->HomeShard(ExtCutKey(graph, parent, m));
+    if (home != router->self_shard()) {
+      router->ForwardInsert(home, node, m);
+      return;
+    }
+  }
+  ++stats_[node].matches_inserted;
   const int sibling = decomposition_.Sibling(node);
   const uint64_t key = CutKey(parent, m);
   stores_[node].Insert(key, m);
@@ -71,9 +103,17 @@ void SjTree::InsertAndPropagate(const DynamicGraph& graph, int node,
 
   // Probe the sibling's collection through the parent's cut (§4.2): the
   // hash key equates cut-vertex assignments; JoinCompatible re-validates
-  // them exactly and adds injectivity + window checks.
+  // them exactly and adds injectivity + window checks. In sharded mode the
+  // probe stays local by construction (both siblings of a cut assignment
+  // home to the same shard), but the lazy-expiry cutoff must come from the
+  // router's *safe* watermark, never the local graph's: the local
+  // watermark can run ahead of a forwarded match still in flight, and an
+  // eager cutoff would erase join partners a single engine still sees. A
+  // lagging cutoff merely keeps more matches alive — those fail the window
+  // check anyway.
   ++stats_[node].probes;
-  const Timestamp cutoff = Cutoff(graph.watermark());
+  const Timestamp cutoff = Cutoff(
+      router != nullptr ? router->safe_watermark() : graph.watermark());
   std::vector<Match> combined;  // buffered: the probe must not re-enter
   stores_[sibling].ProbeKey(key, cutoff, [&](const Match& s) {
     ++stats_[node].join_attempts;
@@ -83,7 +123,7 @@ void SjTree::InsertAndPropagate(const DynamicGraph& graph, int node,
     }
   });
   for (const Match& c : combined) {
-    InsertAndPropagate(graph, parent, c, completed);
+    InsertAndPropagate(graph, parent, c, completed, router);
   }
 }
 
@@ -92,9 +132,76 @@ void SjTree::RunAnchorPlan(const DynamicGraph& graph, size_t plan_index,
   const AnchorPlan& plan = anchor_plans_[plan_index];
   FindAnchoredMatches(graph, *query_, plan.order, edge_id, window_,
                       [&](const Match& m) {
-                        InsertAndPropagate(graph, plan.leaf, m, completed);
+                        InsertAndPropagate(graph, plan.leaf, m, completed,
+                                           nullptr);
                         return true;
                       });
+}
+
+void SjTree::ForwardExpandBranch(const DynamicGraph& graph,
+                                 size_t plan_index, const Match& partial,
+                                 size_t step, ShardRouter* router) const {
+  // Recompute the step's scan vertex (same side rule as the gated
+  // backtracker: enumerate from src when bound, else from dst) to find the
+  // owning shard.
+  const AnchorPlan& plan = anchor_plans_[plan_index];
+  const QueryEdge& qedge = query_->edge(plan.order[step]);
+  const VertexId scan = partial.HasVertex(qedge.src)
+                            ? partial.vertex(qedge.src)
+                            : partial.vertex(qedge.dst);
+  const int dest = router->OwnerOfVertex(graph.external_id(scan));
+  SW_DCHECK_NE(dest, router->self_shard())
+      << "gate refused a locally owned scan vertex";
+  router->ForwardExpansion(dest, static_cast<uint32_t>(plan_index),
+                           static_cast<int>(step), partial);
+}
+
+void SjTree::RunAnchorPlanSharded(const DynamicGraph& graph,
+                                  size_t plan_index, EdgeId edge_id,
+                                  ShardRouter* router,
+                                  std::vector<Match>* completed) {
+  const AnchorPlan& plan = anchor_plans_[plan_index];
+  FindAnchoredMatchesSharded(
+      graph, *query_, plan.order, edge_id, window_,
+      [&](VertexId v) {
+        return router->OwnerOfVertex(graph.external_id(v)) ==
+               router->self_shard();
+      },
+      [&](const Match& m) {
+        InsertAndPropagate(graph, plan.leaf, m, completed, router);
+        return true;
+      },
+      [&](const Match& partial, size_t step) {
+        ForwardExpandBranch(graph, plan_index, partial, step, router);
+      });
+}
+
+void SjTree::ResumeExpansion(const DynamicGraph& graph, size_t plan_index,
+                             size_t step, Match* partial,
+                             ShardRouter* router,
+                             std::vector<Match>* completed) {
+  const AnchorPlan& plan = anchor_plans_[plan_index];
+  ResumeAnchoredMatchesSharded(
+      graph, *query_, plan.order, step, window_, partial,
+      [&](VertexId v) {
+        return router->OwnerOfVertex(graph.external_id(v)) ==
+               router->self_shard();
+      },
+      [&](const Match& m) {
+        InsertAndPropagate(graph, plan.leaf, m, completed, router);
+        return true;
+      },
+      [&](const Match& p, size_t s) {
+        ForwardExpandBranch(graph, plan_index, p, s, router);
+      });
+}
+
+void SjTree::InsertForwarded(const DynamicGraph& graph, int node,
+                             const Match& m, ShardRouter* router,
+                             std::vector<Match>* completed) {
+  // We are the home of (parent(node), m's cut assignment); the routing
+  // check inside InsertAndPropagate re-derives that and proceeds locally.
+  InsertAndPropagate(graph, node, m, completed, router);
 }
 
 void SjTree::ProcessEdge(const DynamicGraph& graph, EdgeId edge_id,

@@ -9,6 +9,7 @@
 #include "streamworks/graph/query_graph.h"
 #include "streamworks/match/match.h"
 #include "streamworks/sjtree/decomposition.h"
+#include "streamworks/sjtree/exchange.h"
 #include "streamworks/sjtree/match_store.h"
 
 namespace streamworks {
@@ -76,6 +77,34 @@ class SjTree {
   void RunAnchorPlan(const DynamicGraph& graph, size_t plan_index,
                      EdgeId edge_id, std::vector<Match>* completed);
 
+  // --- Sharded (vertex-partitioned) execution ------------------------------
+  // One SJ-Tree instance lives on every shard; `graph` is the shard's
+  // partition of the data graph (global edge ids). Work that leaves the
+  // shard — an expansion whose scan vertex is foreign, an insert whose
+  // (parent, cut-assignment) home is elsewhere, a completion whose
+  // callback home is elsewhere — goes through `router` instead of running
+  // locally; work arriving from other shards enters through
+  // ResumeExpansion / InsertForwarded. The match sets produced across all
+  // shards equal a single-graph run's exactly (the routing only relocates
+  // each exactly-once event, it never duplicates or drops one).
+
+  /// Sharded RunAnchorPlan. Run only on the shard that owns the arriving
+  /// edge's source vertex, so each anchor fires exactly once group-wide.
+  void RunAnchorPlanSharded(const DynamicGraph& graph, size_t plan_index,
+                            EdgeId edge_id, ShardRouter* router,
+                            std::vector<Match>* completed);
+
+  /// Continues a forwarded leaf expansion at `step` of `plan_index`'s
+  /// expansion order. This shard owns the step's scan vertex.
+  void ResumeExpansion(const DynamicGraph& graph, size_t plan_index,
+                       size_t step, Match* partial, ShardRouter* router,
+                       std::vector<Match>* completed);
+
+  /// Inserts a forwarded match at `node`; this shard is the home of the
+  /// match's (parent, cut-assignment) key.
+  void InsertForwarded(const DynamicGraph& graph, int node, const Match& m,
+                       ShardRouter* router, std::vector<Match>* completed);
+
   /// Sweeps every node store, dropping partial matches too old to ever
   /// reach the root. Engine calls this periodically; probes also expire
   /// lazily in passing.
@@ -100,12 +129,29 @@ class SjTree {
   std::string DebugString() const;
 
  private:
-  /// Join key of `m` under `parent`'s cut vertices.
+  /// Join key of `m` under `parent`'s cut vertices (graph-local ids; used
+  /// to index the local stores).
   uint64_t CutKey(int parent, const Match& m) const;
 
+  /// Cut-key over *external* vertex ids: the shard-independent signature
+  /// the router hashes into a home shard. Local ids would disagree between
+  /// shards (each numbers vertices by its own ingest order) and siblings
+  /// would scatter.
+  uint64_t ExtCutKey(const DynamicGraph& graph, int parent,
+                     const Match& m) const;
+
   /// Property-3 insert + §4.2 upward combination. Appends completions.
+  /// With a router, work whose home is remote is forwarded instead;
+  /// locally-homed work proceeds exactly as the classic path.
   void InsertAndPropagate(const DynamicGraph& graph, int node,
-                          const Match& m, std::vector<Match>* completed);
+                          const Match& m, std::vector<Match>* completed,
+                          ShardRouter* router);
+
+  /// Hands an expansion branch stopped at `step` to the shard owning the
+  /// step's scan vertex.
+  void ForwardExpandBranch(const DynamicGraph& graph, size_t plan_index,
+                           const Match& partial, size_t step,
+                           ShardRouter* router) const;
 
   /// Dead-match cutoff for the current watermark.
   Timestamp Cutoff(Timestamp watermark) const;

@@ -39,8 +39,12 @@ std::string DataGraphToDot(const DynamicGraph& graph,
     }
   };
   size_t count = 0;
-  for (EdgeId id = graph.first_stored_edge_id();
-       id < graph.next_edge_id() && count < max_edges; ++id, ++count) {
+  // Index-based iteration: stored ids may have gaps on a vertex-
+  // partitioned shard graph (each shard stores a subset of the global
+  // sequence).
+  for (size_t i = 0;
+       i < graph.num_stored_edges() && count < max_edges; ++i, ++count) {
+    const EdgeId id = graph.stored_edge_id(i);
     const EdgeRecord& record = graph.edge_record(id);
     emit_vertex(record.src);
     emit_vertex(record.dst);

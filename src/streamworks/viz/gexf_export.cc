@@ -64,13 +64,14 @@ std::string DataGraphToGexf(const DynamicGraph& graph,
         "      <attribute id=\"1\" title=\"type\" type=\"string\"/>\n"
         "    </attributes>\n";
 
-  // Nodes: every vertex incident to an exported edge.
+  // Nodes: every vertex incident to an exported edge. Iterate stored
+  // indexes, not an id range — ids may have gaps on a vertex-partitioned
+  // shard graph.
   std::unordered_map<VertexId, bool> used;
-  const EdgeId begin = graph.first_stored_edge_id();
-  const EdgeId end =
-      std::min<EdgeId>(graph.next_edge_id(), begin + max_edges);
-  for (EdgeId id = begin; id < end; ++id) {
-    const EdgeRecord& rec = graph.edge_record(id);
+  const size_t end =
+      std::min<size_t>(graph.num_stored_edges(), max_edges);
+  for (size_t i = 0; i < end; ++i) {
+    const EdgeRecord& rec = graph.edge_record(graph.stored_edge_id(i));
     used.emplace(rec.src, true);
     used.emplace(rec.dst, true);
   }
@@ -86,7 +87,8 @@ std::string DataGraphToGexf(const DynamicGraph& graph,
   os << "    </nodes>\n";
 
   os << "    <edges>\n";
-  for (EdgeId id = begin; id < end; ++id) {
+  for (size_t i = 0; i < end; ++i) {
+    const EdgeId id = graph.stored_edge_id(i);
     const EdgeRecord& rec = graph.edge_record(id);
     os << "      <edge id=\"" << id << "\" source=\"" << rec.src
        << "\" target=\"" << rec.dst << "\" start=\"" << rec.ts << "\">\n"

@@ -1,0 +1,440 @@
+// Tests for vertex-partitioned data-graph sharding: the partitioned
+// ParallelEngineGroup must produce exactly a single engine's match sets on
+// randomized streams (including window-expiry boundaries, mid-stream
+// registration backfill, and unregister), while retaining strictly fewer
+// edges per shard than broadcast mode, with the cross-shard exchange doing
+// real forwarding.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/core/parallel.h"
+#include "streamworks/graph/partition.h"
+#include "streamworks/graph/random_graphs.h"
+
+namespace streamworks {
+namespace {
+
+StreamEdge MakeEdge(Interner* interner, uint64_t src, uint64_t dst,
+                    std::string_view elabel, Timestamp ts,
+                    std::string_view src_label = "V",
+                    std::string_view dst_label = "V") {
+  StreamEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.src_label = interner->Intern(src_label);
+  e.dst_label = interner->Intern(dst_label);
+  e.edge_label = interner->Intern(elabel);
+  e.ts = ts;
+  return e;
+}
+
+std::vector<StreamEdge> RandomStream(Interner* interner, uint64_t seed,
+                                     int num_vertices, int num_edges) {
+  RandomStreamOptions opt;
+  opt.seed = seed;
+  opt.num_vertices = num_vertices;
+  opt.num_edges = num_edges;
+  opt.num_vertex_labels = 2;
+  opt.num_edge_labels = 3;
+  return GenerateUniformStream(opt, interner);
+}
+
+std::vector<QueryGraph> RandomQueries(Interner* interner, uint64_t seed,
+                                      int count) {
+  Rng rng(seed);
+  std::vector<QueryGraph> queries;
+  for (int i = 0; i < count; ++i) {
+    const int nv = 3 + i % 2;
+    const int ne = nv - 1 + i % 3;
+    queries.push_back(
+        GenerateRandomConnectedQuery(rng, nv, ne, 2, 3, interner).value());
+  }
+  return queries;
+}
+
+/// Shard-independent identity of one delivered match: external-id mapping
+/// signature (vertices by external id, edges by global ingest id).
+uint64_t Signature(const CompleteMatch& cm) {
+  return cm.match.ExternalMappingSignature(*cm.graph);
+}
+
+/// Runs every query against a single engine and returns per-query
+/// completion signature multisets.
+std::vector<std::multiset<uint64_t>> SingleEngineReference(
+    Interner* interner, const std::vector<QueryGraph>& queries,
+    Timestamp window, const std::vector<StreamEdge>& edges) {
+  std::vector<std::multiset<uint64_t>> expected(queries.size());
+  StreamWorksEngine engine(interner);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SW_CHECK_OK(engine
+                    .RegisterQuery(queries[i],
+                                   DecompositionStrategy::kLeftDeepEdgeOrder,
+                                   window,
+                                   [&expected, i](const CompleteMatch& cm) {
+                                     expected[i].insert(Signature(cm));
+                                   })
+                    .status());
+  }
+  for (const StreamEdge& e : edges) engine.ProcessEdge(e).ok();
+  return expected;
+}
+
+TEST(PartitionerTest, HashModuloIsDeterministicInRangeAndSeedSensitive) {
+  HashModuloPartitioner p;
+  HashModuloPartitioner seeded(1234);
+  std::map<int, int> load;
+  bool any_seed_difference = false;
+  for (uint64_t v = 0; v < 1000; ++v) {
+    const int owner = p.OwnerShard(v, 7);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, 7);
+    EXPECT_EQ(owner, p.OwnerShard(v, 7));  // deterministic
+    any_seed_difference =
+        any_seed_difference || owner != seeded.OwnerShard(v, 7);
+    ++load[owner];
+  }
+  EXPECT_TRUE(any_seed_difference);
+  // Mixed hash: every shard gets a non-trivial share of a dense id space.
+  for (int s = 0; s < 7; ++s) {
+    EXPECT_GT(load[s], 1000 / 7 / 2) << "shard " << s << " starved";
+  }
+}
+
+TEST(PartitionTest, MatchesSingleEngineAcrossShardCounts) {
+  Interner interner;
+  const auto edges = RandomStream(&interner, 2026, 20, 800);
+  const auto queries = RandomQueries(&interner, 88, 6);
+  const Timestamp window = 18;
+  const auto expected =
+      SingleEngineReference(&interner, queries, window, edges);
+
+  for (const int shards : {1, 2, 3, 5}) {
+    std::vector<std::multiset<uint64_t>> actual(queries.size());
+    ParallelEngineGroup group(&interner, shards, {},
+                              ShardingMode::kPartitionedData);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(group
+                      .RegisterQuery(
+                          queries[i],
+                          DecompositionStrategy::kLeftDeepEdgeOrder, window,
+                          [&actual, i](const CompleteMatch& cm) {
+                            actual[i].insert(Signature(cm));
+                          })
+                      .ok());
+    }
+    for (const StreamEdge& e : edges) group.ProcessEdge(e);
+    group.Flush();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(actual[i], expected[i])
+          << "shards=" << shards << " query " << i;
+    }
+    uint64_t expected_total = 0;
+    for (const auto& sigs : expected) expected_total += sigs.size();
+    EXPECT_EQ(group.total_completions(), expected_total);
+  }
+}
+
+TEST(PartitionTest, MatchesSingleEngineOnBatchedIngestWithTightWindow) {
+  // Tight window + batched ingest: epoch flushes land right on expiry
+  // boundaries, and partial matches must die identically on every shard.
+  Interner interner;
+  const auto edges = RandomStream(&interner, 97, 14, 1200);
+  const auto queries = RandomQueries(&interner, 5, 4);
+  const Timestamp window = 4;
+  const auto expected =
+      SingleEngineReference(&interner, queries, window, edges);
+
+  std::vector<std::multiset<uint64_t>> actual(queries.size());
+  ParallelEngineGroup group(&interner, 4, {},
+                            ShardingMode::kPartitionedData);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(group
+                    .RegisterQuery(queries[i],
+                                   DecompositionStrategy::kLeftDeepEdgeOrder,
+                                   window,
+                                   [&actual, i](const CompleteMatch& cm) {
+                                     actual[i].insert(Signature(cm));
+                                   })
+                    .ok());
+  }
+  EdgeBatch batch;
+  for (const StreamEdge& e : edges) {
+    batch.push_back(e);
+    if (batch.size() == 97) {
+      group.ProcessBatch(batch);
+      batch.clear();
+    }
+  }
+  group.ProcessBatch(batch);
+  group.Flush();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "query " << i;
+  }
+
+  // Epoch-driven expiry must actually run: with a 4-tick window over a
+  // 120-tick stream, every shard's graph retains a small recent suffix.
+  for (const ShardStatsSnapshot& s : group.ShardStats()) {
+    EXPECT_GT(s.evicted_edges, 0u) << "shard " << s.shard;
+    EXPECT_LT(s.retained_edges, edges.size() / 2) << "shard " << s.shard;
+  }
+}
+
+TEST(PartitionTest, ExchangeForwardsAcrossShardsAndCountersBalance) {
+  Interner interner;
+  const auto edges = RandomStream(&interner, 11, 16, 600);
+  const auto queries = RandomQueries(&interner, 42, 3);
+  ParallelEngineGroup group(&interner, 3, {},
+                            ShardingMode::kPartitionedData);
+  for (const QueryGraph& q : queries) {
+    ASSERT_TRUE(group
+                    .RegisterQuery(q,
+                                   DecompositionStrategy::kLeftDeepEdgeOrder,
+                                   20, nullptr)
+                    .ok());
+  }
+  for (const StreamEdge& e : edges) group.ProcessEdge(e);
+  group.Flush();
+
+  uint64_t sent = 0, received = 0;
+  for (const ShardStatsSnapshot& s : group.ShardStats()) {
+    sent += s.exchange.total_sent();
+    received += s.exchange.total_received();
+  }
+  // Multi-edge queries on a 16-vertex graph over 3 shards: cross-shard
+  // work is unavoidable, and after Flush nothing is in flight.
+  EXPECT_GT(sent, 0u);
+  EXPECT_EQ(sent, received);
+}
+
+TEST(PartitionTest, ShardsRetainFewerEdgesThanBroadcast) {
+  Interner interner;
+  const auto edges = RandomStream(&interner, 7, 64, 4000);
+  const auto queries = RandomQueries(&interner, 3, 2);
+  const Timestamp window = 30;
+  const int shards = 4;
+
+  auto run = [&](ShardingMode mode) {
+    ParallelEngineGroup group(&interner, shards, {}, mode);
+    for (const QueryGraph& q : queries) {
+      SW_CHECK(group
+                   .RegisterQuery(q,
+                                  DecompositionStrategy::kLeftDeepEdgeOrder,
+                                  window, nullptr)
+                   .ok());
+    }
+    for (const StreamEdge& e : edges) group.ProcessEdge(e);
+    group.Flush();
+    return group.ShardStats();
+  };
+
+  const auto broadcast = run(ShardingMode::kBroadcastData);
+  const auto partitioned = run(ShardingMode::kPartitionedData);
+
+  // Broadcast: every shard retains the whole window. Partitioned: each
+  // shard retains only edges incident to its owned vertices — strictly
+  // below every broadcast shard (the acceptance criterion).
+  uint64_t partitioned_total = 0;
+  for (int s = 0; s < shards; ++s) {
+    EXPECT_LT(partitioned[s].retained_edges, broadcast[s].retained_edges)
+        << "shard " << s;
+    partitioned_total += partitioned[s].retained_edges;
+  }
+  // Each edge lives on at most two shards (its endpoint owners), and at
+  // least one, so the group-wide total is bounded by one broadcast shard's
+  // retention on both sides.
+  EXPECT_GE(partitioned_total, broadcast[0].retained_edges);
+  EXPECT_LE(partitioned_total, 2 * broadcast[0].retained_edges);
+}
+
+TEST(PartitionTest, MidStreamRegistrationBackfillsAcrossShards) {
+  Interner interner;
+  const auto edges = RandomStream(&interner, 55, 18, 900);
+  const auto queries = RandomQueries(&interner, 21, 4);
+  const Timestamp window = 25;
+  const size_t split = edges.size() / 2;
+
+  // Reference: single engine registering query 0 up front and the rest
+  // mid-stream.
+  std::vector<std::multiset<uint64_t>> expected(queries.size());
+  {
+    StreamWorksEngine engine(&interner);
+    auto subscribe = [&](size_t i) {
+      SW_CHECK_OK(
+          engine
+              .RegisterQuery(queries[i],
+                             DecompositionStrategy::kLeftDeepEdgeOrder,
+                             window,
+                             [&expected, i](const CompleteMatch& cm) {
+                               expected[i].insert(Signature(cm));
+                             })
+              .status());
+    };
+    subscribe(0);
+    for (size_t k = 0; k < split; ++k) engine.ProcessEdge(edges[k]).ok();
+    for (size_t i = 1; i < queries.size(); ++i) subscribe(i);
+    for (size_t k = split; k < edges.size(); ++k) {
+      engine.ProcessEdge(edges[k]).ok();
+    }
+  }
+
+  std::vector<std::multiset<uint64_t>> actual(queries.size());
+  ParallelEngineGroup group(&interner, 3, {},
+                            ShardingMode::kPartitionedData);
+  auto subscribe = [&](size_t i) {
+    ASSERT_TRUE(group
+                    .RegisterQuery(queries[i],
+                                   DecompositionStrategy::kLeftDeepEdgeOrder,
+                                   window,
+                                   [&actual, i](const CompleteMatch& cm) {
+                                     actual[i].insert(Signature(cm));
+                                   })
+                    .ok());
+  };
+  subscribe(0);
+  for (size_t k = 0; k < split; ++k) group.ProcessEdge(edges[k]);
+  for (size_t i = 1; i < queries.size(); ++i) subscribe(i);
+  for (size_t k = split; k < edges.size(); ++k) group.ProcessEdge(edges[k]);
+  group.Flush();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "query " << i;
+  }
+}
+
+TEST(PartitionTest, UnregisterStopsDeliveryGroupWide) {
+  Interner interner;
+  const auto edges = RandomStream(&interner, 31, 15, 600);
+  const auto queries = RandomQueries(&interner, 13, 2);
+  const Timestamp window = 20;
+  const size_t split = edges.size() / 2;
+
+  std::vector<std::multiset<uint64_t>> expected(queries.size());
+  {
+    StreamWorksEngine engine(&interner);
+    std::vector<int> ids;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ids.push_back(
+          engine
+              .RegisterQuery(queries[i],
+                             DecompositionStrategy::kLeftDeepEdgeOrder,
+                             window,
+                             [&expected, i](const CompleteMatch& cm) {
+                               expected[i].insert(Signature(cm));
+                             })
+              .value());
+    }
+    for (size_t k = 0; k < split; ++k) engine.ProcessEdge(edges[k]).ok();
+    SW_CHECK_OK(engine.UnregisterQuery(ids[0]));
+    for (size_t k = split; k < edges.size(); ++k) {
+      engine.ProcessEdge(edges[k]).ok();
+    }
+  }
+
+  std::vector<std::multiset<uint64_t>> actual(queries.size());
+  ParallelEngineGroup group(&interner, 4, {},
+                            ShardingMode::kPartitionedData);
+  std::vector<int> ids;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ids.push_back(group
+                      .RegisterQuery(
+                          queries[i],
+                          DecompositionStrategy::kLeftDeepEdgeOrder, window,
+                          [&actual, i](const CompleteMatch& cm) {
+                            actual[i].insert(Signature(cm));
+                          })
+                      .value());
+  }
+  for (size_t k = 0; k < split; ++k) group.ProcessEdge(edges[k]);
+  ASSERT_TRUE(group.UnregisterQuery(ids[0]).ok());
+  EXPECT_FALSE(group.UnregisterQuery(ids[0]).ok());  // idempotence = error
+  for (size_t k = split; k < edges.size(); ++k) group.ProcessEdge(edges[k]);
+  group.Flush();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "query " << i;
+  }
+  EXPECT_FALSE(group.query_info(ids[0]).ok());
+  const auto info = group.query_info(ids[1]);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().completions, expected[1].size());
+}
+
+TEST(PartitionTest, InvalidEdgesRejectedOnceAtGroupAdmission) {
+  Interner interner;
+  ParallelEngineGroup group(&interner, 3, {},
+                            ShardingMode::kPartitionedData);
+  int hits = 0;
+  QueryGraphBuilder builder(&interner);
+  const auto v0 = builder.AddVertex("V");
+  const auto v1 = builder.AddVertex("V");
+  builder.AddEdge(v0, v1, "x");
+  ASSERT_TRUE(group
+                  .RegisterQuery(builder.Build().value(),
+                                 DecompositionStrategy::kLeftDeepEdgeOrder,
+                                 100,
+                                 [&](const CompleteMatch&) { ++hits; })
+                  .ok());
+
+  group.ProcessEdge(MakeEdge(&interner, 1, 2, "x", 10));
+  group.ProcessEdge(MakeEdge(&interner, 1, 2, "x", 5));  // ts regression
+  group.ProcessEdge(
+      MakeEdge(&interner, 1, 3, "x", 11, "W", "V"));  // label clash on src
+  group.Flush();
+
+  // Unlike broadcast mode (each shard rejects its own copy), admission
+  // rejects once — the same count a single engine reports.
+  EXPECT_EQ(group.total_rejected(), 2u);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(PartitionTest, CustomPartitionerIsUsedAndResultsHold) {
+  // A deliberately lopsided partitioner (everything on shard 1 except one
+  // vertex) still yields exact results — the seam only moves work around.
+  class LopsidedPartitioner final : public Partitioner {
+   public:
+    int OwnerShard(ExternalVertexId v, int num_shards) const override {
+      if (num_shards == 1) return 0;
+      return v == 0 ? 0 : 1 % num_shards;
+    }
+    std::string name() const override { return "lopsided"; }
+  };
+
+  Interner interner;
+  const auto edges = RandomStream(&interner, 77, 12, 500);
+  const auto queries = RandomQueries(&interner, 9, 3);
+  const Timestamp window = 15;
+  const auto expected =
+      SingleEngineReference(&interner, queries, window, edges);
+
+  LopsidedPartitioner lopsided;
+  std::vector<std::multiset<uint64_t>> actual(queries.size());
+  ParallelEngineGroup group(&interner, 3, {},
+                            ShardingMode::kPartitionedData, &lopsided);
+  EXPECT_EQ(group.partitioner().name(), "lopsided");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(group
+                    .RegisterQuery(queries[i],
+                                   DecompositionStrategy::kLeftDeepEdgeOrder,
+                                   window,
+                                   [&actual, i](const CompleteMatch& cm) {
+                                     actual[i].insert(Signature(cm));
+                                   })
+                    .ok());
+  }
+  for (const StreamEdge& e : edges) group.ProcessEdge(e);
+  group.Flush();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "query " << i;
+  }
+  // Shard 2 owns nothing under this policy.
+  const auto stats = group.ShardStats();
+  EXPECT_EQ(stats[2].retained_edges, 0u);
+}
+
+}  // namespace
+}  // namespace streamworks

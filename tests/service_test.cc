@@ -528,6 +528,51 @@ TEST(QueryServiceParallelTest, MultiSessionIsolationAcrossShards) {
   const ServiceStatsSnapshot snap = service.Snapshot();
   EXPECT_EQ(snap.matches_enqueued, 7u);
   EXPECT_EQ(snap.detaches, 1u);
+  // Broadcast groups report per-shard loads too (no exchange traffic).
+  ASSERT_EQ(snap.shards.size(), 3u);
+  EXPECT_EQ(snap.shards[0].sharding, "broadcast");
+  EXPECT_EQ(snap.shards[0].matches_forwarded, 0u);
+  group.Close();
+}
+
+TEST(QueryServiceParallelTest, PartitionedBackendServesTenantsWithLoads) {
+  // Tenants choose the sharding mode where the engine group is built; the
+  // service sees the same QueryBackend either way, and its metrics pick up
+  // the per-shard retained-memory and exchange counters.
+  Interner interner;
+  ParallelEngineGroup group(&interner, 3, {},
+                            ShardingMode::kPartitionedData);
+  ParallelGroupBackend backend(&group);
+  QueryService service(&backend);
+
+  const QueryGraph q = PingQuery(&interner);
+  const int alice = service.OpenSession("alice").value();
+  const int bob = service.OpenSession("bob").value();
+  const int a = service.Submit(alice, q).value();
+  const int b = service.Submit(bob, q).value();
+
+  for (Timestamp ts = 1; ts <= 16; ++ts) {
+    ASSERT_TRUE(service
+                    .Feed(MakeEdge(&interner, 100 + ts, 200 + ts, "ping",
+                                   ts))
+                    .ok());
+  }
+  service.Flush();
+  EXPECT_EQ(service.queue(alice, a)->counters().enqueued, 16u);
+  EXPECT_EQ(service.queue(bob, b)->counters().enqueued, 16u);
+
+  const ServiceStatsSnapshot snap = service.Snapshot();
+  ASSERT_EQ(snap.shards.size(), 3u);
+  uint64_t retained_total = 0;
+  for (const ShardLoadSnapshot& shard : snap.shards) {
+    EXPECT_EQ(shard.sharding, "partitioned/hash_modulo");
+    retained_total += shard.retained_edges;
+  }
+  // Each edge lands on one or two owner shards — never on all three.
+  EXPECT_GE(retained_total, 16u);
+  EXPECT_LE(retained_total, 32u);
+  EXPECT_NE(snap.ToString().find("shard 0 [partitioned/hash_modulo]"),
+            std::string::npos);
   group.Close();
 }
 
