@@ -1,0 +1,238 @@
+// Network-frontend throughput bench: what the socket path costs versus
+// driving the QueryService in-process.
+//
+//   $ ./build/bench/bench_net_throughput [num_edges]
+//
+// Every scenario runs the same workload — one ping-pattern subscription,
+// N distinct edges (one completed match each), full delivery — against a
+// SingleEngineBackend, so the deltas price the frontend alone:
+//
+//   in-process      QueryService::Feed + queue drain, no sockets
+//   unix rtt        one FEED command per edge, await each response
+//   unix pipelined  all FEED lines written back-to-back, responses
+//                   consumed in bulk (how a real ingest client batches)
+//   tcp pipelined   same over loopback TCP
+//
+// Matches are push-streamed (STREAM): the drain phase counts EVENT lines
+// until every match arrived, so matches/s is end-to-end delivery through
+// the wire, and the STATS delivery-lag percentiles ride along.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "streamworks/common/interner.h"
+#include "streamworks/common/timer.h"
+#include "streamworks/net/client.h"
+#include "streamworks/net/server.h"
+#include "streamworks/service/backend.h"
+#include "streamworks/service/query_service.h"
+
+namespace streamworks::bench {
+namespace {
+
+constexpr std::chrono::milliseconds kTimeout{30000};
+
+const char* const kPingDefine =
+    "DEFINE ping\n"
+    "node a V\n"
+    "node b V\n"
+    "edge a b ping\n"
+    "window 1073741824\n"
+    "END";
+
+QueryGraph PingQuery(Interner* interner) {
+  QueryGraphBuilder b(interner);
+  const auto u = b.AddVertex("V");
+  const auto v = b.AddVertex("V");
+  b.AddEdge(u, v, "ping");
+  return b.Build("ping").value();
+}
+
+std::string FeedLine(int i) {
+  return "FEED " + std::to_string(2 * i) + " V " + std::to_string(2 * i + 1) +
+         " V ping " + std::to_string(i + 1);
+}
+
+struct Result {
+  double ingest_seconds = 0;  ///< Last edge accepted (+ response in rtt).
+  double total_seconds = 0;   ///< Every match in the consumer's hands.
+  uint64_t matches = 0;
+  std::string lag;  ///< "p50=..us p99=..us" from STATS where available.
+};
+
+Result RunInProcess(int num_edges) {
+  Interner interner;
+  StreamWorksEngine engine(&interner);
+  SingleEngineBackend backend(&engine);
+  QueryService service(&backend);
+  const int session = service.OpenSession("bench").value();
+  SubmitOptions options;
+  options.queue_capacity = static_cast<size_t>(num_edges) + 16;
+  const int sub =
+      service.Submit(session, PingQuery(&interner), options).value();
+
+  Result result;
+  Timer timer;
+  for (int i = 0; i < num_edges; ++i) {
+    StreamEdge e;
+    e.src = 2 * static_cast<uint64_t>(i);
+    e.dst = 2 * static_cast<uint64_t>(i) + 1;
+    e.src_label = interner.Intern("V");
+    e.dst_label = interner.Intern("V");
+    e.edge_label = interner.Intern("ping");
+    e.ts = i + 1;
+    service.Feed(e).ok();
+  }
+  service.Flush();
+  result.ingest_seconds = timer.ElapsedSeconds();
+  std::vector<CompleteMatch> matches;
+  service.queue(session, sub)->Drain(&matches);
+  result.total_seconds = timer.ElapsedSeconds();
+  result.matches = matches.size();
+  const ServiceStatsSnapshot snap = service.Snapshot();
+  result.lag = "p50=" + std::to_string(snap.delivery_lag_p50_us) +
+               "us p99=" + std::to_string(snap.delivery_lag_p99_us) + "us";
+  return result;
+}
+
+/// Sends `line` and fails hard on transport errors (a bench mis-setup
+/// should be loud, not a skewed number).
+void MustSend(LineClient& client, const std::string& line) {
+  const Status status = client.SendLine(line);
+  SW_CHECK(status.ok()) << status.ToString();
+}
+
+std::vector<std::string> MustCommand(LineClient& client,
+                                     const std::string& line) {
+  auto payload = client.Command(line, kTimeout);
+  SW_CHECK(payload.ok()) << line << ": " << payload.status().ToString();
+  return *payload;
+}
+
+Result RunSocket(bool tcp, bool pipelined, int num_edges) {
+  Interner interner;
+  StreamWorksEngine engine(&interner);
+  SingleEngineBackend backend(&engine);
+  QueryService service(&backend);
+  ServerOptions options;
+  if (tcp) {
+    options.tcp_port = 0;
+  } else {
+    options.unix_path =
+        "/tmp/sw_bench_net_" + std::to_string(::getpid()) + ".sock";
+  }
+  SocketServer server(&service, &interner, options);
+  SW_CHECK_OK(server.Start());
+  auto connected = tcp ? LineClient::ConnectTcp("127.0.0.1",
+                                                server.tcp_port())
+                       : LineClient::ConnectUnix(options.unix_path);
+  SW_CHECK(connected.ok()) << connected.status().ToString();
+  LineClient client = std::move(connected).value();
+
+  for (std::string_view line : Split(kPingDefine, '\n')) {
+    MustCommand(client, std::string(line));
+  }
+  MustCommand(client, "SESSION bench");
+  MustCommand(client, "SUBMIT bench live ping CAP " +
+                          std::to_string(num_edges + 16));
+  MustCommand(client, "STREAM bench live");
+
+  Result result;
+  Timer timer;
+  if (pipelined) {
+    // Fire FEEDs in bursts, absorbing whatever responses/events are
+    // already readable between bursts — a sender that never reads would
+    // eventually fill both kernel buffers against the server's
+    // response-path read throttling and deadlock itself at large N.
+    uint64_t terminators = 0;  // num_edges FEED frames + the FLUSH frame
+    bool ingested = false;
+    const auto absorb = [&](std::chrono::milliseconds timeout) -> bool {
+      auto line = client.ReadLine(timeout);
+      if (!line.ok()) return false;  // nothing available (or timeout)
+      if (*line == ".") {
+        if (++terminators == static_cast<uint64_t>(num_edges) + 1) {
+          ingested = true;
+          result.ingest_seconds = timer.ElapsedSeconds();
+        }
+      } else if (StartsWith(*line, "EVENT MATCH ")) {
+        ++result.matches;
+      }
+      return true;
+    };
+    // Sliding window: with at most kWindow un-acked FEEDs outstanding,
+    // the server's unsent responses (terminator + pushed event per edge,
+    // ~100B) stay far below its write high-water, so it never parks
+    // reads and the client's blocking sends can always complete.
+    constexpr uint64_t kWindow = 1024;
+    for (int i = 0; i < num_edges; ++i) {
+      while (static_cast<uint64_t>(i) - terminators >= kWindow) {
+        SW_CHECK(absorb(kTimeout)) << "timed out inside the send window";
+      }
+      MustSend(client, FeedLine(i));
+      if (i % 64 == 0) {
+        while (absorb(std::chrono::milliseconds(0))) {
+        }
+      }
+    }
+    MustSend(client, "FLUSH");
+    while (result.matches < static_cast<uint64_t>(num_edges) || !ingested) {
+      SW_CHECK(absorb(kTimeout)) << "timed out draining the socket";
+    }
+  } else {
+    for (int i = 0; i < num_edges; ++i) MustCommand(client, FeedLine(i));
+    MustCommand(client, "FLUSH");
+    result.ingest_seconds = timer.ElapsedSeconds();
+    while (result.matches < static_cast<uint64_t>(num_edges)) {
+      auto event = client.NextEvent(kTimeout);
+      SW_CHECK(event.ok()) << event.status().ToString();
+      ++result.matches;
+    }
+  }
+  result.total_seconds = timer.ElapsedSeconds();
+
+  for (const std::string& line : MustCommand(client, "STATS")) {
+    const size_t pos = line.find("lag_p50_us=");
+    if (pos != std::string::npos) {
+      result.lag = line.substr(pos);
+      break;
+    }
+  }
+  client.Quit();
+  server.Stop();
+  return result;
+}
+
+void Report(Table& table, std::string_view scenario, int num_edges,
+            const Result& result) {
+  table.Row({std::string(scenario), FormatCount(num_edges),
+             FormatDouble(num_edges / result.ingest_seconds / 1e3, 1),
+             FormatCount(result.matches),
+             FormatDouble(result.matches / result.total_seconds / 1e3, 1),
+             result.lag});
+}
+
+void RunAll(int num_edges) {
+  Banner("net", "socket frontend vs in-process service throughput");
+  Table table({16, 10, 14, 10, 16, 30});
+  table.Row({"scenario", "edges", "ingest ke/s", "matches", "deliver km/s",
+             "delivery lag"});
+  table.Separator();
+  Report(table, "in-process", num_edges, RunInProcess(num_edges));
+  Report(table, "unix rtt", num_edges,
+         RunSocket(/*tcp=*/false, /*pipelined=*/false, num_edges));
+  Report(table, "unix pipelined", num_edges,
+         RunSocket(/*tcp=*/false, /*pipelined=*/true, num_edges));
+  Report(table, "tcp pipelined", num_edges,
+         RunSocket(/*tcp=*/true, /*pipelined=*/true, num_edges));
+}
+
+}  // namespace
+}  // namespace streamworks::bench
+
+int main(int argc, char** argv) {
+  int num_edges = 20000;
+  if (argc > 1) num_edges = std::atoi(argv[1]);
+  streamworks::bench::RunAll(num_edges);
+  return 0;
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# CI e2e gate: the first out-of-process exercise of the whole stack.
+#
+#   ci/e2e.sh [BUILD_DIR]
+#
+# Starts `service_demo --serve` (partitioned two-shard group behind the
+# QueryService behind the SocketServer) on a unix socket, then drives it
+# with two independent streamworks_client processes: a watcher that
+# subscribes and push-streams, and a feeder that ingests the probes the
+# watcher is waiting for. Fails on any timeout, transport error, ERR
+# response, missing match, or an unclean server shutdown.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/examples/service_demo"
+CLIENT="$BUILD_DIR/examples/streamworks_client"
+SOCK="/tmp/streamworks_e2e_$$.sock"
+SERVER_LOG="/tmp/streamworks_e2e_$$.server.log"
+WATCHER_LOG="/tmp/streamworks_e2e_$$.watcher.log"
+FEEDER_LOG="/tmp/streamworks_e2e_$$.feeder.log"
+
+fail() {
+  echo "e2e: FAIL: $*" >&2
+  echo "--- server log ---" >&2;  cat "$SERVER_LOG" >&2 || true
+  echo "--- watcher log ---" >&2; cat "$WATCHER_LOG" >&2 || true
+  echo "--- feeder log ---" >&2;  cat "$FEEDER_LOG" >&2 || true
+  exit 1
+}
+
+"$SERVER" partitioned --serve --unix "$SOCK" > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# The SERVING banner is the readiness signal (it prints after the bind,
+# so it also implies the socket file exists).
+for _ in $(seq 1 100); do
+  grep -q "^SERVING " "$SERVER_LOG" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died before binding"
+  sleep 0.1
+done
+grep -q "^SERVING " "$SERVER_LOG" || fail "no SERVING banner"
+[ -S "$SOCK" ] || fail "SERVING printed but $SOCK is missing"
+
+# Watcher first (it parks waiting for 3 pushed events), then the feeder.
+timeout 60 "$CLIENT" --unix "$SOCK" --expect-events 3 \
+  < ci/e2e_subscribe.txt > "$WATCHER_LOG" 2>&1 &
+WATCHER_PID=$!
+# The watcher must have subscribed before the feeder fires; its SUBMIT is
+# the 3rd response, so a short grep-poll on its log is enough.
+for _ in $(seq 1 100); do
+  grep -q "OK stream watcher.live" "$WATCHER_LOG" && break
+  sleep 0.1
+done
+grep -q "OK stream watcher.live" "$WATCHER_LOG" || fail "watcher never subscribed"
+
+timeout 60 "$CLIENT" --unix "$SOCK" < ci/e2e_feed.txt > "$FEEDER_LOG" 2>&1 \
+  || fail "feeder client failed (exit $?)"
+wait "$WATCHER_PID" || fail "watcher client failed (exit $?)"
+
+# The watcher saw exactly its three pushed matches...
+EVENTS=$(grep -c "^EVENT MATCH watcher.live" "$WATCHER_LOG" || true)
+[ "$EVENTS" -eq 3 ] || fail "expected 3 pushed matches, saw $EVENTS"
+# ...and the feeder's STATS observed the multi-tenant picture: the
+# watcher's session was opened (sessions=1), and it is either still
+# listed or — if it already collected its events and quit — reclaimed
+# (disconnect compaction erases the tombstone; both outcomes are correct,
+# which one we see is a benign race against the watcher's exit).
+grep -q "service: sessions=1 " "$FEEDER_LOG" || fail "feeder STATS missing sessions=1"
+grep -qE "'watcher'|reclaimed=[1-9]" "$FEEDER_LOG" \
+  || fail "feeder STATS shows neither the watcher session nor its reclamation"
+grep -q "edges_fed=3" "$FEEDER_LOG" || fail "feeder STATS missing edges_fed=3"
+
+# Graceful shutdown: SIGTERM must produce the SHUTDOWN summary and exit 0.
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+# A wedged shutdown must fail the gate now, not hang `wait` for the job's
+# 6-hour ceiling.
+kill -0 "$SERVER_PID" 2>/dev/null && fail "server did not exit after SIGTERM"
+if wait "$SERVER_PID"; then :; else fail "server exited non-zero"; fi
+grep -q "^SHUTDOWN " "$SERVER_LOG" || fail "no SHUTDOWN summary"
+[ -S "$SOCK" ] && fail "socket file not unlinked on shutdown"
+
+echo "e2e: PASS ($EVENTS pushed matches, clean shutdown)"

@@ -2,6 +2,16 @@
 //
 //   $ ./build/examples/service_demo
 //
+// With --serve the same service becomes a network daemon instead of a
+// scripted scenario: a SocketServer binds the CommandInterpreter line
+// protocol to TCP and/or a unix-domain socket, and tenants drive it from
+// other processes with streamworks_client (or nc). The CI e2e job runs
+// exactly that: `service_demo --serve --unix /tmp/sw.sock` in the
+// background, a scripted subscribe/ingest/expect-matches session against
+// it, SIGTERM to shut down.
+//
+//   $ ./build/examples/service_demo --serve --tcp 7687 --unix /tmp/sw.sock
+//
 // Three analyst sessions share one live netflow-style stream served by a
 // two-shard ParallelEngineGroup behind a QueryService. The whole scenario
 // is scripted through the CommandInterpreter's line protocol — the same
@@ -19,11 +29,17 @@
 // The final STATS block shows per-session admission, drop, suppression,
 // and delivery-lag counters diverging per tenant.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <string_view>
+#include <thread>
 
 #include "streamworks/common/interner.h"
+#include "streamworks/common/str_util.h"
 #include "streamworks/core/parallel.h"
+#include "streamworks/net/server.h"
 #include "streamworks/service/backend.h"
 #include "streamworks/service/interpreter.h"
 #include "streamworks/service/query_service.h"
@@ -87,6 +103,40 @@ POLL forensics evidence
 STATS
 )";
 
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true); }
+
+/// Daemon mode: serve the line protocol on sockets until SIGINT/SIGTERM.
+int Serve(QueryService* service, Interner* interner,
+          const ServerOptions& options) {
+  // Handlers first: a supervisor's SIGTERM in the bind window must already
+  // take the graceful path, not the default disposition.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  SocketServer server(service, interner, options);
+  if (Status status = server.Start(); !status.ok()) {
+    std::cerr << "server start failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  // The e2e harness (and any supervisor) scrapes this line for the
+  // endpoints, so keep it on one line and flush it before backgrounding
+  // settles.
+  std::cout << "SERVING tcp=" << server.tcp_port() << " unix="
+            << (server.unix_path().empty() ? "-" : server.unix_path())
+            << std::endl;
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  const ServerStats stats = server.stats();
+  std::cout << "SHUTDOWN accepted=" << stats.connections_accepted
+            << " lines=" << stats.lines_executed
+            << " events=" << stats.events_pushed
+            << " reclaimed=" << stats.subscriptions_reclaimed << std::endl;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,8 +145,32 @@ int main(int argc, char** argv) {
   // queries; `service_demo partitioned` shards the data graph by vertex
   // ownership and exchanges cross-shard partial matches — same scenario,
   // same output, and STATS grows per-shard retained/forwarded lines.
-  const bool partitioned =
-      argc > 1 && std::string_view(argv[1]) == "partitioned";
+  bool partitioned = false;
+  bool serve = false;
+  ServerOptions server_options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "partitioned") {
+      partitioned = true;
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      int64_t port = 0;
+      if (!ParseInt64(argv[++i], &port) || port < 0 || port > 65535) {
+        std::cerr << "bad --tcp port: " << argv[i] << "\n";
+        return 1;
+      }
+      server_options.tcp_port = static_cast<int>(port);
+      serve = true;  // an endpoint flag IS the request to serve
+    } else if (arg == "--unix" && i + 1 < argc) {
+      server_options.unix_path = argv[++i];
+      serve = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [partitioned] [--serve [--tcp PORT] [--unix PATH]]\n";
+      return 1;
+    }
+  }
   Interner interner;
   ParallelEngineGroup group(&interner, /*num_shards=*/2, {},
                             partitioned ? ShardingMode::kPartitionedData
@@ -106,6 +180,14 @@ int main(int argc, char** argv) {
   ServiceLimits limits;
   limits.max_queries_per_session = 4;
   QueryService service(&backend, limits);
+
+  if (serve) {
+    if (server_options.tcp_port < 0 && server_options.unix_path.empty()) {
+      server_options.tcp_port = 0;  // ephemeral; port printed on SERVING
+    }
+    return Serve(&service, &interner, server_options);
+  }
+
   CommandInterpreter interpreter(&service, &interner, &std::cout);
 
   if (Status status = interpreter.ExecuteScript(kScenario); !status.ok()) {

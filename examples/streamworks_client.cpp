@@ -1,0 +1,165 @@
+// streamworks_client: command-line client for the StreamWorks socket
+// server (the network frontend over the CommandInterpreter line protocol).
+//
+//   $ streamworks_client --tcp 127.0.0.1:7687 < session.txt
+//   $ streamworks_client --unix /tmp/streamworks.sock --expect-events 3
+//
+// Reads protocol lines from stdin, sends each as one command, and prints
+// every response line. Asynchronous EVENT lines (push-streamed matches)
+// are printed as they surface. After stdin ends, --expect-events N waits
+// for N more EVENT lines before saying BYE — how the CI e2e gate asserts
+// that push streaming actually pushed.
+//
+// Exit codes: 0 ok, 1 usage, 2 connect/transport failure or timeout,
+// 3 the server answered ERR (a scripted session is expected to be clean).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamworks/common/str_util.h"
+#include "streamworks/net/client.h"
+
+using namespace streamworks;  // NOLINT: example brevity
+
+namespace {
+
+struct Options {
+  std::string tcp_host;
+  int tcp_port = -1;
+  std::string unix_path;
+  int timeout_ms = 5000;
+  int expect_events = 0;
+  bool keep_going = false;  ///< Don't exit 3 on ERR responses.
+};
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " (--tcp HOST:PORT | --unix PATH) [--timeout-ms N]\n"
+         "       [--expect-events N] [--keep-going]\n"
+         "Reads line-protocol commands from stdin; see README 'Wire "
+         "protocol'.\n";
+  return 1;
+}
+
+bool ParseTcpTarget(std::string_view arg, Options* options) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string_view::npos) return false;
+  int64_t port = 0;
+  if (!ParseInt64(arg.substr(colon + 1), &port) || port <= 0 ||
+      port > 65535) {
+    return false;
+  }
+  options->tcp_host = std::string(arg.substr(0, colon));
+  options->tcp_port = static_cast<int>(port);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--tcp") {
+      const char* value = next_value();
+      if (value == nullptr || !ParseTcpTarget(value, &options)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--unix") {
+      const char* value = next_value();
+      if (value == nullptr) return Usage(argv[0]);
+      options.unix_path = value;
+    } else if (arg == "--timeout-ms" || arg == "--expect-events") {
+      const char* value = next_value();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt64(value, &n) || n < 0) {
+        return Usage(argv[0]);
+      }
+      (arg == "--timeout-ms" ? options.timeout_ms : options.expect_events) =
+          static_cast<int>(n);
+    } else if (arg == "--keep-going") {
+      options.keep_going = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.tcp_port < 0 && options.unix_path.empty()) {
+    return Usage(argv[0]);
+  }
+
+  auto connected = options.unix_path.empty()
+                       ? LineClient::ConnectTcp(options.tcp_host,
+                                                options.tcp_port)
+                       : LineClient::ConnectUnix(options.unix_path);
+  if (!connected.ok()) {
+    std::cerr << "connect failed: " << connected.status().ToString() << "\n";
+    return 2;
+  }
+  LineClient client = std::move(connected).value();
+  const std::chrono::milliseconds timeout(options.timeout_ms);
+  // Harnesses (the CI e2e gate) tail this process's redirected stdout to
+  // sequence multi-client scenarios; unbuffered output makes every
+  // response line observable the moment it is printed, not at exit.
+  std::cout << std::unitbuf;
+
+  bool saw_err = false;
+  // Events already pushed during the command phase count toward
+  // --expect-events: a self-feeding script (SUBMIT/STREAM/FEED/FLUSH in
+  // one stdin) usually receives its matches inside the FLUSH exchange,
+  // and waiting for that many MORE events would time out spuriously.
+  int events_seen = 0;
+  // Only pushed matches satisfy the gate — an early "EVENT END" (queue
+  // closed before all expected matches arrived) must not.
+  const auto drain_events = [&client, &events_seen]() {
+    while (client.buffered_events() > 0) {
+      auto event = client.NextEvent(std::chrono::milliseconds(0));
+      if (event.ok()) {
+        std::cout << *event << "\n";
+        if (StartsWith(*event, "EVENT MATCH ")) ++events_seen;
+      }
+    }
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (StripWhitespace(line).empty()) continue;
+    auto payload = client.Command(line, timeout);
+    if (!payload.ok()) {
+      std::cerr << "transport error: " << payload.status().ToString()
+                << "\n";
+      return 2;
+    }
+    for (const std::string& reply : *payload) {
+      std::cout << reply << "\n";
+      if (StartsWith(reply, "ERR ")) saw_err = true;
+    }
+    drain_events();
+    if (saw_err && !options.keep_going) {
+      std::cerr << "server reported ERR; aborting (--keep-going to "
+                   "continue)\n";
+      return 3;
+    }
+  }
+
+  while (events_seen < options.expect_events) {
+    auto event = client.NextEvent(timeout);
+    if (!event.ok()) {
+      std::cerr << "expected " << options.expect_events << " matches, got "
+                << events_seen << ": " << event.status().ToString() << "\n";
+      return 2;
+    }
+    std::cout << *event << "\n";
+    if (StartsWith(*event, "EVENT MATCH ")) ++events_seen;
+  }
+  drain_events();
+
+  client.Quit();
+  return saw_err ? 3 : 0;
+}

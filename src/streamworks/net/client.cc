@@ -1,0 +1,136 @@
+#include "streamworks/net/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+namespace {
+
+bool IsEvent(std::string_view line) { return StartsWith(line, "EVENT "); }
+
+}  // namespace
+
+StatusOr<LineClient> LineClient::ConnectTcp(const std::string& host,
+                                            int port) {
+  SW_ASSIGN_OR_RETURN(UniqueFd fd, streamworks::ConnectTcp(host, port));
+  return LineClient(std::move(fd));
+}
+
+StatusOr<LineClient> LineClient::ConnectUnix(const std::string& path) {
+  SW_ASSIGN_OR_RETURN(UniqueFd fd, streamworks::ConnectUnix(path));
+  return LineClient(std::move(fd));
+}
+
+Status LineClient::SendLine(std::string_view line) {
+  if (!fd_.valid()) return Status::FailedPrecondition("client closed");
+  std::string framed = std::string(line) + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_.get(), framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> LineClient::ReadLine(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const size_t pos = rbuf_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = rbuf_.substr(0, pos);
+      rbuf_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (!fd_.valid()) return Status::IoError("client closed");
+    // remaining == 0 still polls (non-blockingly): a zero-timeout caller
+    // gets data the kernel already has, not an unconditional timeout.
+    const auto remaining = std::max<int64_t>(
+        0, std::chrono::duration_cast<std::chrono::milliseconds>(
+               deadline - std::chrono::steady_clock::now())
+               .count());
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc == 0) {
+      return Status::IoError("timed out waiting for a protocol line");
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IoError("server closed the connection");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::IoError(std::string("read: ") + std::strerror(errno));
+  }
+}
+
+StatusOr<std::vector<std::string>> LineClient::Command(
+    std::string_view line, std::chrono::milliseconds timeout) {
+  SW_RETURN_IF_ERROR(SendLine(line));
+  std::vector<std::string> payload;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto remaining = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::IoError("timed out waiting for command response");
+    }
+    SW_ASSIGN_OR_RETURN(std::string next, ReadLine(remaining));
+    if (next == ".") return payload;
+    if (IsEvent(next)) {
+      events_.push_back(std::move(next));
+      continue;
+    }
+    payload.push_back(std::move(next));
+  }
+}
+
+StatusOr<std::string> LineClient::NextEvent(
+    std::chrono::milliseconds timeout) {
+  if (!events_.empty()) {
+    std::string event = std::move(events_.front());
+    events_.pop_front();
+    return event;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto remaining = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::IoError("timed out waiting for an event");
+    }
+    SW_ASSIGN_OR_RETURN(std::string next, ReadLine(remaining));
+    if (IsEvent(next)) return next;
+    return Status::Internal("non-event line outside a command exchange: " +
+                            next);
+  }
+}
+
+void LineClient::Quit() {
+  if (!fd_.valid()) return;
+  // Best effort: the server may already be gone.
+  Command("BYE", std::chrono::milliseconds(500)).status().ok();
+  fd_.reset();
+}
+
+}  // namespace streamworks

@@ -1,0 +1,71 @@
+#ifndef STREAMWORKS_NET_CLIENT_H_
+#define STREAMWORKS_NET_CLIENT_H_
+
+#include <chrono>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamworks/common/statusor.h"
+#include "streamworks/net/socket.h"
+
+namespace streamworks {
+
+/// Blocking line client for the SocketServer wire protocol: sends one
+/// command per line, collects the response payload up to the "."
+/// terminator, and demultiplexes asynchronous "EVENT ..." push lines
+/// (streamed matches) into a separate buffer so they never corrupt a
+/// request/response exchange. Used by streamworks_client (the CLI), the
+/// net tests, and the socket-path benchmarks. Single-threaded by design.
+class LineClient {
+ public:
+  static StatusOr<LineClient> ConnectTcp(const std::string& host, int port);
+  static StatusOr<LineClient> ConnectUnix(const std::string& path);
+
+  LineClient(LineClient&&) = default;
+  LineClient& operator=(LineClient&&) = default;
+
+  /// Writes `line` + '\n'. IoError when the server hung up.
+  Status SendLine(std::string_view line);
+
+  /// Reads the next raw protocol line (payload, terminator, or EVENT),
+  /// waiting up to `timeout`. IoError on EOF or timeout. A zero timeout
+  /// is a non-blocking drain: it returns whatever is already buffered or
+  /// immediately readable, or times out without sleeping — how a
+  /// pipelining sender absorbs responses between bursts.
+  StatusOr<std::string> ReadLine(std::chrono::milliseconds timeout);
+
+  /// Sends one command and returns its payload lines (terminator
+  /// excluded). EVENT lines arriving in between are buffered for
+  /// NextEvent. An "ERR ..." payload is returned like any other payload —
+  /// the caller decides whether a scenario treats it as fatal.
+  StatusOr<std::vector<std::string>> Command(
+      std::string_view line,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Next pushed EVENT line (buffered or read fresh), waiting up to
+  /// `timeout`. Non-EVENT lines read while waiting are a protocol
+  /// violation outside a Command exchange and fail with Internal.
+  StatusOr<std::string> NextEvent(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  size_t buffered_events() const { return events_.size(); }
+
+  /// Half-close politely: BYE, wait for the farewell, close the socket.
+  void Quit();
+
+  void Close() { fd_.reset(); }
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  explicit LineClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  UniqueFd fd_;
+  std::string rbuf_;
+  std::deque<std::string> events_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_NET_CLIENT_H_

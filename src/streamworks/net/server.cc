@@ -1,0 +1,586 @@
+#include "streamworks/net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include "streamworks/common/logging.h"
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+namespace {
+
+constexpr std::string_view kTerminator = ".\n";
+
+/// One framed error response (used for protocol-level refusals that never
+/// reach the interpreter).
+std::string ErrFrame(std::string_view message) {
+  return "ERR " + std::string(message) + "\n" + std::string(kTerminator);
+}
+
+}  // namespace
+
+SocketServer::SocketServer(QueryService* service, Interner* interner,
+                           ServerOptions options)
+    : service_(service), interner_(interner), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (options_.tcp_port < 0 && options_.unix_path.empty()) {
+    return Status::InvalidArgument(
+        "no listener configured (need tcp_port >= 0 and/or unix_path)");
+  }
+  SW_ASSIGN_OR_RETURN(auto pipe_ends, MakeWakePipe());
+  wake_read_ = std::move(pipe_ends.first);
+  wake_write_ = std::move(pipe_ends.second);
+  if (options_.tcp_port >= 0) {
+    SW_ASSIGN_OR_RETURN(tcp_listener_,
+                        ListenTcp(options_.tcp_host, options_.tcp_port,
+                                  options_.backlog));
+    SW_ASSIGN_OR_RETURN(bound_tcp_port_, BoundTcpPort(tcp_listener_.get()));
+  }
+  if (!options_.unix_path.empty()) {
+    SW_ASSIGN_OR_RETURN(unix_listener_,
+                        ListenUnix(options_.unix_path, options_.backlog));
+  }
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  pump_thread_ = std::thread([this] { PumpLoop(); });
+  return OkStatus();
+}
+
+void SocketServer::Stop() {
+  if (!started_ || !running_.load(std::memory_order_acquire)) return;
+  // Phase 1: retire the poll loop. The pump keeps running — if the poll
+  // thread is parked in a backend Flush waiting on a worker blocked in a
+  // kBlock Push, the pump's draining (now unthrottled, see
+  // PumpConnection) unwedges streamed queues, and CloseAllQueues
+  // unblocks every producer regardless of streaming (shutdown discards
+  // undelivered matches by definition), so the join below always
+  // returns. SIGTERM must land no matter what tenants are doing.
+  stopping_.store(true, std::memory_order_release);
+  service_->CloseAllQueues();
+  WakePoll();
+  {
+    std::lock_guard<std::mutex> lock(pump_mu_);
+    pump_cv_.notify_all();
+  }
+  poll_thread_.join();
+  // Phase 2: now the pump can go.
+  pump_stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(pump_mu_);
+    pump_cv_.notify_all();
+  }
+  pump_thread_.join();
+  running_.store(false, std::memory_order_release);
+
+  // Both threads are gone: this thread is now the control thread. Flush
+  // and tear down every surviving connection (closing its sessions and
+  // compacting the service), then retire the listeners.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  for (const auto& conn : conns) CloseConnection(conn);
+  tcp_listener_.reset();
+  unix_listener_.reset();
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+ServerStats SocketServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_refused = connections_refused_.load();
+  s.connections_closed = connections_closed_.load();
+  s.lines_executed = lines_executed_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.events_pushed = events_pushed_.load();
+  s.bytes_in = bytes_in_.load();
+  s.bytes_out = bytes_out_.load();
+  s.subscriptions_reclaimed = subscriptions_reclaimed_.load();
+  return s;
+}
+
+size_t SocketServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+void SocketServer::WakePoll() {
+  const char byte = 'w';
+  [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
+}
+
+void SocketServer::PollLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Snapshot connections and build the poll set. Dead connections are
+    // collected for teardown instead of being polled.
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns = conns_;
+    }
+    std::vector<std::shared_ptr<Connection>> dead;
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Connection>> polled;
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    if (tcp_listener_.valid()) {
+      fds.push_back({tcp_listener_.get(), POLLIN, 0});
+    }
+    if (unix_listener_.valid()) {
+      fds.push_back({unix_listener_.get(), POLLIN, 0});
+    }
+    const size_t first_conn = fds.size();
+    for (const auto& conn : conns) {
+      std::lock_guard<std::mutex> lock(conn->io_mu);
+      if (!conn->open || !conn->fd.valid()) {
+        dead.push_back(conn);
+        continue;
+      }
+      // Response-path backpressure: a connection sitting on more unsent
+      // response bytes than the high-water mark stops being read from
+      // (and so stops being executed for) until its reader drains it —
+      // TCP flow control then pushes back on the sender.
+      short events = 0;
+      if (conn->wbuf.size() < options_.write_high_water) events |= POLLIN;
+      if (!conn->wbuf.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd.get(), events, 0});
+      polled.push_back(conn);
+    }
+    for (const auto& conn : dead) CloseConnection(conn);
+
+    if (::poll(fds.data(), fds.size(), /*timeout=*/-1) < 0) {
+      if (errno == EINTR) continue;
+      SW_LOG(Error) << "poll: " << std::strerror(errno);
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {  // drain the wake pipe
+      char buf[64];
+      while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    size_t idx = 1;
+    if (tcp_listener_.valid()) {
+      if (fds[idx].revents & POLLIN) AcceptFrom(tcp_listener_.get());
+      ++idx;
+    }
+    if (unix_listener_.valid()) {
+      if (fds[idx].revents & POLLIN) AcceptFrom(unix_listener_.get());
+      ++idx;
+    }
+    SW_CHECK_EQ(idx, first_conn);
+
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const auto& conn = polled[i];
+      const short revents = fds[first_conn + i].revents;
+      {
+        std::lock_guard<std::mutex> lock(conn->io_mu);
+        if (conn->open && (revents & POLLOUT)) FlushWritesLocked(*conn);
+        // POLLHUP alone is not fatal while reads still return data (the
+        // peer may have half-closed after a final command); EOF on read
+        // marks the connection dead when the input truly ends.
+        if (revents & (POLLERR | POLLNVAL)) conn->open = false;
+      }
+      if (revents & POLLIN) {
+        HandleReadable(conn);  // reads, then advances (and may close)
+      } else {
+        // A POLLOUT drain may have made room for lines parked behind a
+        // full write buffer; the EOF/BYE finish rules also live here.
+        AdvanceConnection(conn);
+      }
+    }
+  }
+}
+
+void SocketServer::AcceptFrom(int listen_fd) {
+  while (true) {
+    const int raw = ::accept(listen_fd, nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      SW_LOG(Warning) << "accept: " << std::strerror(errno);
+      return;
+    }
+    UniqueFd fd(raw);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.size() >= options_.max_connections) {
+        const std::string refusal = ErrFrame("server full");
+        // MSG_NOSIGNAL: the refused peer may already be gone, and a raw
+        // write would raise process-killing SIGPIPE.
+        [[maybe_unused]] ssize_t n = ::send(fd.get(), refusal.data(),
+                                            refusal.size(), MSG_NOSIGNAL);
+        connections_refused_.fetch_add(1);
+        continue;  // fd closes on scope exit
+      }
+    }
+    if (!SetNonBlocking(fd.get()).ok()) continue;
+    if (options_.so_sndbuf > 0) {
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                   sizeof(options_.so_sndbuf));
+    }
+
+    auto conn = std::make_shared<Connection>(std::move(fd));
+    conn->out = std::make_unique<std::ostringstream>();
+    conn->interpreter = std::make_unique<CommandInterpreter>(
+        service_, interner_, conn->out.get());
+    std::weak_ptr<Connection> weak = conn;
+    conn->interpreter->set_stream_hook(
+        [this, weak](bool enable, std::string_view session,
+                     std::string_view sub, int session_id,
+                     int subscription_id) {
+          auto locked = weak.lock();
+          if (locked == nullptr) {
+            return Status::FailedPrecondition("connection is gone");
+          }
+          return HandleStream(locked, enable, session, sub, session_id,
+                              subscription_id);
+        });
+    // kBlock over a socket is only sound with the connection as its live
+    // consumer: un-streamed, the queue's sole drainer would be the very
+    // poll thread its producer blocks (three protocol lines could wedge
+    // every tenant). Auto-upgrade such subscriptions to push streaming.
+    conn->interpreter->set_submit_hook(
+        [this, weak](std::string_view session, std::string_view sub,
+                     int session_id, int subscription_id,
+                     const SubmitOptions&) {
+          auto locked = weak.lock();
+          if (locked == nullptr) return;
+          std::shared_ptr<ResultQueue> handle =
+              service_->queue_handle(session_id, subscription_id);
+          if (handle == nullptr ||
+              handle->policy() != OverflowPolicy::kBlock) {
+            return;
+          }
+          HandleStream(locked, /*enable=*/true, session, sub, session_id,
+                       subscription_id)
+              .ok();
+        });
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    connections_accepted_.fetch_add(1);
+  }
+}
+
+void SocketServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  // Reads and line assembly are poll-thread-only; io_mu is taken just for
+  // buffer appends inside ExecuteLine and for the EOF/open flips.
+  char buf[4096];
+  while (true) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(conn->io_mu);
+      if (!conn->open) return;
+      fd = conn->fd.get();
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->rbuf.append(buf, static_cast<size_t>(n));
+      bytes_in_.fetch_add(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // n == 0 (orderly EOF) or a hard error: the peer is done sending.
+    std::lock_guard<std::mutex> lock(conn->io_mu);
+    conn->read_eof = true;
+    break;
+  }
+  AdvanceConnection(conn);
+}
+
+void SocketServer::AdvanceConnection(
+    const std::shared_ptr<Connection>& conn) {
+  // Consume complete lines via an offset and compact once per pass — a
+  // pipelined burst of thousands of lines must not pay a front-erase
+  // memmove per line. The response path's backpressure valve sits here:
+  // once unsent responses pass the high-water mark, stop executing (and,
+  // via PollLoop's event mask, stop reading) until the client drains.
+  size_t consumed = 0;
+  size_t pos;
+  while ((pos = conn->rbuf.find('\n', consumed)) != std::string::npos) {
+    {
+      std::lock_guard<std::mutex> lock(conn->io_mu);
+      if (!conn->open || conn->closing) break;
+      if (conn->wbuf.size() >= options_.write_high_water) break;
+    }
+    std::string line = conn->rbuf.substr(consumed, pos - consumed);
+    consumed = pos + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ExecuteLine(conn, line);
+  }
+  conn->rbuf.erase(0, consumed);
+  if (conn->rbuf.size() > options_.max_line_bytes &&
+      conn->rbuf.find('\n') == std::string::npos) {
+    protocol_errors_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conn->io_mu);
+    conn->wbuf += ErrFrame("line exceeds " +
+                           std::to_string(options_.max_line_bytes) +
+                           " bytes");
+    FlushWritesLocked(*conn);
+    conn->open = false;
+  }
+  bool failed;
+  {
+    std::lock_guard<std::mutex> lock(conn->io_mu);
+    if (conn->open) FlushWritesLocked(*conn);
+    // A BYE whose response already drained has nothing left to wait for.
+    if (conn->closing && conn->wbuf.empty()) conn->open = false;
+    if (conn->read_eof && conn->open && !conn->closing &&
+        conn->rbuf.find('\n') == std::string::npos) {
+      // Half-close support (printf | nc): the peer finished sending and
+      // every complete line has been executed; responses the socket
+      // wouldn't take yet are flushed by POLLOUT before the orderly
+      // close. Only an empty write buffer closes immediately.
+      if (conn->wbuf.empty()) {
+        conn->open = false;
+      } else {
+        conn->closing = true;
+      }
+    }
+    failed = !conn->open;
+  }
+  if (failed) CloseConnection(conn);
+}
+
+void SocketServer::ExecuteLine(const std::shared_ptr<Connection>& conn,
+                               std::string_view line) {
+  const std::string_view stripped = StripWhitespace(line);
+  if (stripped == "BYE") {
+    lines_executed_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conn->io_mu);
+    conn->wbuf += "OK bye\n";
+    conn->wbuf += kTerminator;
+    conn->closing = true;
+    FlushWritesLocked(*conn);
+    return;
+  }
+
+  // The interpreter (and through it every QueryService control-plane call)
+  // runs without io_mu held: FLUSH / kBlock deliveries may park this
+  // thread, and the pump must still be able to drain this connection.
+  conn->out->str("");
+  const Status status = conn->interpreter->ExecuteLine(line);
+  lines_executed_.fetch_add(1);
+  std::string payload = conn->out->str();
+
+  std::lock_guard<std::mutex> lock(conn->io_mu);
+  if (!conn->open) return;
+  conn->wbuf += payload;
+  if (!status.ok()) {
+    // Unlike a scripted fixture, a network session survives its typos:
+    // report and keep the connection (and its subscriptions) alive.
+    protocol_errors_.fetch_add(1);
+    conn->wbuf += "ERR " + status.ToString() + "\n";
+  }
+  conn->wbuf += kTerminator;
+  FlushWritesLocked(*conn);
+}
+
+Status SocketServer::HandleStream(const std::shared_ptr<Connection>& conn,
+                                  bool enable, std::string_view session,
+                                  std::string_view sub, int session_id,
+                                  int subscription_id) {
+  const std::string label =
+      std::string(session) + "." + std::string(sub);
+  if (!enable) {
+    std::lock_guard<std::mutex> lock(conn->io_mu);
+    for (size_t i = 0; i < conn->streams.size(); ++i) {
+      if (conn->streams[i].label != label) continue;
+      if (std::shared_ptr<ResultQueue> queue =
+              conn->streams[i].queue.lock();
+          queue != nullptr &&
+          queue->policy() == OverflowPolicy::kBlock && !queue->closed()) {
+        return Status::FailedPrecondition(
+            "a block-policy subscription must stay streamed on the "
+            "socket frontend (its producer would wedge the shared "
+            "control thread with no consumer); DETACH it instead");
+      }
+      conn->streams.erase(conn->streams.begin() + i);
+      active_streams_.fetch_sub(1);
+      return OkStatus();
+    }
+    return Status::NotFound("not streaming: " + label);
+  }
+  std::shared_ptr<ResultQueue> handle =
+      service_->queue_handle(session_id, subscription_id);
+  if (handle == nullptr) {
+    return Status::NotFound("subscription has no queue: " + label);
+  }
+  std::lock_guard<std::mutex> lock(conn->io_mu);
+  for (Connection::Stream& s : conn->streams) {
+    if (s.label == label) {
+      // Same name, possibly a new subscription (DETACH + re-SUBMIT frees
+      // the name): point the stream at the current queue rather than
+      // leaving a stale handle the pump is about to END.
+      s.queue = handle;
+      return OkStatus();
+    }
+  }
+  conn->streams.push_back(Connection::Stream{label, handle});
+  active_streams_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> pump_lock(pump_mu_);
+    pump_cv_.notify_all();
+  }
+  return OkStatus();
+}
+
+bool SocketServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->io_mu);
+  if (!conn->open) return false;
+  for (size_t i = 0; i < conn->streams.size();) {
+    Connection::Stream& stream = conn->streams[i];
+    bool ended = false;
+    // Write-buffer high-water is the backpressure valve: above it we stop
+    // draining, the ResultQueue fills, and its own overflow policy (block
+    // the producer / drop oldest / drop newest) takes over upstream.
+    // During shutdown the valve opens fully — a kBlock producer must be
+    // freed even if its slow reader never collects the bytes.
+    const size_t high_water = stopping_.load(std::memory_order_acquire)
+                                  ? std::numeric_limits<size_t>::max()
+                                  : options_.write_high_water;
+    while (conn->wbuf.size() < high_water) {
+      std::shared_ptr<ResultQueue> queue = stream.queue.lock();
+      if (queue == nullptr) {  // reclaimed under us
+        ended = true;
+        break;
+      }
+      CompleteMatch cm;
+      if (queue->TryPop(&cm)) {
+        conn->wbuf += "EVENT MATCH " + stream.label +
+                      " completed_at=" + std::to_string(cm.completed_at) +
+                      " " + cm.match.ToString() + "\n";
+        events_pushed_.fetch_add(1);
+        continue;
+      }
+      if (queue->closed() && queue->size() == 0) ended = true;
+      break;
+    }
+    if (ended) {
+      conn->wbuf += "EVENT END " + stream.label + "\n";
+      conn->streams.erase(conn->streams.begin() + i);
+      active_streams_.fetch_sub(1);
+    } else {
+      ++i;
+    }
+  }
+  if (!FlushWritesLocked(*conn)) return false;
+  return conn->open;
+}
+
+bool SocketServer::FlushWritesLocked(Connection& conn) {
+  // Send from an offset and erase the consumed prefix once: one memmove
+  // per flush, not one per partial send.
+  size_t sent = 0;
+  bool fatal = false;
+  while (sent < conn.wbuf.size()) {
+    const ssize_t n = ::send(conn.fd.get(), conn.wbuf.data() + sent,
+                             conn.wbuf.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_.fetch_add(static_cast<uint64_t>(n));
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    fatal = true;  // EPIPE / ECONNRESET / anything else
+    break;
+  }
+  conn.wbuf.erase(0, sent);
+  if (fatal) {
+    conn.open = false;
+    return false;
+  }
+  if (conn.wbuf.empty() && conn.closing) {  // BYE fully flushed
+    conn.open = false;
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->io_mu);
+    if (!conn->fd.valid()) return;  // already torn down
+    FlushWritesLocked(*conn);       // best effort (BYE responses etc.)
+    conn->open = false;
+    active_streams_.fetch_sub(static_cast<int>(conn->streams.size()));
+    conn->streams.clear();
+    conn->fd.reset();
+  }
+  // Control-plane reclamation: a vanished tenant's sessions close, their
+  // subscriptions detach (unblocking any kBlock producer), and the
+  // service's tables compact. Closed-session scope only: one tenant's
+  // disconnect must never change what another tenant's open session
+  // observes (a drained POLL stays "n=0").
+  for (const auto& [name, session_id] : conn->interpreter->sessions()) {
+    service_->CloseSession(session_id).ok();
+  }
+  subscriptions_reclaimed_.fetch_add(
+      service_->ReclaimDetached(/*drained_in_open_sessions=*/false));
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i] == conn) {
+        conns_.erase(conns_.begin() + i);
+        break;
+      }
+    }
+  }
+  connections_closed_.fetch_add(1);
+}
+
+void SocketServer::PumpLoop() {
+  std::unique_lock<std::mutex> lock(pump_mu_);
+  while (!pump_stop_.load(std::memory_order_acquire)) {
+    if (active_streams_.load(std::memory_order_acquire) == 0 &&
+        !stopping_.load(std::memory_order_acquire)) {
+      // Nothing to drain: park until STREAM registration or Stop (the
+      // poll loop owns plain response writes on its own).
+      pump_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               pump_stop_.load(std::memory_order_acquire) ||
+               active_streams_.load(std::memory_order_acquire) > 0;
+      });
+    } else {
+      pump_cv_.wait_for(lock,
+                        std::chrono::milliseconds(options_.pump_interval_ms));
+    }
+    if (pump_stop_.load(std::memory_order_acquire)) break;
+    lock.unlock();
+
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+      std::lock_guard<std::mutex> conns_lock(conns_mu_);
+      conns = conns_;
+    }
+    bool wake = false;
+    for (const auto& conn : conns) {
+      if (!PumpConnection(conn)) {
+        wake = true;  // dead connection: the poll loop owns teardown
+        continue;
+      }
+      std::lock_guard<std::mutex> io_lock(conn->io_mu);
+      // Bytes the socket would not take need the poll loop's POLLOUT.
+      if (!conn->wbuf.empty()) wake = true;
+    }
+    if (wake) WakePoll();
+
+    lock.lock();
+  }
+}
+
+}  // namespace streamworks

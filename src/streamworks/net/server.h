@@ -1,0 +1,243 @@
+#ifndef STREAMWORKS_NET_SERVER_H_
+#define STREAMWORKS_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "streamworks/net/socket.h"
+#include "streamworks/service/interpreter.h"
+#include "streamworks/service/query_service.h"
+
+namespace streamworks {
+
+/// Knobs of a SocketServer. At least one of tcp_port / unix_path must be
+/// enabled.
+struct ServerOptions {
+  /// TCP listener port; -1 disables, 0 binds an ephemeral port (read the
+  /// real one back from SocketServer::tcp_port after Start).
+  int tcp_port = -1;
+  std::string tcp_host = "127.0.0.1";
+  /// Unix-domain listener path; empty disables. The server unlinks the
+  /// path on shutdown.
+  std::string unix_path;
+  int backlog = 16;
+  /// Accepts beyond this are refused with "ERR server full".
+  size_t max_connections = 64;
+  /// Per-connection write-buffer high-water mark: above it the stream pump
+  /// stops draining that connection's subscriptions, so backpressure falls
+  /// through to each ResultQueue's own overflow policy (block / drop).
+  size_t write_high_water = 256 * 1024;
+  /// A read buffer growing past this without a newline is a protocol
+  /// violation; the connection is told ERR and closed.
+  size_t max_line_bytes = 64 * 1024;
+  /// Stream-pump drain cadence while any subscription is streaming.
+  int pump_interval_ms = 2;
+  /// When > 0, SO_SNDBUF for accepted connections. Tests shrink it so a
+  /// slow reader hits the write high-water (and thus the queue's overflow
+  /// policy) after kilobytes instead of the kernel-default hundreds of KB.
+  int so_sndbuf = 0;
+};
+
+/// Monotonic counters of one server's lifetime (all reads are safe from
+/// any thread).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;
+  uint64_t connections_closed = 0;
+  uint64_t lines_executed = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t events_pushed = 0;  ///< EVENT lines queued to sockets.
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t subscriptions_reclaimed = 0;  ///< Subscriptions reclaimed on close.
+};
+
+/// Network frontend for one QueryService: accepts TCP and unix-domain
+/// connections and runs one CommandInterpreter session per connection, so
+/// every tenant speaks the same line protocol scripts and fixtures use —
+/// the server stays ignorant of whether the backend is a single engine, a
+/// broadcast group, or a vertex-partitioned group (the QueryBackend seam).
+///
+/// Wire protocol, over the interpreter grammar (see interpreter.h):
+///   * client sends one command per '\n'-terminated line;
+///   * the server replies with the command's output lines followed by a
+///     lone "." terminator line;
+///   * a malformed command replies "ERR <status>" + "." and the connection
+///     stays usable (a network tenant's typo must not tear the session
+///     down the way a scripted fixture's should);
+///   * STREAM <session> <sub> upgrades POLL to push: matches are written
+///     as "EVENT MATCH <session>.<sub> ..." lines as they arrive, which
+///     may interleave between responses (clients demux on the EVENT
+///     prefix); "EVENT END <session>.<sub>" marks a streamed subscription
+///     whose queue closed (detach / reclaim) after its last match;
+///   * BYE replies "OK bye" + "." and half-closes: the server flushes and
+///     disconnects.
+///
+/// Threading: a poll loop owns accept/read/execute/write — every
+/// interpreter (and thus QueryService control-plane) call happens on that
+/// one thread, satisfying the service's one-control-thread contract. A
+/// second stream-pump thread drains streamed ResultQueues into per-
+/// connection write buffers and opportunistically writes them out; because
+/// it never touches the control plane it keeps draining even while the
+/// poll thread is parked inside a backend Flush or a kBlock Push, which is
+/// what turns the block policy into end-to-end throttling instead of a
+/// deadlock. For that to hold, every kBlock queue needs the pump as its
+/// consumer: the server auto-upgrades block-policy submissions to
+/// streaming and refuses to UNSTREAM them (a POLL-only kBlock queue's
+/// sole drainer would be the very thread its producer blocks). A slow
+/// kBlock tenant can still stall FLUSH/STATS for everyone until it reads
+/// — block means block — but reading always unwedges, and Stop() always
+/// completes (it force-closes every queue up front). Both threads
+/// serialize per-connection IO state on Connection::io_mu.
+///
+/// Disconnect (client close, error, or Stop) closes every session the
+/// connection opened through QueryService::CloseSession and then compacts
+/// the service's subscription table via ReclaimDetached — a vanished
+/// tenant's DeliveryState does not outlive its socket.
+class SocketServer {
+ public:
+  /// `service` and `interner` must outlive the server. The interner is
+  /// shared with the backend (FEED interns labels).
+  SocketServer(QueryService* service, Interner* interner,
+               ServerOptions options);
+
+  /// Stops if still running.
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds the listeners and spawns the poll + pump threads. One-shot.
+  Status Start();
+
+  /// Graceful shutdown: flushes what it can, closes every connection
+  /// (running the disconnect reclamation for each), closes listeners,
+  /// unlinks the unix socket path, joins both threads. Idempotent.
+  void Stop();
+
+  /// The TCP port actually bound (resolves tcp_port=0), -1 when disabled.
+  int tcp_port() const { return bound_tcp_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  ServerStats stats() const;
+
+  /// Live connection count (for tests and ops).
+  size_t active_connections() const;
+
+ private:
+  /// One client connection. IO state (fd validity via `open`, read/write
+  /// buffers, streams) is guarded by io_mu and shared between the poll
+  /// loop and the stream pump; the interpreter is poll-loop-only.
+  struct Connection {
+    explicit Connection(UniqueFd fd_in) : fd(std::move(fd_in)) {}
+
+    UniqueFd fd;
+    std::mutex io_mu;
+    bool open = true;      ///< False once the fd is being torn down.
+    bool closing = false;  ///< BYE/half-close: disconnect once wbuf drains.
+    bool read_eof = false; ///< Peer finished sending (half-close or gone).
+    std::string rbuf;
+    std::string wbuf;
+    /// Subscriptions upgraded to push streaming. The weak_ptr expires when
+    /// the service reclaims the subscription (the pump then emits END).
+    struct Stream {
+      std::string label;  ///< "<session>.<sub>" as the client named it.
+      std::weak_ptr<ResultQueue> queue;
+    };
+    std::vector<Stream> streams;
+
+    /// Poll-loop-only (interpreter calls are control-plane calls).
+    std::unique_ptr<std::ostringstream> out;
+    std::unique_ptr<CommandInterpreter> interpreter;
+  };
+
+  void PollLoop();
+  void PumpLoop();
+
+  void AcceptFrom(int listen_fd);
+  /// Reads what's available into rbuf (noting EOF), then advances.
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  /// Executes buffered lines while the write buffer is below high-water
+  /// (the response path's backpressure: a reader that won't take its
+  /// responses stops being read from), flushes, applies the BYE/EOF
+  /// close-once-drained rules, and tears the connection down if it died.
+  /// Poll-thread-only; re-entered after POLLOUT drains to resume lines
+  /// parked behind a full write buffer.
+  void AdvanceConnection(const std::shared_ptr<Connection>& conn);
+  /// Executes one protocol line on the poll thread and appends the framed
+  /// response to wbuf.
+  void ExecuteLine(const std::shared_ptr<Connection>& conn,
+                   std::string_view line);
+  /// STREAM/UNSTREAM hook target (runs on the poll thread, from inside
+  /// the connection's interpreter).
+  Status HandleStream(const std::shared_ptr<Connection>& conn, bool enable,
+                      std::string_view session, std::string_view sub,
+                      int session_id, int subscription_id);
+
+  /// Drains streamed queues into wbuf (respecting write_high_water) and
+  /// writes wbuf to the socket. Callable from either thread; io_mu must
+  /// NOT be held. Returns false when the connection died mid-write.
+  bool PumpConnection(const std::shared_ptr<Connection>& conn);
+
+  /// Nonblocking write of wbuf; io_mu must be held. False on fatal error.
+  bool FlushWritesLocked(Connection& conn);
+
+  /// Tears the connection down: closes the fd, closes every session its
+  /// interpreter opened, reclaims detached subscriptions.
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+
+  void WakePoll();
+
+  QueryService* service_;
+  Interner* interner_;
+  ServerOptions options_;
+
+  UniqueFd tcp_listener_;
+  UniqueFd unix_listener_;
+  int bound_tcp_port_ = -1;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+
+  std::thread poll_thread_;
+  std::thread pump_thread_;
+  std::atomic<bool> running_{false};
+  /// Two-phase shutdown: stopping_ retires the poll loop while the pump
+  /// keeps draining (a poll thread parked in a backend Flush behind a
+  /// kBlock queue needs the pump to free it); pump_stop_ retires the pump
+  /// only after the poll thread joined.
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> pump_stop_{false};
+  bool started_ = false;
+
+  /// Guards conns_ (the list itself; per-connection state is io_mu's).
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  /// Pump parking: woken by Stop and by STREAM registration. While no
+  /// subscription is streaming (active_streams_ == 0) the pump sleeps
+  /// indefinitely instead of ticking, so an idle daemon costs nothing.
+  std::mutex pump_mu_;
+  std::condition_variable pump_cv_;
+  std::atomic<int> active_streams_{0};
+
+  // Stats (atomics: bumped from both threads, read from any).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> lines_executed_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> events_pushed_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> subscriptions_reclaimed_{0};
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_NET_SERVER_H_

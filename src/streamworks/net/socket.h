@@ -1,0 +1,71 @@
+#ifndef STREAMWORKS_NET_SOCKET_H_
+#define STREAMWORKS_NET_SOCKET_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "streamworks/common/statusor.h"
+
+namespace streamworks {
+
+/// Owning file descriptor: closes on destruction, move-only. The thin RAII
+/// base every net-layer handle (listener, connection, wake pipe) builds on.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Marks `fd` O_NONBLOCK (the poll loop must never be parked in read/write;
+/// blocking is the ResultQueue's job, not the socket's).
+Status SetNonBlocking(int fd);
+
+/// Listening TCP socket bound to `host:port` (SO_REUSEADDR, IPv4 dotted
+/// quad or "0.0.0.0"). `port` 0 picks an ephemeral port — read it back
+/// with BoundTcpPort.
+StatusOr<UniqueFd> ListenTcp(const std::string& host, int port, int backlog);
+
+/// The port a listening TCP socket actually bound (resolves port 0).
+StatusOr<int> BoundTcpPort(int fd);
+
+/// Listening unix-domain socket at `path`. A stale socket file from a
+/// previous run is unlinked first; the caller owns unlinking on shutdown.
+StatusOr<UniqueFd> ListenUnix(const std::string& path, int backlog);
+
+/// Blocking client connects (the LineClient side).
+StatusOr<UniqueFd> ConnectTcp(const std::string& host, int port);
+StatusOr<UniqueFd> ConnectUnix(const std::string& path);
+
+/// Self-pipe (read end, write end), both ends nonblocking — how Stop()
+/// and the stream pump wake a poll loop parked in poll(2).
+StatusOr<std::pair<UniqueFd, UniqueFd>> MakeWakePipe();
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_NET_SOCKET_H_

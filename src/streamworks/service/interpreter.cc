@@ -113,6 +113,8 @@ Status CommandInterpreter::ExecuteLine(std::string_view line) {
     status = Emit("OK flush");
   } else if (verb == "POLL") {
     status = HandlePoll(tokens);
+  } else if (verb == "STREAM" || verb == "UNSTREAM") {
+    status = HandleStream(verb == "STREAM", tokens);
   } else if (verb == "STATS") {
     service_->Flush();
     if (out_ != nullptr) *out_ << service_->Snapshot().ToString();
@@ -209,6 +211,10 @@ Status CommandInterpreter::HandleSubmit(
     return submitted.status();
   }
   subscription_ids_[{session_name, sub_name}] = submitted.value();
+  if (submit_hook_) {
+    submit_hook_(session_name, sub_name, session_it->second,
+                 submitted.value(), options);
+  }
   return Emit("OK submit " + session_name + "." + sub_name +
               " id=" + std::to_string(submitted.value()));
 }
@@ -277,6 +283,26 @@ Status CommandInterpreter::HandlePoll(
   }
   return Emit("POLLED " + tokens[1] + "." + tokens[2] +
               " n=" + std::to_string(matches.size()));
+}
+
+Status CommandInterpreter::HandleStream(
+    bool enable, const std::vector<std::string>& tokens) {
+  if (tokens.size() != 3) {
+    return Status::InvalidArgument(
+        std::string("usage: ") + (enable ? "STREAM" : "UNSTREAM") +
+        " <session> <sub>");
+  }
+  if (!stream_hook_) {
+    return Status::Unimplemented(
+        "this frontend has no push transport (STREAM needs the socket "
+        "server)");
+  }
+  SW_ASSIGN_OR_RETURN(const auto ids,
+                      ResolveSubscription(tokens[1], tokens[2]));
+  SW_RETURN_IF_ERROR(
+      stream_hook_(enable, tokens[1], tokens[2], ids.first, ids.second));
+  return Emit(std::string("OK ") + (enable ? "stream " : "unstream ") +
+              tokens[1] + "." + tokens[2]);
 }
 
 }  // namespace streamworks

@@ -1,6 +1,7 @@
 #ifndef STREAMWORKS_SERVICE_INTERPRETER_H_
 #define STREAMWORKS_SERVICE_INTERPRETER_H_
 
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -36,7 +37,13 @@ namespace streamworks {
 ///   FLUSH                       wait until the backend drained everything
 ///   POLL <session> <sub>        drain the subscription's queue, printing
 ///                               one MATCH line per result
+///   STREAM <session> <sub>      upgrade the subscription to push delivery
+///   UNSTREAM <session> <sub>    back to POLL-only delivery
 ///   STATS                       print the service-wide snapshot
+///
+/// STREAM/UNSTREAM are transport commands: they only work when the hosting
+/// frontend installed a stream hook (the socket server does; in-process
+/// scripts get Unimplemented — there is no push channel to stream onto).
 ///
 /// Malformed commands stop the script with InvalidArgument carrying the
 /// line number.
@@ -52,6 +59,30 @@ class CommandInterpreter {
 
   /// Runs one line (or accumulates it into an open DEFINE block).
   Status ExecuteLine(std::string_view line);
+
+  /// Honours STREAM (enable=true) / UNSTREAM for an already-resolved
+  /// subscription. Installed by a push-capable transport (the socket
+  /// server binds it to the owning connection).
+  using StreamHook =
+      std::function<Status(bool enable, std::string_view session,
+                           std::string_view sub, int session_id,
+                           int subscription_id)>;
+  void set_stream_hook(StreamHook hook) { stream_hook_ = std::move(hook); }
+
+  /// Notified after every successful SUBMIT with the options it resolved
+  /// to. A push-capable transport uses it to auto-upgrade kBlock
+  /// subscriptions to streaming — over a socket the connection is the
+  /// only consumer that can honour block's "producer waits for the
+  /// consumer" promise without wedging the shared control thread.
+  using SubmitHook = std::function<void(
+      std::string_view session, std::string_view sub, int session_id,
+      int subscription_id, const SubmitOptions& options)>;
+  void set_submit_hook(SubmitHook hook) { submit_hook_ = std::move(hook); }
+
+  /// Session name -> service session id, every session this interpreter
+  /// opened. A network frontend uses it to close a disconnected tenant's
+  /// sessions.
+  const std::map<std::string, int>& sessions() const { return session_ids_; }
 
   uint64_t commands_executed() const { return commands_executed_; }
 
@@ -70,10 +101,13 @@ class CommandInterpreter {
                          const std::vector<std::string>& tokens);
   Status HandleFeed(const std::vector<std::string>& tokens);
   Status HandlePoll(const std::vector<std::string>& tokens);
+  Status HandleStream(bool enable, const std::vector<std::string>& tokens);
 
   QueryService* service_;
   Interner* interner_;
   std::ostream* out_;
+  StreamHook stream_hook_;
+  SubmitHook submit_hook_;
 
   std::map<std::string, ParsedQuery> definitions_;
   std::map<std::string, int> session_ids_;

@@ -43,7 +43,8 @@ std::string ServiceStatsSnapshot::ToString() const {
      << ",budget=" << rejected_partial_budget << ",other=" << rejected_other
      << ")"
      << " pauses=" << pauses << " resumes=" << resumes
-     << " detaches=" << detaches << " edges_fed=" << edges_fed << "\n";
+     << " detaches=" << detaches << " reclaimed=" << reclaimed
+     << " edges_fed=" << edges_fed << "\n";
   os << "matches: enqueued=" << matches_enqueued
      << " delivered=" << matches_delivered << " dropped=" << matches_dropped
      << " suppressed=" << matches_suppressed

@@ -94,6 +94,7 @@ struct ServiceStatsSnapshot {
   uint64_t pauses = 0;
   uint64_t resumes = 0;
   uint64_t detaches = 0;
+  uint64_t reclaimed = 0;  ///< Detached subscriptions compacted away.
   uint64_t edges_fed = 0;
 
   uint64_t matches_enqueued = 0;

@@ -26,12 +26,12 @@ QueryService::~QueryService() {
   std::lock_guard<std::mutex> lock(mu_);
   // Close every queue first so no backend worker is left blocked in a
   // kBlock Push (which would wedge the unregisters below).
-  for (Subscription& sub : subscriptions_) {
+  for (auto& [id, sub] : subscriptions_) {
     if (sub.state != SubscriptionState::kDetached) {
       sub.delivery->queue.Close();
     }
   }
-  for (Subscription& sub : subscriptions_) {
+  for (auto& [id, sub] : subscriptions_) {
     if (sub.state == SubscriptionState::kDetached) continue;
     backend_->Unregister(sub.backend_query_id).ok();
     sub.state = SubscriptionState::kDetached;
@@ -40,34 +40,31 @@ QueryService::~QueryService() {
 
 StatusOr<int> QueryService::OpenSession(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const Session& s : sessions_) {
+  for (const auto& [id, s] : sessions_) {
     if (s.open && s.name == name) {
       return Status::AlreadyExists("session name already open: " + name);
     }
   }
   Session session;
-  session.id = static_cast<int>(sessions_.size());
+  session.id = next_session_id_++;
   session.name = std::move(name);
-  sessions_.push_back(std::move(session));
-  return sessions_.back().id;
+  const int id = session.id;
+  sessions_.emplace(id, std::move(session));
+  ++sessions_opened_;
+  return id;
 }
 
 QueryService::Session* QueryService::FindOpenSession(int session_id) {
-  if (session_id < 0 || session_id >= static_cast<int>(sessions_.size())) {
-    return nullptr;
-  }
-  Session& s = sessions_[session_id];
-  return s.open ? &s : nullptr;
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return nullptr;
+  return it->second.open ? &it->second : nullptr;
 }
 
 QueryService::Subscription* QueryService::FindSubscription(
     int session_id, int subscription_id) {
-  if (subscription_id < 0 ||
-      subscription_id >= static_cast<int>(subscriptions_.size())) {
-    return nullptr;
-  }
-  Subscription& sub = subscriptions_[subscription_id];
-  return sub.session_id == session_id ? &sub : nullptr;
+  auto it = subscriptions_.find(subscription_id);
+  if (it == subscriptions_.end()) return nullptr;
+  return it->second.session_id == session_id ? &it->second : nullptr;
 }
 
 const QueryService::Subscription* QueryService::FindSubscription(
@@ -78,7 +75,7 @@ const QueryService::Subscription* QueryService::FindSubscription(
 
 size_t QueryService::TotalLivePartialMatches() {
   size_t total = 0;
-  for (const Subscription& sub : subscriptions_) {
+  for (const auto& [id, sub] : subscriptions_) {
     if (sub.state == SubscriptionState::kDetached) continue;
     auto info = backend_->Info(sub.backend_query_id);
     if (info.ok()) total += info->live_partial_matches;
@@ -98,7 +95,7 @@ StatusOr<int> QueryService::Submit(int session_id, const QueryGraph& query,
 
   int live = 0;
   for (int sid : session->subscription_ids) {
-    if (subscriptions_[sid].state != SubscriptionState::kDetached) ++live;
+    if (subscriptions_.at(sid).state != SubscriptionState::kDetached) ++live;
   }
   if (live >= limits_.max_queries_per_session) {
     ++rejected_session_quota_;
@@ -121,6 +118,15 @@ StatusOr<int> QueryService::Submit(int session_id, const QueryGraph& query,
   const OverflowPolicy policy =
       options.policy.value_or(limits_.default_policy);
   auto delivery = std::make_shared<DeliveryState>(capacity, policy);
+  {
+    std::lock_guard<std::mutex> registry_lock(queue_registry_mu_);
+    std::erase_if(queue_registry_,
+                  [](const std::weak_ptr<ResultQueue>& weak) {
+                    return weak.expired();
+                  });
+    queue_registry_.push_back(
+        std::shared_ptr<ResultQueue>(delivery, &delivery->queue));
+  }
 
   // The callback owns a reference to the delivery state, so it stays valid
   // even if it races a detach on another shard's last in-flight edge.
@@ -142,17 +148,18 @@ StatusOr<int> QueryService::Submit(int session_id, const QueryGraph& query,
   }
 
   Subscription sub;
-  sub.id = static_cast<int>(subscriptions_.size());
+  sub.id = next_subscription_id_++;
   sub.session_id = session_id;
   sub.backend_query_id = registered.value();
   sub.query_name = query.name();
   sub.window = options.window;
   sub.delivery = std::move(delivery);
   session->subscription_ids.push_back(sub.id);
-  subscriptions_.push_back(std::move(sub));
+  const int id = sub.id;
+  subscriptions_.emplace(id, std::move(sub));
   ++admitted_;
   ++session->admitted;
-  return subscriptions_.back().id;
+  return id;
 }
 
 Status QueryService::Pause(int session_id, int subscription_id) {
@@ -220,13 +227,65 @@ Status QueryService::CloseSession(int session_id) {
     return Status::NotFound("unknown or closed session id");
   }
   for (int sid : session->subscription_ids) {
-    Subscription& sub = subscriptions_[sid];
+    Subscription& sub = subscriptions_.at(sid);
     if (sub.state != SubscriptionState::kDetached) {
       SW_RETURN_IF_ERROR(DetachLocked(*session, sub));
     }
   }
   session->open = false;
   return OkStatus();
+}
+
+size_t QueryService::ReclaimDetached(bool drained_in_open_sessions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t reclaimed = 0;
+  for (auto session_it = sessions_.begin(); session_it != sessions_.end();) {
+    Session& session = session_it->second;
+    auto& ids = session.subscription_ids;
+    for (size_t i = 0; i < ids.size();) {
+      auto it = subscriptions_.find(ids[i]);
+      SW_CHECK(it != subscriptions_.end());
+      Subscription& sub = it->second;
+      // Reclaimable = detached, and nobody can still legitimately drain
+      // it: the session is gone, or (when the caller opted in) the queue
+      // has nothing left. The backend dropped its callback (and its
+      // DeliveryState ref) when Detach unregistered the query, so erasing
+      // here releases the last service-held reference.
+      const bool drained = drained_in_open_sessions &&
+                           sub.delivery->queue.size() == 0;
+      if (sub.state == SubscriptionState::kDetached &&
+          (!session.open || drained)) {
+        // Fold the subscription's delivery history into the persistent
+        // baselines before erasing it: service-wide totals are monotonic.
+        const ResultQueueCounters counters = sub.delivery->queue.counters();
+        reclaimed_enqueued_ += counters.enqueued;
+        reclaimed_delivered_ += counters.delivered;
+        // Matches still queued when a closed session reclaims are being
+        // discarded right here — count them as dropped so enqueued always
+        // reconciles against delivered + dropped + live depth.
+        reclaimed_dropped_ += counters.dropped + (counters.enqueued -
+                                                  counters.delivered -
+                                                  counters.dropped);
+        reclaimed_suppressed_ += sub.delivery->suppressed_while_paused.load(
+            std::memory_order_relaxed);
+        reclaimed_lag_.Merge(sub.delivery->queue.lag_histogram());
+        subscriptions_.erase(it);
+        ids.erase(ids.begin() + i);
+        ++reclaimed;
+      } else {
+        ++i;
+      }
+    }
+    // A closed session with nothing left to drain is itself a tombstone:
+    // erase it so connection churn doesn't grow the STATS walk forever.
+    if (!session.open && ids.empty()) {
+      session_it = sessions_.erase(session_it);
+    } else {
+      ++session_it;
+    }
+  }
+  reclaimed_ += reclaimed;
+  return reclaimed;
 }
 
 Status QueryService::Feed(const StreamEdge& edge) {
@@ -253,6 +312,23 @@ ResultQueue* QueryService::queue(int session_id, int subscription_id) {
   return sub == nullptr ? nullptr : &sub->delivery->queue;
 }
 
+std::shared_ptr<ResultQueue> QueryService::queue_handle(int session_id,
+                                                        int subscription_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Subscription* sub = FindSubscription(session_id, subscription_id);
+  if (sub == nullptr) return nullptr;
+  // Aliasing constructor: shares ownership of the DeliveryState, points at
+  // its queue.
+  return std::shared_ptr<ResultQueue>(sub->delivery, &sub->delivery->queue);
+}
+
+void QueryService::CloseAllQueues() {
+  std::lock_guard<std::mutex> lock(queue_registry_mu_);
+  for (const std::weak_ptr<ResultQueue>& weak : queue_registry_) {
+    if (std::shared_ptr<ResultQueue> queue = weak.lock()) queue->Close();
+  }
+}
+
 StatusOr<SubscriptionState> QueryService::state(int session_id,
                                                 int subscription_id) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -274,7 +350,7 @@ ServiceStatsSnapshot QueryService::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStatsSnapshot snap;
   snap.shards = std::move(shard_loads);
-  snap.sessions_opened = sessions_.size();
+  snap.sessions_opened = sessions_opened_;
   snap.submissions = submissions_;
   snap.admitted = admitted_;
   snap.rejected_session_quota = rejected_session_quota_;
@@ -283,10 +359,15 @@ ServiceStatsSnapshot QueryService::Snapshot() const {
   snap.pauses = pauses_;
   snap.resumes = resumes_;
   snap.detaches = detaches_;
+  snap.reclaimed = reclaimed_;
   snap.edges_fed = edges_fed_;
 
-  LagHistogram merged_lag;
-  for (const Session& session : sessions_) {
+  snap.matches_enqueued = reclaimed_enqueued_;
+  snap.matches_delivered = reclaimed_delivered_;
+  snap.matches_dropped = reclaimed_dropped_;
+  snap.matches_suppressed = reclaimed_suppressed_;
+  LagHistogram merged_lag = reclaimed_lag_;
+  for (const auto& [session_id, session] : sessions_) {
     SessionStatsSnapshot ss;
     ss.session_id = session.id;
     ss.name = session.name;
@@ -296,7 +377,7 @@ ServiceStatsSnapshot QueryService::Snapshot() const {
     ss.rejected = session.rejected;
     ss.detaches = session.detaches;
     for (int sid : session.subscription_ids) {
-      const Subscription& sub = subscriptions_[sid];
+      const Subscription& sub = subscriptions_.at(sid);
       if (sub.state != SubscriptionState::kDetached) ++ss.live_queries;
 
       SubscriptionStatsSnapshot sub_snap;

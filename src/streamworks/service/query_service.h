@@ -2,6 +2,7 @@
 #define STREAMWORKS_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -111,10 +112,50 @@ class QueryService {
   /// Blocks until the backend has processed everything fed so far.
   void Flush();
 
+  // --- Reclamation ---------------------------------------------------------
+  /// Compacts the subscription and session tables: every detached
+  /// subscription whose results nobody can still want is dropped from the
+  /// tables, and its DeliveryState is released (the delivery callback's
+  /// shared_ptr is the refcount: the backend dropped its copy at
+  /// Unregister, so the state frees as soon as the last queue_handle
+  /// holder lets go). Closed sessions whose last subscription was
+  /// reclaimed are erased too, so a connection-churning frontend doesn't
+  /// accumulate tombstone sessions in every STATS walk. Returns how many
+  /// subscriptions were reclaimed. After reclamation the ids answer
+  /// NotFound and queue() returns nullptr — callers who need the queue
+  /// across a reclaim hold a queue_handle.
+  ///
+  /// A closed session's detached subscriptions always qualify. With
+  /// `drained_in_open_sessions` (the explicit-compaction default), a
+  /// fully-drained detached subscription in a still-open session
+  /// qualifies as well; the socket frontend's disconnect path passes
+  /// false so one tenant's disconnect never changes what another tenant's
+  /// open session observes (a drained POLL stays "n=0", it doesn't flip
+  /// to NotFound because an unrelated connection went away).
+  size_t ReclaimDetached(bool drained_in_open_sessions = true);
+
   // --- Introspection -------------------------------------------------------
-  /// The subscription's result queue, or nullptr if the ids are unknown.
-  /// Valid until the service is destroyed (detach keeps the queue).
+  /// The subscription's result queue, or nullptr if the ids are unknown
+  /// (including reclaimed). Valid until the subscription is reclaimed or
+  /// the service is destroyed (detach alone keeps the queue).
   ResultQueue* queue(int session_id, int subscription_id);
+
+  /// Like queue(), but the returned aliasing shared_ptr keeps the whole
+  /// DeliveryState alive while held, so a concurrent ReclaimDetached can
+  /// never free it out from under the holder (the socket server's stream
+  /// pump drains through this). Null when the ids are unknown.
+  std::shared_ptr<ResultQueue> queue_handle(int session_id,
+                                            int subscription_id);
+
+  /// Closes every subscription's result queue — blocked kBlock producers
+  /// wake (their pushes count as drops) and queued matches stay
+  /// drainable. Runs off a dedicated registry mutex, NOT mu_, so it is
+  /// callable from any thread even while the control thread is wedged
+  /// inside a backend call behind a full kBlock queue; the socket
+  /// server's shutdown leans on exactly that to guarantee SIGTERM always
+  /// lands. This is a point of no return for deliveries: use only when
+  /// tearing the service (or its frontend) down.
+  void CloseAllQueues();
 
   StatusOr<SubscriptionState> state(int session_id,
                                     int subscription_id) const;
@@ -175,9 +216,14 @@ class QueryService {
   /// Guards sessions_/subscriptions_ and the counters below. Never held
   /// while delivering matches (callbacks bypass the control plane).
   mutable std::mutex mu_;
-  std::vector<Session> sessions_;
-  std::vector<Subscription> subscriptions_;
+  /// Both tables are keyed by id; ReclaimDetached erases entries, so ids
+  /// are not dense and lookups go through the maps.
+  std::map<int, Session> sessions_;
+  std::map<int, Subscription> subscriptions_;
+  int next_session_id_ = 0;
+  int next_subscription_id_ = 0;
 
+  uint64_t sessions_opened_ = 0;
   uint64_t submissions_ = 0;
   uint64_t admitted_ = 0;
   uint64_t rejected_session_quota_ = 0;
@@ -186,7 +232,24 @@ class QueryService {
   uint64_t pauses_ = 0;
   uint64_t resumes_ = 0;
   uint64_t detaches_ = 0;
+  uint64_t reclaimed_ = 0;
   uint64_t edges_fed_ = 0;
+
+  /// Folded-in history of reclaimed subscriptions, so the service-wide
+  /// match counters and lag percentiles in Snapshot stay monotonic across
+  /// compaction (a scrape must never see delivered= go backward because a
+  /// tenant disconnected).
+  uint64_t reclaimed_enqueued_ = 0;
+  uint64_t reclaimed_delivered_ = 0;
+  uint64_t reclaimed_dropped_ = 0;
+  uint64_t reclaimed_suppressed_ = 0;
+  LagHistogram reclaimed_lag_;
+
+  /// Every queue ever created, as weak aliasing handles; guarded by its
+  /// own mutex (never mu_) so CloseAllQueues can run while mu_ is held by
+  /// a wedged control-plane call. Expired entries are pruned on insert.
+  mutable std::mutex queue_registry_mu_;
+  std::vector<std::weak_ptr<ResultQueue>> queue_registry_;
 };
 
 }  // namespace streamworks

@@ -463,6 +463,103 @@ TEST_F(QueryServiceTest, CloseSessionDetachesEverything) {
   EXPECT_TRUE(service.OpenSession("alice").ok());
 }
 
+TEST_F(QueryServiceTest, ReclaimCompactsDetachedSubsOfClosedSessions) {
+  QueryService service(&backend_);
+  const int alice = service.OpenSession("alice").value();
+  const int bob = service.OpenSession("bob").value();
+  const int a1 = service.Submit(alice, PingQuery(&interner_)).value();
+  const int a2 = service.Submit(alice, PingQuery(&interner_)).value();
+  const int b1 = service.Submit(bob, PingQuery(&interner_)).value();
+  ASSERT_TRUE(FeedPing(1, 2, 1, service).ok());  // a1/a2/b1 queue a match
+
+  // Nothing is detached yet: nothing to reclaim.
+  EXPECT_EQ(service.ReclaimDetached(), 0u);
+
+  ASSERT_TRUE(service.CloseSession(alice).ok());
+  // Closed-session subscriptions reclaim even with undrained queues (no
+  // consumer can come back for them).
+  EXPECT_EQ(service.ReclaimDetached(), 2u);
+
+  // The ids are really gone — lookups answer NotFound/nullptr instead of
+  // resolving to retained tombstones...
+  EXPECT_FALSE(service.state(alice, a1).ok());
+  EXPECT_FALSE(service.state(alice, a2).ok());
+  EXPECT_EQ(service.queue(alice, a1), nullptr);
+  EXPECT_EQ(service.queue_handle(alice, a2), nullptr);
+  // ...the snapshot's tables compacted (alice's emptied closed session is
+  // erased outright, not listed as a tombstone)...
+  const ServiceStatsSnapshot snap = service.Snapshot();
+  EXPECT_EQ(snap.reclaimed, 2u);
+  EXPECT_EQ(snap.sessions_opened, 2u);  // history survives compaction
+  ASSERT_EQ(snap.sessions.size(), 1u);
+  EXPECT_EQ(snap.sessions[0].name, "bob");
+  EXPECT_EQ(snap.sessions[0].subscriptions.size(), 1u);
+  // Service-wide match totals are monotonic: the reclaimed subscriptions'
+  // delivery history (one queued match each for a1/a2) is folded into the
+  // baselines, not forgotten with the table entries.
+  EXPECT_EQ(snap.matches_enqueued, 3u);
+  // ...and bob is untouched.
+  EXPECT_EQ(service.queue(bob, b1)->size(), 1u);
+  // Ids stay unique across reclamation: a new submit never reuses a1/a2.
+  const int b2 = service.Submit(bob, PingQuery(&interner_)).value();
+  EXPECT_GT(b2, b1);
+  EXPECT_NE(b2, a1);
+  EXPECT_NE(b2, a2);
+}
+
+TEST_F(QueryServiceTest, ReclaimWaitsForOpenSessionQueuesToDrain) {
+  QueryService service(&backend_);
+  const int session = service.OpenSession("alice").value();
+  const int sub = service.Submit(session, PingQuery(&interner_)).value();
+  ASSERT_TRUE(FeedPing(1, 2, 1, service).ok());
+  ASSERT_TRUE(service.Detach(session, sub).ok());
+
+  // Detached but still drainable in an open session: the queued match
+  // belongs to the consumer, so the subscription is NOT reclaimed...
+  EXPECT_EQ(service.ReclaimDetached(), 0u);
+  ResultQueue* queue = service.queue(session, sub);
+  ASSERT_NE(queue, nullptr);
+  std::vector<CompleteMatch> matches;
+  EXPECT_EQ(queue->Drain(&matches), 1u);
+
+  // ...and even drained it survives a closed-session-scoped pass (the
+  // socket frontend's disconnect path: one tenant's disconnect must not
+  // touch another tenant's open session)...
+  EXPECT_EQ(service.ReclaimDetached(/*drained_in_open_sessions=*/false),
+            0u);
+  ASSERT_NE(service.queue(session, sub), nullptr);
+
+  // ...but an explicit full compaction pass takes it.
+  EXPECT_EQ(service.ReclaimDetached(), 1u);
+  EXPECT_EQ(service.queue(session, sub), nullptr);
+  EXPECT_FALSE(service.state(session, sub).ok());
+  EXPECT_EQ(service.Snapshot().reclaimed, 1u);
+}
+
+TEST_F(QueryServiceTest, QueueHandleOutlivesReclaim) {
+  QueryService service(&backend_);
+  const int session = service.OpenSession("alice").value();
+  const int sub = service.Submit(session, PingQuery(&interner_)).value();
+  std::shared_ptr<ResultQueue> handle = service.queue_handle(session, sub);
+  ASSERT_NE(handle, nullptr);
+  ASSERT_TRUE(FeedPing(1, 2, 1, service).ok());
+  ASSERT_TRUE(service.Detach(session, sub).ok());
+  ASSERT_TRUE(service.CloseSession(session).ok());
+  EXPECT_EQ(service.ReclaimDetached(), 1u);
+
+  // The service forgot the subscription, but the handle (the epoch/
+  // refcount holder) keeps the DeliveryState alive and drainable...
+  EXPECT_EQ(service.queue(session, sub), nullptr);
+  std::vector<CompleteMatch> matches;
+  EXPECT_EQ(handle->Drain(&matches), 1u);
+  EXPECT_TRUE(handle->closed());
+
+  // ...and the state truly frees when the last holder lets go.
+  std::weak_ptr<ResultQueue> weak = handle;
+  handle.reset();
+  EXPECT_TRUE(weak.expired());
+}
+
 TEST_F(QueryServiceTest, OverflowPolicyPerSubscription) {
   QueryService service(&backend_);
   const int session = service.OpenSession("alice").value();
