@@ -1,22 +1,33 @@
 // Network-frontend throughput bench: what the socket path costs versus
-// driving the QueryService in-process.
+// driving the QueryService in-process, and what the binary batched wire
+// path (FEEDB frames) buys back.
 //
-//   $ ./build/bench/bench_net_throughput [num_edges]
+//   $ ./build/bench/bench_net_throughput [num_edges] [--json PATH]
 //
 // Every scenario runs the same workload — one ping-pattern subscription,
 // N distinct edges (one completed match each), full delivery — against a
 // SingleEngineBackend, so the deltas price the frontend alone:
 //
-//   in-process      QueryService::Feed + queue drain, no sockets
-//   unix rtt        one FEED command per edge, await each response
-//   unix pipelined  all FEED lines written back-to-back, responses
-//                   consumed in bulk (how a real ingest client batches)
-//   tcp pipelined   same over loopback TCP
+//   in-process       QueryService::Feed per edge, no sockets
+//   in-process batch QueryService::FeedBatch, one call per 512 edges
+//   unix rtt         one FEED command per edge, await each response
+//   unix text pipe   all FEED lines written back-to-back, responses
+//                    consumed in bulk (how a text ingest client batches)
+//   tcp text pipe    same over loopback TCP
+//   unix bin bN      FEEDB binary frames of N edges, pipelined
+//   tcp bin b512     same over loopback TCP
 //
 // Matches are push-streamed (STREAM): the drain phase counts EVENT lines
 // until every match arrived, so matches/s is end-to-end delivery through
 // the wire, and the STATS delivery-lag percentiles ride along.
+//
+// Machine-readable results land in bench-results/bench_net.json (or the
+// --json path): one row per scenario plus the headline ratios. The
+// committed baseline lives at bench-results/BENCH_net.json.
 
+#include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -27,6 +38,7 @@
 #include "streamworks/net/server.h"
 #include "streamworks/service/backend.h"
 #include "streamworks/service/query_service.h"
+#include "streamworks/stream/wire_format.h"
 
 namespace streamworks::bench {
 namespace {
@@ -49,19 +61,38 @@ QueryGraph PingQuery(Interner* interner) {
   return b.Build("ping").value();
 }
 
+StreamEdge PingEdge(Interner* interner, int i) {
+  StreamEdge e;
+  e.src = 2 * static_cast<uint64_t>(i);
+  e.dst = 2 * static_cast<uint64_t>(i) + 1;
+  e.src_label = interner->Intern("V");
+  e.dst_label = interner->Intern("V");
+  e.edge_label = interner->Intern("ping");
+  e.ts = i + 1;
+  return e;
+}
+
 std::string FeedLine(int i) {
   return "FEED " + std::to_string(2 * i) + " V " + std::to_string(2 * i + 1) +
          " V ping " + std::to_string(i + 1);
 }
 
 struct Result {
+  std::string scenario;
+  std::string transport;  ///< "none", "unix", "tcp".
+  std::string mode;       ///< "feed", "feedbatch", "text", "binary".
+  int batch = 0;          ///< Edges per frame/batch; 0 = per edge.
+  int edges = 0;
   double ingest_seconds = 0;  ///< Last edge accepted (+ response in rtt).
   double total_seconds = 0;   ///< Every match in the consumer's hands.
   uint64_t matches = 0;
   std::string lag;  ///< "p50=..us p99=..us" from STATS where available.
+
+  double ingest_eps() const { return edges / ingest_seconds; }
+  double deliver_mps() const { return matches / total_seconds; }
 };
 
-Result RunInProcess(int num_edges) {
+Result RunInProcess(int num_edges, int batch_size) {
   Interner interner;
   StreamWorksEngine engine(&interner);
   SingleEngineBackend backend(&engine);
@@ -73,16 +104,29 @@ Result RunInProcess(int num_edges) {
       service.Submit(session, PingQuery(&interner), options).value();
 
   Result result;
+  result.scenario =
+      batch_size > 0 ? "in-process b" + std::to_string(batch_size)
+                     : "in-process";
+  result.transport = "none";
+  result.mode = batch_size > 0 ? "feedbatch" : "feed";
+  result.batch = batch_size;
+  result.edges = num_edges;
   Timer timer;
-  for (int i = 0; i < num_edges; ++i) {
-    StreamEdge e;
-    e.src = 2 * static_cast<uint64_t>(i);
-    e.dst = 2 * static_cast<uint64_t>(i) + 1;
-    e.src_label = interner.Intern("V");
-    e.dst_label = interner.Intern("V");
-    e.edge_label = interner.Intern("ping");
-    e.ts = i + 1;
-    service.Feed(e).ok();
+  if (batch_size > 0) {
+    EdgeBatch batch;
+    batch.reserve(batch_size);
+    for (int i = 0; i < num_edges; ++i) {
+      batch.push_back(PingEdge(&interner, i));
+      if (static_cast<int>(batch.size()) == batch_size) {
+        service.FeedBatch(batch).ok();
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) service.FeedBatch(batch).ok();
+  } else {
+    for (int i = 0; i < num_edges; ++i) {
+      service.Feed(PingEdge(&interner, i)).ok();
+    }
   }
   service.Flush();
   result.ingest_seconds = timer.ElapsedSeconds();
@@ -110,7 +154,15 @@ std::vector<std::string> MustCommand(LineClient& client,
   return *payload;
 }
 
-Result RunSocket(bool tcp, bool pipelined, int num_edges) {
+enum class WireMode { kRtt, kTextPipelined, kBinaryPipelined };
+
+/// Two connections, the deployment shape the e2e gate drives: a watcher
+/// that subscribes + push-streams, and a feeder that ingests. The ingest
+/// timer brackets the feeder's side alone (its responses are per-command
+/// terminators, not the event flood), so ingest edges/s prices the wire
+/// path; the drain phase then reads every pushed EVENT off the watcher,
+/// so matches/s stays end-to-end delivery through the socket.
+Result RunSocket(bool tcp, WireMode mode, int num_edges, int batch_size) {
   Interner interner;
   StreamWorksEngine engine(&interner);
   SingleEngineBackend backend(&engine);
@@ -122,109 +174,231 @@ Result RunSocket(bool tcp, bool pipelined, int num_edges) {
     options.unix_path =
         "/tmp/sw_bench_net_" + std::to_string(::getpid()) + ".sock";
   }
+  // The watcher deliberately lags the ingest burst; its queue must hold
+  // the full stream without tripping a drop policy.
   SocketServer server(&service, &interner, options);
   SW_CHECK_OK(server.Start());
-  auto connected = tcp ? LineClient::ConnectTcp("127.0.0.1",
-                                                server.tcp_port())
-                       : LineClient::ConnectUnix(options.unix_path);
-  SW_CHECK(connected.ok()) << connected.status().ToString();
-  LineClient client = std::move(connected).value();
+  const auto connect = [&]() -> LineClient {
+    auto connected = tcp ? LineClient::ConnectTcp("127.0.0.1",
+                                                  server.tcp_port())
+                         : LineClient::ConnectUnix(options.unix_path);
+    SW_CHECK(connected.ok()) << connected.status().ToString();
+    return std::move(connected).value();
+  };
+  LineClient watcher = connect();
+  LineClient feeder = connect();
 
   for (std::string_view line : Split(kPingDefine, '\n')) {
-    MustCommand(client, std::string(line));
+    MustCommand(watcher, std::string(line));
   }
-  MustCommand(client, "SESSION bench");
-  MustCommand(client, "SUBMIT bench live ping CAP " +
-                          std::to_string(num_edges + 16));
-  MustCommand(client, "STREAM bench live");
+  MustCommand(watcher, "SESSION bench");
+  MustCommand(watcher, "SUBMIT bench live ping CAP " +
+                           std::to_string(num_edges + 16));
+  MustCommand(watcher, "STREAM bench live");
 
   Result result;
+  result.transport = tcp ? "tcp" : "unix";
+  result.edges = num_edges;
+  result.batch = mode == WireMode::kBinaryPipelined ? batch_size : 0;
   Timer timer;
-  if (pipelined) {
-    // Fire FEEDs in bursts, absorbing whatever responses/events are
+  if (mode == WireMode::kRtt) {
+    result.scenario = "unix rtt";
+    result.mode = "text";
+    for (int i = 0; i < num_edges; ++i) MustCommand(feeder, FeedLine(i));
+    MustCommand(feeder, "FLUSH");
+    result.ingest_seconds = timer.ElapsedSeconds();
+  } else {
+    // Fire the stream in bursts, absorbing whatever responses are
     // already readable between bursts — a sender that never reads would
     // eventually fill both kernel buffers against the server's
     // response-path read throttling and deadlock itself at large N.
-    uint64_t terminators = 0;  // num_edges FEED frames + the FLUSH frame
-    bool ingested = false;
+    const bool binary = mode == WireMode::kBinaryPipelined;
+    result.scenario =
+        binary ? (std::string(tcp ? "tcp" : "unix") + " bin b" +
+                  std::to_string(batch_size))
+               : (std::string(tcp ? "tcp" : "unix") + " text pipe");
+    result.mode = binary ? "binary" : "text";
+    const uint64_t num_requests =
+        binary ? static_cast<uint64_t>((num_edges + batch_size - 1) /
+                                       batch_size)
+               : static_cast<uint64_t>(num_edges);
+    uint64_t terminators = 0;  // num_requests requests + the FLUSH frame
     const auto absorb = [&](std::chrono::milliseconds timeout) -> bool {
-      auto line = client.ReadLine(timeout);
+      auto line = feeder.ReadLine(timeout);
       if (!line.ok()) return false;  // nothing available (or timeout)
-      if (*line == ".") {
-        if (++terminators == static_cast<uint64_t>(num_edges) + 1) {
-          ingested = true;
-          result.ingest_seconds = timer.ElapsedSeconds();
-        }
-      } else if (StartsWith(*line, "EVENT MATCH ")) {
-        ++result.matches;
-      }
+      if (*line == ".") ++terminators;
       return true;
     };
-    // Sliding window: with at most kWindow un-acked FEEDs outstanding,
-    // the server's unsent responses (terminator + pushed event per edge,
-    // ~100B) stay far below its write high-water, so it never parks
-    // reads and the client's blocking sends can always complete.
-    constexpr uint64_t kWindow = 1024;
-    for (int i = 0; i < num_edges; ++i) {
-      while (static_cast<uint64_t>(i) - terminators >= kWindow) {
-        SW_CHECK(absorb(kTimeout)) << "timed out inside the send window";
+    // Sliding window: with at most kWindow un-acked requests
+    // outstanding, the server's unsent responses stay far below its
+    // write high-water, so it never parks reads and the feeder's
+    // blocking sends can always complete.
+    const uint64_t window = binary ? 32 : 1024;
+    uint64_t requests_sent = 0;
+    if (binary) {
+      Interner wire_interner;
+      EdgeBatch batch;
+      batch.reserve(batch_size);
+      for (int i = 0; i < num_edges; ++i) {
+        batch.push_back(PingEdge(&wire_interner, i));
+        if (static_cast<int>(batch.size()) < batch_size &&
+            i + 1 < num_edges) {
+          continue;
+        }
+        while (requests_sent - terminators >= window) {
+          SW_CHECK(absorb(kTimeout)) << "timed out inside the send window";
+        }
+        SW_CHECK_OK(feeder.SendFrame(batch, wire_interner));
+        batch.clear();
+        ++requests_sent;
+        if (requests_sent % 8 == 0) {
+          while (absorb(std::chrono::milliseconds(0))) {
+          }
+        }
       }
-      MustSend(client, FeedLine(i));
-      if (i % 64 == 0) {
-        while (absorb(std::chrono::milliseconds(0))) {
+    } else {
+      for (int i = 0; i < num_edges; ++i) {
+        while (requests_sent - terminators >= window) {
+          SW_CHECK(absorb(kTimeout)) << "timed out inside the send window";
+        }
+        MustSend(feeder, FeedLine(i));
+        ++requests_sent;
+        if (i % 64 == 0) {
+          while (absorb(std::chrono::milliseconds(0))) {
+          }
         }
       }
     }
-    MustSend(client, "FLUSH");
-    while (result.matches < static_cast<uint64_t>(num_edges) || !ingested) {
-      SW_CHECK(absorb(kTimeout)) << "timed out draining the socket";
+    MustSend(feeder, "FLUSH");
+    while (terminators < num_requests + 1) {
+      SW_CHECK(absorb(kTimeout)) << "timed out awaiting ingest responses";
     }
-  } else {
-    for (int i = 0; i < num_edges; ++i) MustCommand(client, FeedLine(i));
-    MustCommand(client, "FLUSH");
     result.ingest_seconds = timer.ElapsedSeconds();
-    while (result.matches < static_cast<uint64_t>(num_edges)) {
-      auto event = client.NextEvent(kTimeout);
-      SW_CHECK(event.ok()) << event.status().ToString();
-      ++result.matches;
-    }
+  }
+  // Drain phase: every match crosses the watcher's socket as a pushed
+  // EVENT line.
+  while (result.matches < static_cast<uint64_t>(num_edges)) {
+    auto event = watcher.NextEvent(kTimeout);
+    SW_CHECK(event.ok()) << event.status().ToString();
+    SW_CHECK(StartsWith(*event, "EVENT MATCH ")) << *event;
+    ++result.matches;
   }
   result.total_seconds = timer.ElapsedSeconds();
 
-  for (const std::string& line : MustCommand(client, "STATS")) {
+  for (const std::string& line : MustCommand(feeder, "STATS")) {
     const size_t pos = line.find("lag_p50_us=");
     if (pos != std::string::npos) {
       result.lag = line.substr(pos);
       break;
     }
   }
-  client.Quit();
+  watcher.Quit();
+  feeder.Quit();
   server.Stop();
   return result;
 }
 
-void Report(Table& table, std::string_view scenario, int num_edges,
-            const Result& result) {
-  table.Row({std::string(scenario), FormatCount(num_edges),
-             FormatDouble(num_edges / result.ingest_seconds / 1e3, 1),
+void Report(Table& table, const Result& result) {
+  table.Row({result.scenario, FormatCount(result.edges),
+             FormatDouble(result.ingest_eps() / 1e3, 1),
              FormatCount(result.matches),
-             FormatDouble(result.matches / result.total_seconds / 1e3, 1),
-             result.lag});
+             FormatDouble(result.deliver_mps() / 1e3, 1), result.lag});
 }
 
-void RunAll(int num_edges) {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void WriteJson(const std::vector<Result>& rows, const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;  // best effort; the open below reports failures
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  const auto find = [&](std::string_view scenario) -> const Result* {
+    for (const Result& r : rows) {
+      if (r.scenario == scenario) return &r;
+    }
+    return nullptr;
+  };
+  out << "{\n  \"bench\": \"net_throughput\",\n";
+  out << "  \"edges\": " << (rows.empty() ? 0 : rows[0].edges) << ",\n";
+  out << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Result& r = rows[i];
+    out << "    {\"scenario\": \"" << JsonEscape(r.scenario)
+        << "\", \"transport\": \"" << r.transport << "\", \"mode\": \""
+        << r.mode << "\", \"batch\": " << r.batch
+        << ", \"ingest_eps\": " << FormatDouble(r.ingest_eps(), 1)
+        << ", \"matches\": " << r.matches
+        << ", \"deliver_mps\": " << FormatDouble(r.deliver_mps(), 1)
+        << ", \"lag\": \"" << JsonEscape(r.lag) << "\"}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"ratios\": {";
+  const Result* in_process = find("in-process");
+  const Result* in_process_batch = find("in-process b512");
+  const Result* text = find("unix text pipe");
+  // The headline binary row is the sweep's best unix batch size — the
+  // operator-facing number, since batch size is a client knob.
+  const Result* binary = nullptr;
+  for (const Result& r : rows) {
+    if (r.transport != "unix" || r.mode != "binary") continue;
+    if (binary == nullptr || r.ingest_eps() > binary->ingest_eps()) {
+      binary = &r;
+    }
+  }
+  bool first = true;
+  const auto ratio = [&](std::string_view name, const Result* num,
+                         const Result* den) {
+    if (num == nullptr || den == nullptr) return;
+    out << (first ? "" : ", ") << "\"" << name << "\": "
+        << FormatDouble(num->ingest_eps() / den->ingest_eps(), 2);
+    first = false;
+  };
+  ratio("text_cost_vs_inprocess", in_process, text);
+  ratio("binary_cost_vs_inprocess", in_process, binary);
+  ratio("binary_cost_vs_inprocess_batch", in_process_batch, binary);
+  ratio("binary_speedup_vs_text", binary, text);
+  out << "}\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+void RunAll(int num_edges, const std::string& json_path) {
   Banner("net", "socket frontend vs in-process service throughput");
+  std::vector<Result> rows;
+  rows.push_back(RunInProcess(num_edges, /*batch_size=*/0));
+  rows.push_back(RunInProcess(num_edges, /*batch_size=*/512));
+  rows.push_back(
+      RunSocket(/*tcp=*/false, WireMode::kRtt, num_edges, 0));
+  rows.push_back(
+      RunSocket(/*tcp=*/false, WireMode::kTextPipelined, num_edges, 0));
+  rows.push_back(
+      RunSocket(/*tcp=*/true, WireMode::kTextPipelined, num_edges, 0));
+  for (int batch_size : {64, 512, 4096}) {
+    rows.push_back(RunSocket(/*tcp=*/false, WireMode::kBinaryPipelined,
+                             num_edges, batch_size));
+  }
+  rows.push_back(RunSocket(/*tcp=*/true, WireMode::kBinaryPipelined,
+                           num_edges, 512));
+
   Table table({16, 10, 14, 10, 16, 30});
   table.Row({"scenario", "edges", "ingest ke/s", "matches", "deliver km/s",
              "delivery lag"});
   table.Separator();
-  Report(table, "in-process", num_edges, RunInProcess(num_edges));
-  Report(table, "unix rtt", num_edges,
-         RunSocket(/*tcp=*/false, /*pipelined=*/false, num_edges));
-  Report(table, "unix pipelined", num_edges,
-         RunSocket(/*tcp=*/false, /*pipelined=*/true, num_edges));
-  Report(table, "tcp pipelined", num_edges,
-         RunSocket(/*tcp=*/true, /*pipelined=*/true, num_edges));
+  for (const Result& r : rows) Report(table, r);
+  WriteJson(rows, json_path);
 }
 
 }  // namespace
@@ -232,7 +406,26 @@ void RunAll(int num_edges) {
 
 int main(int argc, char** argv) {
   int num_edges = 20000;
-  if (argc > 1) num_edges = std::atoi(argv[1]);
-  streamworks::bench::RunAll(num_edges);
+  std::string json_path = "bench-results/bench_net.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "--json needs a path\n";
+        return 1;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    // A typo'd flag must not silently become num_edges=0 and bake NaN
+    // ratios into the JSON baseline.
+    int64_t n = 0;
+    if (!streamworks::ParseInt64(arg, &n) || n <= 0) {
+      std::cerr << "usage: bench_net_throughput [num_edges] [--json PATH]\n";
+      return 1;
+    }
+    num_edges = static_cast<int>(n);
+  }
+  streamworks::bench::RunAll(num_edges, json_path);
   return 0;
 }

@@ -7,8 +7,11 @@
 # QueryService behind the SocketServer) on a unix socket, then drives it
 # with two independent streamworks_client processes: a watcher that
 # subscribes and push-streams, and a feeder that ingests the probes the
-# watcher is waiting for. Fails on any timeout, transport error, ERR
-# response, missing match, or an unclean server shutdown.
+# watcher is waiting for. A second leg repeats the exercise with the
+# feeder in --binary mode (FEEDB frames), asserting the binary wire path
+# pushes exactly as many matches as the text leg did. Fails on any
+# timeout, transport error, ERR response, missing match, or an unclean
+# server shutdown.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -18,14 +21,19 @@ SOCK="/tmp/streamworks_e2e_$$.sock"
 SERVER_LOG="/tmp/streamworks_e2e_$$.server.log"
 WATCHER_LOG="/tmp/streamworks_e2e_$$.watcher.log"
 FEEDER_LOG="/tmp/streamworks_e2e_$$.feeder.log"
+WATCHER2_LOG="/tmp/streamworks_e2e_$$.watcher2.log"
+FEEDER2_LOG="/tmp/streamworks_e2e_$$.feeder2.log"
 
 fail() {
   echo "e2e: FAIL: $*" >&2
   echo "--- server log ---" >&2;  cat "$SERVER_LOG" >&2 || true
   echo "--- watcher log ---" >&2; cat "$WATCHER_LOG" >&2 || true
   echo "--- feeder log ---" >&2;  cat "$FEEDER_LOG" >&2 || true
+  echo "--- watcher2 log ---" >&2; cat "$WATCHER2_LOG" >&2 || true
+  echo "--- feeder2 log ---" >&2;  cat "$FEEDER2_LOG" >&2 || true
   exit 1
 }
+touch "$WATCHER2_LOG" "$FEEDER2_LOG"
 
 "$SERVER" partitioned --serve --unix "$SOCK" > "$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
@@ -70,6 +78,38 @@ grep -qE "'watcher'|reclaimed=[1-9]" "$FEEDER_LOG" \
   || fail "feeder STATS shows neither the watcher session nor its reclamation"
 grep -q "edges_fed=3" "$FEEDER_LOG" || fail "feeder STATS missing edges_fed=3"
 
+# --- Binary leg: same scenario, feeder speaks FEEDB frames ------------------
+# The watcher's text-protocol view is identical either way; only the
+# feeder's wire encoding changes. Its pushed-match count must equal the
+# text leg's — the codec proven out-of-process on every push.
+
+timeout 60 "$CLIENT" --unix "$SOCK" --expect-events 3 \
+  < ci/e2e_subscribe.txt > "$WATCHER2_LOG" 2>&1 &
+WATCHER2_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "OK stream watcher.live" "$WATCHER2_LOG" && break
+  sleep 0.1
+done
+grep -q "OK stream watcher.live" "$WATCHER2_LOG" \
+  || fail "binary-leg watcher never subscribed"
+
+timeout 60 "$CLIENT" --unix "$SOCK" \
+  --feed-file ci/e2e_edges_binary.txt --binary --batch 2 \
+  < ci/e2e_feed_tail.txt > "$FEEDER2_LOG" 2>&1 \
+  || fail "binary feeder client failed (exit $?)"
+wait "$WATCHER2_PID" || fail "binary-leg watcher client failed (exit $?)"
+
+# The binary frames were acknowledged per frame (3 edges over frames of
+# --batch 2: 2 + 1)...
+grep -q "OK feedb 3 0" "$FEEDER2_LOG" \
+  || fail "binary feeder missing 'OK feedb 3 0' acknowledgement"
+# ...the watcher saw exactly as many pushed matches as the text leg...
+EVENTS2=$(grep -c "^EVENT MATCH watcher.live" "$WATCHER2_LOG" || true)
+[ "$EVENTS2" -eq "$EVENTS" ] \
+  || fail "binary leg pushed $EVENTS2 matches, text leg pushed $EVENTS"
+# ...and the service counted both legs' edges.
+grep -q "edges_fed=6" "$FEEDER2_LOG" || fail "feeder2 STATS missing edges_fed=6"
+
 # Graceful shutdown: SIGTERM must produce the SHUTDOWN summary and exit 0.
 kill -TERM "$SERVER_PID"
 for _ in $(seq 1 100); do
@@ -83,4 +123,4 @@ if wait "$SERVER_PID"; then :; else fail "server exited non-zero"; fi
 grep -q "^SHUTDOWN " "$SERVER_LOG" || fail "no SHUTDOWN summary"
 [ -S "$SOCK" ] && fail "socket file not unlinked on shutdown"
 
-echo "e2e: PASS ($EVENTS pushed matches, clean shutdown)"
+echo "e2e: PASS ($EVENTS text + $EVENTS2 binary pushed matches, clean shutdown)"

@@ -132,6 +132,8 @@ int Serve(QueryService* service, Interner* interner,
   const ServerStats stats = server.stats();
   std::cout << "SHUTDOWN accepted=" << stats.connections_accepted
             << " lines=" << stats.lines_executed
+            << " frames=" << stats.frames_executed
+            << " batch_edges=" << stats.batch_edges_in
             << " events=" << stats.events_pushed
             << " reclaimed=" << stats.subscriptions_reclaimed << std::endl;
   return 0;

@@ -3,6 +3,7 @@
 //
 //   $ streamworks_client --tcp 127.0.0.1:7687 < session.txt
 //   $ streamworks_client --unix /tmp/streamworks.sock --expect-events 3
+//   $ streamworks_client --unix /tmp/sw.sock --feed-file edges.txt --binary
 //
 // Reads protocol lines from stdin, sends each as one command, and prints
 // every response line. Asynchronous EVENT lines (push-streamed matches)
@@ -10,17 +11,27 @@
 // for N more EVENT lines before saying BYE — how the CI e2e gate asserts
 // that push streaming actually pushed.
 //
+// --feed-file ingests a file of FEED lines before the stdin script runs:
+// as plain text commands by default, or — with --binary — packed into
+// FEEDB binary frames of --batch edges each (the batched wire fast path;
+// one "OK feedb <accepted> <rejected>" response per frame).
+//
 // Exit codes: 0 ok, 1 usage, 2 connect/transport failure or timeout,
 // 3 the server answered ERR (a scripted session is expected to be clean).
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "streamworks/common/interner.h"
 #include "streamworks/common/str_util.h"
+#include "streamworks/graph/stream_edge.h"
 #include "streamworks/net/client.h"
+#include "streamworks/stream/wire_format.h"
 
 using namespace streamworks;  // NOLINT: example brevity
 
@@ -33,6 +44,9 @@ struct Options {
   int timeout_ms = 5000;
   int expect_events = 0;
   bool keep_going = false;  ///< Don't exit 3 on ERR responses.
+  std::string feed_file;    ///< FEED lines to ingest before stdin.
+  bool binary = false;      ///< Pack the feed file into FEEDB frames.
+  int batch_size = 512;     ///< Edges per frame in --binary mode.
 };
 
 int Usage(const char* argv0) {
@@ -40,9 +54,89 @@ int Usage(const char* argv0) {
       << "usage: " << argv0
       << " (--tcp HOST:PORT | --unix PATH) [--timeout-ms N]\n"
          "       [--expect-events N] [--keep-going]\n"
+         "       [--feed-file PATH [--binary] [--batch N]]\n"
          "Reads line-protocol commands from stdin; see README 'Wire "
-         "protocol'.\n";
+         "protocol'.\n"
+         "--feed-file ingests a file of FEED lines first — as text\n"
+         "commands, or as length-prefixed FEEDB binary frames of --batch\n"
+         "edges each with --binary (the batched wire fast path).\n";
   return 1;
+}
+
+/// Parses one "FEED <src> <SrcLabel> <dst> <DstLabel> <edgeLabel> <ts>"
+/// line into `edge` via the same ParseFeedFields the interpreter's text
+/// path uses — the two encodings must agree on the grammar forever.
+bool ParseFeedLine(std::string_view line, Interner* interner,
+                   StreamEdge* edge) {
+  std::vector<std::string_view> fields;
+  for (std::string_view f : Split(line, ' ')) {
+    if (!f.empty()) fields.push_back(f);
+  }
+  if (fields.size() != 7 || fields[0] != "FEED") return false;
+  return ParseFeedFields(std::span(fields).subspan(1), interner, edge)
+      .ok();
+}
+
+/// Ingests `path` (FEED lines; '#' comments) through `client`, either as
+/// text commands or packed into FEEDB frames. Returns an exit code, 0 on
+/// success.
+int RunFeedFile(LineClient& client, const Options& options) {
+  std::ifstream in(options.feed_file);
+  if (!in) {
+    std::cerr << "cannot open feed file: " << options.feed_file << "\n";
+    return 2;
+  }
+  const std::chrono::milliseconds timeout(options.timeout_ms);
+  Interner interner;
+  EdgeBatch batch;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  const auto flush_batch = [&]() -> bool {
+    if (batch.empty()) return true;
+    auto counts = client.FeedBatch(batch, interner, timeout);
+    if (!counts.ok()) {
+      std::cerr << "transport error: " << counts.status().ToString()
+                << "\n";
+      return false;
+    }
+    accepted += counts->first;
+    rejected += counts->second;
+    batch.clear();
+    return true;
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    if (options.binary) {
+      StreamEdge edge;
+      if (!ParseFeedLine(stripped, &interner, &edge)) {
+        std::cerr << "bad feed line: " << line << "\n";
+        return 1;
+      }
+      batch.push_back(edge);
+      if (batch.size() >= static_cast<size_t>(options.batch_size) &&
+          !flush_batch()) {
+        return 2;
+      }
+    } else {
+      auto payload = client.Command(stripped, timeout);
+      if (!payload.ok()) {
+        std::cerr << "transport error: " << payload.status().ToString()
+                  << "\n";
+        return 2;
+      }
+      for (const std::string& reply : *payload) {
+        std::cout << reply << "\n";
+        if (StartsWith(reply, "ERR ") && !options.keep_going) return 3;
+      }
+    }
+  }
+  if (options.binary) {
+    if (!flush_batch()) return 2;
+    std::cout << "OK feedb " << accepted << " " << rejected << "\n";
+  }
+  return 0;
 }
 
 bool ParseTcpTarget(std::string_view arg, Options* options) {
@@ -86,12 +180,28 @@ int main(int argc, char** argv) {
           static_cast<int>(n);
     } else if (arg == "--keep-going") {
       options.keep_going = true;
+    } else if (arg == "--feed-file") {
+      const char* value = next_value();
+      if (value == nullptr) return Usage(argv[0]);
+      options.feed_file = value;
+    } else if (arg == "--binary") {
+      options.binary = true;
+    } else if (arg == "--batch") {
+      const char* value = next_value();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt64(value, &n) || n <= 0) {
+        return Usage(argv[0]);
+      }
+      options.batch_size = static_cast<int>(n);
     } else {
       return Usage(argv[0]);
     }
   }
   if (options.tcp_port < 0 && options.unix_path.empty()) {
     return Usage(argv[0]);
+  }
+  if (options.binary && options.feed_file.empty()) {
+    return Usage(argv[0]);  // --binary only shapes a --feed-file ingest
   }
 
   auto connected = options.unix_path.empty()
@@ -126,6 +236,11 @@ int main(int argc, char** argv) {
       }
     }
   };
+
+  if (!options.feed_file.empty()) {
+    const int feed_exit = RunFeedFile(client, options);
+    if (feed_exit != 0) return feed_exit;
+  }
 
   std::string line;
   while (std::getline(std::cin, line)) {

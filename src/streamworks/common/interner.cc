@@ -5,7 +5,7 @@
 namespace streamworks {
 
 LabelId Interner::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it != ids_.end()) {
     return it->second;
   }
@@ -16,7 +16,7 @@ LabelId Interner::Intern(std::string_view name) {
 }
 
 LabelId Interner::Find(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   return it == ids_.end() ? kInvalidLabelId : it->second;
 }
 

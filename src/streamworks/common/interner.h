@@ -35,7 +35,17 @@ class Interner {
   size_t size() const { return names_.size(); }
 
  private:
-  std::unordered_map<std::string, LabelId> ids_;
+  /// Transparent hashing lets Intern/Find look a string_view up without
+  /// materializing a std::string — the text FEED hot path interns three
+  /// labels per edge and must not allocate for already-known ones.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, LabelId, StringHash, std::equal_to<>>
+      ids_;
   std::vector<std::string> names_;
 };
 

@@ -434,10 +434,16 @@ size_t StreamWorksEngine::total_live_partial_matches() const {
 
 Status StreamWorksEngine::ProcessBatch(const EdgeBatch& batch) {
   ++metrics_.batches_processed;
+  // A malformed edge is a stream property (counted in edges_rejected),
+  // not a reason to drop the rest of the batch — a batch must match the
+  // equivalent sequence of ProcessEdge calls, whose callers skip bad
+  // edges and continue. The first error is still reported.
+  Status first_error = OkStatus();
   for (const StreamEdge& e : batch) {
-    SW_RETURN_IF_ERROR(ProcessEdge(e));
+    const Status status = ProcessEdge(e);
+    if (!status.ok() && first_error.ok()) first_error = status;
   }
-  return OkStatus();
+  return first_error;
 }
 
 const SjTree& StreamWorksEngine::sjtree(int query_id) const {

@@ -179,7 +179,9 @@ class StreamWorksEngine {
   Status ProcessEdge(const StreamEdge& edge);
 
   /// Ingests one timestep batch E_k+1; callbacks fire as each match
-  /// completes within the batch.
+  /// completes within the batch. Malformed edges are counted and skipped
+  /// (the rest of the batch still ingests, exactly like the equivalent
+  /// ProcessEdge sequence); the first such error is returned.
   Status ProcessBatch(const EdgeBatch& batch);
 
   // --- Vertex-partitioned shard mode --------------------------------------

@@ -139,24 +139,39 @@ Match Match::Union(const Match& a, const Match& b) {
 }
 
 std::string Match::ToString() const {
-  std::ostringstream os;
-  os << "{";
+  // Direct string building, not ostringstream: every streamed EVENT line
+  // renders a match, so this runs once per delivered match on the pump's
+  // hot path.
+  std::string out;
+  out.reserve(64);
+  out += '{';
   bool first = true;
   for (int qv : bound_vertices_) {
-    if (!first) os << ", ";
+    if (!first) out += ", ";
     first = false;
-    os << "v" << qv << "->" << vertex_map_[qv];
+    out += 'v';
+    out += std::to_string(qv);
+    out += "->";
+    out += std::to_string(vertex_map_[qv]);
   }
-  os << " | ";
+  out += " | ";
   first = true;
   for (int qe : bound_edges_) {
-    if (!first) os << ", ";
+    if (!first) out += ", ";
     first = false;
-    os << "e" << qe << "->#" << edge_map_[qe] << "@" << ts_of_edge_[qe];
+    out += 'e';
+    out += std::to_string(qe);
+    out += "->#";
+    out += std::to_string(edge_map_[qe]);
+    out += '@';
+    out += std::to_string(ts_of_edge_[qe]);
   }
-  os << "}";
-  if (!bound_edges_.Empty()) os << " span=" << Span();
-  return os.str();
+  out += '}';
+  if (!bound_edges_.Empty()) {
+    out += " span=";
+    out += std::to_string(Span());
+  }
+  return out;
 }
 
 bool JoinCompatible(const Match& a, const Match& b, Timestamp window) {

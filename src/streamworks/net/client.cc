@@ -30,12 +30,15 @@ StatusOr<LineClient> LineClient::ConnectUnix(const std::string& path) {
 }
 
 Status LineClient::SendLine(std::string_view line) {
+  return SendRaw(std::string(line) + "\n");
+}
+
+Status LineClient::SendRaw(std::string_view bytes) {
   if (!fd_.valid()) return Status::FailedPrecondition("client closed");
-  std::string framed = std::string(line) + "\n";
   size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd_.get(), framed.data() + sent,
-                             framed.size() - sent, MSG_NOSIGNAL);
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(std::string("send: ") + std::strerror(errno));
@@ -45,16 +48,70 @@ Status LineClient::SendLine(std::string_view line) {
   return OkStatus();
 }
 
+Status LineClient::SendFrame(const EdgeBatch& batch,
+                             const Interner& interner) {
+  SW_ASSIGN_OR_RETURN(const std::string frame,
+                      EncodeFeedFrame(batch, interner));
+  return SendRaw(frame);
+}
+
+StatusOr<std::pair<uint64_t, uint64_t>> LineClient::FeedBatch(
+    const EdgeBatch& batch, const Interner& interner,
+    std::chrono::milliseconds timeout) {
+  SW_RETURN_IF_ERROR(SendFrame(batch, interner));
+  // The response is framed exactly like a command's: payload lines, then
+  // the "." terminator; EVENT lines may interleave.
+  std::string ok_line;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto remaining = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline -
+                                   std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::IoError("timed out waiting for the frame response");
+    }
+    SW_ASSIGN_OR_RETURN(std::string next, ReadLine(remaining));
+    if (next == ".") break;
+    if (IsEvent(next)) {
+      events_.push_back(std::move(next));
+      continue;
+    }
+    ok_line = std::move(next);
+  }
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  const std::vector<std::string_view> fields = [&] {
+    std::vector<std::string_view> out;
+    for (std::string_view f : Split(ok_line, ' ')) {
+      if (!f.empty()) out.push_back(f);
+    }
+    return out;
+  }();
+  if (fields.size() != 4 || fields[0] != "OK" || fields[1] != "feedb" ||
+      !ParseUint64(fields[2], &accepted) ||
+      !ParseUint64(fields[3], &rejected)) {
+    return Status::Internal("server refused the frame: " + ok_line);
+  }
+  return std::make_pair(accepted, rejected);
+}
+
 StatusOr<std::string> LineClient::ReadLine(
     std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (true) {
-    const size_t pos = rbuf_.find('\n');
+    // Consume via an offset and compact only before refilling: a drain
+    // of thousands of EVENT lines must not pay a front-erase memmove per
+    // line.
+    const size_t pos = rbuf_.find('\n', rpos_);
     if (pos != std::string::npos) {
-      std::string line = rbuf_.substr(0, pos);
-      rbuf_.erase(0, pos + 1);
+      std::string line = rbuf_.substr(rpos_, pos - rpos_);
+      rpos_ = pos + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
+    }
+    if (rpos_ > 0) {
+      rbuf_.erase(0, rpos_);
+      rpos_ = 0;
     }
     if (!fd_.valid()) return Status::IoError("client closed");
     // remaining == 0 still polls (non-blockingly): a zero-timeout caller

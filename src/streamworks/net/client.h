@@ -2,13 +2,17 @@
 #define STREAMWORKS_NET_CLIENT_H_
 
 #include <chrono>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "streamworks/common/interner.h"
 #include "streamworks/common/statusor.h"
 #include "streamworks/net/socket.h"
+#include "streamworks/stream/wire_format.h"
 
 namespace streamworks {
 
@@ -28,6 +32,24 @@ class LineClient {
 
   /// Writes `line` + '\n'. IoError when the server hung up.
   Status SendLine(std::string_view line);
+
+  /// Writes `bytes` verbatim (no framing added). The escape hatch binary
+  /// feeders and the torn-frame tests build on.
+  Status SendRaw(std::string_view bytes);
+
+  /// Encodes `batch` as one binary FEEDB frame and sends it without
+  /// waiting for the response — the pipelining sender's half (responses
+  /// are absorbed later with ReadLine, one "OK feedb ..." + "." per
+  /// frame). Label ids are resolved through `interner` (the client's
+  /// own; labels cross the wire as strings).
+  Status SendFrame(const EdgeBatch& batch, const Interner& interner);
+
+  /// SendFrame + awaits the frame's response. Returns (accepted,
+  /// rejected) as reported by the server; IoError on transport failure
+  /// or timeout, Internal when the server refused the frame with ERR.
+  StatusOr<std::pair<uint64_t, uint64_t>> FeedBatch(
+      const EdgeBatch& batch, const Interner& interner,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
 
   /// Reads the next raw protocol line (payload, terminator, or EVENT),
   /// waiting up to `timeout`. IoError on EOF or timeout. A zero timeout
@@ -63,6 +85,7 @@ class LineClient {
 
   UniqueFd fd_;
   std::string rbuf_;
+  size_t rpos_ = 0;  ///< Consumed prefix of rbuf_ (compacted on refill).
   std::deque<std::string> events_;
 };
 

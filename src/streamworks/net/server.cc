@@ -4,9 +4,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 #include "streamworks/common/logging.h"
 #include "streamworks/common/str_util.h"
@@ -103,8 +105,11 @@ ServerStats SocketServer::stats() const {
   s.connections_refused = connections_refused_.load();
   s.connections_closed = connections_closed_.load();
   s.lines_executed = lines_executed_.load();
+  s.frames_executed = frames_executed_.load();
+  s.batch_edges_in = batch_edges_in_.load();
   s.protocol_errors = protocol_errors_.load();
   s.events_pushed = events_pushed_.load();
+  s.pump_flushes = pump_flushes_.load();
   s.bytes_in = bytes_in_.load();
   s.bytes_out = bytes_out_.load();
   s.subscriptions_reclaimed = subscriptions_reclaimed_.load();
@@ -277,7 +282,9 @@ void SocketServer::AcceptFrom(int listen_fd) {
 void SocketServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
   // Reads and line assembly are poll-thread-only; io_mu is taken just for
   // buffer appends inside ExecuteLine and for the EOF/open flips.
-  char buf[4096];
+  // 64KB per read: a pipelined burst (text lines or FEEDB frames) should
+  // cost one syscall per tens of KB, not one per 4KB.
+  char buf[65536];
   while (true) {
     int fd;
     {
@@ -303,19 +310,65 @@ void SocketServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
 
 void SocketServer::AdvanceConnection(
     const std::shared_ptr<Connection>& conn) {
-  // Consume complete lines via an offset and compact once per pass — a
-  // pipelined burst of thousands of lines must not pay a front-erase
-  // memmove per line. The response path's backpressure valve sits here:
-  // once unsent responses pass the high-water mark, stop executing (and,
-  // via PollLoop's event mask, stop reading) until the client drains.
+  // Consume complete protocol units — text lines and binary FEEDB frames,
+  // demultiplexed on the frame-magic lead byte (0xFB can never begin an
+  // ASCII command) — via an offset, compacting once per pass: a pipelined
+  // burst of thousands of units must not pay a front-erase memmove each.
+  // The response path's backpressure valve sits here: once unsent
+  // responses pass the high-water mark, stop executing (and, via
+  // PollLoop's event mask, stop reading) until the client drains.
   size_t consumed = 0;
-  size_t pos;
-  while ((pos = conn->rbuf.find('\n', consumed)) != std::string::npos) {
+  conn->input_parked = false;
+  while (consumed < conn->rbuf.size()) {
     {
       std::lock_guard<std::mutex> lock(conn->io_mu);
       if (!conn->open || conn->closing) break;
-      if (conn->wbuf.size() >= options_.write_high_water) break;
+      if (conn->wbuf.size() >= options_.write_high_water) {
+        conn->input_parked = true;  // complete units may be waiting
+        break;
+      }
     }
+    // Discard the remainder of a refused oversized frame; the length
+    // prefix tells us exactly how much, so the stream stays in sync.
+    if (conn->skip_bytes > 0) {
+      const size_t n =
+          std::min(conn->skip_bytes, conn->rbuf.size() - consumed);
+      consumed += n;
+      conn->skip_bytes -= n;
+      continue;
+    }
+    const std::string_view rest(conn->rbuf.data() + consumed,
+                                conn->rbuf.size() - consumed);
+    if (IsFrameStart(rest)) {
+      FrameDecodeResult decoded = DecodeFeedFrame(
+          rest, options_.max_frame_body_bytes, interner_);
+      if (decoded.status == FrameDecodeStatus::kNeedMore) break;
+      if (decoded.status == FrameDecodeStatus::kOk) {
+        consumed += decoded.frame_bytes;
+        ExecuteFrame(conn, decoded.batch);
+        continue;
+      }
+      // Oversized or malformed: refuse with ERR. With a decodable length
+      // prefix the frame's bytes are skipped and the connection
+      // survives; a corrupt magic leaves no way back into sync.
+      protocol_errors_.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(conn->io_mu);
+        conn->wbuf += ErrFrame(decoded.error);
+      }
+      if (decoded.frame_bytes == 0) {
+        std::lock_guard<std::mutex> lock(conn->io_mu);
+        FlushWritesLocked(*conn);
+        conn->open = false;
+        break;
+      }
+      const size_t available = std::min(decoded.frame_bytes, rest.size());
+      consumed += available;
+      conn->skip_bytes = decoded.frame_bytes - available;
+      continue;
+    }
+    const size_t pos = conn->rbuf.find('\n', consumed);
+    if (pos == std::string::npos) break;
     std::string line = conn->rbuf.substr(consumed, pos - consumed);
     consumed = pos + 1;
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -323,6 +376,8 @@ void SocketServer::AdvanceConnection(
   }
   conn->rbuf.erase(0, consumed);
   if (conn->rbuf.size() > options_.max_line_bytes &&
+      conn->skip_bytes == 0 &&      // pending discard is not a line
+      !IsFrameStart(conn->rbuf) &&  // a buffering frame is length-framed
       conn->rbuf.find('\n') == std::string::npos) {
     protocol_errors_.fetch_add(1);
     std::lock_guard<std::mutex> lock(conn->io_mu);
@@ -339,11 +394,19 @@ void SocketServer::AdvanceConnection(
     // A BYE whose response already drained has nothing left to wait for.
     if (conn->closing && conn->wbuf.empty()) conn->open = false;
     if (conn->read_eof && conn->open && !conn->closing &&
-        conn->rbuf.find('\n') == std::string::npos) {
-      // Half-close support (printf | nc): the peer finished sending and
-      // every complete line has been executed; responses the socket
-      // wouldn't take yet are flushed by POLLOUT before the orderly
-      // close. Only an empty write buffer closes immediately.
+        !conn->input_parked) {
+      // The peer finished sending and nothing executable was parked, so
+      // whatever remains buffered can never complete. A partial FEEDB
+      // frame at EOF is a protocol error worth reporting before the
+      // close; a partial (or absent) text line keeps the silent
+      // half-close contract (printf | nc). Responses the socket wouldn't
+      // take yet are flushed by POLLOUT before the orderly close; only
+      // an empty write buffer closes immediately.
+      if (conn->skip_bytes > 0 || IsFrameStart(conn->rbuf)) {
+        protocol_errors_.fetch_add(1);
+        conn->wbuf += ErrFrame("truncated binary frame at EOF");
+        FlushWritesLocked(*conn);
+      }
       if (conn->wbuf.empty()) {
         conn->open = false;
       } else {
@@ -382,6 +445,28 @@ void SocketServer::ExecuteLine(const std::shared_ptr<Connection>& conn,
   if (!status.ok()) {
     // Unlike a scripted fixture, a network session survives its typos:
     // report and keep the connection (and its subscriptions) alive.
+    protocol_errors_.fetch_add(1);
+    conn->wbuf += "ERR " + status.ToString() + "\n";
+  }
+  conn->wbuf += kTerminator;
+  FlushWritesLocked(*conn);
+}
+
+void SocketServer::ExecuteFrame(const std::shared_ptr<Connection>& conn,
+                                const EdgeBatch& batch) {
+  // Like ExecuteLine, the interpreter (and the backend FeedBatch under
+  // it) runs without io_mu held — a kBlock delivery inside the batch may
+  // park this thread, and the pump must still drain this connection.
+  conn->out->str("");
+  const Status status = conn->interpreter->ExecuteBatch(batch);
+  frames_executed_.fetch_add(1);
+  batch_edges_in_.fetch_add(batch.size());
+  std::string payload = conn->out->str();
+
+  std::lock_guard<std::mutex> lock(conn->io_mu);
+  if (!conn->open) return;
+  conn->wbuf += payload;
+  if (!status.ok()) {
     protocol_errors_.fetch_add(1);
     conn->wbuf += "ERR " + status.ToString() + "\n";
   }
@@ -441,6 +526,8 @@ Status SocketServer::HandleStream(const std::shared_ptr<Connection>& conn,
 bool SocketServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
   std::lock_guard<std::mutex> lock(conn->io_mu);
   if (!conn->open) return false;
+  std::vector<CompleteMatch> drained;
+  bool pushed_any = false;
   for (size_t i = 0; i < conn->streams.size();) {
     Connection::Stream& stream = conn->streams[i];
     bool ended = false;
@@ -458,12 +545,23 @@ bool SocketServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
         ended = true;
         break;
       }
-      CompleteMatch cm;
-      if (queue->TryPop(&cm)) {
-        conn->wbuf += "EVENT MATCH " + stream.label +
-                      " completed_at=" + std::to_string(cm.completed_at) +
-                      " " + cm.match.ToString() + "\n";
-        events_pushed_.fetch_add(1);
+      // Coalesced drain: one queue-lock round-trip pops a whole chunk,
+      // which is then formatted into wbuf and flushed below in a single
+      // write — not one lock and one send per EVENT line.
+      drained.clear();
+      const size_t n = queue->DrainUpTo(&drained, options_.pump_drain_chunk);
+      if (n > 0) {
+        for (const CompleteMatch& cm : drained) {
+          conn->wbuf += "EVENT MATCH ";
+          conn->wbuf += stream.label;
+          conn->wbuf += " completed_at=";
+          conn->wbuf += std::to_string(cm.completed_at);
+          conn->wbuf += ' ';
+          conn->wbuf += cm.match.ToString();
+          conn->wbuf += '\n';
+        }
+        events_pushed_.fetch_add(n);
+        pushed_any = true;
         continue;
       }
       if (queue->closed() && queue->size() == 0) ended = true;
@@ -477,6 +575,7 @@ bool SocketServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
       ++i;
     }
   }
+  if (pushed_any) pump_flushes_.fetch_add(1);
   if (!FlushWritesLocked(*conn)) return false;
   return conn->open;
 }

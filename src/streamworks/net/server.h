@@ -13,6 +13,7 @@
 #include "streamworks/net/socket.h"
 #include "streamworks/service/interpreter.h"
 #include "streamworks/service/query_service.h"
+#include "streamworks/stream/wire_format.h"
 
 namespace streamworks {
 
@@ -36,6 +37,14 @@ struct ServerOptions {
   /// A read buffer growing past this without a newline is a protocol
   /// violation; the connection is told ERR and closed.
   size_t max_line_bytes = 64 * 1024;
+  /// Largest accepted FEEDB frame body. An oversized frame is refused
+  /// with ERR and its declared bytes are skipped, so the stream stays in
+  /// sync and the connection survives.
+  size_t max_frame_body_bytes = kDefaultMaxFrameBodyBytes;
+  /// Matches the stream pump pops per queue-lock acquisition while
+  /// coalescing a drain pass (one lock + one write per chunk, not per
+  /// match).
+  size_t pump_drain_chunk = 256;
   /// Stream-pump drain cadence while any subscription is streaming.
   int pump_interval_ms = 2;
   /// When > 0, SO_SNDBUF for accepted connections. Tests shrink it so a
@@ -51,8 +60,11 @@ struct ServerStats {
   uint64_t connections_refused = 0;
   uint64_t connections_closed = 0;
   uint64_t lines_executed = 0;
+  uint64_t frames_executed = 0;  ///< Binary FEEDB frames executed.
+  uint64_t batch_edges_in = 0;   ///< Edges carried by those frames.
   uint64_t protocol_errors = 0;
   uint64_t events_pushed = 0;  ///< EVENT lines queued to sockets.
+  uint64_t pump_flushes = 0;   ///< Coalesced drain-pass writes by the pump.
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
   uint64_t subscriptions_reclaimed = 0;  ///< Subscriptions reclaimed on close.
@@ -66,6 +78,14 @@ struct ServerStats {
 ///
 /// Wire protocol, over the interpreter grammar (see interpreter.h):
 ///   * client sends one command per '\n'-terminated line;
+///   * a binary FEEDB frame (lead byte 0xFB; layout in
+///     stream/wire_format.h) may appear anywhere a command line could:
+///     it carries a whole EdgeBatch onto the backend's batched fast path
+///     and is answered with one "OK feedb <accepted> <rejected>" + "."
+///     — per-frame cost where text FEED pays per edge. An oversized
+///     frame is refused with ERR and skipped by its declared length (no
+///     desync, no disconnect); a frame whose magic is corrupt
+///     desynchronizes the stream and closes the connection;
 ///   * the server replies with the command's output lines followed by a
 ///     lone "." terminator line;
 ///   * a malformed command replies "ERR <status>" + "." and the connection
@@ -144,6 +164,14 @@ class SocketServer {
     bool read_eof = false; ///< Peer finished sending (half-close or gone).
     std::string rbuf;
     std::string wbuf;
+    /// Remaining bytes of a refused (oversized) FEEDB frame still to be
+    /// discarded — the length prefix makes resync exact, so the
+    /// connection survives the refusal. Poll-thread-only, like rbuf.
+    size_t skip_bytes = 0;
+    /// Set when AdvanceConnection parked complete-but-unexecuted input
+    /// behind the write high-water; an EOF must not close such a
+    /// connection (the parked work resumes after POLLOUT drains).
+    bool input_parked = false;
     /// Subscriptions upgraded to push streaming. The weak_ptr expires when
     /// the service reclaims the subscription (the pump then emits END).
     struct Stream {
@@ -174,6 +202,11 @@ class SocketServer {
   /// response to wbuf.
   void ExecuteLine(const std::shared_ptr<Connection>& conn,
                    std::string_view line);
+  /// Executes one decoded FEEDB batch on the poll thread (the binary
+  /// sibling of ExecuteLine; one framed "OK feedb ..." response per
+  /// frame).
+  void ExecuteFrame(const std::shared_ptr<Connection>& conn,
+                    const EdgeBatch& batch);
   /// STREAM/UNSTREAM hook target (runs on the poll thread, from inside
   /// the connection's interpreter).
   Status HandleStream(const std::shared_ptr<Connection>& conn, bool enable,
@@ -231,8 +264,11 @@ class SocketServer {
   std::atomic<uint64_t> connections_refused_{0};
   std::atomic<uint64_t> connections_closed_{0};
   std::atomic<uint64_t> lines_executed_{0};
+  std::atomic<uint64_t> frames_executed_{0};
+  std::atomic<uint64_t> batch_edges_in_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> events_pushed_{0};
+  std::atomic<uint64_t> pump_flushes_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
   std::atomic<uint64_t> subscriptions_reclaimed_{0};

@@ -24,8 +24,18 @@ Status SingleEngineBackend::Feed(const StreamEdge& edge) {
   return engine_->ProcessEdge(edge);
 }
 
-Status SingleEngineBackend::FeedBatch(const EdgeBatch& batch) {
-  return engine_->ProcessBatch(batch);
+Status SingleEngineBackend::FeedBatch(const EdgeBatch& batch,
+                                      size_t* rejected_out) {
+  // ProcessBatch skips malformed edges (counting them in edges_rejected);
+  // the before/after delta is this batch's rejection count, since the
+  // engine is single-threaded.
+  const uint64_t before = engine_->metrics().edges_rejected;
+  const Status status = engine_->ProcessBatch(batch);
+  if (rejected_out != nullptr) {
+    *rejected_out =
+        static_cast<size_t>(engine_->metrics().edges_rejected - before);
+  }
+  return status;
 }
 
 StatusOr<int> ParallelGroupBackend::Register(const QueryGraph& query,
@@ -48,7 +58,11 @@ Status ParallelGroupBackend::Feed(const StreamEdge& edge) {
   return OkStatus();
 }
 
-Status ParallelGroupBackend::FeedBatch(const EdgeBatch& batch) {
+Status ParallelGroupBackend::FeedBatch(const EdgeBatch& batch,
+                                       size_t* rejected_out) {
+  // Ingestion is asynchronous: rejections surface in aggregate shard
+  // counters only, never per batch.
+  if (rejected_out != nullptr) *rejected_out = 0;
   group_->ProcessBatch(batch);
   return OkStatus();
 }

@@ -35,7 +35,14 @@ class QueryBackend {
   /// single-engine backend; the parallel backend surfaces those only in
   /// aggregate counters (its ingestion is asynchronous).
   virtual Status Feed(const StreamEdge& edge) = 0;
-  virtual Status FeedBatch(const EdgeBatch& batch) = 0;
+
+  /// Ingests a whole batch on the batched fast path. Malformed edges are
+  /// skipped, not batch-fatal; when `rejected_out` is non-null it receives
+  /// how many edges the backend refused (always 0 for asynchronous
+  /// backends, which surface rejections only in aggregate counters — the
+  /// wire protocol reports that count per FEEDB frame).
+  virtual Status FeedBatch(const EdgeBatch& batch,
+                           size_t* rejected_out) = 0;
 
   /// Blocks until every previously fed edge is fully processed (and its
   /// callbacks have run).
@@ -60,7 +67,7 @@ class SingleEngineBackend : public QueryBackend {
   Status Unregister(int query_id) override;
   StatusOr<QueryRuntimeInfo> Info(int query_id) override;
   Status Feed(const StreamEdge& edge) override;
-  Status FeedBatch(const EdgeBatch& batch) override;
+  Status FeedBatch(const EdgeBatch& batch, size_t* rejected_out) override;
   void Flush() override {}
 
  private:
@@ -86,7 +93,7 @@ class ParallelGroupBackend : public QueryBackend {
   Status Unregister(int query_id) override;
   StatusOr<QueryRuntimeInfo> Info(int query_id) override;
   Status Feed(const StreamEdge& edge) override;
-  Status FeedBatch(const EdgeBatch& batch) override;
+  Status FeedBatch(const EdgeBatch& batch, size_t* rejected_out) override;
   void Flush() override { group_->Flush(); }
   std::vector<ShardLoadSnapshot> ShardLoads() override;
 

@@ -1,20 +1,42 @@
 #include "streamworks/service/interpreter.h"
 
-#include <sstream>
+#include <array>
+#include <cctype>
 
 #include "streamworks/common/str_util.h"
+#include "streamworks/stream/wire_format.h"
 
 namespace streamworks {
 
 namespace {
 
-/// Whitespace-splits a line into tokens (multiple separators collapse).
-std::vector<std::string> Tokenize(std::string_view line) {
-  std::vector<std::string> tokens;
-  std::istringstream is{std::string(line)};
-  std::string token;
-  while (is >> token) tokens.push_back(token);
-  return tokens;
+/// Widest command in the grammar: SUBMIT with every option pair is 12
+/// tokens. Anything longer is malformed by construction.
+constexpr size_t kMaxCommandTokens = 16;
+
+/// Whitespace-splits `line` into string_views over its bytes (multiple
+/// separators collapse). Zero allocations — the FEED hot path runs through
+/// here once per edge. Returns the token count, or SIZE_MAX when the line
+/// has more than kMaxCommandTokens tokens.
+size_t Tokenize(std::string_view line,
+                std::array<std::string_view, kMaxCommandTokens>* out) {
+  size_t count = 0;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    const size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (count == kMaxCommandTokens) return SIZE_MAX;
+    (*out)[count++] = line.substr(start, i - start);
+  }
+  return count;
 }
 
 StatusOr<DecompositionStrategy> ParseStrategy(std::string_view name) {
@@ -49,12 +71,11 @@ Status CommandInterpreter::ExecuteScript(std::string_view script) {
 
 StatusOr<std::pair<int, int>> CommandInterpreter::ResolveSubscription(
     std::string_view session, std::string_view sub) const {
-  auto session_it = session_ids_.find(std::string(session));
+  auto session_it = session_ids_.find(session);
   if (session_it == session_ids_.end()) {
     return Status::NotFound("unknown session: " + std::string(session));
   }
-  auto sub_it = subscription_ids_.find(
-      {std::string(session), std::string(sub)});
+  auto sub_it = subscription_ids_.find(std::make_pair(session, sub));
   if (sub_it == subscription_ids_.end()) {
     return Status::NotFound("unknown subscription: " + std::string(session) +
                             "." + std::string(sub));
@@ -67,11 +88,13 @@ Status CommandInterpreter::ExecuteLine(std::string_view line) {
   const std::string_view stripped = StripWhitespace(line);
   if (stripped.empty() || stripped[0] == '#') return OkStatus();
 
-  std::vector<std::string> tokens = Tokenize(stripped);
-  const std::string& verb = tokens[0];
+  const auto error = [this](std::string_view msg) {
+    return Status::InvalidArgument("line " + std::to_string(line_number_) +
+                                   ": " + std::string(msg));
+  };
 
   if (in_define_) {
-    if (verb == "END") {
+    if (stripped == "END") {
       in_define_ = false;
       auto parsed = ParseQueryText(define_body_, interner_);
       if (!parsed.ok()) {
@@ -88,16 +111,20 @@ Status CommandInterpreter::ExecuteLine(std::string_view line) {
     return OkStatus();
   }
 
-  const auto error = [this](std::string_view msg) {
-    return Status::InvalidArgument("line " + std::to_string(line_number_) +
-                                   ": " + std::string(msg));
-  };
+  std::array<std::string_view, kMaxCommandTokens> token_storage;
+  const size_t num_tokens = Tokenize(stripped, &token_storage);
+  if (num_tokens == SIZE_MAX) {
+    return error("too many tokens (max " +
+                 std::to_string(kMaxCommandTokens) + ")");
+  }
+  const Tokens tokens(token_storage.data(), num_tokens);
+  const std::string_view verb = tokens[0];
 
   Status status = OkStatus();
   if (verb == "DEFINE") {
     if (tokens.size() != 2) return error("DEFINE takes one name");
     in_define_ = true;
-    define_name_ = tokens[1];
+    define_name_ = std::string(tokens[1]);
     define_body_ = "query " + define_name_ + "\n";
     return OkStatus();  // counted when END closes the block
   } else if (verb == "SESSION") {
@@ -120,69 +147,82 @@ Status CommandInterpreter::ExecuteLine(std::string_view line) {
     if (out_ != nullptr) *out_ << service_->Snapshot().ToString();
     status = OkStatus();
   } else {
-    return error("unknown command: " + verb);
+    return error("unknown command: " + std::string(verb));
   }
   if (!status.ok()) {
-    return error(verb + ": " + status.message());
+    return error(std::string(verb) + ": " + status.message());
   }
   ++commands_executed_;
   return OkStatus();
 }
 
-Status CommandInterpreter::HandleSession(
-    const std::vector<std::string>& tokens) {
-  if (tokens.size() != 2) return Status::InvalidArgument("takes one name");
-  SW_ASSIGN_OR_RETURN(const int id, service_->OpenSession(tokens[1]));
-  session_ids_[tokens[1]] = id;
-  return Emit("OK session " + tokens[1] + " id=" + std::to_string(id));
+Status CommandInterpreter::ExecuteBatch(const EdgeBatch& batch) {
+  size_t rejected = 0;
+  // Like text FEED, a malformed edge inside the batch is counted by the
+  // backend and the stream continues; the status itself is not an error.
+  service_->FeedBatch(batch, &rejected).ok();
+  ++commands_executed_;
+  ++batch_frames_;
+  batch_edges_ += batch.size();
+  return Emit("OK feedb " + std::to_string(batch.size() - rejected) + " " +
+              std::to_string(rejected));
 }
 
-Status CommandInterpreter::HandleSubmit(
-    const std::vector<std::string>& tokens) {
+Status CommandInterpreter::HandleSession(Tokens tokens) {
+  if (tokens.size() != 2) return Status::InvalidArgument("takes one name");
+  const std::string name(tokens[1]);
+  SW_ASSIGN_OR_RETURN(const int id, service_->OpenSession(name));
+  session_ids_[name] = id;
+  return Emit("OK session " + name + " id=" + std::to_string(id));
+}
+
+Status CommandInterpreter::HandleSubmit(Tokens tokens) {
   if (tokens.size() < 4) {
     return Status::InvalidArgument(
         "usage: SUBMIT <session> <sub> <query> [WINDOW w] [CAP n] "
         "[POLICY p] [STRATEGY s]");
   }
-  const std::string& session_name = tokens[1];
-  const std::string& sub_name = tokens[2];
-  const std::string& query_name = tokens[3];
+  const std::string_view session_name = tokens[1];
+  const std::string_view sub_name = tokens[2];
+  const std::string_view query_name = tokens[3];
 
   auto session_it = session_ids_.find(session_name);
   if (session_it == session_ids_.end()) {
-    return Status::NotFound("unknown session: " + session_name);
+    return Status::NotFound("unknown session: " + std::string(session_name));
   }
   // A sub name addresses lifecycle commands, so a live one must not be
   // silently replaced; the name frees once its subscription detaches
   // (the detach/re-submit flow).
-  auto existing = subscription_ids_.find({session_name, sub_name});
+  auto existing =
+      subscription_ids_.find(std::make_pair(session_name, sub_name));
   if (existing != subscription_ids_.end()) {
     auto state = service_->state(session_it->second, existing->second);
     if (state.ok() && *state != SubscriptionState::kDetached) {
       return Status::AlreadyExists("subscription name in use: " +
-                                   session_name + "." + sub_name);
+                                   std::string(session_name) + "." +
+                                   std::string(sub_name));
     }
   }
   auto def_it = definitions_.find(query_name);
   if (def_it == definitions_.end()) {
-    return Status::NotFound("undefined query: " + query_name);
+    return Status::NotFound("undefined query: " + std::string(query_name));
   }
 
   SubmitOptions options;
   options.window = def_it->second.window;  // DSL window, unless overridden
   for (size_t i = 4; i + 1 < tokens.size(); i += 2) {
-    const std::string& key = tokens[i];
-    const std::string& value = tokens[i + 1];
+    const std::string_view key = tokens[i];
+    const std::string_view value = tokens[i + 1];
     if (key == "WINDOW") {
       int64_t w = 0;
       if (!ParseInt64(value, &w) || w <= 0) {
-        return Status::InvalidArgument("bad WINDOW: " + value);
+        return Status::InvalidArgument("bad WINDOW: " + std::string(value));
       }
       options.window = w;
     } else if (key == "CAP") {
       uint64_t cap = 0;
       if (!ParseUint64(value, &cap) || cap == 0) {
-        return Status::InvalidArgument("bad CAP: " + value);
+        return Status::InvalidArgument("bad CAP: " + std::string(value));
       }
       options.queue_capacity = cap;
     } else if (key == "POLICY") {
@@ -192,7 +232,8 @@ Status CommandInterpreter::HandleSubmit(
     } else if (key == "STRATEGY") {
       SW_ASSIGN_OR_RETURN(options.strategy, ParseStrategy(value));
     } else {
-      return Status::InvalidArgument("unknown SUBMIT option: " + key);
+      return Status::InvalidArgument("unknown SUBMIT option: " +
+                                     std::string(key));
     }
   }
   if ((tokens.size() - 4) % 2 != 0) {
@@ -205,24 +246,28 @@ Status CommandInterpreter::HandleSubmit(
     if (submitted.status().code() == StatusCode::kResourceExhausted) {
       // Admission rejection is a scenario outcome scripts assert on, not a
       // malformed script.
-      return Emit("REJECTED " + session_name + "." + sub_name + " " +
+      return Emit("REJECTED " + std::string(session_name) + "." +
+                  std::string(sub_name) + " " +
                   submitted.status().ToString());
     }
     return submitted.status();
   }
-  subscription_ids_[{session_name, sub_name}] = submitted.value();
+  subscription_ids_[{std::string(session_name), std::string(sub_name)}] =
+      submitted.value();
   if (submit_hook_) {
     submit_hook_(session_name, sub_name, session_it->second,
                  submitted.value(), options);
   }
-  return Emit("OK submit " + session_name + "." + sub_name +
+  return Emit("OK submit " + std::string(session_name) + "." +
+              std::string(sub_name) +
               " id=" + std::to_string(submitted.value()));
 }
 
-Status CommandInterpreter::HandleLifecycle(
-    const std::string& verb, const std::vector<std::string>& tokens) {
+Status CommandInterpreter::HandleLifecycle(std::string_view verb,
+                                           Tokens tokens) {
   if (tokens.size() != 3) {
-    return Status::InvalidArgument("usage: " + verb + " <session> <sub>");
+    return Status::InvalidArgument("usage: " + std::string(verb) +
+                                   " <session> <sub>");
   }
   SW_ASSIGN_OR_RETURN(const auto ids,
                       ResolveSubscription(tokens[1], tokens[2]));
@@ -236,36 +281,21 @@ Status CommandInterpreter::HandleLifecycle(
     service_->Flush();
     SW_RETURN_IF_ERROR(service_->Detach(ids.first, ids.second));
   }
-  return Emit("OK " + verb + " " + tokens[1] + "." + tokens[2]);
+  return Emit("OK " + std::string(verb) + " " + std::string(tokens[1]) +
+              "." + std::string(tokens[2]));
 }
 
-Status CommandInterpreter::HandleFeed(
-    const std::vector<std::string>& tokens) {
-  if (tokens.size() != 7) {
-    return Status::InvalidArgument(
-        "usage: FEED <src> <SrcLabel> <dst> <DstLabel> <edgeLabel> <ts>");
-  }
+Status CommandInterpreter::HandleFeed(Tokens tokens) {
   StreamEdge edge;
-  if (!ParseUint64(tokens[1], &edge.src)) {
-    return Status::InvalidArgument("bad src vertex id: " + tokens[1]);
-  }
-  edge.src_label = interner_->Intern(tokens[2]);
-  if (!ParseUint64(tokens[3], &edge.dst)) {
-    return Status::InvalidArgument("bad dst vertex id: " + tokens[3]);
-  }
-  edge.dst_label = interner_->Intern(tokens[4]);
-  edge.edge_label = interner_->Intern(tokens[5]);
-  if (!ParseInt64(tokens[6], &edge.ts)) {
-    return Status::InvalidArgument("bad timestamp: " + tokens[6]);
-  }
+  SW_RETURN_IF_ERROR(
+      ParseFeedFields(tokens.subspan(1), interner_, &edge));
   // A malformed edge (time regression, label clash) is a stream property,
   // not a script error: the engine counts it and the stream continues.
   service_->Feed(edge).ok();
   return OkStatus();
 }
 
-Status CommandInterpreter::HandlePoll(
-    const std::vector<std::string>& tokens) {
+Status CommandInterpreter::HandlePoll(Tokens tokens) {
   if (tokens.size() != 3) {
     return Status::InvalidArgument("usage: POLL <session> <sub>");
   }
@@ -275,18 +305,18 @@ Status CommandInterpreter::HandlePoll(
   service_->Flush();
   ResultQueue* queue = service_->queue(ids.first, ids.second);
   if (queue == nullptr) return Status::NotFound("subscription has no queue");
+  const std::string label =
+      std::string(tokens[1]) + "." + std::string(tokens[2]);
   std::vector<CompleteMatch> matches;
   queue->Drain(&matches);
   for (const CompleteMatch& cm : matches) {
-    Emit("MATCH " + tokens[1] + "." + tokens[2] + " completed_at=" +
+    Emit("MATCH " + label + " completed_at=" +
          std::to_string(cm.completed_at) + " " + cm.match.ToString());
   }
-  return Emit("POLLED " + tokens[1] + "." + tokens[2] +
-              " n=" + std::to_string(matches.size()));
+  return Emit("POLLED " + label + " n=" + std::to_string(matches.size()));
 }
 
-Status CommandInterpreter::HandleStream(
-    bool enable, const std::vector<std::string>& tokens) {
+Status CommandInterpreter::HandleStream(bool enable, Tokens tokens) {
   if (tokens.size() != 3) {
     return Status::InvalidArgument(
         std::string("usage: ") + (enable ? "STREAM" : "UNSTREAM") +
@@ -302,7 +332,7 @@ Status CommandInterpreter::HandleStream(
   SW_RETURN_IF_ERROR(
       stream_hook_(enable, tokens[1], tokens[2], ids.first, ids.second));
   return Emit(std::string("OK ") + (enable ? "stream " : "unstream ") +
-              tokens[1] + "." + tokens[2]);
+              std::string(tokens[1]) + "." + std::string(tokens[2]));
 }
 
 }  // namespace streamworks

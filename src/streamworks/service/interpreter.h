@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <ostream>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,6 +61,13 @@ class CommandInterpreter {
   /// Runs one line (or accumulates it into an open DEFINE block).
   Status ExecuteLine(std::string_view line);
 
+  /// Executes one decoded binary FEEDB frame: the whole batch rides the
+  /// backend's batched fast path (QueryService::FeedBatch) and the frame
+  /// is answered with a single "OK feedb <accepted> <rejected>" line —
+  /// per-frame accounting where text FEED pays per edge. Malformed edges
+  /// are a stream property (skipped and counted), never a script error.
+  Status ExecuteBatch(const EdgeBatch& batch);
+
   /// Honours STREAM (enable=true) / UNSTREAM for an already-resolved
   /// subscription. Installed by a push-capable transport (the socket
   /// server binds it to the owning connection).
@@ -82,9 +90,15 @@ class CommandInterpreter {
   /// Session name -> service session id, every session this interpreter
   /// opened. A network frontend uses it to close a disconnected tenant's
   /// sessions.
-  const std::map<std::string, int>& sessions() const { return session_ids_; }
+  const std::map<std::string, int, std::less<>>& sessions() const {
+    return session_ids_;
+  }
 
   uint64_t commands_executed() const { return commands_executed_; }
+  /// Binary-path accounting: FEEDB frames executed and the edges they
+  /// carried (each frame also counts once in commands_executed).
+  uint64_t batch_frames() const { return batch_frames_; }
+  uint64_t batch_edges() const { return batch_edges_; }
 
   /// Subscription handle resolved by "<session> <sub>" names; exposed so
   /// tests can cross-check interpreter-created state through the service
@@ -93,15 +107,18 @@ class CommandInterpreter {
       std::string_view session, std::string_view sub) const;
 
  private:
+  /// Tokens are string_views into the line being executed (zero-copy; the
+  /// tokenizer never allocates on the hot FEED path).
+  using Tokens = std::span<const std::string_view>;
+
   Status Emit(const std::string& line);
 
-  Status HandleSession(const std::vector<std::string>& tokens);
-  Status HandleSubmit(const std::vector<std::string>& tokens);
-  Status HandleLifecycle(const std::string& verb,
-                         const std::vector<std::string>& tokens);
-  Status HandleFeed(const std::vector<std::string>& tokens);
-  Status HandlePoll(const std::vector<std::string>& tokens);
-  Status HandleStream(bool enable, const std::vector<std::string>& tokens);
+  Status HandleSession(Tokens tokens);
+  Status HandleSubmit(Tokens tokens);
+  Status HandleLifecycle(std::string_view verb, Tokens tokens);
+  Status HandleFeed(Tokens tokens);
+  Status HandlePoll(Tokens tokens);
+  Status HandleStream(bool enable, Tokens tokens);
 
   QueryService* service_;
   Interner* interner_;
@@ -109,16 +126,30 @@ class CommandInterpreter {
   StreamHook stream_hook_;
   SubmitHook submit_hook_;
 
-  std::map<std::string, ParsedQuery> definitions_;
-  std::map<std::string, int> session_ids_;
+  /// Transparent comparators: command handlers look names up as
+  /// string_views without materializing std::strings.
+  struct NamePairLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      const std::string_view a_first(a.first), b_first(b.first);
+      if (a_first != b_first) return a_first < b_first;
+      return std::string_view(a.second) < std::string_view(b.second);
+    }
+  };
+  std::map<std::string, ParsedQuery, std::less<>> definitions_;
+  std::map<std::string, int, std::less<>> session_ids_;
   /// (session name, sub name) -> subscription id.
-  std::map<std::pair<std::string, std::string>, int> subscription_ids_;
+  std::map<std::pair<std::string, std::string>, int, NamePairLess>
+      subscription_ids_;
 
   bool in_define_ = false;
   std::string define_name_;
   std::string define_body_;
   int line_number_ = 0;
   uint64_t commands_executed_ = 0;
+  uint64_t batch_frames_ = 0;
+  uint64_t batch_edges_ = 0;
 };
 
 }  // namespace streamworks

@@ -296,12 +296,13 @@ Status QueryService::Feed(const StreamEdge& edge) {
   return backend_->Feed(edge);
 }
 
-Status QueryService::FeedBatch(const EdgeBatch& batch) {
+Status QueryService::FeedBatch(const EdgeBatch& batch,
+                               size_t* rejected_out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     edges_fed_ += batch.size();
   }
-  return backend_->FeedBatch(batch);
+  return backend_->FeedBatch(batch, rejected_out);
 }
 
 void QueryService::Flush() { backend_->Flush(); }

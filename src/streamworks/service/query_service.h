@@ -108,7 +108,10 @@ class QueryService {
   // --- Streaming -----------------------------------------------------------
   /// Forwards one edge to the backend.
   Status Feed(const StreamEdge& edge);
-  Status FeedBatch(const EdgeBatch& batch);
+  /// Forwards a whole batch on the backend's batched fast path; when
+  /// `rejected_out` is non-null it receives the count of malformed edges
+  /// the backend skipped (0 for asynchronous backends).
+  Status FeedBatch(const EdgeBatch& batch, size_t* rejected_out = nullptr);
   /// Blocks until the backend has processed everything fed so far.
   void Flush();
 

@@ -106,6 +106,30 @@ size_t ResultQueue::Drain(std::vector<CompleteMatch>* out) {
   return n;
 }
 
+size_t ResultQueue::DrainUpTo(std::vector<CompleteMatch>* out, size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = std::min(queue_.size(), max);
+  if (n == 0) return 0;
+  // One clock read and one reservation for the whole chunk: producers on
+  // the hot ingest path contend on mu_, so the drain must not pay a
+  // steady_clock call (or a vector reallocation) per match while holding
+  // it. Lag loses sub-chunk resolution, which the power-of-two histogram
+  // buckets never showed anyway.
+  const auto now = std::chrono::steady_clock::now();
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    Entry& front = queue_.front();
+    const auto lag = std::chrono::duration_cast<std::chrono::microseconds>(
+        now - front.enqueued_at);
+    lag_.Record(static_cast<uint64_t>(std::max<int64_t>(0, lag.count())));
+    out->push_back(std::move(front.match));
+    queue_.pop_front();
+  }
+  counters_.delivered += n;
+  cv_space_.notify_all();
+  return n;
+}
+
 void ResultQueue::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;

@@ -68,6 +68,12 @@ class ResultQueue {
   /// Appends everything queued to *out; returns how many were drained.
   size_t Drain(std::vector<CompleteMatch>* out);
 
+  /// Like Drain but bounded: pops at most `max` matches under one lock
+  /// acquisition — how a consumer with its own budget (the socket
+  /// server's write high-water) drains in coalesced chunks instead of a
+  /// lock round-trip per match.
+  size_t DrainUpTo(std::vector<CompleteMatch>* out, size_t max);
+
   /// Stops the producer side. Idempotent.
   void Close();
 

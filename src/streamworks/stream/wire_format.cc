@@ -1,0 +1,240 @@
+#include "streamworks/stream/wire_format.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+namespace {
+
+/// Little-endian put/get via memcpy: on LE hosts (the common case) these
+/// compile to single unaligned loads/stores — the codec runs once per
+/// edge on the ingest hot path, so byte-at-a-time loops would show up.
+template <typename T>
+void PutLe(std::string* out, T v) {
+  if constexpr (std::endian::native != std::endian::little) {
+    T swapped = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      swapped |= static_cast<T>((v >> (8 * i)) & 0xFF)
+                 << (8 * (sizeof(T) - 1 - i));
+    }
+    v = swapped;
+  }
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+void PutU16(std::string* out, uint16_t v) { PutLe(out, v); }
+void PutU32(std::string* out, uint32_t v) { PutLe(out, v); }
+void PutU64(std::string* out, uint64_t v) { PutLe(out, v); }
+
+/// Bounds-unchecked little-endian readers; the decoder validates sizes
+/// before calling them.
+template <typename T>
+T GetLe(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  if constexpr (std::endian::native != std::endian::little) {
+    T swapped = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      swapped |= static_cast<T>((v >> (8 * i)) & 0xFF)
+                 << (8 * (sizeof(T) - 1 - i));
+    }
+    v = swapped;
+  }
+  return v;
+}
+
+uint16_t GetU16(const char* p) { return GetLe<uint16_t>(p); }
+uint32_t GetU32(const char* p) { return GetLe<uint32_t>(p); }
+uint64_t GetU64(const char* p) { return GetLe<uint64_t>(p); }
+
+FrameDecodeResult Fail(FrameDecodeStatus status, size_t frame_bytes,
+                       std::string error) {
+  FrameDecodeResult r;
+  r.status = status;
+  r.frame_bytes = frame_bytes;
+  r.error = std::move(error);
+  return r;
+}
+
+}  // namespace
+
+bool IsFrameStart(std::string_view buf) {
+  return !buf.empty() && buf[0] == kFeedFrameMagic[0];
+}
+
+StatusOr<std::string> EncodeFeedFrame(const EdgeBatch& batch,
+                                      const Interner& interner) {
+  // String table: first-seen order over the batch's label ids, so the
+  // frame stays byte-stable for a given batch. Real streams carry a
+  // handful of distinct labels, so a linear scan beats a hash map on the
+  // per-edge encode path.
+  std::vector<LabelId> table;
+  const auto index_of = [&](LabelId id) -> uint32_t {
+    for (size_t i = 0; i < table.size(); ++i) {
+      if (table[i] == id) return static_cast<uint32_t>(i);
+    }
+    table.push_back(id);
+    return static_cast<uint32_t>(table.size() - 1);
+  };
+  // Pre-resolve indexes in edge order (also sizes the table).
+  struct Record {
+    uint32_t src_label, dst_label, edge_label;
+  };
+  std::vector<Record> records;
+  records.reserve(batch.size());
+  for (const StreamEdge& e : batch) {
+    records.push_back({index_of(e.src_label), index_of(e.dst_label),
+                       index_of(e.edge_label)});
+  }
+
+  std::string body;
+  body.reserve(8 + table.size() * 16 + batch.size() * kFeedFrameEdgeBytes);
+  PutU32(&body, static_cast<uint32_t>(table.size()));
+  for (LabelId id : table) {
+    const std::string& name = interner.Name(id);
+    if (name.size() > std::numeric_limits<uint16_t>::max()) {
+      return Status::InvalidArgument(
+          StrCat("label of ", name.size(),
+                 " bytes exceeds the frame's u16 string length"));
+    }
+    PutU16(&body, static_cast<uint16_t>(name.size()));
+    body.append(name);
+  }
+  PutU32(&body, static_cast<uint32_t>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const StreamEdge& e = batch[i];
+    PutU64(&body, e.src);
+    PutU64(&body, e.dst);
+    PutU32(&body, records[i].src_label);
+    PutU32(&body, records[i].dst_label);
+    PutU32(&body, records[i].edge_label);
+    PutU64(&body, static_cast<uint64_t>(e.ts));
+  }
+
+  if (body.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        StrCat("frame body of ", body.size(),
+               " bytes exceeds the u32 length prefix; split the batch"));
+  }
+  std::string frame;
+  frame.reserve(kFeedFrameHeaderBytes + body.size());
+  frame.append(kFeedFrameMagic, sizeof(kFeedFrameMagic));
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+Status ParseFeedFields(std::span<const std::string_view> fields,
+                       Interner* interner, StreamEdge* edge) {
+  if (fields.size() != 6) {
+    return Status::InvalidArgument(
+        "usage: FEED <src> <SrcLabel> <dst> <DstLabel> <edgeLabel> <ts>");
+  }
+  if (!ParseUint64(fields[0], &edge->src)) {
+    return Status::InvalidArgument("bad src vertex id: " +
+                                   std::string(fields[0]));
+  }
+  edge->src_label = interner->Intern(fields[1]);
+  if (!ParseUint64(fields[2], &edge->dst)) {
+    return Status::InvalidArgument("bad dst vertex id: " +
+                                   std::string(fields[2]));
+  }
+  edge->dst_label = interner->Intern(fields[3]);
+  edge->edge_label = interner->Intern(fields[4]);
+  if (!ParseInt64(fields[5], &edge->ts)) {
+    return Status::InvalidArgument("bad timestamp: " +
+                                   std::string(fields[5]));
+  }
+  return OkStatus();
+}
+
+FrameDecodeResult DecodeFeedFrame(std::string_view buf,
+                                  size_t max_body_bytes,
+                                  Interner* interner) {
+  FrameDecodeResult result;
+  if (buf.size() < kFeedFrameHeaderBytes) return result;  // kNeedMore
+  if (std::memcmp(buf.data(), kFeedFrameMagic, sizeof(kFeedFrameMagic)) !=
+      0) {
+    // The lead byte promised a frame but the magic is wrong: there is no
+    // length to skip by, so the stream position is lost for good.
+    return Fail(FrameDecodeStatus::kMalformed, 0,
+                "bad frame magic (stream desynchronized)");
+  }
+  const size_t body_len = GetU32(buf.data() + 4);
+  const size_t frame_bytes = kFeedFrameHeaderBytes + body_len;
+  if (body_len > max_body_bytes) {
+    return Fail(FrameDecodeStatus::kOversized, frame_bytes,
+                StrCat("frame body of ", body_len, " bytes exceeds ",
+                       max_body_bytes));
+  }
+  if (buf.size() < frame_bytes) return result;  // kNeedMore
+
+  const char* p = buf.data() + kFeedFrameHeaderBytes;
+  const char* const end = p + body_len;
+  const auto malformed = [&](std::string_view why) {
+    return Fail(FrameDecodeStatus::kMalformed, frame_bytes,
+                StrCat("malformed frame: ", why));
+  };
+
+  if (end - p < 4) return malformed("truncated string-table count");
+  const uint32_t n_labels = GetU32(p);
+  p += 4;
+  // A table entry costs at least its 2-byte length, so a count beyond
+  // remaining/2 is a lie — reject before reserving (an attacker-chosen
+  // n_labels must never size an allocation).
+  if (n_labels > static_cast<size_t>(end - p) / 2) {
+    return malformed("string-table count exceeds body");
+  }
+  // Intern each table entry once; every edge in the frame reuses the ids.
+  std::vector<LabelId> labels;
+  labels.reserve(n_labels);
+  for (uint32_t i = 0; i < n_labels; ++i) {
+    if (end - p < 2) return malformed("truncated string length");
+    const uint16_t len = GetU16(p);
+    p += 2;
+    if (end - p < len) return malformed("truncated string bytes");
+    labels.push_back(interner->Intern(std::string_view(p, len)));
+    p += len;
+  }
+
+  if (end - p < 4) return malformed("truncated edge count");
+  const uint32_t n_edges = GetU32(p);
+  p += 4;
+  if (static_cast<size_t>(end - p) != n_edges * kFeedFrameEdgeBytes) {
+    return malformed(StrCat("body length does not match ", n_edges,
+                            " edge records"));
+  }
+  result.batch.reserve(n_edges);
+  for (uint32_t i = 0; i < n_edges; ++i) {
+    StreamEdge e;
+    e.src = GetU64(p);
+    e.dst = GetU64(p + 8);
+    const uint32_t src_label = GetU32(p + 16);
+    const uint32_t dst_label = GetU32(p + 20);
+    const uint32_t edge_label = GetU32(p + 24);
+    e.ts = static_cast<Timestamp>(GetU64(p + 28));
+    p += kFeedFrameEdgeBytes;
+    if (src_label >= labels.size() || dst_label >= labels.size() ||
+        edge_label >= labels.size()) {
+      return malformed("label index out of string-table range");
+    }
+    e.src_label = labels[src_label];
+    e.dst_label = labels[dst_label];
+    e.edge_label = labels[edge_label];
+    result.batch.push_back(e);
+  }
+  result.status = FrameDecodeStatus::kOk;
+  result.frame_bytes = frame_bytes;
+  return result;
+}
+
+}  // namespace streamworks

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <chrono>
@@ -28,6 +30,7 @@
 #include "streamworks/net/server.h"
 #include "streamworks/service/backend.h"
 #include "streamworks/service/query_service.h"
+#include "streamworks/stream/wire_format.h"
 
 namespace streamworks {
 namespace {
@@ -583,6 +586,293 @@ TEST_F(NetTest, StopDisconnectsClientsAndUnlinksSocket) {
   const ServiceStatsSnapshot snap = service_->Snapshot();
   EXPECT_EQ(snap.reclaimed, 1u);
   EXPECT_TRUE(snap.sessions.empty());
+}
+
+// --- Binary FEEDB frames ---------------------------------------------------
+
+/// The shared stream both wire modes must agree on: distinct ping edges,
+/// each completing exactly one match.
+EdgeBatch PingStream(Interner* interner, int n) {
+  EdgeBatch batch;
+  for (int i = 0; i < n; ++i) {
+    StreamEdge e;
+    e.src = 2 * static_cast<uint64_t>(i);
+    e.dst = 2 * static_cast<uint64_t>(i) + 1;
+    e.src_label = interner->Intern("V");
+    e.dst_label = interner->Intern("V");
+    e.edge_label = interner->Intern("ping");
+    e.ts = 10 + i;
+    batch.push_back(e);
+  }
+  return batch;
+}
+
+TEST_F(NetTest, BinaryFeedbMatchesTextFeedByteForByte) {
+  // Two servers over two fresh engines, one fed the stream as text FEED
+  // lines, one as FEEDB frames: the polled MATCH lines must be the same
+  // multiset, byte for byte.
+  const int kEdges = 37;
+  const auto run = [&](bool binary) -> std::vector<std::string> {
+    Interner interner;
+    StreamWorksEngine engine(&interner);
+    SingleEngineBackend backend(&engine);
+    QueryService service(&backend);
+    ServerOptions options;
+    options.unix_path = UniqueSocketPath();
+    SocketServer server(&service, &interner, options);
+    EXPECT_TRUE(server.Start().ok());
+    auto connected = LineClient::ConnectUnix(options.unix_path);
+    EXPECT_TRUE(connected.ok());
+    LineClient client = std::move(connected).value();
+    for (std::string_view line : Split(kDefinePing, '\n')) {
+      client.Command(std::string(line), kTimeout).value();
+    }
+    client.Command("SESSION s", kTimeout).value();
+    client
+        .Command("SUBMIT s live ping CAP " + std::to_string(kEdges + 8),
+                 kTimeout)
+        .value();
+    Interner wire_interner;
+    const EdgeBatch stream = PingStream(&wire_interner, kEdges);
+    if (binary) {
+      // Uneven chunks on purpose: frame boundaries must not show up in
+      // the match set.
+      size_t at = 0;
+      for (size_t chunk : {5u, 1u, 17u, 14u}) {
+        EdgeBatch frame(stream.begin() + at, stream.begin() + at + chunk);
+        auto counts = client.FeedBatch(frame, wire_interner, kTimeout);
+        EXPECT_TRUE(counts.ok()) << counts.status().ToString();
+        EXPECT_EQ(counts->first, chunk);
+        EXPECT_EQ(counts->second, 0u);
+        at += chunk;
+      }
+      EXPECT_EQ(at, stream.size());
+    } else {
+      for (const StreamEdge& e : stream) {
+        client
+            .Command("FEED " + std::to_string(e.src) + " V " +
+                         std::to_string(e.dst) + " V ping " +
+                         std::to_string(e.ts),
+                     kTimeout)
+            .value();
+      }
+    }
+    auto flushed = client.Command("FLUSH", kTimeout);
+    EXPECT_TRUE(flushed.ok());
+    std::vector<std::string> polled =
+        client.Command("POLL s live", kTimeout).value();
+    std::vector<std::string> matches;
+    for (std::string& line : polled) {
+      if (StartsWith(line, "MATCH ")) matches.push_back(std::move(line));
+    }
+    client.Quit();
+    server.Stop();
+    std::sort(matches.begin(), matches.end());
+    return matches;
+  };
+  const std::vector<std::string> text_matches = run(/*binary=*/false);
+  const std::vector<std::string> binary_matches = run(/*binary=*/true);
+  ASSERT_EQ(text_matches.size(), static_cast<size_t>(kEdges));
+  EXPECT_EQ(text_matches, binary_matches);
+}
+
+TEST_F(NetTest, TornFramesAcrossArbitraryReadBoundaries) {
+  StartServer();
+  LineClient client = Connect();
+  RunScript(client, std::string(kDefinePing) +
+                        "\nSESSION torn\nSUBMIT torn live ping CAP 64");
+  Interner wire_interner;
+  const EdgeBatch stream = PingStream(&wire_interner, 8);
+  std::string bytes;
+  bytes += EncodeFeedFrame(EdgeBatch(stream.begin(), stream.begin() + 3),
+                           wire_interner)
+               .value();
+  bytes += EncodeFeedFrame(EdgeBatch(stream.begin() + 3, stream.end()),
+                           wire_interner)
+               .value();
+  // Dribble the two frames out in prime-sized slivers with pauses, so
+  // the server's reads observe boundaries inside the magic, the length
+  // prefix, the string table, and edge records.
+  for (size_t at = 0; at < bytes.size(); at += 7) {
+    ASSERT_TRUE(
+        client.SendRaw(std::string_view(bytes).substr(at, 7)).ok());
+    if (at % 21 == 0) std::this_thread::sleep_for(milliseconds(1));
+  }
+  for (int frame = 0; frame < 2; ++frame) {
+    // Each frame is answered exactly like a command: payload + ".".
+    auto line = client.ReadLine(kTimeout);
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    EXPECT_EQ(*line, frame == 0 ? "OK feedb 3 0" : "OK feedb 5 0");
+    line = client.ReadLine(kTimeout);
+    ASSERT_TRUE(line.ok());
+    EXPECT_EQ(*line, ".");
+  }
+  const std::vector<std::string> polled =
+      RunScript(client, "FLUSH\nPOLL torn live");
+  EXPECT_EQ(CountPrefix(polled, "MATCH torn.live"), 8u);
+  client.Quit();
+}
+
+TEST_F(NetTest, TextLinesInterleaveWithBinaryFrames) {
+  StartServer();
+  LineClient client = Connect();
+  RunScript(client, std::string(kDefinePing) +
+                        "\nSESSION mix\nSUBMIT mix live ping CAP 64");
+  Interner wire_interner;
+  const EdgeBatch stream = PingStream(&wire_interner, 6);
+  // One write carrying: frame, text command, frame, text command.
+  std::string bytes;
+  bytes += EncodeFeedFrame(EdgeBatch(stream.begin(), stream.begin() + 2),
+                           wire_interner)
+               .value();
+  bytes += "FLUSH\n";
+  bytes += EncodeFeedFrame(EdgeBatch(stream.begin() + 2, stream.end()),
+                           wire_interner)
+               .value();
+  bytes += "FLUSH\n";
+  ASSERT_TRUE(client.SendRaw(bytes).ok());
+  std::vector<std::string> replies;
+  int terminators = 0;
+  while (terminators < 4) {
+    auto line = client.ReadLine(kTimeout);
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    if (*line == ".") {
+      ++terminators;
+    } else {
+      replies.push_back(std::move(*line));
+    }
+  }
+  // Responses come back in stream order.
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_EQ(replies[0], "OK feedb 2 0");
+  EXPECT_EQ(replies[1], "OK flush");
+  EXPECT_EQ(replies[2], "OK feedb 4 0");
+  EXPECT_EQ(replies[3], "OK flush");
+  const std::vector<std::string> polled =
+      RunScript(client, "POLL mix live");
+  EXPECT_EQ(CountPrefix(polled, "MATCH mix.live"), 6u);
+  client.Quit();
+}
+
+TEST_F(NetTest, OversizedFrameIsRefusedWithoutDesyncOrDisconnect) {
+  ServerOptions options;
+  options.unix_path = UniqueSocketPath();
+  options.max_frame_body_bytes = 256;
+  StartServer(options);
+  LineClient client = Connect();
+  RunScript(client, std::string(kDefinePing) +
+                        "\nSESSION big\nSUBMIT big live ping CAP 64");
+  Interner wire_interner;
+  // ~40 edges * 36B > 256B body limit.
+  const std::string oversized =
+      EncodeFeedFrame(PingStream(&wire_interner, 40), wire_interner).value();
+  ASSERT_GT(oversized.size(), 256u + 8u);
+  // Send the refused frame, a valid small frame, and a text command in
+  // one burst: the declared length lets the server skip the oversized
+  // body exactly, so everything after it still executes.
+  std::string bytes = oversized;
+  const EdgeBatch small = PingStream(&wire_interner, 2);
+  bytes += EncodeFeedFrame(small, wire_interner).value();
+  bytes += "FLUSH\n";
+  ASSERT_TRUE(client.SendRaw(bytes).ok());
+  std::vector<std::string> replies;
+  int terminators = 0;
+  while (terminators < 3) {
+    auto line = client.ReadLine(kTimeout);
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    if (*line == ".") {
+      ++terminators;
+    } else {
+      replies.push_back(std::move(*line));
+    }
+  }
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_TRUE(StartsWith(replies[0], "ERR ")) << replies[0];
+  EXPECT_NE(replies[0].find("exceeds"), std::string::npos) << replies[0];
+  EXPECT_EQ(replies[1], "OK feedb 2 0");
+  EXPECT_EQ(replies[2], "OK flush");
+  const std::vector<std::string> polled =
+      RunScript(client, "POLL big live");
+  EXPECT_EQ(CountPrefix(polled, "MATCH big.live"), 2u);
+  client.Quit();
+  server_->Stop();
+  EXPECT_GE(server_->stats().protocol_errors, 1u);
+}
+
+TEST_F(NetTest, TruncatedFrameAtEofReportsAndCloses) {
+  StartServer();
+  // Raw fd client: we need a half-close (shutdown(WR)) after a partial
+  // frame, which LineClient doesn't model.
+  auto fd = ConnectUnix(server_->unix_path());
+  ASSERT_TRUE(fd.ok());
+  Interner wire_interner;
+  const std::string frame =
+      EncodeFeedFrame(PingStream(&wire_interner, 4), wire_interner).value();
+  const std::string partial = frame.substr(0, frame.size() - 5);
+  ASSERT_EQ(::send(fd->get(), partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+  ASSERT_EQ(::shutdown(fd->get(), SHUT_WR), 0);
+  // The server answers ERR (the frame can never complete) and closes.
+  std::string response;
+  char buf[256];
+  while (true) {
+    const ssize_t n = ::read(fd->get(), buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_NE(response.find("ERR truncated binary frame at EOF"),
+            std::string::npos)
+      << response;
+  AwaitConnections(0);
+  server_->Stop();
+  EXPECT_GE(server_->stats().protocol_errors, 1u);
+}
+
+TEST_F(NetTest, CorruptMagicClosesTheConnection) {
+  StartServer();
+  LineClient client = Connect();
+  Run(client, "STATS");  // session works first
+  // Lead byte promises a frame, magic lies: position is unrecoverable.
+  ASSERT_TRUE(client.SendRaw("\xFBXXX garbage\n").ok());
+  auto line = client.ReadLine(kTimeout);
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_TRUE(StartsWith(*line, "ERR ")) << *line;
+  // Terminator then EOF.
+  while (line.ok()) line = client.ReadLine(kTimeout);
+  AwaitConnections(0);
+}
+
+TEST_F(NetTest, StreamedDeliveryCoalescesAcrossFrames) {
+  // FEEDB + STREAM: a batch's worth of matches arrives as EVENT lines
+  // and the server reports coalesced pump flushes, not one write per
+  // event.
+  StartServer();
+  LineClient client = Connect();
+  RunScript(client, std::string(kDefinePing) +
+                        "\nSESSION c\nSUBMIT c live ping CAP 600\n"
+                        "STREAM c live");
+  Interner wire_interner;
+  auto counts =
+      client.FeedBatch(PingStream(&wire_interner, 500), wire_interner,
+                       kTimeout);
+  ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+  EXPECT_EQ(counts->first, 500u);
+  Run(client, "FLUSH");
+  for (int i = 0; i < 500; ++i) {
+    auto event = client.NextEvent(kTimeout);
+    ASSERT_TRUE(event.ok()) << "event " << i << ": "
+                            << event.status().ToString();
+    EXPECT_TRUE(StartsWith(*event, "EVENT MATCH c.live"));
+  }
+  client.Quit();
+  server_->Stop();
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.frames_executed, 1u);
+  EXPECT_EQ(stats.batch_edges_in, 500u);
+  EXPECT_EQ(stats.events_pushed, 500u);
+  // Coalescing: far fewer drain-pass flushes than events.
+  EXPECT_GT(stats.pump_flushes, 0u);
+  EXPECT_LT(stats.pump_flushes, 250u);
 }
 
 TEST_F(NetTest, ByeIsAcknowledgedThenDisconnects) {

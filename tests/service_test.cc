@@ -875,5 +875,60 @@ TEST_F(InterpreterTest, MalformedCommandsCarryLineNumbers) {
   EXPECT_NE(status.message().find("missing END"), std::string::npos);
 }
 
+TEST_F(InterpreterTest, TokenizerHandlesTabsRepeatsAndOverflow) {
+  ASSERT_TRUE(interpreter_
+                  .ExecuteScript(
+                      "DEFINE ping\nnode a V\nnode b V\nedge a b ping\n"
+                      "window 1000\nEND\nSESSION tabby\n"
+                      "SUBMIT tabby live ping")
+                  .ok());
+  // Tabs and collapsed runs of whitespace tokenize like single spaces.
+  ASSERT_TRUE(
+      interpreter_.ExecuteLine("FEED\t1  V \t 2   V\tping\t5").ok());
+  ASSERT_TRUE(interpreter_.ExecuteLine("FLUSH").ok());
+  ASSERT_TRUE(interpreter_.ExecuteLine("POLL tabby live").ok());
+  EXPECT_TRUE(OutputContains("POLLED tabby.live n=1"));
+  // More tokens than any command can take is refused, not truncated.
+  std::string runaway = "FEED";
+  for (int i = 0; i < 20; ++i) runaway += " x";
+  const Status status = interpreter_.ExecuteLine(runaway);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("too many tokens"), std::string::npos);
+}
+
+TEST_F(InterpreterTest, ExecuteBatchRidesTheFastPathAndCounts) {
+  ASSERT_TRUE(interpreter_
+                  .ExecuteScript(
+                      "DEFINE ping\nnode a V\nnode b V\nedge a b ping\n"
+                      "window 1000\nEND\nSESSION b\nSUBMIT b live ping")
+                  .ok());
+  EdgeBatch batch;
+  for (int i = 0; i < 3; ++i) {
+    StreamEdge e;
+    e.src = 2 * static_cast<uint64_t>(i);
+    e.dst = 2 * static_cast<uint64_t>(i) + 1;
+    e.src_label = interner_.Intern("V");
+    e.dst_label = interner_.Intern("V");
+    e.edge_label = interner_.Intern("ping");
+    e.ts = 10 + i;
+    batch.push_back(e);
+  }
+  // One malformed straggler: time regression against the watermark.
+  StreamEdge stale = batch.back();
+  stale.src = 100;
+  stale.dst = 101;
+  stale.ts = 1;
+  batch.push_back(stale);
+  ASSERT_TRUE(interpreter_.ExecuteBatch(batch).ok());
+  // The frame is acknowledged once, the bad edge skipped and counted —
+  // and the rest of the batch still ingested.
+  EXPECT_TRUE(OutputContains("OK feedb 3 1"));
+  EXPECT_EQ(interpreter_.batch_frames(), 1u);
+  EXPECT_EQ(interpreter_.batch_edges(), 4u);
+  ASSERT_TRUE(interpreter_.ExecuteLine("FLUSH").ok());
+  ASSERT_TRUE(interpreter_.ExecuteLine("POLL b live").ok());
+  EXPECT_TRUE(OutputContains("POLLED b.live n=3"));
+}
+
 }  // namespace
 }  // namespace streamworks

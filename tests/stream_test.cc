@@ -16,6 +16,7 @@
 #include "streamworks/stream/batching.h"
 #include "streamworks/stream/netflow_gen.h"
 #include "streamworks/stream/news_gen.h"
+#include "streamworks/stream/wire_format.h"
 #include "streamworks/stream/workload_queries.h"
 
 namespace streamworks {
@@ -48,6 +49,163 @@ TEST(BatchingTest, BatchBySizeSplitsEvenly) {
   ASSERT_EQ(batches.size(), 3u);
   EXPECT_EQ(batches[0].size(), 4u);
   EXPECT_EQ(batches[2].size(), 2u);
+}
+
+// --- Wire format (FEEDB binary frames) ----------------------------------------------
+
+EdgeBatch WireBatch(Interner* interner, int n) {
+  EdgeBatch batch;
+  for (int i = 0; i < n; ++i) {
+    StreamEdge e;
+    e.src = 100 + static_cast<uint64_t>(i);
+    e.dst = 200 + static_cast<uint64_t>(i);
+    e.src_label = interner->Intern("Host");
+    e.dst_label = interner->Intern(i % 2 == 0 ? "Host" : "Server");
+    e.edge_label = interner->Intern("connectsTo");
+    e.ts = 10 + i;
+    batch.push_back(e);
+  }
+  return batch;
+}
+
+TEST(WireFormatTest, EncodeDecodeRoundTripsAcrossInterners) {
+  // Encoder and decoder deliberately use different interners (different
+  // processes never share LabelIds): labels must survive as strings.
+  Interner encode_side;
+  const EdgeBatch batch = WireBatch(&encode_side, 5);
+  const std::string frame = EncodeFeedFrame(batch, encode_side).value();
+  ASSERT_TRUE(IsFrameStart(frame));
+
+  Interner decode_side;
+  decode_side.Intern("unrelated");  // skew the id spaces
+  const FrameDecodeResult decoded =
+      DecodeFeedFrame(frame, kDefaultMaxFrameBodyBytes, &decode_side);
+  ASSERT_EQ(decoded.status, FrameDecodeStatus::kOk);
+  EXPECT_EQ(decoded.frame_bytes, frame.size());
+  ASSERT_EQ(decoded.batch.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(decoded.batch[i].src, batch[i].src);
+    EXPECT_EQ(decoded.batch[i].dst, batch[i].dst);
+    EXPECT_EQ(decoded.batch[i].ts, batch[i].ts);
+    EXPECT_EQ(decode_side.Name(decoded.batch[i].src_label),
+              encode_side.Name(batch[i].src_label));
+    EXPECT_EQ(decode_side.Name(decoded.batch[i].dst_label),
+              encode_side.Name(batch[i].dst_label));
+    EXPECT_EQ(decode_side.Name(decoded.batch[i].edge_label),
+              encode_side.Name(batch[i].edge_label));
+  }
+  // The string table interned each distinct label once.
+  EXPECT_EQ(decode_side.size(), 1u + 3u);
+}
+
+TEST(WireFormatTest, EveryProperPrefixNeedsMoreData) {
+  Interner interner;
+  const std::string frame =
+      EncodeFeedFrame(WireBatch(&interner, 3), interner).value();
+  for (size_t len = 0; len < frame.size(); ++len) {
+    Interner scratch;
+    const FrameDecodeResult decoded = DecodeFeedFrame(
+        frame.substr(0, len), kDefaultMaxFrameBodyBytes, &scratch);
+    EXPECT_EQ(decoded.status, FrameDecodeStatus::kNeedMore)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(WireFormatTest, EmptyBatchRoundTrips) {
+  Interner interner;
+  const std::string frame = EncodeFeedFrame({}, interner).value();
+  const FrameDecodeResult decoded =
+      DecodeFeedFrame(frame, kDefaultMaxFrameBodyBytes, &interner);
+  ASSERT_EQ(decoded.status, FrameDecodeStatus::kOk);
+  EXPECT_TRUE(decoded.batch.empty());
+}
+
+TEST(WireFormatTest, OversizedBodyIsRefusedWithSkippableLength) {
+  Interner interner;
+  const std::string frame =
+      EncodeFeedFrame(WireBatch(&interner, 10), interner).value();
+  const FrameDecodeResult decoded =
+      DecodeFeedFrame(frame, /*max_body_bytes=*/16, &interner);
+  ASSERT_EQ(decoded.status, FrameDecodeStatus::kOversized);
+  // The refusal still reports the full frame length so a server can skip
+  // it and stay in sync.
+  EXPECT_EQ(decoded.frame_bytes, frame.size());
+}
+
+TEST(WireFormatTest, LyingStringTableCountIsRejectedBeforeAllocating) {
+  // A 16-byte frame claiming 2^32-1 table entries must be refused
+  // outright (a remote peer's counts must never size an allocation).
+  std::string frame(kFeedFrameMagic, sizeof(kFeedFrameMagic));
+  const auto put_u32 = [&frame](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      frame.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  put_u32(8);           // body_len
+  put_u32(0xFFFFFFFF);  // n_labels, wildly beyond the 4 body bytes left
+  put_u32(0);
+  Interner interner;
+  const FrameDecodeResult decoded =
+      DecodeFeedFrame(frame, kDefaultMaxFrameBodyBytes, &interner);
+  ASSERT_EQ(decoded.status, FrameDecodeStatus::kMalformed);
+  EXPECT_EQ(decoded.frame_bytes, frame.size());  // skippable
+}
+
+TEST(WireFormatTest, EncodeRefusesLabelsBeyondU16Length) {
+  Interner interner;
+  EdgeBatch batch = WireBatch(&interner, 1);
+  batch[0].edge_label = interner.Intern(std::string(70000, 'x'));
+  const auto encoded = EncodeFeedFrame(batch, interner);
+  ASSERT_FALSE(encoded.ok());  // not silently truncated into a bad frame
+  EXPECT_EQ(encoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFormatTest, BadMagicIsUnrecoverable) {
+  Interner interner;
+  std::string frame =
+      EncodeFeedFrame(WireBatch(&interner, 1), interner).value();
+  frame[1] = 'X';  // lead byte right, magic wrong
+  const FrameDecodeResult decoded =
+      DecodeFeedFrame(frame, kDefaultMaxFrameBodyBytes, &interner);
+  ASSERT_EQ(decoded.status, FrameDecodeStatus::kMalformed);
+  EXPECT_EQ(decoded.frame_bytes, 0u);  // no length to resync by
+}
+
+TEST(WireFormatTest, CorruptBodiesAreMalformedButSkippable) {
+  Interner interner;
+  const EdgeBatch batch = WireBatch(&interner, 2);
+  // Label index beyond the string table.
+  std::string frame = EncodeFeedFrame(batch, interner).value();
+  // Edge records sit at the tail; clobber the first edge's src_label
+  // field (offset: header + table + 4-byte edge count + 16).
+  const size_t table_bytes = frame.size() - kFeedFrameHeaderBytes - 4 -
+                             batch.size() * kFeedFrameEdgeBytes;
+  const size_t src_label_at =
+      kFeedFrameHeaderBytes + table_bytes + 4 + 16;
+  frame[src_label_at] = '\x7F';
+  FrameDecodeResult decoded =
+      DecodeFeedFrame(frame, kDefaultMaxFrameBodyBytes, &interner);
+  ASSERT_EQ(decoded.status, FrameDecodeStatus::kMalformed);
+  EXPECT_EQ(decoded.frame_bytes, frame.size());  // still skippable
+
+  // Body length that does not match the edge-record count.
+  std::string truncated = EncodeFeedFrame(batch, interner).value();
+  truncated.resize(truncated.size() - 1);
+  // Patch the body length down by one so the frame is "complete".
+  const uint32_t body_len = static_cast<uint32_t>(
+      truncated.size() - kFeedFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    truncated[4 + i] = static_cast<char>((body_len >> (8 * i)) & 0xFF);
+  }
+  decoded = DecodeFeedFrame(truncated, kDefaultMaxFrameBodyBytes,
+                            &interner);
+  EXPECT_EQ(decoded.status, FrameDecodeStatus::kMalformed);
+}
+
+TEST(WireFormatTest, TextNeverLooksLikeAFrame) {
+  EXPECT_FALSE(IsFrameStart("FEED 1 V 2 V ping 3"));
+  EXPECT_FALSE(IsFrameStart("STATS"));
+  EXPECT_FALSE(IsFrameStart(""));
 }
 
 // --- NetflowGenerator ---------------------------------------------------------------
