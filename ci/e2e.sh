@@ -23,6 +23,14 @@ WATCHER_LOG="/tmp/streamworks_e2e_$$.watcher.log"
 FEEDER_LOG="/tmp/streamworks_e2e_$$.feeder.log"
 WATCHER2_LOG="/tmp/streamworks_e2e_$$.watcher2.log"
 FEEDER2_LOG="/tmp/streamworks_e2e_$$.feeder2.log"
+DATA_DIR="/tmp/streamworks_e2e_$$.data"
+RSOCK="/tmp/streamworks_e2e_$$.r.sock"
+RSERVER1_LOG="/tmp/streamworks_e2e_$$.rserver1.log"
+RSERVER2_LOG="/tmp/streamworks_e2e_$$.rserver2.log"
+RWATCHER1_LOG="/tmp/streamworks_e2e_$$.rwatcher1.log"
+RFEEDER1_LOG="/tmp/streamworks_e2e_$$.rfeeder1.log"
+RWATCHER2_LOG="/tmp/streamworks_e2e_$$.rwatcher2.log"
+RFEEDER2_LOG="/tmp/streamworks_e2e_$$.rfeeder2.log"
 
 fail() {
   echo "e2e: FAIL: $*" >&2
@@ -31,13 +39,21 @@ fail() {
   echo "--- feeder log ---" >&2;  cat "$FEEDER_LOG" >&2 || true
   echo "--- watcher2 log ---" >&2; cat "$WATCHER2_LOG" >&2 || true
   echo "--- feeder2 log ---" >&2;  cat "$FEEDER2_LOG" >&2 || true
+  echo "--- recovery server 1 log ---" >&2; cat "$RSERVER1_LOG" >&2 || true
+  echo "--- recovery server 2 log ---" >&2; cat "$RSERVER2_LOG" >&2 || true
+  echo "--- recovery watcher 1 log ---" >&2; cat "$RWATCHER1_LOG" >&2 || true
+  echo "--- recovery feeder 1 log ---" >&2; cat "$RFEEDER1_LOG" >&2 || true
+  echo "--- recovery watcher 2 log ---" >&2; cat "$RWATCHER2_LOG" >&2 || true
+  echo "--- recovery feeder 2 log ---" >&2; cat "$RFEEDER2_LOG" >&2 || true
   exit 1
 }
-touch "$WATCHER2_LOG" "$FEEDER2_LOG"
+touch "$WATCHER2_LOG" "$FEEDER2_LOG" "$RSERVER1_LOG" "$RSERVER2_LOG" \
+      "$RWATCHER1_LOG" "$RFEEDER1_LOG" "$RWATCHER2_LOG" "$RFEEDER2_LOG"
 
 "$SERVER" partitioned --serve --unix "$SOCK" > "$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+RSERVER_PID=""
+trap 'kill "$SERVER_PID" $RSERVER_PID 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
 
 # The SERVING banner is the readiness signal (it prints after the bind,
 # so it also implies the socket file exists).
@@ -123,4 +139,96 @@ if wait "$SERVER_PID"; then :; else fail "server exited non-zero"; fi
 grep -q "^SHUTDOWN " "$SERVER_LOG" || fail "no SHUTDOWN summary"
 [ -S "$SOCK" ] && fail "socket file not unlinked on shutdown"
 
-echo "e2e: PASS ($EVENTS text + $EVENTS2 binary pushed matches, clean shutdown)"
+# --- Crash-recovery leg: kill -9 mid-stream, restart from --data-dir --------
+# A durable daemon (--snapshot-every 4) takes a snapshot at edge 4, so
+# edges 5-6 live only in the WAL when the harness kill -9s it. The
+# restarted process must recover the watcher's session + subscription
+# from the snapshot, replay the WAL tail, and resume pushing matches to
+# the re-attached watcher — the resumed count asserts it.
+
+"$SERVER" partitioned --serve --unix "$RSOCK" \
+  --data-dir "$DATA_DIR" --snapshot-every 4 > "$RSERVER1_LOG" 2>&1 &
+RSERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^SERVING " "$RSERVER1_LOG" 2>/dev/null && break
+  kill -0 "$RSERVER_PID" 2>/dev/null || fail "durable server died before binding"
+  sleep 0.1
+done
+grep -q "^SERVING " "$RSERVER1_LOG" || fail "durable server: no SERVING banner"
+# A fresh data dir is a fresh start, stated on the banner.
+grep -q "^RECOVERED snapshot=- wal_seq=0 " "$RSERVER1_LOG" \
+  || fail "durable server: missing fresh-start RECOVERED banner"
+
+timeout 60 "$CLIENT" --unix "$RSOCK" --expect-events 6 \
+  < ci/e2e_subscribe.txt > "$RWATCHER1_LOG" 2>&1 &
+RWATCHER1_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "OK stream watcher.live" "$RWATCHER1_LOG" && break
+  sleep 0.1
+done
+grep -q "OK stream watcher.live" "$RWATCHER1_LOG" \
+  || fail "recovery watcher never subscribed"
+
+timeout 60 "$CLIENT" --unix "$RSOCK" < ci/e2e_recover_feed.txt \
+  > "$RFEEDER1_LOG" 2>&1 || fail "recovery feeder failed (exit $?)"
+wait "$RWATCHER1_PID" || fail "recovery watcher failed (exit $?)"
+REVENTS1=$(grep -c "^EVENT MATCH watcher.live" "$RWATCHER1_LOG" || true)
+[ "$REVENTS1" -eq 6 ] || fail "expected 6 pre-crash matches, saw $REVENTS1"
+ls "$DATA_DIR"/snap-*.snap >/dev/null 2>&1 \
+  || fail "no snapshot written by --snapshot-every"
+
+# The crash: no SIGTERM courtesy, no final snapshot.
+kill -9 "$RSERVER_PID"
+wait "$RSERVER_PID" 2>/dev/null || true
+
+"$SERVER" partitioned --serve --unix "$RSOCK" \
+  --data-dir "$DATA_DIR" --snapshot-every 4 > "$RSERVER2_LOG" 2>&1 &
+RSERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^SERVING " "$RSERVER2_LOG" 2>/dev/null && break
+  kill -0 "$RSERVER_PID" 2>/dev/null || fail "restarted server died (recovery crash?)"
+  sleep 0.1
+done
+grep -q "^SERVING " "$RSERVER2_LOG" || fail "restarted server: no SERVING banner"
+# Snapshot at edge 4 + WAL tail of 2: the banner must say exactly that.
+grep -Eq "^RECOVERED snapshot=.*snap-0000000000000004\.snap wal_seq=6 window_edges=4 sessions=1 subscriptions=1 replayed_edges=2$" \
+  "$RSERVER2_LOG" || fail "restarted server: wrong RECOVERED banner"
+
+timeout 60 "$CLIENT" --unix "$RSOCK" --expect-events 2 \
+  < ci/e2e_recover_attach.txt > "$RWATCHER2_LOG" 2>&1 &
+RWATCHER2_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "OK stream watcher.live" "$RWATCHER2_LOG" && break
+  sleep 0.1
+done
+grep -q "OK attach watcher id=0 subs=live:active" "$RWATCHER2_LOG" \
+  || fail "re-attach did not resolve the recovered session"
+grep -q "OK stream watcher.live" "$RWATCHER2_LOG" \
+  || fail "re-attached watcher never streamed"
+
+timeout 60 "$CLIENT" --unix "$RSOCK" < ci/e2e_recover_feed_tail.txt \
+  > "$RFEEDER2_LOG" 2>&1 || fail "post-recovery feeder failed (exit $?)"
+wait "$RWATCHER2_PID" || fail "post-recovery watcher failed (exit $?)"
+REVENTS2=$(grep -c "^EVENT MATCH watcher.live" "$RWATCHER2_LOG" || true)
+[ "$REVENTS2" -eq 2 ] || fail "expected 2 resumed matches, saw $REVENTS2"
+# STATS surfaces the durability counters and the recovered session.
+grep -q "persist: wal_seq=8 " "$RFEEDER2_LOG" \
+  || fail "post-recovery STATS missing persist counters (wal_seq=8)"
+grep -Eq "recovered\(edges=4,sessions=1,subs=1,replayed=2\)" "$RFEEDER2_LOG" \
+  || fail "post-recovery STATS missing recovery counters"
+grep -q "'watcher'" "$RFEEDER2_LOG" \
+  || fail "post-recovery STATS does not list the recovered session"
+
+# Graceful shutdown of the durable daemon writes a final snapshot.
+kill -TERM "$RSERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$RSERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$RSERVER_PID" 2>/dev/null && fail "durable server did not exit after SIGTERM"
+if wait "$RSERVER_PID"; then :; else fail "durable server exited non-zero"; fi
+grep -q "^SNAPSHOT final wal_seq=8 " "$RSERVER2_LOG" \
+  || fail "no final shutdown snapshot"
+
+echo "e2e: PASS ($EVENTS text + $EVENTS2 binary pushed matches, clean shutdown;" \
+     "crash-recovery: $REVENTS1 pre-crash + $REVENTS2 resumed matches)"

@@ -33,6 +33,7 @@
 #include <chrono>
 #include <csignal>
 #include <iostream>
+#include <optional>
 #include <string_view>
 #include <thread>
 
@@ -40,6 +41,8 @@
 #include "streamworks/common/str_util.h"
 #include "streamworks/core/parallel.h"
 #include "streamworks/net/server.h"
+#include "streamworks/persist/durable_backend.h"
+#include "streamworks/persist/manager.h"
 #include "streamworks/service/backend.h"
 #include "streamworks/service/interpreter.h"
 #include "streamworks/service/query_service.h"
@@ -108,12 +111,26 @@ std::atomic<bool> g_shutdown{false};
 void HandleSignal(int) { g_shutdown.store(true); }
 
 /// Daemon mode: serve the line protocol on sockets until SIGINT/SIGTERM.
-int Serve(QueryService* service, Interner* interner,
-          const ServerOptions& options) {
+/// `durability` (may be null) provides the SNAPSHOT verb and a final
+/// shutdown snapshot, so a graceful restart recovers without any WAL
+/// tail to replay.
+int Serve(QueryService* service, Interner* interner, ServerOptions options,
+          DurabilityManager* durability) {
   // Handlers first: a supervisor's SIGTERM in the bind window must already
   // take the graceful path, not the default disposition.
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  if (durability != nullptr) {
+    options.snapshot_hook = [durability]() -> StatusOr<std::string> {
+      SW_ASSIGN_OR_RETURN(const SnapshotInfo info,
+                          durability->SnapshotNow());
+      return "wal_seq=" + std::to_string(info.wal_seq) + " " + info.path;
+    };
+    // Stop() must not close still-connected tenants' sessions: the
+    // shutdown snapshot below captures them, so a graceful restart
+    // preserves exactly the re-attachable state a kill -9 would have.
+    options.preserve_sessions_on_stop = true;
+  }
   SocketServer server(service, interner, options);
   if (Status status = server.Start(); !status.ok()) {
     std::cerr << "server start failed: " << status.ToString() << "\n";
@@ -136,6 +153,19 @@ int Serve(QueryService* service, Interner* interner,
             << " batch_edges=" << stats.batch_edges_in
             << " events=" << stats.events_pushed
             << " reclaimed=" << stats.subscriptions_reclaimed << std::endl;
+  if (durability != nullptr) {
+    // Stop() joined the poll thread, so this thread is the control
+    // thread again: a last snapshot makes the graceful restart replay
+    // nothing. (kill -9 skips this — that is what the WAL is for.)
+    auto final_snap = durability->SnapshotNow();
+    if (final_snap.ok()) {
+      std::cout << "SNAPSHOT final wal_seq=" << final_snap->wal_seq << " "
+                << final_snap->path << std::endl;
+    } else {
+      std::cerr << "final snapshot failed: "
+                << final_snap.status().ToString() << "\n";
+    }
+  }
   return 0;
 }
 
@@ -150,6 +180,7 @@ int main(int argc, char** argv) {
   bool partitioned = false;
   bool serve = false;
   ServerOptions server_options;
+  DurabilityOptions durability_options;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "partitioned") {
@@ -167,30 +198,95 @@ int main(int argc, char** argv) {
     } else if (arg == "--unix" && i + 1 < argc) {
       server_options.unix_path = argv[++i];
       serve = true;
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      durability_options.data_dir = argv[++i];
+    } else if (arg == "--snapshot-every" && i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n < 0) {
+        std::cerr << "bad --snapshot-every count: " << argv[i] << "\n";
+        return 1;
+      }
+      durability_options.snapshot_every_edges = static_cast<uint64_t>(n);
+    } else if (arg == "--fsync-every" && i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n < 0) {
+        std::cerr << "bad --fsync-every count: " << argv[i] << "\n";
+        return 1;
+      }
+      durability_options.fsync_every_records = static_cast<int>(n);
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [partitioned] [--serve [--tcp PORT] [--unix PATH]]\n";
+                << " [partitioned] [--serve [--tcp PORT] [--unix PATH]]"
+                   " [--data-dir DIR [--snapshot-every N]"
+                   " [--fsync-every N]]\n";
       return 1;
     }
+  }
+  if (durability_options.data_dir.empty() &&
+      (durability_options.snapshot_every_edges > 0 ||
+       durability_options.fsync_every_records > 0)) {
+    // Durability knobs without a data dir would be a silent no-op: the
+    // operator believes state survives a crash when nothing is written.
+    std::cerr << "--snapshot-every/--fsync-every require --data-dir\n";
+    return 1;
   }
   Interner interner;
   ParallelEngineGroup group(&interner, /*num_shards=*/2, {},
                             partitioned ? ShardingMode::kPartitionedData
                                         : ShardingMode::kBroadcastData);
-  ParallelGroupBackend backend(&group);
+  ParallelGroupBackend group_backend(&group);
+
+  // With --data-dir the durable decorator slides between the service and
+  // the group: ingest is WAL-logged before it is applied, and the
+  // process recovers its window + sessions on start.
+  const bool durable = !durability_options.data_dir.empty();
+  DurableBackend durable_backend(&group_backend);
+  QueryBackend* backend =
+      durable ? static_cast<QueryBackend*>(&durable_backend)
+              : &group_backend;
 
   ServiceLimits limits;
   limits.max_queries_per_session = 4;
-  QueryService service(&backend, limits);
+  QueryService service(backend, limits);
+
+  std::optional<DurabilityManager> durability;
+  if (durable) {
+    durability.emplace(durability_options, &service, &durable_backend,
+                       &interner);
+    auto recovered = durability->Start();
+    if (!recovered.ok()) {
+      std::cerr << "recovery failed: " << recovered.status().ToString()
+                << "\n";
+      return 1;
+    }
+    // Scraped by the e2e harness, like SERVING/SHUTDOWN.
+    std::cout << "RECOVERED snapshot="
+              << (recovered->snapshot_loaded ? recovered->snapshot_path
+                                             : "-")
+              << " wal_seq=" << recovered->wal_seq
+              << " window_edges=" << recovered->window_edges
+              << " sessions=" << recovered->sessions
+              << " subscriptions=" << recovered->subscriptions
+              << " replayed_edges=" << recovered->replayed_edges
+              << std::endl;
+  }
 
   if (serve) {
     if (server_options.tcp_port < 0 && server_options.unix_path.empty()) {
       server_options.tcp_port = 0;  // ephemeral; port printed on SERVING
     }
-    return Serve(&service, &interner, server_options);
+    return Serve(&service, &interner, server_options,
+                 durability.has_value() ? &*durability : nullptr);
   }
 
   CommandInterpreter interpreter(&service, &interner, &std::cout);
+  if (durability.has_value()) {
+    DurabilityManager* manager = &*durability;
+    interpreter.set_snapshot_hook([manager]() -> StatusOr<std::string> {
+      SW_ASSIGN_OR_RETURN(const SnapshotInfo info, manager->SnapshotNow());
+      return "wal_seq=" + std::to_string(info.wal_seq) + " " + info.path;
+    });
+  }
 
   if (Status status = interpreter.ExecuteScript(kScenario); !status.ok()) {
     std::cerr << "scenario error: " << status.ToString() << "\n";

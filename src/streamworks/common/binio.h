@@ -1,0 +1,63 @@
+#ifndef STREAMWORKS_COMMON_BINIO_H_
+#define STREAMWORKS_COMMON_BINIO_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace streamworks {
+
+/// Little-endian put/get via memcpy: on LE hosts (the common case) these
+/// compile to single unaligned loads/stores. Shared by the FEEDB wire
+/// codec and the on-disk durability formats (WAL records, snapshots) so
+/// the two can never disagree on integer encoding.
+template <typename T>
+inline void PutLe(std::string* out, T v) {
+  if constexpr (std::endian::native != std::endian::little) {
+    T swapped = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      swapped |= static_cast<T>((v >> (8 * i)) & 0xFF)
+                 << (8 * (sizeof(T) - 1 - i));
+    }
+    v = swapped;
+  }
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+inline void PutU16(std::string* out, uint16_t v) { PutLe(out, v); }
+inline void PutU32(std::string* out, uint32_t v) { PutLe(out, v); }
+inline void PutU64(std::string* out, uint64_t v) { PutLe(out, v); }
+inline void PutI64(std::string* out, int64_t v) {
+  PutLe(out, static_cast<uint64_t>(v));
+}
+
+/// Bounds-unchecked little-endian readers; callers validate sizes before
+/// dereferencing.
+template <typename T>
+inline T GetLe(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  if constexpr (std::endian::native != std::endian::little) {
+    T swapped = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      swapped |= static_cast<T>((v >> (8 * i)) & 0xFF)
+                 << (8 * (sizeof(T) - 1 - i));
+    }
+    v = swapped;
+  }
+  return v;
+}
+
+inline uint16_t GetU16(const char* p) { return GetLe<uint16_t>(p); }
+inline uint32_t GetU32(const char* p) { return GetLe<uint32_t>(p); }
+inline uint64_t GetU64(const char* p) { return GetLe<uint64_t>(p); }
+inline int64_t GetI64(const char* p) {
+  return static_cast<int64_t>(GetLe<uint64_t>(p));
+}
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_COMMON_BINIO_H_

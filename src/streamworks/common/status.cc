@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kIoError:
       return "io_error";
+    case StatusCode::kDataLoss:
+      return "data_loss";
     case StatusCode::kInternal:
       return "internal";
   }

@@ -18,6 +18,7 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kIoError,
+  kDataLoss,
   kInternal,
 };
 
@@ -62,6 +63,12 @@ class Status {
   }
   static Status IoError(std::string_view msg) {
     return Status(StatusCode::kIoError, msg);
+  }
+  /// Durable bytes that cannot be trusted: CRC mismatch, impossible
+  /// structure, or a tear outside the tolerated tail position. Unlike
+  /// kIoError (the environment failed) this means the *data* is gone.
+  static Status DataLoss(std::string_view msg) {
+    return Status(StatusCode::kDataLoss, msg);
   }
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);

@@ -1,0 +1,48 @@
+#ifndef STREAMWORKS_COMMON_UNIQUE_FD_H_
+#define STREAMWORKS_COMMON_UNIQUE_FD_H_
+
+#include <unistd.h>
+
+namespace streamworks {
+
+/// Owning file descriptor: closes on destruction, move-only. The thin
+/// RAII base every fd-holding handle builds on — net-layer sockets,
+/// listeners and wake pipes, and the durability layer's WAL/snapshot
+/// files (which is why it lives in common/, not net/).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_COMMON_UNIQUE_FD_H_

@@ -424,6 +424,45 @@ void StreamWorksEngine::BackfillQueryEdge(int query_id, EdgeId edge_id) {
   }
 }
 
+WindowSnapshot StreamWorksEngine::ExportWindow() const {
+  WindowSnapshot snap;
+  snap.next_edge_id = graph_.next_edge_id();
+  snap.watermark = graph_.watermark();
+  snap.edges.reserve(graph_.num_stored_edges());
+  for (size_t i = 0; i < graph_.num_stored_edges(); ++i) {
+    const EdgeId id = graph_.stored_edge_id(i);
+    const EdgeRecord& record = graph_.edge_record(id);
+    StreamEdge e;
+    e.src = graph_.external_id(record.src);
+    e.dst = graph_.external_id(record.dst);
+    e.src_label = graph_.vertex_label(record.src);
+    e.dst_label = graph_.vertex_label(record.dst);
+    e.edge_label = record.label;
+    e.ts = record.ts;
+    snap.edges.push_back(PersistedEdge{e, id});
+  }
+  return snap;
+}
+
+Status StreamWorksEngine::RestoreWindowEdge(const StreamEdge& edge,
+                                            EdgeId id) {
+  SW_CHECK(queries_.empty())
+      << "window restore must precede query registration";
+  return graph_.AddEdgeWithId(edge, id).status();
+}
+
+void StreamWorksEngine::FinishWindowRestore(EdgeId next_edge_id,
+                                            Timestamp watermark) {
+  graph_.FastForwardEdgeIds(next_edge_id);
+  if (watermark >= 0) {
+    // No queries are registered yet (restore precedes registration) and
+    // retention is still unbounded, so this only raises the clock — the
+    // restored edges all survive.
+    graph_.AdvanceWatermark(watermark);
+    if (watermark > safe_watermark_) safe_watermark_ = watermark;
+  }
+}
+
 size_t StreamWorksEngine::total_live_partial_matches() const {
   size_t total = 0;
   for (const auto& rq : queries_) {

@@ -91,6 +91,18 @@ struct QueryRuntimeInfo {
   size_t peak_partial_matches = 0;
 };
 
+/// Point-in-time export of the retained window in external-id form: what
+/// a snapshot persists and a recovering process re-ingests. `edges` are
+/// ascending by id; `next_edge_id` and `watermark` restore the id
+/// sequence and time admission exactly, so a replayed WAL tail assigns
+/// the same ids (and rejects the same regressions) the crashed
+/// incarnation did.
+struct WindowSnapshot {
+  std::vector<PersistedEdge> edges;
+  EdgeId next_edge_id = 0;
+  Timestamp watermark = -1;
+};
+
 /// Identity one engine assumes when it runs as one shard of a
 /// vertex-partitioned group (ParallelEngineGroup in kPartitionedData
 /// mode). `partitioner` and `exchange` must outlive the engine; both are
@@ -222,6 +234,26 @@ class StreamWorksEngine {
   void set_suppress_completions(bool suppress) {
     suppress_completions_ = suppress;
   }
+
+  // --- Durability ----------------------------------------------------------
+  /// Exports the retained window in external-id form (ascending by edge
+  /// id), plus the id sequence and watermark — everything a snapshot
+  /// needs to rebuild this engine's graph byte-for-byte.
+  WindowSnapshot ExportWindow() const;
+
+  /// Re-ingests one exported edge under its original id. Restore runs
+  /// before any registration (checked): with no queries there is nothing
+  /// to match against, so the window rebuilds silently and the
+  /// registrations that follow backfill their SJ-Trees from it through
+  /// the ordinary suppressed-backfill machinery. Edges must arrive in
+  /// ascending id order.
+  Status RestoreWindowEdge(const StreamEdge& edge, EdgeId id);
+
+  /// Completes a restore: fast-forwards the id sequence to
+  /// `next_edge_id` and raises the (safe) watermark to `watermark`, so
+  /// post-recovery ingest continues exactly where the crashed
+  /// incarnation stopped even when the restored window was empty.
+  void FinishWindowRestore(EdgeId next_edge_id, Timestamp watermark);
 
   // --- Introspection ------------------------------------------------------------
   const DynamicGraph& graph() const { return graph_; }

@@ -514,6 +514,81 @@ double ParallelEngineGroup::total_processing_seconds() const {
   return total;
 }
 
+WindowSnapshot ParallelEngineGroup::ExportWindow() {
+  QuiesceAll();
+  if (mode_ == ShardingMode::kBroadcastData) {
+    // Every shard retains the identical window and id sequence.
+    return shards_[0]->engine.ExportWindow();
+  }
+  WindowSnapshot merged;
+  merged.next_edge_id = next_global_edge_id_;
+  merged.watermark = group_watermark_;
+  for (auto& shard : shards_) {
+    WindowSnapshot per = shard->engine.ExportWindow();
+    merged.edges.insert(merged.edges.end(), per.edges.begin(),
+                        per.edges.end());
+  }
+  // An edge stored on both endpoint owners was exported twice; ids are
+  // group-global, so sort + unique restores the single ingest sequence.
+  std::sort(merged.edges.begin(), merged.edges.end(),
+            [](const PersistedEdge& a, const PersistedEdge& b) {
+              return a.id < b.id;
+            });
+  merged.edges.erase(std::unique(merged.edges.begin(), merged.edges.end(),
+                                 [](const PersistedEdge& a,
+                                    const PersistedEdge& b) {
+                                   return a.id == b.id;
+                                 }),
+                     merged.edges.end());
+  return merged;
+}
+
+Status ParallelEngineGroup::RestoreWindow(const WindowSnapshot& snapshot) {
+  QuiesceAll();
+  const int n = num_shards();
+  for (const PersistedEdge& pe : snapshot.edges) {
+    if (mode_ == ShardingMode::kBroadcastData) {
+      for (auto& shard : shards_) {
+        SW_RETURN_IF_ERROR(shard->engine.RestoreWindowEdge(pe.edge, pe.id));
+      }
+      continue;
+    }
+    const int src_owner = partitioner_->OwnerShard(pe.edge.src, n);
+    const int dst_owner = partitioner_->OwnerShard(pe.edge.dst, n);
+    SW_RETURN_IF_ERROR(
+        shards_[static_cast<size_t>(src_owner)]->engine.RestoreWindowEdge(
+            pe.edge, pe.id));
+    if (dst_owner != src_owner) {
+      SW_RETURN_IF_ERROR(
+          shards_[static_cast<size_t>(dst_owner)]->engine.RestoreWindowEdge(
+              pe.edge, pe.id));
+    }
+    // Rebuild group admission state so a post-recovery label clash on a
+    // retained vertex is rejected exactly as before the crash. (Vertices
+    // whose every edge was evicted pre-snapshot lose their recorded
+    // label; admission for them starts fresh — documented.)
+    admitted_vertex_labels_.try_emplace(pe.edge.src, pe.edge.src_label);
+    admitted_vertex_labels_.try_emplace(pe.edge.dst, pe.edge.dst_label);
+  }
+  for (auto& shard : shards_) {
+    shard->engine.FinishWindowRestore(snapshot.next_edge_id,
+                                      snapshot.watermark);
+  }
+  if (mode_ == ShardingMode::kPartitionedData) {
+    next_global_edge_id_ = snapshot.next_edge_id;
+    group_watermark_ = snapshot.watermark;
+    last_broadcast_watermark_ = snapshot.watermark;
+  }
+  return OkStatus();
+}
+
+void ParallelEngineGroup::SetSuppressCompletions(bool suppress) {
+  QuiesceAll();
+  for (auto& shard : shards_) {
+    shard->engine.set_suppress_completions(suppress);
+  }
+}
+
 std::vector<ShardStatsSnapshot> ParallelEngineGroup::ShardStats() {
   QuiesceAll();
   std::vector<ShardStatsSnapshot> out;

@@ -149,6 +149,26 @@ class ParallelEngineGroup {
   /// O(owned).
   std::vector<ShardStatsSnapshot> ShardStats();
 
+  // --- Durability (control thread; see QueryBackend's persist seam) --------
+  /// Group-wide window export (quiesces the group): partitioned mode
+  /// merges the shards' owned subsets by global edge id (an edge stored
+  /// on both endpoint owners appears once); broadcast mode reads shard 0
+  /// (every shard retains the identical window).
+  WindowSnapshot ExportWindow();
+
+  /// Rebuilds the group's window from an export. Must run before any
+  /// registration or ingest. The group is quiesced and edges are applied
+  /// directly to the owning shards' engines under their original global
+  /// ids; partitioned-mode admission state (vertex labels, id sequence,
+  /// group watermark) is restored alongside.
+  Status RestoreWindow(const WindowSnapshot& snapshot);
+
+  /// Gates match delivery on every shard (quiesces to flip the flag).
+  /// Recovery replays the WAL tail with completions suppressed: those
+  /// matches were delivered by the crashed incarnation, so the replay
+  /// rebuilds state without re-emitting them.
+  void SetSuppressCompletions(bool suppress);
+
  private:
   /// One unit of queued shard work.
   struct ShardTask {

@@ -69,8 +69,9 @@ StatusOr<EdgeId> DynamicGraph::AddEdgeImpl(const StreamEdge& e, EdgeId id) {
 }
 
 StatusOr<EdgeId> DynamicGraph::AddEdge(const StreamEdge& e) {
-  SW_CHECK(!assigned_ids_)
-      << "graph is in assigned-id mode; use AddEdgeWithId";
+  // In assigned-id mode this continues the assigned sequence — the shape
+  // after a window restore, where ids were replayed explicitly and live
+  // ingest then resumes with plain AddEdge.
   return AddEdgeImpl(e, next_edge_id());
 }
 
@@ -82,6 +83,16 @@ StatusOr<EdgeId> DynamicGraph::AddEdgeWithId(const StreamEdge& e, EdgeId id) {
   }
   SW_CHECK_GE(id, next_assigned_id_) << "assigned edge ids must ascend";
   return AddEdgeImpl(e, id);
+}
+
+void DynamicGraph::FastForwardEdgeIds(EdgeId next) {
+  if (!assigned_ids_) {
+    SW_CHECK(edges_.empty() && base_edge_id_ == 0)
+        << "cannot switch to assigned ids after sequential ingest";
+    assigned_ids_ = true;
+  }
+  SW_CHECK_GE(next, next_assigned_id_) << "edge ids never run backwards";
+  next_assigned_id_ = next;
 }
 
 void DynamicGraph::AdvanceWatermark(Timestamp watermark) {

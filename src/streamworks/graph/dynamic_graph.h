@@ -103,6 +103,14 @@ class DynamicGraph {
   /// routed through a group epoch barrier.
   void AdvanceWatermark(Timestamp watermark);
 
+  /// Fast-forwards the id sequence to `next` without ingesting anything,
+  /// engaging assigned-id mode if needed. Recovery uses it so the first
+  /// post-restore edge gets exactly the id it would have had in the
+  /// crashed incarnation, even when the restored window is missing ids
+  /// (evicted edges are not snapshotted, and a partitioned shard stores
+  /// only its owned subset). `next` must be >= next_edge_id().
+  void FastForwardEdgeIds(EdgeId next);
+
   // --- Vertices ---------------------------------------------------------
   size_t num_vertices() const { return vertex_labels_.size(); }
   /// Dense id for an external id, or kInvalidVertexId if never seen.

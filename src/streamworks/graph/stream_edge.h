@@ -32,6 +32,15 @@ struct StreamEdge {
 /// are processed in order; timestamps are non-decreasing across the stream.
 using EdgeBatch = std::vector<StreamEdge>;
 
+/// One retained edge in external-id form together with its ingest id —
+/// the unit of a window export/restore. Edge ids are part of the durable
+/// state: match signatures and arrival-order anchor discipline both key
+/// off them, so a recovered process must reproduce them exactly.
+struct PersistedEdge {
+  StreamEdge edge;
+  EdgeId id = kInvalidEdgeId;
+};
+
 }  // namespace streamworks
 
 #endif  // STREAMWORKS_GRAPH_STREAM_EDGE_H_

@@ -87,13 +87,17 @@ void SocketServer::Stop() {
 
   // Both threads are gone: this thread is now the control thread. Flush
   // and tear down every surviving connection (closing its sessions and
-  // compacting the service), then retire the listeners.
+  // compacting the service — unless a durable deployment asked Stop to
+  // preserve them for its shutdown snapshot), then retire the
+  // listeners.
   std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns = conns_;
   }
-  for (const auto& conn : conns) CloseConnection(conn);
+  for (const auto& conn : conns) {
+    CloseConnection(conn, options_.preserve_sessions_on_stop);
+  }
   tcp_listener_.reset();
   unix_listener_.reset();
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
@@ -239,6 +243,9 @@ void SocketServer::AcceptFrom(int listen_fd) {
     conn->out = std::make_unique<std::ostringstream>();
     conn->interpreter = std::make_unique<CommandInterpreter>(
         service_, interner_, conn->out.get());
+    if (options_.snapshot_hook) {
+      conn->interpreter->set_snapshot_hook(options_.snapshot_hook);
+    }
     std::weak_ptr<Connection> weak = conn;
     conn->interpreter->set_stream_hook(
         [this, weak](bool enable, std::string_view session,
@@ -254,23 +261,33 @@ void SocketServer::AcceptFrom(int listen_fd) {
     // kBlock over a socket is only sound with the connection as its live
     // consumer: un-streamed, the queue's sole drainer would be the very
     // poll thread its producer blocks (three protocol lines could wedge
-    // every tenant). Auto-upgrade such subscriptions to push streaming.
+    // every tenant). Auto-upgrade such subscriptions to push streaming —
+    // on SUBMIT, and equally on ATTACH (a recovered kBlock subscription
+    // comes back paused, and its RESUME must already find the pump
+    // draining, or crash recovery would reintroduce the same wedge).
+    const auto auto_stream_block = [this, weak](std::string_view session,
+                                                std::string_view sub,
+                                                int session_id,
+                                                int subscription_id) {
+      auto locked = weak.lock();
+      if (locked == nullptr) return;
+      std::shared_ptr<ResultQueue> handle =
+          service_->queue_handle(session_id, subscription_id);
+      if (handle == nullptr ||
+          handle->policy() != OverflowPolicy::kBlock) {
+        return;
+      }
+      HandleStream(locked, /*enable=*/true, session, sub, session_id,
+                   subscription_id)
+          .ok();
+    };
     conn->interpreter->set_submit_hook(
-        [this, weak](std::string_view session, std::string_view sub,
-                     int session_id, int subscription_id,
-                     const SubmitOptions&) {
-          auto locked = weak.lock();
-          if (locked == nullptr) return;
-          std::shared_ptr<ResultQueue> handle =
-              service_->queue_handle(session_id, subscription_id);
-          if (handle == nullptr ||
-              handle->policy() != OverflowPolicy::kBlock) {
-            return;
-          }
-          HandleStream(locked, /*enable=*/true, session, sub, session_id,
-                       subscription_id)
-              .ok();
+        [auto_stream_block](std::string_view session, std::string_view sub,
+                            int session_id, int subscription_id,
+                            const SubmitOptions&) {
+          auto_stream_block(session, sub, session_id, subscription_id);
         });
+    conn->interpreter->set_attach_hook(auto_stream_block);
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
@@ -610,7 +627,8 @@ bool SocketServer::FlushWritesLocked(Connection& conn) {
   return true;
 }
 
-void SocketServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+void SocketServer::CloseConnection(const std::shared_ptr<Connection>& conn,
+                                   bool preserve_sessions) {
   {
     std::lock_guard<std::mutex> lock(conn->io_mu);
     if (!conn->fd.valid()) return;  // already torn down
@@ -624,12 +642,18 @@ void SocketServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
   // subscriptions detach (unblocking any kBlock producer), and the
   // service's tables compact. Closed-session scope only: one tenant's
   // disconnect must never change what another tenant's open session
-  // observes (a drained POLL stays "n=0").
-  for (const auto& [name, session_id] : conn->interpreter->sessions()) {
-    service_->CloseSession(session_id).ok();
+  // observes (a drained POLL stays "n=0"). A durable server's *shutdown*
+  // teardown is the exception (preserve_sessions): those tenants didn't
+  // leave, the process is — their sessions must survive into the final
+  // snapshot so they can re-ATTACH after the restart, exactly as they
+  // would after a kill -9.
+  if (!preserve_sessions) {
+    for (const auto& [name, session_id] : conn->interpreter->sessions()) {
+      service_->CloseSession(session_id).ok();
+    }
+    subscriptions_reclaimed_.fetch_add(
+        service_->ReclaimDetached(/*drained_in_open_sessions=*/false));
   }
-  subscriptions_reclaimed_.fetch_add(
-      service_->ReclaimDetached(/*drained_in_open_sessions=*/false));
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (size_t i = 0; i < conns_.size(); ++i) {

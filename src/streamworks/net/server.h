@@ -51,6 +51,18 @@ struct ServerOptions {
   /// slow reader hits the write high-water (and thus the queue's overflow
   /// policy) after kilobytes instead of the kernel-default hundreds of KB.
   int so_sndbuf = 0;
+  /// Installed on every connection's interpreter as the SNAPSHOT verb's
+  /// target (the durability layer's SnapshotNow). Runs on the poll
+  /// thread — the control thread — like every other interpreter call.
+  /// Unset = SNAPSHOT answers ERR (no durability layer).
+  CommandInterpreter::SnapshotHook snapshot_hook;
+  /// Durable deployments set this so Stop()'s connection teardown leaves
+  /// still-connected tenants' sessions OPEN: the shutdown snapshot taken
+  /// after Stop must capture them (a graceful restart preserves exactly
+  /// what a kill -9 would have), where a live tenant's own disconnect
+  /// still closes its sessions as always. Leave false without a
+  /// durability layer — preserved sessions would just leak.
+  bool preserve_sessions_on_stop = false;
 };
 
 /// Monotonic counters of one server's lifetime (all reads are safe from
@@ -221,9 +233,12 @@ class SocketServer {
   /// Nonblocking write of wbuf; io_mu must be held. False on fatal error.
   bool FlushWritesLocked(Connection& conn);
 
-  /// Tears the connection down: closes the fd, closes every session its
-  /// interpreter opened, reclaims detached subscriptions.
-  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  /// Tears the connection down: closes the fd and — unless
+  /// `preserve_sessions` (Stop's shutdown path on a durable server) —
+  /// closes every session its interpreter opened and reclaims detached
+  /// subscriptions.
+  void CloseConnection(const std::shared_ptr<Connection>& conn,
+                       bool preserve_sessions = false);
 
   void WakePoll();
 

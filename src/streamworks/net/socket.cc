@@ -43,11 +43,6 @@ StatusOr<sockaddr_un> UnixAddress(const std::string& path) {
 
 }  // namespace
 
-void UniqueFd::reset(int fd) {
-  if (fd_ >= 0) ::close(fd_);
-  fd_ = fd;
-}
-
 Status SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {

@@ -6,41 +6,9 @@
 #include <utility>
 
 #include "streamworks/common/statusor.h"
+#include "streamworks/common/unique_fd.h"
 
 namespace streamworks {
-
-/// Owning file descriptor: closes on destruction, move-only. The thin RAII
-/// base every net-layer handle (listener, connection, wake pipe) builds on.
-class UniqueFd {
- public:
-  UniqueFd() = default;
-  explicit UniqueFd(int fd) : fd_(fd) {}
-  ~UniqueFd() { reset(); }
-
-  UniqueFd(const UniqueFd&) = delete;
-  UniqueFd& operator=(const UniqueFd&) = delete;
-  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
-  UniqueFd& operator=(UniqueFd&& other) noexcept {
-    if (this != &other) reset(other.release());
-    return *this;
-  }
-
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
-
-  /// Relinquishes ownership without closing.
-  int release() {
-    int fd = fd_;
-    fd_ = -1;
-    return fd;
-  }
-
-  /// Closes the current fd (if any) and adopts `fd`.
-  void reset(int fd = -1);
-
- private:
-  int fd_ = -1;
-};
 
 /// Marks `fd` O_NONBLOCK (the poll loop must never be parked in read/write;
 /// blocking is the ResultQueue's job, not the socket's).

@@ -1,0 +1,23 @@
+#ifndef STREAMWORKS_PERSIST_CRC32_H_
+#define STREAMWORKS_PERSIST_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace streamworks {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`. The
+/// on-disk durability formats checksum every WAL record and the whole
+/// snapshot body with it, so a torn write or bit rot is detected before
+/// any bytes are trusted. `seed` chains incremental computations: pass a
+/// previous result to extend it over more data.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_PERSIST_CRC32_H_

@@ -1,0 +1,45 @@
+#include "streamworks/persist/durable_backend.h"
+
+namespace streamworks {
+
+Status DurableBackend::LogEdges(const EdgeBatch& batch) {
+  if (log_ == nullptr || !logging_enabled_) return OkStatus();
+  return log_->Append(batch);
+}
+
+void DurableBackend::MaybeTriggerSnapshot(size_t edges_applied) {
+  if (snapshot_every_edges_ == 0 || !snapshot_trigger_ ||
+      in_snapshot_trigger_) {
+    return;
+  }
+  edges_since_snapshot_ += edges_applied;
+  if (edges_since_snapshot_ < snapshot_every_edges_) return;
+  edges_since_snapshot_ = 0;
+  // The trigger quiesces this very backend (Flush + ExportWindow); the
+  // guard keeps a hypothetical re-entrant feed from stacking snapshots.
+  in_snapshot_trigger_ = true;
+  snapshot_trigger_();
+  in_snapshot_trigger_ = false;
+}
+
+Status DurableBackend::Feed(const StreamEdge& edge) {
+  scratch_.assign(1, edge);
+  // Log-before-apply: the edge must be durable (in the log's buffer, at
+  // least — fsync cadence is the operator's call) before the engine can
+  // observably act on it. A failed append fails the feed: accepting an
+  // edge the WAL lost would silently break the recovery contract.
+  SW_RETURN_IF_ERROR(LogEdges(scratch_));
+  const Status status = inner_->Feed(edge);
+  MaybeTriggerSnapshot(1);
+  return status;
+}
+
+Status DurableBackend::FeedBatch(const EdgeBatch& batch,
+                                 size_t* rejected_out) {
+  SW_RETURN_IF_ERROR(LogEdges(batch));
+  const Status status = inner_->FeedBatch(batch, rejected_out);
+  MaybeTriggerSnapshot(batch.size());
+  return status;
+}
+
+}  // namespace streamworks

@@ -1,0 +1,89 @@
+#ifndef STREAMWORKS_PERSIST_DURABLE_BACKEND_H_
+#define STREAMWORKS_PERSIST_DURABLE_BACKEND_H_
+
+#include <functional>
+
+#include "streamworks/persist/edge_log.h"
+#include "streamworks/service/backend.h"
+
+namespace streamworks {
+
+/// QueryBackend decorator that makes ingest durable: every Feed /
+/// FeedBatch is appended to the write-ahead EdgeLog *before* it is
+/// applied to the inner backend (log-before-apply — a crash after the
+/// append but before the apply replays the edge; the reverse order would
+/// lose it). Everything else passes through, so the service layer is
+/// oblivious: durability is a deployment choice made where the backend
+/// stack is assembled, exactly like sharding.
+///
+/// The decorator also owns the snapshot cadence: after every
+/// `snapshot_every_edges` applied edges it invokes the installed trigger
+/// (the DurabilityManager's SnapshotNow) synchronously on the control
+/// thread — the only thread allowed to quiesce the backend and walk the
+/// service tables.
+class DurableBackend : public QueryBackend {
+ public:
+  /// `inner` must outlive the backend. The log may be attached later
+  /// (set_log) because recovery replays *through* this backend before
+  /// the log is opened for appending.
+  explicit DurableBackend(QueryBackend* inner) : inner_(inner) {}
+
+  void set_log(EdgeLog* log) { log_ = log; }
+
+  /// While disabled, Feed/FeedBatch skip the WAL append (recovery replay:
+  /// those edges are already in the log).
+  void set_logging_enabled(bool enabled) { logging_enabled_ = enabled; }
+
+  /// Auto-snapshot cadence: after >= `every_edges` edges applied since
+  /// the last trigger, `fn` runs on the control thread. 0 disables.
+  void set_snapshot_trigger(uint64_t every_edges,
+                            std::function<void()> fn) {
+    snapshot_every_edges_ = every_edges;
+    snapshot_trigger_ = std::move(fn);
+  }
+
+  StatusOr<int> Register(const QueryGraph& query,
+                         DecompositionStrategy strategy, Timestamp window,
+                         MatchCallback callback) override {
+    return inner_->Register(query, strategy, window, std::move(callback));
+  }
+  Status Unregister(int query_id) override {
+    return inner_->Unregister(query_id);
+  }
+  StatusOr<QueryRuntimeInfo> Info(int query_id) override {
+    return inner_->Info(query_id);
+  }
+  Status Feed(const StreamEdge& edge) override;
+  Status FeedBatch(const EdgeBatch& batch, size_t* rejected_out) override;
+  void Flush() override { inner_->Flush(); }
+  std::vector<ShardLoadSnapshot> ShardLoads() override {
+    return inner_->ShardLoads();
+  }
+  StatusOr<WindowSnapshot> ExportWindow() override {
+    return inner_->ExportWindow();
+  }
+  Status RestoreWindow(const WindowSnapshot& snapshot) override {
+    return inner_->RestoreWindow(snapshot);
+  }
+  void SetSuppressCompletions(bool suppress) override {
+    inner_->SetSuppressCompletions(suppress);
+  }
+
+ private:
+  /// WAL append for one ingest call; scratch_ batches single edges.
+  Status LogEdges(const EdgeBatch& batch);
+  void MaybeTriggerSnapshot(size_t edges_applied);
+
+  QueryBackend* inner_;
+  EdgeLog* log_ = nullptr;
+  bool logging_enabled_ = true;
+  uint64_t snapshot_every_edges_ = 0;
+  uint64_t edges_since_snapshot_ = 0;
+  bool in_snapshot_trigger_ = false;
+  std::function<void()> snapshot_trigger_;
+  EdgeBatch scratch_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_PERSIST_DURABLE_BACKEND_H_

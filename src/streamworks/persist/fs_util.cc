@@ -1,0 +1,99 @@
+#include "streamworks/persist/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "streamworks/common/str_util.h"
+
+namespace streamworks {
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrCat("write failed: ",
+                                    std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+void FsyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+StatusOr<std::string> ReadFileToString(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed on " + path.string());
+  return std::move(buf).str();
+}
+
+std::string SeqFileName(std::string_view prefix, uint64_t seq,
+                        std::string_view suffix) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(seq));
+  return std::string(prefix) + hex + std::string(suffix);
+}
+
+StatusOr<std::vector<std::pair<uint64_t, std::filesystem::path>>>
+ListSeqFiles(const std::string& dir, std::string_view prefix,
+             std::string_view suffix) {
+  std::vector<std::pair<uint64_t, std::filesystem::path>> files;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot list " + dir + ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    uint64_t seq = 0;
+    if (ParseSeqFileName(entry.path().filename().string(), prefix, suffix,
+                         &seq)) {
+      files.emplace_back(seq, entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool ParseSeqFileName(std::string_view name, std::string_view prefix,
+                      std::string_view suffix, uint64_t* seq) {
+  if (name.size() != prefix.size() + 16 + suffix.size() ||
+      !name.starts_with(prefix) || !name.ends_with(suffix)) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 16; ++i) {
+    const char c = name[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace streamworks

@@ -1,0 +1,46 @@
+#ifndef STREAMWORKS_PERSIST_FS_UTIL_H_
+#define STREAMWORKS_PERSIST_FS_UTIL_H_
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "streamworks/common/statusor.h"
+
+namespace streamworks {
+
+/// Whole-file read (binary). IoError on open/read failure.
+StatusOr<std::string> ReadFileToString(const std::filesystem::path& path);
+
+/// EINTR-safe full write of `bytes` to `fd`. IoError on failure (the
+/// caller decides what to do with any partial prefix already written).
+Status WriteAll(int fd, std::string_view bytes);
+
+/// Best-effort directory fsync: makes directory-entry changes (a created
+/// segment, a renamed snapshot) durable against machine death. Some
+/// filesystems refuse O_RDONLY fsync on directories — those errors are
+/// swallowed, file *data* durability never depends on this.
+void FsyncDir(const std::string& dir);
+
+/// "<prefix><seq as 16 lowercase hex digits><suffix>" — the naming scheme
+/// both durable artifact kinds share (wal-…log segments, snap-…snap
+/// files), so lexicographic filename order is sequence order.
+std::string SeqFileName(std::string_view prefix, uint64_t seq,
+                        std::string_view suffix);
+
+/// Inverse of SeqFileName; false for anything shaped differently.
+bool ParseSeqFileName(std::string_view name, std::string_view prefix,
+                      std::string_view suffix, uint64_t* seq);
+
+/// Every SeqFileName-shaped file in `dir`, ascending by sequence (callers
+/// wanting newest-first iterate in reverse). IoError when the directory
+/// cannot be listed; unrelated files are ignored.
+StatusOr<std::vector<std::pair<uint64_t, std::filesystem::path>>>
+ListSeqFiles(const std::string& dir, std::string_view prefix,
+             std::string_view suffix);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_PERSIST_FS_UTIL_H_

@@ -1,0 +1,468 @@
+#include "streamworks/persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "streamworks/common/binio.h"
+#include "streamworks/common/logging.h"
+#include "streamworks/common/str_util.h"
+#include "streamworks/common/unique_fd.h"
+#include "streamworks/persist/crc32.h"
+#include "streamworks/persist/fs_util.h"
+
+namespace streamworks {
+
+namespace {
+
+constexpr char kSnapshotMagic[4] = {'S', 'W', 'S', 'N'};
+constexpr uint32_t kSnapshotVersion = 1;
+
+std::string SnapshotName(uint64_t wal_seq) {
+  return SeqFileName("snap-", wal_seq, ".snap");
+}
+
+/// Strings (labels, session names, tags) can be tenant-controlled, so an
+/// over-u16 length must fail the snapshot with a Status — never abort
+/// the process (one hostile SESSION name would otherwise take every
+/// tenant down at the next snapshot).
+Status PutString(std::string* out, std::string_view s);
+
+/// First-seen-order label string table shared by the whole file (the
+/// FEEDB idiom, file-scoped instead of frame-scoped).
+class LabelTable {
+ public:
+  explicit LabelTable(const Interner& interner) : interner_(interner) {}
+
+  uint32_t IndexOf(LabelId id) {
+    auto [it, inserted] = index_.try_emplace(id, ids_.size());
+    if (inserted) ids_.push_back(id);
+    return static_cast<uint32_t>(it->second);
+  }
+
+  Status Encode(std::string* out) const {
+    PutU32(out, static_cast<uint32_t>(ids_.size()));
+    for (LabelId id : ids_) {
+      const std::string& name = interner_.Name(id);
+      SW_RETURN_IF_ERROR(PutString(out, name));
+    }
+    return OkStatus();
+  }
+
+ private:
+  const Interner& interner_;
+  std::unordered_map<LabelId, size_t> index_;
+  std::vector<LabelId> ids_;
+};
+
+Status PutString(std::string* out, std::string_view s) {
+  if (s.size() > std::numeric_limits<uint16_t>::max()) {
+    return Status::InvalidArgument(
+        StrCat("string of ", s.size(),
+               " bytes exceeds the snapshot format's u16 length"));
+  }
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out->append(s);
+  return OkStatus();
+}
+
+/// Bounds-checked read cursor: every declared length is validated against
+/// the bytes actually present before anything dereferences — a corrupted
+/// (or hostile) snapshot must fail decoding, never crash the loader.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  bool Take(size_t n, const char** out) {
+    if (bytes_.size() - pos_ < n) return false;
+    *out = bytes_.data() + pos_;
+    pos_ += n;
+    return true;
+  }
+  bool U8(uint8_t* v) {
+    const char* p;
+    if (!Take(1, &p)) return false;
+    *v = static_cast<uint8_t>(*p);
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    const char* p;
+    if (!Take(2, &p)) return false;
+    *v = GetU16(p);
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    const char* p;
+    if (!Take(4, &p)) return false;
+    *v = GetU32(p);
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    const char* p;
+    if (!Take(8, &p)) return false;
+    *v = GetU64(p);
+    return true;
+  }
+  bool I64(int64_t* v) {
+    const char* p;
+    if (!Take(8, &p)) return false;
+    *v = GetI64(p);
+    return true;
+  }
+  bool String(std::string_view* out) {
+    uint16_t len;
+    const char* p;
+    if (!U16(&len) || !Take(len, &p)) return false;
+    *out = std::string_view(p, len);
+    return true;
+  }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::string> EncodeSnapshot(const SnapshotContents& contents,
+                                     const Interner& interner) {
+  LabelTable table(interner);
+
+  // Pre-intern every label so the table is complete before it is
+  // encoded; record per-edge / per-query indexes as we go.
+  std::string edges;
+  PutU64(&edges, contents.window.edges.size());
+  for (const PersistedEdge& pe : contents.window.edges) {
+    PutU64(&edges, pe.id);
+    PutU64(&edges, pe.edge.src);
+    PutU64(&edges, pe.edge.dst);
+    PutU32(&edges, table.IndexOf(pe.edge.src_label));
+    PutU32(&edges, table.IndexOf(pe.edge.dst_label));
+    PutU32(&edges, table.IndexOf(pe.edge.edge_label));
+    PutI64(&edges, pe.edge.ts);
+  }
+
+  std::string sessions;
+  PutU32(&sessions, static_cast<uint32_t>(contents.service.sessions.size()));
+  for (const PersistedSession& ps : contents.service.sessions) {
+    SW_RETURN_IF_ERROR(PutString(&sessions, ps.name));
+    PutU32(&sessions, static_cast<uint32_t>(ps.subscriptions.size()));
+    for (const PersistedSubscription& sub : ps.subscriptions) {
+      SW_RETURN_IF_ERROR(PutString(&sessions, sub.tag));
+      SW_RETURN_IF_ERROR(PutString(&sessions, sub.query.name()));
+      const int nv = sub.query.num_vertices();
+      const int ne = sub.query.num_edges();
+      PutU16(&sessions, static_cast<uint16_t>(nv));
+      for (int v = 0; v < nv; ++v) {
+        PutU32(&sessions, table.IndexOf(sub.query.vertex_label(v)));
+      }
+      PutU16(&sessions, static_cast<uint16_t>(ne));
+      for (int e = 0; e < ne; ++e) {
+        const QueryEdge& qe = sub.query.edge(e);
+        PutU16(&sessions, static_cast<uint16_t>(qe.src));
+        PutU16(&sessions, static_cast<uint16_t>(qe.dst));
+        PutU32(&sessions, table.IndexOf(qe.label));
+      }
+      PutI64(&sessions, sub.window);
+      SW_RETURN_IF_ERROR(
+          PutString(&sessions, DecompositionStrategyName(sub.strategy)));
+      PutU64(&sessions, sub.queue_capacity);
+      SW_RETURN_IF_ERROR(
+          PutString(&sessions, OverflowPolicyName(sub.policy)));
+      sessions.push_back(sub.paused ? '\1' : '\0');
+    }
+  }
+
+  std::string out;
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&out, kSnapshotVersion);
+  PutU64(&out, contents.wal_seq);
+  PutU64(&out, contents.window.next_edge_id);
+  PutI64(&out, contents.window.watermark);
+  SW_RETURN_IF_ERROR(table.Encode(&out));
+  out.append(edges);
+  out.append(sessions);
+  PutU32(&out, Crc32(out));
+  return out;
+}
+
+StatusOr<SnapshotContents> DecodeSnapshot(std::string_view bytes,
+                                          Interner* interner) {
+  const auto corrupt = [](std::string_view why) {
+    return Status::DataLoss(StrCat("corrupt snapshot: ", why));
+  };
+  if (bytes.size() < 4 + 4 + 8 + 8 + 8 + 4) return corrupt("too short");
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    return corrupt("bad magic");
+  }
+  const uint32_t declared_crc = GetU32(bytes.data() + bytes.size() - 4);
+  if (Crc32(bytes.substr(0, bytes.size() - 4)) != declared_crc) {
+    return corrupt("CRC mismatch");
+  }
+
+  Cursor cur(bytes.substr(4, bytes.size() - 4 - 4));
+  SnapshotContents contents;
+  uint32_t version;
+  if (!cur.U32(&version)) return corrupt("truncated header");
+  if (version != kSnapshotVersion) return corrupt("unsupported version");
+  if (!cur.U64(&contents.wal_seq) ||
+      !cur.U64(&contents.window.next_edge_id) ||
+      !cur.I64(&contents.window.watermark)) {
+    return corrupt("truncated header");
+  }
+
+  uint32_t n_labels;
+  if (!cur.U32(&n_labels)) return corrupt("truncated string-table count");
+  // Each entry costs at least its 2-byte length; a count beyond
+  // remaining/2 is a lie — reject before it sizes anything.
+  if (n_labels > cur.remaining() / 2) {
+    return corrupt("string-table count exceeds body");
+  }
+  std::vector<LabelId> labels;
+  labels.reserve(n_labels);
+  for (uint32_t i = 0; i < n_labels; ++i) {
+    std::string_view name;
+    // String() bounds-checks the declared length against the bytes
+    // present — an entry running past the body fails here even though
+    // the file-level CRC already passed (defense against a forged CRC).
+    if (!cur.String(&name)) return corrupt("truncated string table");
+    labels.push_back(interner->Intern(name));
+  }
+  const auto label_at = [&](uint32_t idx, LabelId* out) {
+    if (idx >= labels.size()) return false;
+    *out = labels[idx];
+    return true;
+  };
+
+  uint64_t n_edges;
+  if (!cur.U64(&n_edges)) return corrupt("truncated edge count");
+  constexpr size_t kEdgeBytes = 8 + 8 + 8 + 4 + 4 + 4 + 8;
+  if (n_edges > cur.remaining() / kEdgeBytes) {
+    return corrupt("edge count exceeds body");
+  }
+  contents.window.edges.reserve(n_edges);
+  EdgeId prev_id = 0;
+  for (uint64_t i = 0; i < n_edges; ++i) {
+    PersistedEdge pe;
+    uint32_t src_label, dst_label, edge_label;
+    uint64_t id;
+    if (!cur.U64(&id) || !cur.U64(&pe.edge.src) || !cur.U64(&pe.edge.dst) ||
+        !cur.U32(&src_label) || !cur.U32(&dst_label) ||
+        !cur.U32(&edge_label) || !cur.I64(&pe.edge.ts)) {
+      return corrupt("truncated edge record");
+    }
+    pe.id = id;
+    if (i > 0 && id <= prev_id) {
+      return corrupt("window edge ids not ascending");
+    }
+    prev_id = id;
+    if (!label_at(src_label, &pe.edge.src_label) ||
+        !label_at(dst_label, &pe.edge.dst_label) ||
+        !label_at(edge_label, &pe.edge.edge_label)) {
+      return corrupt("edge label index out of string-table range");
+    }
+    contents.window.edges.push_back(pe);
+  }
+
+  uint32_t n_sessions;
+  if (!cur.U32(&n_sessions)) return corrupt("truncated session count");
+  if (n_sessions > cur.remaining()) {
+    return corrupt("session count exceeds body");
+  }
+  for (uint32_t s = 0; s < n_sessions; ++s) {
+    PersistedSession ps;
+    std::string_view name;
+    if (!cur.String(&name)) return corrupt("truncated session name");
+    ps.name = std::string(name);
+    uint32_t n_subs;
+    if (!cur.U32(&n_subs)) return corrupt("truncated subscription count");
+    if (n_subs > cur.remaining()) {
+      return corrupt("subscription count exceeds body");
+    }
+    for (uint32_t q = 0; q < n_subs; ++q) {
+      PersistedSubscription sub;
+      std::string_view tag, query_name, strategy_name, policy_name;
+      if (!cur.String(&tag) || !cur.String(&query_name)) {
+        return corrupt("truncated subscription names");
+      }
+      sub.tag = std::string(tag);
+      uint16_t nv;
+      if (!cur.U16(&nv)) return corrupt("truncated query vertex count");
+      // The builder SW_CHECKs its size cap; a forged-CRC snapshot must
+      // fail decoding here, never abort the recovering process.
+      if (nv == 0 || nv > kMaxQuerySize) {
+        return corrupt("query vertex count out of range");
+      }
+      QueryGraphBuilder builder(interner);
+      for (uint16_t v = 0; v < nv; ++v) {
+        uint32_t label_idx;
+        LabelId label;
+        if (!cur.U32(&label_idx) || !label_at(label_idx, &label)) {
+          return corrupt("bad query vertex label");
+        }
+        builder.AddVertex(interner->Name(label));
+      }
+      uint16_t ne;
+      if (!cur.U16(&ne)) return corrupt("truncated query edge count");
+      if (ne == 0 || ne > kMaxQuerySize) {
+        return corrupt("query edge count out of range");
+      }
+      for (uint16_t e = 0; e < ne; ++e) {
+        uint16_t src, dst;
+        uint32_t label_idx;
+        LabelId label;
+        if (!cur.U16(&src) || !cur.U16(&dst) || !cur.U32(&label_idx) ||
+            !label_at(label_idx, &label)) {
+          return corrupt("bad query edge");
+        }
+        if (src >= nv || dst >= nv) {
+          return corrupt("query edge endpoint out of range");
+        }
+        builder.AddEdge(src, dst, interner->Name(label));
+      }
+      auto built = builder.Build(query_name);
+      if (!built.ok()) {
+        return corrupt(StrCat("unbuildable query '", query_name,
+                              "': ", built.status().message()));
+      }
+      sub.query = std::move(built).value();
+      uint8_t paused;
+      if (!cur.I64(&sub.window) || !cur.String(&strategy_name) ||
+          !cur.U64(&sub.queue_capacity) || !cur.String(&policy_name) ||
+          !cur.U8(&paused)) {
+        return corrupt("truncated subscription options");
+      }
+      bool strategy_found = false;
+      for (DecompositionStrategy st : kAllDecompositionStrategies) {
+        if (DecompositionStrategyName(st) == strategy_name) {
+          sub.strategy = st;
+          strategy_found = true;
+          break;
+        }
+      }
+      if (!strategy_found) return corrupt("unknown strategy name");
+      auto policy = ParseOverflowPolicy(policy_name);
+      if (!policy.ok()) return corrupt("unknown overflow policy");
+      sub.policy = policy.value();
+      sub.paused = paused != 0;
+      ps.subscriptions.push_back(std::move(sub));
+    }
+    contents.service.sessions.push_back(std::move(ps));
+  }
+  if (cur.remaining() != 0) return corrupt("trailing bytes");
+  return contents;
+}
+
+StatusOr<std::string> WriteSnapshotFile(const std::string& dir,
+                                        const SnapshotContents& contents,
+                                        const Interner& interner) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create snapshot dir " + dir + ": " +
+                           ec.message());
+  }
+  SW_ASSIGN_OR_RETURN(const std::string blob,
+                      EncodeSnapshot(contents, interner));
+  const std::filesystem::path final_path =
+      std::filesystem::path(dir) / SnapshotName(contents.wal_seq);
+  const std::filesystem::path tmp_path =
+      final_path.string() + ".tmp";
+
+  {
+    const int fd = ::open(tmp_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status::IoError(StrCat("cannot create ", tmp_path.string(),
+                                    ": ", std::strerror(errno)));
+    }
+    UniqueFd guard(fd);
+    // A failed write/fsync must not strand the half-written tmp file:
+    // on the disk-full machine that makes snapshots fail, every cadence
+    // retry would otherwise orphan another full-window image.
+    if (Status written = WriteAll(fd, blob); !written.ok()) {
+      ::unlink(tmp_path.c_str());
+      return written;
+    }
+    if (::fsync(fd) != 0) {
+      const Status failed = Status::IoError(
+          StrCat("snapshot fsync failed: ", std::strerror(errno)));
+      ::unlink(tmp_path.c_str());
+      return failed;
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::IoError("snapshot rename failed: " + ec.message());
+  }
+  // Make the rename itself durable.
+  FsyncDir(dir);
+  return final_path.string();
+}
+
+StatusOr<SnapshotLoadResult> LoadLatestSnapshot(const std::string& dir,
+                                                Interner* interner) {
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) {
+    return Status::NotFound("no snapshot directory at " + dir);
+  }
+  SW_ASSIGN_OR_RETURN(auto snaps, ListSeqFiles(dir, "snap-", ".snap"));
+  std::reverse(snaps.begin(), snaps.end());  // newest first
+
+  SnapshotLoadResult result;
+  for (const auto& [seq, path] : snaps) {
+    auto bytes = ReadFileToString(path);
+    if (bytes.ok()) {
+      // One decode, straight into the live interner: the window walk is
+      // recovery's dominant cost and must not run twice. A snapshot
+      // rejected mid-decode may leave labels it interned before the
+      // rejection — benign (label ids are process-local and unused
+      // entries are inert), and random corruption never gets that far
+      // anyway (the whole-file CRC is checked before any field is
+      // read).
+      auto decoded = DecodeSnapshot(bytes.value(), interner);
+      if (decoded.ok()) {
+        result.contents = std::move(decoded).value();
+        result.path = path.string();
+        return result;
+      }
+    }
+    // Fall back to the previous snapshot: a corrupt newest file costs
+    // recovery freshness (a longer WAL replay), never the process.
+    ++result.invalid_skipped;
+  }
+  return Status::NotFound("no valid snapshot in " + dir);
+}
+
+StatusOr<int> PruneSnapshots(const std::string& dir, int keep_newest) {
+  if (keep_newest <= 0) {
+    return Status::InvalidArgument(
+        "keep_newest must be positive (the newest snapshot is the "
+        "recovery point)");
+  }
+  std::error_code ec;
+  SW_ASSIGN_OR_RETURN(auto snaps, ListSeqFiles(dir, "snap-", ".snap"));
+  std::reverse(snaps.begin(), snaps.end());  // newest first
+  int deleted = 0;
+  for (size_t i = static_cast<size_t>(keep_newest); i < snaps.size(); ++i) {
+    std::filesystem::remove(snaps[i].second, ec);
+    if (ec) {
+      return Status::IoError("cannot prune snapshot " +
+                             snaps[i].second.string() + ": " +
+                             ec.message());
+    }
+    ++deleted;
+  }
+  return deleted;
+}
+
+}  // namespace streamworks

@@ -38,6 +38,18 @@ Status SingleEngineBackend::FeedBatch(const EdgeBatch& batch,
   return status;
 }
 
+StatusOr<WindowSnapshot> SingleEngineBackend::ExportWindow() {
+  return engine_->ExportWindow();
+}
+
+Status SingleEngineBackend::RestoreWindow(const WindowSnapshot& snapshot) {
+  for (const PersistedEdge& pe : snapshot.edges) {
+    SW_RETURN_IF_ERROR(engine_->RestoreWindowEdge(pe.edge, pe.id));
+  }
+  engine_->FinishWindowRestore(snapshot.next_edge_id, snapshot.watermark);
+  return OkStatus();
+}
+
 StatusOr<int> ParallelGroupBackend::Register(const QueryGraph& query,
                                              DecompositionStrategy strategy,
                                              Timestamp window,

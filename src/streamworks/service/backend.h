@@ -52,6 +52,28 @@ class QueryBackend {
   /// modes without shards report nothing; the parallel backend quiesces
   /// its group to read consistent gauges — call from the control thread.
   virtual std::vector<ShardLoadSnapshot> ShardLoads() { return {}; }
+
+  // --- Durability seam ------------------------------------------------------
+  // The persistence layer (persist/) snapshots and recovers through these
+  // three calls, staying ignorant of whether the window lives on one
+  // engine or across a sharded group. All are control-thread calls.
+
+  /// Point-in-time export of the retained window (quiesces asynchronous
+  /// backends first).
+  virtual StatusOr<WindowSnapshot> ExportWindow() {
+    return Status::Unimplemented("backend does not support window export");
+  }
+
+  /// Rebuilds the window from an export. Must precede any registration
+  /// or ingest; the registrations that follow backfill from it.
+  virtual Status RestoreWindow(const WindowSnapshot& snapshot) {
+    (void)snapshot;
+    return Status::Unimplemented("backend does not support window restore");
+  }
+
+  /// Gates match delivery while a recovery replay rebuilds state whose
+  /// completions the crashed incarnation already emitted.
+  virtual void SetSuppressCompletions(bool suppress) { (void)suppress; }
 };
 
 /// In-process, single-threaded deployment: every query on one engine,
@@ -69,6 +91,11 @@ class SingleEngineBackend : public QueryBackend {
   Status Feed(const StreamEdge& edge) override;
   Status FeedBatch(const EdgeBatch& batch, size_t* rejected_out) override;
   void Flush() override {}
+  StatusOr<WindowSnapshot> ExportWindow() override;
+  Status RestoreWindow(const WindowSnapshot& snapshot) override;
+  void SetSuppressCompletions(bool suppress) override {
+    engine_->set_suppress_completions(suppress);
+  }
 
  private:
   StreamWorksEngine* engine_;
@@ -96,6 +123,15 @@ class ParallelGroupBackend : public QueryBackend {
   Status FeedBatch(const EdgeBatch& batch, size_t* rejected_out) override;
   void Flush() override { group_->Flush(); }
   std::vector<ShardLoadSnapshot> ShardLoads() override;
+  StatusOr<WindowSnapshot> ExportWindow() override {
+    return group_->ExportWindow();
+  }
+  Status RestoreWindow(const WindowSnapshot& snapshot) override {
+    return group_->RestoreWindow(snapshot);
+  }
+  void SetSuppressCompletions(bool suppress) override {
+    group_->SetSuppressCompletions(suppress);
+  }
 
  private:
   ParallelEngineGroup* group_;

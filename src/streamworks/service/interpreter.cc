@@ -129,6 +129,20 @@ Status CommandInterpreter::ExecuteLine(std::string_view line) {
     return OkStatus();  // counted when END closes the block
   } else if (verb == "SESSION") {
     status = HandleSession(tokens);
+  } else if (verb == "ATTACH") {
+    status = HandleAttach(tokens);
+  } else if (verb == "SNAPSHOT") {
+    if (tokens.size() != 1) {
+      return error("SNAPSHOT takes no arguments");
+    }
+    if (!snapshot_hook_) {
+      return error(
+          "SNAPSHOT: this deployment has no durability layer (run with a "
+          "data dir)");
+    }
+    auto result = snapshot_hook_();
+    status = result.ok() ? Emit("OK snapshot " + result.value())
+                         : result.status();
   } else if (verb == "SUBMIT") {
     status = HandleSubmit(tokens);
   } else if (verb == "PAUSE" || verb == "RESUME" || verb == "DETACH") {
@@ -176,6 +190,32 @@ Status CommandInterpreter::HandleSession(Tokens tokens) {
   return Emit("OK session " + name + " id=" + std::to_string(id));
 }
 
+Status CommandInterpreter::HandleAttach(Tokens tokens) {
+  if (tokens.size() != 2) return Status::InvalidArgument("takes one name");
+  const std::string name(tokens[1]);
+  SW_ASSIGN_OR_RETURN(const AttachedSession attached,
+                      service_->AttachSession(name));
+  session_ids_[name] = attached.session_id;
+  std::string subs;
+  for (const AttachedSubscription& sub : attached.subscriptions) {
+    if (sub.tag.empty()) continue;  // anonymous: unreachable by name
+    subscription_ids_[{name, sub.tag}] = sub.subscription_id;
+    if (attach_hook_) {
+      attach_hook_(name, sub.tag, attached.session_id,
+                   sub.subscription_id);
+    }
+    if (!subs.empty()) subs += ',';
+    subs += sub.tag;
+    // The state rides along so a reconnecting tenant can see that e.g.
+    // a restored kBlock subscription came back paused and needs RESUME.
+    subs += ':';
+    subs += SubscriptionStateName(sub.state);
+  }
+  return Emit("OK attach " + name +
+              " id=" + std::to_string(attached.session_id) + " subs=" +
+              (subs.empty() ? "-" : subs));
+}
+
 Status CommandInterpreter::HandleSubmit(Tokens tokens) {
   if (tokens.size() < 4) {
     return Status::InvalidArgument(
@@ -210,6 +250,9 @@ Status CommandInterpreter::HandleSubmit(Tokens tokens) {
 
   SubmitOptions options;
   options.window = def_it->second.window;  // DSL window, unless overridden
+  // The sub name doubles as the durable tag, so a recovered session's
+  // subscriptions come back addressable under the same names via ATTACH.
+  options.tag = std::string(sub_name);
   for (size_t i = 4; i + 1 < tokens.size(); i += 2) {
     const std::string_view key = tokens[i];
     const std::string_view value = tokens[i + 1];

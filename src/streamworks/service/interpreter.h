@@ -24,6 +24,11 @@ namespace streamworks {
 ///   END                         end the definition
 ///
 ///   SESSION <session>           open a session
+///   ATTACH <session>            claim a recovery-restored session by
+///                               name, together with its subscriptions'
+///                               names (one claim per session; live
+///                               sessions stay bound to their creator
+///                               and refuse ATTACH)
 ///   SUBMIT <session> <sub> <query> [WINDOW <w>] [CAP <n>]
 ///          [POLICY block|drop_oldest|drop_newest] [STRATEGY <name>]
 ///                               submit <query> as subscription <sub>;
@@ -40,6 +45,8 @@ namespace streamworks {
 ///                               one MATCH line per result
 ///   STREAM <session> <sub>      upgrade the subscription to push delivery
 ///   UNSTREAM <session> <sub>    back to POLL-only delivery
+///   SNAPSHOT                    force a durability snapshot (needs the
+///                               hosting frontend to run with a data dir)
 ///   STATS                       print the service-wide snapshot
 ///
 /// STREAM/UNSTREAM are transport commands: they only work when the hosting
@@ -87,6 +94,26 @@ class CommandInterpreter {
       int subscription_id, const SubmitOptions& options)>;
   void set_submit_hook(SubmitHook hook) { submit_hook_ = std::move(hook); }
 
+  /// Notified for every subscription a successful ATTACH adopted. The
+  /// push-capable transport uses it exactly like the submit hook: a
+  /// recovered kBlock subscription must be auto-upgraded to streaming
+  /// before its owner can RESUME it, or the un-drained queue would
+  /// block deliveries on the shared control thread (the PR 3 wedge,
+  /// reachable via crash recovery otherwise).
+  using AttachHook =
+      std::function<void(std::string_view session, std::string_view sub,
+                         int session_id, int subscription_id)>;
+  void set_attach_hook(AttachHook hook) { attach_hook_ = std::move(hook); }
+
+  /// Honours SNAPSHOT: forces a durability snapshot and returns a short
+  /// human-readable summary ("wal_seq=N path"). Installed by a frontend
+  /// whose deployment runs with a data dir (service_demo --data-dir);
+  /// without it the verb answers Unimplemented.
+  using SnapshotHook = std::function<StatusOr<std::string>()>;
+  void set_snapshot_hook(SnapshotHook hook) {
+    snapshot_hook_ = std::move(hook);
+  }
+
   /// Session name -> service session id, every session this interpreter
   /// opened. A network frontend uses it to close a disconnected tenant's
   /// sessions.
@@ -114,6 +141,7 @@ class CommandInterpreter {
   Status Emit(const std::string& line);
 
   Status HandleSession(Tokens tokens);
+  Status HandleAttach(Tokens tokens);
   Status HandleSubmit(Tokens tokens);
   Status HandleLifecycle(std::string_view verb, Tokens tokens);
   Status HandleFeed(Tokens tokens);
@@ -125,6 +153,8 @@ class CommandInterpreter {
   std::ostream* out_;
   StreamHook stream_hook_;
   SubmitHook submit_hook_;
+  AttachHook attach_hook_;
+  SnapshotHook snapshot_hook_;
 
   /// Transparent comparators: command handlers look names up as
   /// string_views without materializing std::strings.

@@ -44,12 +44,28 @@ std::string ServiceStatsSnapshot::ToString() const {
      << ")"
      << " pauses=" << pauses << " resumes=" << resumes
      << " detaches=" << detaches << " reclaimed=" << reclaimed
+     << " reclaimed_aged=" << reclaimed_aged
      << " edges_fed=" << edges_fed << "\n";
   os << "matches: enqueued=" << matches_enqueued
      << " delivered=" << matches_delivered << " dropped=" << matches_dropped
      << " suppressed=" << matches_suppressed
      << " lag_p50_us=" << delivery_lag_p50_us
      << " lag_p99_us=" << delivery_lag_p99_us << "\n";
+  if (persist.enabled) {
+    os << "persist: wal_seq=" << persist.wal_seq
+       << " wal_records=" << persist.wal_records
+       << " wal_edges=" << persist.wal_edges
+       << " wal_bytes=" << persist.wal_bytes
+       << " wal_segments=" << persist.wal_segments
+       << " fsyncs=" << persist.wal_fsyncs
+       << " snapshots=" << persist.snapshots_written
+       << " snapshot_failures=" << persist.snapshot_failures
+       << " last_snapshot_wal_seq=" << persist.last_snapshot_wal_seq
+       << " recovered(edges=" << persist.recovered_window_edges
+       << ",sessions=" << persist.recovered_sessions
+       << ",subs=" << persist.recovered_subscriptions
+       << ",replayed=" << persist.replayed_edges << ")\n";
+  }
   for (const ShardLoadSnapshot& sh : shards) {
     os << "shard " << sh.shard << " [" << sh.sharding << "]"
        << ": retained_edges=" << sh.retained_edges

@@ -52,6 +52,28 @@ struct ShardLoadSnapshot {
   uint64_t matches_received = 0;   ///< Exchange items this shard executed.
 };
 
+/// Point-in-time counters of the durability subsystem (persist/), pulled
+/// into the service snapshot through QueryService::set_persist_probe so
+/// STATS surfaces them without the service depending on the persistence
+/// layer. All zero (enabled=false) when the deployment runs without a
+/// data dir.
+struct PersistCounters {
+  bool enabled = false;
+  uint64_t wal_seq = 0;          ///< Next WAL edge sequence (edges logged).
+  uint64_t wal_records = 0;      ///< WAL records appended this process.
+  uint64_t wal_edges = 0;        ///< Edges those records carried.
+  uint64_t wal_bytes = 0;        ///< Bytes appended to WAL segments.
+  uint64_t wal_segments = 0;     ///< Segment files currently on disk.
+  uint64_t wal_fsyncs = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t snapshot_failures = 0;
+  uint64_t last_snapshot_wal_seq = 0;
+  uint64_t recovered_window_edges = 0;  ///< Edges restored from the snapshot.
+  uint64_t recovered_sessions = 0;
+  uint64_t recovered_subscriptions = 0;
+  uint64_t replayed_edges = 0;   ///< WAL-tail edges re-fed at recovery.
+};
+
 /// Point-in-time counters for one subscription. `state` and `policy` are
 /// rendered as strings so this header stays free of service-layer types.
 struct SubscriptionStatsSnapshot {
@@ -95,6 +117,10 @@ struct ServiceStatsSnapshot {
   uint64_t resumes = 0;
   uint64_t detaches = 0;
   uint64_t reclaimed = 0;  ///< Detached subscriptions compacted away.
+  /// Subset of `reclaimed` taken by the age-based sweep: drained detached
+  /// subscriptions in still-open sessions whose owner never collected
+  /// them within the configured epoch threshold.
+  uint64_t reclaimed_aged = 0;
   uint64_t edges_fed = 0;
 
   uint64_t matches_enqueued = 0;
@@ -108,6 +134,8 @@ struct ServiceStatsSnapshot {
   std::vector<SessionStatsSnapshot> sessions;
   /// Per-shard backend load (empty for single-engine backends).
   std::vector<ShardLoadSnapshot> shards;
+  /// Durability counters (enabled=false without a persistence layer).
+  PersistCounters persist;
 
   /// Multi-line fixed-width rendering (the STATS command's output).
   std::string ToString() const;

@@ -154,6 +154,9 @@ StatusOr<int> QueryService::Submit(int session_id, const QueryGraph& query,
   sub.query_name = query.name();
   sub.window = options.window;
   sub.delivery = std::move(delivery);
+  sub.tag = options.tag;
+  sub.query = query;
+  sub.strategy = options.strategy;
   session->subscription_ids.push_back(sub.id);
   const int id = sub.id;
   subscriptions_.emplace(id, std::move(sub));
@@ -204,6 +207,7 @@ Status QueryService::DetachLocked(Session& session, Subscription& sub) {
   sub.delivery->queue.Close();
   SW_RETURN_IF_ERROR(backend_->Unregister(sub.backend_query_id));
   sub.state = SubscriptionState::kDetached;
+  sub.detached_epoch = control_epoch_;
   ++detaches_;
   ++session.detaches;
   return OkStatus();
@@ -236,6 +240,57 @@ Status QueryService::CloseSession(int session_id) {
   return OkStatus();
 }
 
+void QueryService::FoldReclaimedLocked(const Subscription& sub) {
+  // Fold the subscription's delivery history into the persistent
+  // baselines before erasing it: service-wide totals are monotonic.
+  const ResultQueueCounters counters = sub.delivery->queue.counters();
+  reclaimed_enqueued_ += counters.enqueued;
+  reclaimed_delivered_ += counters.delivered;
+  // Matches still queued at reclaim time are being discarded right here —
+  // count them as dropped so enqueued always reconciles against
+  // delivered + dropped + live depth.
+  reclaimed_dropped_ += counters.dropped + (counters.enqueued -
+                                            counters.delivered -
+                                            counters.dropped);
+  reclaimed_suppressed_ += sub.delivery->suppressed_while_paused.load(
+      std::memory_order_relaxed);
+  reclaimed_lag_.Merge(sub.delivery->queue.lag_histogram());
+}
+
+size_t QueryService::ReclaimAgedLocked() {
+  size_t reclaimed = 0;
+  for (auto& [session_id, session] : sessions_) {
+    if (!session.open) continue;  // closed sessions are ReclaimDetached's
+    auto& ids = session.subscription_ids;
+    for (size_t i = 0; i < ids.size();) {
+      auto it = subscriptions_.find(ids[i]);
+      SW_CHECK(it != subscriptions_.end());
+      Subscription& sub = it->second;
+      const bool aged =
+          sub.state == SubscriptionState::kDetached &&
+          sub.delivery->queue.size() == 0 &&
+          control_epoch_ - sub.detached_epoch >=
+              limits_.detached_reclaim_age;
+      if (aged) {
+        FoldReclaimedLocked(sub);
+        subscriptions_.erase(it);
+        ids.erase(ids.begin() + static_cast<ptrdiff_t>(i));
+        ++reclaimed;
+      } else {
+        ++i;
+      }
+    }
+  }
+  reclaimed_ += reclaimed;
+  reclaimed_aged_ += reclaimed;
+  return reclaimed;
+}
+
+size_t QueryService::ReclaimAged() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReclaimAgedLocked();
+}
+
 size_t QueryService::ReclaimDetached(bool drained_in_open_sessions) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t reclaimed = 0;
@@ -255,20 +310,7 @@ size_t QueryService::ReclaimDetached(bool drained_in_open_sessions) {
                            sub.delivery->queue.size() == 0;
       if (sub.state == SubscriptionState::kDetached &&
           (!session.open || drained)) {
-        // Fold the subscription's delivery history into the persistent
-        // baselines before erasing it: service-wide totals are monotonic.
-        const ResultQueueCounters counters = sub.delivery->queue.counters();
-        reclaimed_enqueued_ += counters.enqueued;
-        reclaimed_delivered_ += counters.delivered;
-        // Matches still queued when a closed session reclaims are being
-        // discarded right here — count them as dropped so enqueued always
-        // reconciles against delivered + dropped + live depth.
-        reclaimed_dropped_ += counters.dropped + (counters.enqueued -
-                                                  counters.delivered -
-                                                  counters.dropped);
-        reclaimed_suppressed_ += sub.delivery->suppressed_while_paused.load(
-            std::memory_order_relaxed);
-        reclaimed_lag_.Merge(sub.delivery->queue.lag_histogram());
+        FoldReclaimedLocked(sub);
         subscriptions_.erase(it);
         ids.erase(ids.begin() + i);
         ++reclaimed;
@@ -288,10 +330,20 @@ size_t QueryService::ReclaimDetached(bool drained_in_open_sessions) {
   return reclaimed;
 }
 
+void QueryService::AdvanceEpochLocked() {
+  ++control_epoch_;
+  if (limits_.detached_reclaim_age > 0 &&
+      limits_.aged_sweep_interval > 0 &&
+      control_epoch_ % limits_.aged_sweep_interval == 0) {
+    ReclaimAgedLocked();
+  }
+}
+
 Status QueryService::Feed(const StreamEdge& edge) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++edges_fed_;
+    AdvanceEpochLocked();
   }
   return backend_->Feed(edge);
 }
@@ -301,11 +353,103 @@ Status QueryService::FeedBatch(const EdgeBatch& batch,
   {
     std::lock_guard<std::mutex> lock(mu_);
     edges_fed_ += batch.size();
+    AdvanceEpochLocked();
   }
   return backend_->FeedBatch(batch, rejected_out);
 }
 
 void QueryService::Flush() { backend_->Flush(); }
+
+StatusOr<AttachedSession> QueryService::AttachSession(
+    std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, session] : sessions_) {
+    if (!session.open || session.name != name) continue;
+    if (session.bound) {
+      return Status::FailedPrecondition(
+          "session '" + std::string(name) +
+          "' is already bound to a frontend (only recovery-restored, "
+          "not-yet-attached sessions can be adopted)");
+    }
+    session.bound = true;
+    AttachedSession attached;
+    attached.session_id = session.id;
+    for (int sid : session.subscription_ids) {
+      const Subscription& sub = subscriptions_.at(sid);
+      if (sub.state == SubscriptionState::kDetached) continue;
+      attached.subscriptions.push_back(
+          AttachedSubscription{sub.tag, sub.id, sub.state});
+    }
+    return attached;
+  }
+  return Status::NotFound("no open session named: " + std::string(name));
+}
+
+ServicePersistState QueryService::ExportPersistState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServicePersistState state;
+  for (const auto& [id, session] : sessions_) {
+    if (!session.open) continue;
+    PersistedSession ps;
+    ps.name = session.name;
+    for (int sid : session.subscription_ids) {
+      const Subscription& sub = subscriptions_.at(sid);
+      if (sub.state == SubscriptionState::kDetached) continue;
+      PersistedSubscription psub;
+      psub.tag = sub.tag;
+      psub.query = sub.query;
+      psub.window = sub.window;
+      psub.strategy = sub.strategy;
+      psub.queue_capacity = sub.delivery->queue.capacity();
+      psub.policy = sub.delivery->queue.policy();
+      psub.paused = sub.state == SubscriptionState::kPaused;
+      ps.subscriptions.push_back(std::move(psub));
+    }
+    state.sessions.push_back(std::move(ps));
+  }
+  return state;
+}
+
+Status QueryService::RestorePersistState(const ServicePersistState& state) {
+  // Replays the ordinary control-plane calls: admission control applies
+  // (a snapshot can only hold what was admitted before, so with the same
+  // limits it re-admits), and each Submit backfills its SJ-Tree from the
+  // already-restored window through the backend's suppressed-backfill
+  // machinery.
+  for (const PersistedSession& ps : state.sessions) {
+    SW_ASSIGN_OR_RETURN(const int session_id, OpenSession(ps.name));
+    {
+      // Restored sessions are born unbound: their owner is whichever
+      // tenant comes back and claims them with AttachSession — live
+      // OpenSession callers stay bound from birth.
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.at(session_id).bound = false;
+    }
+    for (const PersistedSubscription& psub : ps.subscriptions) {
+      SubmitOptions options;
+      options.window = psub.window;
+      options.strategy = psub.strategy;
+      options.queue_capacity = psub.queue_capacity;
+      options.policy = psub.policy;
+      options.tag = psub.tag;
+      SW_ASSIGN_OR_RETURN(const int sub_id,
+                          Submit(session_id, psub.query, options));
+      // A kBlock queue's contract ("the producer waits for the
+      // consumer") is only sound with a live consumer — which is why
+      // the socket frontend auto-streams kBlock submissions. A restored
+      // subscription has no consumer until its owner re-attaches, so an
+      // active kBlock queue would let any other tenant's feed fill it
+      // and block delivery on the control thread, wedging the daemon
+      // before the owner can even ATTACH. Restore such subscriptions
+      // paused: the attach response surfaces the state, and the owner
+      // resumes once its delivery path (STREAM/POLL) is in place.
+      if (psub.paused || psub.policy == OverflowPolicy::kBlock) {
+        SW_RETURN_IF_ERROR(Pause(session_id, sub_id));
+      }
+    }
+  }
+  return OkStatus();
+}
 
 ResultQueue* QueryService::queue(int session_id, int subscription_id) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -347,10 +491,16 @@ ServiceStatsSnapshot QueryService::Snapshot() const {
   // without it). ShardLoads touches no service state, so no lock is
   // needed.
   std::vector<ShardLoadSnapshot> shard_loads = backend_->ShardLoads();
+  // The persist probe reads the durability layer's own counters; like
+  // ShardLoads it must not run under mu_ (it is service-independent
+  // state, and keeping the lock narrow keeps Snapshot cheap).
+  PersistCounters persist;
+  if (persist_probe_) persist = persist_probe_();
 
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStatsSnapshot snap;
   snap.shards = std::move(shard_loads);
+  snap.persist = std::move(persist);
   snap.sessions_opened = sessions_opened_;
   snap.submissions = submissions_;
   snap.admitted = admitted_;
@@ -361,6 +511,7 @@ ServiceStatsSnapshot QueryService::Snapshot() const {
   snap.resumes = resumes_;
   snap.detaches = detaches_;
   snap.reclaimed = reclaimed_;
+  snap.reclaimed_aged = reclaimed_aged_;
   snap.edges_fed = edges_fed_;
 
   snap.matches_enqueued = reclaimed_enqueued_;

@@ -2,6 +2,7 @@
 #define STREAMWORKS_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,15 @@ struct ServiceLimits {
   size_t default_queue_capacity = 1024;
   /// Overflow policy when SubmitOptions doesn't pick one.
   OverflowPolicy default_policy = OverflowPolicy::kDropOldest;
+  /// Age-based reclamation of detached-and-drained subscriptions in
+  /// still-open sessions, in *control epochs* (each Feed/FeedBatch call
+  /// advances the epoch by one). A long-lived tenant that detaches a
+  /// subscription, drains it, and never touches it again would otherwise
+  /// pin its DeliveryState until the session closes. 0 disables; the
+  /// sweep itself runs every aged_sweep_interval epochs on the control
+  /// path (no clock, no extra thread).
+  uint64_t detached_reclaim_age = 0;
+  uint64_t aged_sweep_interval = 256;
 };
 
 /// Per-submission knobs.
@@ -51,6 +61,50 @@ struct SubmitOptions {
   DecompositionStrategy strategy = DecompositionStrategy::kSelectivityLeftDeep;
   size_t queue_capacity = 0;  ///< 0 = service default.
   std::optional<OverflowPolicy> policy;
+  /// Client-visible subscription name, persisted with the subscription so
+  /// a recovered session can be re-attached by name (the interpreter
+  /// passes its "<sub>" token). Optional; "" stays anonymous.
+  std::string tag;
+};
+
+/// Durable image of one live subscription: everything Submit needs to
+/// recreate it (the query pattern itself rides along — recovery cannot
+/// re-parse what a remote tenant defined in a dead connection).
+struct PersistedSubscription {
+  std::string tag;
+  QueryGraph query;
+  Timestamp window = kMaxTimestamp;
+  DecompositionStrategy strategy = DecompositionStrategy::kSelectivityLeftDeep;
+  size_t queue_capacity = 0;
+  OverflowPolicy policy = OverflowPolicy::kDropOldest;
+  bool paused = false;
+};
+
+/// Durable image of one open session.
+struct PersistedSession {
+  std::string name;
+  std::vector<PersistedSubscription> subscriptions;
+};
+
+/// What a snapshot persists of the service control plane: every open
+/// session and its live subscriptions. Detached subscriptions and closed
+/// sessions are deliberately absent — their only remaining value is
+/// undrained queue contents, and queues do not survive a crash
+/// (delivery is at-most-once across process death; see README).
+struct ServicePersistState {
+  std::vector<PersistedSession> sessions;
+};
+
+/// Result of re-attaching a recovered session by name: the live ids a
+/// frontend needs to rebind its name maps.
+struct AttachedSubscription {
+  std::string tag;
+  int subscription_id = -1;
+  SubscriptionState state = SubscriptionState::kActive;
+};
+struct AttachedSession {
+  int session_id = -1;
+  std::vector<AttachedSubscription> subscriptions;
 };
 
 /// Multi-tenant continuous-query front door: sessions own subscriptions,
@@ -84,6 +138,18 @@ class QueryService {
 
   /// Detaches all of the session's live subscriptions and closes it.
   Status CloseSession(int session_id);
+
+  /// Re-binds an *unbound* open session by name (the recovery flow: a
+  /// tenant reconnecting after a crash re-claims the session a snapshot
+  /// restored, instead of colliding with its own name on OpenSession).
+  /// Returns the session id plus every non-detached subscription's tag
+  /// and id so the frontend can rebuild its name maps. NotFound when no
+  /// open session has that name; FailedPrecondition when it is already
+  /// bound — sessions opened live (OpenSession) are born bound to their
+  /// creator, and an attach claims the session exactly once, so one
+  /// tenant can never adopt (and, via its own disconnect, close) another
+  /// tenant's live session by guessing its name.
+  StatusOr<AttachedSession> AttachSession(std::string_view name);
 
   // --- Subscription lifecycle ----------------------------------------------
   /// Admission control, then registers `query` on the backend and wires
@@ -137,6 +203,40 @@ class QueryService {
   /// to NotFound because an unrelated connection went away).
   size_t ReclaimDetached(bool drained_in_open_sessions = true);
 
+  /// Age-based sweep (the other half of reclamation): reclaims every
+  /// detached subscription in a still-open session whose queue is fully
+  /// drained and whose detach happened at least
+  /// limits().detached_reclaim_age control epochs ago. Runs
+  /// automatically from the Feed/FeedBatch control path every
+  /// aged_sweep_interval epochs when the age limit is configured; also
+  /// callable directly. Returns how many were reclaimed.
+  size_t ReclaimAged();
+
+  // --- Durability -----------------------------------------------------------
+  /// Durable image of the control plane (open sessions + live
+  /// subscriptions), for the snapshot writer.
+  ServicePersistState ExportPersistState() const;
+
+  /// Recreates sessions and subscriptions from a snapshot image through
+  /// the ordinary Submit path — the backend backfills each query's
+  /// SJ-Tree from the (already restored) window, paused subscriptions
+  /// come back paused, and kBlock subscriptions come back paused too
+  /// (blocking needs a live consumer; none exists until the owner
+  /// re-attaches and resumes). Restored sessions are unbound until one
+  /// AttachSession claims each. Call on a freshly constructed service,
+  /// before any tenant traffic.
+  Status RestorePersistState(const ServicePersistState& state);
+
+  /// Installs the durability layer's counter probe; Snapshot() folds its
+  /// result into ServiceStatsSnapshot::persist (STATS). The installed
+  /// probe reads the durability layer's control-thread state without
+  /// synchronization, so a durable deployment must call Snapshot() from
+  /// the control thread (which every in-tree caller — the interpreter's
+  /// STATS on the poll thread, tests on the main thread — already does).
+  void set_persist_probe(std::function<PersistCounters()> probe) {
+    persist_probe_ = std::move(probe);
+  }
+
   // --- Introspection -------------------------------------------------------
   /// The subscription's result queue, or nullptr if the ids are unknown
   /// (including reclaimed). Valid until the subscription is reclaimed or
@@ -188,12 +288,22 @@ class QueryService {
     Timestamp window = 0;
     SubscriptionState state = SubscriptionState::kActive;
     std::shared_ptr<DeliveryState> delivery;
+    /// Durable identity + the inputs needed to resubmit after recovery.
+    std::string tag;
+    QueryGraph query;
+    DecompositionStrategy strategy =
+        DecompositionStrategy::kSelectivityLeftDeep;
+    /// Control epoch at Detach; the aged sweep measures staleness from it.
+    uint64_t detached_epoch = 0;
   };
 
   struct Session {
     int id = -1;
     std::string name;
     bool open = true;
+    /// False only for recovery-restored sessions nobody has attached
+    /// yet; AttachSession claims exactly the unbound ones.
+    bool bound = true;
     uint64_t submissions = 0;
     uint64_t admitted = 0;
     uint64_t rejected = 0;
@@ -212,6 +322,18 @@ class QueryService {
 
   /// Detach with mu_ already held.
   Status DetachLocked(Session& session, Subscription& sub);
+
+  /// Folds a subscription's delivery history into the persistent
+  /// baselines (Snapshot totals stay monotonic across any reclamation)
+  /// — the shared half of ReclaimDetached and the aged sweep. mu_ held.
+  void FoldReclaimedLocked(const Subscription& sub);
+
+  /// The aged sweep's body; mu_ held. Returns subscriptions reclaimed.
+  size_t ReclaimAgedLocked();
+
+  /// Ticks the control-path clock and runs the periodic aged sweep when
+  /// it is due; mu_ held.
+  void AdvanceEpochLocked();
 
   QueryBackend* backend_;
   ServiceLimits limits_;
@@ -236,7 +358,13 @@ class QueryService {
   uint64_t resumes_ = 0;
   uint64_t detaches_ = 0;
   uint64_t reclaimed_ = 0;
+  uint64_t reclaimed_aged_ = 0;
   uint64_t edges_fed_ = 0;
+  /// Advances once per Feed/FeedBatch call — the control-path clock the
+  /// aged sweep measures detachment staleness against.
+  uint64_t control_epoch_ = 0;
+
+  std::function<PersistCounters()> persist_probe_;
 
   /// Folded-in history of reclaimed subscriptions, so the service-wide
   /// match counters and lag percentiles in Snapshot stay monotonic across

@@ -1,60 +1,17 @@
 #include "streamworks/stream/wire_format.h"
 
-#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <limits>
 #include <unordered_map>
 #include <vector>
 
+#include "streamworks/common/binio.h"
 #include "streamworks/common/str_util.h"
 
 namespace streamworks {
 
 namespace {
-
-/// Little-endian put/get via memcpy: on LE hosts (the common case) these
-/// compile to single unaligned loads/stores — the codec runs once per
-/// edge on the ingest hot path, so byte-at-a-time loops would show up.
-template <typename T>
-void PutLe(std::string* out, T v) {
-  if constexpr (std::endian::native != std::endian::little) {
-    T swapped = 0;
-    for (size_t i = 0; i < sizeof(T); ++i) {
-      swapped |= static_cast<T>((v >> (8 * i)) & 0xFF)
-                 << (8 * (sizeof(T) - 1 - i));
-    }
-    v = swapped;
-  }
-  char bytes[sizeof(T)];
-  std::memcpy(bytes, &v, sizeof(T));
-  out->append(bytes, sizeof(T));
-}
-
-void PutU16(std::string* out, uint16_t v) { PutLe(out, v); }
-void PutU32(std::string* out, uint32_t v) { PutLe(out, v); }
-void PutU64(std::string* out, uint64_t v) { PutLe(out, v); }
-
-/// Bounds-unchecked little-endian readers; the decoder validates sizes
-/// before calling them.
-template <typename T>
-T GetLe(const char* p) {
-  T v;
-  std::memcpy(&v, p, sizeof(T));
-  if constexpr (std::endian::native != std::endian::little) {
-    T swapped = 0;
-    for (size_t i = 0; i < sizeof(T); ++i) {
-      swapped |= static_cast<T>((v >> (8 * i)) & 0xFF)
-                 << (8 * (sizeof(T) - 1 - i));
-    }
-    v = swapped;
-  }
-  return v;
-}
-
-uint16_t GetU16(const char* p) { return GetLe<uint16_t>(p); }
-uint32_t GetU32(const char* p) { return GetLe<uint32_t>(p); }
-uint64_t GetU64(const char* p) { return GetLe<uint64_t>(p); }
 
 FrameDecodeResult Fail(FrameDecodeStatus status, size_t frame_bytes,
                        std::string error) {

@@ -930,5 +930,164 @@ TEST_F(InterpreterTest, ExecuteBatchRidesTheFastPathAndCounts) {
   EXPECT_TRUE(OutputContains("POLLED b.live n=3"));
 }
 
+// --- Age-based reclamation -------------------------------------------------
+
+TEST_F(QueryServiceTest, AgedSweepReclaimsDrainedDetachedInOpenSessions) {
+  ServiceLimits limits;
+  limits.detached_reclaim_age = 5;   // epochs (one per Feed call)
+  limits.aged_sweep_interval = 1;    // sweep on every control-path tick
+  QueryService service(&backend_, limits);
+  const int session = service.OpenSession("alice").value();
+  const int sub = service.Submit(session, PingQuery(&interner_)).value();
+  ASSERT_TRUE(FeedPing(1, 2, 1, service).ok());
+  ASSERT_TRUE(service.Detach(session, sub).ok());
+  // Drain the queued match: the subscription is now drained-but-never-
+  // collected, exactly what the aged sweep exists for.
+  std::vector<CompleteMatch> drained;
+  service.queue(session, sub)->Drain(&drained);
+  ASSERT_EQ(drained.size(), 1u);
+
+  // Age the subscription on the control path; under the threshold it
+  // must survive every sweep (each Feed ticks one epoch + one sweep).
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(FeedPing(1, 2, 2 + i, service).ok());
+    EXPECT_TRUE(service.state(session, sub).ok()) << "swept at age " << i;
+  }
+  // The fifth tick crosses detached_reclaim_age: reclaimed, id gone, the
+  // session itself stays open and serves on.
+  ASSERT_TRUE(FeedPing(1, 2, 10, service).ok());
+  EXPECT_FALSE(service.state(session, sub).ok());
+  const ServiceStatsSnapshot snap = service.Snapshot();
+  EXPECT_EQ(snap.reclaimed, 1u);
+  EXPECT_EQ(snap.reclaimed_aged, 1u);
+  ASSERT_EQ(snap.sessions.size(), 1u);
+  EXPECT_TRUE(snap.sessions[0].open);
+  // Counter surfaces in the STATS rendering.
+  EXPECT_NE(snap.ToString().find("reclaimed_aged=1"), std::string::npos);
+}
+
+TEST_F(QueryServiceTest, AgedSweepSparesUndrainedQueues) {
+  ServiceLimits limits;
+  limits.detached_reclaim_age = 2;
+  limits.aged_sweep_interval = 1;
+  QueryService service(&backend_, limits);
+  const int session = service.OpenSession("alice").value();
+  const int sub = service.Submit(session, PingQuery(&interner_)).value();
+  ASSERT_TRUE(FeedPing(1, 2, 1, service).ok());  // queues one match
+  ASSERT_TRUE(service.Detach(session, sub).ok());
+
+  // Far past the age threshold — but the queue still holds a result a
+  // slow consumer may come back for: age alone never discards matches.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(FeedPing(1, 2, 2 + i, service).ok());
+  }
+  EXPECT_TRUE(service.state(session, sub).ok());
+  EXPECT_EQ(service.Snapshot().reclaimed_aged, 0u);
+
+  // Draining it makes the next tick reclaim.
+  std::vector<CompleteMatch> drained;
+  service.queue(session, sub)->Drain(&drained);
+  ASSERT_TRUE(FeedPing(1, 2, 20, service).ok());
+  EXPECT_FALSE(service.state(session, sub).ok());
+  EXPECT_EQ(service.Snapshot().reclaimed_aged, 1u);
+}
+
+TEST_F(QueryServiceTest, AgedSweepIsOffByDefaultAndDirectCallWorks) {
+  QueryService service(&backend_);  // detached_reclaim_age = 0: no auto
+  const int session = service.OpenSession("alice").value();
+  const int sub = service.Submit(session, PingQuery(&interner_)).value();
+  ASSERT_TRUE(service.Detach(session, sub).ok());
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(FeedPing(1, 2, 1 + i, service).ok());
+  }
+  EXPECT_TRUE(service.state(session, sub).ok());  // never auto-swept
+  // Explicit call reclaims immediately (age 0 = everything eligible).
+  EXPECT_EQ(service.ReclaimAged(), 1u);
+  EXPECT_FALSE(service.state(session, sub).ok());
+}
+
+// --- ATTACH (recovered-session rebinding) ----------------------------------
+
+TEST_F(QueryServiceTest, AttachSessionClaimsOnlyRecoveredSessions) {
+  QueryService service(&backend_);
+  const int session = service.OpenSession("alice").value();
+  SubmitOptions tagged;
+  tagged.tag = "live";
+  ASSERT_TRUE(service.Submit(session, PingQuery(&interner_), tagged).ok());
+  const int detached =
+      service.Submit(session, PingQuery(&interner_)).value();
+  ASSERT_TRUE(service.Detach(session, detached).ok());
+
+  // A live session is bound to its creator: another tenant guessing the
+  // name must not be able to adopt it (and close it on disconnect).
+  auto hijack = service.AttachSession("alice");
+  ASSERT_FALSE(hijack.ok());
+  EXPECT_EQ(hijack.status().code(), StatusCode::kFailedPrecondition);
+
+  // A recovery-restored session is unbound until exactly one attach
+  // claims it.
+  StreamWorksEngine engine2(&interner_);
+  SingleEngineBackend backend2(&engine2);
+  QueryService recovered(&backend2);
+  ASSERT_TRUE(
+      recovered.RestorePersistState(service.ExportPersistState()).ok());
+  const AttachedSession attached =
+      recovered.AttachSession("alice").value();
+  ASSERT_EQ(attached.subscriptions.size(), 1u);  // detached one excluded
+  EXPECT_EQ(attached.subscriptions[0].tag, "live");
+  EXPECT_EQ(attached.subscriptions[0].state, SubscriptionState::kActive);
+  // Second claim of the same name: refused, like any bound session.
+  EXPECT_FALSE(recovered.AttachSession("alice").ok());
+
+  EXPECT_FALSE(recovered.AttachSession("nobody").ok());
+  ASSERT_TRUE(recovered.CloseSession(attached.session_id).ok());
+  EXPECT_FALSE(recovered.AttachSession("alice").ok());  // closed: gone
+}
+
+TEST_F(InterpreterTest, AttachRebindsRecoveredSessionAndSubNames) {
+  ASSERT_TRUE(interpreter_
+                  .ExecuteScript(
+                      "DEFINE ping\nnode a V\nnode b V\nedge a b ping\n"
+                      "window 1000\nEND\nSESSION alice\n"
+                      "SUBMIT alice live ping")
+                  .ok());
+  // The live session is bound to this interpreter; a second frontend
+  // cannot ATTACH it out from under its owner...
+  std::ostringstream out2;
+  CommandInterpreter intruder(&service_, &interner_, &out2);
+  EXPECT_FALSE(intruder.ExecuteLine("ATTACH alice").ok());
+
+  // ...but after a recovery (fresh stack restored from the persist
+  // image) the reconnecting tenant adopts it by name and addresses the
+  // same subscription names.
+  StreamWorksEngine engine2(&interner_);
+  SingleEngineBackend backend2(&engine2);
+  QueryService recovered(&backend2);
+  ASSERT_TRUE(
+      recovered.RestorePersistState(service_.ExportPersistState()).ok());
+  std::ostringstream out3;
+  CommandInterpreter reconnected(&recovered, &interner_, &out3);
+  ASSERT_TRUE(reconnected.ExecuteLine("ATTACH alice").ok());
+  EXPECT_NE(out3.str().find("OK attach alice id=0 subs=live:active"),
+            std::string::npos);
+  ASSERT_TRUE(reconnected.ExecuteLine("FEED 1 V 2 V ping 5").ok());
+  ASSERT_TRUE(reconnected.ExecuteLine("POLL alice live").ok());
+  EXPECT_NE(out3.str().find("POLLED alice.live n=1"), std::string::npos);
+
+  EXPECT_FALSE(reconnected.ExecuteLine("ATTACH ghost").ok());
+}
+
+TEST_F(InterpreterTest, SnapshotVerbNeedsAHook) {
+  const Status status = interpreter_.ExecuteLine("SNAPSHOT");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("no durability layer"),
+            std::string::npos);
+
+  interpreter_.set_snapshot_hook(
+      []() -> StatusOr<std::string> { return std::string("wal_seq=7"); });
+  ASSERT_TRUE(interpreter_.ExecuteLine("SNAPSHOT").ok());
+  EXPECT_TRUE(OutputContains("OK snapshot wal_seq=7"));
+}
+
 }  // namespace
 }  // namespace streamworks

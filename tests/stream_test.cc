@@ -202,6 +202,27 @@ TEST(WireFormatTest, CorruptBodiesAreMalformedButSkippable) {
   EXPECT_EQ(decoded.status, FrameDecodeStatus::kMalformed);
 }
 
+TEST(WireFormatTest, StringEntryLengthBeyondBodyIsRejected) {
+  // A frame whose *total* body_len is internally consistent but whose
+  // first string-table entry declares a length running past the body:
+  // the per-entry bounds check must refuse it (and report the declared
+  // frame length so the stream can resync), not read out of bounds.
+  Interner interner;
+  std::string frame =
+      EncodeFeedFrame(WireBatch(&interner, 2), interner).value();
+  // First table entry's u16 length sits right after header + n_labels.
+  const size_t len_at = kFeedFrameHeaderBytes + 4;
+  frame[len_at] = '\xFF';
+  frame[len_at + 1] = '\xFF';
+  Interner scratch;
+  const FrameDecodeResult decoded =
+      DecodeFeedFrame(frame, kDefaultMaxFrameBodyBytes, &scratch);
+  ASSERT_EQ(decoded.status, FrameDecodeStatus::kMalformed);
+  EXPECT_EQ(decoded.frame_bytes, frame.size());
+  EXPECT_NE(decoded.error.find("truncated string"), std::string::npos);
+  EXPECT_EQ(scratch.size(), 0u);  // nothing bogus interned before...
+}
+
 TEST(WireFormatTest, TextNeverLooksLikeAFrame) {
   EXPECT_FALSE(IsFrameStart("FEED 1 V 2 V ping 3"));
   EXPECT_FALSE(IsFrameStart("STATS"));
