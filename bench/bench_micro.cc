@@ -9,9 +9,13 @@
 #include "streamworks/graph/dynamic_graph.h"
 #include "streamworks/graph/query_graph.h"
 #include "streamworks/graph/random_graphs.h"
+#include "streamworks/core/engine.h"
 #include "streamworks/match/backtrack.h"
 #include "streamworks/match/local_search.h"
 #include "streamworks/match/subgraph_iso.h"
+#include "streamworks/obs/stage_trace.h"
+#include "streamworks/service/backend.h"
+#include "streamworks/service/query_service.h"
 #include "streamworks/sjtree/match_store.h"
 #include "streamworks/sjtree/sj_tree.h"
 #include "streamworks/stream/netflow_gen.h"
@@ -159,6 +163,58 @@ void BM_SjTreeProcessEdge(benchmark::State& state) {
                           static_cast<int64_t>(edges.size()));
 }
 BENCHMARK(BM_SjTreeProcessEdge);
+
+void BM_ServiceFeedBatch(benchmark::State& state) {
+  // The observability overhead gate: FeedBatch ingest through the full
+  // service path with the pipeline-stage hooks off (Arg 0) vs on (Arg 1).
+  // The two arms must stay within a few percent of each other.
+  Interner interner;
+  StreamWorksEngine engine(&interner);
+  SingleEngineBackend backend(&engine);
+  QueryService service(&backend, ServiceLimits{});
+  PipelineMetrics pipeline;
+  if (state.range(0) != 0) service.set_pipeline_metrics(&pipeline);
+
+  const int session = service.OpenSession("bench").value();
+  QueryGraphBuilder builder(&interner);
+  const auto a = builder.AddVertex("V");
+  const auto b = builder.AddVertex("V");
+  builder.AddEdge(a, b, "ping");
+  const QueryGraph query = builder.Build().value();
+  SubmitOptions options;
+  options.window = 1000;
+  options.queue_capacity = 64;
+  options.policy = OverflowPolicy::kDropOldest;
+  service.Submit(session, query, options).value();
+
+  // 512-edge batches, one matching edge per 16 so the join path runs but
+  // the queue (drop-oldest) stays bounded.
+  const LabelId v_label = interner.Intern("V");
+  const LabelId ping = interner.Intern("ping");
+  const LabelId bg = interner.Intern("bg");
+  constexpr int kBatchSize = 512;
+  constexpr int kBatches = 16;
+  EdgeBatch batch(kBatchSize);
+  Timestamp clock = 0;
+  for (auto _ : state) {
+    for (int bi = 0; bi < kBatches; ++bi) {
+      for (int i = 0; i < kBatchSize; ++i) {
+        StreamEdge& e = batch[i];
+        e.src = 1000 + (i * 7) % 503;
+        e.dst = 2000 + (i * 13) % 509;
+        e.src_label = v_label;
+        e.dst_label = v_label;
+        e.edge_label = (i % 16 == 0) ? ping : bg;
+        e.ts = ++clock;
+      }
+      service.FeedBatch(batch);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatchSize) * kBatches);
+  state.counters["hooks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ServiceFeedBatch)->Arg(0)->Arg(1);
 
 void BM_BatchIsoOracle(benchmark::State& state) {
   Interner interner;

@@ -31,6 +31,10 @@ RWATCHER1_LOG="/tmp/streamworks_e2e_$$.rwatcher1.log"
 RFEEDER1_LOG="/tmp/streamworks_e2e_$$.rfeeder1.log"
 RWATCHER2_LOG="/tmp/streamworks_e2e_$$.rwatcher2.log"
 RFEEDER2_LOG="/tmp/streamworks_e2e_$$.rfeeder2.log"
+OBS_WATCHER_LOG="/tmp/streamworks_e2e_$$.obswatcher.log"
+OBS_FEEDER_LOG="/tmp/streamworks_e2e_$$.obsfeeder.log"
+OBS_STATS_LOG="/tmp/streamworks_e2e_$$.obsstats.log"
+OBS_DIR="/tmp/streamworks_e2e_$$.obs"
 
 fail() {
   echo "e2e: FAIL: $*" >&2
@@ -45,15 +49,19 @@ fail() {
   echo "--- recovery feeder 1 log ---" >&2; cat "$RFEEDER1_LOG" >&2 || true
   echo "--- recovery watcher 2 log ---" >&2; cat "$RWATCHER2_LOG" >&2 || true
   echo "--- recovery feeder 2 log ---" >&2; cat "$RFEEDER2_LOG" >&2 || true
+  echo "--- obs watcher log ---" >&2; cat "$OBS_WATCHER_LOG" >&2 || true
+  echo "--- obs stats log ---" >&2; cat "$OBS_STATS_LOG" >&2 || true
   exit 1
 }
 touch "$WATCHER2_LOG" "$FEEDER2_LOG" "$RSERVER1_LOG" "$RSERVER2_LOG" \
-      "$RWATCHER1_LOG" "$RFEEDER1_LOG" "$RWATCHER2_LOG" "$RFEEDER2_LOG"
+      "$RWATCHER1_LOG" "$RFEEDER1_LOG" "$RWATCHER2_LOG" "$RFEEDER2_LOG" \
+      "$OBS_WATCHER_LOG" "$OBS_FEEDER_LOG" "$OBS_STATS_LOG"
+mkdir -p "$OBS_DIR"
 
-"$SERVER" partitioned --serve --unix "$SOCK" > "$SERVER_LOG" 2>&1 &
+"$SERVER" partitioned --serve --unix "$SOCK" --http 0 > "$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
 RSERVER_PID=""
-trap 'kill "$SERVER_PID" $RSERVER_PID 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
+trap 'kill "$SERVER_PID" $RSERVER_PID 2>/dev/null || true; rm -rf "$DATA_DIR" "$OBS_DIR"' EXIT
 
 # The SERVING banner is the readiness signal (it prints after the bind,
 # so it also implies the socket file exists).
@@ -126,6 +134,90 @@ EVENTS2=$(grep -c "^EVENT MATCH watcher.live" "$WATCHER2_LOG" || true)
 # ...and the service counted both legs' edges.
 grep -q "edges_fed=6" "$FEEDER2_LOG" || fail "feeder2 STATS missing edges_fed=6"
 
+# --- Observability leg: HTTP scrapes under a live streaming watcher --------
+# The --http listener rides the same poll loop as the line protocol, so a
+# scrape sees exactly the state the text STATS verb sees. Assert the two
+# tell the same story, then feed more edges under a parked watcher and
+# assert the scrape advanced with the stream.
+
+HTTP_PORT=$(sed -n 's/^SERVING .*http=\([0-9][0-9]*\).*/\1/p' "$SERVER_LOG")
+[ -n "$HTTP_PORT" ] || fail "SERVING banner has no http= port"
+
+# Raw HTTP/1.1 GET over bash's /dev/tcp (no curl dependency). The
+# endpoint closes after one response, so read-to-EOF is the framing.
+scrape() {
+  local port="$1" target="$2" out="$3"
+  exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
+  printf 'GET %s HTTP/1.1\r\nHost: e2e\r\n\r\n' "$target" >&3
+  cat <&3 > "$out"
+  exec 3<&- 3>&- || true
+}
+
+timeout 60 "$CLIENT" --unix "$SOCK" --expect-events 3 \
+  < ci/e2e_subscribe.txt > "$OBS_WATCHER_LOG" 2>&1 &
+OBS_WATCHER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "OK stream watcher.live" "$OBS_WATCHER_LOG" && break
+  sleep 0.1
+done
+grep -q "OK stream watcher.live" "$OBS_WATCHER_LOG" \
+  || fail "obs watcher never subscribed"
+
+scrape "$HTTP_PORT" /metrics "$OBS_DIR/metrics" || fail "scrape /metrics failed"
+head -1 "$OBS_DIR/metrics" | grep -q "HTTP/1.1 200 OK" || fail "/metrics not 200"
+grep -q "Content-Type: text/plain; version=0.0.4" "$OBS_DIR/metrics" \
+  || fail "/metrics wrong content type"
+# Exposition-format shape: HELP + TYPE per family, histograms close +Inf.
+grep -q "^# HELP streamworks_edges_fed_total " "$OBS_DIR/metrics" \
+  || fail "/metrics missing HELP for edges_fed"
+grep -q "^# TYPE streamworks_edges_fed_total counter$" "$OBS_DIR/metrics" \
+  || fail "/metrics missing TYPE for edges_fed"
+grep -q "^# TYPE streamworks_stage_duration_us histogram$" "$OBS_DIR/metrics" \
+  || fail "/metrics missing the stage-duration histogram"
+grep -q 'le="+Inf"' "$OBS_DIR/metrics" || fail "/metrics histogram lacks +Inf"
+grep -q "^streamworks_frontend_http_requests_total " "$OBS_DIR/metrics" \
+  || fail "/metrics missing frontend http counter"
+
+# The text STATS verb and the scrape must agree on edges_fed; TRACE must
+# answer over the same wire.
+METRICS_FED=$(awk '$1 == "streamworks_edges_fed_total" {print $2}' \
+  "$OBS_DIR/metrics")
+timeout 60 "$CLIENT" --unix "$SOCK" < ci/e2e_obs_stats.txt \
+  > "$OBS_STATS_LOG" 2>&1 || fail "obs stats client failed (exit $?)"
+STATS_FED=$(sed -n 's/.* edges_fed=\([0-9][0-9]*\).*/\1/p' "$OBS_STATS_LOG" \
+  | head -1)
+[ -n "$METRICS_FED" ] && [ "$METRICS_FED" = "$STATS_FED" ] \
+  || fail "edges_fed disagrees: STATS=$STATS_FED /metrics=$METRICS_FED"
+grep -q "^OK trace n=" "$OBS_STATS_LOG" || fail "TRACE verb did not answer"
+
+scrape "$HTTP_PORT" /stats.json "$OBS_DIR/stats.json" \
+  || fail "scrape /stats.json failed"
+grep -q "\"edges_fed\":$STATS_FED" "$OBS_DIR/stats.json" \
+  || fail "/stats.json edges_fed disagrees with STATS"
+scrape "$HTTP_PORT" /healthz "$OBS_DIR/healthz" || fail "scrape /healthz failed"
+grep -q '"status":"ok"' "$OBS_DIR/healthz" || fail "/healthz not ok"
+scrape "$HTTP_PORT" /queries.json "$OBS_DIR/queries.json" \
+  || fail "scrape /queries.json failed"
+grep -q '"query_name":"sweep"' "$OBS_DIR/queries.json" \
+  || fail "/queries.json missing the live query"
+
+# promtool, when present, vets the full exposition document.
+if command -v promtool >/dev/null 2>&1; then
+  awk 'body {print} /^\r?$/ {body=1}' "$OBS_DIR/metrics" \
+    | promtool check metrics || fail "promtool rejected /metrics"
+fi
+
+# Feed under the parked watcher: the stream and the scrape advance together.
+timeout 60 "$CLIENT" --unix "$SOCK" < ci/e2e_obs_feed.txt \
+  > "$OBS_FEEDER_LOG" 2>&1 || fail "obs feeder client failed (exit $?)"
+wait "$OBS_WATCHER_PID" || fail "obs watcher client failed (exit $?)"
+OBS_EVENTS=$(grep -c "^EVENT MATCH watcher.live" "$OBS_WATCHER_LOG" || true)
+[ "$OBS_EVENTS" -eq 3 ] || fail "obs watcher saw $OBS_EVENTS matches, want 3"
+scrape "$HTTP_PORT" /metrics "$OBS_DIR/metrics2" \
+  || fail "post-feed scrape failed"
+grep -q "^streamworks_edges_fed_total $((STATS_FED + 3))$" "$OBS_DIR/metrics2" \
+  || fail "post-feed scrape did not advance edges_fed to $((STATS_FED + 3))"
+
 # Graceful shutdown: SIGTERM must produce the SHUTDOWN summary and exit 0.
 kill -TERM "$SERVER_PID"
 for _ in $(seq 1 100); do
@@ -181,7 +273,7 @@ ls "$DATA_DIR"/snap-*.snap >/dev/null 2>&1 \
 kill -9 "$RSERVER_PID"
 wait "$RSERVER_PID" 2>/dev/null || true
 
-"$SERVER" partitioned --serve --unix "$RSOCK" \
+"$SERVER" partitioned --serve --unix "$RSOCK" --http 0 \
   --data-dir "$DATA_DIR" --snapshot-every 4 > "$RSERVER2_LOG" 2>&1 &
 RSERVER_PID=$!
 for _ in $(seq 1 100); do
@@ -219,6 +311,19 @@ grep -Eq "recovered\(edges=4,sessions=1,subs=1,replayed=2\)" "$RFEEDER2_LOG" \
 grep -q "'watcher'" "$RFEEDER2_LOG" \
   || fail "post-recovery STATS does not list the recovered session"
 
+# /healthz on the durable daemon reports WAL/snapshot freshness: the WAL
+# ran 2 edges past the recovered snapshot plus the 2 resumed matches.
+RHTTP_PORT=$(sed -n 's/^SERVING .*http=\([0-9][0-9]*\).*/\1/p' "$RSERVER2_LOG")
+[ -n "$RHTTP_PORT" ] || fail "durable SERVING banner has no http= port"
+scrape "$RHTTP_PORT" /healthz "$OBS_DIR/healthz_durable" \
+  || fail "scrape durable /healthz failed"
+grep -q '"persist_enabled":true' "$OBS_DIR/healthz_durable" \
+  || fail "durable /healthz missing persist_enabled"
+grep -q '"wal_seq":8' "$OBS_DIR/healthz_durable" \
+  || fail "durable /healthz wrong wal_seq"
+grep -q '"status":"ok"' "$OBS_DIR/healthz_durable" \
+  || fail "durable /healthz not ok"
+
 # Graceful shutdown of the durable daemon writes a final snapshot.
 kill -TERM "$RSERVER_PID"
 for _ in $(seq 1 100); do
@@ -230,5 +335,21 @@ if wait "$RSERVER_PID"; then :; else fail "durable server exited non-zero"; fi
 grep -q "^SNAPSHOT final wal_seq=8 " "$RSERVER2_LOG" \
   || fail "no final shutdown snapshot"
 
+# --- Bench smoke: the stage hooks must not wreck FeedBatch ingest ----------
+# One tiny repetition of each arm proves the benchmark (the overhead gate
+# measured in bench-results/BENCH_obs.json) still builds and runs; the
+# real before/after numbers are committed, not re-measured in CI.
+if [ -x "$BUILD_DIR/bench/bench_micro" ]; then
+  timeout 120 "$BUILD_DIR/bench/bench_micro" \
+    --benchmark_filter=BM_ServiceFeedBatch --benchmark_min_time=0.05 \
+    > "$OBS_DIR/bench_smoke" 2>&1 || fail "bench smoke failed"
+  grep -q "BM_ServiceFeedBatch/0" "$OBS_DIR/bench_smoke" \
+    || fail "bench smoke missing hooks-off arm"
+  grep -q "BM_ServiceFeedBatch/1" "$OBS_DIR/bench_smoke" \
+    || fail "bench smoke missing hooks-on arm"
+fi
+
 echo "e2e: PASS ($EVENTS text + $EVENTS2 binary pushed matches, clean shutdown;" \
-     "crash-recovery: $REVENTS1 pre-crash + $REVENTS2 resumed matches)"
+     "crash-recovery: $REVENTS1 pre-crash + $REVENTS2 resumed matches;" \
+     "obs: /metrics agreed with STATS at edges_fed=$STATS_FED," \
+     "advanced to $((STATS_FED + 3)) under a live watcher)"

@@ -41,6 +41,9 @@
 #include "streamworks/common/str_util.h"
 #include "streamworks/core/parallel.h"
 #include "streamworks/net/server.h"
+#include "streamworks/obs/json_render.h"
+#include "streamworks/obs/metric_registry.h"
+#include "streamworks/obs/stage_trace.h"
 #include "streamworks/persist/durable_backend.h"
 #include "streamworks/persist/manager.h"
 #include "streamworks/service/backend.h"
@@ -141,7 +144,7 @@ int Serve(QueryService* service, Interner* interner, ServerOptions options,
   // settles.
   std::cout << "SERVING tcp=" << server.tcp_port() << " unix="
             << (server.unix_path().empty() ? "-" : server.unix_path())
-            << std::endl;
+            << " http=" << server.http_port() << std::endl;
   while (!g_shutdown.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
@@ -179,6 +182,7 @@ int main(int argc, char** argv) {
   // same output, and STATS grows per-shard retained/forwarded lines.
   bool partitioned = false;
   bool serve = false;
+  int64_t trace_threshold_us = PipelineMetrics::kDefaultSlowThresholdUs;
   ServerOptions server_options;
   DurabilityOptions durability_options;
   for (int i = 1; i < argc; ++i) {
@@ -198,6 +202,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--unix" && i + 1 < argc) {
       server_options.unix_path = argv[++i];
       serve = true;
+    } else if (arg == "--http" && i + 1 < argc) {
+      int64_t port = 0;
+      if (!ParseInt64(argv[++i], &port) || port < 0 || port > 65535) {
+        std::cerr << "bad --http port: " << argv[i] << "\n";
+        return 1;
+      }
+      server_options.http_port = static_cast<int>(port);
+      serve = true;
+    } else if (arg == "--trace-us" && i + 1 < argc) {
+      if (!ParseInt64(argv[++i], &trace_threshold_us) ||
+          trace_threshold_us < 0) {
+        std::cerr << "bad --trace-us threshold: " << argv[i] << "\n";
+        return 1;
+      }
     } else if (arg == "--data-dir" && i + 1 < argc) {
       durability_options.data_dir = argv[++i];
     } else if (arg == "--snapshot-every" && i + 1 < argc) {
@@ -216,7 +234,8 @@ int main(int argc, char** argv) {
       durability_options.fsync_every_records = static_cast<int>(n);
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [partitioned] [--serve [--tcp PORT] [--unix PATH]]"
+                << " [partitioned] [--serve [--tcp PORT] [--unix PATH]"
+                   " [--http PORT]] [--trace-us N]"
                    " [--data-dir DIR [--snapshot-every N]"
                    " [--fsync-every N]]\n";
       return 1;
@@ -231,7 +250,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   Interner interner;
-  ParallelEngineGroup group(&interner, /*num_shards=*/2, {},
+  // The observability spine: one registry serving /metrics, one shared
+  // PipelineMetrics instance every layer records its stages into. Both
+  // are wired before any traffic so instrumentation is on from the first
+  // edge.
+  MetricRegistry registry;
+  PipelineMetrics pipeline(static_cast<uint64_t>(trace_threshold_us));
+  EngineOptions engine_options;
+  engine_options.pipeline = &pipeline;
+  ParallelEngineGroup group(&interner, /*num_shards=*/2, engine_options,
                             partitioned ? ShardingMode::kPartitionedData
                                         : ShardingMode::kBroadcastData);
   ParallelGroupBackend group_backend(&group);
@@ -248,6 +275,14 @@ int main(int argc, char** argv) {
   ServiceLimits limits;
   limits.max_queries_per_session = 4;
   QueryService service(backend, limits);
+  service.set_pipeline_metrics(&pipeline);
+  // Scrape-time collectors: the service snapshot (which also folds in the
+  // persist and frontend probes) and the per-stage histograms. Collectors
+  // run on the scraping thread — the server's poll thread, i.e. the
+  // control thread — so the Snapshot() call is safe.
+  RegisterServiceCollector(&registry,
+                           [&service] { return service.Snapshot(); });
+  RegisterPipelineCollector(&registry, &pipeline);
 
   std::optional<DurabilityManager> durability;
   if (durable) {
@@ -275,11 +310,17 @@ int main(int argc, char** argv) {
     if (server_options.tcp_port < 0 && server_options.unix_path.empty()) {
       server_options.tcp_port = 0;  // ephemeral; port printed on SERVING
     }
+    if (server_options.http_port < 0) {
+      server_options.http_port = 0;  // always serve observability endpoints
+    }
+    server_options.registry = &registry;
+    server_options.pipeline = &pipeline;
     return Serve(&service, &interner, server_options,
                  durability.has_value() ? &*durability : nullptr);
   }
 
   CommandInterpreter interpreter(&service, &interner, &std::cout);
+  interpreter.set_pipeline_metrics(&pipeline);
   if (durability.has_value()) {
     DurabilityManager* manager = &*durability;
     interpreter.set_snapshot_hook([manager]() -> StatusOr<std::string> {

@@ -1,0 +1,102 @@
+#ifndef STREAMWORKS_COMMON_HISTOGRAM_H_
+#define STREAMWORKS_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace streamworks {
+
+/// Fixed-footprint histogram with power-of-two buckets: bucket b holds
+/// samples in [2^(b-1), 2^b), bucket 0 holds exactly 0. Record() and
+/// Merge() are O(1)/O(kNumBuckets) with no allocation, which is what lets
+/// per-queue and per-pipeline-stage instances stay always-on along the hot
+/// path. Values are unit-agnostic (delivery lag and stage timings both
+/// record microseconds by convention; the `streamworks_*_us` metric names
+/// carry the unit).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;  ///< Covers up to ~2^39 (~6 days in us).
+
+  void Record(uint64_t value) {
+    int bucket = value == 0 ? 0 : std::bit_width(value);
+    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+    ++counts_[bucket];
+    ++total_count_;
+    sum_ += value;
+  }
+
+  void Merge(const Histogram& other) {
+    for (int b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
+    total_count_ += other.total_count_;
+    sum_ += other.sum_;
+  }
+
+  uint64_t total_count() const { return total_count_; }
+  /// Sum of every recorded value (the Prometheus histogram `_sum` series).
+  uint64_t sum() const { return sum_; }
+  uint64_t bucket_count(int bucket) const { return counts_[bucket]; }
+
+  /// Smallest value bucket `b` can hold (0 for bucket 0).
+  static constexpr uint64_t BucketLowerBound(int b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+  /// Largest value bucket `b` can hold (inclusive; 0 for bucket 0).
+  static constexpr uint64_t BucketUpperBound(int b) {
+    return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+  }
+
+  /// Rebuilds a histogram from raw bucket counts + a value sum (how an
+  /// AtomicHistogram materializes a point-in-time copy for rendering).
+  static Histogram FromBuckets(const std::array<uint64_t, kNumBuckets>& counts,
+                               uint64_t sum) {
+    Histogram h;
+    h.counts_ = counts;
+    h.sum_ = sum;
+    for (uint64_t c : counts) h.total_count_ += c;
+    return h;
+  }
+
+  /// Approximate value at quantile `q` in [0, 1], with linear interpolation
+  /// inside the bucket holding the q-th sample (the bare bucket upper bound
+  /// overestimates by up to 2x at high buckets). Returns 0 when empty.
+  /// Monotonic in q: within a bucket the interpolation position is
+  /// nondecreasing in rank, and bucket b's largest value precedes bucket
+  /// b+1's smallest.
+  uint64_t Quantile(double q) const {
+    if (total_count_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    // Rank of the q-th sample, 1-based; the +1 keeps Quantile(1.0) on the
+    // last sample instead of past it.
+    const uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(total_count_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      if (counts_[b] == 0) continue;
+      if (seen + counts_[b] >= rank) {
+        const uint64_t lo = BucketLowerBound(b);
+        const uint64_t hi = BucketUpperBound(b);
+        const uint64_t in_bucket = rank - seen;  // 1..counts_[b]
+        if (counts_[b] == 1 || hi <= lo) return lo;
+        // Samples assumed evenly spread across [lo, hi]: the k-th of n
+        // sits at lo + (hi-lo) * (k-1)/(n-1).
+        return lo + static_cast<uint64_t>(
+                        static_cast<double>(hi - lo) *
+                        static_cast<double>(in_bucket - 1) /
+                        static_cast<double>(counts_[b] - 1));
+      }
+      seen += counts_[b];
+    }
+    return BucketUpperBound(kNumBuckets - 1);
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t total_count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,127 @@
+#include "streamworks/common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace streamworks {
+
+void JsonWriter::Separate() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already placed the comma and the ':' follows it
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_members) out_ += ',';
+    stack_.back().has_members = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  stack_.push_back(Scope{/*is_object=*/true, /*has_members=*/false});
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  stack_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  stack_.push_back(Scope{/*is_object=*/false, /*has_members=*/false});
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  stack_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (!stack_.empty()) {
+    if (stack_.back().has_members) out_ += ',';
+    stack_.back().has_members = true;
+  }
+  out_ += '"';
+  AppendEscaped(&out_, key);
+  out_ += "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Separate();
+  out_ += '"';
+  AppendEscaped(&out_, value);
+  out_ += '"';
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  Separate();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  Separate();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  Separate();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+}
+
+void JsonWriter::AppendEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (uc < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", uc);
+          *out += buf;
+        } else {
+          *out += c;  // UTF-8 continuation bytes pass through unharmed
+        }
+    }
+  }
+}
+
+}  // namespace streamworks

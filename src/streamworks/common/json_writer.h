@@ -1,0 +1,67 @@
+#ifndef STREAMWORKS_COMMON_JSON_WRITER_H_
+#define STREAMWORKS_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streamworks {
+
+/// Minimal streaming JSON writer for the observability endpoints: builds
+/// one compact document into a string, inserting commas and escaping
+/// strings so callers never hand-assemble syntax. Correctness choices that
+/// matter for scrapers:
+///
+///   * uint64 values are rendered as bare decimal integers, losslessly —
+///     a 20-digit counter never goes through a double;
+///   * control characters escape as \u00XX (plus the usual two-character
+///     escapes), '"' and '\\' are escaped, and everything >= 0x20 —
+///     including multi-byte UTF-8 sequences — passes through untouched;
+///   * non-finite doubles render as null (JSON has no NaN/Inf).
+///
+/// Usage is push-style; nesting is tracked so commas appear exactly where
+/// needed. Misuse (Key outside an object, value without a pending key) is
+/// a programming error and undefined here — the writers live next to the
+/// renderers that use them, all covered by tests.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object member key; must be followed by exactly one value (or
+  /// container).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Appends `s` JSON-escaped (no surrounding quotes) to *out.
+  static void AppendEscaped(std::string* out, std::string_view s);
+
+ private:
+  /// Emits the separating comma if the current container already holds a
+  /// value; called before every value/key at container scope.
+  void Separate();
+
+  struct Scope {
+    bool is_object = false;
+    bool has_members = false;
+  };
+  std::vector<Scope> stack_;
+  bool key_pending_ = false;
+  std::string out_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_COMMON_JSON_WRITER_H_

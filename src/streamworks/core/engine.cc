@@ -180,16 +180,28 @@ Status StreamWorksEngine::ProcessEdge(const StreamEdge& edge) {
 
   auto route_it = routes_.find(edge.edge_label);
   if (route_it != routes_.end()) {
+    // The join stage is timed per edge-with-routes only: an edge that
+    // anchors no query pays zero extra clock reads, and one that does is
+    // already paying for a local search, so the two reads amortize.
+    const bool time_joins = options_.pipeline != nullptr;
+    const uint64_t join_t0 =
+        time_joins ? PipelineMetrics::NowMicros() : 0;
+    bool ran_any = false;
     for (const Route& route : route_it->second) {
       if (route.src_label != edge.src_label ||
           route.dst_label != edge.dst_label) {
         continue;
       }
+      ran_any = true;
       RegisteredQuery& rq = *queries_[route.query_id];
       scratch_completed_.clear();
       rq.tree->RunAnchorPlan(graph_, route.plan_index, id,
                              &scratch_completed_);
       DeliverCompletions(route.query_id, rq);
+    }
+    if (time_joins && ran_any) {
+      options_.pipeline->Record(PipelineStage::kSjTreeJoin,
+                                PipelineMetrics::NowMicros() - join_t0);
     }
   }
 
@@ -285,22 +297,40 @@ ExchangeItem StreamWorksEngine::Router::WireItem(ExchangeKind kind,
 
 void StreamWorksEngine::Router::ForwardExpansion(int dest, uint32_t plan,
                                                  int step, const Match& m) {
+  PipelineMetrics* pipeline = engine_->options_.pipeline;
+  const uint64_t t0 = pipeline ? PipelineMetrics::NowMicros() : 0;
   ExchangeItem item = WireItem(ExchangeKind::kExpand, m);
   item.plan = plan;
   item.step = step;
   engine_->shard_.exchange->Send(dest, std::move(item));
+  if (pipeline) {
+    pipeline->Record(PipelineStage::kExchangeForward,
+                     PipelineMetrics::NowMicros() - t0);
+  }
 }
 
 void StreamWorksEngine::Router::ForwardInsert(int dest, int node,
                                               const Match& m) {
+  PipelineMetrics* pipeline = engine_->options_.pipeline;
+  const uint64_t t0 = pipeline ? PipelineMetrics::NowMicros() : 0;
   ExchangeItem item = WireItem(ExchangeKind::kInsert, m);
   item.node = node;
   engine_->shard_.exchange->Send(dest, std::move(item));
+  if (pipeline) {
+    pipeline->Record(PipelineStage::kExchangeForward,
+                     PipelineMetrics::NowMicros() - t0);
+  }
 }
 
 void StreamWorksEngine::Router::ForwardCompletion(int dest, const Match& m) {
+  PipelineMetrics* pipeline = engine_->options_.pipeline;
+  const uint64_t t0 = pipeline ? PipelineMetrics::NowMicros() : 0;
   engine_->shard_.exchange->Send(dest,
                                  WireItem(ExchangeKind::kComplete, m));
+  if (pipeline) {
+    pipeline->Record(PipelineStage::kExchangeForward,
+                     PipelineMetrics::NowMicros() - t0);
+  }
 }
 
 void StreamWorksEngine::EnableShardMode(const ShardConfig& config) {
@@ -500,6 +530,21 @@ QueryRuntimeInfo StreamWorksEngine::query_info(int query_id) const {
   info.completions = rq.completions;
   info.live_partial_matches = rq.tree->TotalPartialMatches();
   info.peak_partial_matches = rq.tree->PeakTotalPartialMatches();
+  const Decomposition& decomposition = rq.tree->decomposition();
+  info.nodes.reserve(static_cast<size_t>(decomposition.num_nodes()));
+  for (int n = 0; n < decomposition.num_nodes(); ++n) {
+    const SjNodeStats& stats = rq.tree->node_stats(n);
+    SjNodeRuntime node;
+    node.node = n;
+    node.is_leaf = decomposition.IsLeaf(n);
+    node.query_edges = decomposition.node(n).edges.Count();
+    node.matches_inserted = stats.matches_inserted;
+    node.probes = stats.probes;
+    node.join_attempts = stats.join_attempts;
+    node.joins_succeeded = stats.joins_succeeded;
+    node.live_partial_matches = rq.tree->NumPartialMatches(n);
+    info.nodes.push_back(node);
+  }
   return info;
 }
 

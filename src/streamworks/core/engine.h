@@ -10,6 +10,7 @@
 
 #include "streamworks/common/interner.h"
 #include "streamworks/common/statusor.h"
+#include "streamworks/obs/stage_trace.h"
 #include "streamworks/graph/dynamic_graph.h"
 #include "streamworks/graph/partition.h"
 #include "streamworks/graph/query_graph.h"
@@ -70,6 +71,11 @@ struct EngineOptions {
   /// changed. 0 disables. Requires collect_statistics. Swapping preserves
   /// exactly-once semantics (see ReplanQuery).
   int replan_interval = 0;
+  /// Always-on pipeline-stage instrumentation sink (kSjTreeJoin and
+  /// kExchangeForward record here). Null disables — the null check is the
+  /// only per-edge cost, and the join stage is timed only for edges that
+  /// actually anchored a query, so pure ingest pays no extra clock reads.
+  PipelineMetrics* pipeline = nullptr;
 };
 
 /// Aggregate runtime counters.
@@ -81,6 +87,22 @@ struct EngineMetrics {
   double processing_seconds = 0;
 };
 
+/// Runtime counters of one SJ-Tree decomposition node — the per-node
+/// match-rate/selectivity visibility an operator (or a future adaptive
+/// re-planner) watches for drift. Selectivities derive at render time:
+/// joins_succeeded/join_attempts is the node's join selectivity,
+/// matches_inserted/probes its per-probe yield.
+struct SjNodeRuntime {
+  int node = -1;
+  bool is_leaf = false;
+  int query_edges = 0;  ///< Edges of the query covered by this node.
+  uint64_t matches_inserted = 0;
+  uint64_t probes = 0;
+  uint64_t join_attempts = 0;
+  uint64_t joins_succeeded = 0;
+  uint64_t live_partial_matches = 0;
+};
+
 /// Snapshot of one registered query's state.
 struct QueryRuntimeInfo {
   int query_id = -1;
@@ -89,6 +111,10 @@ struct QueryRuntimeInfo {
   uint64_t completions = 0;
   size_t live_partial_matches = 0;
   size_t peak_partial_matches = 0;
+  /// Per-decomposition-node counters, indexed by node id. In a
+  /// vertex-partitioned group these are element-wise sums across shards
+  /// (every shard runs a replica of the same tree shape).
+  std::vector<SjNodeRuntime> nodes;
 };
 
 /// Point-in-time export of the retained window in external-id form: what

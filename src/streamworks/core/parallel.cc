@@ -230,10 +230,27 @@ StatusOr<QueryRuntimeInfo> ParallelEngineGroup::query_info(
   info.query_id = group_query_id;
   info.live_partial_matches = 0;
   info.peak_partial_matches = 0;
+  // Every shard runs a replica of the same tree shape, so the per-node
+  // counters sum element-wise; start from zeroed nodes and fold each
+  // shard's contribution in (including the home's, re-read below).
+  for (SjNodeRuntime& node : info.nodes) {
+    node.matches_inserted = 0;
+    node.probes = 0;
+    node.join_attempts = 0;
+    node.joins_succeeded = 0;
+    node.live_partial_matches = 0;
+  }
   for (auto& shard : shards_) {
     const QueryRuntimeInfo per = shard->engine.query_info(group_query_id);
     info.live_partial_matches += per.live_partial_matches;
     info.peak_partial_matches += per.peak_partial_matches;
+    for (size_t n = 0; n < info.nodes.size() && n < per.nodes.size(); ++n) {
+      info.nodes[n].matches_inserted += per.nodes[n].matches_inserted;
+      info.nodes[n].probes += per.nodes[n].probes;
+      info.nodes[n].join_attempts += per.nodes[n].join_attempts;
+      info.nodes[n].joins_succeeded += per.nodes[n].joins_succeeded;
+      info.nodes[n].live_partial_matches += per.nodes[n].live_partial_matches;
+    }
   }
   return info;
 }

@@ -52,6 +52,41 @@ Status SocketServer::Start() {
     SW_ASSIGN_OR_RETURN(unix_listener_,
                         ListenUnix(options_.unix_path, options_.backlog));
   }
+  if (options_.http_port >= 0) {
+    SW_ASSIGN_OR_RETURN(http_listener_,
+                        ListenTcp(options_.http_host, options_.http_port,
+                                  options_.backlog));
+    SW_ASSIGN_OR_RETURN(bound_http_port_, BoundTcpPort(http_listener_.get()));
+    HttpHandler::Providers providers;
+    providers.registry = options_.registry;
+    providers.pipeline = options_.pipeline;
+    providers.stats = [this] { return service_->Snapshot(); };
+    providers.queries = [this] { return service_->QueryInfos(); };
+    http_handler_ = std::make_unique<HttpHandler>(std::move(providers));
+  }
+  // Fold this server's wire counters into the service snapshot, so STATS
+  // and the streamworks_frontend_* metric families show live activity.
+  // Installed before the threads spawn and cleared in Stop after they
+  // join — both points where this thread is the control thread.
+  service_->set_frontend_probe([this] {
+    const ServerStats s = stats();
+    FrontendStatsSnapshot f;
+    f.enabled = true;
+    f.connections_accepted = s.connections_accepted;
+    f.connections_refused = s.connections_refused;
+    f.connections_closed = s.connections_closed;
+    f.lines_executed = s.lines_executed;
+    f.frames_executed = s.frames_executed;
+    f.batch_edges_in = s.batch_edges_in;
+    f.protocol_errors = s.protocol_errors;
+    f.events_pushed = s.events_pushed;
+    f.pump_flushes = s.pump_flushes;
+    f.http_requests = s.http_requests;
+    f.bytes_in = s.bytes_in;
+    f.bytes_out = s.bytes_out;
+    f.subscriptions_reclaimed = s.subscriptions_reclaimed;
+    return f;
+  });
   started_ = true;
   running_.store(true, std::memory_order_release);
   poll_thread_ = std::thread([this] { PollLoop(); });
@@ -98,8 +133,10 @@ void SocketServer::Stop() {
   for (const auto& conn : conns) {
     CloseConnection(conn, options_.preserve_sessions_on_stop);
   }
+  service_->set_frontend_probe(nullptr);
   tcp_listener_.reset();
   unix_listener_.reset();
+  http_listener_.reset();
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 }
 
@@ -114,6 +151,7 @@ ServerStats SocketServer::stats() const {
   s.protocol_errors = protocol_errors_.load();
   s.events_pushed = events_pushed_.load();
   s.pump_flushes = pump_flushes_.load();
+  s.http_requests = http_requests_.load();
   s.bytes_in = bytes_in_.load();
   s.bytes_out = bytes_out_.load();
   s.subscriptions_reclaimed = subscriptions_reclaimed_.load();
@@ -148,6 +186,9 @@ void SocketServer::PollLoop() {
     }
     if (unix_listener_.valid()) {
       fds.push_back({unix_listener_.get(), POLLIN, 0});
+    }
+    if (http_listener_.valid()) {
+      fds.push_back({http_listener_.get(), POLLIN, 0});
     }
     const size_t first_conn = fds.size();
     for (const auto& conn : conns) {
@@ -188,6 +229,12 @@ void SocketServer::PollLoop() {
       if (fds[idx].revents & POLLIN) AcceptFrom(unix_listener_.get());
       ++idx;
     }
+    if (http_listener_.valid()) {
+      if (fds[idx].revents & POLLIN) {
+        AcceptFrom(http_listener_.get(), /*http=*/true);
+      }
+      ++idx;
+    }
     SW_CHECK_EQ(idx, first_conn);
 
     for (size_t i = 0; i < polled.size(); ++i) {
@@ -212,7 +259,7 @@ void SocketServer::PollLoop() {
   }
 }
 
-void SocketServer::AcceptFrom(int listen_fd) {
+void SocketServer::AcceptFrom(int listen_fd, bool http) {
   while (true) {
     const int raw = ::accept(listen_fd, nullptr, nullptr);
     if (raw < 0) {
@@ -224,7 +271,10 @@ void SocketServer::AcceptFrom(int listen_fd) {
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       if (conns_.size() >= options_.max_connections) {
-        const std::string refusal = ErrFrame("server full");
+        const std::string refusal =
+            http ? EncodeHttpResponse(
+                       {503, "text/plain; charset=utf-8", "server full\n"})
+                 : ErrFrame("server full");
         // MSG_NOSIGNAL: the refused peer may already be gone, and a raw
         // write would raise process-killing SIGPIPE.
         [[maybe_unused]] ssize_t n = ::send(fd.get(), refusal.data(),
@@ -240,11 +290,25 @@ void SocketServer::AcceptFrom(int listen_fd) {
     }
 
     auto conn = std::make_shared<Connection>(std::move(fd));
+    if (http) {
+      // HTTP connections have no interpreter session: one request, one
+      // response, close. They still ride the same poll set and limits.
+      conn->http = true;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns_.push_back(conn);
+      }
+      connections_accepted_.fetch_add(1);
+      continue;
+    }
     conn->out = std::make_unique<std::ostringstream>();
     conn->interpreter = std::make_unique<CommandInterpreter>(
         service_, interner_, conn->out.get());
     if (options_.snapshot_hook) {
       conn->interpreter->set_snapshot_hook(options_.snapshot_hook);
+    }
+    if (options_.pipeline != nullptr) {
+      conn->interpreter->set_pipeline_metrics(options_.pipeline);
     }
     std::weak_ptr<Connection> weak = conn;
     conn->interpreter->set_stream_hook(
@@ -327,6 +391,10 @@ void SocketServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
 
 void SocketServer::AdvanceConnection(
     const std::shared_ptr<Connection>& conn) {
+  if (conn->http) {
+    AdvanceHttp(conn);
+    return;
+  }
   // Consume complete protocol units — text lines and binary FEEDB frames,
   // demultiplexed on the frame-magic lead byte (0xFB can never begin an
   // ASCII command) — via an offset, compacting once per pass: a pipelined
@@ -357,10 +425,18 @@ void SocketServer::AdvanceConnection(
     const std::string_view rest(conn->rbuf.data() + consumed,
                                 conn->rbuf.size() - consumed);
     if (IsFrameStart(rest)) {
+      PipelineMetrics* const pipeline = options_.pipeline;
+      const uint64_t decode_t0 =
+          pipeline != nullptr ? PipelineMetrics::NowMicros() : 0;
       FrameDecodeResult decoded = DecodeFeedFrame(
           rest, options_.max_frame_body_bytes, interner_);
       if (decoded.status == FrameDecodeStatus::kNeedMore) break;
       if (decoded.status == FrameDecodeStatus::kOk) {
+        if (pipeline != nullptr) {
+          pipeline->Record(PipelineStage::kFrameDecode,
+                           PipelineMetrics::NowMicros() - decode_t0, -1, -1,
+                           /*detail=*/decoded.batch.size());
+        }
         consumed += decoded.frame_bytes;
         ExecuteFrame(conn, decoded.batch);
         continue;
@@ -430,6 +506,60 @@ void SocketServer::AdvanceConnection(
         conn->closing = true;
       }
     }
+    failed = !conn->open;
+  }
+  if (failed) CloseConnection(conn);
+}
+
+void SocketServer::AdvanceHttp(const std::shared_ptr<Connection>& conn) {
+  // rbuf is poll-thread-only, exactly like the line protocol's. At most
+  // one request is answered per connection (Connection: close), so a
+  // pipelined second request is simply never parsed.
+  HttpResponse response;
+  bool respond = false;
+  if (!conn->closing) {
+    HttpRequest request;
+    size_t consumed = 0;
+    switch (ParseHttpRequest(conn->rbuf, &request, &consumed)) {
+      case HttpParseResult::kComplete:
+        conn->rbuf.erase(0, consumed);
+        // The handler's providers make control-plane calls (Snapshot,
+        // QueryInfos); this is the poll thread and io_mu is not held, so
+        // that is exactly the contract they need.
+        response = http_handler_ != nullptr
+                       ? http_handler_->Handle(request)
+                       : HttpResponse{503, "text/plain; charset=utf-8",
+                                      "no handler\n"};
+        http_requests_.fetch_add(1);
+        respond = true;
+        break;
+      case HttpParseResult::kNeedMore:
+        if (conn->rbuf.size() > options_.max_line_bytes) {
+          protocol_errors_.fetch_add(1);
+          response = HttpResponse{400, "text/plain; charset=utf-8",
+                                  "request head too large\n"};
+          respond = true;
+        }
+        break;
+      case HttpParseResult::kBad:
+        protocol_errors_.fetch_add(1);
+        response = HttpResponse{400, "text/plain; charset=utf-8",
+                                "malformed request\n"};
+        respond = true;
+        break;
+    }
+  }
+  bool failed;
+  {
+    std::lock_guard<std::mutex> lock(conn->io_mu);
+    if (respond && conn->open) {
+      conn->wbuf += EncodeHttpResponse(response);
+      conn->closing = true;  // reuses the BYE drain-then-close machinery
+    }
+    if (conn->open) FlushWritesLocked(*conn);
+    if (conn->closing && conn->wbuf.empty()) conn->open = false;
+    // EOF before a complete request head: nothing to answer.
+    if (conn->read_eof && conn->open && !conn->closing) conn->open = false;
     failed = !conn->open;
   }
   if (failed) CloseConnection(conn);
@@ -541,6 +671,9 @@ Status SocketServer::HandleStream(const std::shared_ptr<Connection>& conn,
 }
 
 bool SocketServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
+  PipelineMetrics* const pipeline = options_.pipeline;
+  const uint64_t flush_t0 =
+      pipeline != nullptr ? PipelineMetrics::NowMicros() : 0;
   std::lock_guard<std::mutex> lock(conn->io_mu);
   if (!conn->open) return false;
   std::vector<CompleteMatch> drained;
@@ -592,7 +725,15 @@ bool SocketServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
       ++i;
     }
   }
-  if (pushed_any) pump_flushes_.fetch_add(1);
+  if (pushed_any) {
+    pump_flushes_.fetch_add(1);
+    // Only drain passes that moved matches count as a flush; idle ticks
+    // would drown the histogram in zeros.
+    if (pipeline != nullptr) {
+      pipeline->Record(PipelineStage::kDeliveryFlush,
+                       PipelineMetrics::NowMicros() - flush_t0);
+    }
+  }
   if (!FlushWritesLocked(*conn)) return false;
   return conn->open;
 }
@@ -647,7 +788,7 @@ void SocketServer::CloseConnection(const std::shared_ptr<Connection>& conn,
   // leave, the process is — their sessions must survive into the final
   // snapshot so they can re-ATTACH after the restart, exactly as they
   // would after a kill -9.
-  if (!preserve_sessions) {
+  if (!preserve_sessions && conn->interpreter != nullptr) {
     for (const auto& [name, session_id] : conn->interpreter->sessions()) {
       service_->CloseSession(session_id).ok();
     }

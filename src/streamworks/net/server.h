@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "streamworks/net/socket.h"
+#include "streamworks/obs/http_endpoint.h"
+#include "streamworks/obs/metric_registry.h"
+#include "streamworks/obs/stage_trace.h"
 #include "streamworks/service/interpreter.h"
 #include "streamworks/service/query_service.h"
 #include "streamworks/stream/wire_format.h"
@@ -56,6 +59,23 @@ struct ServerOptions {
   /// thread — the control thread — like every other interpreter call.
   /// Unset = SNAPSHOT answers ERR (no durability layer).
   CommandInterpreter::SnapshotHook snapshot_hook;
+  /// Observability HTTP listener port; -1 disables, 0 binds an ephemeral
+  /// port (read back from SocketServer::http_port after Start). Requests
+  /// are parsed and answered on the poll thread — the control thread —
+  /// which is what lets /stats.json and friends call
+  /// QueryService::Snapshot()/QueryInfos() safely; a standalone HTTP
+  /// thread could not.
+  int http_port = -1;
+  std::string http_host = "127.0.0.1";
+  /// Served as GET /metrics when set; the server also installs itself as
+  /// the service's frontend probe either way, so its counters reach STATS
+  /// and the streamworks_frontend_* families. Must outlive the server.
+  MetricRegistry* registry = nullptr;
+  /// The deployment's shared stage instrumentation: the server records
+  /// kFrameDecode around FEEDB decoding and kDeliveryFlush around stream-
+  /// pump drain passes, and serves /trace.json from it. Must outlive the
+  /// server. Null = no stage timing, trace endpoint answers 503.
+  PipelineMetrics* pipeline = nullptr;
   /// Durable deployments set this so Stop()'s connection teardown leaves
   /// still-connected tenants' sessions OPEN: the shutdown snapshot taken
   /// after Stop must capture them (a graceful restart preserves exactly
@@ -77,6 +97,7 @@ struct ServerStats {
   uint64_t protocol_errors = 0;
   uint64_t events_pushed = 0;  ///< EVENT lines queued to sockets.
   uint64_t pump_flushes = 0;   ///< Coalesced drain-pass writes by the pump.
+  uint64_t http_requests = 0;  ///< Observability HTTP requests answered.
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
   uint64_t subscriptions_reclaimed = 0;  ///< Subscriptions reclaimed on close.
@@ -155,6 +176,9 @@ class SocketServer {
 
   /// The TCP port actually bound (resolves tcp_port=0), -1 when disabled.
   int tcp_port() const { return bound_tcp_port_; }
+  /// The HTTP port actually bound (resolves http_port=0), -1 when
+  /// disabled.
+  int http_port() const { return bound_http_port_; }
   const std::string& unix_path() const { return options_.unix_path; }
 
   ServerStats stats() const;
@@ -171,6 +195,10 @@ class SocketServer {
 
     UniqueFd fd;
     std::mutex io_mu;
+    /// Accepted on the HTTP listener: the connection speaks HTTP instead
+    /// of the line protocol (one request, one response, close) and has no
+    /// interpreter.
+    bool http = false;
     bool open = true;      ///< False once the fd is being torn down.
     bool closing = false;  ///< BYE/half-close: disconnect once wbuf drains.
     bool read_eof = false; ///< Peer finished sending (half-close or gone).
@@ -200,7 +228,7 @@ class SocketServer {
   void PollLoop();
   void PumpLoop();
 
-  void AcceptFrom(int listen_fd);
+  void AcceptFrom(int listen_fd, bool http = false);
   /// Reads what's available into rbuf (noting EOF), then advances.
   void HandleReadable(const std::shared_ptr<Connection>& conn);
   /// Executes buffered lines while the write buffer is below high-water
@@ -210,6 +238,11 @@ class SocketServer {
   /// Poll-thread-only; re-entered after POLLOUT drains to resume lines
   /// parked behind a full write buffer.
   void AdvanceConnection(const std::shared_ptr<Connection>& conn);
+  /// The HTTP sibling of AdvanceConnection: parses one request head from
+  /// rbuf, answers it through the handler (whose providers make
+  /// control-plane calls — poll-thread-only, io_mu not held), and marks
+  /// the connection closing. Runs on the poll thread.
+  void AdvanceHttp(const std::shared_ptr<Connection>& conn);
   /// Executes one protocol line on the poll thread and appends the framed
   /// response to wbuf.
   void ExecuteLine(const std::shared_ptr<Connection>& conn,
@@ -248,7 +281,10 @@ class SocketServer {
 
   UniqueFd tcp_listener_;
   UniqueFd unix_listener_;
+  UniqueFd http_listener_;
   int bound_tcp_port_ = -1;
+  int bound_http_port_ = -1;
+  std::unique_ptr<HttpHandler> http_handler_;
   UniqueFd wake_read_;
   UniqueFd wake_write_;
 
@@ -284,6 +320,7 @@ class SocketServer {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> events_pushed_{0};
   std::atomic<uint64_t> pump_flushes_{0};
+  std::atomic<uint64_t> http_requests_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
   std::atomic<uint64_t> subscriptions_reclaimed_{0};

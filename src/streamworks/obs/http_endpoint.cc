@@ -1,0 +1,154 @@
+#include "streamworks/obs/http_endpoint.h"
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "streamworks/obs/json_render.h"
+
+namespace streamworks {
+
+namespace {
+
+constexpr std::string_view kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+constexpr std::string_view kJsonContentType = "application/json";
+
+std::string_view StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+/// Finds the end of the header block: the first blank line, accepting
+/// CRLF CRLF, LF LF, or mixed endings. Returns npos if not yet complete.
+size_t FindHeadEnd(std::string_view buf) {
+  for (size_t i = 0; i < buf.size(); ++i) {
+    if (buf[i] != '\n') continue;
+    // Line ending at i; blank line if the next line ends immediately.
+    size_t j = i + 1;
+    if (j < buf.size() && buf[j] == '\r') ++j;
+    if (j < buf.size() && buf[j] == '\n') return j + 1;
+  }
+  return std::string_view::npos;
+}
+
+HttpResponse NotWired(std::string_view what) {
+  HttpResponse r;
+  r.status = 503;
+  r.body = std::string(what) + " not wired on this server\n";
+  return r;
+}
+
+}  // namespace
+
+HttpParseResult ParseHttpRequest(std::string_view buf, HttpRequest* out,
+                                 size_t* consumed) {
+  const size_t head_end = FindHeadEnd(buf);
+  if (head_end == std::string_view::npos) return HttpParseResult::kNeedMore;
+
+  // Request line: METHOD SP TARGET SP HTTP/x.y
+  std::string_view line = buf.substr(0, buf.find('\n'));
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return HttpParseResult::kBad;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    return HttpParseResult::kBad;
+  }
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") return HttpParseResult::kBad;
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return HttpParseResult::kBad;
+
+  out->method = std::string(line.substr(0, sp1));
+  out->target = std::string(target);
+  *consumed = head_end;
+  return HttpParseResult::kComplete;
+}
+
+std::string EncodeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += StatusReason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpHandler::HttpHandler(Providers providers)
+    : providers_(std::move(providers)),
+      start_us_(PipelineMetrics::NowMicros()) {}
+
+HttpResponse HttpHandler::Handle(const HttpRequest& request) const {
+  if (request.method != "GET") {
+    HttpResponse r;
+    r.status = 405;
+    r.body = "only GET is supported\n";
+    return r;
+  }
+  // Route on the path alone; a scrape config may append query parameters.
+  std::string_view path = request.target;
+  if (const size_t q = path.find('?'); q != std::string_view::npos) {
+    path = path.substr(0, q);
+  }
+
+  HttpResponse r;
+  if (path == "/metrics") {
+    if (providers_.registry == nullptr) return NotWired("metric registry");
+    r.content_type = std::string(kPrometheusContentType);
+    r.body = providers_.registry->RenderPrometheus();
+    return r;
+  }
+  if (path == "/stats.json") {
+    if (!providers_.stats) return NotWired("stats provider");
+    r.content_type = std::string(kJsonContentType);
+    r.body = RenderStatsJson(providers_.stats());
+    return r;
+  }
+  if (path == "/shards.json") {
+    if (!providers_.stats) return NotWired("stats provider");
+    r.content_type = std::string(kJsonContentType);
+    r.body = RenderShardsJson(providers_.stats());
+    return r;
+  }
+  if (path == "/queries.json") {
+    if (!providers_.queries) return NotWired("query provider");
+    r.content_type = std::string(kJsonContentType);
+    r.body = RenderQueriesJson(providers_.queries());
+    return r;
+  }
+  if (path == "/trace.json") {
+    if (providers_.pipeline == nullptr) return NotWired("pipeline metrics");
+    r.content_type = std::string(kJsonContentType);
+    r.body = RenderTraceJson(*providers_.pipeline, PipelineMetrics::NowMicros());
+    return r;
+  }
+  if (path == "/healthz") {
+    if (!providers_.stats) return NotWired("stats provider");
+    r.content_type = std::string(kJsonContentType);
+    r.body = RenderHealthJson(providers_.stats(),
+                              PipelineMetrics::NowMicros() - start_us_);
+    return r;
+  }
+  r.status = 404;
+  r.body = "unknown path; try /metrics /stats.json /shards.json "
+           "/queries.json /trace.json /healthz\n";
+  return r;
+}
+
+}  // namespace streamworks

@@ -1,0 +1,81 @@
+#ifndef STREAMWORKS_OBS_HTTP_ENDPOINT_H_
+#define STREAMWORKS_OBS_HTTP_ENDPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamworks/obs/metric_registry.h"
+#include "streamworks/obs/stage_trace.h"
+#include "streamworks/service/query_service.h"
+
+namespace streamworks {
+
+/// A deliberately minimal HTTP/1.1 server side for the observability
+/// endpoints: GET-only, no request bodies, one response per connection
+/// (`Connection: close`). The socket server owns the sockets and calls
+/// ParseHttpRequest / HttpHandler::Handle from its poll thread, which is
+/// the control thread — exactly the thread QueryService::Snapshot() and
+/// ShardLoads() demand. A standalone HTTP server thread could not make
+/// those calls safely; that constraint, not minimalism, is why the
+/// endpoint rides the existing poll loop.
+
+/// The parsed request line. Headers are consumed but not retained —
+/// nothing the endpoints serve depends on them.
+struct HttpRequest {
+  std::string method;  ///< "GET", uppercase as received.
+  std::string target;  ///< Request target, e.g. "/metrics".
+};
+
+enum class HttpParseResult {
+  kNeedMore,  ///< Head incomplete; read more bytes.
+  kComplete,  ///< One request parsed; `*consumed` bytes eaten.
+  kBad,       ///< Malformed request line; answer 400 and close.
+};
+
+/// Incremental parse of one request head from `buf`. Returns kComplete
+/// once the blank line terminating the header block has arrived, setting
+/// `*out` and `*consumed`. Tolerates bare-LF line endings (a `printf |
+/// /dev/tcp` scraper is a first-class client here).
+HttpParseResult ParseHttpRequest(std::string_view buf, HttpRequest* out,
+                                 size_t* consumed);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Serializes status line + Content-Type/Content-Length/Connection: close
+/// headers + body.
+std::string EncodeHttpResponse(const HttpResponse& response);
+
+/// Routes observability requests to renderers. All providers are invoked
+/// on the calling (control) thread at request time; any may be left unset,
+/// in which case its routes answer 503.
+class HttpHandler {
+ public:
+  struct Providers {
+    MetricRegistry* registry = nullptr;    ///< /metrics
+    PipelineMetrics* pipeline = nullptr;   ///< /trace.json
+    std::function<ServiceStatsSnapshot()> stats;  ///< /stats.json, /shards.json, /healthz
+    std::function<std::vector<QueryObsSnapshot>()> queries;  ///< /queries.json
+  };
+
+  explicit HttpHandler(Providers providers);
+
+  /// Answers one request: GET /metrics, /stats.json, /shards.json,
+  /// /queries.json, /trace.json, /healthz; 404 otherwise, 405 for
+  /// non-GET methods.
+  HttpResponse Handle(const HttpRequest& request) const;
+
+ private:
+  Providers providers_;
+  uint64_t start_us_;  ///< Handler construction time; /healthz uptime base.
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_OBS_HTTP_ENDPOINT_H_

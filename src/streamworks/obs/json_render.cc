@@ -1,0 +1,601 @@
+#include "streamworks/obs/json_render.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "streamworks/common/json_writer.h"
+
+namespace streamworks {
+
+namespace {
+
+void WriteShard(JsonWriter* w, const ShardLoadSnapshot& shard) {
+  w->BeginObject();
+  w->Key("shard");
+  w->Int(shard.shard);
+  w->Key("sharding");
+  w->String(shard.sharding);
+  w->Key("retained_edges");
+  w->Uint(shard.retained_edges);
+  w->Key("retained_vertices");
+  w->Uint(shard.retained_vertices);
+  w->Key("evicted_edges");
+  w->Uint(shard.evicted_edges);
+  w->Key("edges_processed");
+  w->Uint(shard.edges_processed);
+  w->Key("completions");
+  w->Uint(shard.completions);
+  w->Key("live_partial_matches");
+  w->Uint(shard.live_partial_matches);
+  w->Key("matches_forwarded");
+  w->Uint(shard.matches_forwarded);
+  w->Key("matches_received");
+  w->Uint(shard.matches_received);
+  w->EndObject();
+}
+
+void WriteShardArray(JsonWriter* w, const ServiceStatsSnapshot& snap) {
+  w->BeginArray();
+  for (const ShardLoadSnapshot& shard : snap.shards) WriteShard(w, shard);
+  w->EndArray();
+}
+
+void WritePersist(JsonWriter* w, const PersistCounters& p) {
+  w->BeginObject();
+  w->Key("enabled");
+  w->Bool(p.enabled);
+  w->Key("wal_seq");
+  w->Uint(p.wal_seq);
+  w->Key("wal_records");
+  w->Uint(p.wal_records);
+  w->Key("wal_edges");
+  w->Uint(p.wal_edges);
+  w->Key("wal_bytes");
+  w->Uint(p.wal_bytes);
+  w->Key("wal_segments");
+  w->Uint(p.wal_segments);
+  w->Key("wal_fsyncs");
+  w->Uint(p.wal_fsyncs);
+  w->Key("snapshots_written");
+  w->Uint(p.snapshots_written);
+  w->Key("snapshot_failures");
+  w->Uint(p.snapshot_failures);
+  w->Key("last_snapshot_wal_seq");
+  w->Uint(p.last_snapshot_wal_seq);
+  w->Key("recovered_window_edges");
+  w->Uint(p.recovered_window_edges);
+  w->Key("recovered_sessions");
+  w->Uint(p.recovered_sessions);
+  w->Key("recovered_subscriptions");
+  w->Uint(p.recovered_subscriptions);
+  w->Key("replayed_edges");
+  w->Uint(p.replayed_edges);
+  w->EndObject();
+}
+
+void WriteFrontend(JsonWriter* w, const FrontendStatsSnapshot& f) {
+  w->BeginObject();
+  w->Key("enabled");
+  w->Bool(f.enabled);
+  w->Key("connections_accepted");
+  w->Uint(f.connections_accepted);
+  w->Key("connections_refused");
+  w->Uint(f.connections_refused);
+  w->Key("connections_closed");
+  w->Uint(f.connections_closed);
+  w->Key("lines_executed");
+  w->Uint(f.lines_executed);
+  w->Key("frames_executed");
+  w->Uint(f.frames_executed);
+  w->Key("batch_edges_in");
+  w->Uint(f.batch_edges_in);
+  w->Key("protocol_errors");
+  w->Uint(f.protocol_errors);
+  w->Key("events_pushed");
+  w->Uint(f.events_pushed);
+  w->Key("pump_flushes");
+  w->Uint(f.pump_flushes);
+  w->Key("http_requests");
+  w->Uint(f.http_requests);
+  w->Key("bytes_in");
+  w->Uint(f.bytes_in);
+  w->Key("bytes_out");
+  w->Uint(f.bytes_out);
+  w->Key("subscriptions_reclaimed");
+  w->Uint(f.subscriptions_reclaimed);
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string RenderStatsJson(const ServiceStatsSnapshot& snap) {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("service");
+  w.BeginObject();
+  w.Key("sessions_opened");
+  w.Uint(snap.sessions_opened);
+  w.Key("submissions");
+  w.Uint(snap.submissions);
+  w.Key("admitted");
+  w.Uint(snap.admitted);
+  w.Key("rejected");
+  w.BeginObject();
+  w.Key("session_quota");
+  w.Uint(snap.rejected_session_quota);
+  w.Key("partial_budget");
+  w.Uint(snap.rejected_partial_budget);
+  w.Key("other");
+  w.Uint(snap.rejected_other);
+  w.EndObject();
+  w.Key("pauses");
+  w.Uint(snap.pauses);
+  w.Key("resumes");
+  w.Uint(snap.resumes);
+  w.Key("detaches");
+  w.Uint(snap.detaches);
+  w.Key("reclaimed");
+  w.Uint(snap.reclaimed);
+  w.Key("reclaimed_aged");
+  w.Uint(snap.reclaimed_aged);
+  w.Key("edges_fed");
+  w.Uint(snap.edges_fed);
+  w.Key("matches");
+  w.BeginObject();
+  w.Key("enqueued");
+  w.Uint(snap.matches_enqueued);
+  w.Key("delivered");
+  w.Uint(snap.matches_delivered);
+  w.Key("dropped");
+  w.Uint(snap.matches_dropped);
+  w.Key("suppressed");
+  w.Uint(snap.matches_suppressed);
+  w.EndObject();
+  w.Key("delivery_lag_us");
+  w.BeginObject();
+  w.Key("p50");
+  w.Uint(snap.delivery_lag_p50_us);
+  w.Key("p99");
+  w.Uint(snap.delivery_lag_p99_us);
+  w.Key("count");
+  w.Uint(snap.delivery_lag.total_count());
+  w.Key("sum");
+  w.Uint(snap.delivery_lag.sum());
+  w.EndObject();
+  w.EndObject();
+
+  w.Key("sessions");
+  w.BeginArray();
+  for (const SessionStatsSnapshot& session : snap.sessions) {
+    w.BeginObject();
+    w.Key("session_id");
+    w.Int(session.session_id);
+    w.Key("name");
+    w.String(session.name);
+    w.Key("open");
+    w.Bool(session.open);
+    w.Key("submissions");
+    w.Uint(session.submissions);
+    w.Key("admitted");
+    w.Uint(session.admitted);
+    w.Key("rejected");
+    w.Uint(session.rejected);
+    w.Key("detaches");
+    w.Uint(session.detaches);
+    w.Key("live_queries");
+    w.Int(session.live_queries);
+    w.Key("subscriptions");
+    w.BeginArray();
+    for (const SubscriptionStatsSnapshot& sub : session.subscriptions) {
+      w.BeginObject();
+      w.Key("subscription_id");
+      w.Int(sub.subscription_id);
+      w.Key("query_name");
+      w.String(sub.query_name);
+      w.Key("state");
+      w.String(sub.state);
+      w.Key("policy");
+      w.String(sub.policy);
+      w.Key("window");
+      w.Int(sub.window);
+      w.Key("enqueued");
+      w.Uint(sub.enqueued);
+      w.Key("delivered");
+      w.Uint(sub.delivered);
+      w.Key("dropped");
+      w.Uint(sub.dropped);
+      w.Key("suppressed_while_paused");
+      w.Uint(sub.suppressed_while_paused);
+      w.Key("queue_depth");
+      w.Uint(sub.queue_depth);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("shards");
+  WriteShardArray(&w, snap);
+  w.Key("persist");
+  WritePersist(&w, snap.persist);
+  w.Key("frontend");
+  WriteFrontend(&w, snap.frontend);
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string RenderShardsJson(const ServiceStatsSnapshot& snap) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("shards");
+  WriteShardArray(&w, snap);
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string RenderQueriesJson(const std::vector<QueryObsSnapshot>& queries) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("queries");
+  w.BeginArray();
+  for (const QueryObsSnapshot& q : queries) {
+    w.BeginObject();
+    w.Key("session_id");
+    w.Int(q.session_id);
+    w.Key("subscription_id");
+    w.Int(q.subscription_id);
+    w.Key("session_name");
+    w.String(q.session_name);
+    w.Key("query_name");
+    w.String(q.query_name);
+    w.Key("tag");
+    w.String(q.tag);
+    w.Key("state");
+    w.String(q.state);
+    w.Key("window");
+    w.Int(q.info.window);
+    w.Key("completions");
+    w.Uint(q.info.completions);
+    w.Key("live_partial_matches");
+    w.Uint(q.info.live_partial_matches);
+    w.Key("peak_partial_matches");
+    w.Uint(q.info.peak_partial_matches);
+    w.Key("nodes");
+    w.BeginArray();
+    for (const SjNodeRuntime& node : q.info.nodes) {
+      w.BeginObject();
+      w.Key("node");
+      w.Int(node.node);
+      w.Key("is_leaf");
+      w.Bool(node.is_leaf);
+      w.Key("query_edges");
+      w.Int(node.query_edges);
+      w.Key("matches_inserted");
+      w.Uint(node.matches_inserted);
+      w.Key("probes");
+      w.Uint(node.probes);
+      w.Key("join_attempts");
+      w.Uint(node.join_attempts);
+      w.Key("joins_succeeded");
+      w.Uint(node.joins_succeeded);
+      w.Key("live_partial_matches");
+      w.Uint(node.live_partial_matches);
+      // Observed join selectivity — the quantity StreamWorks'
+      // selectivity-ordered decomposition optimizes for; null until the
+      // node has attempted a join.
+      w.Key("join_selectivity");
+      if (node.join_attempts > 0) {
+        w.Double(static_cast<double>(node.joins_succeeded) /
+                 static_cast<double>(node.join_attempts));
+      } else {
+        w.Null();
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string RenderTraceJson(const PipelineMetrics& pipeline, uint64_t now_us) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("slow_threshold_us");
+  w.Uint(pipeline.slow_threshold_us());
+  w.Key("slow_ops_recorded");
+  w.Uint(pipeline.slow_ops_recorded());
+
+  w.Key("stages");
+  w.BeginArray();
+  for (int s = 0; s < kNumPipelineStages; ++s) {
+    const PipelineStage stage = static_cast<PipelineStage>(s);
+    const Histogram h = pipeline.stage_histogram(stage).Snapshot();
+    w.BeginObject();
+    w.Key("stage");
+    w.String(PipelineStageName(stage));
+    w.Key("count");
+    w.Uint(h.total_count());
+    w.Key("sum_us");
+    w.Uint(h.sum());
+    w.Key("p50_us");
+    w.Uint(h.Quantile(0.5));
+    w.Key("p99_us");
+    w.Uint(h.Quantile(0.99));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("entries");
+  w.BeginArray();
+  for (const TraceEntry& e : pipeline.TraceSnapshot()) {
+    w.BeginObject();
+    w.Key("stage");
+    w.String(PipelineStageName(e.stage));
+    w.Key("session_id");
+    w.Int(e.session_id);
+    w.Key("subscription_id");
+    w.Int(e.subscription_id);
+    w.Key("duration_us");
+    w.Uint(e.duration_us);
+    w.Key("detail");
+    w.Uint(e.detail);
+    w.Key("age_us");
+    w.Uint(now_us >= e.at_us ? now_us - e.at_us : 0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string RenderHealthJson(const ServiceStatsSnapshot& snap,
+                             uint64_t uptime_us) {
+  // Liveness is implied by answering at all; the body reports durability
+  // freshness so an operator (or probe) can alert on a stalling snapshot
+  // cadence or failing snapshot writes without parsing full stats.
+  const PersistCounters& p = snap.persist;
+  const bool persist_healthy = !p.enabled || p.snapshot_failures == 0;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String(persist_healthy ? "ok" : "degraded");
+  w.Key("uptime_us");
+  w.Uint(uptime_us);
+  w.Key("edges_fed");
+  w.Uint(snap.edges_fed);
+  w.Key("persist_enabled");
+  w.Bool(p.enabled);
+  w.Key("wal_seq");
+  w.Uint(p.wal_seq);
+  w.Key("last_snapshot_wal_seq");
+  w.Uint(p.last_snapshot_wal_seq);
+  // Edges logged since the last durable snapshot — the recovery replay
+  // bound, i.e. how stale a crash-restart would start out.
+  w.Key("snapshot_lag_edges");
+  w.Uint(p.wal_seq >= p.last_snapshot_wal_seq
+             ? p.wal_seq - p.last_snapshot_wal_seq
+             : 0);
+  w.Key("snapshot_failures");
+  w.Uint(p.snapshot_failures);
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string FormatTraceText(const PipelineMetrics& pipeline, uint64_t now_us) {
+  std::string out;
+  for (const TraceEntry& e : pipeline.TraceSnapshot()) {
+    out += "slow stage=";
+    out += PipelineStageName(e.stage);
+    out += " dur_us=" + std::to_string(e.duration_us);
+    out += " session=" + std::to_string(e.session_id);
+    out += " sub=" + std::to_string(e.subscription_id);
+    out += " detail=" + std::to_string(e.detail);
+    out +=
+        " age_us=" + std::to_string(now_us >= e.at_us ? now_us - e.at_us : 0);
+    out += "\n";
+  }
+  return out;
+}
+
+void ContributeServiceMetrics(const ServiceStatsSnapshot& snap,
+                              MetricSnapshotBuilder* out) {
+  out->EmitCounter("streamworks_edges_fed_total",
+                   "Stream edges admitted through the query service.", {},
+                   snap.edges_fed);
+  out->EmitCounter("streamworks_sessions_opened_total",
+                   "Client sessions opened.", {}, snap.sessions_opened);
+  out->EmitCounter("streamworks_query_submissions_total",
+                   "Query submissions received (admitted + rejected).", {},
+                   snap.submissions);
+  out->EmitCounter("streamworks_queries_admitted_total",
+                   "Query submissions admitted.", {}, snap.admitted);
+  out->EmitCounter("streamworks_queries_rejected_total",
+                   "Query submissions rejected, by reason.",
+                   {{"reason", "session_quota"}}, snap.rejected_session_quota);
+  out->EmitCounter("streamworks_queries_rejected_total",
+                   "Query submissions rejected, by reason.",
+                   {{"reason", "partial_budget"}}, snap.rejected_partial_budget);
+  out->EmitCounter("streamworks_queries_rejected_total",
+                   "Query submissions rejected, by reason.",
+                   {{"reason", "other"}}, snap.rejected_other);
+  out->EmitCounter("streamworks_subscription_pauses_total",
+                   "Subscription pause operations.", {}, snap.pauses);
+  out->EmitCounter("streamworks_subscription_resumes_total",
+                   "Subscription resume operations.", {}, snap.resumes);
+  out->EmitCounter("streamworks_subscription_detaches_total",
+                   "Subscription detach operations.", {}, snap.detaches);
+  out->EmitCounter("streamworks_subscriptions_reclaimed_total",
+                   "Detached subscriptions compacted away.", {},
+                   snap.reclaimed);
+  out->EmitCounter("streamworks_subscriptions_reclaimed_aged_total",
+                   "Reclaimed subscriptions taken by the age-based sweep.", {},
+                   snap.reclaimed_aged);
+
+  out->EmitCounter("streamworks_matches_total",
+                   "Complete matches, by delivery event.",
+                   {{"event", "enqueued"}}, snap.matches_enqueued);
+  out->EmitCounter("streamworks_matches_total",
+                   "Complete matches, by delivery event.",
+                   {{"event", "delivered"}}, snap.matches_delivered);
+  out->EmitCounter("streamworks_matches_total",
+                   "Complete matches, by delivery event.",
+                   {{"event", "dropped"}}, snap.matches_dropped);
+  out->EmitCounter("streamworks_matches_total",
+                   "Complete matches, by delivery event.",
+                   {{"event", "suppressed"}}, snap.matches_suppressed);
+  out->EmitHistogram("streamworks_delivery_lag_us",
+                     "Microseconds from match enqueue to consumer pop.", {},
+                     snap.delivery_lag);
+
+  uint64_t open_sessions = 0;
+  uint64_t live_subscriptions = 0;
+  for (const SessionStatsSnapshot& session : snap.sessions) {
+    if (session.open) ++open_sessions;
+    live_subscriptions += static_cast<uint64_t>(session.live_queries);
+  }
+  out->EmitGauge("streamworks_sessions_open", "Sessions currently open.", {},
+                 static_cast<double>(open_sessions));
+  out->EmitGauge("streamworks_subscriptions_live",
+                 "Non-detached subscriptions across all sessions.", {},
+                 static_cast<double>(live_subscriptions));
+
+  for (const ShardLoadSnapshot& shard : snap.shards) {
+    const MetricLabels labels = {{"shard", std::to_string(shard.shard)}};
+    out->EmitGauge("streamworks_shard_retained_edges",
+                   "Edges currently retained in the shard's window.", labels,
+                   static_cast<double>(shard.retained_edges));
+    out->EmitGauge("streamworks_shard_retained_vertices",
+                   "Vertices currently retained in the shard's window.",
+                   labels, static_cast<double>(shard.retained_vertices));
+    out->EmitGauge("streamworks_shard_live_partial_matches",
+                   "Partial matches alive in the shard's SJ-Trees.", labels,
+                   static_cast<double>(shard.live_partial_matches));
+    out->EmitCounter("streamworks_shard_evicted_edges_total",
+                     "Edges evicted from the shard's window.", labels,
+                     shard.evicted_edges);
+    out->EmitCounter("streamworks_shard_edges_processed_total",
+                     "Edges the shard's engine has processed.", labels,
+                     shard.edges_processed);
+    out->EmitCounter("streamworks_shard_completions_total",
+                     "Complete matches produced by the shard.", labels,
+                     shard.completions);
+    out->EmitCounter("streamworks_shard_exchange_total",
+                     "Cross-shard match-exchange items, by direction.",
+                     {{"shard", std::to_string(shard.shard)},
+                      {"direction", "forwarded"}},
+                     shard.matches_forwarded);
+    out->EmitCounter("streamworks_shard_exchange_total",
+                     "Cross-shard match-exchange items, by direction.",
+                     {{"shard", std::to_string(shard.shard)},
+                      {"direction", "received"}},
+                     shard.matches_received);
+  }
+
+  if (snap.persist.enabled) {
+    const PersistCounters& p = snap.persist;
+    out->EmitCounter("streamworks_wal_records_total",
+                     "WAL records appended this process.", {}, p.wal_records);
+    out->EmitCounter("streamworks_wal_edges_total",
+                     "Edges carried by appended WAL records.", {}, p.wal_edges);
+    out->EmitCounter("streamworks_wal_bytes_total",
+                     "Bytes appended to WAL segments.", {}, p.wal_bytes);
+    out->EmitCounter("streamworks_wal_fsyncs_total", "WAL fsync calls.", {},
+                     p.wal_fsyncs);
+    out->EmitGauge("streamworks_wal_segments",
+                   "WAL segment files currently on disk.", {},
+                   static_cast<double>(p.wal_segments));
+    out->EmitGauge("streamworks_wal_seq", "Next WAL edge sequence number.", {},
+                   static_cast<double>(p.wal_seq));
+    out->EmitCounter("streamworks_snapshots_written_total",
+                     "Durable snapshots written.", {}, p.snapshots_written);
+    out->EmitCounter("streamworks_snapshot_failures_total",
+                     "Snapshot write attempts that failed.", {},
+                     p.snapshot_failures);
+    out->EmitGauge("streamworks_last_snapshot_wal_seq",
+                   "WAL sequence the latest snapshot covers.", {},
+                   static_cast<double>(p.last_snapshot_wal_seq));
+  }
+
+  if (snap.frontend.enabled) {
+    const FrontendStatsSnapshot& f = snap.frontend;
+    out->EmitCounter("streamworks_frontend_connections_total",
+                     "Frontend connections, by outcome.",
+                     {{"event", "accepted"}}, f.connections_accepted);
+    out->EmitCounter("streamworks_frontend_connections_total",
+                     "Frontend connections, by outcome.",
+                     {{"event", "refused"}}, f.connections_refused);
+    out->EmitCounter("streamworks_frontend_connections_total",
+                     "Frontend connections, by outcome.", {{"event", "closed"}},
+                     f.connections_closed);
+    out->EmitCounter("streamworks_frontend_lines_executed_total",
+                     "Text-protocol command lines executed.", {},
+                     f.lines_executed);
+    out->EmitCounter("streamworks_frontend_frames_executed_total",
+                     "Binary FEEDB frames executed.", {}, f.frames_executed);
+    out->EmitCounter("streamworks_frontend_batch_edges_total",
+                     "Edges carried by executed FEEDB frames.", {},
+                     f.batch_edges_in);
+    out->EmitCounter("streamworks_frontend_protocol_errors_total",
+                     "Protocol violations that closed a connection.", {},
+                     f.protocol_errors);
+    out->EmitCounter("streamworks_frontend_events_pushed_total",
+                     "Streamed EVENT/MATCH payloads pushed to watchers.", {},
+                     f.events_pushed);
+    out->EmitCounter("streamworks_frontend_pump_flushes_total",
+                     "Coalesced stream-pump flush passes.", {},
+                     f.pump_flushes);
+    out->EmitCounter("streamworks_frontend_http_requests_total",
+                     "Observability HTTP requests served.", {},
+                     f.http_requests);
+    out->EmitCounter("streamworks_frontend_bytes_total",
+                     "Wire bytes, by direction.", {{"direction", "in"}},
+                     f.bytes_in);
+    out->EmitCounter("streamworks_frontend_bytes_total",
+                     "Wire bytes, by direction.", {{"direction", "out"}},
+                     f.bytes_out);
+    out->EmitCounter("streamworks_frontend_subscriptions_reclaimed_total",
+                     "Subscriptions reclaimed when sessions disconnected.", {},
+                     f.subscriptions_reclaimed);
+  }
+}
+
+void ContributePipelineMetrics(const PipelineMetrics& pipeline,
+                               MetricSnapshotBuilder* out) {
+  for (int s = 0; s < kNumPipelineStages; ++s) {
+    const PipelineStage stage = static_cast<PipelineStage>(s);
+    out->EmitHistogram("streamworks_stage_duration_us",
+                       "Pipeline stage execution time, by stage.",
+                       {{"stage", std::string(PipelineStageName(stage))}},
+                       pipeline.stage_histogram(stage).Snapshot());
+  }
+  out->EmitCounter("streamworks_slow_ops_total",
+                   "Stage executions at or above the slow threshold.", {},
+                   pipeline.slow_ops_recorded());
+  out->EmitGauge("streamworks_slow_threshold_us",
+                 "Current slow-op trace threshold.", {},
+                 static_cast<double>(pipeline.slow_threshold_us()));
+}
+
+int RegisterServiceCollector(
+    MetricRegistry* registry,
+    std::function<ServiceStatsSnapshot()> snapshot_fn) {
+  return registry->AddCollector(
+      [fn = std::move(snapshot_fn)](MetricSnapshotBuilder* out) {
+        ContributeServiceMetrics(fn(), out);
+      });
+}
+
+int RegisterPipelineCollector(MetricRegistry* registry,
+                              const PipelineMetrics* pipeline) {
+  return registry->AddCollector([pipeline](MetricSnapshotBuilder* out) {
+    ContributePipelineMetrics(*pipeline, out);
+  });
+}
+
+}  // namespace streamworks

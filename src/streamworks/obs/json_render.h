@@ -1,0 +1,71 @@
+#ifndef STREAMWORKS_OBS_JSON_RENDER_H_
+#define STREAMWORKS_OBS_JSON_RENDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "streamworks/obs/metric_registry.h"
+#include "streamworks/obs/stage_trace.h"
+#include "streamworks/service/query_service.h"
+
+namespace streamworks {
+
+/// JSON/Prometheus renderers for the observability endpoints. The split of
+/// responsibilities mirrors the net layer's: net/server.cc owns socket
+/// mechanics and byte shuffling, this file owns turning service snapshots
+/// into documents. Everything here runs at scrape time on the control
+/// thread; nothing touches hot-path state directly.
+
+/// The /stats.json document: the full ServiceStatsSnapshot tree —
+/// service-wide counters, per-session/per-subscription detail, shard
+/// loads, persist and frontend counters.
+std::string RenderStatsJson(const ServiceStatsSnapshot& snap);
+
+/// The /shards.json document: just the per-shard load rows.
+std::string RenderShardsJson(const ServiceStatsSnapshot& snap);
+
+/// The /queries.json document: per-query runtime info including the
+/// per-SJ-Tree-node match/selectivity counters.
+std::string RenderQueriesJson(const std::vector<QueryObsSnapshot>& queries);
+
+/// The /trace.json document: per-stage latency summaries plus the slow-op
+/// trace ring, oldest first. `now_us` is PipelineMetrics::NowMicros() at
+/// render time (entries carry relative ages, not wall-clock stamps).
+std::string RenderTraceJson(const PipelineMetrics& pipeline, uint64_t now_us);
+
+/// The /healthz document: liveness plus durability freshness — how far
+/// the WAL has run ahead of the last snapshot, and whether snapshot
+/// writes are failing.
+std::string RenderHealthJson(const ServiceStatsSnapshot& snap,
+                             uint64_t uptime_us);
+
+/// Human-oriented rendering of the trace ring for the interpreter's TRACE
+/// verb: one "slow stage=... dur_us=..." line per entry, oldest first.
+std::string FormatTraceText(const PipelineMetrics& pipeline, uint64_t now_us);
+
+/// Emits the streamworks_* metric families derived from one service
+/// snapshot into a scrape builder (counters, gauges, the delivery-lag
+/// histogram, per-shard/persist/frontend series).
+void ContributeServiceMetrics(const ServiceStatsSnapshot& snap,
+                              MetricSnapshotBuilder* out);
+
+/// Emits the per-stage duration histograms and slow-op counters.
+void ContributePipelineMetrics(const PipelineMetrics& pipeline,
+                               MetricSnapshotBuilder* out);
+
+/// Registers a scrape-time collector calling `snapshot_fn` (typically
+/// bound to QueryService::Snapshot on the control thread). Returns the
+/// registry token.
+int RegisterServiceCollector(MetricRegistry* registry,
+                             std::function<ServiceStatsSnapshot()> snapshot_fn);
+
+/// Registers a scrape-time collector over `pipeline`, which must outlive
+/// the registration. Returns the registry token.
+int RegisterPipelineCollector(MetricRegistry* registry,
+                              const PipelineMetrics* pipeline);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_OBS_JSON_RENDER_H_

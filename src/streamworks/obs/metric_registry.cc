@@ -1,0 +1,259 @@
+#include "streamworks/obs/metric_registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace streamworks {
+
+namespace {
+
+/// Escapes a HELP text: backslash and newline per the exposition format.
+void AppendEscapedHelp(std::string* out, std::string_view help) {
+  for (const char c : help) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+void AppendEscapedLabelValue(std::string* out, std::string_view value) {
+  for (const char c : value) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '"') {
+      *out += "\\\"";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+/// Renders `{k="v",...}`; empty labels render nothing. `extra_key`, when
+/// non-empty, appends one more pair (the histogram `le`).
+void AppendLabels(std::string* out, const MetricLabels& labels,
+                  std::string_view extra_key = {},
+                  std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  *out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += k;
+    *out += "=\"";
+    AppendEscapedLabelValue(out, v);
+    *out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) *out += ',';
+    *out += extra_key;
+    *out += "=\"";
+    AppendEscapedLabelValue(out, extra_value);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+std::string RenderDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricSnapshotBuilder::Family* MetricSnapshotBuilder::FamilyFor(
+    std::string_view name, std::string_view help, Type type) {
+  if (auto it = index_.find(name); it != index_.end()) {
+    return &families_[it->second];
+  }
+  Family family;
+  family.name = std::string(name);
+  family.help = std::string(help);
+  family.type = type;
+  index_.emplace(family.name, families_.size());
+  families_.push_back(std::move(family));
+  return &families_.back();
+}
+
+void MetricSnapshotBuilder::EmitCounter(std::string_view name,
+                                        std::string_view help,
+                                        MetricLabels labels, uint64_t value) {
+  Family* family = FamilyFor(name, help, Type::kCounter);
+  Sample sample;
+  sample.labels = std::move(labels);
+  sample.value = std::to_string(value);
+  family->samples.push_back(std::move(sample));
+}
+
+void MetricSnapshotBuilder::EmitGauge(std::string_view name,
+                                      std::string_view help,
+                                      MetricLabels labels, double value) {
+  Family* family = FamilyFor(name, help, Type::kGauge);
+  Sample sample;
+  sample.labels = std::move(labels);
+  sample.value = RenderDouble(value);
+  family->samples.push_back(std::move(sample));
+}
+
+void MetricSnapshotBuilder::EmitHistogram(std::string_view name,
+                                          std::string_view help,
+                                          MetricLabels labels,
+                                          const Histogram& histogram) {
+  Family* family = FamilyFor(name, help, Type::kHistogram);
+  Sample sample;
+  sample.labels = std::move(labels);
+  sample.histogram = histogram;
+  family->samples.push_back(std::move(sample));
+}
+
+std::string MetricSnapshotBuilder::RenderPrometheus() const {
+  std::string out;
+  for (const Family& family : families_) {
+    out += "# HELP ";
+    out += family.name;
+    out += ' ';
+    AppendEscapedHelp(&out, family.help);
+    out += "\n# TYPE ";
+    out += family.name;
+    out += ' ';
+    out += family.type == Type::kCounter
+               ? "counter"
+               : family.type == Type::kGauge ? "gauge" : "histogram";
+    out += '\n';
+    for (const Sample& sample : family.samples) {
+      if (family.type != Type::kHistogram) {
+        out += family.name;
+        AppendLabels(&out, sample.labels);
+        out += ' ';
+        out += sample.value;
+        out += '\n';
+        continue;
+      }
+      // Histogram: cumulative buckets with integer `le` upper bounds
+      // (the power-of-two scheme's inclusive bucket maxima), then +Inf,
+      // _sum, _count.
+      uint64_t cumulative = 0;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        const uint64_t count = sample.histogram.bucket_count(b);
+        cumulative += count;
+        // Only emit occupied or boundary-advancing buckets sparsely:
+        // every bucket would be 40 lines per series. Emit buckets that
+        // hold samples plus bucket 0 so the series is never empty.
+        if (count == 0 && b != 0) continue;
+        out += family.name;
+        out += "_bucket";
+        AppendLabels(&out, sample.labels, "le",
+                     std::to_string(Histogram::BucketUpperBound(b)));
+        out += ' ';
+        out += std::to_string(cumulative);
+        out += '\n';
+      }
+      out += family.name;
+      out += "_bucket";
+      AppendLabels(&out, sample.labels, "le", "+Inf");
+      out += ' ';
+      out += std::to_string(sample.histogram.total_count());
+      out += '\n';
+      out += family.name;
+      out += "_sum";
+      AppendLabels(&out, sample.labels);
+      out += ' ';
+      out += std::to_string(sample.histogram.sum());
+      out += '\n';
+      out += family.name;
+      out += "_count";
+      AppendLabels(&out, sample.labels);
+      out += ' ';
+      out += std::to_string(sample.histogram.total_count());
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+MetricCounter* MetricRegistry::RegisterCounter(std::string name,
+                                               std::string help,
+                                               MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Emplace-then-assign: the handle holds atomics, which are neither
+  // movable nor copyable, so the instrument must be constructed in place.
+  Instrument<MetricCounter>& inst = counters_.emplace_back();
+  inst.name = std::move(name);
+  inst.help = std::move(help);
+  inst.labels = std::move(labels);
+  return &inst.handle;
+}
+
+MetricGauge* MetricRegistry::RegisterGauge(std::string name, std::string help,
+                                           MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument<MetricGauge>& inst = gauges_.emplace_back();
+  inst.name = std::move(name);
+  inst.help = std::move(help);
+  inst.labels = std::move(labels);
+  return &inst.handle;
+}
+
+AtomicHistogram* MetricRegistry::RegisterHistogram(std::string name,
+                                                   std::string help,
+                                                   MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument<AtomicHistogram>& inst = histograms_.emplace_back();
+  inst.name = std::move(name);
+  inst.help = std::move(help);
+  inst.labels = std::move(labels);
+  return &inst.handle;
+}
+
+int MetricRegistry::AddCollector(
+    std::function<void(MetricSnapshotBuilder*)> collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int token = next_collector_token_++;
+  collectors_.emplace_back(token, std::move(collector));
+  return token;
+}
+
+void MetricRegistry::RemoveCollector(int token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(collectors_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+std::string MetricRegistry::RenderPrometheus() const {
+  MetricSnapshotBuilder builder;
+  // Collectors may take their own time (a service Snapshot quiesces a
+  // sharded backend); copy them out so registration from another thread
+  // is never blocked behind a scrape.
+  std::vector<std::function<void(MetricSnapshotBuilder*)>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& inst : counters_) {
+      builder.EmitCounter(inst.name, inst.help, inst.labels,
+                          inst.handle.value());
+    }
+    for (const auto& inst : gauges_) {
+      builder.EmitGauge(inst.name, inst.help, inst.labels,
+                        inst.handle.value());
+    }
+    for (const auto& inst : histograms_) {
+      builder.EmitHistogram(inst.name, inst.help, inst.labels,
+                            inst.handle.Snapshot());
+    }
+    collectors.reserve(collectors_.size());
+    for (const auto& [token, fn] : collectors_) collectors.push_back(fn);
+  }
+  for (const auto& fn : collectors) fn(&builder);
+  return builder.RenderPrometheus();
+}
+
+}  // namespace streamworks

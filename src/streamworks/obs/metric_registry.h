@@ -1,0 +1,132 @@
+#ifndef STREAMWORKS_OBS_METRIC_REGISTRY_H_
+#define STREAMWORKS_OBS_METRIC_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "streamworks/common/histogram.h"
+#include "streamworks/obs/stage_trace.h"
+
+namespace streamworks {
+
+/// Label set of one metric sample, rendered in registration order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter handle; increments are relaxed atomics, safe from any
+/// thread. Pointers stay valid for the registry's lifetime.
+class MetricCounter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time gauge handle (set/read from any thread).
+class MetricGauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Where scrape-time collectors write their samples. Samples of the same
+/// metric name group into one family (first emitter's help/type win);
+/// families render in first-appearance order.
+class MetricSnapshotBuilder {
+ public:
+  void EmitCounter(std::string_view name, std::string_view help,
+                   MetricLabels labels, uint64_t value);
+  void EmitGauge(std::string_view name, std::string_view help,
+                 MetricLabels labels, double value);
+  void EmitHistogram(std::string_view name, std::string_view help,
+                     MetricLabels labels, const Histogram& histogram);
+
+  /// Prometheus text exposition (version 0.0.4) of everything emitted:
+  /// one # HELP / # TYPE pair per family, histograms as cumulative
+  /// _bucket{le=...} series plus _sum and _count, a trailing newline.
+  std::string RenderPrometheus() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Sample {
+    MetricLabels labels;
+    std::string value;      ///< Prerendered (counters/gauges).
+    Histogram histogram;    ///< kHistogram only.
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type;
+    std::vector<Sample> samples;
+  };
+
+  Family* FamilyFor(std::string_view name, std::string_view help, Type type);
+
+  std::vector<Family> families_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+/// The one registration seam the scattered counters unify behind: hot-path
+/// components register counter/gauge/histogram handles (cheap atomics they
+/// bump directly), and snapshot-shaped sources (the service stats tree,
+/// the socket server's ServerStats, the durability probe) register
+/// collectors that contribute samples at scrape time. RenderPrometheus
+/// runs the collectors on the scraping thread — the HTTP endpoints live on
+/// the socket server's poll thread, i.e. the control thread, so collectors
+/// may safely make control-plane calls like QueryService::Snapshot().
+class MetricRegistry {
+ public:
+  MetricCounter* RegisterCounter(std::string name, std::string help,
+                                 MetricLabels labels = {});
+  MetricGauge* RegisterGauge(std::string name, std::string help,
+                             MetricLabels labels = {});
+  AtomicHistogram* RegisterHistogram(std::string name, std::string help,
+                                     MetricLabels labels = {});
+
+  /// Registers a scrape-time collector; returns a token for
+  /// RemoveCollector. The collector must stay callable until removed —
+  /// components whose lifetime is shorter than the registry's (the socket
+  /// server) remove theirs on shutdown.
+  int AddCollector(std::function<void(MetricSnapshotBuilder*)> collector);
+  void RemoveCollector(int token);
+
+  /// Full Prometheus text exposition: registered instruments first, then
+  /// every collector's contribution.
+  std::string RenderPrometheus() const;
+
+ private:
+  template <typename Handle>
+  struct Instrument {
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    Handle handle;
+  };
+
+  mutable std::mutex mu_;
+  /// deques: handle pointers must survive further registration.
+  std::deque<Instrument<MetricCounter>> counters_;
+  std::deque<Instrument<MetricGauge>> gauges_;
+  std::deque<Instrument<AtomicHistogram>> histograms_;
+  std::vector<std::pair<int, std::function<void(MetricSnapshotBuilder*)>>>
+      collectors_;
+  int next_collector_token_ = 0;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_OBS_METRIC_REGISTRY_H_

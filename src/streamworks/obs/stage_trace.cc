@@ -1,0 +1,75 @@
+#include "streamworks/obs/stage_trace.h"
+
+namespace streamworks {
+
+std::string_view PipelineStageName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kFrameDecode:
+      return "frame_decode";
+    case PipelineStage::kAdmission:
+      return "admission";
+    case PipelineStage::kEngineApply:
+      return "engine_apply";
+    case PipelineStage::kSjTreeJoin:
+      return "sjtree_join";
+    case PipelineStage::kExchangeForward:
+      return "exchange_forward";
+    case PipelineStage::kEnqueue:
+      return "enqueue";
+    case PipelineStage::kDeliveryFlush:
+      return "delivery_flush";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::Push(const TraceEntry& entry) {
+  const uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx % slots_.size()];
+  // Seqlock write: odd marks in-progress so a concurrent Snapshot skips
+  // the slot instead of copying half-written fields.
+  slot.seq.store(2 * idx + 1, std::memory_order_release);
+  slot.entry = entry;
+  slot.seq.store(2 * (idx + 1), std::memory_order_release);
+}
+
+std::vector<TraceEntry> TraceRing::Snapshot() const {
+  // Collect (claim index, entry) pairs whose seqlock held still across the
+  // copy, then order oldest-first by claim index.
+  struct Numbered {
+    uint64_t idx;
+    TraceEntry entry;
+  };
+  std::vector<Numbered> collected;
+  collected.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before == 0 || seq_before % 2 == 1) continue;
+    TraceEntry copy = slot.entry;
+    const uint64_t seq_after = slot.seq.load(std::memory_order_acquire);
+    if (seq_after != seq_before) continue;  // overwritten mid-copy: drop
+    collected.push_back(Numbered{seq_before / 2 - 1, copy});
+  }
+  std::vector<TraceEntry> out;
+  out.reserve(collected.size());
+  // Insertion sort by claim index: the ring is small (default 128) and
+  // already nearly ordered.
+  for (size_t i = 1; i < collected.size(); ++i) {
+    Numbered item = collected[i];
+    size_t j = i;
+    while (j > 0 && collected[j - 1].idx > item.idx) {
+      collected[j] = collected[j - 1];
+      --j;
+    }
+    collected[j] = item;
+  }
+  for (const Numbered& n : collected) out.push_back(n.entry);
+  return out;
+}
+
+PipelineMetrics::PipelineMetrics(uint64_t slow_threshold_us,
+                                 size_t trace_capacity)
+    : slow_threshold_us_(slow_threshold_us), ring_(trace_capacity) {}
+
+}  // namespace streamworks

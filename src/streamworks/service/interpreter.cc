@@ -1,9 +1,11 @@
 #include "streamworks/service/interpreter.h"
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 
 #include "streamworks/common/str_util.h"
+#include "streamworks/obs/json_render.h"
 #include "streamworks/stream/wire_format.h"
 
 namespace streamworks {
@@ -157,9 +159,31 @@ Status CommandInterpreter::ExecuteLine(std::string_view line) {
   } else if (verb == "STREAM" || verb == "UNSTREAM") {
     status = HandleStream(verb == "STREAM", tokens);
   } else if (verb == "STATS") {
+    const bool json = tokens.size() == 2 && tokens[1] == "JSON";
+    if (tokens.size() > 2 || (tokens.size() == 2 && !json)) {
+      return error("STATS takes no arguments, or JSON");
+    }
     service_->Flush();
-    if (out_ != nullptr) *out_ << service_->Snapshot().ToString();
+    if (out_ != nullptr) {
+      if (json) {
+        *out_ << RenderStatsJson(service_->Snapshot()) << "\n";
+      } else {
+        *out_ << service_->Snapshot().ToString();
+      }
+    }
     status = OkStatus();
+  } else if (verb == "TRACE") {
+    if (tokens.size() != 1) return error("TRACE takes no arguments");
+    if (pipeline_ == nullptr) {
+      return error(
+          "TRACE: this deployment has no pipeline instrumentation");
+    }
+    const std::string text =
+        FormatTraceText(*pipeline_, PipelineMetrics::NowMicros());
+    if (out_ != nullptr) *out_ << text;
+    const size_t entries =
+        static_cast<size_t>(std::count(text.begin(), text.end(), '\n'));
+    status = Emit("OK trace n=" + std::to_string(entries));
   } else {
     return error("unknown command: " + std::string(verb));
   }

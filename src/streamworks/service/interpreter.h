@@ -47,7 +47,11 @@ namespace streamworks {
 ///   UNSTREAM <session> <sub>    back to POLL-only delivery
 ///   SNAPSHOT                    force a durability snapshot (needs the
 ///                               hosting frontend to run with a data dir)
-///   STATS                       print the service-wide snapshot
+///   STATS [JSON]                print the service-wide snapshot; with
+///                               JSON, as one compact /stats.json document
+///   TRACE                       print the slow-op trace ring (needs the
+///                               hosting deployment to install pipeline
+///                               metrics)
 ///
 /// STREAM/UNSTREAM are transport commands: they only work when the hosting
 /// frontend installed a stream hook (the socket server does; in-process
@@ -114,6 +118,13 @@ class CommandInterpreter {
     snapshot_hook_ = std::move(hook);
   }
 
+  /// Honours TRACE: the deployment's shared pipeline instrumentation,
+  /// installed by whoever wires it (service_demo). Must outlive the
+  /// interpreter; without it the verb answers an error.
+  void set_pipeline_metrics(PipelineMetrics* pipeline) {
+    pipeline_ = pipeline;
+  }
+
   /// Session name -> service session id, every session this interpreter
   /// opened. A network frontend uses it to close a disconnected tenant's
   /// sessions.
@@ -155,6 +166,7 @@ class CommandInterpreter {
   SubmitHook submit_hook_;
   AttachHook attach_hook_;
   SnapshotHook snapshot_hook_;
+  PipelineMetrics* pipeline_ = nullptr;
 
   /// Transparent comparators: command handlers look names up as
   /// string_views without materializing std::strings.

@@ -1,39 +1,8 @@
 #include "streamworks/service/metrics.h"
 
-#include <bit>
 #include <sstream>
 
 namespace streamworks {
-
-void LagHistogram::Record(uint64_t lag_us) {
-  int bucket = lag_us == 0 ? 0 : std::bit_width(lag_us);
-  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
-  ++counts_[bucket];
-  ++total_count_;
-}
-
-void LagHistogram::Merge(const LagHistogram& other) {
-  for (int b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
-  total_count_ += other.total_count_;
-}
-
-uint64_t LagHistogram::Quantile(double q) const {
-  if (total_count_ == 0) return 0;
-  if (q < 0) q = 0;
-  if (q > 1) q = 1;
-  // Rank of the q-th sample, 1-based; ceil so Quantile(1.0) lands in the
-  // last occupied bucket.
-  const uint64_t rank =
-      static_cast<uint64_t>(q * static_cast<double>(total_count_ - 1)) + 1;
-  uint64_t seen = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    seen += counts_[b];
-    if (seen >= rank) {
-      return b == 0 ? 0 : (uint64_t{1} << b) - 1;  // bucket upper bound
-    }
-  }
-  return (uint64_t{1} << (kNumBuckets - 1)) - 1;
-}
 
 std::string ServiceStatsSnapshot::ToString() const {
   std::ostringstream os;
@@ -51,6 +20,21 @@ std::string ServiceStatsSnapshot::ToString() const {
      << " suppressed=" << matches_suppressed
      << " lag_p50_us=" << delivery_lag_p50_us
      << " lag_p99_us=" << delivery_lag_p99_us << "\n";
+  if (frontend.enabled) {
+    os << "frontend: accepted=" << frontend.connections_accepted
+       << " refused=" << frontend.connections_refused
+       << " closed=" << frontend.connections_closed
+       << " lines=" << frontend.lines_executed
+       << " frames=" << frontend.frames_executed
+       << " batch_edges=" << frontend.batch_edges_in
+       << " protocol_errors=" << frontend.protocol_errors
+       << " events=" << frontend.events_pushed
+       << " pump_flushes=" << frontend.pump_flushes
+       << " http_requests=" << frontend.http_requests
+       << " bytes_in=" << frontend.bytes_in
+       << " bytes_out=" << frontend.bytes_out
+       << " reclaimed=" << frontend.subscriptions_reclaimed << "\n";
+  }
   if (persist.enabled) {
     os << "persist: wal_seq=" << persist.wal_seq
        << " wal_records=" << persist.wal_records

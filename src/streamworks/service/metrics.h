@@ -1,36 +1,19 @@
 #ifndef STREAMWORKS_SERVICE_METRICS_H_
 #define STREAMWORKS_SERVICE_METRICS_H_
 
-#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "streamworks/common/histogram.h"
 #include "streamworks/common/types.h"
 
 namespace streamworks {
 
-/// Fixed-footprint latency histogram with power-of-two microsecond buckets
-/// (bucket b holds samples in [2^(b-1), 2^b), bucket 0 holds 0us). Built
-/// for delivery-lag tracking: Record() is O(1) with no allocation, Merge()
-/// aggregates per-queue histograms into service-wide percentiles.
-class LagHistogram {
- public:
-  static constexpr int kNumBuckets = 40;  ///< Covers up to ~2^39 us (~6 days).
-
-  void Record(uint64_t lag_us);
-  void Merge(const LagHistogram& other);
-
-  uint64_t total_count() const { return total_count_; }
-
-  /// Approximate value at quantile `q` in [0, 1]: the upper bound of the
-  /// bucket holding the q-th sample. Returns 0 when empty.
-  uint64_t Quantile(double q) const;
-
- private:
-  std::array<uint64_t, kNumBuckets> counts_{};
-  uint64_t total_count_ = 0;
-};
+/// Delivery-lag histogram (microsecond samples recorded at pop time). The
+/// implementation generalized into common/histogram.h so pipeline-stage
+/// timing shares it; the name stays for the service-layer call sites.
+using LagHistogram = Histogram;
 
 /// Point-in-time per-shard load of the backend's engine group (empty for
 /// single-engine deployments). `sharding` names the mode ("broadcast" /
@@ -72,6 +55,30 @@ struct PersistCounters {
   uint64_t recovered_sessions = 0;
   uint64_t recovered_subscriptions = 0;
   uint64_t replayed_edges = 0;   ///< WAL-tail edges re-fed at recovery.
+};
+
+/// Point-in-time counters of the network frontend (the socket server's
+/// ServerStats), pulled into the service snapshot through
+/// QueryService::set_frontend_probe so a live daemon's wire activity —
+/// pump flushes, FEEDB frames, batched edges — shows up in STATS instead
+/// of only in the SHUTDOWN banner. The probe reads atomics, so unlike the
+/// persist probe it is safe from any thread. All zero (enabled=false) for
+/// in-process deployments without a socket frontend.
+struct FrontendStatsSnapshot {
+  bool enabled = false;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;
+  uint64_t connections_closed = 0;
+  uint64_t lines_executed = 0;
+  uint64_t frames_executed = 0;  ///< Binary FEEDB frames executed.
+  uint64_t batch_edges_in = 0;   ///< Edges carried by those frames.
+  uint64_t protocol_errors = 0;
+  uint64_t events_pushed = 0;
+  uint64_t pump_flushes = 0;
+  uint64_t http_requests = 0;    ///< Observability endpoint requests served.
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t subscriptions_reclaimed = 0;
 };
 
 /// Point-in-time counters for one subscription. `state` and `policy` are
@@ -130,12 +137,18 @@ struct ServiceStatsSnapshot {
 
   uint64_t delivery_lag_p50_us = 0;
   uint64_t delivery_lag_p99_us = 0;
+  /// The merged per-queue delivery-lag histogram the percentiles above
+  /// were read from — exported whole so /metrics can render the full
+  /// bucket series, not just two quantiles.
+  LagHistogram delivery_lag;
 
   std::vector<SessionStatsSnapshot> sessions;
   /// Per-shard backend load (empty for single-engine backends).
   std::vector<ShardLoadSnapshot> shards;
   /// Durability counters (enabled=false without a persistence layer).
   PersistCounters persist;
+  /// Network frontend counters (enabled=false without a socket server).
+  FrontendStatsSnapshot frontend;
 
   /// Multi-line fixed-width rendering (the STATS command's output).
   std::string ToString() const;

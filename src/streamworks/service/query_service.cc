@@ -130,13 +130,28 @@ StatusOr<int> QueryService::Submit(int session_id, const QueryGraph& query,
 
   // The callback owns a reference to the delivery state, so it stays valid
   // even if it races a detach on another shard's last in-flight edge.
-  auto callback = [delivery](const CompleteMatch& cm) {
+  // The pipeline sink is captured by value at submit time (the sink is
+  // wired once at deployment setup and outlives every subscription).
+  PipelineMetrics* const pipeline = pipeline_;
+  const int sub_id_hint = next_subscription_id_;
+  auto callback = [delivery, pipeline, session_id,
+                   sub_id_hint](const CompleteMatch& cm) {
     if (delivery->paused.load(std::memory_order_acquire)) {
       delivery->suppressed_while_paused.fetch_add(1,
                                                   std::memory_order_relaxed);
       return;
     }
+    if (pipeline == nullptr) {
+      delivery->queue.Push(cm);
+      return;
+    }
+    const uint64_t t0 = PipelineMetrics::NowMicros();
     delivery->queue.Push(cm);
+    // kBlock queues make this stage the end-to-end throttling point, so a
+    // slow consumer shows up here — exactly what the trace ring is for.
+    pipeline->Record(PipelineStage::kEnqueue,
+                     PipelineMetrics::NowMicros() - t0, session_id,
+                     sub_id_hint);
   };
 
   auto registered = backend_->Register(query, options.strategy,
@@ -340,22 +355,39 @@ void QueryService::AdvanceEpochLocked() {
 }
 
 Status QueryService::Feed(const StreamEdge& edge) {
+  PipelineMetrics* pipeline = pipeline_;
+  const uint64_t t0 = pipeline ? PipelineMetrics::NowMicros() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++edges_fed_;
     AdvanceEpochLocked();
   }
-  return backend_->Feed(edge);
+  if (pipeline == nullptr) return backend_->Feed(edge);
+  const uint64_t t1 = PipelineMetrics::NowMicros();
+  pipeline->Record(PipelineStage::kAdmission, t1 - t0);
+  Status status = backend_->Feed(edge);
+  pipeline->Record(PipelineStage::kEngineApply,
+                   PipelineMetrics::NowMicros() - t1, -1, -1, /*detail=*/1);
+  return status;
 }
 
 Status QueryService::FeedBatch(const EdgeBatch& batch,
                                size_t* rejected_out) {
+  PipelineMetrics* pipeline = pipeline_;
+  const uint64_t t0 = pipeline ? PipelineMetrics::NowMicros() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     edges_fed_ += batch.size();
     AdvanceEpochLocked();
   }
-  return backend_->FeedBatch(batch, rejected_out);
+  if (pipeline == nullptr) return backend_->FeedBatch(batch, rejected_out);
+  const uint64_t t1 = PipelineMetrics::NowMicros();
+  pipeline->Record(PipelineStage::kAdmission, t1 - t0);
+  Status status = backend_->FeedBatch(batch, rejected_out);
+  pipeline->Record(PipelineStage::kEngineApply,
+                   PipelineMetrics::NowMicros() - t1, -1, -1,
+                   /*detail=*/batch.size());
+  return status;
 }
 
 void QueryService::Flush() { backend_->Flush(); }
@@ -496,11 +528,16 @@ ServiceStatsSnapshot QueryService::Snapshot() const {
   // state, and keeping the lock narrow keeps Snapshot cheap).
   PersistCounters persist;
   if (persist_probe_) persist = persist_probe_();
+  // The frontend probe only loads atomics, but keep it outside mu_ for the
+  // same narrow-lock reason.
+  FrontendStatsSnapshot frontend;
+  if (frontend_probe_) frontend = frontend_probe_();
 
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStatsSnapshot snap;
   snap.shards = std::move(shard_loads);
   snap.persist = std::move(persist);
+  snap.frontend = frontend;
   snap.sessions_opened = sessions_opened_;
   snap.submissions = submissions_;
   snap.admitted = admitted_;
@@ -561,7 +598,46 @@ ServiceStatsSnapshot QueryService::Snapshot() const {
   }
   snap.delivery_lag_p50_us = merged_lag.Quantile(0.5);
   snap.delivery_lag_p99_us = merged_lag.Quantile(0.99);
+  snap.delivery_lag = merged_lag;
   return snap;
+}
+
+std::vector<QueryObsSnapshot> QueryService::QueryInfos() {
+  // Phase 1: collect identity rows under mu_. Backend Info() calls quiesce
+  // shards, so they happen after the lock is released (same contract as
+  // Snapshot's ShardLoads ordering). This method is control-thread-only,
+  // so no subscription can detach between the two phases.
+  struct Row {
+    QueryObsSnapshot snap;
+    int backend_query_id = -1;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [sid, sub] : subscriptions_) {
+      if (sub.state == SubscriptionState::kDetached) continue;
+      Row row;
+      row.snap.session_id = sub.session_id;
+      row.snap.subscription_id = sub.id;
+      auto session_it = sessions_.find(sub.session_id);
+      if (session_it != sessions_.end()) {
+        row.snap.session_name = session_it->second.name;
+      }
+      row.snap.query_name = sub.query_name;
+      row.snap.tag = sub.tag;
+      row.snap.state = std::string(SubscriptionStateName(sub.state));
+      row.backend_query_id = sub.backend_query_id;
+      rows.push_back(std::move(row));
+    }
+  }
+  std::vector<QueryObsSnapshot> out;
+  out.reserve(rows.size());
+  for (Row& row : rows) {
+    StatusOr<QueryRuntimeInfo> info = backend_->Info(row.backend_query_id);
+    if (info.ok()) row.snap.info = std::move(info.value());
+    out.push_back(std::move(row.snap));
+  }
+  return out;
 }
 
 }  // namespace streamworks

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "streamworks/obs/stage_trace.h"
 #include "streamworks/service/backend.h"
 #include "streamworks/service/metrics.h"
 #include "streamworks/service/result_queue.h"
@@ -93,6 +94,19 @@ struct PersistedSession {
 /// (delivery is at-most-once across process death; see README).
 struct ServicePersistState {
   std::vector<PersistedSession> sessions;
+};
+
+/// One live query's runtime detail as the observability layer exports it
+/// (/queries.json): backend runtime info — including per-SJ-Tree-node
+/// counters — plus the session/subscription identity it belongs to.
+struct QueryObsSnapshot {
+  int session_id = -1;
+  int subscription_id = -1;
+  std::string session_name;
+  std::string query_name;
+  std::string tag;    ///< Client-visible subscription name ("" anonymous).
+  std::string state;  ///< "active" | "paused".
+  QueryRuntimeInfo info;
 };
 
 /// Result of re-attaching a recovered session by name: the live ids a
@@ -237,6 +251,23 @@ class QueryService {
     persist_probe_ = std::move(probe);
   }
 
+  /// Installs the network frontend's counter probe; Snapshot() folds its
+  /// result into ServiceStatsSnapshot::frontend so STATS shows live wire
+  /// activity. The probe reads the socket server's atomics, so it is safe
+  /// from any thread. The server clears it (nullptr) on Stop.
+  void set_frontend_probe(std::function<FrontendStatsSnapshot()> probe) {
+    frontend_probe_ = std::move(probe);
+  }
+
+  /// Installs the always-on pipeline instrumentation sink. The service
+  /// records kAdmission and kEngineApply around Feed/FeedBatch and
+  /// kEnqueue inside the delivery callback of every subscription
+  /// submitted *after* this call — install at deployment setup, before
+  /// tenant traffic. Null (the default) costs one branch per call.
+  void set_pipeline_metrics(PipelineMetrics* pipeline) {
+    pipeline_ = pipeline;
+  }
+
   // --- Introspection -------------------------------------------------------
   /// The subscription's result queue, or nullptr if the ids are unknown
   /// (including reclaimed). Valid until the subscription is reclaimed or
@@ -266,6 +297,13 @@ class QueryService {
   /// One call aggregating every admission / delivery / lag counter, per
   /// subscription, per session, and service-wide.
   ServiceStatsSnapshot Snapshot() const;
+
+  /// Per-query runtime detail for every non-detached subscription: the
+  /// backend's QueryRuntimeInfo (completions, live/peak partials, and the
+  /// per-SJ-Tree-node match/selectivity counters) joined with the owning
+  /// session/subscription identity. Control-thread only — a sharded
+  /// backend quiesces its group per Info call.
+  std::vector<QueryObsSnapshot> QueryInfos();
 
   const ServiceLimits& limits() const { return limits_; }
 
@@ -365,6 +403,8 @@ class QueryService {
   uint64_t control_epoch_ = 0;
 
   std::function<PersistCounters()> persist_probe_;
+  std::function<FrontendStatsSnapshot()> frontend_probe_;
+  PipelineMetrics* pipeline_ = nullptr;
 
   /// Folded-in history of reclaimed subscriptions, so the service-wide
   /// match counters and lag percentiles in Snapshot stay monotonic across

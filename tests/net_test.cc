@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -31,6 +33,9 @@
 #include "streamworks/core/parallel.h"
 #include "streamworks/net/client.h"
 #include "streamworks/net/server.h"
+#include "streamworks/obs/json_render.h"
+#include "streamworks/obs/metric_registry.h"
+#include "streamworks/obs/stage_trace.h"
 #include "streamworks/persist/durable_backend.h"
 #include "streamworks/persist/manager.h"
 #include "streamworks/service/backend.h"
@@ -1165,6 +1170,176 @@ TEST(NetRecoveryTest, SingleEngineCrashRecoveryOverTheWire) {
 
 TEST(NetRecoveryTest, Partition4CrashRecoveryOverTheWire) {
   RunSocketCrashRecovery(/*partitioned=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Observability endpoint: the HTTP listener rides the same poll loop as the
+// line protocol, so scrapes see exactly the state the control thread sees.
+
+/// Minimal blocking HTTP/1.1 GET over loopback, returning the raw response
+/// (head + body). The endpoint closes after one response, so read-to-EOF is
+/// the framing.
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpBody(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+class HttpObsTest : public NetTest {
+ protected:
+  /// TCP + HTTP listeners on ephemeral ports, with the registry wired the
+  /// way service_demo wires it: service + pipeline collectors render at
+  /// scrape time on the poll (= control) thread.
+  void StartObservableServer() {
+    ServerOptions options;
+    options.tcp_port = 0;
+    options.http_port = 0;
+    options.registry = &registry_;
+    options.pipeline = &pipeline_;
+    // The service-level stage hooks are the owner's wiring (the server only
+    // owns frontend stages), so set them before the poll thread exists.
+    service_ = std::make_unique<QueryService>(&backend_, limits_);
+    service_->set_pipeline_metrics(&pipeline_);
+    RegisterServiceCollector(&registry_,
+                             [this] { return service_->Snapshot(); });
+    RegisterPipelineCollector(&registry_, &pipeline_);
+    server_ = std::make_unique<SocketServer>(service_.get(), &interner_,
+                                             options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  MetricRegistry registry_;
+  PipelineMetrics pipeline_;
+};
+
+TEST_F(HttpObsTest, ScrapeAgreesWithStatsOverTheLineProtocol) {
+  StartObservableServer();
+  LineClient client = Connect();
+  RunScript(client, std::string(kDefinePing) + "\nSESSION s\nSUBMIT s q ping");
+  for (int i = 0; i < 5; ++i) {
+    Run(client, FeedPing(100 + i, 7, i));
+  }
+  Run(client, "FLUSH");
+
+  const std::vector<std::string> stats = Run(client, "STATS");
+  uint64_t edges_fed = 0;
+  for (const std::string& line : stats) {
+    if (line.find("edges_fed=") != std::string::npos) {
+      edges_fed = Counter(line, "edges_fed");
+    }
+  }
+  EXPECT_EQ(edges_fed, 5u);
+  EXPECT_TRUE(Contains(stats, "frontend: accepted="));
+  EXPECT_TRUE(Contains(stats, "pump_flushes="));
+
+  const std::string metrics =
+      HttpGet(server_->http_port(), "/metrics");
+  EXPECT_TRUE(metrics.starts_with("HTTP/1.1 200 OK"));
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string body = HttpBody(metrics);
+  // The scrape and the STATS verb must tell the same story.
+  EXPECT_NE(body.find("# TYPE streamworks_edges_fed_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("streamworks_edges_fed_total " +
+                      std::to_string(edges_fed)),
+            std::string::npos);
+  EXPECT_NE(body.find("streamworks_matches_total{event=\"enqueued\"} 5"),
+            std::string::npos);
+  // Stage hooks recorded every admission and engine apply.
+  EXPECT_NE(body.find("streamworks_stage_duration_us_count{stage=\"admission"
+                      "\"} 5"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("streamworks_stage_duration_us_count{stage=\"engine_apply"
+                "\"} 5"),
+      std::string::npos);
+  // Frontend counters flow through the probe into the same scrape.
+  EXPECT_NE(body.find("streamworks_frontend_frames_executed_total"),
+            std::string::npos);
+  EXPECT_NE(body.find("streamworks_frontend_http_requests_total"),
+            std::string::npos);
+  // Exposition-format invariants: every histogram closes with +Inf.
+  EXPECT_NE(body.find("le=\"+Inf\""), std::string::npos);
+
+  const std::string stats_json =
+      HttpGet(server_->http_port(), "/stats.json");
+  EXPECT_TRUE(stats_json.starts_with("HTTP/1.1 200 OK"));
+  EXPECT_NE(stats_json.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(HttpBody(stats_json).find("\"edges_fed\":5"), std::string::npos);
+
+  const std::string queries =
+      HttpGet(server_->http_port(), "/queries.json");
+  EXPECT_NE(HttpBody(queries).find("\"query_name\":\"ping\""),
+            std::string::npos);
+  EXPECT_NE(HttpBody(queries).find("\"matches_inserted\":5"),
+            std::string::npos);
+
+  const std::string health = HttpGet(server_->http_port(), "/healthz");
+  EXPECT_TRUE(health.starts_with("HTTP/1.1 200 OK"));
+  EXPECT_NE(HttpBody(health).find("\"status\":\"ok\""), std::string::npos);
+
+  const std::string trace = HttpGet(server_->http_port(), "/trace.json");
+  EXPECT_NE(HttpBody(trace).find("\"slow_threshold_us\""), std::string::npos);
+
+  // A later STATS sees the scrapes themselves in http_requests.
+  const std::vector<std::string> stats2 = Run(client, "STATS");
+  bool counted = false;
+  for (const std::string& line : stats2) {
+    if (line.find("http_requests=") != std::string::npos) {
+      counted = Counter(line, "http_requests") >= 5;
+    }
+  }
+  EXPECT_TRUE(counted);
+  client.Quit();
+}
+
+TEST_F(HttpObsTest, TraceVerbAndHttpErrorsBehave) {
+  StartObservableServer();
+  LineClient client = Connect();
+  // TRACE over the wire: no slow ops yet, so just the summary line.
+  const std::vector<std::string> trace = Run(client, "TRACE");
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.back(), "OK trace n=0");
+
+  EXPECT_TRUE(HttpGet(server_->http_port(), "/nope")
+                  .starts_with("HTTP/1.1 404"));
+  // The listener survives errors and keeps serving.
+  EXPECT_TRUE(HttpGet(server_->http_port(), "/healthz")
+                  .starts_with("HTTP/1.1 200"));
+  client.Quit();
 }
 
 }  // namespace

@@ -78,10 +78,11 @@ TEST(LagHistogramTest, QuantilesOfEmptyAndSingleton) {
   EXPECT_EQ(h.Quantile(0.5), 0u);
   h.Record(100);
   EXPECT_EQ(h.total_count(), 1u);
-  // 100us lands in bucket [64, 128); the quantile reports the bucket upper
-  // bound.
-  EXPECT_EQ(h.Quantile(0.5), 127u);
-  EXPECT_EQ(h.Quantile(0.99), 127u);
+  // 100us lands in bucket [64, 128); with one sample in the bucket the
+  // interpolated quantile sits at the bucket lower bound (the old
+  // upper-bound answer overestimated a lone 100us sample as 127us).
+  EXPECT_EQ(h.Quantile(0.5), 64u);
+  EXPECT_EQ(h.Quantile(0.99), 64u);
 }
 
 TEST(LagHistogramTest, MergeAndTailQuantile) {
