@@ -1,0 +1,402 @@
+// Frontend fan-out bench: how delivery scales with IO loops as the
+// concurrent streaming-connection count grows, and how well a stalled
+// consumer is isolated from healthy ones.
+//
+//   $ ./build/bench/bench_net_fanout [max_conns] [--edges N] [--json PATH]
+//
+// Sweep: io_loops in {1, 4} x connections in {100, 1000, 5000} (levels
+// above max_conns are skipped — the CI smoke pass runs with 2000, and
+// 10k+ needs a raised RLIMIT_NOFILE since the bench hosts both sides of
+// every socket). Each scenario connects N watchers over loopback TCP,
+// every one with its own ping subscription push-streaming (STREAM), then
+// feeds E distinct edges: every edge matches every watcher's query, so
+// N x E EVENT lines cross the wire. The drain multiplexes all watcher
+// fds with poll(2) and records the instant each watcher has its last
+// event; delivery p50/p99 are percentiles over watchers of that
+// feed-start-relative completion time, and deliver_eps is aggregate
+// events/s through the frontend.
+//
+// The slow-consumer scenario re-runs the densest fitting sweep point
+// (io_loops=4) with one extra watcher that subscribes CAP 4 POLICY
+// drop_oldest and never reads, under a tiny SO_SNDBUF and write
+// high-water so its socket wedges within kilobytes. Isolation holds when
+// the stalled subscription alone drops matches and the healthy p99 stays
+// bounded.
+//
+// Machine-readable results land in bench-results/bench_net_fanout.json
+// (or the --json path); the committed baseline is
+// bench-results/BENCH_net_fanout.json and ci/bench_gate.py compares the
+// deliver_eps columns.
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "streamworks/common/interner.h"
+#include "streamworks/common/timer.h"
+#include "streamworks/net/client.h"
+#include "streamworks/net/server.h"
+#include "streamworks/service/backend.h"
+#include "streamworks/service/query_service.h"
+
+namespace streamworks::bench {
+namespace {
+
+constexpr std::chrono::milliseconds kTimeout{30000};
+
+const char* const kPingDefine =
+    "DEFINE ping\n"
+    "node a V\n"
+    "node b V\n"
+    "edge a b ping\n"
+    "window 1073741824\n"
+    "END";
+
+std::string FeedLine(int i) {
+  return "FEED " + std::to_string(2 * i) + " V " + std::to_string(2 * i + 1) +
+         " V ping " + std::to_string(i + 1);
+}
+
+void MustSend(LineClient& client, const std::string& line) {
+  const Status status = client.SendLine(line);
+  SW_CHECK(status.ok()) << status.ToString();
+}
+
+std::vector<std::string> MustCommand(LineClient& client,
+                                     const std::string& line) {
+  auto payload = client.Command(line, kTimeout);
+  SW_CHECK(payload.ok()) << line << ": " << payload.status().ToString();
+  return *payload;
+}
+
+/// Pipelines one watcher's whole setup script (DEFINE + SESSION + SUBMIT
+/// [+ STREAM]) and swallows the responses in one pass — at thousands of
+/// connections, per-line round trips would dominate the scenario's wall
+/// clock without telling us anything about delivery.
+void SetupWatcher(LineClient& client, const std::string& script) {
+  size_t lines = 0;
+  for (std::string_view line : Split(script, '\n')) {
+    MustSend(client, std::string(line));
+    ++lines;
+  }
+  size_t terminators = 0;
+  while (terminators < lines) {
+    auto line = client.ReadLine(kTimeout);
+    SW_CHECK(line.ok()) << line.status().ToString();
+    SW_CHECK(!StartsWith(*line, "ERR ")) << *line;
+    if (*line == ".") ++terminators;
+  }
+}
+
+struct Result {
+  std::string scenario;
+  int io_loops = 0;
+  int connections = 0;  ///< Healthy streaming watchers.
+  int edges = 0;
+  double setup_seconds = 0;    ///< Connect + subscribe, all watchers.
+  double deliver_seconds = 0;  ///< Feed start to last event anywhere.
+  double p50_ms = 0;           ///< Per-watcher completion percentiles.
+  double p99_ms = 0;
+  uint64_t events = 0;           ///< EVENT lines drained (N x E when clean).
+  uint64_t stalled_dropped = 0;  ///< Slow-consumer scenario only.
+  uint64_t healthy_dropped = 0;
+
+  double deliver_eps() const { return events / deliver_seconds; }
+};
+
+/// Drains pushed EVENT lines off every watcher with poll(2) until each
+/// has `per_conn` of them (or `deadline_s` passes, which is fatal —
+/// a lost event means the frontend broke, not that it is slow).
+/// Returns per-watcher completion seconds since `timer`'s start.
+std::vector<double> DrainAll(std::vector<LineClient>& watchers, int per_conn,
+                             const Timer& timer, double deadline_s) {
+  const size_t n = watchers.size();
+  std::vector<pollfd> fds(n);
+  std::vector<std::string> tail(n);  // partial trailing line per conn
+  std::vector<int> counts(n, 0);
+  std::vector<double> done(n, 0.0);
+  size_t remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    fds[i] = {watchers[i].fd(), POLLIN, 0};
+  }
+  std::vector<char> buf(64 * 1024);
+  while (remaining > 0) {
+    SW_CHECK(timer.ElapsedSeconds() < deadline_s)
+        << remaining << " watchers still waiting at the drain deadline";
+    const int ready = ::poll(fds.data(), fds.size(), 1000);
+    SW_CHECK(ready >= 0) << "poll failed";
+    for (size_t i = 0; i < n && ready > 0; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const ssize_t got = ::read(fds[i].fd, buf.data(), buf.size());
+      SW_CHECK(got > 0) << "watcher " << i << " hung up mid-drain";
+      tail[i].append(buf.data(), static_cast<size_t>(got));
+      size_t start = 0;
+      for (size_t nl = tail[i].find('\n'); nl != std::string::npos;
+           nl = tail[i].find('\n', start)) {
+        if (tail[i].compare(start, 12, "EVENT MATCH ") == 0) ++counts[i];
+        start = nl + 1;
+      }
+      tail[i].erase(0, start);
+      if (counts[i] >= per_conn && done[i] == 0.0) {
+        done[i] = timer.ElapsedSeconds();
+        fds[i].fd = -1;  // poll ignores negative fds
+        --remaining;
+      }
+    }
+  }
+  return done;
+}
+
+double PercentileMs(std::vector<double> seconds, double q) {
+  SW_CHECK(!seconds.empty());
+  std::sort(seconds.begin(), seconds.end());
+  const size_t idx = static_cast<size_t>(q * (seconds.size() - 1));
+  return seconds[idx] * 1e3;
+}
+
+Result RunScenario(int io_loops, int num_conns, int num_edges,
+                   bool with_stalled) {
+  Interner interner;
+  StreamWorksEngine engine(&interner);
+  SingleEngineBackend backend(&engine);
+  QueryService service(&backend);
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.io_loops = io_loops;
+  options.max_connections = static_cast<size_t>(num_conns) + 16;
+  if (with_stalled) {
+    // Wedge the stalled socket within kilobytes so its pump throttles and
+    // its CAP-4 queue overflows — the healthy majority must not notice.
+    options.so_sndbuf = 4096;
+    options.write_high_water = 2048;
+  }
+  SocketServer server(&service, &interner, options);
+  SW_CHECK_OK(server.Start());
+  const auto connect = [&]() -> LineClient {
+    auto connected = LineClient::ConnectTcp("127.0.0.1", server.tcp_port());
+    SW_CHECK(connected.ok()) << connected.status().ToString();
+    return std::move(connected).value();
+  };
+
+  Result result;
+  const std::string loops_str = std::to_string(io_loops);
+  result.scenario = std::string(with_stalled ? "stalled loops" : "loops") +
+                    loops_str + " c" + std::to_string(num_conns);
+  result.io_loops = io_loops;
+  result.connections = num_conns;
+  result.edges = num_edges;
+
+  Timer setup_timer;
+  std::vector<LineClient> watchers;
+  watchers.reserve(static_cast<size_t>(num_conns));
+  for (int i = 0; i < num_conns; ++i) {
+    watchers.push_back(connect());
+    const std::string name = "w" + std::to_string(i);
+    SetupWatcher(watchers.back(),
+                 std::string(kPingDefine) + "\nSESSION " + name + "\nSUBMIT " +
+                     name + " live ping CAP " +
+                     std::to_string(num_edges + 16) + "\nSTREAM " + name +
+                     " live");
+  }
+  LineClient stalled = connect();  // unused unless with_stalled
+  if (with_stalled) {
+    SetupWatcher(stalled, std::string(kPingDefine) +
+                              "\nSESSION slow\nSUBMIT slow live ping CAP 4 "
+                              "POLICY drop_oldest\nSTREAM slow live");
+    // From here on the stalled watcher never reads.
+  }
+  LineClient feeder = connect();
+  MustCommand(feeder, "SESSION feed");
+  result.setup_seconds = setup_timer.ElapsedSeconds();
+
+  // Pipelined text feed, windowed so the feeder's unread responses can
+  // never wedge the server against its own read throttling.
+  Timer timer;
+  uint64_t terminators = 0;
+  const auto absorb = [&](std::chrono::milliseconds timeout) -> bool {
+    auto line = feeder.ReadLine(timeout);
+    if (!line.ok()) return false;
+    if (*line == ".") ++terminators;
+    return true;
+  };
+  const uint64_t window = 1024;
+  for (int i = 0; i < num_edges; ++i) {
+    while (static_cast<uint64_t>(i) - terminators >= window) {
+      SW_CHECK(absorb(kTimeout)) << "timed out inside the send window";
+    }
+    MustSend(feeder, FeedLine(i));
+    if (i % 64 == 0) {
+      while (absorb(std::chrono::milliseconds(0))) {
+      }
+    }
+  }
+  MustSend(feeder, "FLUSH");
+  while (terminators < static_cast<uint64_t>(num_edges) + 1) {
+    SW_CHECK(absorb(kTimeout)) << "timed out awaiting ingest responses";
+  }
+
+  const std::vector<double> done =
+      DrainAll(watchers, num_edges, timer, /*deadline_s=*/120.0);
+  result.deliver_seconds = timer.ElapsedSeconds();
+  result.events =
+      static_cast<uint64_t>(num_conns) * static_cast<uint64_t>(num_edges);
+  result.p50_ms = PercentileMs(done, 0.50);
+  result.p99_ms = PercentileMs(done, 0.99);
+
+  if (with_stalled) {
+    // The throttling must be visible in STATS — and visible only on the
+    // stalled subscription.
+    bool in_slow = false, in_healthy = false;
+    for (const std::string& line : MustCommand(feeder, "STATS")) {
+      if (StartsWith(line, "session ")) {
+        in_slow = line.find("'slow'") != std::string::npos;
+        in_healthy = line.find("'w") != std::string::npos;
+        continue;
+      }
+      const size_t pos = line.find("dropped=");
+      if (pos == std::string::npos) continue;
+      uint64_t dropped = 0;
+      size_t end = pos + 8;
+      while (end < line.size() && std::isdigit(line[end])) ++end;
+      ParseUint64(line.substr(pos + 8, end - pos - 8), &dropped);
+      if (in_slow) result.stalled_dropped += dropped;
+      if (in_healthy) result.healthy_dropped += dropped;
+    }
+    SW_CHECK(result.stalled_dropped > 0)
+        << "stalled subscription never overflowed — isolation untested";
+    SW_CHECK(result.healthy_dropped == 0)
+        << "healthy subscriptions dropped " << result.healthy_dropped;
+    stalled.Close();
+  }
+  for (auto& watcher : watchers) watcher.Close();
+  feeder.Quit();
+  server.Stop();
+  return result;
+}
+
+void Report(Table& table, const Result& result) {
+  table.Row({result.scenario, FormatCount(result.connections),
+             FormatCount(result.edges),
+             FormatDouble(result.setup_seconds, 2),
+             FormatDouble(result.deliver_eps() / 1e3, 1),
+             FormatDouble(result.p50_ms, 1), FormatDouble(result.p99_ms, 1),
+             result.stalled_dropped > 0
+                 ? "dropped=" + std::to_string(result.stalled_dropped)
+                 : ""});
+}
+
+void WriteJson(const std::vector<Result>& rows, const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;  // best effort; the open below reports failures
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"net_fanout\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Result& r = rows[i];
+    out << "    {\"scenario\": \"" << r.scenario
+        << "\", \"io_loops\": " << r.io_loops
+        << ", \"connections\": " << r.connections << ", \"edges\": " << r.edges
+        << ", \"setup_seconds\": " << FormatDouble(r.setup_seconds, 3)
+        << ", \"deliver_eps\": " << FormatDouble(r.deliver_eps(), 1)
+        << ", \"p50_ms\": " << FormatDouble(r.p50_ms, 2)
+        << ", \"p99_ms\": " << FormatDouble(r.p99_ms, 2)
+        << ", \"stalled_dropped\": " << r.stalled_dropped
+        << ", \"healthy_dropped\": " << r.healthy_dropped << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+void RunAll(int max_conns, int num_edges, const std::string& json_path) {
+  Banner("net_fanout", "streaming delivery vs IO loops and connection count");
+
+  // Both sides of every socket live in this process: ~2 fds per watcher
+  // plus slack for listeners, wake pipes, epoll fds, and the feeder.
+  rlimit nofile{};
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0) {
+    const rlim_t budget = nofile.rlim_cur > 256 ? nofile.rlim_cur - 256 : 0;
+    if (static_cast<rlim_t>(max_conns) * 2 > budget) {
+      max_conns = static_cast<int>(budget / 2);
+      std::cout << "RLIMIT_NOFILE clips the sweep to " << max_conns
+                << " connections\n";
+    }
+  }
+
+  std::vector<Result> rows;
+  int densest = 0;
+  for (int conns : {100, 1000, 5000}) {
+    if (conns > max_conns) continue;
+    densest = conns;
+    for (int loops : {1, 4}) {
+      rows.push_back(RunScenario(loops, conns, num_edges,
+                                 /*with_stalled=*/false));
+    }
+  }
+  SW_CHECK(densest > 0) << "max_conns too small for any sweep level";
+  // Isolation leg: many more edges than any queue cap, few enough
+  // watchers that N x E stays comparable to the sweep's densest point.
+  rows.push_back(RunScenario(/*io_loops=*/4, std::min(densest, 100),
+                             /*num_edges=*/2000, /*with_stalled=*/true));
+
+  Table table({18, 8, 8, 8, 14, 10, 10, 16});
+  table.Row({"scenario", "conns", "edges", "setup s", "deliver ke/s",
+             "p50 ms", "p99 ms", "stalled"});
+  table.Separator();
+  for (const Result& r : rows) Report(table, r);
+  WriteJson(rows, json_path);
+}
+
+}  // namespace
+}  // namespace streamworks::bench
+
+int main(int argc, char** argv) {
+  int max_conns = 5000;
+  int num_edges = 32;
+  std::string json_path = "bench-results/bench_net_fanout.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "--json needs a path\n";
+        return 1;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    if (arg == "--edges") {
+      int64_t n = 0;
+      if (i + 1 >= argc || !streamworks::ParseInt64(argv[++i], &n) || n <= 0) {
+        std::cerr << "--edges needs a positive count\n";
+        return 1;
+      }
+      num_edges = static_cast<int>(n);
+      continue;
+    }
+    // A typo'd flag must not silently shrink the sweep to nothing.
+    int64_t n = 0;
+    if (!streamworks::ParseInt64(arg, &n) || n <= 0) {
+      std::cerr << "usage: bench_net_fanout [max_conns] [--edges N] "
+                   "[--json PATH]\n";
+      return 1;
+    }
+    max_conns = static_cast<int>(n);
+  }
+  streamworks::bench::RunAll(max_conns, num_edges, json_path);
+  return 0;
+}

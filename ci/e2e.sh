@@ -35,6 +35,10 @@ OBS_WATCHER_LOG="/tmp/streamworks_e2e_$$.obswatcher.log"
 OBS_FEEDER_LOG="/tmp/streamworks_e2e_$$.obsfeeder.log"
 OBS_STATS_LOG="/tmp/streamworks_e2e_$$.obsstats.log"
 OBS_DIR="/tmp/streamworks_e2e_$$.obs"
+FAN_SERVER_LOG="/tmp/streamworks_e2e_$$.fanserver.log"
+FAN_FEEDER_LOG="/tmp/streamworks_e2e_$$.fanfeeder.log"
+FAN_STATS_LOG="/tmp/streamworks_e2e_$$.fanstats.log"
+FAN_DIR="/tmp/streamworks_e2e_$$.fanout"
 
 fail() {
   echo "e2e: FAIL: $*" >&2
@@ -51,17 +55,22 @@ fail() {
   echo "--- recovery feeder 2 log ---" >&2; cat "$RFEEDER2_LOG" >&2 || true
   echo "--- obs watcher log ---" >&2; cat "$OBS_WATCHER_LOG" >&2 || true
   echo "--- obs stats log ---" >&2; cat "$OBS_STATS_LOG" >&2 || true
+  echo "--- fanout server log ---" >&2; cat "$FAN_SERVER_LOG" >&2 || true
+  echo "--- fanout feeder log ---" >&2; cat "$FAN_FEEDER_LOG" >&2 || true
+  echo "--- fanout stats log ---" >&2; cat "$FAN_STATS_LOG" >&2 || true
   exit 1
 }
 touch "$WATCHER2_LOG" "$FEEDER2_LOG" "$RSERVER1_LOG" "$RSERVER2_LOG" \
       "$RWATCHER1_LOG" "$RFEEDER1_LOG" "$RWATCHER2_LOG" "$RFEEDER2_LOG" \
-      "$OBS_WATCHER_LOG" "$OBS_FEEDER_LOG" "$OBS_STATS_LOG"
-mkdir -p "$OBS_DIR"
+      "$OBS_WATCHER_LOG" "$OBS_FEEDER_LOG" "$OBS_STATS_LOG" \
+      "$FAN_SERVER_LOG" "$FAN_FEEDER_LOG" "$FAN_STATS_LOG"
+mkdir -p "$OBS_DIR" "$FAN_DIR"
 
 "$SERVER" partitioned --serve --unix "$SOCK" --http 0 > "$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
 RSERVER_PID=""
-trap 'kill "$SERVER_PID" $RSERVER_PID 2>/dev/null || true; rm -rf "$DATA_DIR" "$OBS_DIR"' EXIT
+FAN_SERVER_PID=""
+trap 'kill "$SERVER_PID" $RSERVER_PID $FAN_SERVER_PID 2>/dev/null || true; rm -rf "$DATA_DIR" "$OBS_DIR" "$FAN_DIR"' EXIT
 
 # The SERVING banner is the readiness signal (it prints after the bind,
 # so it also implies the socket file exists).
@@ -349,7 +358,105 @@ if [ -x "$BUILD_DIR/bench/bench_micro" ]; then
     || fail "bench smoke missing hooks-on arm"
 fi
 
+# --- Fanout leg: 64 streaming watchers + one deliberately-stalled reader ----
+# A multi-loop (epoll) frontend with a tiny write high-water: 64 watcher
+# processes each subscribe + push-stream on their own connection while one
+# raw /dev/tcp connection subscribes CAP 4 POLICY drop_oldest and then
+# never reads. Every healthy watcher must still receive all matches, and
+# STATS must show the backpressure localized to the stalled subscription.
+
+FAN_EDGES=2000
+FAN_WATCHERS=64
+"$SERVER" partitioned --serve --tcp 0 --io-loops 4 \
+  --max-connections $((FAN_WATCHERS + 8)) \
+  --write-high-water 2048 --so-sndbuf 4096 > "$FAN_SERVER_LOG" 2>&1 &
+FAN_SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^SERVING " "$FAN_SERVER_LOG" 2>/dev/null && break
+  kill -0 "$FAN_SERVER_PID" 2>/dev/null || fail "fanout server died before binding"
+  sleep 0.1
+done
+grep -q "^SERVING " "$FAN_SERVER_LOG" || fail "fanout server: no SERVING banner"
+FAN_PORT=$(sed -n 's/^SERVING tcp=\([0-9][0-9]*\).*/\1/p' "$FAN_SERVER_LOG")
+[ -n "$FAN_PORT" ] || fail "fanout SERVING banner has no tcp= port"
+
+# The stalled reader: a bash fd, commands written by hand. Its setup
+# responses are consumed (so the subscription provably exists before the
+# feed), then the fd is simply never read again.
+exec 4<>"/dev/tcp/127.0.0.1/$FAN_PORT" || fail "stalled reader cannot connect"
+printf 'DEFINE sweep\nnode a Host\nnode b Host\nedge a b synProbe\nwindow 1000000\nEND\nSESSION stalled\nSUBMIT stalled live sweep CAP 4 POLICY drop_oldest\nSTREAM stalled live\n' >&4
+FAN_TERMS=0
+while [ "$FAN_TERMS" -lt 9 ]; do
+  IFS= read -r -t 10 -u 4 line || fail "stalled reader setup timed out"
+  case "$line" in
+    ERR*) fail "stalled reader setup refused: $line" ;;
+    .*) FAN_TERMS=$((FAN_TERMS + 1)) ;;
+  esac
+done
+
+FAN_WATCHER_PIDS=()
+for i in $(seq 0 $((FAN_WATCHERS - 1))); do
+  {
+    printf 'DEFINE sweep\nnode a Host\nnode b Host\nedge a b synProbe\nwindow 1000000\nEND\n'
+    printf 'SESSION w%d\nSUBMIT w%d live sweep CAP %d\nSTREAM w%d live\n' \
+      "$i" "$i" $((FAN_EDGES + 16)) "$i"
+  } > "$FAN_DIR/sub_$i.txt"
+  timeout 120 "$CLIENT" --tcp "127.0.0.1:$FAN_PORT" \
+    --expect-events "$FAN_EDGES" --timeout-ms 90000 \
+    < "$FAN_DIR/sub_$i.txt" > "$FAN_DIR/watcher_$i.log" 2>&1 &
+  FAN_WATCHER_PIDS+=($!)
+done
+for i in $(seq 0 $((FAN_WATCHERS - 1))); do
+  for _ in $(seq 1 200); do
+    grep -q "OK stream w$i.live" "$FAN_DIR/watcher_$i.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "OK stream w$i.live" "$FAN_DIR/watcher_$i.log" \
+    || fail "fanout watcher $i never subscribed"
+done
+
+seq 1 "$FAN_EDGES" \
+  | awk '{print "FEED " 2*$1 " Host " 2*$1+1 " Host synProbe " $1}' \
+  > "$FAN_DIR/feed.txt"
+timeout 120 "$CLIENT" --tcp "127.0.0.1:$FAN_PORT" \
+  --feed-file "$FAN_DIR/feed.txt" < ci/e2e_feed_tail.txt \
+  > "$FAN_FEEDER_LOG" 2>&1 || fail "fanout feeder failed (exit $?)"
+
+# Healthy watchers all drain the full stream even though the stalled
+# reader's connection has been wedged since the first kilobytes.
+for i in $(seq 0 $((FAN_WATCHERS - 1))); do
+  wait "${FAN_WATCHER_PIDS[$i]}" || fail "fanout watcher $i failed (exit $?)"
+  FAN_EVENTS=$(grep -c "^EVENT MATCH w$i.live" "$FAN_DIR/watcher_$i.log" || true)
+  [ "$FAN_EVENTS" -eq "$FAN_EDGES" ] \
+    || fail "fanout watcher $i saw $FAN_EVENTS of $FAN_EDGES matches"
+done
+
+# STATS (fresh connection): the stalled subscription alone dropped, and
+# the per-loop split of the multi-loop frontend is visible.
+timeout 60 "$CLIENT" --tcp "127.0.0.1:$FAN_PORT" < ci/e2e_obs_stats.txt \
+  > "$FAN_STATS_LOG" 2>&1 || fail "fanout stats client failed (exit $?)"
+STALLED_DROPPED=$(awk "/^session .*'stalled'/{s=1;next} /^session /{s=0} \
+  s && /dropped=/{if (match(\$0, /dropped=[0-9]+/)) \
+  print substr(\$0, RSTART+8, RLENGTH-8); exit}" "$FAN_STATS_LOG")
+[ -n "$STALLED_DROPPED" ] && [ "$STALLED_DROPPED" -gt 0 ] \
+  || fail "stalled subscription shows no drops (dropped=$STALLED_DROPPED)"
+grep -q "^io_loop 3: " "$FAN_STATS_LOG" \
+  || fail "STATS missing the per-loop split (io_loop 3)"
+
+exec 4<&- 4>&- || true
+kill -TERM "$FAN_SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$FAN_SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$FAN_SERVER_PID" 2>/dev/null \
+  && fail "fanout server did not exit after SIGTERM"
+if wait "$FAN_SERVER_PID"; then :; else fail "fanout server exited non-zero"; fi
+FAN_SERVER_PID=""
+
 echo "e2e: PASS ($EVENTS text + $EVENTS2 binary pushed matches, clean shutdown;" \
      "crash-recovery: $REVENTS1 pre-crash + $REVENTS2 resumed matches;" \
      "obs: /metrics agreed with STATS at edges_fed=$STATS_FED," \
-     "advanced to $((STATS_FED + 3)) under a live watcher)"
+     "advanced to $((STATS_FED + 3)) under a live watcher;" \
+     "fanout: $FAN_WATCHERS watchers x $FAN_EDGES matches delivered," \
+     "stalled reader throttled alone with dropped=$STALLED_DROPPED)"

@@ -210,6 +210,34 @@ int main(int argc, char** argv) {
       }
       server_options.http_port = static_cast<int>(port);
       serve = true;
+    } else if (arg == "--io-loops" && i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n < 0 || n > 64) {
+        std::cerr << "bad --io-loops count: " << argv[i] << "\n";
+        return 1;
+      }
+      server_options.io_loops = static_cast<int>(n);
+    } else if (arg == "--max-connections" && i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n <= 0) {
+        std::cerr << "bad --max-connections count: " << argv[i] << "\n";
+        return 1;
+      }
+      server_options.max_connections = static_cast<size_t>(n);
+    } else if (arg == "--write-high-water" && i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n <= 0) {
+        std::cerr << "bad --write-high-water bytes: " << argv[i] << "\n";
+        return 1;
+      }
+      server_options.write_high_water = static_cast<size_t>(n);
+    } else if (arg == "--so-sndbuf" && i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n <= 0) {
+        std::cerr << "bad --so-sndbuf bytes: " << argv[i] << "\n";
+        return 1;
+      }
+      server_options.so_sndbuf = static_cast<int>(n);
     } else if (arg == "--trace-us" && i + 1 < argc) {
       if (!ParseInt64(argv[++i], &trace_threshold_us) ||
           trace_threshold_us < 0) {
@@ -235,7 +263,9 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [partitioned] [--serve [--tcp PORT] [--unix PATH]"
-                   " [--http PORT]] [--trace-us N]"
+                   " [--http PORT]] [--io-loops N] [--max-connections N]"
+                   " [--write-high-water BYTES] [--so-sndbuf BYTES]"
+                   " [--trace-us N]"
                    " [--data-dir DIR [--snapshot-every N]"
                    " [--fsync-every N]]\n";
       return 1;

@@ -1,0 +1,59 @@
+#ifndef STREAMWORKS_NET_ACCEPTOR_H_
+#define STREAMWORKS_NET_ACCEPTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "streamworks/net/event_loop.h"
+#include "streamworks/net/server_options.h"
+#include "streamworks/net/socket.h"
+
+namespace streamworks {
+
+/// The frontend's accept thread: polls the server's listeners, applies the
+/// max_connections admission check (refusing with "ERR server full" /
+/// HTTP 503 exactly as the single-loop frontend did), and deals accepted
+/// fds round-robin across the IO loops. Accepting is the only work here —
+/// a connection's whole life after Adopt belongs to one EventLoop.
+class Acceptor {
+ public:
+  /// Listener fds stay owned by the caller (SocketServer); -1 disables a
+  /// slot. `loops` must be started and must outlive the acceptor.
+  Acceptor(int tcp_fd, int unix_fd, int http_fd, const ServerOptions* options,
+           ServerCounters* counters,
+           const std::vector<std::unique_ptr<EventLoop>>* loops);
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /// Spawns the accept thread.
+  Status Start();
+
+  /// Stops and joins the accept thread (idempotent).
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  /// Drains every pending accept on `listen_fd`; refused or failed
+  /// accepts close the fd, admitted ones go to the next loop round-robin.
+  void AcceptFrom(int listen_fd, bool http);
+
+  const int tcp_fd_;
+  const int unix_fd_;
+  const int http_fd_;
+  const ServerOptions* const options_;
+  ServerCounters* const counters_;
+  const std::vector<std::unique_ptr<EventLoop>>* const loops_;
+
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  size_t next_loop_ = 0;  ///< Accept-thread-only round-robin cursor.
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_NET_ACCEPTOR_H_

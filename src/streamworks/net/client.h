@@ -79,6 +79,9 @@ class LineClient {
 
   void Close() { fd_.reset(); }
   bool connected() const { return fd_.valid(); }
+  /// Raw fd, for callers multiplexing many clients with poll(2) (the
+  /// fanout bench). -1 when closed; ownership stays with the client.
+  int fd() const { return fd_.get(); }
 
  private:
   explicit LineClient(UniqueFd fd) : fd_(std::move(fd)) {}

@@ -1,0 +1,256 @@
+#ifndef STREAMWORKS_NET_EVENT_LOOP_H_
+#define STREAMWORKS_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "streamworks/common/thread_annotations.h"
+#include "streamworks/net/server_options.h"
+#include "streamworks/net/socket.h"
+#include "streamworks/obs/http_endpoint.h"
+#include "streamworks/service/interpreter.h"
+#include "streamworks/service/query_service.h"
+
+namespace streamworks {
+
+/// Wire counters shared by the acceptor and every IO loop (atomics: bumped
+/// from any loop thread, read from any). The per-loop split (connections,
+/// pump flushes) lives on each EventLoop; these are the server-lifetime
+/// sums ServerStats reports.
+struct ServerCounters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_refused{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> lines_executed{0};
+  std::atomic<uint64_t> frames_executed{0};
+  std::atomic<uint64_t> batch_edges_in{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> events_pushed{0};
+  std::atomic<uint64_t> pump_flushes{0};
+  std::atomic<uint64_t> http_requests{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> subscriptions_reclaimed{0};
+  /// Live connections across all loops (adopted and not yet torn down) —
+  /// the acceptor's max_connections admission check reads this.
+  std::atomic<size_t> live_connections{0};
+};
+
+/// One client connection, owned by exactly one EventLoop (shared-nothing
+/// between loops). IO state (fd validity via `open`, read/write buffers,
+/// streams) is guarded by io_mu and shared between the owning loop's IO
+/// thread and its stream pump; rbuf, skip_bytes and the interpreter are
+/// IO-thread-only.
+struct ServerConnection {
+  explicit ServerConnection(UniqueFd fd_in) : fd(std::move(fd_in)) {}
+
+  UniqueFd fd;
+  std::mutex io_mu;
+  /// Accepted on the HTTP listener: the connection speaks HTTP instead
+  /// of the line protocol (one request, one response, close) and has no
+  /// interpreter.
+  bool http = false;
+  bool open SW_GUARDED_BY(io_mu) = true;  ///< False once being torn down.
+  bool closing SW_GUARDED_BY(io_mu) = false;  ///< BYE: close once drained.
+  bool read_eof SW_GUARDED_BY(io_mu) = false;  ///< Peer finished sending.
+  std::string rbuf;
+  std::string wbuf SW_GUARDED_BY(io_mu);
+  /// Epoll interest mask currently registered for this fd (owning IO
+  /// thread only; serialized under io_mu with the wbuf state it derives
+  /// from).
+  uint32_t epoll_mask = 0;
+  /// Remaining bytes of a refused (oversized) FEEDB frame still to be
+  /// discarded — the length prefix makes resync exact, so the
+  /// connection survives the refusal. IO-thread-only, like rbuf.
+  size_t skip_bytes = 0;
+  /// Set when AdvanceConnection parked complete-but-unexecuted input
+  /// behind the write high-water; an EOF must not close such a
+  /// connection (the parked work resumes after the write buffer drains).
+  /// The pump thread reads it when deciding to hand a draining
+  /// connection back to the IO thread, hence the guard.
+  bool input_parked SW_GUARDED_BY(io_mu) = false;
+  /// Subscriptions upgraded to push streaming. The weak_ptr expires when
+  /// the service reclaims the subscription (the pump then emits END).
+  struct Stream {
+    std::string label;  ///< "<session>.<sub>" as the client named it.
+    std::weak_ptr<ResultQueue> queue;
+  };
+  std::vector<Stream> streams SW_GUARDED_BY(io_mu);
+
+  /// IO-thread-only (interpreter calls are control-plane calls, made
+  /// under the server's control mutex).
+  std::unique_ptr<std::ostringstream> out;
+  std::unique_ptr<CommandInterpreter> interpreter;
+};
+
+/// One sharded IO loop of the frontend: an epoll(7) event loop owning a
+/// subset of the server's connections end to end — read, FEEDB/text
+/// demux, execute, write — plus its own stream-pump thread draining only
+/// this loop's streamed subscriptions. Loops share nothing per-connection;
+/// the one shared seam is the control mutex (`control_mu`), under which
+/// every interpreter / QueryService control-plane call from any loop is
+/// serialized, preserving the service's serialized-control-plane contract
+/// no matter how many loops run. Pumps never take the control mutex, so
+/// delivery keeps draining even while a loop thread is parked inside a
+/// backend Flush or a kBlock Push — and a slow consumer's pump stall
+/// degrades its own loop's delivery scans only.
+class EventLoop {
+ public:
+  /// All pointers must outlive the loop. `stopping` is the server-wide
+  /// shutdown latch; `http_handler` may be null (no HTTP listener).
+  EventLoop(int index, QueryService* service, Interner* interner,
+            const ServerOptions* options, ServerCounters* counters,
+            std::mutex* control_mu, HttpHandler* http_handler,
+            const std::atomic<bool>* stopping);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and spawns the IO + pump threads.
+  Status Start();
+
+  /// Adopts an accepted fd onto this loop (thread-safe; the acceptor's
+  /// handoff). Builds the connection, wires its interpreter and hooks,
+  /// queues it for epoll registration on the IO thread, and wakes the
+  /// loop.
+  void Adopt(UniqueFd fd, bool http);
+
+  /// Wakes the IO thread out of epoll_wait.
+  void Wake();
+  /// Wakes the pump thread (Stop's shutdown broadcast; stream
+  /// registration notifies on its own).
+  void NotifyPump();
+  /// Joins the IO thread. Called after the stopping latch is set and the
+  /// loop woken; the pump must still be running (it may need to unwedge a
+  /// loop thread parked behind a kBlock queue).
+  void JoinIo();
+  /// Retires and joins the pump thread. Call only after JoinIo.
+  void StopPump();
+
+  /// Removes and returns every connection still owned by the loop
+  /// (including not-yet-registered adoptees). Caller-thread teardown
+  /// after both threads joined.
+  std::vector<std::shared_ptr<ServerConnection>> TakeConnections();
+
+  /// Tears the connection down: closes the fd and — unless
+  /// `preserve_sessions` (Stop's shutdown path on a durable server) —
+  /// closes every session its interpreter opened and reclaims detached
+  /// subscriptions (a control-plane call, taken under the control mutex).
+  /// Runs on the IO thread during normal operation and on the Stop caller
+  /// during final teardown.
+  void CloseConnection(const std::shared_ptr<ServerConnection>& conn,
+                       bool preserve_sessions = false);
+
+  int index() const { return index_; }
+  /// Connections currently owned (registered + pending adoption).
+  size_t connection_count() const;
+  /// Coalesced drain-pass writes by this loop's pump.
+  uint64_t pump_flushes() const {
+    return pump_flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void IoLoop();
+  void PumpLoop();
+
+  /// Registers pending adoptees with epoll and re-advances connections
+  /// the pump flagged (write buffer drained below high-water with parked
+  /// input, or died mid-pump). IO thread only.
+  void DrainHandoffQueues();
+
+  /// Reads what's available into rbuf (noting EOF), then advances.
+  void HandleReadable(const std::shared_ptr<ServerConnection>& conn);
+  /// Executes buffered lines while the write buffer is below high-water,
+  /// flushes, applies the BYE/EOF close-once-drained rules, and tears the
+  /// connection down if it died. IO thread only; re-entered after a write
+  /// drain to resume lines parked behind a full write buffer.
+  void AdvanceConnection(const std::shared_ptr<ServerConnection>& conn);
+  /// The HTTP sibling of AdvanceConnection: parses one request head from
+  /// rbuf and answers it through the handler (whose providers make
+  /// control-plane calls — taken under the control mutex, io_mu not
+  /// held).
+  void AdvanceHttp(const std::shared_ptr<ServerConnection>& conn);
+  /// Executes one protocol line (interpreter under the control mutex) and
+  /// appends the framed response to wbuf.
+  void ExecuteLine(const std::shared_ptr<ServerConnection>& conn,
+                   std::string_view line);
+  /// Executes one decoded FEEDB batch (the binary sibling of
+  /// ExecuteLine).
+  void ExecuteFrame(const std::shared_ptr<ServerConnection>& conn,
+                    const EdgeBatch& batch);
+  /// STREAM/UNSTREAM hook target (runs on the IO thread, from inside the
+  /// connection's interpreter, control mutex held).
+  Status HandleStream(const std::shared_ptr<ServerConnection>& conn,
+                      bool enable, std::string_view session,
+                      std::string_view sub, int session_id,
+                      int subscription_id);
+
+  /// Drains streamed queues into wbuf (respecting write_high_water) and
+  /// writes wbuf to the socket. Callable from either thread; io_mu must
+  /// NOT be held. Returns false when the connection died mid-write.
+  bool PumpConnection(const std::shared_ptr<ServerConnection>& conn);
+
+  /// Nonblocking write of wbuf; io_mu must be held. False on fatal error.
+  bool FlushWritesLocked(ServerConnection& conn) SW_REQUIRES(conn.io_mu);
+
+  /// Recomputes the fd's epoll interest (EPOLLIN below write high-water,
+  /// EPOLLOUT while wbuf is nonempty) and MODs it if changed. IO thread
+  /// only.
+  void UpdateInterest(const std::shared_ptr<ServerConnection>& conn);
+
+  const int index_;
+  QueryService* const service_;
+  Interner* const interner_;
+  const ServerOptions* const options_;
+  ServerCounters* const counters_;
+  /// The narrow locked handoff into the control plane: every interpreter
+  /// / QueryService / HTTP-handler call from any loop serializes here.
+  std::mutex* const control_mu_;
+  HttpHandler* const http_handler_;
+  const std::atomic<bool>* const stopping_;
+
+  UniqueFd epoll_fd_;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+
+  std::thread io_thread_;
+  std::thread pump_thread_;
+  std::atomic<bool> pump_stop_{false};
+
+  /// Registered connections, keyed by fd (the epoll event's handle; a
+  /// stale event after a same-pass close just misses the lookup).
+  mutable std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<ServerConnection>> conns_
+      SW_GUARDED_BY(conns_mu_);
+
+  /// Acceptor→loop and pump→loop handoff: adoptees awaiting epoll
+  /// registration, and connections needing IO-thread attention (parked
+  /// input to resume, or teardown).
+  std::mutex handoff_mu_;
+  std::vector<std::shared_ptr<ServerConnection>> pending_
+      SW_GUARDED_BY(handoff_mu_);
+  std::vector<std::shared_ptr<ServerConnection>> dirty_
+      SW_GUARDED_BY(handoff_mu_);
+
+  /// Pump parking: woken by Stop and by STREAM registration. While no
+  /// subscription on this loop is streaming the pump sleeps indefinitely
+  /// instead of ticking, so an idle loop costs nothing.
+  std::mutex pump_mu_;
+  std::condition_variable pump_cv_;
+  std::atomic<int> active_streams_{0};
+
+  std::atomic<uint64_t> pump_flushes_{0};
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_NET_EVENT_LOOP_H_

@@ -1,31 +1,20 @@
 #include "streamworks/net/server.h"
 
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
-#include <limits>
-#include <vector>
+#include <thread>
+#include <utility>
 
 #include "streamworks/common/logging.h"
-#include "streamworks/common/str_util.h"
 
 namespace streamworks {
 
-namespace {
-
-constexpr std::string_view kTerminator = ".\n";
-
-/// One framed error response (used for protocol-level refusals that never
-/// reach the interpreter).
-std::string ErrFrame(std::string_view message) {
-  return "ERR " + std::string(message) + "\n" + std::string(kTerminator);
+int ServerOptions::ResolvedIoLoops() const {
+  if (io_loops > 0) return io_loops;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, std::min(4, static_cast<int>(hw)));
 }
-
-}  // namespace
 
 SocketServer::SocketServer(QueryService* service, Interner* interner,
                            ServerOptions options)
@@ -39,9 +28,6 @@ Status SocketServer::Start() {
     return Status::InvalidArgument(
         "no listener configured (need tcp_port >= 0 and/or unix_path)");
   }
-  SW_ASSIGN_OR_RETURN(auto pipe_ends, MakeWakePipe());
-  wake_read_ = std::move(pipe_ends.first);
-  wake_write_ = std::move(pipe_ends.second);
   if (options_.tcp_port >= 0) {
     SW_ASSIGN_OR_RETURN(tcp_listener_,
                         ListenTcp(options_.tcp_host, options_.tcp_port,
@@ -64,10 +50,22 @@ Status SocketServer::Start() {
     providers.queries = [this] { return service_->QueryInfos(); };
     http_handler_ = std::make_unique<HttpHandler>(std::move(providers));
   }
+
+  const int n_loops = options_.ResolvedIoLoops();
+  loops_.reserve(static_cast<size_t>(n_loops));
+  for (int i = 0; i < n_loops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(
+        i, service_, interner_, &options_, &counters_, &control_mu_,
+        http_handler_.get(), &stopping_));
+  }
+
   // Fold this server's wire counters into the service snapshot, so STATS
-  // and the streamworks_frontend_* metric families show live activity.
-  // Installed before the threads spawn and cleared in Stop after they
-  // join — both points where this thread is the control thread.
+  // and the streamworks_frontend_* / streamworks_io_loop_* metric
+  // families show live activity. The probe reads atomics and leaf locks
+  // only (never the control mutex), so it is safe from any thread —
+  // including a loop thread already holding the control mutex inside
+  // Snapshot(). Installed before the threads spawn and cleared in Stop
+  // after they join.
   service_->set_frontend_probe([this] {
     const ServerStats s = stats();
     FrontendStatsSnapshot f;
@@ -85,53 +83,81 @@ Status SocketServer::Start() {
     f.bytes_in = s.bytes_in;
     f.bytes_out = s.bytes_out;
     f.subscriptions_reclaimed = s.subscriptions_reclaimed;
+    f.io_loops.reserve(loops_.size());
+    for (const auto& loop : loops_) {
+      IoLoopStatsSnapshot l;
+      l.loop = loop->index();
+      l.connections = loop->connection_count();
+      l.pump_flushes = loop->pump_flushes();
+      f.io_loops.push_back(l);
+    }
     return f;
   });
+
+  size_t started_loops = 0;
+  Status status = OkStatus();
+  for (auto& loop : loops_) {
+    status = loop->Start();
+    if (!status.ok()) break;
+    ++started_loops;
+  }
+  if (status.ok()) {
+    acceptor_ = std::make_unique<Acceptor>(
+        tcp_listener_.valid() ? tcp_listener_.get() : -1,
+        unix_listener_.valid() ? unix_listener_.get() : -1,
+        http_listener_.valid() ? http_listener_.get() : -1, &options_,
+        &counters_, &loops_);
+    status = acceptor_->Start();
+  }
+  if (!status.ok()) {
+    // Unwind the partial spawn so the failed Start leaves no threads.
+    stopping_.store(true, std::memory_order_release);
+    for (size_t i = 0; i < started_loops; ++i) {
+      loops_[i]->Wake();
+      loops_[i]->JoinIo();
+      loops_[i]->StopPump();
+    }
+    loops_.clear();
+    acceptor_.reset();
+    service_->set_frontend_probe(nullptr);
+    stopping_.store(false, std::memory_order_release);
+    return status;
+  }
   started_ = true;
   running_.store(true, std::memory_order_release);
-  poll_thread_ = std::thread([this] { PollLoop(); });
-  pump_thread_ = std::thread([this] { PumpLoop(); });
   return OkStatus();
 }
 
 void SocketServer::Stop() {
   if (!started_ || !running_.load(std::memory_order_acquire)) return;
-  // Phase 1: retire the poll loop. The pump keeps running — if the poll
+  // No new connections while everything else drains.
+  acceptor_->Stop();
+  // Phase 1: retire the IO loops. The pumps keep running — if a loop
   // thread is parked in a backend Flush waiting on a worker blocked in a
-  // kBlock Push, the pump's draining (now unthrottled, see
+  // kBlock Push, its pump's draining (now unthrottled, see
   // PumpConnection) unwedges streamed queues, and CloseAllQueues
   // unblocks every producer regardless of streaming (shutdown discards
-  // undelivered matches by definition), so the join below always
-  // returns. SIGTERM must land no matter what tenants are doing.
+  // undelivered matches by definition), so the joins below always
+  // return. SIGTERM must land no matter what tenants are doing.
   stopping_.store(true, std::memory_order_release);
   service_->CloseAllQueues();
-  WakePoll();
-  {
-    std::lock_guard<std::mutex> lock(pump_mu_);
-    pump_cv_.notify_all();
+  for (auto& loop : loops_) {
+    loop->Wake();
+    loop->NotifyPump();
   }
-  poll_thread_.join();
-  // Phase 2: now the pump can go.
-  pump_stop_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(pump_mu_);
-    pump_cv_.notify_all();
-  }
-  pump_thread_.join();
+  for (auto& loop : loops_) loop->JoinIo();
+  // Phase 2: now the pumps can go.
+  for (auto& loop : loops_) loop->StopPump();
   running_.store(false, std::memory_order_release);
 
-  // Both threads are gone: this thread is now the control thread. Flush
-  // and tear down every surviving connection (closing its sessions and
+  // Every loop thread is gone: this thread owns the teardown. Flush and
+  // tear down every surviving connection (closing its sessions and
   // compacting the service — unless a durable deployment asked Stop to
-  // preserve them for its shutdown snapshot), then retire the
-  // listeners.
-  std::vector<std::shared_ptr<Connection>> conns;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns = conns_;
-  }
-  for (const auto& conn : conns) {
-    CloseConnection(conn, options_.preserve_sessions_on_stop);
+  // preserve them for its shutdown snapshot), then retire the listeners.
+  for (auto& loop : loops_) {
+    for (const auto& conn : loop->TakeConnections()) {
+      loop->CloseConnection(conn, options_.preserve_sessions_on_stop);
+    }
   }
   service_->set_frontend_probe(nullptr);
   tcp_listener_.reset();
@@ -141,710 +167,28 @@ void SocketServer::Stop() {
 }
 
 ServerStats SocketServer::stats() const {
+  const ServerCounters& c = counters_;
   ServerStats s;
-  s.connections_accepted = connections_accepted_.load();
-  s.connections_refused = connections_refused_.load();
-  s.connections_closed = connections_closed_.load();
-  s.lines_executed = lines_executed_.load();
-  s.frames_executed = frames_executed_.load();
-  s.batch_edges_in = batch_edges_in_.load();
-  s.protocol_errors = protocol_errors_.load();
-  s.events_pushed = events_pushed_.load();
-  s.pump_flushes = pump_flushes_.load();
-  s.http_requests = http_requests_.load();
-  s.bytes_in = bytes_in_.load();
-  s.bytes_out = bytes_out_.load();
-  s.subscriptions_reclaimed = subscriptions_reclaimed_.load();
+  s.connections_accepted = c.connections_accepted.load();
+  s.connections_refused = c.connections_refused.load();
+  s.connections_closed = c.connections_closed.load();
+  s.lines_executed = c.lines_executed.load();
+  s.frames_executed = c.frames_executed.load();
+  s.batch_edges_in = c.batch_edges_in.load();
+  s.protocol_errors = c.protocol_errors.load();
+  s.events_pushed = c.events_pushed.load();
+  s.pump_flushes = c.pump_flushes.load();
+  s.http_requests = c.http_requests.load();
+  s.bytes_in = c.bytes_in.load();
+  s.bytes_out = c.bytes_out.load();
+  s.subscriptions_reclaimed = c.subscriptions_reclaimed.load();
   return s;
 }
 
 size_t SocketServer::active_connections() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  return conns_.size();
-}
-
-void SocketServer::WakePoll() {
-  const char byte = 'w';
-  [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
-}
-
-void SocketServer::PollLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    // Snapshot connections and build the poll set. Dead connections are
-    // collected for teardown instead of being polled.
-    std::vector<std::shared_ptr<Connection>> conns;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      conns = conns_;
-    }
-    std::vector<std::shared_ptr<Connection>> dead;
-    std::vector<pollfd> fds;
-    std::vector<std::shared_ptr<Connection>> polled;
-    fds.push_back({wake_read_.get(), POLLIN, 0});
-    if (tcp_listener_.valid()) {
-      fds.push_back({tcp_listener_.get(), POLLIN, 0});
-    }
-    if (unix_listener_.valid()) {
-      fds.push_back({unix_listener_.get(), POLLIN, 0});
-    }
-    if (http_listener_.valid()) {
-      fds.push_back({http_listener_.get(), POLLIN, 0});
-    }
-    const size_t first_conn = fds.size();
-    for (const auto& conn : conns) {
-      std::lock_guard<std::mutex> lock(conn->io_mu);
-      if (!conn->open || !conn->fd.valid()) {
-        dead.push_back(conn);
-        continue;
-      }
-      // Response-path backpressure: a connection sitting on more unsent
-      // response bytes than the high-water mark stops being read from
-      // (and so stops being executed for) until its reader drains it —
-      // TCP flow control then pushes back on the sender.
-      short events = 0;
-      if (conn->wbuf.size() < options_.write_high_water) events |= POLLIN;
-      if (!conn->wbuf.empty()) events |= POLLOUT;
-      fds.push_back({conn->fd.get(), events, 0});
-      polled.push_back(conn);
-    }
-    for (const auto& conn : dead) CloseConnection(conn);
-
-    if (::poll(fds.data(), fds.size(), /*timeout=*/-1) < 0) {
-      if (errno == EINTR) continue;
-      SW_LOG(Error) << "poll: " << std::strerror(errno);
-      break;
-    }
-
-    if (fds[0].revents & POLLIN) {  // drain the wake pipe
-      char buf[64];
-      while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
-      }
-    }
-    size_t idx = 1;
-    if (tcp_listener_.valid()) {
-      if (fds[idx].revents & POLLIN) AcceptFrom(tcp_listener_.get());
-      ++idx;
-    }
-    if (unix_listener_.valid()) {
-      if (fds[idx].revents & POLLIN) AcceptFrom(unix_listener_.get());
-      ++idx;
-    }
-    if (http_listener_.valid()) {
-      if (fds[idx].revents & POLLIN) {
-        AcceptFrom(http_listener_.get(), /*http=*/true);
-      }
-      ++idx;
-    }
-    SW_CHECK_EQ(idx, first_conn);
-
-    for (size_t i = 0; i < polled.size(); ++i) {
-      const auto& conn = polled[i];
-      const short revents = fds[first_conn + i].revents;
-      {
-        std::lock_guard<std::mutex> lock(conn->io_mu);
-        if (conn->open && (revents & POLLOUT)) FlushWritesLocked(*conn);
-        // POLLHUP alone is not fatal while reads still return data (the
-        // peer may have half-closed after a final command); EOF on read
-        // marks the connection dead when the input truly ends.
-        if (revents & (POLLERR | POLLNVAL)) conn->open = false;
-      }
-      if (revents & POLLIN) {
-        HandleReadable(conn);  // reads, then advances (and may close)
-      } else {
-        // A POLLOUT drain may have made room for lines parked behind a
-        // full write buffer; the EOF/BYE finish rules also live here.
-        AdvanceConnection(conn);
-      }
-    }
-  }
-}
-
-void SocketServer::AcceptFrom(int listen_fd, bool http) {
-  while (true) {
-    const int raw = ::accept(listen_fd, nullptr, nullptr);
-    if (raw < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      SW_LOG(Warning) << "accept: " << std::strerror(errno);
-      return;
-    }
-    UniqueFd fd(raw);
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      if (conns_.size() >= options_.max_connections) {
-        const std::string refusal =
-            http ? EncodeHttpResponse(
-                       {503, "text/plain; charset=utf-8", "server full\n"})
-                 : ErrFrame("server full");
-        // MSG_NOSIGNAL: the refused peer may already be gone, and a raw
-        // write would raise process-killing SIGPIPE.
-        [[maybe_unused]] ssize_t n = ::send(fd.get(), refusal.data(),
-                                            refusal.size(), MSG_NOSIGNAL);
-        connections_refused_.fetch_add(1);
-        continue;  // fd closes on scope exit
-      }
-    }
-    if (!SetNonBlocking(fd.get()).ok()) continue;
-    if (options_.so_sndbuf > 0) {
-      ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
-                   sizeof(options_.so_sndbuf));
-    }
-
-    auto conn = std::make_shared<Connection>(std::move(fd));
-    if (http) {
-      // HTTP connections have no interpreter session: one request, one
-      // response, close. They still ride the same poll set and limits.
-      conn->http = true;
-      {
-        std::lock_guard<std::mutex> lock(conns_mu_);
-        conns_.push_back(conn);
-      }
-      connections_accepted_.fetch_add(1);
-      continue;
-    }
-    conn->out = std::make_unique<std::ostringstream>();
-    conn->interpreter = std::make_unique<CommandInterpreter>(
-        service_, interner_, conn->out.get());
-    if (options_.snapshot_hook) {
-      conn->interpreter->set_snapshot_hook(options_.snapshot_hook);
-    }
-    if (options_.pipeline != nullptr) {
-      conn->interpreter->set_pipeline_metrics(options_.pipeline);
-    }
-    std::weak_ptr<Connection> weak = conn;
-    conn->interpreter->set_stream_hook(
-        [this, weak](bool enable, std::string_view session,
-                     std::string_view sub, int session_id,
-                     int subscription_id) {
-          auto locked = weak.lock();
-          if (locked == nullptr) {
-            return Status::FailedPrecondition("connection is gone");
-          }
-          return HandleStream(locked, enable, session, sub, session_id,
-                              subscription_id);
-        });
-    // kBlock over a socket is only sound with the connection as its live
-    // consumer: un-streamed, the queue's sole drainer would be the very
-    // poll thread its producer blocks (three protocol lines could wedge
-    // every tenant). Auto-upgrade such subscriptions to push streaming —
-    // on SUBMIT, and equally on ATTACH (a recovered kBlock subscription
-    // comes back paused, and its RESUME must already find the pump
-    // draining, or crash recovery would reintroduce the same wedge).
-    const auto auto_stream_block = [this, weak](std::string_view session,
-                                                std::string_view sub,
-                                                int session_id,
-                                                int subscription_id) {
-      auto locked = weak.lock();
-      if (locked == nullptr) return;
-      std::shared_ptr<ResultQueue> handle =
-          service_->queue_handle(session_id, subscription_id);
-      if (handle == nullptr ||
-          handle->policy() != OverflowPolicy::kBlock) {
-        return;
-      }
-      HandleStream(locked, /*enable=*/true, session, sub, session_id,
-                   subscription_id)
-          .ok();
-    };
-    conn->interpreter->set_submit_hook(
-        [auto_stream_block](std::string_view session, std::string_view sub,
-                            int session_id, int subscription_id,
-                            const SubmitOptions&) {
-          auto_stream_block(session, sub, session_id, subscription_id);
-        });
-    conn->interpreter->set_attach_hook(auto_stream_block);
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.push_back(conn);
-    }
-    connections_accepted_.fetch_add(1);
-  }
-}
-
-void SocketServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
-  // Reads and line assembly are poll-thread-only; io_mu is taken just for
-  // buffer appends inside ExecuteLine and for the EOF/open flips.
-  // 64KB per read: a pipelined burst (text lines or FEEDB frames) should
-  // cost one syscall per tens of KB, not one per 4KB.
-  char buf[65536];
-  while (true) {
-    int fd;
-    {
-      std::lock_guard<std::mutex> lock(conn->io_mu);
-      if (!conn->open) return;
-      fd = conn->fd.get();
-    }
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n > 0) {
-      conn->rbuf.append(buf, static_cast<size_t>(n));
-      bytes_in_.fetch_add(static_cast<uint64_t>(n));
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n < 0 && errno == EINTR) continue;
-    // n == 0 (orderly EOF) or a hard error: the peer is done sending.
-    std::lock_guard<std::mutex> lock(conn->io_mu);
-    conn->read_eof = true;
-    break;
-  }
-  AdvanceConnection(conn);
-}
-
-void SocketServer::AdvanceConnection(
-    const std::shared_ptr<Connection>& conn) {
-  if (conn->http) {
-    AdvanceHttp(conn);
-    return;
-  }
-  // Consume complete protocol units — text lines and binary FEEDB frames,
-  // demultiplexed on the frame-magic lead byte (0xFB can never begin an
-  // ASCII command) — via an offset, compacting once per pass: a pipelined
-  // burst of thousands of units must not pay a front-erase memmove each.
-  // The response path's backpressure valve sits here: once unsent
-  // responses pass the high-water mark, stop executing (and, via
-  // PollLoop's event mask, stop reading) until the client drains.
-  size_t consumed = 0;
-  conn->input_parked = false;
-  while (consumed < conn->rbuf.size()) {
-    {
-      std::lock_guard<std::mutex> lock(conn->io_mu);
-      if (!conn->open || conn->closing) break;
-      if (conn->wbuf.size() >= options_.write_high_water) {
-        conn->input_parked = true;  // complete units may be waiting
-        break;
-      }
-    }
-    // Discard the remainder of a refused oversized frame; the length
-    // prefix tells us exactly how much, so the stream stays in sync.
-    if (conn->skip_bytes > 0) {
-      const size_t n =
-          std::min(conn->skip_bytes, conn->rbuf.size() - consumed);
-      consumed += n;
-      conn->skip_bytes -= n;
-      continue;
-    }
-    const std::string_view rest(conn->rbuf.data() + consumed,
-                                conn->rbuf.size() - consumed);
-    if (IsFrameStart(rest)) {
-      PipelineMetrics* const pipeline = options_.pipeline;
-      const uint64_t decode_t0 =
-          pipeline != nullptr ? PipelineMetrics::NowMicros() : 0;
-      FrameDecodeResult decoded = DecodeFeedFrame(
-          rest, options_.max_frame_body_bytes, interner_);
-      if (decoded.status == FrameDecodeStatus::kNeedMore) break;
-      if (decoded.status == FrameDecodeStatus::kOk) {
-        if (pipeline != nullptr) {
-          pipeline->Record(PipelineStage::kFrameDecode,
-                           PipelineMetrics::NowMicros() - decode_t0, -1, -1,
-                           /*detail=*/decoded.batch.size());
-        }
-        consumed += decoded.frame_bytes;
-        ExecuteFrame(conn, decoded.batch);
-        continue;
-      }
-      // Oversized or malformed: refuse with ERR. With a decodable length
-      // prefix the frame's bytes are skipped and the connection
-      // survives; a corrupt magic leaves no way back into sync.
-      protocol_errors_.fetch_add(1);
-      {
-        std::lock_guard<std::mutex> lock(conn->io_mu);
-        conn->wbuf += ErrFrame(decoded.error);
-      }
-      if (decoded.frame_bytes == 0) {
-        std::lock_guard<std::mutex> lock(conn->io_mu);
-        FlushWritesLocked(*conn);
-        conn->open = false;
-        break;
-      }
-      const size_t available = std::min(decoded.frame_bytes, rest.size());
-      consumed += available;
-      conn->skip_bytes = decoded.frame_bytes - available;
-      continue;
-    }
-    const size_t pos = conn->rbuf.find('\n', consumed);
-    if (pos == std::string::npos) break;
-    std::string line = conn->rbuf.substr(consumed, pos - consumed);
-    consumed = pos + 1;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    ExecuteLine(conn, line);
-  }
-  conn->rbuf.erase(0, consumed);
-  if (conn->rbuf.size() > options_.max_line_bytes &&
-      conn->skip_bytes == 0 &&      // pending discard is not a line
-      !IsFrameStart(conn->rbuf) &&  // a buffering frame is length-framed
-      conn->rbuf.find('\n') == std::string::npos) {
-    protocol_errors_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(conn->io_mu);
-    conn->wbuf += ErrFrame("line exceeds " +
-                           std::to_string(options_.max_line_bytes) +
-                           " bytes");
-    FlushWritesLocked(*conn);
-    conn->open = false;
-  }
-  bool failed;
-  {
-    std::lock_guard<std::mutex> lock(conn->io_mu);
-    if (conn->open) FlushWritesLocked(*conn);
-    // A BYE whose response already drained has nothing left to wait for.
-    if (conn->closing && conn->wbuf.empty()) conn->open = false;
-    if (conn->read_eof && conn->open && !conn->closing &&
-        !conn->input_parked) {
-      // The peer finished sending and nothing executable was parked, so
-      // whatever remains buffered can never complete. A partial FEEDB
-      // frame at EOF is a protocol error worth reporting before the
-      // close; a partial (or absent) text line keeps the silent
-      // half-close contract (printf | nc). Responses the socket wouldn't
-      // take yet are flushed by POLLOUT before the orderly close; only
-      // an empty write buffer closes immediately.
-      if (conn->skip_bytes > 0 || IsFrameStart(conn->rbuf)) {
-        protocol_errors_.fetch_add(1);
-        conn->wbuf += ErrFrame("truncated binary frame at EOF");
-        FlushWritesLocked(*conn);
-      }
-      if (conn->wbuf.empty()) {
-        conn->open = false;
-      } else {
-        conn->closing = true;
-      }
-    }
-    failed = !conn->open;
-  }
-  if (failed) CloseConnection(conn);
-}
-
-void SocketServer::AdvanceHttp(const std::shared_ptr<Connection>& conn) {
-  // rbuf is poll-thread-only, exactly like the line protocol's. At most
-  // one request is answered per connection (Connection: close), so a
-  // pipelined second request is simply never parsed.
-  HttpResponse response;
-  bool respond = false;
-  if (!conn->closing) {
-    HttpRequest request;
-    size_t consumed = 0;
-    switch (ParseHttpRequest(conn->rbuf, &request, &consumed)) {
-      case HttpParseResult::kComplete:
-        conn->rbuf.erase(0, consumed);
-        // The handler's providers make control-plane calls (Snapshot,
-        // QueryInfos); this is the poll thread and io_mu is not held, so
-        // that is exactly the contract they need.
-        response = http_handler_ != nullptr
-                       ? http_handler_->Handle(request)
-                       : HttpResponse{503, "text/plain; charset=utf-8",
-                                      "no handler\n"};
-        http_requests_.fetch_add(1);
-        respond = true;
-        break;
-      case HttpParseResult::kNeedMore:
-        if (conn->rbuf.size() > options_.max_line_bytes) {
-          protocol_errors_.fetch_add(1);
-          response = HttpResponse{400, "text/plain; charset=utf-8",
-                                  "request head too large\n"};
-          respond = true;
-        }
-        break;
-      case HttpParseResult::kBad:
-        protocol_errors_.fetch_add(1);
-        response = HttpResponse{400, "text/plain; charset=utf-8",
-                                "malformed request\n"};
-        respond = true;
-        break;
-    }
-  }
-  bool failed;
-  {
-    std::lock_guard<std::mutex> lock(conn->io_mu);
-    if (respond && conn->open) {
-      conn->wbuf += EncodeHttpResponse(response);
-      conn->closing = true;  // reuses the BYE drain-then-close machinery
-    }
-    if (conn->open) FlushWritesLocked(*conn);
-    if (conn->closing && conn->wbuf.empty()) conn->open = false;
-    // EOF before a complete request head: nothing to answer.
-    if (conn->read_eof && conn->open && !conn->closing) conn->open = false;
-    failed = !conn->open;
-  }
-  if (failed) CloseConnection(conn);
-}
-
-void SocketServer::ExecuteLine(const std::shared_ptr<Connection>& conn,
-                               std::string_view line) {
-  const std::string_view stripped = StripWhitespace(line);
-  if (stripped == "BYE") {
-    lines_executed_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(conn->io_mu);
-    conn->wbuf += "OK bye\n";
-    conn->wbuf += kTerminator;
-    conn->closing = true;
-    FlushWritesLocked(*conn);
-    return;
-  }
-
-  // The interpreter (and through it every QueryService control-plane call)
-  // runs without io_mu held: FLUSH / kBlock deliveries may park this
-  // thread, and the pump must still be able to drain this connection.
-  conn->out->str("");
-  const Status status = conn->interpreter->ExecuteLine(line);
-  lines_executed_.fetch_add(1);
-  std::string payload = conn->out->str();
-
-  std::lock_guard<std::mutex> lock(conn->io_mu);
-  if (!conn->open) return;
-  conn->wbuf += payload;
-  if (!status.ok()) {
-    // Unlike a scripted fixture, a network session survives its typos:
-    // report and keep the connection (and its subscriptions) alive.
-    protocol_errors_.fetch_add(1);
-    conn->wbuf += "ERR " + status.ToString() + "\n";
-  }
-  conn->wbuf += kTerminator;
-  FlushWritesLocked(*conn);
-}
-
-void SocketServer::ExecuteFrame(const std::shared_ptr<Connection>& conn,
-                                const EdgeBatch& batch) {
-  // Like ExecuteLine, the interpreter (and the backend FeedBatch under
-  // it) runs without io_mu held — a kBlock delivery inside the batch may
-  // park this thread, and the pump must still drain this connection.
-  conn->out->str("");
-  const Status status = conn->interpreter->ExecuteBatch(batch);
-  frames_executed_.fetch_add(1);
-  batch_edges_in_.fetch_add(batch.size());
-  std::string payload = conn->out->str();
-
-  std::lock_guard<std::mutex> lock(conn->io_mu);
-  if (!conn->open) return;
-  conn->wbuf += payload;
-  if (!status.ok()) {
-    protocol_errors_.fetch_add(1);
-    conn->wbuf += "ERR " + status.ToString() + "\n";
-  }
-  conn->wbuf += kTerminator;
-  FlushWritesLocked(*conn);
-}
-
-Status SocketServer::HandleStream(const std::shared_ptr<Connection>& conn,
-                                  bool enable, std::string_view session,
-                                  std::string_view sub, int session_id,
-                                  int subscription_id) {
-  const std::string label =
-      std::string(session) + "." + std::string(sub);
-  if (!enable) {
-    std::lock_guard<std::mutex> lock(conn->io_mu);
-    for (size_t i = 0; i < conn->streams.size(); ++i) {
-      if (conn->streams[i].label != label) continue;
-      if (std::shared_ptr<ResultQueue> queue =
-              conn->streams[i].queue.lock();
-          queue != nullptr &&
-          queue->policy() == OverflowPolicy::kBlock && !queue->closed()) {
-        return Status::FailedPrecondition(
-            "a block-policy subscription must stay streamed on the "
-            "socket frontend (its producer would wedge the shared "
-            "control thread with no consumer); DETACH it instead");
-      }
-      conn->streams.erase(conn->streams.begin() + i);
-      active_streams_.fetch_sub(1);
-      return OkStatus();
-    }
-    return Status::NotFound("not streaming: " + label);
-  }
-  std::shared_ptr<ResultQueue> handle =
-      service_->queue_handle(session_id, subscription_id);
-  if (handle == nullptr) {
-    return Status::NotFound("subscription has no queue: " + label);
-  }
-  std::lock_guard<std::mutex> lock(conn->io_mu);
-  for (Connection::Stream& s : conn->streams) {
-    if (s.label == label) {
-      // Same name, possibly a new subscription (DETACH + re-SUBMIT frees
-      // the name): point the stream at the current queue rather than
-      // leaving a stale handle the pump is about to END.
-      s.queue = handle;
-      return OkStatus();
-    }
-  }
-  conn->streams.push_back(Connection::Stream{label, handle});
-  active_streams_.fetch_add(1);
-  {
-    std::lock_guard<std::mutex> pump_lock(pump_mu_);
-    pump_cv_.notify_all();
-  }
-  return OkStatus();
-}
-
-bool SocketServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
-  PipelineMetrics* const pipeline = options_.pipeline;
-  const uint64_t flush_t0 =
-      pipeline != nullptr ? PipelineMetrics::NowMicros() : 0;
-  std::lock_guard<std::mutex> lock(conn->io_mu);
-  if (!conn->open) return false;
-  std::vector<CompleteMatch> drained;
-  bool pushed_any = false;
-  for (size_t i = 0; i < conn->streams.size();) {
-    Connection::Stream& stream = conn->streams[i];
-    bool ended = false;
-    // Write-buffer high-water is the backpressure valve: above it we stop
-    // draining, the ResultQueue fills, and its own overflow policy (block
-    // the producer / drop oldest / drop newest) takes over upstream.
-    // During shutdown the valve opens fully — a kBlock producer must be
-    // freed even if its slow reader never collects the bytes.
-    const size_t high_water = stopping_.load(std::memory_order_acquire)
-                                  ? std::numeric_limits<size_t>::max()
-                                  : options_.write_high_water;
-    while (conn->wbuf.size() < high_water) {
-      std::shared_ptr<ResultQueue> queue = stream.queue.lock();
-      if (queue == nullptr) {  // reclaimed under us
-        ended = true;
-        break;
-      }
-      // Coalesced drain: one queue-lock round-trip pops a whole chunk,
-      // which is then formatted into wbuf and flushed below in a single
-      // write — not one lock and one send per EVENT line.
-      drained.clear();
-      const size_t n = queue->DrainUpTo(&drained, options_.pump_drain_chunk);
-      if (n > 0) {
-        for (const CompleteMatch& cm : drained) {
-          conn->wbuf += "EVENT MATCH ";
-          conn->wbuf += stream.label;
-          conn->wbuf += " completed_at=";
-          conn->wbuf += std::to_string(cm.completed_at);
-          conn->wbuf += ' ';
-          conn->wbuf += cm.match.ToString();
-          conn->wbuf += '\n';
-        }
-        events_pushed_.fetch_add(n);
-        pushed_any = true;
-        continue;
-      }
-      if (queue->closed() && queue->size() == 0) ended = true;
-      break;
-    }
-    if (ended) {
-      conn->wbuf += "EVENT END " + stream.label + "\n";
-      conn->streams.erase(conn->streams.begin() + i);
-      active_streams_.fetch_sub(1);
-    } else {
-      ++i;
-    }
-  }
-  if (pushed_any) {
-    pump_flushes_.fetch_add(1);
-    // Only drain passes that moved matches count as a flush; idle ticks
-    // would drown the histogram in zeros.
-    if (pipeline != nullptr) {
-      pipeline->Record(PipelineStage::kDeliveryFlush,
-                       PipelineMetrics::NowMicros() - flush_t0);
-    }
-  }
-  if (!FlushWritesLocked(*conn)) return false;
-  return conn->open;
-}
-
-bool SocketServer::FlushWritesLocked(Connection& conn) {
-  // Send from an offset and erase the consumed prefix once: one memmove
-  // per flush, not one per partial send.
-  size_t sent = 0;
-  bool fatal = false;
-  while (sent < conn.wbuf.size()) {
-    const ssize_t n = ::send(conn.fd.get(), conn.wbuf.data() + sent,
-                             conn.wbuf.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      bytes_out_.fetch_add(static_cast<uint64_t>(n));
-      sent += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n < 0 && errno == EINTR) continue;
-    fatal = true;  // EPIPE / ECONNRESET / anything else
-    break;
-  }
-  conn.wbuf.erase(0, sent);
-  if (fatal) {
-    conn.open = false;
-    return false;
-  }
-  if (conn.wbuf.empty() && conn.closing) {  // BYE fully flushed
-    conn.open = false;
-    return false;
-  }
-  return true;
-}
-
-void SocketServer::CloseConnection(const std::shared_ptr<Connection>& conn,
-                                   bool preserve_sessions) {
-  {
-    std::lock_guard<std::mutex> lock(conn->io_mu);
-    if (!conn->fd.valid()) return;  // already torn down
-    FlushWritesLocked(*conn);       // best effort (BYE responses etc.)
-    conn->open = false;
-    active_streams_.fetch_sub(static_cast<int>(conn->streams.size()));
-    conn->streams.clear();
-    conn->fd.reset();
-  }
-  // Control-plane reclamation: a vanished tenant's sessions close, their
-  // subscriptions detach (unblocking any kBlock producer), and the
-  // service's tables compact. Closed-session scope only: one tenant's
-  // disconnect must never change what another tenant's open session
-  // observes (a drained POLL stays "n=0"). A durable server's *shutdown*
-  // teardown is the exception (preserve_sessions): those tenants didn't
-  // leave, the process is — their sessions must survive into the final
-  // snapshot so they can re-ATTACH after the restart, exactly as they
-  // would after a kill -9.
-  if (!preserve_sessions && conn->interpreter != nullptr) {
-    for (const auto& [name, session_id] : conn->interpreter->sessions()) {
-      service_->CloseSession(session_id).ok();
-    }
-    subscriptions_reclaimed_.fetch_add(
-        service_->ReclaimDetached(/*drained_in_open_sessions=*/false));
-  }
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (size_t i = 0; i < conns_.size(); ++i) {
-      if (conns_[i] == conn) {
-        conns_.erase(conns_.begin() + i);
-        break;
-      }
-    }
-  }
-  connections_closed_.fetch_add(1);
-}
-
-void SocketServer::PumpLoop() {
-  std::unique_lock<std::mutex> lock(pump_mu_);
-  while (!pump_stop_.load(std::memory_order_acquire)) {
-    if (active_streams_.load(std::memory_order_acquire) == 0 &&
-        !stopping_.load(std::memory_order_acquire)) {
-      // Nothing to drain: park until STREAM registration or Stop (the
-      // poll loop owns plain response writes on its own).
-      pump_cv_.wait(lock, [this] {
-        return stopping_.load(std::memory_order_acquire) ||
-               pump_stop_.load(std::memory_order_acquire) ||
-               active_streams_.load(std::memory_order_acquire) > 0;
-      });
-    } else {
-      pump_cv_.wait_for(lock,
-                        std::chrono::milliseconds(options_.pump_interval_ms));
-    }
-    if (pump_stop_.load(std::memory_order_acquire)) break;
-    lock.unlock();
-
-    std::vector<std::shared_ptr<Connection>> conns;
-    {
-      std::lock_guard<std::mutex> conns_lock(conns_mu_);
-      conns = conns_;
-    }
-    bool wake = false;
-    for (const auto& conn : conns) {
-      if (!PumpConnection(conn)) {
-        wake = true;  // dead connection: the poll loop owns teardown
-        continue;
-      }
-      std::lock_guard<std::mutex> io_lock(conn->io_mu);
-      // Bytes the socket would not take need the poll loop's POLLOUT.
-      if (!conn->wbuf.empty()) wake = true;
-    }
-    if (wake) WakePoll();
-
-    lock.lock();
-  }
+  size_t n = 0;
+  for (const auto& loop : loops_) n += loop->connection_count();
+  return n;
 }
 
 }  // namespace streamworks

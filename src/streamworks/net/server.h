@@ -2,106 +2,19 @@
 #define STREAMWORKS_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
 #include <mutex>
-#include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "streamworks/net/acceptor.h"
+#include "streamworks/net/event_loop.h"
+#include "streamworks/net/server_options.h"
 #include "streamworks/net/socket.h"
 #include "streamworks/obs/http_endpoint.h"
-#include "streamworks/obs/metric_registry.h"
-#include "streamworks/obs/stage_trace.h"
-#include "streamworks/service/interpreter.h"
 #include "streamworks/service/query_service.h"
-#include "streamworks/stream/wire_format.h"
 
 namespace streamworks {
-
-/// Knobs of a SocketServer. At least one of tcp_port / unix_path must be
-/// enabled.
-struct ServerOptions {
-  /// TCP listener port; -1 disables, 0 binds an ephemeral port (read the
-  /// real one back from SocketServer::tcp_port after Start).
-  int tcp_port = -1;
-  std::string tcp_host = "127.0.0.1";
-  /// Unix-domain listener path; empty disables. The server unlinks the
-  /// path on shutdown.
-  std::string unix_path;
-  int backlog = 16;
-  /// Accepts beyond this are refused with "ERR server full".
-  size_t max_connections = 64;
-  /// Per-connection write-buffer high-water mark: above it the stream pump
-  /// stops draining that connection's subscriptions, so backpressure falls
-  /// through to each ResultQueue's own overflow policy (block / drop).
-  size_t write_high_water = 256 * 1024;
-  /// A read buffer growing past this without a newline is a protocol
-  /// violation; the connection is told ERR and closed.
-  size_t max_line_bytes = 64 * 1024;
-  /// Largest accepted FEEDB frame body. An oversized frame is refused
-  /// with ERR and its declared bytes are skipped, so the stream stays in
-  /// sync and the connection survives.
-  size_t max_frame_body_bytes = kDefaultMaxFrameBodyBytes;
-  /// Matches the stream pump pops per queue-lock acquisition while
-  /// coalescing a drain pass (one lock + one write per chunk, not per
-  /// match).
-  size_t pump_drain_chunk = 256;
-  /// Stream-pump drain cadence while any subscription is streaming.
-  int pump_interval_ms = 2;
-  /// When > 0, SO_SNDBUF for accepted connections. Tests shrink it so a
-  /// slow reader hits the write high-water (and thus the queue's overflow
-  /// policy) after kilobytes instead of the kernel-default hundreds of KB.
-  int so_sndbuf = 0;
-  /// Installed on every connection's interpreter as the SNAPSHOT verb's
-  /// target (the durability layer's SnapshotNow). Runs on the poll
-  /// thread — the control thread — like every other interpreter call.
-  /// Unset = SNAPSHOT answers ERR (no durability layer).
-  CommandInterpreter::SnapshotHook snapshot_hook;
-  /// Observability HTTP listener port; -1 disables, 0 binds an ephemeral
-  /// port (read back from SocketServer::http_port after Start). Requests
-  /// are parsed and answered on the poll thread — the control thread —
-  /// which is what lets /stats.json and friends call
-  /// QueryService::Snapshot()/QueryInfos() safely; a standalone HTTP
-  /// thread could not.
-  int http_port = -1;
-  std::string http_host = "127.0.0.1";
-  /// Served as GET /metrics when set; the server also installs itself as
-  /// the service's frontend probe either way, so its counters reach STATS
-  /// and the streamworks_frontend_* families. Must outlive the server.
-  MetricRegistry* registry = nullptr;
-  /// The deployment's shared stage instrumentation: the server records
-  /// kFrameDecode around FEEDB decoding and kDeliveryFlush around stream-
-  /// pump drain passes, and serves /trace.json from it. Must outlive the
-  /// server. Null = no stage timing, trace endpoint answers 503.
-  PipelineMetrics* pipeline = nullptr;
-  /// Durable deployments set this so Stop()'s connection teardown leaves
-  /// still-connected tenants' sessions OPEN: the shutdown snapshot taken
-  /// after Stop must capture them (a graceful restart preserves exactly
-  /// what a kill -9 would have), where a live tenant's own disconnect
-  /// still closes its sessions as always. Leave false without a
-  /// durability layer — preserved sessions would just leak.
-  bool preserve_sessions_on_stop = false;
-};
-
-/// Monotonic counters of one server's lifetime (all reads are safe from
-/// any thread).
-struct ServerStats {
-  uint64_t connections_accepted = 0;
-  uint64_t connections_refused = 0;
-  uint64_t connections_closed = 0;
-  uint64_t lines_executed = 0;
-  uint64_t frames_executed = 0;  ///< Binary FEEDB frames executed.
-  uint64_t batch_edges_in = 0;   ///< Edges carried by those frames.
-  uint64_t protocol_errors = 0;
-  uint64_t events_pushed = 0;  ///< EVENT lines queued to sockets.
-  uint64_t pump_flushes = 0;   ///< Coalesced drain-pass writes by the pump.
-  uint64_t http_requests = 0;  ///< Observability HTTP requests answered.
-  uint64_t bytes_in = 0;
-  uint64_t bytes_out = 0;
-  uint64_t subscriptions_reclaimed = 0;  ///< Subscriptions reclaimed on close.
-};
 
 /// Network frontend for one QueryService: accepts TCP and unix-domain
 /// connections and runs one CommandInterpreter session per connection, so
@@ -132,22 +45,28 @@ struct ServerStats {
 ///   * BYE replies "OK bye" + "." and half-closes: the server flushes and
 ///     disconnects.
 ///
-/// Threading: a poll loop owns accept/read/execute/write — every
-/// interpreter (and thus QueryService control-plane) call happens on that
-/// one thread, satisfying the service's one-control-thread contract. A
-/// second stream-pump thread drains streamed ResultQueues into per-
-/// connection write buffers and opportunistically writes them out; because
-/// it never touches the control plane it keeps draining even while the
-/// poll thread is parked inside a backend Flush or a kBlock Push, which is
+/// Threading: one acceptor thread polls the listeners and deals accepted
+/// fds round-robin across N epoll IO loops (ServerOptions::io_loops; see
+/// event_loop.h). Each loop owns its connections end to end — read,
+/// FEEDB/text demux, execute, write — with per-connection interpreter
+/// state shared-nothing between loops, and runs its own stream-pump
+/// thread draining only its connections' streamed ResultQueues, so a
+/// slow consumer degrades delivery on its own loop only. The one shared
+/// seam is the server's control mutex: every interpreter (and thus
+/// QueryService control-plane) call from any loop serializes under it,
+/// preserving the service's serialized-control-plane contract — io_loops
+/// scales connection fan-out and delivery, not query execution. Pumps
+/// never take the control mutex, so they keep draining even while a loop
+/// thread is parked inside a backend Flush or a kBlock Push, which is
 /// what turns the block policy into end-to-end throttling instead of a
-/// deadlock. For that to hold, every kBlock queue needs the pump as its
-/// consumer: the server auto-upgrades block-policy submissions to
+/// deadlock. For that to hold, every kBlock queue needs its loop's pump
+/// as its consumer: the server auto-upgrades block-policy submissions to
 /// streaming and refuses to UNSTREAM them (a POLL-only kBlock queue's
 /// sole drainer would be the very thread its producer blocks). A slow
 /// kBlock tenant can still stall FLUSH/STATS for everyone until it reads
 /// — block means block — but reading always unwedges, and Stop() always
-/// completes (it force-closes every queue up front). Both threads
-/// serialize per-connection IO state on Connection::io_mu.
+/// completes (it force-closes every queue up front). IO thread and pump
+/// serialize per-connection IO state on ServerConnection::io_mu.
 ///
 /// Disconnect (client close, error, or Stop) closes every session the
 /// connection opened through QueryService::CloseSession and then compacts
@@ -166,12 +85,13 @@ class SocketServer {
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Binds the listeners and spawns the poll + pump threads. One-shot.
+  /// Binds the listeners and spawns the acceptor and the IO loops (each
+  /// an epoll thread + a pump thread). One-shot.
   Status Start();
 
   /// Graceful shutdown: flushes what it can, closes every connection
   /// (running the disconnect reclamation for each), closes listeners,
-  /// unlinks the unix socket path, joins both threads. Idempotent.
+  /// unlinks the unix socket path, joins every thread. Idempotent.
   void Stop();
 
   /// The TCP port actually bound (resolves tcp_port=0), -1 when disabled.
@@ -183,98 +103,14 @@ class SocketServer {
 
   ServerStats stats() const;
 
-  /// Live connection count (for tests and ops).
+  /// Live connection count across all loops (for tests and ops).
   size_t active_connections() const;
 
+  /// IO loops actually running (options_.io_loops with auto resolved);
+  /// 0 before Start.
+  int io_loops() const { return static_cast<int>(loops_.size()); }
+
  private:
-  /// One client connection. IO state (fd validity via `open`, read/write
-  /// buffers, streams) is guarded by io_mu and shared between the poll
-  /// loop and the stream pump; the interpreter is poll-loop-only.
-  struct Connection {
-    explicit Connection(UniqueFd fd_in) : fd(std::move(fd_in)) {}
-
-    UniqueFd fd;
-    std::mutex io_mu;
-    /// Accepted on the HTTP listener: the connection speaks HTTP instead
-    /// of the line protocol (one request, one response, close) and has no
-    /// interpreter.
-    bool http = false;
-    bool open = true;      ///< False once the fd is being torn down.
-    bool closing = false;  ///< BYE/half-close: disconnect once wbuf drains.
-    bool read_eof = false; ///< Peer finished sending (half-close or gone).
-    std::string rbuf;
-    std::string wbuf;
-    /// Remaining bytes of a refused (oversized) FEEDB frame still to be
-    /// discarded — the length prefix makes resync exact, so the
-    /// connection survives the refusal. Poll-thread-only, like rbuf.
-    size_t skip_bytes = 0;
-    /// Set when AdvanceConnection parked complete-but-unexecuted input
-    /// behind the write high-water; an EOF must not close such a
-    /// connection (the parked work resumes after POLLOUT drains).
-    bool input_parked = false;
-    /// Subscriptions upgraded to push streaming. The weak_ptr expires when
-    /// the service reclaims the subscription (the pump then emits END).
-    struct Stream {
-      std::string label;  ///< "<session>.<sub>" as the client named it.
-      std::weak_ptr<ResultQueue> queue;
-    };
-    std::vector<Stream> streams;
-
-    /// Poll-loop-only (interpreter calls are control-plane calls).
-    std::unique_ptr<std::ostringstream> out;
-    std::unique_ptr<CommandInterpreter> interpreter;
-  };
-
-  void PollLoop();
-  void PumpLoop();
-
-  void AcceptFrom(int listen_fd, bool http = false);
-  /// Reads what's available into rbuf (noting EOF), then advances.
-  void HandleReadable(const std::shared_ptr<Connection>& conn);
-  /// Executes buffered lines while the write buffer is below high-water
-  /// (the response path's backpressure: a reader that won't take its
-  /// responses stops being read from), flushes, applies the BYE/EOF
-  /// close-once-drained rules, and tears the connection down if it died.
-  /// Poll-thread-only; re-entered after POLLOUT drains to resume lines
-  /// parked behind a full write buffer.
-  void AdvanceConnection(const std::shared_ptr<Connection>& conn);
-  /// The HTTP sibling of AdvanceConnection: parses one request head from
-  /// rbuf, answers it through the handler (whose providers make
-  /// control-plane calls — poll-thread-only, io_mu not held), and marks
-  /// the connection closing. Runs on the poll thread.
-  void AdvanceHttp(const std::shared_ptr<Connection>& conn);
-  /// Executes one protocol line on the poll thread and appends the framed
-  /// response to wbuf.
-  void ExecuteLine(const std::shared_ptr<Connection>& conn,
-                   std::string_view line);
-  /// Executes one decoded FEEDB batch on the poll thread (the binary
-  /// sibling of ExecuteLine; one framed "OK feedb ..." response per
-  /// frame).
-  void ExecuteFrame(const std::shared_ptr<Connection>& conn,
-                    const EdgeBatch& batch);
-  /// STREAM/UNSTREAM hook target (runs on the poll thread, from inside
-  /// the connection's interpreter).
-  Status HandleStream(const std::shared_ptr<Connection>& conn, bool enable,
-                      std::string_view session, std::string_view sub,
-                      int session_id, int subscription_id);
-
-  /// Drains streamed queues into wbuf (respecting write_high_water) and
-  /// writes wbuf to the socket. Callable from either thread; io_mu must
-  /// NOT be held. Returns false when the connection died mid-write.
-  bool PumpConnection(const std::shared_ptr<Connection>& conn);
-
-  /// Nonblocking write of wbuf; io_mu must be held. False on fatal error.
-  bool FlushWritesLocked(Connection& conn);
-
-  /// Tears the connection down: closes the fd and — unless
-  /// `preserve_sessions` (Stop's shutdown path on a durable server) —
-  /// closes every session its interpreter opened and reclaims detached
-  /// subscriptions.
-  void CloseConnection(const std::shared_ptr<Connection>& conn,
-                       bool preserve_sessions = false);
-
-  void WakePoll();
-
   QueryService* service_;
   Interner* interner_;
   ServerOptions options_;
@@ -285,45 +121,23 @@ class SocketServer {
   int bound_tcp_port_ = -1;
   int bound_http_port_ = -1;
   std::unique_ptr<HttpHandler> http_handler_;
-  UniqueFd wake_read_;
-  UniqueFd wake_write_;
 
-  std::thread poll_thread_;
-  std::thread pump_thread_;
+  /// The narrow locked handoff into the control plane: every
+  /// interpreter / QueryService / HTTP-handler call from any loop
+  /// serializes here (see event_loop.h).
+  std::mutex control_mu_;
+
+  ServerCounters counters_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::unique_ptr<Acceptor> acceptor_;
+
   std::atomic<bool> running_{false};
-  /// Two-phase shutdown: stopping_ retires the poll loop while the pump
-  /// keeps draining (a poll thread parked in a backend Flush behind a
-  /// kBlock queue needs the pump to free it); pump_stop_ retires the pump
-  /// only after the poll thread joined.
+  /// Server-wide shutdown latch: retires the IO loops while the pumps
+  /// keep draining (a loop thread parked in a backend Flush behind a
+  /// kBlock queue needs its pump to free it); each loop's pump stops only
+  /// after its IO thread joined.
   std::atomic<bool> stopping_{false};
-  std::atomic<bool> pump_stop_{false};
   bool started_ = false;
-
-  /// Guards conns_ (the list itself; per-connection state is io_mu's).
-  mutable std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
-
-  /// Pump parking: woken by Stop and by STREAM registration. While no
-  /// subscription is streaming (active_streams_ == 0) the pump sleeps
-  /// indefinitely instead of ticking, so an idle daemon costs nothing.
-  std::mutex pump_mu_;
-  std::condition_variable pump_cv_;
-  std::atomic<int> active_streams_{0};
-
-  // Stats (atomics: bumped from both threads, read from any).
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_refused_{0};
-  std::atomic<uint64_t> connections_closed_{0};
-  std::atomic<uint64_t> lines_executed_{0};
-  std::atomic<uint64_t> frames_executed_{0};
-  std::atomic<uint64_t> batch_edges_in_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> events_pushed_{0};
-  std::atomic<uint64_t> pump_flushes_{0};
-  std::atomic<uint64_t> http_requests_{0};
-  std::atomic<uint64_t> bytes_in_{0};
-  std::atomic<uint64_t> bytes_out_{0};
-  std::atomic<uint64_t> subscriptions_reclaimed_{0};
 };
 
 }  // namespace streamworks

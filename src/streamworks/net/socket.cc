@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -128,6 +129,12 @@ StatusOr<UniqueFd> ConnectUnix(const std::string& path) {
                 sizeof(addr)) < 0) {
     return Status::IoError(Errno("connect(unix " + path + ")"));
   }
+  return fd;
+}
+
+StatusOr<UniqueFd> CreateEpoll() {
+  UniqueFd fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!fd.valid()) return Status::IoError(Errno("epoll_create1"));
   return fd;
 }
 

@@ -34,6 +34,9 @@ StatusOr<UniqueFd> ConnectUnix(const std::string& path);
 /// and the stream pump wake a poll loop parked in poll(2).
 StatusOr<std::pair<UniqueFd, UniqueFd>> MakeWakePipe();
 
+/// epoll(7) instance (EPOLL_CLOEXEC) — one per IO loop.
+StatusOr<UniqueFd> CreateEpoll();
+
 }  // namespace streamworks
 
 #endif  // STREAMWORKS_NET_SOCKET_H_

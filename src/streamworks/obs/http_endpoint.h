@@ -16,11 +16,12 @@ namespace streamworks {
 /// A deliberately minimal HTTP/1.1 server side for the observability
 /// endpoints: GET-only, no request bodies, one response per connection
 /// (`Connection: close`). The socket server owns the sockets and calls
-/// ParseHttpRequest / HttpHandler::Handle from its poll thread, which is
-/// the control thread — exactly the thread QueryService::Snapshot() and
-/// ShardLoads() demand. A standalone HTTP server thread could not make
-/// those calls safely; that constraint, not minimalism, is why the
-/// endpoint rides the existing poll loop.
+/// ParseHttpRequest / HttpHandler::Handle from the IO loop owning the
+/// connection's fd, holding the server's control mutex across Handle —
+/// exactly the serialization QueryService::Snapshot() and ShardLoads()
+/// demand. A standalone unserialized HTTP thread could not make those
+/// calls safely; that constraint, not minimalism, is why the endpoint
+/// rides the IO loops.
 
 /// The parsed request line. Headers are consumed but not retained —
 /// nothing the endpoints serve depends on them.

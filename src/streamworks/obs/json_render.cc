@@ -104,6 +104,19 @@ void WriteFrontend(JsonWriter* w, const FrontendStatsSnapshot& f) {
   w->Uint(f.bytes_out);
   w->Key("subscriptions_reclaimed");
   w->Uint(f.subscriptions_reclaimed);
+  w->Key("io_loops");
+  w->BeginArray();
+  for (const IoLoopStatsSnapshot& l : f.io_loops) {
+    w->BeginObject();
+    w->Key("loop");
+    w->Int(l.loop);
+    w->Key("connections");
+    w->Uint(l.connections);
+    w->Key("pump_flushes");
+    w->Uint(l.pump_flushes);
+    w->EndObject();
+  }
+  w->EndArray();
   w->EndObject();
 }
 
@@ -562,6 +575,15 @@ void ContributeServiceMetrics(const ServiceStatsSnapshot& snap,
     out->EmitCounter("streamworks_frontend_subscriptions_reclaimed_total",
                      "Subscriptions reclaimed when sessions disconnected.", {},
                      f.subscriptions_reclaimed);
+    for (const IoLoopStatsSnapshot& l : f.io_loops) {
+      const std::string loop = std::to_string(l.loop);
+      out->EmitGauge("streamworks_io_loop_connections",
+                     "Connections currently owned, by IO loop.",
+                     {{"loop", loop}}, static_cast<double>(l.connections));
+      out->EmitCounter("streamworks_io_loop_pump_flushes",
+                       "Coalesced stream-pump flush passes, by IO loop.",
+                       {{"loop", loop}}, l.pump_flushes);
+    }
   }
 }
 

@@ -85,9 +85,10 @@ class MetricSnapshotBuilder {
 /// bump directly), and snapshot-shaped sources (the service stats tree,
 /// the socket server's ServerStats, the durability probe) register
 /// collectors that contribute samples at scrape time. RenderPrometheus
-/// runs the collectors on the scraping thread — the HTTP endpoints live on
-/// the socket server's poll thread, i.e. the control thread, so collectors
-/// may safely make control-plane calls like QueryService::Snapshot().
+/// runs the collectors on the scraping thread — the HTTP endpoints run on
+/// the IO loop owning the connection's fd, under the socket server's
+/// control mutex, so collectors may safely make control-plane calls like
+/// QueryService::Snapshot().
 class MetricRegistry {
  public:
   MetricCounter* RegisterCounter(std::string name, std::string help,

@@ -82,11 +82,15 @@ struct TraceEntry {
   uint64_t at_us = 0;     ///< Steady-clock micros (PipelineMetrics::NowMicros).
 };
 
-/// Lock-free ring of the last N slow operations. Writers claim a slot with
-/// one fetch_add and publish through a per-slot seqlock (odd = write in
-/// progress), so concurrent writers from engine worker threads never block
-/// each other and a reader never observes a torn entry — it skips slots
-/// whose sequence moved under it. Capacity is fixed at construction.
+/// Lock-free ring of the last N slow operations. Writers claim a slot by
+/// CAS-ing its sequence to an odd in-progress marker and publish through a
+/// per-slot seqlock, so concurrent writers from engine worker threads never
+/// block each other and a reader never observes a torn entry — it skips
+/// slots whose sequence moved under it. The payload lives in relaxed-atomic
+/// words (a plain struct would race with the reader's speculative copy and
+/// with a lapping writer); a writer whose claim CAS fails — another writer
+/// lapped the ring onto its slot first — drops its entry rather than tear
+/// the winner's. Capacity is fixed at construction.
 class TraceRing {
  public:
   explicit TraceRing(size_t capacity);
@@ -103,11 +107,13 @@ class TraceRing {
   }
 
  private:
+  static constexpr size_t kEntryWords = 5;
+
   struct Slot {
     /// 0 = never written; odd = write in progress; even = (claim index
     /// + 1) * 2 of the published entry.
     std::atomic<uint64_t> seq{0};
-    TraceEntry entry;
+    std::array<std::atomic<uint64_t>, kEntryWords> words{};
   };
   std::vector<Slot> slots_;
   std::atomic<uint64_t> next_{0};

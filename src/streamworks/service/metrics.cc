@@ -34,6 +34,10 @@ std::string ServiceStatsSnapshot::ToString() const {
        << " bytes_in=" << frontend.bytes_in
        << " bytes_out=" << frontend.bytes_out
        << " reclaimed=" << frontend.subscriptions_reclaimed << "\n";
+    for (const IoLoopStatsSnapshot& l : frontend.io_loops) {
+      os << "io_loop " << l.loop << ": connections=" << l.connections
+         << " pump_flushes=" << l.pump_flushes << "\n";
+    }
   }
   if (persist.enabled) {
     os << "persist: wal_seq=" << persist.wal_seq

@@ -57,6 +57,16 @@ struct PersistCounters {
   uint64_t replayed_edges = 0;   ///< WAL-tail edges re-fed at recovery.
 };
 
+/// Point-in-time load of one frontend IO loop (connections owned, pump
+/// drain-pass flushes) — the per-loop split of the frontend sums, which is
+/// where sharding skew and a slow consumer's throttled loop become
+/// visible.
+struct IoLoopStatsSnapshot {
+  int loop = 0;
+  uint64_t connections = 0;
+  uint64_t pump_flushes = 0;
+};
+
 /// Point-in-time counters of the network frontend (the socket server's
 /// ServerStats), pulled into the service snapshot through
 /// QueryService::set_frontend_probe so a live daemon's wire activity —
@@ -79,6 +89,8 @@ struct FrontendStatsSnapshot {
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
   uint64_t subscriptions_reclaimed = 0;
+  /// Per-IO-loop split (empty when the frontend predates loops or is off).
+  std::vector<IoLoopStatsSnapshot> io_loops;
 };
 
 /// Point-in-time counters for one subscription. `state` and `policy` are

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "streamworks/common/thread_annotations.h"
 #include "streamworks/obs/stage_trace.h"
 #include "streamworks/service/backend.h"
 #include "streamworks/service/metrics.h"
@@ -129,11 +130,13 @@ struct AttachedSession {
 /// lifecycle (pause / resume / detach) the raw engine doesn't have.
 ///
 /// Threading: control-plane calls (Open/Close/Submit/Pause/Resume/Detach/
-/// Feed/Snapshot) are serialized by the caller or an internal mutex — one
-/// control thread is the expected shape, matching the backend contract.
-/// Match delivery runs on backend threads and only touches each
-/// subscription's queue and atomics, so consumers may drain queues from
-/// any thread at any time.
+/// Feed/Snapshot) are serialized by the caller or an internal mutex —
+/// serialized control is the expected shape, matching the backend
+/// contract. The multi-loop socket frontend honors it by funneling every
+/// loop's interpreter calls through one control mutex (see net/server.h);
+/// in-process embedders usually just call from one thread. Match delivery
+/// runs on backend threads and only touches each subscription's queue and
+/// atomics, so consumers may drain queues from any thread at any time.
 class QueryService {
  public:
   /// `backend` must outlive the service.
@@ -381,8 +384,8 @@ class QueryService {
   mutable std::mutex mu_;
   /// Both tables are keyed by id; ReclaimDetached erases entries, so ids
   /// are not dense and lookups go through the maps.
-  std::map<int, Session> sessions_;
-  std::map<int, Subscription> subscriptions_;
+  std::map<int, Session> sessions_ SW_GUARDED_BY(mu_);
+  std::map<int, Subscription> subscriptions_ SW_GUARDED_BY(mu_);
   int next_session_id_ = 0;
   int next_subscription_id_ = 0;
 
@@ -420,7 +423,8 @@ class QueryService {
   /// own mutex (never mu_) so CloseAllQueues can run while mu_ is held by
   /// a wedged control-plane call. Expired entries are pruned on insert.
   mutable std::mutex queue_registry_mu_;
-  std::vector<std::weak_ptr<ResultQueue>> queue_registry_;
+  std::vector<std::weak_ptr<ResultQueue>> queue_registry_
+      SW_GUARDED_BY(queue_registry_mu_);
 };
 
 }  // namespace streamworks

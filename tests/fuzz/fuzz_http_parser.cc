@@ -1,0 +1,63 @@
+// Fuzz target for the observability HTTP/1.1 request parser. It reads
+// whatever a scraper (or port scanner) throws at the /metrics listener,
+// so it must be total: no out-of-bounds reads, no consumed count past the
+// buffer, and byte-wise incremental delivery must agree with one-shot
+// parsing — the IO loop feeds it partial reads.
+//
+// Built by -DSTREAMWORKS_FUZZ=ON: under clang as a libFuzzer binary
+// (-fsanitize=fuzzer), under gcc linked against the corpus replay driver
+// (tests/fuzz/replay_driver.cc). Seeds live in tests/fuzz/corpus/http/.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "streamworks/obs/http_endpoint.h"
+
+namespace {
+
+void Check(bool ok) {
+  if (!ok) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view buf(reinterpret_cast<const char*>(data), size);
+
+  streamworks::HttpRequest request;
+  size_t consumed = 0;
+  const streamworks::HttpParseResult result =
+      streamworks::ParseHttpRequest(buf, &request, &consumed);
+  if (result == streamworks::HttpParseResult::kComplete) {
+    Check(consumed <= buf.size());
+    Check(consumed > 0);
+  }
+
+  // Incremental agreement: parsing ever-longer prefixes must reach the
+  // same verdict at the same cut the one-shot parse found, and kNeedMore
+  // on every shorter prefix must stay kNeedMore (a parser that flips from
+  // kBad back to kNeedMore as bytes arrive would wedge a connection).
+  // Quadratic, so cap the prefix sweep; the fuzzer minimizes anyway.
+  if (buf.size() <= 512) {
+    bool settled = false;
+    for (size_t len = 0; len <= buf.size() && !settled; ++len) {
+      streamworks::HttpRequest prefix_request;
+      size_t prefix_consumed = 0;
+      const streamworks::HttpParseResult prefix_result =
+          streamworks::ParseHttpRequest(buf.substr(0, len), &prefix_request,
+                                        &prefix_consumed);
+      if (prefix_result == streamworks::HttpParseResult::kNeedMore) continue;
+      settled = true;
+      if (result != streamworks::HttpParseResult::kNeedMore) {
+        Check(prefix_result == result);
+        if (prefix_result == streamworks::HttpParseResult::kComplete) {
+          Check(prefix_consumed == consumed);
+          Check(prefix_request.method == request.method);
+          Check(prefix_request.target == request.target);
+        }
+      }
+    }
+  }
+  return 0;
+}
