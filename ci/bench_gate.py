@@ -22,6 +22,11 @@ Design choices for a shared-runner world:
   * A missing fresh file is skipped with a note (the smoke step may run a
     subset); a missing *baseline* for a present fresh file is also only a
     note, so brand-new benches can land before their first baseline.
+  * --strict inverts the lenient-by-default posture for runs that are
+    supposed to be complete (the nightly job): a committed baseline whose
+    fresh counterpart is missing, lacks a scenario, or ran at a different
+    workload size FAILS instead of skipping. Without it, a bench that
+    silently stopped producing a scenario would pass the gate forever.
 
 The obs-overhead gate is different in kind: BENCH_obs.json carries its
 own acceptance threshold (overhead.gate_pct, from the PR that measured
@@ -31,6 +36,7 @@ self-consistency).
 
 Usage:
   ci/bench_gate.py [--results DIR] [--baseline DIR] [--tolerance 0.25]
+                   [--strict]
   ci/bench_gate.py --self-test
 """
 
@@ -46,6 +52,7 @@ PAIRS = [
     ("bench_net.json", "BENCH_net.json"),
     ("bench_net_fanout.json", "BENCH_net_fanout.json"),
     ("bench_recovery.json", "BENCH_recovery.json"),
+    ("bench_cluster.json", "BENCH_cluster.json"),
 ]
 
 # Higher-is-better metrics, in the order a bench is likely to define
@@ -73,7 +80,7 @@ def workload_edges(doc, row):
     return row.get("edges", doc.get("edges"))
 
 
-def gate_throughput(fresh, baseline, tolerance, label, report):
+def gate_throughput(fresh, baseline, tolerance, label, report, strict=False):
     """Appends (ok, message) findings; returns the number of failures."""
     failures = 0
     fresh_rows = index_rows(fresh)
@@ -81,18 +88,30 @@ def gate_throughput(fresh, baseline, tolerance, label, report):
     for scenario, base_row in sorted(base_rows.items()):
         fresh_row = fresh_rows.get(scenario)
         if fresh_row is None:
-            report.append(
-                (True, f"{label}: '{scenario}' absent from fresh run "
-                       "(skipped)"))
+            if strict:
+                failures += 1
+                report.append(
+                    (False, f"{label}: '{scenario}' absent from fresh run "
+                            "(strict)"))
+            else:
+                report.append(
+                    (True, f"{label}: '{scenario}' absent from fresh run "
+                           "(skipped)"))
             continue
         # Throughput at a downsized workload is dominated by fixed costs
         # (server start, file create), so only like-for-like sizes gate.
         fresh_edges = workload_edges(fresh, fresh_row)
         base_edges = workload_edges(baseline, base_row)
         if fresh_edges != base_edges:
-            report.append(
-                (True, f"{label}: '{scenario}' workload {fresh_edges} != "
-                       f"baseline {base_edges} edges (skipped)"))
+            if strict:
+                failures += 1
+                report.append(
+                    (False, f"{label}: '{scenario}' workload {fresh_edges} "
+                            f"!= baseline {base_edges} edges (strict)"))
+            else:
+                report.append(
+                    (True, f"{label}: '{scenario}' workload {fresh_edges} "
+                           f"!= baseline {base_edges} edges (skipped)"))
             continue
         for key in THROUGHPUT_KEYS:
             base_value = base_row.get(key)
@@ -141,21 +160,28 @@ def gate_obs_overhead(doc, label, report):
     return 0
 
 
-def run_gate(results_dir, baseline_dir, tolerance):
+def run_gate(results_dir, baseline_dir, tolerance, strict=False):
     report = []
     failures = 0
     for fresh_name, base_name in PAIRS:
         fresh_path = results_dir / fresh_name
         base_path = baseline_dir / base_name
         if not fresh_path.exists():
-            report.append((True, f"{fresh_name}: no fresh results (skipped)"))
+            if strict and base_path.exists():
+                failures += 1
+                report.append(
+                    (False, f"{fresh_name}: committed baseline {base_name} "
+                            "has no fresh results (strict)"))
+            else:
+                report.append(
+                    (True, f"{fresh_name}: no fresh results (skipped)"))
             continue
         if not base_path.exists():
             report.append(
                 (True, f"{fresh_name}: no committed baseline yet (skipped)"))
             continue
         failures += gate_throughput(load(fresh_path), load(base_path),
-                                    tolerance, fresh_name, report)
+                                    tolerance, fresh_name, report, strict)
     obs_fresh = results_dir / "bench_obs.json"
     obs_base = baseline_dir / "BENCH_obs.json"
     if obs_fresh.exists():
@@ -204,12 +230,25 @@ def self_test():
             {"scenario": "loops4 c1000", "deliver_eps": 1000.0},
         ],
     }
+    partial = {
+        "bench": "net_fanout",
+        "rows": [
+            # One baseline scenario missing: lenient skips, strict fails.
+            {"scenario": "loops1 c100", "deliver_eps": 100000.0},
+        ],
+    }
     report = []
     ok_failures = gate_throughput(clean, baseline, 0.25, "self-test", report)
     bad_failures = gate_throughput(degraded, baseline, 0.25, "self-test",
                                    report)
     downsized_failures = gate_throughput(downsized, baseline, 0.25,
                                          "self-test", report)
+    partial_lenient = gate_throughput(partial, baseline, 0.25, "self-test",
+                                      report)
+    partial_strict = gate_throughput(partial, baseline, 0.25, "self-test",
+                                     report, strict=True)
+    downsized_strict = gate_throughput(downsized, baseline, 0.25,
+                                       "self-test", report, strict=True)
     obs_pass = {"overhead": {"median_cpu_pct": 1.6, "gate_pct": 3.0}}
     obs_fail = {"overhead": {"median_cpu_pct": 4.5, "gate_pct": 3.0}}
     obs_ok = gate_obs_overhead(obs_pass, "self-test obs", report)
@@ -218,6 +257,9 @@ def self_test():
         (ok_failures == 0, "clean fresh run passes"),
         (bad_failures == 1, "40% degradation fails exactly one scenario"),
         (downsized_failures == 0, "size-mismatched workload skips, not fails"),
+        (partial_lenient == 0, "missing scenario skips by default"),
+        (partial_strict == 1, "missing scenario fails under --strict"),
+        (downsized_strict == 2, "size mismatch fails under --strict"),
         (obs_ok == 0, "in-budget obs overhead passes"),
         (obs_bad == 1, "over-budget obs overhead fails"),
     ]
@@ -236,6 +278,10 @@ def main():
                         help="directory with committed BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional throughput drop (0.25)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail (instead of skip) when a committed "
+                             "baseline has no matching fresh scenario at "
+                             "the same workload size")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate passes clean and fails "
                              "degraded synthetic results, then exit")
@@ -245,7 +291,8 @@ def main():
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
     failures, report = run_gate(pathlib.Path(args.results),
-                                pathlib.Path(args.baseline), args.tolerance)
+                                pathlib.Path(args.baseline), args.tolerance,
+                                args.strict)
     for ok, message in report:
         print(f"{'ok' if ok else 'REGRESSION'}: {message}")
     if failures:

@@ -37,6 +37,8 @@
 #include <string_view>
 #include <thread>
 
+#include "streamworks/cluster/coordinator.h"
+#include "streamworks/cluster/worker.h"
 #include "streamworks/common/interner.h"
 #include "streamworks/common/str_util.h"
 #include "streamworks/core/parallel.h"
@@ -172,6 +174,43 @@ int Serve(QueryService* service, Interner* interner, ServerOptions options,
   return 0;
 }
 
+/// `--role worker`: one shard of a distributed cluster as its own daemon.
+/// Prints "WORKER port=<port>" once listening (the e2e harness scrapes it,
+/// like SERVING) and serves until SIGINT/SIGTERM.
+int RunWorker(WorkerOptions options) {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  WorkerDaemon daemon(std::move(options));
+  if (Status status = daemon.Start(); !status.ok()) {
+    std::cerr << "worker start failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "WORKER port=" << daemon.port() << std::endl;
+  const Status served = daemon.Serve(g_shutdown);
+  if (!served.ok()) {
+    std::cerr << "worker failed: " << served.ToString() << "\n";
+    return 1;
+  }
+  const WorkerCounters& counters = daemon.counters();
+  std::cout << "WORKER SHUTDOWN frames=" << counters.frames_applied
+            << " replayed=" << counters.replayed_frames
+            << " exchange_sent=" << counters.exchange_items_sent
+            << " completions=" << counters.completions_sent << std::endl;
+  return 0;
+}
+
+/// Splits a comma-separated "host:port,host:port" worker list.
+std::vector<std::string> SplitWorkerList(std::string_view spec) {
+  std::vector<std::string> out;
+  while (!spec.empty()) {
+    const size_t comma = spec.find(',');
+    out.emplace_back(spec.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    spec.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,10 +224,37 @@ int main(int argc, char** argv) {
   int64_t trace_threshold_us = PipelineMetrics::kDefaultSlowThresholdUs;
   ServerOptions server_options;
   DurabilityOptions durability_options;
+  // Cluster mode: --role worker serves one shard, --role coordinator runs
+  // the full service surface over a DistributedBackend spanning --workers.
+  std::string role;
+  WorkerOptions worker_options;
+  DistributedBackendOptions cluster_options;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "partitioned") {
       partitioned = true;
+    } else if (arg == "--role" && i + 1 < argc) {
+      role = argv[++i];
+      if (role != "coordinator" && role != "worker") {
+        std::cerr << "bad --role (want coordinator|worker): " << role << "\n";
+        return 1;
+      }
+    } else if (arg == "--workers" && i + 1 < argc) {
+      cluster_options.workers = SplitWorkerList(argv[++i]);
+    } else if (arg == "--listen-port" && i + 1 < argc) {
+      int64_t port = 0;
+      if (!ParseInt64(argv[++i], &port) || port < 0 || port > 65535) {
+        std::cerr << "bad --listen-port: " << argv[i] << "\n";
+        return 1;
+      }
+      worker_options.port = static_cast<int>(port);
+    } else if (arg == "--connect-deadline-ms" && i + 1 < argc) {
+      int64_t ms = 0;
+      if (!ParseInt64(argv[++i], &ms) || ms <= 0) {
+        std::cerr << "bad --connect-deadline-ms: " << argv[i] << "\n";
+        return 1;
+      }
+      cluster_options.connect_deadline_ms = static_cast<int>(ms);
     } else if (arg == "--serve") {
       serve = true;
     } else if (arg == "--tcp" && i + 1 < argc) {
@@ -267,9 +333,21 @@ int main(int argc, char** argv) {
                    " [--write-high-water BYTES] [--so-sndbuf BYTES]"
                    " [--trace-us N]"
                    " [--data-dir DIR [--snapshot-every N]"
-                   " [--fsync-every N]]\n";
+                   " [--fsync-every N]]"
+                   " [--role worker --listen-port P [--data-dir DIR]]"
+                   " [--role coordinator --workers H:P,H:P"
+                   " [--connect-deadline-ms N]]\n";
       return 1;
     }
+  }
+  if (role == "worker") {
+    // A worker's --data-dir is its frame log, not the service WAL.
+    worker_options.data_dir = durability_options.data_dir;
+    return RunWorker(std::move(worker_options));
+  }
+  if (role == "coordinator" && cluster_options.workers.empty()) {
+    std::cerr << "--role coordinator requires --workers host:port,...\n";
+    return 1;
   }
   if (durability_options.data_dir.empty() &&
       (durability_options.snapshot_every_edges > 0 ||
@@ -296,11 +374,31 @@ int main(int argc, char** argv) {
   // With --data-dir the durable decorator slides between the service and
   // the group: ingest is WAL-logged before it is applied, and the
   // process recovers its window + sessions on start.
-  const bool durable = !durability_options.data_dir.empty();
+  const bool durable =
+      !durability_options.data_dir.empty() && role != "coordinator";
   DurableBackend durable_backend(&group_backend);
   QueryBackend* backend =
       durable ? static_cast<QueryBackend*>(&durable_backend)
               : &group_backend;
+
+  // Coordinator mode swaps the in-process group for the multi-process
+  // cluster; everything above it (service, sessions, wire protocol,
+  // observability) is unchanged. Durability lives in the workers' frame
+  // logs, so the coordinator-side WAL decorator stays out of the stack.
+  std::optional<DistributedBackend> cluster;
+  if (role == "coordinator") {
+    if (!durability_options.data_dir.empty()) {
+      std::cerr << "--data-dir on the coordinator is unused; give it to the "
+                   "workers (their frame logs carry cluster durability)\n";
+      return 1;
+    }
+    cluster.emplace(cluster_options, &interner);
+    if (Status status = cluster->Start(); !status.ok()) {
+      std::cerr << "cluster start failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    backend = &*cluster;
+  }
 
   ServiceLimits limits;
   limits.max_queries_per_session = 4;

@@ -1,0 +1,613 @@
+#include "streamworks/cluster/coordinator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "streamworks/common/str_util.h"
+#include "streamworks/sjtree/exchange.h"
+
+namespace streamworks {
+
+namespace {
+
+constexpr size_t kMaxExchangeItemsPerFrame = 512;
+
+}  // namespace
+
+StatusOr<std::pair<std::string, int>> ParseHostPort(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return Status::InvalidArgument(StrCat("expected host:port, got '", spec,
+                                          "'"));
+  }
+  int port = 0;
+  for (size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(StrCat("bad port in '", spec, "'"));
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument(StrCat("port out of range in '", spec,
+                                            "'"));
+    }
+  }
+  return std::make_pair(spec.substr(0, colon), port);
+}
+
+DistributedBackend::DistributedBackend(DistributedBackendOptions options,
+                                       Interner* interner)
+    : options_(std::move(options)),
+      interner_(interner),
+      partitioner_(options_.partitioner_seed),
+      coord_graph_(&wire_interner_) {}
+
+DistributedBackend::~DistributedBackend() { Stop(); }
+
+Status DistributedBackend::Start() {
+  if (options_.workers.empty()) {
+    return Status::InvalidArgument("a cluster needs at least one worker");
+  }
+  const int n = static_cast<int>(options_.workers.size());
+  workers_.resize(options_.workers.size());
+  for (int i = 0; i < n; ++i) {
+    WorkerState& w = workers_[static_cast<size_t>(i)];
+    SW_ASSIGN_OR_RETURN(auto host_port, ParseHostPort(options_.workers[i]));
+    w.host = host_port.first;
+    w.port = host_port.second;
+    SW_ASSIGN_OR_RETURN(
+        auto link,
+        PeerLink::ConnectTcpRetry(w.host, w.port, options_.connect_deadline_ms));
+    w.link.emplace(std::move(link));
+    CtrlHello hello;
+    hello.num_shards = n;
+    hello.shard_index = i;
+    hello.partitioner_seed = options_.partitioner_seed;
+    SW_RETURN_IF_ERROR(w.link->SendFrame(EncodeHelloFrame(hello)));
+    auto ack_or = w.link->ReadFrame(&wire_interner_, options_.ack_timeout_ms);
+    SW_RETURN_IF_ERROR(ack_or.status());
+    if (ack_or.value().type != CtrlType::kHelloAck) {
+      return Status::InvalidArgument(
+          StrCat("worker ", i, " answered Hello with frame type ",
+                 static_cast<int>(ack_or.value().type)));
+    }
+    if (ack_or.value().hello_ack.applied_frames != 0) {
+      return Status::FailedPrecondition(
+          StrCat("worker ", i, " (", options_.workers[i], ") holds ",
+                 ack_or.value().hello_ack.applied_frames,
+                 " frames of state from a previous cluster run; clear its "
+                 "data dir (or point it elsewhere) to join a fresh cluster"));
+    }
+  }
+  started_ = true;
+  pump_ = std::thread([this] { PumpLoop(); });
+  return OkStatus();
+}
+
+void DistributedBackend::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  pending_cv_.notify_all();
+  space_cv_.notify_all();
+  if (pump_.joinable()) pump_.join();
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  for (WorkerState& w : workers_) {
+    if (w.link.has_value()) w.link->Close();
+  }
+}
+
+void DistributedBackend::SyncLabelNames() {
+  std::lock_guard<std::mutex> lock(label_mu_);
+  while (label_names_.size() < interner_->size()) {
+    label_names_.push_back(
+        interner_->Name(static_cast<LabelId>(label_names_.size())));
+  }
+}
+
+std::string_view DistributedBackend::CachedLabelName(LabelId id) {
+  // Deque elements are append-only and never move, so the view outlives
+  // the lock — encoders may keep it across the whole frame build.
+  std::lock_guard<std::mutex> lock(label_mu_);
+  return label_names_[id];
+}
+
+Status DistributedBackend::SendStateFrame(WorkerState* w, std::string frame) {
+  w->retained.push_back(frame);
+  ++w->sent_state;
+  if (!w->link.has_value() || !w->link->connected()) {
+    return RecoverLink(w);
+  }
+  const Status sent = w->link->SendFrame(frame);
+  if (sent.ok()) return OkStatus();
+  return RecoverLink(w);
+}
+
+Status DistributedBackend::RecoverLink(WorkerState* w) {
+  if (w->link.has_value()) w->link->Close();
+  SW_ASSIGN_OR_RETURN(auto link,
+                      PeerLink::ConnectTcpRetry(w->host, w->port,
+                                                options_.reconnect_deadline_ms));
+  w->link.emplace(std::move(link));
+  CtrlHello hello;
+  hello.num_shards = static_cast<int32_t>(workers_.size());
+  hello.shard_index =
+      static_cast<int32_t>(w - workers_.data());
+  hello.partitioner_seed = options_.partitioner_seed;
+  hello.exchange_items_received = w->exchange_received;
+  hello.completions_received = w->completions_received;
+  SW_RETURN_IF_ERROR(w->link->SendFrame(EncodeHelloFrame(hello)));
+  // The worker replays before answering, then sends HelloAck first and
+  // its regenerated-but-undelivered outputs right after — so the ack is
+  // always the first frame on the recovered link.
+  auto ack_or = w->link->ReadFrame(&wire_interner_, options_.ack_timeout_ms);
+  SW_RETURN_IF_ERROR(ack_or.status());
+  if (ack_or.value().type != CtrlType::kHelloAck) {
+    return Status::Internal("worker did not answer recovery Hello with ack");
+  }
+  const uint64_t durable = ack_or.value().hello_ack.applied_frames;
+  if (durable < w->pruned_base || durable > w->sent_state) {
+    return Status::Internal(
+        StrCat("worker log has ", durable, " frames but coordinator retains [",
+               w->pruned_base, ", ", w->sent_state,
+               ") — state streams diverged"));
+  }
+  // Resend what the crash swallowed: frames [durable, sent_state).
+  for (uint64_t seq = durable; seq < w->sent_state; ++seq) {
+    SW_RETURN_IF_ERROR(
+        w->link->SendFrame(w->retained[seq - w->pruned_base]));
+  }
+  return OkStatus();
+}
+
+Status DistributedBackend::HandleWorkerFrame(WorkerState* from,
+                                             const CtrlFrame& frame) {
+  switch (frame.type) {
+    case CtrlType::kExchange: {
+      from->exchange_received += frame.exchange.items.size();
+      relays_total_ += frame.exchange.items.size();
+      // Star relay: group by destination shard, forward as state frames
+      // (a relayed item mutates the receiver, so it must survive a
+      // receiver crash like any batch would).
+      std::map<int32_t, CtrlExchange> by_dest;
+      for (const CtrlExchangeItem& item : frame.exchange.items) {
+        if (item.dest < 0 ||
+            item.dest >= static_cast<int32_t>(workers_.size())) {
+          return Status::Internal(
+              StrCat("exchange item routed to shard ", item.dest, " of ",
+                     workers_.size()));
+        }
+        by_dest[item.dest].items.push_back(item);
+      }
+      const LabelNameFn name = [this](LabelId id) -> std::string_view {
+        return wire_interner_.Name(id);
+      };
+      for (auto& [dest, exchange] : by_dest) {
+        WorkerState* to = &workers_[static_cast<size_t>(dest)];
+        for (size_t begin = 0; begin < exchange.items.size();
+             begin += kMaxExchangeItemsPerFrame) {
+          const size_t end = std::min(exchange.items.size(),
+                                      begin + kMaxExchangeItemsPerFrame);
+          CtrlExchange chunk;
+          chunk.items.assign(
+              exchange.items.begin() + static_cast<ptrdiff_t>(begin),
+              exchange.items.begin() + static_cast<ptrdiff_t>(end));
+          SW_RETURN_IF_ERROR(
+              SendStateFrame(to, EncodeExchangeFrame(chunk, name)));
+        }
+      }
+      return OkStatus();
+    }
+    case CtrlType::kCompletion: {
+      ++from->completions_received;
+      const auto it = queries_.find(frame.completion.query_id);
+      if (it == queries_.end()) {
+        // Unregistered while the completion was in flight; the contract
+        // ("no callbacks after Unregister returns") says drop it.
+        return OkStatus();
+      }
+      auto match_or = MatchExchange::Localize(&coord_graph_, it->second.query,
+                                              frame.completion.match);
+      SW_RETURN_IF_ERROR(match_or.status());
+      if (suppress_.load(std::memory_order_relaxed)) return OkStatus();
+      CompleteMatch cm;
+      cm.query_id = frame.completion.query_id;
+      cm.match = std::move(match_or).value();
+      cm.completed_at = frame.completion.completed_at;
+      cm.graph = &coord_graph_;
+      it->second.callback(cm);
+      return OkStatus();
+    }
+    default:
+      // Stale acks from an abandoned await survive a reconnect race;
+      // ignoring them is always safe (awaits match on round/type).
+      return OkStatus();
+  }
+}
+
+StatusOr<CtrlFrame> DistributedBackend::AwaitFrame(WorkerState* w,
+                                                   CtrlType type) {
+  while (true) {
+    auto frame_or = w->link->ReadFrame(&wire_interner_, options_.ack_timeout_ms);
+    SW_RETURN_IF_ERROR(frame_or.status());
+    if (frame_or.value().type == type) return frame_or;
+    SW_RETURN_IF_ERROR(HandleWorkerFrame(w, frame_or.value()));
+  }
+}
+
+Status DistributedBackend::AwaitBarrierAck(WorkerState* w, uint32_t round) {
+  while (true) {
+    auto frame_or = w->link->ReadFrame(&wire_interner_, options_.ack_timeout_ms);
+    if (!frame_or.ok()) {
+      // Mid-barrier link failure: recover (replay + resend restores the
+      // worker past this barrier's frames) and re-barrier just this
+      // worker so it flushes and acks again.
+      SW_RETURN_IF_ERROR(RecoverLink(w));
+      CtrlBarrier barrier;
+      barrier.round = round;
+      SW_RETURN_IF_ERROR(w->link->SendFrame(EncodeBarrierFrame(barrier)));
+      continue;
+    }
+    const CtrlFrame& frame = frame_or.value();
+    if (frame.type == CtrlType::kBarrierAck) {
+      if (frame.barrier_ack.round != round) continue;  // stale round
+      // The ack's durable-frame count lets us drop the retained prefix:
+      // those frames survive in the worker's log, so a crash replays
+      // them locally and we will never need to resend them.
+      while (w->pruned_base < frame.barrier_ack.applied_frames &&
+             !w->retained.empty()) {
+        w->retained.pop_front();
+        ++w->pruned_base;
+      }
+      return OkStatus();
+    }
+    SW_RETURN_IF_ERROR(HandleWorkerFrame(w, frame));
+  }
+}
+
+Status DistributedBackend::BarrierFixpoint() {
+  uint64_t before;
+  do {
+    before = relays_total_;
+    ++barrier_round_;
+    CtrlBarrier barrier;
+    barrier.round = barrier_round_;
+    const std::string frame = EncodeBarrierFrame(barrier);
+    for (WorkerState& w : workers_) {
+      if (!w.link.has_value() || !w.link->connected()) {
+        SW_RETURN_IF_ERROR(RecoverLink(&w));
+      }
+      const Status sent = w.link->SendFrame(frame);
+      if (!sent.ok()) {
+        SW_RETURN_IF_ERROR(RecoverLink(&w));
+        SW_RETURN_IF_ERROR(w.link->SendFrame(frame));
+      }
+    }
+    for (WorkerState& w : workers_) {
+      SW_RETURN_IF_ERROR(AwaitBarrierAck(&w, barrier_round_));
+    }
+    // Relays sent during the acks are state frames queued behind nothing:
+    // if any moved, another round flushes their consequences.
+  } while (relays_total_ != before);
+  if (group_watermark_ > last_broadcast_watermark_) {
+    CtrlCommit commit;
+    commit.watermark = group_watermark_;
+    const std::string frame = EncodeCommitFrame(commit);
+    for (WorkerState& w : workers_) {
+      SW_RETURN_IF_ERROR(SendStateFrame(&w, frame));
+    }
+    last_broadcast_watermark_ = group_watermark_;
+  }
+  return OkStatus();
+}
+
+bool DistributedBackend::AdmitEdge(const StreamEdge& edge) {
+  // Mirrors ParallelEngineGroup::AdmitPartitionedEdge, including AddEdge's
+  // side effect that an edge rejected on its dst label still records its
+  // src — shards only see edges incident to owned vertices, so label
+  // consistency must be enforced once, group-wide, here.
+  if (edge.ts < 0 || edge.ts < group_watermark_) {
+    rejected_edges_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  auto [src_it, src_new] =
+      admitted_vertex_labels_.try_emplace(edge.src, edge.src_label);
+  if (!src_new && src_it->second != edge.src_label) {
+    rejected_edges_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  auto [dst_it, dst_new] =
+      admitted_vertex_labels_.try_emplace(edge.dst, edge.dst_label);
+  if (!dst_new && dst_it->second != edge.dst_label) {
+    rejected_edges_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+StatusOr<size_t> DistributedBackend::RunEpoch() {
+  std::vector<StreamEdge> epoch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    const size_t take =
+        std::min(pending_.size(), static_cast<size_t>(options_.epoch_edges));
+    epoch.assign(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(take));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(take));
+  }
+  if (epoch.empty()) return size_t{0};
+  space_cv_.notify_all();
+
+  const int n = static_cast<int>(workers_.size());
+  std::vector<CtrlBatch> batches(workers_.size());
+  for (const StreamEdge& edge : epoch) {
+    if (!AdmitEdge(edge)) continue;
+    const EdgeId id = next_global_edge_id_++;
+    group_watermark_ = edge.ts;
+    const int src_owner = partitioner_.OwnerShard(edge.src, n);
+    const int dst_owner = partitioner_.OwnerShard(edge.dst, n);
+    CtrlShardEdge routed;
+    routed.edge = edge;
+    routed.global_id = id;
+    routed.run_anchors = true;  // exactly one endpoint owner anchors
+    batches[static_cast<size_t>(src_owner)].edges.push_back(routed);
+    if (dst_owner != src_owner) {
+      routed.run_anchors = false;
+      batches[static_cast<size_t>(dst_owner)].edges.push_back(routed);
+    }
+  }
+  const LabelNameFn name = [this](LabelId id) -> std::string_view {
+    return CachedLabelName(id);
+  };
+  for (int i = 0; i < n; ++i) {
+    if (batches[static_cast<size_t>(i)].edges.empty()) continue;
+    SW_RETURN_IF_ERROR(
+        SendStateFrame(&workers_[static_cast<size_t>(i)],
+                       EncodeBatchFrame(batches[static_cast<size_t>(i)], name)));
+  }
+  SW_RETURN_IF_ERROR(BarrierFixpoint());
+  return epoch.size();
+}
+
+Status DistributedBackend::DrainPending() {
+  while (true) {
+    SW_ASSIGN_OR_RETURN(const size_t taken, RunEpoch());
+    if (taken == 0) return OkStatus();
+  }
+}
+
+void DistributedBackend::PumpLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(pending_mu_);
+      pending_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (stop_) return;
+    }
+    std::lock_guard<std::mutex> lock(cluster_mu_);
+    auto taken_or = RunEpoch();
+    if (!taken_or.ok()) {
+      // An epoch failure (a worker past its recovery deadline) poisons
+      // ingest but not the control surface: report and keep trying — a
+      // returning worker is replayed back to health by the next attempt.
+      std::fprintf(stderr, "coordinator: epoch failed: %s\n",
+                   taken_or.status().ToString().c_str());
+    }
+  }
+}
+
+StatusOr<int> DistributedBackend::Register(const QueryGraph& query,
+                                           DecompositionStrategy strategy,
+                                           Timestamp window,
+                                           MatchCallback callback) {
+  SyncLabelNames();
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  SW_RETURN_IF_ERROR(DrainPending());
+
+  CtrlRegister reg;
+  reg.expect_id = next_query_id_;
+  reg.strategy = static_cast<uint8_t>(strategy);
+  reg.window = window;
+  reg.name = query.name();
+  reg.vertex_labels.reserve(static_cast<size_t>(query.num_vertices()));
+  for (int v = 0; v < query.num_vertices(); ++v) {
+    reg.vertex_labels.push_back(interner_->Name(query.vertex_label(v)));
+  }
+  reg.edges.reserve(query.edges().size());
+  for (const QueryEdge& e : query.edges()) {
+    CtrlQueryEdge edge;
+    edge.src = static_cast<uint8_t>(e.src);
+    edge.dst = static_cast<uint8_t>(e.dst);
+    edge.label = interner_->Name(e.label);
+    reg.edges.push_back(std::move(edge));
+  }
+  const std::string frame = EncodeRegisterFrame(reg);
+  for (WorkerState& w : workers_) {
+    SW_RETURN_IF_ERROR(SendStateFrame(&w, frame));
+  }
+  // Await every ack before unsuppressing: registration is a group
+  // decision, and backfill exchange items interleave with the acks.
+  std::string first_error;
+  for (WorkerState& w : workers_) {
+    SW_ASSIGN_OR_RETURN(const CtrlFrame ack,
+                        AwaitFrame(&w, CtrlType::kRegisterAck));
+    if (!ack.register_ack.ok) {
+      // Deterministic validation failure: every worker refused the same
+      // way, no id was consumed anywhere.
+      if (first_error.empty()) first_error = ack.register_ack.error;
+      continue;
+    }
+    if (ack.register_ack.id != reg.expect_id) {
+      return Status::Internal(
+          StrCat("worker assigned query id ", ack.register_ack.id,
+                 ", coordinator expected ", reg.expect_id));
+    }
+  }
+  if (!first_error.empty()) {
+    return Status::InvalidArgument(first_error);
+  }
+  // Let the distributed backfill's cross-shard traffic settle, then lift
+  // suppression everywhere: matches that completed before registration
+  // stay unreported, exactly like single-engine mid-stream registration.
+  SW_RETURN_IF_ERROR(BarrierFixpoint());
+  const std::string end_backfill = EncodeEndBackfillFrame();
+  for (WorkerState& w : workers_) {
+    SW_RETURN_IF_ERROR(SendStateFrame(&w, end_backfill));
+  }
+  QueryState state;
+  state.query = query;
+  state.callback = std::move(callback);
+  queries_.emplace(next_query_id_, std::move(state));
+  return next_query_id_++;
+}
+
+Status DistributedBackend::Unregister(int query_id) {
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  SW_RETURN_IF_ERROR(DrainPending());
+  const auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("query ", query_id, " is not registered"));
+  }
+  // First barrier delivers what already completed; Unregister then stops
+  // the workers; the second barrier flushes any stragglers their acks
+  // pushed out, so after erase no callback can fire.
+  SW_RETURN_IF_ERROR(BarrierFixpoint());
+  CtrlUnregister unreg;
+  unreg.query_id = query_id;
+  const std::string frame = EncodeUnregisterFrame(unreg);
+  for (WorkerState& w : workers_) {
+    SW_RETURN_IF_ERROR(SendStateFrame(&w, frame));
+  }
+  SW_RETURN_IF_ERROR(BarrierFixpoint());
+  queries_.erase(it);
+  return OkStatus();
+}
+
+StatusOr<QueryRuntimeInfo> DistributedBackend::Info(int query_id) {
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  SW_RETURN_IF_ERROR(DrainPending());
+  if (queries_.find(query_id) == queries_.end()) {
+    return Status::NotFound(StrCat("query ", query_id, " is not registered"));
+  }
+  CtrlInfo info;
+  info.query_id = query_id;
+  const std::string frame = EncodeInfoFrame(info);
+  QueryRuntimeInfo out;
+  out.query_id = query_id;
+  const size_t home =
+      static_cast<size_t>(query_id) % workers_.size();
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    WorkerState& w = workers_[i];
+    SW_RETURN_IF_ERROR(w.link->SendFrame(frame));
+    SW_ASSIGN_OR_RETURN(const CtrlFrame ack,
+                        AwaitFrame(&w, CtrlType::kInfoAck));
+    if (!ack.info_ack.ok) {
+      return Status::Internal(StrCat("worker ", i, ": ", ack.info_ack.error));
+    }
+    // Same aggregation as the in-process group: the home shard (where
+    // kComplete items deliver) owns the completion count; live/peak and
+    // per-node counters sum element-wise across the replicated trees.
+    if (i == home) {
+      out.name = ack.info_ack.name;
+      out.window = ack.info_ack.window;
+      out.completions = ack.info_ack.completions;
+    }
+    out.live_partial_matches += ack.info_ack.live_partial_matches;
+    out.peak_partial_matches += ack.info_ack.peak_partial_matches;
+    if (out.nodes.size() < ack.info_ack.nodes.size()) {
+      out.nodes.resize(ack.info_ack.nodes.size());
+    }
+    for (size_t j = 0; j < ack.info_ack.nodes.size(); ++j) {
+      const CtrlNodeRuntime& node = ack.info_ack.nodes[j];
+      SjNodeRuntime& agg = out.nodes[j];
+      agg.node = node.node;
+      agg.is_leaf = node.is_leaf;
+      agg.query_edges = node.query_edges;
+      agg.matches_inserted += node.matches_inserted;
+      agg.probes += node.probes;
+      agg.join_attempts += node.join_attempts;
+      agg.joins_succeeded += node.joins_succeeded;
+      agg.live_partial_matches += node.live_partial_matches;
+    }
+  }
+  return out;
+}
+
+Status DistributedBackend::Feed(const StreamEdge& edge) {
+  SyncLabelNames();
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  space_cv_.wait(lock, [this] {
+    return stop_ || pending_.size() < options_.max_pending_edges;
+  });
+  if (stop_) return Status::FailedPrecondition("backend is stopped");
+  pending_.push_back(edge);
+  lock.unlock();
+  pending_cv_.notify_one();
+  return OkStatus();
+}
+
+Status DistributedBackend::FeedBatch(const EdgeBatch& batch,
+                                     size_t* rejected_out) {
+  // Asynchronous ingest: admission rejections surface only in the
+  // aggregate counter, per the backend contract.
+  if (rejected_out != nullptr) *rejected_out = 0;
+  SyncLabelNames();
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  for (const StreamEdge& edge : batch) {
+    space_cv_.wait(lock, [this] {
+      return stop_ || pending_.size() < options_.max_pending_edges;
+    });
+    if (stop_) return Status::FailedPrecondition("backend is stopped");
+    pending_.push_back(edge);
+  }
+  lock.unlock();
+  pending_cv_.notify_one();
+  return OkStatus();
+}
+
+void DistributedBackend::Flush() {
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  const Status drained = DrainPending();
+  if (!drained.ok()) {
+    std::fprintf(stderr, "coordinator: flush drain failed: %s\n",
+                 drained.ToString().c_str());
+    return;
+  }
+  const Status settled = BarrierFixpoint();
+  if (!settled.ok()) {
+    std::fprintf(stderr, "coordinator: flush barrier failed: %s\n",
+                 settled.ToString().c_str());
+  }
+}
+
+std::vector<ShardLoadSnapshot> DistributedBackend::ShardLoads() {
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  if (!DrainPending().ok()) return {};
+  std::vector<ShardLoadSnapshot> out;
+  const std::string frame = EncodeStatsFrame();
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    WorkerState& w = workers_[i];
+    if (!w.link->SendFrame(frame).ok()) continue;
+    auto ack_or = AwaitFrame(&w, CtrlType::kStatsAck);
+    if (!ack_or.ok()) continue;
+    const CtrlStatsAck& stats = ack_or.value().stats_ack;
+    ShardLoadSnapshot snap;
+    snap.shard = static_cast<int>(i);
+    snap.sharding = "distributed";
+    snap.retained_edges = stats.retained_edges;
+    snap.retained_vertices = stats.retained_vertices;
+    snap.evicted_edges = stats.evicted_edges;
+    snap.edges_processed = stats.edges_processed;
+    snap.completions = stats.completions;
+    snap.live_partial_matches = stats.live_partial_matches;
+    snap.matches_forwarded = stats.exchange.total_sent();
+    snap.matches_received = stats.exchange.total_received();
+    out.push_back(snap);
+  }
+  return out;
+}
+
+}  // namespace streamworks

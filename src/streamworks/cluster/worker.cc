@@ -1,0 +1,479 @@
+#include "streamworks/cluster/worker.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "streamworks/common/str_util.h"
+#include "streamworks/net/socket.h"
+#include "streamworks/planner/planner.h"
+
+namespace streamworks {
+
+namespace {
+
+/// Exchange frames carry at most this many items so one drain of a hot
+/// shard never approaches the frame-body cap.
+constexpr size_t kMaxExchangeItemsPerFrame = 512;
+
+constexpr int kHandshakeTimeoutMs = 10000;
+
+bool IsReadTimeout(const Status& s) {
+  return s.code() == StatusCode::kUnavailable &&
+         s.message() == "link read timed out";
+}
+
+std::string FrameLogDir(const std::string& data_dir) {
+  return (std::filesystem::path(data_dir) / "frames").string();
+}
+
+}  // namespace
+
+WorkerDaemon::WorkerDaemon(WorkerOptions options)
+    : options_(std::move(options)) {}
+
+Status WorkerDaemon::Start() {
+  SW_ASSIGN_OR_RETURN(listen_fd_,
+                      ListenTcp(options_.host, options_.port, /*backlog=*/4));
+  SW_ASSIGN_OR_RETURN(port_, BoundTcpPort(listen_fd_.get()));
+  if (!options_.data_dir.empty()) {
+    SW_ASSIGN_OR_RETURN(log_, FrameLog::Open(FrameLogDir(options_.data_dir)));
+  }
+  return OkStatus();
+}
+
+Status WorkerDaemon::Serve(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    struct pollfd pfd {};
+    pfd.fd = listen_fd_.get();
+    pfd.events = POLLIN;
+    const int n = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (n < 0 && errno != EINTR) {
+      return Status::IoError(StrCat("poll: ", std::strerror(errno)));
+    }
+    if (n <= 0) continue;
+    const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (cfd < 0) continue;
+    auto link_or = PeerLink::Adopt(UniqueFd(cfd), /*duplex=*/false);
+    if (!link_or.ok()) continue;
+    PeerLink link = std::move(link_or).value();
+    const Status session = ServeConnection(&link, stop);
+    live_link_ = nullptr;
+    if (!session.ok()) {
+      if (fatal_) return session;
+      // Link failures are expected (the coordinator reconnects after its
+      // side recovers); the accept loop is the recovery path.
+      std::fprintf(stderr, "worker[%d]: connection ended: %s\n",
+                   shard_index_, session.ToString().c_str());
+    }
+  }
+  return OkStatus();
+}
+
+Status WorkerDaemon::ServeConnection(PeerLink* link,
+                                     const std::atomic<bool>& stop) {
+  live_link_ = link;
+  completion_send_error_ = OkStatus();
+  SW_RETURN_IF_ERROR(Handshake(link));
+  while (!stop.load(std::memory_order_relaxed)) {
+    auto frame_or = link->ReadFrame(&interner_, options_.poll_interval_ms);
+    if (!frame_or.ok()) {
+      if (IsReadTimeout(frame_or.status())) continue;
+      return frame_or.status();
+    }
+    const CtrlFrame& frame = frame_or.value();
+    if (IsStateCtrlType(frame.type)) {
+      CtrlRegisterAck ack;
+      SW_RETURN_IF_ERROR(ApplyStateFrame(frame, &ack));
+      SW_RETURN_IF_ERROR(FlushOutbox(link));
+      SW_RETURN_IF_ERROR(completion_send_error_);
+      if (frame.type == CtrlType::kRegister) {
+        SW_RETURN_IF_ERROR(link->SendFrame(EncodeRegisterAckFrame(ack)));
+      }
+      continue;
+    }
+    switch (frame.type) {
+      case CtrlType::kHello: {
+        // A repeated Hello on a live link: answer with the current
+        // cursor (the coordinator only sends one per connection, so
+        // this is belt-and-braces).
+        CtrlHelloAck ack;
+        ack.applied_frames = applied_frames_;
+        SW_RETURN_IF_ERROR(link->SendFrame(EncodeHelloAckFrame(ack)));
+        break;
+      }
+      case CtrlType::kBarrier: {
+        SW_RETURN_IF_ERROR(FlushOutbox(link));
+        SW_RETURN_IF_ERROR(completion_send_error_);
+        CtrlBarrierAck ack;
+        ack.round = frame.barrier.round;
+        ack.applied_frames = applied_frames_;
+        SW_RETURN_IF_ERROR(link->SendFrame(EncodeBarrierAckFrame(ack)));
+        break;
+      }
+      case CtrlType::kInfo:
+        SW_RETURN_IF_ERROR(SendInfoAck(link, frame.info));
+        break;
+      case CtrlType::kStats:
+        SW_RETURN_IF_ERROR(SendStatsAck(link));
+        break;
+      default:
+        // Acks and completions never flow coordinator -> worker; a stray
+        // one is a peer bug, not worth killing the link over.
+        break;
+    }
+  }
+  return OkStatus();
+}
+
+Status WorkerDaemon::Configure(const CtrlHello& hello) {
+  if (hello.protocol != kCtrlProtocolVersion) {
+    return Status::InvalidArgument(
+        StrCat("protocol mismatch: coordinator speaks ", hello.protocol,
+               ", worker speaks ", kCtrlProtocolVersion));
+  }
+  if (hello.num_shards <= 0 || hello.shard_index < 0 ||
+      hello.shard_index >= hello.num_shards) {
+    return Status::InvalidArgument(
+        StrCat("bad shard identity ", hello.shard_index, "/",
+               hello.num_shards));
+  }
+  if (configured_) {
+    if (hello.num_shards != num_shards_ ||
+        hello.shard_index != shard_index_ ||
+        hello.partitioner_seed != partitioner_seed_) {
+      return Status::FailedPrecondition(
+          "coordinator reconnected with a different cluster identity");
+    }
+    return OkStatus();
+  }
+  num_shards_ = hello.num_shards;
+  shard_index_ = hello.shard_index;
+  partitioner_seed_ = hello.partitioner_seed;
+  partitioner_ = std::make_unique<HashModuloPartitioner>(partitioner_seed_);
+  // Default EngineOptions: statistics off, re-planning off — every worker
+  // (and the single-engine reference deployment) plans queries from the
+  // same uninformed estimator, so the replicated SJ-Trees agree on node
+  // numbering and cut vertices across processes.
+  engine_ = std::make_unique<StreamWorksEngine>(&interner_, EngineOptions{});
+  ShardConfig config;
+  config.shard_index = shard_index_;
+  config.num_shards = num_shards_;
+  config.partitioner = partitioner_.get();
+  config.exchange = &exchange_;
+  engine_->EnableShardMode(config);
+  configured_ = true;
+  return OkStatus();
+}
+
+Status WorkerDaemon::Handshake(PeerLink* link) {
+  auto hello_or = link->ReadFrame(&interner_, kHandshakeTimeoutMs);
+  SW_RETURN_IF_ERROR(hello_or.status());
+  if (hello_or.value().type != CtrlType::kHello) {
+    return Status::InvalidArgument("expected Hello as the first frame");
+  }
+  const CtrlHello hello = hello_or.value().hello;
+  SW_RETURN_IF_ERROR(Configure(hello));
+
+  if (!replayed_) {
+    replayed_ = true;
+    if (log_ != nullptr && log_->next_seq() > 0) {
+      // Deferred startup replay: re-apply the durable state stream. The
+      // engine regenerates the dead incarnation's outputs in the same
+      // order; the coordinator's cursors say how many of each it already
+      // received, so exactly the excess is (re)sent below.
+      replaying_ = true;
+      replay_exchange_skip_ = hello.exchange_items_received;
+      replay_completion_skip_ = hello.completions_received;
+      Status replay_status = OkStatus();
+      const Status scanned = FrameLog::Replay(
+          FrameLogDir(options_.data_dir), /*from_seq=*/0,
+          [&](std::string_view record, uint64_t seq) {
+            if (!replay_status.ok()) return;
+            const CtrlDecodeResult decoded = DecodeCtrlFrame(
+                record, kDefaultMaxFrameBodyBytes, &interner_);
+            if (decoded.status != FrameDecodeStatus::kOk ||
+                decoded.frame_bytes != record.size()) {
+              replay_status = Status::DataLoss(
+                  StrCat("undecodable frame log record ", seq, ": ",
+                         decoded.error));
+              return;
+            }
+            replay_status = ApplyStateFrame(decoded.frame, nullptr);
+            if (replay_status.ok()) replay_status = FlushOutbox(nullptr);
+            ++counters_.replayed_frames;
+          });
+      replaying_ = false;
+      if (!scanned.ok() || !replay_status.ok()) {
+        fatal_ = true;
+        pending_out_.clear();
+        return scanned.ok() ? replay_status : scanned;
+      }
+      applied_frames_ = log_->next_seq();
+      counters_.frames_applied = applied_frames_;
+    }
+  }
+
+  CtrlHelloAck ack;
+  ack.applied_frames = applied_frames_;
+  SW_RETURN_IF_ERROR(link->SendFrame(EncodeHelloAckFrame(ack)));
+  // Outputs the crash swallowed: regenerated during replay, beyond the
+  // coordinator's cursors, never delivered. Send them now, before any
+  // new frames produce new outputs, to preserve per-stream order.
+  for (const std::string& frame : pending_out_) {
+    SW_RETURN_IF_ERROR(link->SendFrame(frame));
+  }
+  pending_out_.clear();
+  return OkStatus();
+}
+
+std::string WorkerDaemon::ReencodeStateFrame(const CtrlFrame& frame) const {
+  const LabelNameFn name = [this](LabelId id) -> std::string_view {
+    return interner_.Name(id);
+  };
+  switch (frame.type) {
+    case CtrlType::kRegister:
+      return EncodeRegisterFrame(frame.reg);
+    case CtrlType::kEndBackfill:
+      return EncodeEndBackfillFrame();
+    case CtrlType::kUnregister:
+      return EncodeUnregisterFrame(frame.unregister);
+    case CtrlType::kBatch:
+      return EncodeBatchFrame(frame.batch, name);
+    case CtrlType::kExchange:
+      return EncodeExchangeFrame(frame.exchange, name);
+    case CtrlType::kCommit:
+      return EncodeCommitFrame(frame.commit);
+    default:
+      return std::string();
+  }
+}
+
+Status WorkerDaemon::ApplyStateFrame(const CtrlFrame& frame,
+                                     CtrlRegisterAck* register_ack_out) {
+  if (log_ != nullptr && !replaying_) {
+    // Log before apply: a crash after the append replays the frame; a
+    // crash before it leaves the coordinator's resend buffer responsible.
+    SW_RETURN_IF_ERROR(log_->Append(ReencodeStateFrame(frame)));
+  }
+  switch (frame.type) {
+    case CtrlType::kRegister:
+      SW_RETURN_IF_ERROR(ApplyRegister(frame.reg, register_ack_out));
+      break;
+    case CtrlType::kEndBackfill:
+      engine_->set_suppress_completions(false);
+      break;
+    case CtrlType::kUnregister:
+      // NotFound (already unregistered) is benign on the resend path.
+      engine_->UnregisterQuery(frame.unregister.query_id).ok();
+      break;
+    case CtrlType::kBatch:
+      SW_RETURN_IF_ERROR(ApplyBatch(frame.batch));
+      break;
+    case CtrlType::kExchange:
+      SW_RETURN_IF_ERROR(ApplyExchange(frame.exchange));
+      break;
+    case CtrlType::kCommit:
+      engine_->AdvanceWatermark(frame.commit.watermark);
+      break;
+    default:
+      return Status::Internal("non-state frame reached ApplyStateFrame");
+  }
+  ++applied_frames_;
+  counters_.frames_applied = applied_frames_;
+  return OkStatus();
+}
+
+Status WorkerDaemon::ApplyRegister(const CtrlRegister& reg,
+                                   CtrlRegisterAck* ack_out) {
+  // Suppress from here until the coordinator's EndBackfill: both the
+  // local backfill below and the backfill exchange items relayed from
+  // peer shards re-derive matches that completed in the past.
+  engine_->set_suppress_completions(true);
+  QueryGraphBuilder builder(&interner_);
+  for (const std::string& label : reg.vertex_labels) {
+    builder.AddVertex(label);
+  }
+  for (const CtrlQueryEdge& edge : reg.edges) {
+    builder.AddEdge(edge.src, edge.dst, edge.label);
+  }
+  auto built = builder.Build(reg.name);
+  StatusOr<int> registered =
+      built.ok()
+          ? engine_->RegisterQuery(
+                built.value(),
+                static_cast<DecompositionStrategy>(reg.strategy), reg.window,
+                [this](const CompleteMatch& cm) { OnCompletion(cm); })
+          : StatusOr<int>(built.status());
+  if (!registered.ok()) {
+    // Validation failures are deterministic — every worker refuses the
+    // same registration the same way, no engine id is consumed, and the
+    // coordinator surfaces the error to the tenant. Unsuppress now: no
+    // EndBackfill will follow a failed registration.
+    engine_->set_suppress_completions(false);
+    if (ack_out != nullptr) {
+      ack_out->id = reg.expect_id;
+      ack_out->ok = false;
+      ack_out->error = registered.status().ToString();
+    }
+    return OkStatus();
+  }
+  if (registered.value() != reg.expect_id) {
+    fatal_ = true;
+    return Status::Internal(
+        StrCat("registration id diverged: coordinator expects ",
+               reg.expect_id, ", engine assigned ", registered.value(),
+               " (state streams out of sync)"));
+  }
+  // Distributed backfill, this shard's share: re-anchor each stored edge
+  // whose source vertex this shard owns (the same edge is stored on both
+  // endpoint owners; anchoring only at the source owner runs it exactly
+  // once group-wide — the live run_anchors discipline).
+  const DynamicGraph& graph = engine_->graph();
+  for (size_t i = 0; i < graph.num_stored_edges(); ++i) {
+    const EdgeId id = graph.stored_edge_id(i);
+    const EdgeRecord& record = graph.edge_record(id);
+    if (partitioner_->OwnerShard(graph.external_id(record.src),
+                                 num_shards_) != shard_index_) {
+      continue;
+    }
+    engine_->BackfillQueryEdge(registered.value(), id);
+  }
+  if (ack_out != nullptr) {
+    ack_out->id = registered.value();
+    ack_out->ok = true;
+  }
+  return OkStatus();
+}
+
+Status WorkerDaemon::ApplyBatch(const CtrlBatch& batch) {
+  for (const CtrlShardEdge& e : batch.edges) {
+    // Admission ran at the coordinator (group-consistent label and time
+    // checks); a rejection here would mean divergent state streams, which
+    // the engine counts rather than fails on.
+    engine_->ProcessShardEdge(e.edge, e.global_id, e.run_anchors).ok();
+  }
+  return OkStatus();
+}
+
+Status WorkerDaemon::ApplyExchange(const CtrlExchange& exchange) {
+  for (const CtrlExchangeItem& item : exchange.items) {
+    engine_->HandleExchangeItem(item.item);
+  }
+  return OkStatus();
+}
+
+Status WorkerDaemon::FlushOutbox(PeerLink* link) {
+  if (exchange_.empty()) return OkStatus();
+  auto items = exchange_.Drain();
+  std::vector<CtrlExchangeItem> out;
+  out.reserve(items.size());
+  for (auto& [dest, item] : items) {
+    if (replaying_ && replay_exchange_skip_ > 0) {
+      --replay_exchange_skip_;
+      continue;
+    }
+    CtrlExchangeItem wire;
+    wire.dest = dest;
+    wire.item = std::move(item);
+    out.push_back(std::move(wire));
+  }
+  counters_.exchange_items_sent += out.size();
+  const LabelNameFn name = [this](LabelId id) -> std::string_view {
+    return interner_.Name(id);
+  };
+  for (size_t begin = 0; begin < out.size();
+       begin += kMaxExchangeItemsPerFrame) {
+    const size_t end =
+        std::min(out.size(), begin + kMaxExchangeItemsPerFrame);
+    CtrlExchange chunk;
+    chunk.items.assign(std::make_move_iterator(out.begin() +
+                                               static_cast<ptrdiff_t>(begin)),
+                       std::make_move_iterator(out.begin() +
+                                               static_cast<ptrdiff_t>(end)));
+    std::string frame = EncodeExchangeFrame(chunk, name);
+    if (replaying_) {
+      pending_out_.push_back(std::move(frame));
+    } else {
+      SW_RETURN_IF_ERROR(link->SendFrame(frame));
+    }
+  }
+  return OkStatus();
+}
+
+void WorkerDaemon::OnCompletion(const CompleteMatch& cm) {
+  if (replaying_ && replay_completion_skip_ > 0) {
+    --replay_completion_skip_;
+    return;
+  }
+  CtrlCompletion completion;
+  completion.query_id = cm.query_id;
+  completion.completed_at = cm.completed_at;
+  completion.match = MatchExchange::ToWire(engine_->graph(), cm.match);
+  const LabelNameFn name = [this](LabelId id) -> std::string_view {
+    return interner_.Name(id);
+  };
+  std::string frame = EncodeCompletionFrame(completion, name);
+  ++counters_.completions_sent;
+  if (replaying_) {
+    pending_out_.push_back(std::move(frame));
+    return;
+  }
+  if (live_link_ != nullptr) {
+    const Status sent = live_link_->SendFrame(frame);
+    if (!sent.ok() && completion_send_error_.ok()) {
+      completion_send_error_ = sent;
+    }
+  }
+}
+
+Status WorkerDaemon::SendInfoAck(PeerLink* link, const CtrlInfo& info) {
+  CtrlInfoAck ack;
+  if (engine_ != nullptr && engine_->has_query(info.query_id)) {
+    const QueryRuntimeInfo qi = engine_->query_info(info.query_id);
+    ack.ok = true;
+    ack.name = qi.name;
+    ack.window = qi.window;
+    ack.completions = qi.completions;
+    ack.live_partial_matches = qi.live_partial_matches;
+    ack.peak_partial_matches = qi.peak_partial_matches;
+    ack.nodes.reserve(qi.nodes.size());
+    for (const SjNodeRuntime& node : qi.nodes) {
+      CtrlNodeRuntime out;
+      out.node = node.node;
+      out.is_leaf = node.is_leaf;
+      out.query_edges = node.query_edges;
+      out.matches_inserted = node.matches_inserted;
+      out.probes = node.probes;
+      out.join_attempts = node.join_attempts;
+      out.joins_succeeded = node.joins_succeeded;
+      out.live_partial_matches = node.live_partial_matches;
+      ack.nodes.push_back(out);
+    }
+  } else {
+    ack.ok = false;
+    ack.error = "unknown or unregistered query id";
+  }
+  return link->SendFrame(EncodeInfoAckFrame(ack));
+}
+
+Status WorkerDaemon::SendStatsAck(PeerLink* link) {
+  CtrlStatsAck ack;
+  if (engine_ != nullptr) {
+    ack.retained_edges = engine_->graph().num_stored_edges();
+    ack.retained_vertices = engine_->graph().num_vertices();
+    ack.evicted_edges = engine_->graph().num_evicted_edges();
+    ack.edges_processed = engine_->metrics().edges_processed;
+    ack.completions = engine_->metrics().completions;
+    ack.live_partial_matches = engine_->total_live_partial_matches();
+    ack.exchange = exchange_.counters();
+  }
+  return link->SendFrame(EncodeStatsAckFrame(ack));
+}
+
+}  // namespace streamworks

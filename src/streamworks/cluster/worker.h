@@ -1,0 +1,169 @@
+#ifndef STREAMWORKS_CLUSTER_WORKER_H_
+#define STREAMWORKS_CLUSTER_WORKER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/common/unique_fd.h"
+#include "streamworks/core/engine.h"
+#include "streamworks/graph/partition.h"
+#include "streamworks/net/peer_link.h"
+#include "streamworks/persist/frame_log.h"
+#include "streamworks/sjtree/exchange.h"
+#include "streamworks/stream/cluster_wire.h"
+
+namespace streamworks {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral (read the bound port after Start).
+  /// Durability root; the frame log lives in <data_dir>/frames. Empty =
+  /// in-memory only (a crashed worker cannot recover its shard).
+  std::string data_dir;
+  /// Read-poll granularity: how often the serve loop re-checks its stop
+  /// flag while idle.
+  int poll_interval_ms = 250;
+};
+
+/// Aggregate counters one worker daemon exposes to tests.
+struct WorkerCounters {
+  uint64_t frames_applied = 0;     ///< State frames applied (== log seq).
+  uint64_t exchange_items_sent = 0;
+  uint64_t completions_sent = 0;
+  uint64_t replayed_frames = 0;    ///< State frames re-applied at startup.
+};
+
+/// One shard of a distributed StreamWorks cluster, run as a daemon: a
+/// single-threaded server owning one StreamWorksEngine in shard mode, fed
+/// control frames by a coordinator over a PeerLink.
+///
+/// The daemon speaks exactly the in-process ParallelEngineGroup's
+/// kPartitionedData protocol, lifted onto the wire: the coordinator routes
+/// each ingested edge to its endpoint owners (kBatch), forwarded partial
+/// matches flow back up and get relayed (kExchange — star topology, no
+/// worker mesh), epoch barriers bound in-flight work (kBarrier/kBarrierAck)
+/// and watermark commits drive expiry (kCommit).
+///
+/// Durability and exactly-once recovery: every *state-bearing* frame
+/// (IsStateCtrlType) is appended to a FrameLog before it is applied, in
+/// arrival order. After a crash (kill -9 included — the log needs no
+/// fsync to survive process death) the restarted daemon defers replay
+/// until the coordinator's Hello arrives carrying two cursors: how many
+/// exchange items (K) and completions (C) the coordinator had received
+/// from this shard. Replay re-applies the whole log; because the engine is
+/// deterministic, it regenerates the exact output streams the dead
+/// incarnation produced, and the daemon discards the first K / C of them
+/// — already delivered — and sends only the excess. It then reports its
+/// durable frame count (M) in HelloAck, and the coordinator resends the
+/// state frames [M, S) the crash swallowed. Net effect: every frame is
+/// applied exactly once, every output delivered exactly once, with no
+/// quiescence requirement on when the kill lands.
+///
+/// Single-threaded by design: one connection (the coordinator's), one
+/// engine, no locks. The accept loop outlives connections so a
+/// coordinator may reconnect after a link failure.
+class WorkerDaemon {
+ public:
+  explicit WorkerDaemon(WorkerOptions options);
+  ~WorkerDaemon() = default;
+
+  WorkerDaemon(const WorkerDaemon&) = delete;
+  WorkerDaemon& operator=(const WorkerDaemon&) = delete;
+
+  /// Binds and listens (resolving port 0); opens the frame log when a
+  /// data dir is configured, so a second daemon on the same dir fails
+  /// here, not mid-handshake.
+  Status Start();
+
+  /// Bound TCP port (valid after Start).
+  int port() const { return port_; }
+
+  /// Serves until `stop` becomes true: accept one coordinator connection,
+  /// handshake, dispatch frames; on link failure, go back to accepting.
+  /// Returns the first non-recoverable error (log corruption, engine
+  /// invariant breach), or OK on a clean stop.
+  Status Serve(const std::atomic<bool>& stop);
+
+  const WorkerCounters& counters() const { return counters_; }
+
+ private:
+  /// One coordinator connection: handshake, then dispatch until link
+  /// failure or stop.
+  Status ServeConnection(PeerLink* link, const std::atomic<bool>& stop);
+
+  /// Handshake on a fresh connection: read Hello, configure the engine on
+  /// first contact, replay the frame log (once per process, skipping the
+  /// coordinator's K/C output cursors), send HelloAck + excess outputs.
+  Status Handshake(PeerLink* link);
+
+  /// Configures engine + partitioner from the Hello (first contact) or
+  /// validates consistency (reconnect).
+  Status Configure(const CtrlHello& hello);
+
+  /// Logs (when durable) and applies one state frame; increments
+  /// frames_applied. `register_ack_out`, when non-null, receives the ack
+  /// for a kRegister frame (replay passes null — no one is listening).
+  Status ApplyStateFrame(const CtrlFrame& frame,
+                         CtrlRegisterAck* register_ack_out);
+
+  Status ApplyRegister(const CtrlRegister& reg, CtrlRegisterAck* ack_out);
+  Status ApplyBatch(const CtrlBatch& batch);
+  Status ApplyExchange(const CtrlExchange& exchange);
+
+  /// Drains the engine's exchange outbox into kExchange frames for the
+  /// coordinator (chunked), honouring the replay skip cursor. In replay
+  /// the frames buffer into pending_out_; live, they send immediately.
+  Status FlushOutbox(PeerLink* link);
+
+  /// Engine completion callback target: encode + send (or buffer/skip
+  /// during replay).
+  void OnCompletion(const CompleteMatch& cm);
+
+  /// Re-encodes `frame` exactly as the wire carried it, for the log.
+  std::string ReencodeStateFrame(const CtrlFrame& frame) const;
+
+  Status SendInfoAck(PeerLink* link, const CtrlInfo& info);
+  Status SendStatsAck(PeerLink* link);
+
+  WorkerOptions options_;
+  UniqueFd listen_fd_;
+  int port_ = -1;
+
+  Interner interner_;
+  std::unique_ptr<HashModuloPartitioner> partitioner_;
+  MatchExchange exchange_;
+  std::unique_ptr<StreamWorksEngine> engine_;
+  std::unique_ptr<FrameLog> log_;
+
+  int shard_index_ = -1;
+  int num_shards_ = 0;
+  uint64_t partitioner_seed_ = 0;
+  bool configured_ = false;
+  bool replayed_ = false;
+
+  /// Live link, only valid inside Serve's per-connection scope; kept as a
+  /// member so OnCompletion (called from inside engine applies) can send.
+  PeerLink* live_link_ = nullptr;
+
+  /// Replay state: while set, outputs are counted against the skip
+  /// cursors and the excess buffers into pending_out_ instead of sending.
+  bool replaying_ = false;
+  uint64_t replay_exchange_skip_ = 0;
+  uint64_t replay_completion_skip_ = 0;
+  std::vector<std::string> pending_out_;
+
+  uint64_t applied_frames_ = 0;
+  WorkerCounters counters_;
+  Status completion_send_error_;  ///< First send failure inside a callback.
+  /// Set when an error must end Serve (log corruption, engine-invariant
+  /// breach) rather than just this connection.
+  bool fatal_ = false;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_CLUSTER_WORKER_H_

@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "data_loss";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kIoError,
   kDataLoss,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns the canonical lower_snake name of a code ("invalid_argument"...).
@@ -72,6 +73,12 @@ class Status {
   }
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
+  }
+  /// Transient inability to reach a peer (connection refused, link read
+  /// timeout, reconnect in progress): retrying may succeed, unlike
+  /// kIoError, which reports an environment fault on a healthy link.
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

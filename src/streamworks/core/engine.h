@@ -43,6 +43,13 @@ struct CompleteMatch {
   /// ResultQueue after Flush(). A consumer thread racing live ingest must
   /// copy what it needs inside the callback instead.
   const DynamicGraph* graph = nullptr;
+  /// Deployment-invariant text form of `match`
+  /// (Match::ToExternalString against `graph`), filled by the service
+  /// delivery callback at enqueue time — the one point where
+  /// dereferencing `graph` is always safe. Streamed EVENT and POLL lines
+  /// print this instead of re-rendering on a consumer thread that races
+  /// live ingest; empty when no delivery callback rendered it.
+  std::string rendered;
 };
 
 /// Receives every complete match of one registered query, in completion

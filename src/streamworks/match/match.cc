@@ -174,6 +174,39 @@ std::string Match::ToString() const {
   return out;
 }
 
+std::string Match::ToExternalString(const DynamicGraph& graph) const {
+  std::string out;
+  out.reserve(64);
+  out += '{';
+  bool first = true;
+  for (int qv : bound_vertices_) {
+    if (!first) out += ", ";
+    first = false;
+    out += 'v';
+    out += std::to_string(qv);
+    out += "->";
+    out += std::to_string(graph.external_id(vertex_map_[qv]));
+  }
+  out += " | ";
+  first = true;
+  for (int qe : bound_edges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += 'e';
+    out += std::to_string(qe);
+    out += "->#";
+    out += std::to_string(edge_map_[qe]);
+    out += '@';
+    out += std::to_string(ts_of_edge_[qe]);
+  }
+  out += '}';
+  if (!bound_edges_.Empty()) {
+    out += " span=";
+    out += std::to_string(Span());
+  }
+  return out;
+}
+
 bool JoinCompatible(const Match& a, const Match& b, Timestamp window) {
   if (a.bound_edges().Intersects(b.bound_edges())) return false;
   if (a.bound_edges().Empty() || b.bound_edges().Empty()) return false;

@@ -113,6 +113,16 @@ class Match {
   /// Debug rendering: "{v0->17, v1->4 | e0->#123@5, ...} span=..".
   std::string ToString() const;
 
+  /// Rendering in deployment-invariant ids: vertices by external id
+  /// (resolved through `graph`, the delivering engine's), edges by their
+  /// global ingest id. Same shape as ToString, but two deployments that
+  /// found the same match render the same bytes — ToString's internal
+  /// vertex ids are per-engine ingestion-order artifacts, so its output
+  /// differs between a single engine and the shards of a partitioned
+  /// group (or cluster) even for identical matches. Served EVENT/POLL
+  /// lines use this form for exactly that reason.
+  std::string ToExternalString(const DynamicGraph& graph) const;
+
  private:
   std::vector<VertexId> vertex_map_;
   std::vector<EdgeId> edge_map_;

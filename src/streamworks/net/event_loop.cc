@@ -641,7 +641,12 @@ bool EventLoop::PumpConnection(
           conn->wbuf += " completed_at=";
           conn->wbuf += std::to_string(cm.completed_at);
           conn->wbuf += ' ';
-          conn->wbuf += cm.match.ToString();
+          // External-id rendering, pre-computed by the delivery callback:
+          // byte-identical for the same match whether the backend is one
+          // engine, a sharded group, or a coordinator fronting worker
+          // daemons — and no graph dereference on this thread, which
+          // races live ingest.
+          conn->wbuf += cm.rendered;
           conn->wbuf += '\n';
         }
         counters_->events_pushed.fetch_add(n);

@@ -1,0 +1,359 @@
+#include "streamworks/persist/frame_log.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "streamworks/common/binio.h"
+#include "streamworks/common/str_util.h"
+#include "streamworks/persist/crc32.h"
+#include "streamworks/persist/fs_util.h"
+
+namespace streamworks {
+
+namespace {
+
+constexpr char kSegmentMagic[4] = {'S', 'W', 'F', '1'};
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderBytes = 20;
+constexpr size_t kRecordHeaderBytes = 8;  // len u32 + crc u32
+
+std::string SegmentName(uint64_t base_seq) {
+  return SeqFileName("frames-", base_seq, ".log");
+}
+
+StatusOr<std::vector<std::pair<uint64_t, std::filesystem::path>>>
+ListSegments(const std::string& dir) {
+  return ListSeqFiles(dir, "frames-", ".log");
+}
+
+StatusOr<uint64_t> CheckSegmentHeader(std::string_view bytes,
+                                      const std::string& what) {
+  if (bytes.size() < kSegmentHeaderBytes) {
+    return Status::DataLoss(what + ": short segment header");
+  }
+  if (std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Status::DataLoss(what + ": bad segment magic");
+  }
+  if (GetU32(bytes.data() + 4) != kSegmentVersion) {
+    return Status::DataLoss(what + ": unsupported segment version");
+  }
+  const uint32_t crc = GetU32(bytes.data() + 16);
+  if (Crc32(bytes.substr(0, 16)) != crc) {
+    return Status::DataLoss(what + ": segment header CRC mismatch");
+  }
+  return GetU64(bytes.data() + 8);
+}
+
+struct SegmentScan {
+  uint64_t next_seq = 0;   ///< One past the last valid record.
+  size_t valid_bytes = 0;  ///< Offset of the first invalid byte.
+  bool tail_truncated = false;
+};
+
+/// Walks a segment's records, delivering each payload to `fn` (null fn =
+/// validate only). Stops at the first torn record; a structurally valid
+/// record that breaks sequence continuity or the size bound is DataLoss
+/// (the CRC passed, so it is not crash damage).
+StatusOr<SegmentScan> ScanSegment(std::string_view bytes, uint64_t base_seq,
+                                  uint64_t from_seq, size_t max_record_bytes,
+                                  const FrameLog::ReplayFn* fn,
+                                  const std::string& what) {
+  SegmentScan scan;
+  scan.next_seq = base_seq;
+  scan.valid_bytes = kSegmentHeaderBytes;
+  size_t pos = kSegmentHeaderBytes;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kRecordHeaderBytes) {
+      scan.tail_truncated = true;
+      return scan;
+    }
+    const uint32_t len = GetU32(bytes.data() + pos);
+    const uint32_t crc = GetU32(bytes.data() + pos + 4);
+    if (len < 8 || bytes.size() - pos - kRecordHeaderBytes < len) {
+      scan.tail_truncated = true;
+      return scan;
+    }
+    const std::string_view payload =
+        bytes.substr(pos + kRecordHeaderBytes, len);
+    if (Crc32(payload) != crc) {
+      scan.tail_truncated = true;
+      return scan;
+    }
+    const uint64_t seq = GetU64(payload.data());
+    if (seq != scan.next_seq) {
+      return Status::DataLoss(StrCat(what,
+                                     ": record sequence jumped from ",
+                                     scan.next_seq, " to ", seq));
+    }
+    const std::string_view record = payload.substr(8);
+    if (record.size() > max_record_bytes) {
+      return Status::DataLoss(StrCat(what, ": record of ", record.size(),
+                                     " bytes exceeds max_record_bytes"));
+    }
+    if (fn != nullptr && seq >= from_seq) {
+      (*fn)(record, seq);
+    }
+    ++scan.next_seq;
+    pos += kRecordHeaderBytes + len;
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<FrameLog>> FrameLog::Open(const std::string& dir,
+                                                   FrameLogOptions options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create frame log dir " + dir + ": " +
+                           ec.message());
+  }
+  auto log =
+      std::unique_ptr<FrameLog>(new FrameLog(dir, options));
+
+  // Single-writer lock, same rationale as the edge WAL: interleaved
+  // appends from two processes destroy record framing for both.
+  const std::filesystem::path lock_path =
+      std::filesystem::path(dir) / "frames.lock";
+  const int lock_fd =
+      ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (lock_fd < 0) {
+    return Status::IoError(StrCat("cannot open frame log lock ",
+                                  lock_path.string(), ": ",
+                                  std::strerror(errno)));
+  }
+  log->lock_fd_.reset(lock_fd);
+  if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    return Status::FailedPrecondition(
+        "another process holds the frame log at " + dir +
+        " (two writers would corrupt acknowledged records)");
+  }
+
+  SW_ASSIGN_OR_RETURN(auto segments, ListSegments(dir));
+
+  // Only the last segment can carry crash damage: a torn tail is
+  // truncated away, a torn header (crash inside OpenNewSegment) drops
+  // the whole file and falls back to the now-last segment.
+  while (!segments.empty()) {
+    const auto& [base, path] = segments.back();
+    SW_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+    auto base_or = CheckSegmentHeader(bytes, path.string());
+    if (!base_or.ok() || base_or.value() != base) {
+      std::filesystem::remove(path, ec);
+      if (ec) {
+        return Status::IoError("cannot drop torn frame log segment " +
+                               path.string() + ": " + ec.message());
+      }
+      segments.pop_back();
+      continue;
+    }
+    SW_ASSIGN_OR_RETURN(
+        const SegmentScan scan,
+        ScanSegment(bytes, base, /*from_seq=*/0, options.max_record_bytes,
+                    nullptr, path.string()));
+    if (scan.valid_bytes < bytes.size()) {
+      std::filesystem::resize_file(path, scan.valid_bytes, ec);
+      if (ec) {
+        return Status::IoError("cannot truncate torn frame log tail of " +
+                               path.string() + ": " + ec.message());
+      }
+    }
+    log->next_seq_ = scan.next_seq;
+
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::IoError(StrCat("cannot reopen frame log segment ",
+                                    path.string(), ": ",
+                                    std::strerror(errno)));
+    }
+    log->fd_.reset(fd);
+    log->segment_size_ = scan.valid_bytes;
+    log->current_segment_base_ = base;
+    break;
+  }
+  return log;
+}
+
+Status FrameLog::OpenNewSegment() {
+  const std::filesystem::path path =
+      std::filesystem::path(dir_) / SegmentName(next_seq_);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError(StrCat("cannot create frame log segment ",
+                                  path.string(), ": ",
+                                  std::strerror(errno)));
+  }
+  fd_.reset(fd);
+  std::string header;
+  header.append(kSegmentMagic, sizeof(kSegmentMagic));
+  PutU32(&header, kSegmentVersion);
+  PutU64(&header, next_seq_);
+  PutU32(&header, Crc32(header));
+  if (Status written = WriteAll(fd_.get(), header); !written.ok()) {
+    fd_.reset();
+    ::unlink(path.c_str());
+    return written;
+  }
+  FsyncDir(dir_);
+  current_segment_base_ = next_seq_;
+  segment_size_ = header.size();
+  stats_.bytes_appended += header.size();
+  ++stats_.segments_created;
+  return OkStatus();
+}
+
+Status FrameLog::Append(std::string_view record) {
+  if (broken_) {
+    return Status::IoError(
+        "frame log poisoned: an earlier failed append could not be "
+        "rolled back, so further appends would land after torn bytes "
+        "and be silently dropped by replay");
+  }
+  if (record.size() > options_.max_record_bytes) {
+    return Status::InvalidArgument(
+        StrCat("frame log record of ", record.size(),
+               " bytes exceeds max_record_bytes (",
+               options_.max_record_bytes,
+               "); replay would reject the record"));
+  }
+  if (!fd_.valid() || segment_size_ >= options_.segment_bytes) {
+    if (fd_.valid()) {
+      // Seal the outgoing segment before its successor exists, or
+      // replay could see a gap after a machine crash.
+      SW_RETURN_IF_ERROR(Sync());
+    }
+    SW_RETURN_IF_ERROR(OpenNewSegment());
+  }
+  // [len u32][crc u32][seq u64][record...], length and CRC patched over
+  // placeholders once the payload is in place.
+  std::string buf;
+  buf.reserve(kRecordHeaderBytes + 8 + record.size());
+  PutU32(&buf, 0);  // len placeholder
+  PutU32(&buf, 0);  // crc placeholder
+  PutU64(&buf, next_seq_);
+  buf.append(record);
+  const std::string_view payload =
+      std::string_view(buf).substr(kRecordHeaderBytes);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    buf[static_cast<size_t>(i)] = static_cast<char>((len >> (8 * i)) & 0xFF);
+    buf[static_cast<size_t>(4 + i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  if (Status written = WriteAll(fd_.get(), buf); !written.ok()) {
+    // Rollback-or-poison, same as the edge WAL: a later successful
+    // append must never land after torn bytes.
+    if (::ftruncate(fd_.get(), static_cast<off_t>(segment_size_)) != 0) {
+      broken_ = true;
+    }
+    return written;
+  }
+  const size_t pre_record_size = segment_size_;
+  segment_size_ += buf.size();
+  ++next_seq_;
+  ++stats_.records_appended;
+  stats_.bytes_appended += buf.size();
+  if (options_.fsync_every_records > 0 &&
+      ++records_since_sync_ >= options_.fsync_every_records) {
+    if (Status synced = Sync(); !synced.ok()) {
+      if (::ftruncate(fd_.get(), static_cast<off_t>(pre_record_size)) == 0) {
+        segment_size_ = pre_record_size;
+        --next_seq_;
+        --stats_.records_appended;
+        stats_.bytes_appended -= buf.size();
+      } else {
+        broken_ = true;
+      }
+      return synced;
+    }
+  }
+  return OkStatus();
+}
+
+Status FrameLog::Sync() {
+  if (!fd_.valid()) return OkStatus();
+  if (::fsync(fd_.get()) != 0) {
+    // Failed fsync may have marked dirty pages clean; nothing short of a
+    // restart makes the log trustworthy again.
+    broken_ = true;
+    return Status::IoError(StrCat("frame log fsync failed: ",
+                                  std::strerror(errno)));
+  }
+  records_since_sync_ = 0;
+  ++stats_.fsyncs;
+  return OkStatus();
+}
+
+Status FrameLog::Replay(const std::string& dir, uint64_t from_seq,
+                        const ReplayFn& fn, FrameLogOptions options) {
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return OkStatus();
+  SW_ASSIGN_OR_RETURN(auto segments, ListSegments(dir));
+  if (segments.empty()) return OkStatus();
+
+  // Consecutive scanned segments must be seamless — a lost sealed
+  // segment in the middle would silently swallow its records.
+  std::optional<uint64_t> prev_end;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& [base, path] = segments[i];
+    const bool last = i + 1 == segments.size();
+    if (!last && segments[i + 1].first <= from_seq) continue;
+    if (prev_end.has_value() && base != *prev_end) {
+      return Status::DataLoss(
+          StrCat(path.string(), ": frame log gap — previous segment ends "
+                                "at ",
+                 *prev_end, " but this one starts at ", base));
+    }
+    if (!prev_end.has_value() && base > from_seq) {
+      return Status::DataLoss(
+          StrCat(path.string(), ": frame log starts at ", base,
+                 " but replay needs records from ", from_seq));
+    }
+    SW_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+    auto base_or = CheckSegmentHeader(bytes, path.string());
+    if (!base_or.ok() || base_or.value() != base) {
+      if (last) {
+        // A crash can tear even the header of a freshly rotated
+        // segment; everything before it already replayed.
+        break;
+      }
+      return base_or.ok()
+                 ? Status::DataLoss(path.string() +
+                                    ": filename and header disagree")
+                 : base_or.status();
+    }
+    auto scan_or = ScanSegment(bytes, base, from_seq,
+                               options.max_record_bytes, &fn, path.string());
+    SW_RETURN_IF_ERROR(scan_or.status());
+    const SegmentScan& scan = scan_or.value();
+    if (scan.tail_truncated && !last) {
+      return Status::DataLoss(
+          path.string() + ": torn record in a sealed frame log segment");
+    }
+    prev_end = scan.next_seq;
+  }
+  return OkStatus();
+}
+
+StatusOr<uint64_t> FrameLog::CountRecords(const std::string& dir,
+                                          FrameLogOptions options) {
+  uint64_t count = 0;
+  SW_RETURN_IF_ERROR(Replay(
+      dir, /*from_seq=*/0,
+      [&count](std::string_view, uint64_t) { ++count; }, options));
+  return count;
+}
+
+}  // namespace streamworks

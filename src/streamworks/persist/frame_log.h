@@ -1,0 +1,97 @@
+#ifndef STREAMWORKS_PERSIST_FRAME_LOG_H_
+#define STREAMWORKS_PERSIST_FRAME_LOG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "streamworks/common/statusor.h"
+#include "streamworks/common/unique_fd.h"
+
+namespace streamworks {
+
+struct FrameLogOptions {
+  /// Rotate to a new segment once the current one reaches this size.
+  size_t segment_bytes = 64 << 20;
+  /// fsync after every N records; 0 = never (kernel page cache only).
+  /// Cluster workers default to 0: a kill -9 keeps every written page
+  /// (the crash-recovery contract), and surviving a machine power loss
+  /// is the durability tier above this log's job.
+  int fsync_every_records = 0;
+  /// Replay refuses records larger than this (a record was appended
+  /// under the same bound, so hitting it at replay means corruption).
+  size_t max_record_bytes = 16 << 20;
+};
+
+struct FrameLogStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t fsyncs = 0;
+  uint64_t segments_created = 0;
+};
+
+/// Append-only log of opaque records — the durability spine of a cluster
+/// worker, which logs every state-bearing control frame before applying
+/// it (see cluster/worker.h). The segment machinery is the PR 5 edge
+/// WAL's, generalized: "SWF1"-headed CRC'd segment files named by base
+/// sequence, a flock'd single-writer lock, torn-tail truncation on the
+/// last segment only, and poison-on-unrollbackable-failure. Unlike the
+/// edge WAL the payload is uninterpreted bytes, so one log can carry
+/// registrations, batches, exchange items, and watermark commits — the
+/// whole inbound state stream, in arrival order.
+///
+/// Not thread-safe; the worker daemon's single thread owns it.
+class FrameLog {
+ public:
+  /// Opens (creating if needed) the log in `dir`, validating segments and
+  /// truncating a torn tail exactly like the edge WAL. After Open,
+  /// next_seq() is the number of durable records.
+  static StatusOr<std::unique_ptr<FrameLog>> Open(const std::string& dir,
+                                                  FrameLogOptions options =
+                                                      {});
+
+  /// Appends one record. On return the bytes are written (durable
+  /// against process death; against machine death only after Sync).
+  Status Append(std::string_view record);
+
+  Status Sync();
+
+  /// Sequence number the next Append gets == records in the log.
+  uint64_t next_seq() const { return next_seq_; }
+  const FrameLogStats& stats() const { return stats_; }
+
+  /// Streams records [from_seq, end) of the log in `dir` to `fn`. A torn
+  /// tail on the last segment is truncated-in-spirit (replay just stops
+  /// there); torn bytes anywhere else are DataLoss.
+  using ReplayFn = std::function<void(std::string_view record,
+                                      uint64_t seq)>;
+  static Status Replay(const std::string& dir, uint64_t from_seq,
+                       const ReplayFn& fn, FrameLogOptions options = {});
+
+  /// Counts records currently in the log directory without replaying
+  /// payloads (0 for a missing directory).
+  static StatusOr<uint64_t> CountRecords(const std::string& dir,
+                                         FrameLogOptions options = {});
+
+ private:
+  FrameLog(std::string dir, FrameLogOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status OpenNewSegment();
+
+  std::string dir_;
+  FrameLogOptions options_;
+  UniqueFd fd_;
+  UniqueFd lock_fd_;
+  uint64_t next_seq_ = 0;
+  uint64_t current_segment_base_ = 0;
+  size_t segment_size_ = 0;
+  int records_since_sync_ = 0;
+  bool broken_ = false;
+  FrameLogStats stats_;
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_PERSIST_FRAME_LOG_H_

@@ -377,8 +377,10 @@ Status CommandInterpreter::HandlePoll(Tokens tokens) {
   std::vector<CompleteMatch> matches;
   queue->Drain(&matches);
   for (const CompleteMatch& cm : matches) {
+    // Pre-rendered external-id form (see CompleteMatch::rendered): the
+    // same match prints the same bytes under every deployment mode.
     Emit("MATCH " + label + " completed_at=" +
-         std::to_string(cm.completed_at) + " " + cm.match.ToString());
+         std::to_string(cm.completed_at) + " " + cm.rendered);
   }
   return Emit("POLLED " + label + " n=" + std::to_string(matches.size()));
 }

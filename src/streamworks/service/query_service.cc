@@ -141,12 +141,17 @@ StatusOr<int> QueryService::Submit(int session_id, const QueryGraph& query,
                                                   std::memory_order_relaxed);
       return;
     }
+    // Render here, on the delivering thread: the one point where cm.graph
+    // is safe against concurrent ingest. Consumers (EVENT pump, POLL)
+    // print the pre-rendered text instead of touching the graph.
+    CompleteMatch queued = cm;
+    queued.rendered = cm.match.ToExternalString(*cm.graph);
     if (pipeline == nullptr) {
-      delivery->queue.Push(cm);
+      delivery->queue.Push(std::move(queued));
       return;
     }
     const uint64_t t0 = PipelineMetrics::NowMicros();
-    delivery->queue.Push(cm);
+    delivery->queue.Push(std::move(queued));
     // kBlock queues make this stage the end-to-end throttling point, so a
     // slow consumer shows up here — exactly what the trace ring is for.
     pipeline->Record(PipelineStage::kEnqueue,

@@ -1,0 +1,262 @@
+#ifndef STREAMWORKS_STREAM_CLUSTER_WIRE_H_
+#define STREAMWORKS_STREAM_CLUSTER_WIRE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/common/statusor.h"
+#include "streamworks/common/types.h"
+#include "streamworks/graph/stream_edge.h"
+#include "streamworks/sjtree/exchange.h"
+#include "streamworks/stream/wire_format.h"
+
+namespace streamworks {
+
+/// Cluster control frames: the length-prefixed wire a coordinator daemon
+/// and its worker daemons speak (the FEEDB layout's sibling — same
+/// magic + u32 LE body shape, different magic byte so the two never
+/// demux into each other's decoder).
+///
+///   [0xFC 'C' 'T' '1'] [body_len u32 LE] [type u8] [payload ...]
+///
+/// Payloads carry labels by *string* (per-frame string table, FEEDB
+/// style: u32 count, then {u16 len, bytes} entries) because LabelIds are
+/// per-process artifacts; vertices cross the wire by external id and
+/// edges by their group-global ingest id, exactly like the in-process
+/// MatchExchange wire form they transport.
+///
+/// A subset of the frame types is *state-bearing*: applying one mutates a
+/// worker's engine. Workers assign those frames a dense sequence number
+/// in arrival order and write each to a FrameLog before applying it, so
+/// a crashed worker rebuilds by replaying its log and asking the
+/// coordinator only for the suffix it never saw (see cluster/worker.h
+/// for the recovery contract).
+inline constexpr char kCtrlFrameMagic[4] = {'\xFC', 'C', 'T', '1'};
+inline constexpr size_t kCtrlFrameHeaderBytes = 8;  ///< magic + body_len
+inline constexpr uint32_t kCtrlProtocolVersion = 1;
+
+enum class CtrlType : uint8_t {
+  kHello = 1,       ///< coordinator -> worker: identity + recovery cursors
+  kHelloAck = 2,    ///< worker -> coordinator: frames durably applied
+  kRegister = 3,    ///< [state] replicate a query registration
+  kRegisterAck = 4, ///< worker -> coordinator: assigned id / error
+  kEndBackfill = 5, ///< [state] distributed backfill done; unsuppress
+  kUnregister = 6,  ///< [state] drop a query
+  kBatch = 7,       ///< [state] owned edges of one ingest epoch
+  kExchange = 8,    ///< [state on worker] forwarded partial matches
+  kBarrier = 9,     ///< coordinator -> worker: epoch barrier probe
+  kBarrierAck = 10, ///< worker -> coordinator: barrier echo + log cursor
+  kCommit = 11,     ///< [state] group watermark broadcast (expiry)
+  kCompletion = 12, ///< worker -> coordinator: one completed match
+  kInfo = 13,       ///< coordinator -> worker: query_info request
+  kInfoAck = 14,
+  kStats = 15,      ///< coordinator -> worker: shard-load request
+  kStatsAck = 16,
+};
+
+/// True for the frame types a worker logs-then-applies (everything that
+/// mutates engine state); the rest are unlogged request/response chatter.
+bool IsStateCtrlType(CtrlType type);
+
+// --- Payload structs ---------------------------------------------------------
+
+struct CtrlHello {
+  uint32_t protocol = kCtrlProtocolVersion;
+  int32_t num_shards = 0;
+  int32_t shard_index = -1;
+  uint64_t partitioner_seed = 0;
+  /// Recovery cursors: how many exchange items / completions the
+  /// coordinator has already received from this worker over all time.
+  /// The worker's replay regenerates both streams deterministically and
+  /// skips these prefixes, so a crash loses nothing and repeats nothing.
+  uint64_t exchange_items_received = 0;
+  uint64_t completions_received = 0;
+};
+
+struct CtrlHelloAck {
+  uint64_t applied_frames = 0;  ///< State frames in the worker's log.
+};
+
+struct CtrlQueryEdge {
+  uint8_t src = 0;
+  uint8_t dst = 0;
+  std::string label;
+};
+
+struct CtrlRegister {
+  int32_t expect_id = -1;  ///< Group id; every worker must assign the same.
+  uint8_t strategy = 0;    ///< DecompositionStrategy, replicated verbatim.
+  Timestamp window = 0;
+  std::string name;
+  std::vector<std::string> vertex_labels;
+  std::vector<CtrlQueryEdge> edges;
+};
+
+struct CtrlRegisterAck {
+  int32_t id = -1;
+  bool ok = false;
+  std::string error;
+};
+
+struct CtrlUnregister {
+  int32_t query_id = -1;
+};
+
+/// One routed edge of an ingest epoch: the group-global id plus the
+/// anchor bit (exactly one endpoint owner per edge runs anchor search).
+struct CtrlShardEdge {
+  StreamEdge edge;
+  EdgeId global_id = kInvalidEdgeId;
+  bool run_anchors = false;
+};
+
+struct CtrlBatch {
+  std::vector<CtrlShardEdge> edges;
+};
+
+/// One forwarded exchange item plus its destination shard. Worker ->
+/// coordinator frames carry the real destination (the coordinator relays;
+/// workers never talk to each other); coordinator -> worker frames carry
+/// the receiver's own shard index.
+struct CtrlExchangeItem {
+  int32_t dest = -1;
+  ExchangeItem item;
+};
+
+struct CtrlExchange {
+  std::vector<CtrlExchangeItem> items;
+};
+
+struct CtrlBarrier {
+  uint32_t round = 0;
+};
+
+struct CtrlBarrierAck {
+  uint32_t round = 0;
+  uint64_t applied_frames = 0;  ///< Lets the coordinator prune its resend buffer.
+};
+
+struct CtrlCommit {
+  Timestamp watermark = -1;
+};
+
+struct CtrlCompletion {
+  int32_t query_id = -1;
+  Timestamp completed_at = 0;
+  WireMatch match;
+};
+
+struct CtrlInfo {
+  int32_t query_id = -1;
+};
+
+struct CtrlNodeRuntime {
+  int32_t node = -1;
+  bool is_leaf = false;
+  int32_t query_edges = 0;
+  uint64_t matches_inserted = 0;
+  uint64_t probes = 0;
+  uint64_t join_attempts = 0;
+  uint64_t joins_succeeded = 0;
+  uint64_t live_partial_matches = 0;
+};
+
+struct CtrlInfoAck {
+  bool ok = false;
+  std::string error;
+  std::string name;
+  Timestamp window = 0;
+  uint64_t completions = 0;
+  uint64_t live_partial_matches = 0;
+  uint64_t peak_partial_matches = 0;
+  std::vector<CtrlNodeRuntime> nodes;
+};
+
+struct CtrlStatsAck {
+  uint64_t retained_edges = 0;
+  uint64_t retained_vertices = 0;
+  uint64_t evicted_edges = 0;
+  uint64_t edges_processed = 0;
+  uint64_t completions = 0;
+  uint64_t live_partial_matches = 0;
+  ExchangeCounters exchange;
+};
+
+/// One decoded control frame: `type` says which payload member is live
+/// (the others stay default-constructed). A tagged union would save a few
+/// hundred idle bytes per frame; frames are transient decode scratch, so
+/// the flat struct wins on simplicity.
+struct CtrlFrame {
+  CtrlType type = CtrlType::kHello;
+  CtrlHello hello;
+  CtrlHelloAck hello_ack;
+  CtrlRegister reg;
+  CtrlRegisterAck register_ack;
+  CtrlUnregister unregister;
+  CtrlBatch batch;
+  CtrlExchange exchange;
+  CtrlBarrier barrier;
+  CtrlBarrierAck barrier_ack;
+  CtrlCommit commit;
+  CtrlCompletion completion;
+  CtrlInfo info;
+  CtrlInfoAck info_ack;
+  CtrlStatsAck stats_ack;
+};
+
+/// Decode result, shaped exactly like the FEEDB decoder's so callers (and
+/// the fuzz harness) share one discipline: kNeedMore consumes nothing;
+/// kOk/kOversized consume `frame_bytes`; kMalformed with frame_bytes == 0
+/// means the magic itself was wrong and the stream is desynchronized.
+struct CtrlDecodeResult {
+  FrameDecodeStatus status = FrameDecodeStatus::kNeedMore;
+  size_t frame_bytes = 0;
+  CtrlFrame frame;
+  std::string error;
+};
+
+/// True if `buf` begins with the control-frame magic's lead byte.
+bool IsCtrlFrameStart(std::string_view buf);
+
+/// Decodes the first control frame of `buf`. Never consumes input itself;
+/// the caller advances by `frame_bytes` on kOk/kOversized. `interner`
+/// receives the frame's label strings (decode is the interning boundary;
+/// everything after it speaks LabelIds again).
+CtrlDecodeResult DecodeCtrlFrame(std::string_view buf, size_t max_body_bytes,
+                                 Interner* interner);
+
+/// Resolves a LabelId to its string for encoding. An std::function rather
+/// than an Interner because the coordinator's ingest pump encodes off the
+/// control thread and reads a thread-safe name cache instead of the
+/// shared (non-thread-safe) interner.
+using LabelNameFn = std::function<std::string_view(LabelId)>;
+
+// --- Encoders (one per frame type; all return a complete framed message) ----
+
+std::string EncodeHelloFrame(const CtrlHello& hello);
+std::string EncodeHelloAckFrame(const CtrlHelloAck& ack);
+std::string EncodeRegisterFrame(const CtrlRegister& reg);
+std::string EncodeRegisterAckFrame(const CtrlRegisterAck& ack);
+std::string EncodeEndBackfillFrame();
+std::string EncodeUnregisterFrame(const CtrlUnregister& unregister);
+std::string EncodeBatchFrame(const CtrlBatch& batch,
+                             const LabelNameFn& label_name);
+std::string EncodeExchangeFrame(const CtrlExchange& exchange,
+                                const LabelNameFn& label_name);
+std::string EncodeBarrierFrame(const CtrlBarrier& barrier);
+std::string EncodeBarrierAckFrame(const CtrlBarrierAck& ack);
+std::string EncodeCommitFrame(const CtrlCommit& commit);
+std::string EncodeCompletionFrame(const CtrlCompletion& completion,
+                                  const LabelNameFn& label_name);
+std::string EncodeInfoFrame(const CtrlInfo& info);
+std::string EncodeInfoAckFrame(const CtrlInfoAck& ack);
+std::string EncodeStatsFrame();
+std::string EncodeStatsAckFrame(const CtrlStatsAck& ack);
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_STREAM_CLUSTER_WIRE_H_

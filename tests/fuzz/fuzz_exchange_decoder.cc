@@ -1,0 +1,140 @@
+// Fuzz target for the cluster control-frame decoder — the parser every
+// coordinator/worker link trusts with raw socket bytes, including the
+// exchange payloads that carry partial matches between shards and the
+// frame-log records a recovering worker replays. DecodeCtrlFrame must
+// never read out of bounds, loop, or report a consumption count that
+// would desync the link, no matter the bytes.
+//
+// Built by -DSTREAMWORKS_FUZZ=ON: under clang as a libFuzzer binary
+// (-fsanitize=fuzzer), under gcc linked against the corpus replay driver
+// (tests/fuzz/replay_driver.cc). Seeds live in tests/fuzz/corpus/exchange/.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "streamworks/common/interner.h"
+#include "streamworks/stream/cluster_wire.h"
+
+namespace {
+
+// A failed invariant must crash loudly under the fuzzer, not just return.
+void Check(bool ok) {
+  if (!ok) __builtin_trap();
+}
+
+streamworks::LabelNameFn NameFn(const streamworks::Interner& interner) {
+  return [&interner](streamworks::LabelId id) -> std::string_view {
+    return interner.Name(id);
+  };
+}
+
+// Re-encodes an accepted frame and requires the copy to decode to the
+// same type — the discipline the worker's log replay depends on
+// (ReencodeStateFrame round-trips every state frame through this codec).
+void CheckReencode(const streamworks::CtrlFrame& frame,
+                   const streamworks::Interner& interner,
+                   size_t max_body_bytes) {
+  using streamworks::CtrlType;
+  std::string encoded;
+  switch (frame.type) {
+    case CtrlType::kHello:
+      encoded = EncodeHelloFrame(frame.hello);
+      break;
+    case CtrlType::kHelloAck:
+      encoded = EncodeHelloAckFrame(frame.hello_ack);
+      break;
+    case CtrlType::kRegister:
+      encoded = EncodeRegisterFrame(frame.reg);
+      break;
+    case CtrlType::kRegisterAck:
+      encoded = EncodeRegisterAckFrame(frame.register_ack);
+      break;
+    case CtrlType::kEndBackfill:
+      encoded = streamworks::EncodeEndBackfillFrame();
+      break;
+    case CtrlType::kUnregister:
+      encoded = EncodeUnregisterFrame(frame.unregister);
+      break;
+    case CtrlType::kBatch:
+      encoded = EncodeBatchFrame(frame.batch, NameFn(interner));
+      break;
+    case CtrlType::kExchange:
+      encoded = EncodeExchangeFrame(frame.exchange, NameFn(interner));
+      break;
+    case CtrlType::kBarrier:
+      encoded = EncodeBarrierFrame(frame.barrier);
+      break;
+    case CtrlType::kBarrierAck:
+      encoded = EncodeBarrierAckFrame(frame.barrier_ack);
+      break;
+    case CtrlType::kCommit:
+      encoded = EncodeCommitFrame(frame.commit);
+      break;
+    case CtrlType::kCompletion:
+      encoded = EncodeCompletionFrame(frame.completion, NameFn(interner));
+      break;
+    case CtrlType::kInfo:
+      encoded = EncodeInfoFrame(frame.info);
+      break;
+    case CtrlType::kInfoAck:
+      encoded = EncodeInfoAckFrame(frame.info_ack);
+      break;
+    case CtrlType::kStats:
+      encoded = streamworks::EncodeStatsFrame();
+      break;
+    case CtrlType::kStatsAck:
+      encoded = EncodeStatsAckFrame(frame.stats_ack);
+      break;
+  }
+  streamworks::Interner fresh;
+  const streamworks::CtrlDecodeResult again =
+      streamworks::DecodeCtrlFrame(encoded, max_body_bytes, &fresh);
+  // An oversized re-encode is possible under the tiny limit; anything
+  // else must decode to the same frame type, whole-buffer.
+  if (again.status == streamworks::FrameDecodeStatus::kOversized) return;
+  Check(again.status == streamworks::FrameDecodeStatus::kOk);
+  Check(again.frame_bytes == encoded.size());
+  Check(again.frame.type == frame.type);
+}
+
+void DecodeAndCheck(std::string_view buf, size_t max_body_bytes) {
+  streamworks::Interner interner;
+  const streamworks::CtrlDecodeResult result =
+      streamworks::DecodeCtrlFrame(buf, max_body_bytes, &interner);
+  switch (result.status) {
+    case streamworks::FrameDecodeStatus::kOk:
+      // The link consumes frame_bytes: it must cover at least the header
+      // and never exceed what was actually in the buffer.
+      Check(result.frame_bytes >= streamworks::kCtrlFrameHeaderBytes);
+      Check(result.frame_bytes <= buf.size());
+      CheckReencode(result.frame, interner, max_body_bytes);
+      break;
+    case streamworks::FrameDecodeStatus::kNeedMore:
+      // Only ever a prefix-of-frame answer.
+      Check(result.frame_bytes == 0 || result.frame_bytes > buf.size());
+      break;
+    case streamworks::FrameDecodeStatus::kOversized:
+      // Skip count must cover the header it is skipping past.
+      Check(result.frame_bytes >= streamworks::kCtrlFrameHeaderBytes);
+      break;
+    case streamworks::FrameDecodeStatus::kMalformed:
+      // frame_bytes == 0 is the unrecoverable bad-magic answer; any other
+      // value must be a self-consistent skip.
+      Check(result.frame_bytes == 0 ||
+            result.frame_bytes >= streamworks::kCtrlFrameHeaderBytes);
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view buf(reinterpret_cast<const char*>(data), size);
+  // The control plane's production limit, then a tiny one so the
+  // oversized path is exercised by ordinary inputs too.
+  DecodeAndCheck(buf, streamworks::kDefaultMaxFrameBodyBytes);
+  DecodeAndCheck(buf, 64);
+  return 0;
+}

@@ -13,7 +13,9 @@
 #include "streamworks/graph/dynamic_graph.h"
 #include "streamworks/match/backtrack.h"
 #include "streamworks/sjtree/sj_tree.h"
+#include "streamworks/sjtree/exchange.h"
 #include "streamworks/stream/batching.h"
+#include "streamworks/stream/cluster_wire.h"
 #include "streamworks/stream/netflow_gen.h"
 #include "streamworks/stream/news_gen.h"
 #include "streamworks/stream/wire_format.h"
@@ -585,6 +587,343 @@ TEST(EndToEndDetectionTest, NewsEventDetectedPerTopic) {
   // At least one distinct subgraph is the injection; all its articles link
   // one keyword and one location.
   EXPECT_GE(subgraphs.size(), 1u);
+}
+
+// --- Cluster control-frame codec -------------------------------------------
+
+// Decodes a buffer that must hold exactly one well-formed frame.
+CtrlFrame MustDecode(const std::string& buf, Interner* interner) {
+  const CtrlDecodeResult result =
+      DecodeCtrlFrame(buf, kDefaultMaxFrameBodyBytes, interner);
+  EXPECT_EQ(result.status, FrameDecodeStatus::kOk) << result.error;
+  EXPECT_EQ(result.frame_bytes, buf.size());
+  return result.frame;
+}
+
+LabelNameFn NameFn(const Interner& interner) {
+  return [&interner](LabelId id) -> std::string_view {
+    return interner.Name(id);
+  };
+}
+
+TEST(ClusterWireTest, HelloAndAckRoundTrip) {
+  CtrlHello hello;
+  hello.num_shards = 4;
+  hello.shard_index = 2;
+  hello.partitioner_seed = 0xfeedfacecafebeefULL;
+  hello.exchange_items_received = 123456789;
+  hello.completions_received = 42;
+  Interner interner;
+  const CtrlFrame frame = MustDecode(EncodeHelloFrame(hello), &interner);
+  ASSERT_EQ(frame.type, CtrlType::kHello);
+  EXPECT_EQ(frame.hello.protocol, kCtrlProtocolVersion);
+  EXPECT_EQ(frame.hello.num_shards, 4);
+  EXPECT_EQ(frame.hello.shard_index, 2);
+  EXPECT_EQ(frame.hello.partitioner_seed, hello.partitioner_seed);
+  EXPECT_EQ(frame.hello.exchange_items_received, 123456789u);
+  EXPECT_EQ(frame.hello.completions_received, 42u);
+
+  CtrlHelloAck ack;
+  ack.applied_frames = 7;
+  const CtrlFrame ackf = MustDecode(EncodeHelloAckFrame(ack), &interner);
+  ASSERT_EQ(ackf.type, CtrlType::kHelloAck);
+  EXPECT_EQ(ackf.hello_ack.applied_frames, 7u);
+}
+
+TEST(ClusterWireTest, RegisterRoundTripPreservesQueryShape) {
+  CtrlRegister reg;
+  reg.expect_id = 3;
+  reg.strategy = 1;
+  reg.window = 500;
+  reg.name = "lateral";
+  reg.vertex_labels = {"User", "Host", "Host"};
+  reg.edges = {{0, 1, "login"}, {1, 2, "connect"}};
+  Interner interner;
+  const CtrlFrame frame = MustDecode(EncodeRegisterFrame(reg), &interner);
+  ASSERT_EQ(frame.type, CtrlType::kRegister);
+  EXPECT_EQ(frame.reg.expect_id, 3);
+  EXPECT_EQ(frame.reg.strategy, 1);
+  EXPECT_EQ(frame.reg.window, 500);
+  EXPECT_EQ(frame.reg.name, "lateral");
+  ASSERT_EQ(frame.reg.vertex_labels.size(), 3u);
+  EXPECT_EQ(frame.reg.vertex_labels[1], "Host");
+  ASSERT_EQ(frame.reg.edges.size(), 2u);
+  EXPECT_EQ(frame.reg.edges[0].src, 0);
+  EXPECT_EQ(frame.reg.edges[1].dst, 2);
+  EXPECT_EQ(frame.reg.edges[1].label, "connect");
+
+  CtrlRegisterAck ack;
+  ack.id = 3;
+  ack.ok = false;
+  ack.error = "window must be positive";
+  const CtrlFrame ackf = MustDecode(EncodeRegisterAckFrame(ack), &interner);
+  ASSERT_EQ(ackf.type, CtrlType::kRegisterAck);
+  EXPECT_EQ(ackf.register_ack.id, 3);
+  EXPECT_FALSE(ackf.register_ack.ok);
+  EXPECT_EQ(ackf.register_ack.error, "window must be positive");
+}
+
+TEST(ClusterWireTest, BatchRoundTripReResolvesLabelsByString) {
+  Interner enc_interner;
+  CtrlBatch batch;
+  CtrlShardEdge e1;
+  e1.edge = {10, 20, enc_interner.Intern("Host"), enc_interner.Intern("IP"),
+             enc_interner.Intern("hasIP"), 77};
+  e1.global_id = 5;
+  e1.run_anchors = true;
+  CtrlShardEdge e2;
+  e2.edge = {20, 10, enc_interner.Intern("IP"), enc_interner.Intern("Host"),
+             enc_interner.Intern("reverse"), 78};
+  e2.global_id = 6;
+  e2.run_anchors = false;
+  batch.edges = {e1, e2};
+  // Decode into a *fresh* interner whose id assignment differs — labels
+  // must survive as strings, not ids.
+  Interner dec_interner;
+  dec_interner.Intern("something-else");
+  const CtrlFrame frame =
+      MustDecode(EncodeBatchFrame(batch, NameFn(enc_interner)), &dec_interner);
+  ASSERT_EQ(frame.type, CtrlType::kBatch);
+  ASSERT_EQ(frame.batch.edges.size(), 2u);
+  const CtrlShardEdge& d1 = frame.batch.edges[0];
+  EXPECT_EQ(d1.edge.src, 10u);
+  EXPECT_EQ(d1.edge.dst, 20u);
+  EXPECT_EQ(dec_interner.Name(d1.edge.src_label), "Host");
+  EXPECT_EQ(dec_interner.Name(d1.edge.edge_label), "hasIP");
+  EXPECT_EQ(d1.edge.ts, 77);
+  EXPECT_EQ(d1.global_id, 5u);
+  EXPECT_TRUE(d1.run_anchors);
+  EXPECT_FALSE(frame.batch.edges[1].run_anchors);
+  EXPECT_EQ(dec_interner.Name(frame.batch.edges[1].edge.edge_label),
+            "reverse");
+}
+
+TEST(ClusterWireTest, ExchangeRoundTripCarriesFullItem) {
+  Interner enc_interner;
+  CtrlExchange exchange;
+  CtrlExchangeItem item;
+  item.dest = 3;
+  item.item.kind = ExchangeKind::kInsert;
+  item.item.query_id = 9;
+  item.item.plan = 2;
+  item.item.step = 4;
+  item.item.node = 6;
+  item.item.match.vertices = {{0, 100, enc_interner.Intern("Host")},
+                              {1, 200, enc_interner.Intern("IP")}};
+  item.item.match.edges = {{0, 55, 77}};
+  exchange.items = {item};
+  Interner dec_interner;
+  const CtrlFrame frame = MustDecode(
+      EncodeExchangeFrame(exchange, NameFn(enc_interner)), &dec_interner);
+  ASSERT_EQ(frame.type, CtrlType::kExchange);
+  ASSERT_EQ(frame.exchange.items.size(), 1u);
+  const CtrlExchangeItem& d = frame.exchange.items[0];
+  EXPECT_EQ(d.dest, 3);
+  EXPECT_EQ(d.item.kind, ExchangeKind::kInsert);
+  EXPECT_EQ(d.item.query_id, 9);
+  EXPECT_EQ(d.item.plan, 2u);
+  EXPECT_EQ(d.item.step, 4);
+  EXPECT_EQ(d.item.node, 6);
+  ASSERT_EQ(d.item.match.vertices.size(), 2u);
+  EXPECT_EQ(d.item.match.vertices[1].vertex, 200u);
+  EXPECT_EQ(dec_interner.Name(d.item.match.vertices[0].label), "Host");
+  ASSERT_EQ(d.item.match.edges.size(), 1u);
+  EXPECT_EQ(d.item.match.edges[0].edge, 55u);
+  EXPECT_EQ(d.item.match.edges[0].ts, 77);
+}
+
+TEST(ClusterWireTest, ControlOnlyFramesRoundTrip) {
+  Interner interner;
+  CtrlBarrier barrier;
+  barrier.round = 31;
+  CtrlFrame f = MustDecode(EncodeBarrierFrame(barrier), &interner);
+  ASSERT_EQ(f.type, CtrlType::kBarrier);
+  EXPECT_EQ(f.barrier.round, 31u);
+
+  CtrlBarrierAck back;
+  back.round = 31;
+  back.applied_frames = 99;
+  f = MustDecode(EncodeBarrierAckFrame(back), &interner);
+  ASSERT_EQ(f.type, CtrlType::kBarrierAck);
+  EXPECT_EQ(f.barrier_ack.round, 31u);
+  EXPECT_EQ(f.barrier_ack.applied_frames, 99u);
+
+  CtrlCommit commit;
+  commit.watermark = 12345;
+  f = MustDecode(EncodeCommitFrame(commit), &interner);
+  ASSERT_EQ(f.type, CtrlType::kCommit);
+  EXPECT_EQ(f.commit.watermark, 12345);
+
+  f = MustDecode(EncodeEndBackfillFrame(), &interner);
+  EXPECT_EQ(f.type, CtrlType::kEndBackfill);
+
+  CtrlUnregister unreg;
+  unreg.query_id = 8;
+  f = MustDecode(EncodeUnregisterFrame(unreg), &interner);
+  ASSERT_EQ(f.type, CtrlType::kUnregister);
+  EXPECT_EQ(f.unregister.query_id, 8);
+
+  CtrlInfo info;
+  info.query_id = 2;
+  f = MustDecode(EncodeInfoFrame(info), &interner);
+  ASSERT_EQ(f.type, CtrlType::kInfo);
+  EXPECT_EQ(f.info.query_id, 2);
+
+  f = MustDecode(EncodeStatsFrame(), &interner);
+  EXPECT_EQ(f.type, CtrlType::kStats);
+}
+
+TEST(ClusterWireTest, CompletionAndAckPayloadsRoundTrip) {
+  Interner enc_interner;
+  CtrlCompletion completion;
+  completion.query_id = 4;
+  completion.completed_at = 900;
+  completion.match.vertices = {{0, 7, enc_interner.Intern("Host")}};
+  completion.match.edges = {{0, 3, 899}, {1, 4, 900}};
+  Interner dec_interner;
+  CtrlFrame f = MustDecode(
+      EncodeCompletionFrame(completion, NameFn(enc_interner)), &dec_interner);
+  ASSERT_EQ(f.type, CtrlType::kCompletion);
+  EXPECT_EQ(f.completion.query_id, 4);
+  EXPECT_EQ(f.completion.completed_at, 900);
+  ASSERT_EQ(f.completion.match.edges.size(), 2u);
+  EXPECT_EQ(f.completion.match.edges[1].edge, 4u);
+
+  CtrlInfoAck info_ack;
+  info_ack.ok = true;
+  info_ack.name = "probe";
+  info_ack.window = 100;
+  info_ack.completions = 8;
+  info_ack.live_partial_matches = 3;
+  info_ack.peak_partial_matches = 5;
+  CtrlNodeRuntime node;
+  node.node = 1;
+  node.is_leaf = true;
+  node.query_edges = 2;
+  node.matches_inserted = 10;
+  node.probes = 20;
+  node.join_attempts = 30;
+  node.joins_succeeded = 15;
+  node.live_partial_matches = 2;
+  info_ack.nodes = {node};
+  f = MustDecode(EncodeInfoAckFrame(info_ack), &dec_interner);
+  ASSERT_EQ(f.type, CtrlType::kInfoAck);
+  EXPECT_TRUE(f.info_ack.ok);
+  EXPECT_EQ(f.info_ack.name, "probe");
+  ASSERT_EQ(f.info_ack.nodes.size(), 1u);
+  EXPECT_EQ(f.info_ack.nodes[0].joins_succeeded, 15u);
+  EXPECT_TRUE(f.info_ack.nodes[0].is_leaf);
+
+  CtrlStatsAck stats;
+  stats.retained_edges = 1;
+  stats.retained_vertices = 2;
+  stats.evicted_edges = 3;
+  stats.edges_processed = 4;
+  stats.completions = 5;
+  stats.live_partial_matches = 6;
+  stats.exchange.sent_inserts = 7;
+  stats.exchange.received_completions = 8;
+  f = MustDecode(EncodeStatsAckFrame(stats), &dec_interner);
+  ASSERT_EQ(f.type, CtrlType::kStatsAck);
+  EXPECT_EQ(f.stats_ack.evicted_edges, 3u);
+  EXPECT_EQ(f.stats_ack.exchange.sent_inserts, 7u);
+  EXPECT_EQ(f.stats_ack.exchange.received_completions, 8u);
+}
+
+TEST(ClusterWireTest, TruncatedFrameNeedsMoreAtEveryPrefix) {
+  CtrlRegister reg;
+  reg.expect_id = 1;
+  reg.window = 10;
+  reg.name = "q";
+  reg.vertex_labels = {"A", "B"};
+  reg.edges = {{0, 1, "e"}};
+  const std::string whole = EncodeRegisterFrame(reg);
+  Interner interner;
+  for (size_t len = 0; len < whole.size(); ++len) {
+    const CtrlDecodeResult result = DecodeCtrlFrame(
+        whole.substr(0, len), kDefaultMaxFrameBodyBytes, &interner);
+    EXPECT_EQ(result.status, FrameDecodeStatus::kNeedMore)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(ClusterWireTest, BadMagicIsUnrecoverablyMalformed) {
+  std::string buf = EncodeBarrierFrame(CtrlBarrier{});
+  buf[0] = 'X';
+  Interner interner;
+  const CtrlDecodeResult result =
+      DecodeCtrlFrame(buf, kDefaultMaxFrameBodyBytes, &interner);
+  EXPECT_EQ(result.status, FrameDecodeStatus::kMalformed);
+  // frame_bytes 0 signals desync: the control plane tears the link down.
+  EXPECT_EQ(result.frame_bytes, 0u);
+}
+
+TEST(ClusterWireTest, LyingInteriorCountIsMalformedNotOverread) {
+  CtrlBatch batch;
+  CtrlShardEdge e;
+  Interner enc;
+  e.edge = {1, 2, enc.Intern("A"), enc.Intern("B"), enc.Intern("e"), 3};
+  e.global_id = 0;
+  batch.edges = {e};
+  std::string buf = EncodeBatchFrame(batch, NameFn(enc));
+  // The edge count lives right after the 8-byte header + 1-byte type +
+  // string table; easier and stronger: bump every interior byte in turn
+  // and require the decoder to stay within [kOk with same size,
+  // kMalformed] — never a crash, never consuming beyond the buffer.
+  Interner interner;
+  for (size_t i = kCtrlFrameHeaderBytes; i < buf.size(); ++i) {
+    std::string corrupt = buf;
+    corrupt[i] = static_cast<char>(corrupt[i] + 0x41);
+    const CtrlDecodeResult result =
+        DecodeCtrlFrame(corrupt, kDefaultMaxFrameBodyBytes, &interner);
+    if (result.status == FrameDecodeStatus::kOk) {
+      EXPECT_EQ(result.frame_bytes, corrupt.size());
+    } else {
+      EXPECT_TRUE(result.status == FrameDecodeStatus::kMalformed ||
+                  result.status == FrameDecodeStatus::kNeedMore)
+          << "byte " << i;
+    }
+  }
+}
+
+TEST(ClusterWireTest, OversizedBodyReportsSkipBytes) {
+  CtrlBatch batch;
+  CtrlShardEdge e;
+  Interner enc;
+  e.edge = {1, 2, enc.Intern("A"), enc.Intern("B"), enc.Intern("e"), 3};
+  batch.edges.assign(100, e);
+  const std::string buf = EncodeBatchFrame(batch, NameFn(enc));
+  Interner interner;
+  const CtrlDecodeResult result = DecodeCtrlFrame(buf, /*max_body_bytes=*/64,
+                                                  &interner);
+  EXPECT_EQ(result.status, FrameDecodeStatus::kOversized);
+  EXPECT_EQ(result.frame_bytes, buf.size());
+}
+
+TEST(ClusterWireTest, TrailingBytesAreNotConsumed) {
+  const std::string frame = EncodeCommitFrame(CtrlCommit{.watermark = 5});
+  const std::string buf = frame + "garbage-after-the-frame";
+  Interner interner;
+  const CtrlDecodeResult result =
+      DecodeCtrlFrame(buf, kDefaultMaxFrameBodyBytes, &interner);
+  EXPECT_EQ(result.status, FrameDecodeStatus::kOk);
+  EXPECT_EQ(result.frame_bytes, frame.size());
+  EXPECT_EQ(result.frame.commit.watermark, 5);
+}
+
+TEST(ClusterWireTest, StateTypeClassificationMatchesProtocol) {
+  EXPECT_TRUE(IsStateCtrlType(CtrlType::kRegister));
+  EXPECT_TRUE(IsStateCtrlType(CtrlType::kEndBackfill));
+  EXPECT_TRUE(IsStateCtrlType(CtrlType::kUnregister));
+  EXPECT_TRUE(IsStateCtrlType(CtrlType::kBatch));
+  EXPECT_TRUE(IsStateCtrlType(CtrlType::kExchange));
+  EXPECT_TRUE(IsStateCtrlType(CtrlType::kCommit));
+  EXPECT_FALSE(IsStateCtrlType(CtrlType::kHello));
+  EXPECT_FALSE(IsStateCtrlType(CtrlType::kHelloAck));
+  EXPECT_FALSE(IsStateCtrlType(CtrlType::kBarrier));
+  EXPECT_FALSE(IsStateCtrlType(CtrlType::kBarrierAck));
+  EXPECT_FALSE(IsStateCtrlType(CtrlType::kCompletion));
+  EXPECT_FALSE(IsStateCtrlType(CtrlType::kInfo));
 }
 
 }  // namespace
