@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -24,12 +25,16 @@
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "bench/bench_util.h"
 #include "streamworks/cluster/coordinator.h"
 #include "streamworks/cluster/worker.h"
 #include "streamworks/common/interner.h"
 #include "streamworks/common/timer.h"
 #include "streamworks/graph/query_graph.h"
+#include "streamworks/obs/metric_registry.h"
+#include "streamworks/obs/stage_trace.h"
 #include "streamworks/stream/netflow_gen.h"
 
 namespace streamworks::bench {
@@ -39,12 +44,40 @@ struct Result {
   std::string scenario;
   uint64_t edges = 0;
   double seconds = 0;
+  double cpu_seconds = 0;
   uint64_t completions = 0;
   double p50_ms = 0;
   double p99_ms = 0;
 
   double eps() const { return seconds > 0 ? edges / seconds : 0; }
 };
+
+/// Observed cost of cluster observability on the ingest path: paired
+/// obs-off/obs-on runs of the 2-worker scenario, scraped live while
+/// feeding. The gated number is the wall-clock ingest slowdown — the
+/// "ingest cost" a deployment actually pays, since the cluster path is
+/// latency-bound on barrier round-trips and the scrape work happens off
+/// the critical path. The absolute observability CPU (scrapes, report
+/// pulls, phase records) rides along: on a latency-bound denominator a
+/// CPU ratio wildly overstates milliseconds of work.
+struct Overhead {
+  int workers = 0;
+  int pairs = 0;
+  double median_ingest_pct = 0;
+  double mean_ingest_pct = 0;
+  double obs_cpu_ms_per_s = 0;
+  double gate_pct = 3.0;
+};
+
+double ProcessCpuSeconds() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  const auto seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) / 1e6;
+  };
+  return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+}
 
 /// One worker daemon on its own thread (same shape as the cluster tests):
 /// port 0 binds an ephemeral listener, Serve runs until stop.
@@ -113,7 +146,7 @@ double Percentile(std::vector<double> samples, double p) {
 }
 
 Result RunScenario(int num_workers, const std::vector<StreamEdge>& edges,
-                   Interner* interner) {
+                   Interner* interner, bool with_obs = false) {
   std::vector<std::unique_ptr<BenchWorker>> workers;
   DistributedBackendOptions options;
   for (int i = 0; i < num_workers; ++i) {
@@ -126,6 +159,16 @@ Result RunScenario(int num_workers, const std::vector<StreamEdge>& edges,
   // rather than the depth of an unbounded buffer.
   options.epoch_edges = 512;
   options.max_pending_edges = 2048;
+  // The obs-on configuration is the full production wiring: federation
+  // registry + stage pipeline on the coordinator, scraped concurrently
+  // while the stream flows (each scrape pulls worker reports over the
+  // control links, contending with the epoch pump for the cluster lock).
+  MetricRegistry registry;
+  PipelineMetrics pipeline;
+  if (with_obs) {
+    options.registry = &registry;
+    options.pipeline = &pipeline;
+  }
   DistributedBackend backend(options, interner);
 
   // Lag sampling: the callback runs on the pump thread; its sample is
@@ -158,7 +201,19 @@ Result RunScenario(int num_workers, const std::vector<StreamEdge>& edges,
                    200, sink)
       .value();
 
+  std::atomic<bool> scrape_stop{false};
+  std::thread scraper;
+  if (with_obs) {
+    scraper = std::thread([&] {
+      while (!scrape_stop.load(std::memory_order_relaxed)) {
+        (void)registry.RenderPrometheus();
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+    });
+  }
+
   Timer timer;
+  const double cpu_start = ProcessCpuSeconds();
   for (const StreamEdge& e : edges) {
     last_feed_s.store(clock.ElapsedSeconds(), std::memory_order_relaxed);
     if (!backend.Feed(e).ok()) {
@@ -167,20 +222,70 @@ Result RunScenario(int num_workers, const std::vector<StreamEdge>& edges,
     }
   }
   backend.Flush();
+  const double cpu_seconds = ProcessCpuSeconds() - cpu_start;
   const double seconds = timer.ElapsedSeconds();
+  if (with_obs) {
+    scrape_stop.store(true);
+    scraper.join();
+  }
   backend.Stop();
 
   Result result;
   result.scenario = "workers" + std::to_string(num_workers);
   result.edges = edges.size();
   result.seconds = seconds;
+  result.cpu_seconds = cpu_seconds;
   result.completions = completions;
   result.p50_ms = Percentile(lag_ms, 0.50);
   result.p99_ms = Percentile(lag_ms, 0.99);
   return result;
 }
 
-void WriteJson(const std::vector<Result>& rows, const std::string& path) {
+/// Alternated obs-off/obs-on pairs at 2 workers; each pair's percentage
+/// is the wall-clock ingest slowdown (seconds_on - seconds_off) /
+/// seconds_off. Median defends against one noisy pair; the mean rides
+/// along for honesty about the spread.
+Overhead MeasureOverhead(int num_edges, int pairs) {
+  Overhead result;
+  result.workers = 2;
+  result.pairs = pairs;
+  std::vector<double> pcts;
+  double sum = 0;
+  double cpu_delta = 0;
+  double wall_on = 0;
+  for (int i = 0; i < pairs; ++i) {
+    // Fresh interner + stream per run, like the scenario sweep.
+    Interner off_interner;
+    const auto off_edges = BenchStream(&off_interner, num_edges);
+    const Result off =
+        RunScenario(2, off_edges, &off_interner, /*with_obs=*/false);
+    Interner on_interner;
+    const auto on_edges = BenchStream(&on_interner, num_edges);
+    const Result on =
+        RunScenario(2, on_edges, &on_interner, /*with_obs=*/true);
+    const double pct =
+        off.seconds > 0 ? (on.seconds - off.seconds) / off.seconds * 100.0
+                        : 0.0;
+    pcts.push_back(pct);
+    sum += pct;
+    cpu_delta += on.cpu_seconds - off.cpu_seconds;
+    wall_on += on.seconds;
+    std::cout << "overhead pair " << (i + 1) << "/" << pairs << ": off="
+              << FormatDouble(off.seconds, 3) << "s on="
+              << FormatDouble(on.seconds, 3) << "s (" << FormatDouble(pct, 2)
+              << "% wall; cpu " << FormatDouble(off.cpu_seconds, 3) << "s -> "
+              << FormatDouble(on.cpu_seconds, 3) << "s)\n";
+  }
+  std::sort(pcts.begin(), pcts.end());
+  result.median_ingest_pct = pcts[pcts.size() / 2];
+  result.mean_ingest_pct = sum / static_cast<double>(pairs);
+  result.obs_cpu_ms_per_s =
+      wall_on > 0 ? std::max(cpu_delta, 0.0) / wall_on * 1000.0 : 0.0;
+  return result;
+}
+
+void WriteJson(const std::vector<Result>& rows, const Overhead* overhead,
+               const std::string& path) {
   namespace fs = std::filesystem;
   const fs::path parent = fs::path(path).parent_path();
   if (!parent.empty()) fs::create_directories(parent);
@@ -196,11 +301,22 @@ void WriteJson(const std::vector<Result>& rows, const std::string& path) {
         << ", \"p99_ms\": " << FormatDouble(r.p99_ms, 3) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  if (overhead != nullptr) {
+    out << ",\n  \"overhead\": {\"workers\": " << overhead->workers
+        << ", \"pairs\": " << overhead->pairs << ", \"median_ingest_pct\": "
+        << FormatDouble(overhead->median_ingest_pct, 2)
+        << ", \"mean_ingest_pct\": "
+        << FormatDouble(overhead->mean_ingest_pct, 2)
+        << ", \"obs_cpu_ms_per_s\": "
+        << FormatDouble(overhead->obs_cpu_ms_per_s, 3)
+        << ", \"gate_pct\": " << FormatDouble(overhead->gate_pct, 1) << "}";
+  }
+  out << "\n}\n";
   std::cout << "\nwrote " << path << "\n";
 }
 
-void RunAll(int num_edges, const std::string& json_path) {
+void RunAll(int num_edges, const std::string& json_path, int overhead_pairs) {
   Banner("cluster", "multi-process sharding: ingest + delivery lag");
   std::vector<Result> rows;
   for (int workers : {1, 2, 4}) {
@@ -221,7 +337,20 @@ void RunAll(int num_edges, const std::string& json_path) {
                std::to_string(r.completions), FormatDouble(r.p50_ms, 2),
                FormatDouble(r.p99_ms, 2)});
   }
-  WriteJson(rows, json_path);
+
+  Overhead overhead;
+  if (overhead_pairs > 0) {
+    std::cout << "\nobservability overhead (" << overhead_pairs
+              << " obs-off/obs-on pairs at 2 workers, scraped live):\n";
+    overhead = MeasureOverhead(num_edges, overhead_pairs);
+    std::cout << "median " << FormatDouble(overhead.median_ingest_pct, 2)
+              << "% mean " << FormatDouble(overhead.mean_ingest_pct, 2)
+              << "% ingest slowdown, obs cpu "
+              << FormatDouble(overhead.obs_cpu_ms_per_s, 2)
+              << " ms/s (budget " << FormatDouble(overhead.gate_pct, 1)
+              << "%)\n";
+  }
+  WriteJson(rows, overhead_pairs > 0 ? &overhead : nullptr, json_path);
 }
 
 }  // namespace
@@ -229,6 +358,7 @@ void RunAll(int num_edges, const std::string& json_path) {
 
 int main(int argc, char** argv) {
   int num_edges = 20000;
+  int overhead_pairs = 5;
   std::string json_path = "bench-results/bench_cluster.json";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -240,13 +370,18 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
       continue;
     }
+    if (arg == "--no-overhead") {
+      overhead_pairs = 0;
+      continue;
+    }
     int64_t n = 0;
     if (!streamworks::ParseInt64(arg, &n) || n <= 0) {
-      std::cerr << "usage: bench_cluster [num_edges] [--json PATH]\n";
+      std::cerr << "usage: bench_cluster [num_edges] [--json PATH]"
+                << " [--no-overhead]\n";
       return 1;
     }
     num_edges = static_cast<int>(n);
   }
-  streamworks::bench::RunAll(num_edges, json_path);
+  streamworks::bench::RunAll(num_edges, json_path, overhead_pairs);
   return 0;
 }

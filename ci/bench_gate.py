@@ -140,22 +140,26 @@ def gate_throughput(fresh, baseline, tolerance, label, report, strict=False):
 
 
 def gate_obs_overhead(doc, label, report):
-    """Re-checks the stage-hook overhead against its recorded budget."""
+    """Re-checks an observability overhead block against its recorded
+    budget. BENCH_obs.json carries median_cpu_pct (stage hooks on a
+    CPU-bound path); bench_cluster.json carries median_ingest_pct (wall
+    slowdown of the latency-bound cluster ingest under live scraping)."""
     overhead = doc.get("overhead", {})
-    measured = overhead.get("median_cpu_pct")
+    measured = overhead.get("median_ingest_pct",
+                            overhead.get("median_cpu_pct"))
     budget = overhead.get("gate_pct")
     if not isinstance(measured, (int, float)) or not isinstance(
             budget, (int, float)):
         report.append(
-            (False, f"{label}: overhead.median_cpu_pct / gate_pct missing"))
+            (False, f"{label}: overhead median pct / gate_pct missing"))
         return 1
     if measured > budget:
         report.append(
-            (False, f"{label}: stage-hook overhead {measured:.2f}% exceeds "
-                    f"its {budget:.2f}% budget"))
+            (False, f"{label}: observability overhead {measured:.2f}% "
+                    f"exceeds its {budget:.2f}% budget"))
         return 1
     report.append(
-        (True, f"{label}: stage-hook overhead {measured:.2f}% within "
+        (True, f"{label}: observability overhead {measured:.2f}% within "
                f"{budget:.2f}% budget"))
     return 0
 
@@ -190,6 +194,19 @@ def run_gate(results_dir, baseline_dir, tolerance, strict=False):
     elif obs_base.exists():
         failures += gate_obs_overhead(load(obs_base),
                                       "BENCH_obs.json (committed)", report)
+    # Cluster observability rides the same budget discipline: the fresh
+    # bench_cluster.json carries its own overhead block (paired
+    # obs-off/obs-on CPU at 2 workers) with a recorded gate_pct.
+    cluster_fresh = results_dir / "bench_cluster.json"
+    cluster_base = baseline_dir / "BENCH_cluster.json"
+    if cluster_fresh.exists() and "overhead" in load(cluster_fresh):
+        failures += gate_obs_overhead(load(cluster_fresh),
+                                      "bench_cluster.json (obs overhead)",
+                                      report)
+    elif cluster_base.exists() and "overhead" in load(cluster_base):
+        failures += gate_obs_overhead(
+            load(cluster_base), "BENCH_cluster.json (committed obs overhead)",
+            report)
     return failures, report
 
 
@@ -253,6 +270,11 @@ def self_test():
     obs_fail = {"overhead": {"median_cpu_pct": 4.5, "gate_pct": 3.0}}
     obs_ok = gate_obs_overhead(obs_pass, "self-test obs", report)
     obs_bad = gate_obs_overhead(obs_fail, "self-test obs", report)
+    obs_absent = gate_obs_overhead({}, "self-test obs", report)
+    cluster_pass = {"overhead": {"median_ingest_pct": 0.8, "gate_pct": 3.0}}
+    cluster_fail = {"overhead": {"median_ingest_pct": 5.1, "gate_pct": 3.0}}
+    cluster_ok = gate_obs_overhead(cluster_pass, "self-test cluster", report)
+    cluster_bad = gate_obs_overhead(cluster_fail, "self-test cluster", report)
     checks = [
         (ok_failures == 0, "clean fresh run passes"),
         (bad_failures == 1, "40% degradation fails exactly one scenario"),
@@ -262,6 +284,9 @@ def self_test():
         (downsized_strict == 2, "size mismatch fails under --strict"),
         (obs_ok == 0, "in-budget obs overhead passes"),
         (obs_bad == 1, "over-budget obs overhead fails"),
+        (obs_absent == 1, "overhead block with missing fields fails"),
+        (cluster_ok == 0, "in-budget cluster ingest overhead passes"),
+        (cluster_bad == 1, "over-budget cluster ingest overhead fails"),
     ]
     all_ok = True
     for ok, what in checks:

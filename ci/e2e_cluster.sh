@@ -13,6 +13,12 @@
 # The recovered cluster must deliver the byte-identical sorted multiset —
 # nothing lost to the crash, nothing delivered twice — and the restarted
 # worker must prove it actually replayed its log on reconnect.
+#
+# Leg 3 (observability) is interleaved with leg 2: workers run with
+# --http-port 0, the coordinator /metrics must federate the workers'
+# edges_fed counters exactly, /cluster.json and /epochs.json must report
+# the live topology and epoch phases, and /healthz must flip to degraded
+# after the kill -9 and back to ok once the restarted worker reconnects.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -120,16 +126,30 @@ SINGLE_PID=""
 
 # --- Leg 2: coordinator + 2 workers, kill -9 mid-stream --------------------
 
-"$SERVER" --role worker --listen-port 0 --data-dir "$TMP/w0" \
+# Raw HTTP/1.1 GET over bash's /dev/tcp (no curl dependency). The
+# endpoint closes after one response, so read-to-EOF is the framing.
+scrape() {
+  local port="$1" target="$2" out="$3"
+  exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
+  printf 'GET %s HTTP/1.1\r\nHost: e2e\r\n\r\n' "$target" >&3
+  cat <&3 > "$out"
+  exec 3<&- 3>&- || true
+}
+
+"$SERVER" --role worker --listen-port 0 --http-port 0 --data-dir "$TMP/w0" \
   > "$TMP/w0.log" 2>&1 &
 W0_PID=$!
-"$SERVER" --role worker --listen-port 0 --data-dir "$TMP/w1" \
+"$SERVER" --role worker --listen-port 0 --http-port 0 --data-dir "$TMP/w1" \
   > "$TMP/w1.log" 2>&1 &
 W1_PID=$!
 await_banner "$TMP/w0.log" "^WORKER port=" "$W0_PID" "worker 0"
 await_banner "$TMP/w1.log" "^WORKER port=" "$W1_PID" "worker 1"
-W0_PORT=$(sed -n 's/^WORKER port=\([0-9]*\)$/\1/p' "$TMP/w0.log")
-W1_PORT=$(sed -n 's/^WORKER port=\([0-9]*\)$/\1/p' "$TMP/w1.log")
+W0_PORT=$(sed -n 's/^WORKER port=\([0-9]*\).*$/\1/p' "$TMP/w0.log")
+W1_PORT=$(sed -n 's/^WORKER port=\([0-9]*\).*$/\1/p' "$TMP/w1.log")
+W0_HTTP=$(sed -n 's/^WORKER port=[0-9]* http=\([0-9]*\)$/\1/p' "$TMP/w0.log")
+W1_HTTP=$(sed -n 's/^WORKER port=[0-9]* http=\([0-9]*\)$/\1/p' "$TMP/w1.log")
+[ -n "$W0_HTTP" ] && [ -n "$W1_HTTP" ] \
+  || fail "worker banners carry no http= port (w0='$W0_HTTP' w1='$W1_HTTP')"
 
 "$SERVER" --role coordinator \
   --workers "127.0.0.1:$W0_PORT,127.0.0.1:$W1_PORT" \
@@ -144,11 +164,90 @@ run_watcher_and_feeders "$CSOCK" cluster
 timeout 60 "$CLIENT" --unix "$CSOCK" < "$TMP/feed_a.txt" \
   > "$TMP/cluster.feeder_a.log" 2>&1 || fail "cluster feeder (first half) failed"
 
+# --- Leg 3a: one pane of glass over the healthy cluster --------------------
+
+COORD_HTTP=$(sed -n 's/^SERVING .*http=\([0-9][0-9]*\).*/\1/p' "$TMP/coord.log")
+[ -n "$COORD_HTTP" ] || fail "coordinator SERVING banner has no http= port"
+
+# Federation exactness: the coordinator's merged edges_fed{role="worker"}
+# series must equal the sum of the workers' own scrapes. Nothing is
+# feeding, so all three scrapes see the same settled counters.
+scrape "$COORD_HTTP" /metrics "$TMP/coord.metrics" \
+  || fail "scrape coordinator /metrics failed"
+head -1 "$TMP/coord.metrics" | grep -q "HTTP/1.1 200 OK" \
+  || fail "coordinator /metrics not 200"
+scrape "$W0_HTTP" /metrics "$TMP/w0.metrics" || fail "scrape w0 /metrics failed"
+scrape "$W1_HTTP" /metrics "$TMP/w1.metrics" || fail "scrape w1 /metrics failed"
+FED_SERIES='streamworks_edges_fed_total{role="worker"}'
+COORD_FED=$(awk -v s="$FED_SERIES" '$1 == s {print $2}' "$TMP/coord.metrics")
+W0_FED=$(awk -v s="$FED_SERIES" '$1 == s {print $2}' "$TMP/w0.metrics")
+W1_FED=$(awk -v s="$FED_SERIES" '$1 == s {print $2}' "$TMP/w1.metrics")
+[ -n "$COORD_FED" ] && [ -n "$W0_FED" ] && [ -n "$W1_FED" ] \
+  || fail "edges_fed series missing (coord='$COORD_FED' w0='$W0_FED' w1='$W1_FED')"
+[ "$COORD_FED" -eq $((W0_FED + W1_FED)) ] \
+  || fail "federated edges_fed $COORD_FED != worker sum $((W0_FED + W1_FED))"
+grep -q '^streamworks_epoch_phase_us_bucket{phase="barrier"' "$TMP/coord.metrics" \
+  || fail "coordinator /metrics missing epoch phase histograms"
+grep -q '^streamworks_stage_duration_us_bucket{role="worker"' \
+  "$TMP/coord.metrics" \
+  || fail "coordinator /metrics missing federated worker stage histograms"
+
+# Worker-local endpoints: /healthz, /trace.json alongside /metrics.
+scrape "$W0_HTTP" /healthz "$TMP/w0.healthz" || fail "scrape w0 /healthz failed"
+grep -q '"status":"ok"' "$TMP/w0.healthz" || fail "w0 /healthz not ok"
+grep -q '"role":"worker"' "$TMP/w0.healthz" || fail "w0 /healthz has no role"
+scrape "$W0_HTTP" /trace.json "$TMP/w0.trace" || fail "scrape w0 /trace failed"
+grep -q '"stages"' "$TMP/w0.trace" || fail "w0 /trace.json has no stages"
+
+# Cluster topology + epoch timeline endpoints.
+scrape "$COORD_HTTP" /cluster.json "$TMP/cluster.json" \
+  || fail "scrape /cluster.json failed"
+grep -q '"healthy":true' "$TMP/cluster.json" || fail "/cluster.json not healthy"
+CONNECTED=$(grep -o '"connected":true' "$TMP/cluster.json" | wc -l)
+[ "$CONNECTED" -eq 2 ] \
+  || fail "/cluster.json shows $CONNECTED of 2 workers connected"
+grep -q '"wal_seq":[1-9]' "$TMP/cluster.json" \
+  || fail "/cluster.json has no advanced wal_seq"
+scrape "$COORD_HTTP" /epochs.json "$TMP/epochs.json" \
+  || fail "scrape /epochs.json failed"
+grep -q '"barrier_us"' "$TMP/epochs.json" \
+  || fail "/epochs.json carries no phase durations"
+grep -q '"edges":[1-9]' "$TMP/epochs.json" \
+  || fail "/epochs.json traced no edges"
+scrape "$COORD_HTTP" /healthz "$TMP/coord.healthz.ok" \
+  || fail "scrape coordinator /healthz failed"
+grep -q '"status":"ok"' "$TMP/coord.healthz.ok" \
+  || fail "coordinator /healthz not ok with a healthy cluster"
+
 # The crash: no goodbye, no final sync — the frame log's page-cache
 # contents are all that survives.
 kill -9 "$W0_PID"
 wait "$W0_PID" 2>/dev/null || true
 W0_PID=""
+
+# --- Leg 3b: /healthz must see the corpse ----------------------------------
+# A health scrape only re-pulls once the cached report ages past
+# metrics_cache_ms (1s default); the re-pull on the dead link then fails
+# fast and flips the worker to disconnected. Poll until the cache window
+# lapses — well under the 15s staleness threshold, so this proves the
+# disconnect path, not the staleness fallback.
+DEGRADED=""
+for _ in $(seq 1 25); do
+  scrape "$COORD_HTTP" /healthz "$TMP/coord.healthz.dead" \
+    || fail "scrape coordinator /healthz after kill failed"
+  if grep -q '"status":"degraded"' "$TMP/coord.healthz.dead"; then
+    DEGRADED=1
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$DEGRADED" ] || fail "coordinator /healthz still ok after worker kill -9"
+scrape "$COORD_HTTP" /cluster.json "$TMP/cluster.dead.json" \
+  || fail "scrape /cluster.json after kill failed"
+grep -q '"healthy":false' "$TMP/cluster.dead.json" \
+  || fail "/cluster.json still healthy after worker kill -9"
+grep -q '"connected":false' "$TMP/cluster.dead.json" \
+  || fail "/cluster.json shows no disconnected worker after kill -9"
 
 # Restart on the same port and frame log; the coordinator's reconnect
 # (retrying inside its 30s recovery budget) replays it.
@@ -163,6 +262,20 @@ await_banner "$TMP/w0.restarted.log" "^WORKER port=" "$W0_PID" \
 timeout 90 "$CLIENT" --unix "$CSOCK" < "$TMP/feed_b.txt" \
   > "$TMP/cluster.feeder_b.log" 2>&1 || fail "cluster feeder (second half) failed"
 wait "$WATCHER_PID" || fail "cluster watcher failed (missing matches?)"
+
+# --- Leg 3c: recovery visible on the pane of glass -------------------------
+# The reconnect healed the link and the next pull reaches the restarted
+# worker, whose report carries its replay counter.
+scrape "$COORD_HTTP" /healthz "$TMP/coord.healthz.recovered" \
+  || fail "scrape coordinator /healthz after recovery failed"
+grep -q '"status":"ok"' "$TMP/coord.healthz.recovered" \
+  || fail "coordinator /healthz not ok after worker recovery"
+scrape "$COORD_HTTP" /cluster.json "$TMP/cluster.recovered.json" \
+  || fail "scrape /cluster.json after recovery failed"
+grep -q '"healthy":true' "$TMP/cluster.recovered.json" \
+  || fail "/cluster.json not healthy after worker recovery"
+grep -q '"replayed_frames":[1-9]' "$TMP/cluster.recovered.json" \
+  || fail "/cluster.json shows no replayed frames on the restarted worker"
 
 sed -n 's/^EVENT MATCH watcher\.live //p' "$TMP/cluster.watcher.log" \
   | sort > "$TMP/cluster.matches"

@@ -185,7 +185,9 @@ int RunWorker(WorkerOptions options) {
     std::cerr << "worker start failed: " << status.ToString() << "\n";
     return 1;
   }
-  std::cout << "WORKER port=" << daemon.port() << std::endl;
+  std::cout << "WORKER port=" << daemon.port();
+  if (daemon.http_port() >= 0) std::cout << " http=" << daemon.http_port();
+  std::cout << std::endl;
   const Status served = daemon.Serve(g_shutdown);
   if (!served.ok()) {
     std::cerr << "worker failed: " << served.ToString() << "\n";
@@ -248,6 +250,13 @@ int main(int argc, char** argv) {
         return 1;
       }
       worker_options.port = static_cast<int>(port);
+    } else if (arg == "--http-port" && i + 1 < argc) {
+      int64_t port = 0;
+      if (!ParseInt64(argv[++i], &port) || port < 0 || port > 65535) {
+        std::cerr << "bad --http-port: " << argv[i] << "\n";
+        return 1;
+      }
+      worker_options.http_port = static_cast<int>(port);
     } else if (arg == "--connect-deadline-ms" && i + 1 < argc) {
       int64_t ms = 0;
       if (!ParseInt64(argv[++i], &ms) || ms <= 0) {
@@ -334,7 +343,8 @@ int main(int argc, char** argv) {
                    " [--trace-us N]"
                    " [--data-dir DIR [--snapshot-every N]"
                    " [--fsync-every N]]"
-                   " [--role worker --listen-port P [--data-dir DIR]]"
+                   " [--role worker --listen-port P [--http-port P]"
+                   " [--data-dir DIR]]"
                    " [--role coordinator --workers H:P,H:P"
                    " [--connect-deadline-ms N]]\n";
       return 1;
@@ -392,6 +402,11 @@ int main(int argc, char** argv) {
                    "workers (their frame logs carry cluster durability)\n";
       return 1;
     }
+    // The cluster backend joins the observability spine: its federation
+    // collector makes /metrics cluster-wide, its epoch phases land in the
+    // registry, and its barrier/relay time lands in the shared pipeline.
+    cluster_options.registry = &registry;
+    cluster_options.pipeline = &pipeline;
     cluster.emplace(cluster_options, &interner);
     if (Status status = cluster->Start(); !status.ok()) {
       std::cerr << "cluster start failed: " << status.ToString() << "\n";
@@ -443,6 +458,22 @@ int main(int argc, char** argv) {
     }
     server_options.registry = &registry;
     server_options.pipeline = &pipeline;
+    if (cluster.has_value()) {
+      DistributedBackend* cb = &*cluster;
+      server_options.cluster_provider = [cb] {
+        return RenderClusterJson(cb->ObsSnapshot(/*refresh=*/true));
+      };
+      server_options.epochs_provider = [cb] {
+        return RenderEpochsJson(cb->EpochTrace(), cb->epochs_completed(),
+                                PipelineMetrics::NowMicros());
+      };
+      // Health refreshes too: a pull on a killed worker's link fails
+      // fast and flips it to disconnected, so /healthz degrades within
+      // one scrape of the crash instead of after the staleness window.
+      server_options.health_provider = [cb] {
+        return RenderClusterHealthJson(cb->ObsSnapshot(/*refresh=*/true));
+      };
+    }
     return Serve(&service, &interner, server_options,
                  durability.has_value() ? &*durability : nullptr);
   }

@@ -41,7 +41,8 @@ DistributedBackend::DistributedBackend(DistributedBackendOptions options,
     : options_(std::move(options)),
       interner_(interner),
       partitioner_(options_.partitioner_seed),
-      coord_graph_(&wire_interner_) {}
+      coord_graph_(&wire_interner_),
+      epoch_ring_(options_.epoch_trace_capacity) {}
 
 DistributedBackend::~DistributedBackend() { Stop(); }
 
@@ -81,6 +82,10 @@ Status DistributedBackend::Start() {
     }
   }
   started_ = true;
+  if (options_.registry != nullptr) {
+    federation_token_ = options_.registry->AddCollector(
+        [this](MetricSnapshotBuilder* out) { ContributeClusterMetrics(out); });
+  }
   pump_ = std::thread([this] { PumpLoop(); });
   return OkStatus();
 }
@@ -94,6 +99,10 @@ void DistributedBackend::Stop() {
   pending_cv_.notify_all();
   space_cv_.notify_all();
   if (pump_.joinable()) pump_.join();
+  if (federation_token_ >= 0) {
+    options_.registry->RemoveCollector(federation_token_);
+    federation_token_ = -1;
+  }
   std::lock_guard<std::mutex> lock(cluster_mu_);
   for (WorkerState& w : workers_) {
     if (w.link.has_value()) w.link->Close();
@@ -169,6 +178,7 @@ Status DistributedBackend::HandleWorkerFrame(WorkerState* from,
     case CtrlType::kExchange: {
       from->exchange_received += frame.exchange.items.size();
       relays_total_ += frame.exchange.items.size();
+      const uint64_t relay_start = PipelineMetrics::NowMicros();
       // Star relay: group by destination shard, forward as state frames
       // (a relayed item mutates the receiver, so it must survive a
       // receiver crash like any batch would).
@@ -198,6 +208,12 @@ Status DistributedBackend::HandleWorkerFrame(WorkerState* from,
           SW_RETURN_IF_ERROR(
               SendStateFrame(to, EncodeExchangeFrame(chunk, name)));
         }
+      }
+      const uint64_t relay_us = PipelineMetrics::NowMicros() - relay_start;
+      relay_forward_us_ += relay_us;
+      if (options_.pipeline != nullptr) {
+        options_.pipeline->Record(PipelineStage::kExchangeRelay, relay_us, -1,
+                                  -1, frame.exchange.items.size());
       }
       return OkStatus();
     }
@@ -268,10 +284,13 @@ Status DistributedBackend::AwaitBarrierAck(WorkerState* w, uint32_t round) {
   }
 }
 
-Status DistributedBackend::BarrierFixpoint() {
+Status DistributedBackend::BarrierFixpoint(EpochPhases* phases) {
   uint64_t before;
+  bool first_round = true;
   do {
     before = relays_total_;
+    const uint64_t forward_before = relay_forward_us_;
+    const uint64_t round_start = PipelineMetrics::NowMicros();
     ++barrier_round_;
     CtrlBarrier barrier;
     barrier.round = barrier_round_;
@@ -287,12 +306,41 @@ Status DistributedBackend::BarrierFixpoint() {
       }
     }
     for (WorkerState& w : workers_) {
+      const uint64_t wait_start = PipelineMetrics::NowMicros();
       SW_RETURN_IF_ERROR(AwaitBarrierAck(&w, barrier_round_));
+      if (options_.pipeline != nullptr) {
+        options_.pipeline->Record(PipelineStage::kBarrierWait,
+                                  PipelineMetrics::NowMicros() - wait_start);
+      }
     }
     // Relays sent during the acks are state frames queued behind nothing:
     // if any moved, another round flushes their consequences.
+    const uint64_t items_moved = relays_total_ - before;
+    if (items_moved > 0) relay_items_per_round_.Record(items_moved);
+    if (phases != nullptr) {
+      const uint64_t round_us = PipelineMetrics::NowMicros() - round_start;
+      // Relay forwarding nests inside the round's ack waits; the
+      // difference of the accumulator carves it out so apply/barrier time
+      // never double-counts it.
+      const uint64_t forward_us =
+          std::min(relay_forward_us_ - forward_before, round_us);
+      phases->relay_us += forward_us;
+      // Round 1's wait is dominated by workers applying the epoch's
+      // batches; later rounds are exchange settle.
+      if (first_round) {
+        phases->apply_us += round_us - forward_us;
+      } else {
+        phases->barrier_us += round_us - forward_us;
+      }
+      if (items_moved > 0) {
+        ++phases->relay_rounds;
+        phases->relayed_items += items_moved;
+      }
+    }
+    first_round = false;
   } while (relays_total_ != before);
   if (group_watermark_ > last_broadcast_watermark_) {
+    const uint64_t commit_start = PipelineMetrics::NowMicros();
     CtrlCommit commit;
     commit.watermark = group_watermark_;
     const std::string frame = EncodeCommitFrame(commit);
@@ -300,6 +348,9 @@ Status DistributedBackend::BarrierFixpoint() {
       SW_RETURN_IF_ERROR(SendStateFrame(&w, frame));
     }
     last_broadcast_watermark_ = group_watermark_;
+    if (phases != nullptr) {
+      phases->commit_us += PipelineMetrics::NowMicros() - commit_start;
+    }
   }
   return OkStatus();
 }
@@ -342,6 +393,7 @@ StatusOr<size_t> DistributedBackend::RunEpoch() {
   if (epoch.empty()) return size_t{0};
   space_cv_.notify_all();
 
+  const uint64_t batch_start = PipelineMetrics::NowMicros();
   const int n = static_cast<int>(workers_.size());
   std::vector<CtrlBatch> batches(workers_.size());
   for (const StreamEdge& edge : epoch) {
@@ -369,7 +421,28 @@ StatusOr<size_t> DistributedBackend::RunEpoch() {
         SendStateFrame(&workers_[static_cast<size_t>(i)],
                        EncodeBatchFrame(batches[static_cast<size_t>(i)], name)));
   }
-  SW_RETURN_IF_ERROR(BarrierFixpoint());
+  const uint64_t batch_us = PipelineMetrics::NowMicros() - batch_start;
+  EpochPhases phases;
+  SW_RETURN_IF_ERROR(BarrierFixpoint(&phases));
+
+  EpochTraceEntry entry;
+  entry.epoch = epoch_ring_.total_pushed() + 1;  // 1-based epoch id
+  entry.edges = epoch.size();
+  entry.relay_rounds = phases.relay_rounds;
+  entry.relayed_items = phases.relayed_items;
+  entry.batch_us = batch_us;
+  entry.apply_us = phases.apply_us;
+  entry.relay_us = phases.relay_us;
+  entry.barrier_us = phases.barrier_us;
+  entry.commit_us = phases.commit_us;
+  entry.total_us = PipelineMetrics::NowMicros() - batch_start;
+  entry.at_us = PipelineMetrics::NowMicros();
+  epoch_ring_.Push(entry);
+  phase_batch_us_.Record(batch_us);
+  phase_apply_us_.Record(phases.apply_us);
+  phase_relay_us_.Record(phases.relay_us);
+  phase_barrier_us_.Record(phases.barrier_us);
+  phase_commit_us_.Record(phases.commit_us);
   return epoch.size();
 }
 
@@ -608,6 +681,129 @@ std::vector<ShardLoadSnapshot> DistributedBackend::ShardLoads() {
     out.push_back(snap);
   }
   return out;
+}
+
+Status DistributedBackend::PullMetricsReport(WorkerState* w) {
+  if (!w->link.has_value() || !w->link->connected()) {
+    return Status::Unavailable("worker link is down");
+  }
+  const Status sent = w->link->SendFrame(EncodeMetricsRequestFrame());
+  if (!sent.ok()) {
+    w->link->Close();
+    return sent;
+  }
+  while (true) {
+    auto frame_or =
+        w->link->ReadFrame(&wire_interner_, options_.metrics_timeout_ms);
+    if (!frame_or.ok()) {
+      // Never RecoverLink here: a scrape must not block on the 30s
+      // reconnect budget. Close the link and keep the stale cache; the
+      // pump's normal recovery heals the worker on its next epoch.
+      w->link->Close();
+      return frame_or.status();
+    }
+    if (frame_or.value().type == CtrlType::kMetricsReport) {
+      w->report = std::move(frame_or.value().metrics_report);
+      w->has_report = true;
+      w->report_at_us = PipelineMetrics::NowMicros();
+      return OkStatus();
+    }
+    SW_RETURN_IF_ERROR(HandleWorkerFrame(w, frame_or.value()));
+  }
+}
+
+void DistributedBackend::RefreshReports(uint64_t now_us) {
+  const uint64_t cache_us =
+      static_cast<uint64_t>(options_.metrics_cache_ms) * 1000;
+  for (WorkerState& w : workers_) {
+    if (w.has_report && now_us - w.report_at_us < cache_us) continue;
+    const Status pulled = PullMetricsReport(&w);
+    if (!pulled.ok()) {
+      std::fprintf(stderr, "coordinator: metrics pull from %s:%d failed: %s\n",
+                   w.host.c_str(), w.port, pulled.ToString().c_str());
+    }
+  }
+}
+
+ClusterObsSnapshot DistributedBackend::BuildObsSnapshot(uint64_t now_us) {
+  ClusterObsSnapshot snap;
+  snap.epochs = epoch_ring_.total_pushed();
+  snap.stale_threshold_us =
+      static_cast<uint64_t>(options_.stale_report_threshold_ms) * 1000;
+  snap.healthy = !workers_.empty();
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    WorkerState& w = workers_[i];
+    WorkerObsSnapshot row;
+    row.shard = static_cast<int>(i);
+    row.host = w.host;
+    row.port = w.port;
+    row.connected = w.link.has_value() && w.link->connected();
+    row.has_report = w.has_report;
+    row.report_age_us = w.has_report ? now_us - w.report_at_us : 0;
+    row.sent_state = w.sent_state;
+    row.retained_frames = w.retained.size();
+    if (w.has_report) {
+      row.wal_seq = w.report.wal_seq;
+      row.replayed_frames = w.report.replayed_frames;
+      row.exchange_items_sent = w.report.exchange_items_sent;
+      row.completions_sent = w.report.completions_sent;
+      for (const MetricSample& s : w.report.samples) {
+        if (s.name != "streamworks_stage_duration_us" ||
+            s.kind != MetricSample::Kind::kHistogram) {
+          continue;
+        }
+        for (const auto& [key, value] : s.labels) {
+          if (key != "stage") continue;
+          WorkerStageSummary stage;
+          stage.stage = value;
+          stage.count = s.histogram.total_count();
+          stage.sum_us = s.histogram.sum();
+          stage.p50_us = s.histogram.Quantile(0.5);
+          stage.p99_us = s.histogram.Quantile(0.99);
+          row.stages.push_back(std::move(stage));
+        }
+      }
+    }
+    const bool stale =
+        !row.has_report || row.report_age_us > snap.stale_threshold_us;
+    if (!row.connected || stale) snap.healthy = false;
+    snap.workers.push_back(std::move(row));
+  }
+  return snap;
+}
+
+ClusterObsSnapshot DistributedBackend::ObsSnapshot(bool refresh) {
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  if (refresh) RefreshReports(PipelineMetrics::NowMicros());
+  return BuildObsSnapshot(PipelineMetrics::NowMicros());
+}
+
+void DistributedBackend::ContributeClusterMetrics(MetricSnapshotBuilder* out) {
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  RefreshReports(PipelineMetrics::NowMicros());
+  out->EmitCounter("streamworks_epochs_total",
+                   "Distributed ingest epochs committed by the coordinator.",
+                   {}, epoch_ring_.total_pushed());
+  static constexpr const char* kPhaseNames[] = {"batch", "apply", "relay",
+                                                "barrier", "commit"};
+  const AtomicHistogram* phase_hists[] = {&phase_batch_us_, &phase_apply_us_,
+                                          &phase_relay_us_, &phase_barrier_us_,
+                                          &phase_commit_us_};
+  for (size_t i = 0; i < 5; ++i) {
+    out->EmitHistogram(
+        "streamworks_epoch_phase_us",
+        "Coordinator time per epoch phase in microseconds.",
+        {{"phase", kPhaseNames[i]}}, phase_hists[i]->Snapshot());
+  }
+  out->EmitHistogram("streamworks_epoch_relay_items",
+                     "Exchange items moved per barrier relay round.", {},
+                     relay_items_per_round_.Snapshot());
+  // Federation: merge every worker's last report additively into the
+  // scrape, so /metrics families are cluster-wide sums.
+  for (const WorkerState& w : workers_) {
+    if (!w.has_report) continue;
+    for (const MetricSample& s : w.report.samples) out->EmitSample(s);
+  }
 }
 
 }  // namespace streamworks

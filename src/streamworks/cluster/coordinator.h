@@ -17,6 +17,10 @@
 #include "streamworks/graph/dynamic_graph.h"
 #include "streamworks/graph/partition.h"
 #include "streamworks/net/peer_link.h"
+#include "streamworks/obs/cluster_snapshot.h"
+#include "streamworks/obs/epoch_trace.h"
+#include "streamworks/obs/metric_registry.h"
+#include "streamworks/obs/stage_trace.h"
 #include "streamworks/service/backend.h"
 #include "streamworks/stream/cluster_wire.h"
 
@@ -41,6 +45,29 @@ struct DistributedBackendOptions {
   /// Per-frame wait while expecting an ack. Generous: a worker may be
   /// replaying a large log or backfilling a large window.
   int ack_timeout_ms = 60000;
+
+  // Observability ------------------------------------------------------------
+
+  /// When set, the coordinator registers a federation collector on this
+  /// registry: every scrape pulls each worker's MetricsReport (subject to
+  /// metrics_cache_ms) and merges the samples additively into the
+  /// coordinator's own families, so /metrics is the whole cluster.
+  MetricRegistry* registry = nullptr;
+  /// When set, coordinator-side barrier/relay time is recorded as
+  /// kBarrierWait / kExchangeRelay pipeline stages.
+  PipelineMetrics* pipeline = nullptr;
+  /// A cached worker report younger than this is served without a wire
+  /// round-trip, bounding scrape-driven control traffic.
+  int metrics_cache_ms = 1000;
+  /// Per-worker wait for a MetricsReport. Deliberately much shorter than
+  /// ack_timeout_ms: a scrape must not hang on a dead worker; the link is
+  /// closed on expiry and the pump's normal recovery takes over.
+  int metrics_timeout_ms = 5000;
+  /// /healthz degrades when a connected worker's last report is older
+  /// than this (a wedged worker that still holds its socket open).
+  int stale_report_threshold_ms = 15000;
+  /// Epoch trace ring capacity (entries retained for /epochs.json).
+  size_t epoch_trace_capacity = 256;
 };
 
 /// QueryBackend that runs every shard in its own worker daemon process,
@@ -110,6 +137,21 @@ class DistributedBackend : public QueryBackend {
     return rejected_edges_.load(std::memory_order_relaxed);
   }
 
+  // Cluster observability ----------------------------------------------------
+
+  /// One-pane-of-glass view for /cluster.json and /healthz: per-worker
+  /// link state, report freshness, recovery cursors, and stage digests.
+  /// When `refresh` is set, stale worker reports are re-pulled first
+  /// (bounded by metrics_timeout_ms per stale worker). Takes cluster_mu_.
+  ClusterObsSnapshot ObsSnapshot(bool refresh);
+
+  /// The epoch trace ring's surviving entries, oldest first (lock-free).
+  std::vector<EpochTraceEntry> EpochTrace() const {
+    return epoch_ring_.Snapshot();
+  }
+  /// Lifetime epoch count (ring entries may have been lapped).
+  uint64_t epochs_completed() const { return epoch_ring_.total_pushed(); }
+
  private:
   /// Everything the coordinator tracks per worker. `sent_state` counts
   /// state frames ever sent (the worker's log seq converges to it);
@@ -125,6 +167,11 @@ class DistributedBackend : public QueryBackend {
     /// Recovery cursors sent in Hello (see CtrlHello).
     uint64_t exchange_received = 0;
     uint64_t completions_received = 0;
+    /// Federation cache: the worker's last MetricsReport and when it
+    /// arrived. Served until metrics_cache_ms old, then re-pulled.
+    CtrlMetricsReport report;
+    bool has_report = false;
+    uint64_t report_at_us = 0;
   };
 
   struct QueryState {
@@ -144,10 +191,35 @@ class DistributedBackend : public QueryBackend {
   /// Reads frames from `w` until one of `type` arrives, relaying
   /// everything else through HandleWorkerFrame.
   StatusOr<CtrlFrame> AwaitFrame(WorkerState* w, CtrlType type);
+  /// Per-epoch phase decomposition accumulated by BarrierFixpoint for the
+  /// epoch trace. apply is round 1's ack wait (dominated by workers
+  /// applying the batch); relay is exchange forwarding time; barrier is
+  /// the remaining rounds' settle time.
+  struct EpochPhases {
+    uint64_t apply_us = 0;
+    uint64_t relay_us = 0;
+    uint64_t barrier_us = 0;
+    uint64_t commit_us = 0;
+    uint64_t relay_rounds = 0;
+    uint64_t relayed_items = 0;
+  };
+
   /// Barriers every worker and relays flushed exchange traffic until a
   /// round moves nothing, then commits the watermark if it advanced.
-  Status BarrierFixpoint();
+  Status BarrierFixpoint(EpochPhases* phases = nullptr);
   Status AwaitBarrierAck(WorkerState* w, uint32_t round);
+  /// Requests and caches a fresh MetricsReport from `w`. On failure the
+  /// link is closed (never RecoverLink here — a scrape must not block on
+  /// the 30s reconnect budget) and the stale cache entry is kept.
+  Status PullMetricsReport(WorkerState* w);
+  /// Re-pulls every worker whose cached report is older than
+  /// metrics_cache_ms. Failures are absorbed into link/freshness state.
+  void RefreshReports(uint64_t now_us);
+  /// Builds the /cluster.json snapshot from cached state; no wire IO.
+  ClusterObsSnapshot BuildObsSnapshot(uint64_t now_us);
+  /// Federation collector body: refresh + merge worker samples and the
+  /// coordinator's epoch-phase families into a scrape.
+  void ContributeClusterMetrics(MetricSnapshotBuilder* out);
   /// Routes up to epoch_edges pending edges into per-worker batches and
   /// runs the epoch's barrier + commit. Returns edges consumed.
   StatusOr<size_t> RunEpoch();
@@ -197,6 +269,20 @@ class DistributedBackend : public QueryBackend {
   Timestamp last_broadcast_watermark_ = -1;
   uint32_t barrier_round_ = 0;
   uint64_t relays_total_ = 0;
+
+  // Observability state (epoch ring is lock-free; the histograms are
+  // atomic; everything else under cluster_mu_).
+  EpochTraceRing epoch_ring_;
+  int federation_token_ = -1;  ///< Registry collector token, -1 if none.
+  /// Cumulative exchange-forwarding wall time and items, accumulated by
+  /// HandleWorkerFrame; BarrierFixpoint differences them per round.
+  uint64_t relay_forward_us_ = 0;
+  AtomicHistogram phase_batch_us_;
+  AtomicHistogram phase_apply_us_;
+  AtomicHistogram phase_relay_us_;
+  AtomicHistogram phase_barrier_us_;
+  AtomicHistogram phase_commit_us_;
+  AtomicHistogram relay_items_per_round_;
 
   std::mutex pending_mu_;
   std::condition_variable pending_cv_;  ///< Pump wakeup: work or stop.

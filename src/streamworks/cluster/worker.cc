@@ -9,8 +9,10 @@
 #include <filesystem>
 #include <utility>
 
+#include "streamworks/common/json_writer.h"
 #include "streamworks/common/str_util.h"
 #include "streamworks/net/socket.h"
+#include "streamworks/obs/json_render.h"
 #include "streamworks/planner/planner.h"
 
 namespace streamworks {
@@ -44,19 +46,47 @@ Status WorkerDaemon::Start() {
   if (!options_.data_dir.empty()) {
     SW_ASSIGN_OR_RETURN(log_, FrameLog::Open(FrameLogDir(options_.data_dir)));
   }
+  // The worker's own series carry {role="worker"}: identical labels on
+  // every shard, so federation's additive merge collapses them into one
+  // cluster-wide series per family, disjoint from the coordinator's.
+  edges_fed_ = registry_.RegisterCounter(
+      "streamworks_edges_fed_total",
+      "Stream edges admitted through the query service.",
+      {{"role", "worker"}});
+  pipeline_collector_token_ =
+      RegisterPipelineCollector(&registry_, &pipeline_, {{"role", "worker"}});
+  if (options_.http_port >= 0) {
+    SW_ASSIGN_OR_RETURN(
+        http_listen_fd_,
+        ListenTcp(options_.host, options_.http_port, /*backlog=*/4));
+    SW_ASSIGN_OR_RETURN(http_port_, BoundTcpPort(http_listen_fd_.get()));
+    HttpHandler::Providers providers;
+    providers.registry = &registry_;
+    providers.pipeline = &pipeline_;
+    providers.health = [this] { return RenderWorkerHealth(); };
+    http_ = std::make_unique<HttpHandler>(std::move(providers));
+  }
   return OkStatus();
 }
 
 Status WorkerDaemon::Serve(const std::atomic<bool>& stop) {
   while (!stop.load(std::memory_order_relaxed)) {
-    struct pollfd pfd {};
-    pfd.fd = listen_fd_.get();
-    pfd.events = POLLIN;
-    const int n = ::poll(&pfd, 1, options_.poll_interval_ms);
+    struct pollfd pfds[2] = {};
+    pfds[0].fd = listen_fd_.get();
+    pfds[0].events = POLLIN;
+    nfds_t nfds = 1;
+    if (http_listen_fd_.get() >= 0) {
+      pfds[1].fd = http_listen_fd_.get();
+      pfds[1].events = POLLIN;
+      nfds = 2;
+    }
+    const int n = ::poll(pfds, nfds, options_.poll_interval_ms);
     if (n < 0 && errno != EINTR) {
       return Status::IoError(StrCat("poll: ", std::strerror(errno)));
     }
     if (n <= 0) continue;
+    if (nfds == 2 && (pfds[1].revents & POLLIN) != 0) ServeHttpConnection();
+    if ((pfds[0].revents & POLLIN) == 0) continue;
     const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
     if (cfd < 0) continue;
     auto link_or = PeerLink::Adopt(UniqueFd(cfd), /*duplex=*/false);
@@ -81,6 +111,9 @@ Status WorkerDaemon::ServeConnection(PeerLink* link,
   completion_send_error_ = OkStatus();
   SW_RETURN_IF_ERROR(Handshake(link));
   while (!stop.load(std::memory_order_relaxed)) {
+    // Scrapes interleave with control frames: each loop turn drains any
+    // pending HTTP connections before blocking on the link again.
+    ServeHttpConnection();
     auto frame_or = link->ReadFrame(&interner_, options_.poll_interval_ms);
     if (!frame_or.ok()) {
       if (IsReadTimeout(frame_or.status())) continue;
@@ -122,6 +155,9 @@ Status WorkerDaemon::ServeConnection(PeerLink* link,
       case CtrlType::kStats:
         SW_RETURN_IF_ERROR(SendStatsAck(link));
         break;
+      case CtrlType::kMetricsRequest:
+        SW_RETURN_IF_ERROR(SendMetricsReport(link));
+        break;
       default:
         // Acks and completions never flow coordinator -> worker; a stray
         // one is a peer bug, not worth killing the link over.
@@ -159,8 +195,11 @@ Status WorkerDaemon::Configure(const CtrlHello& hello) {
   // Default EngineOptions: statistics off, re-planning off — every worker
   // (and the single-engine reference deployment) plans queries from the
   // same uninformed estimator, so the replicated SJ-Trees agree on node
-  // numbering and cut vertices across processes.
-  engine_ = std::make_unique<StreamWorksEngine>(&interner_, EngineOptions{});
+  // numbering and cut vertices across processes. The pipeline sink makes
+  // engine stage timings scrapeable locally and federated upward.
+  EngineOptions engine_options;
+  engine_options.pipeline = &pipeline_;
+  engine_ = std::make_unique<StreamWorksEngine>(&interner_, engine_options);
   ShardConfig config;
   config.shard_index = shard_index_;
   config.num_shards = num_shards_;
@@ -352,6 +391,7 @@ Status WorkerDaemon::ApplyRegister(const CtrlRegister& reg,
 }
 
 Status WorkerDaemon::ApplyBatch(const CtrlBatch& batch) {
+  edges_fed_->Increment(batch.edges.size());
   for (const CtrlShardEdge& e : batch.edges) {
     // Admission ran at the coordinator (group-consistent label and time
     // checks); a rejection here would mean divergent state streams, which
@@ -474,6 +514,90 @@ Status WorkerDaemon::SendStatsAck(PeerLink* link) {
     ack.exchange = exchange_.counters();
   }
   return link->SendFrame(EncodeStatsAckFrame(ack));
+}
+
+Status WorkerDaemon::SendMetricsReport(PeerLink* link) {
+  CtrlMetricsReport report;
+  report.wal_seq = log_ != nullptr ? log_->next_seq() : applied_frames_;
+  report.replayed_frames = counters_.replayed_frames;
+  report.exchange_items_sent = counters_.exchange_items_sent;
+  report.completions_sent = counters_.completions_sent;
+  report.samples = registry_.ExportSamples();
+  return link->SendFrame(EncodeMetricsReportFrame(report));
+}
+
+std::string WorkerDaemon::RenderWorkerHealth() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String(fatal_ ? "degraded" : "ok");
+  w.Key("role");
+  w.String("worker");
+  w.Key("shard");
+  w.Int(shard_index_);
+  w.Key("configured");
+  w.Bool(configured_);
+  w.Key("frames_applied");
+  w.Uint(applied_frames_);
+  w.Key("wal_seq");
+  w.Uint(log_ != nullptr ? log_->next_seq() : applied_frames_);
+  w.Key("replayed_frames");
+  w.Uint(counters_.replayed_frames);
+  w.Key("coordinator_connected");
+  w.Bool(live_link_ != nullptr);
+  w.EndObject();
+  std::string out = w.TakeString();
+  out.push_back('\n');
+  return out;
+}
+
+void WorkerDaemon::ServeHttpConnection() {
+  if (http_listen_fd_.get() < 0) return;
+  while (true) {
+    struct pollfd pfd {};
+    pfd.fd = http_listen_fd_.get();
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 0) <= 0 || (pfd.revents & POLLIN) == 0) return;
+    const int cfd = ::accept(http_listen_fd_.get(), nullptr, nullptr);
+    if (cfd < 0) return;
+    const UniqueFd conn(cfd);
+    // Bounded single-request read: a slow or bogus scraper is dropped
+    // rather than allowed to stall the (single) serve thread.
+    std::string buf;
+    HttpRequest request;
+    size_t consumed = 0;
+    HttpParseResult parsed = HttpParseResult::kNeedMore;
+    const uint64_t deadline_us = PipelineMetrics::NowMicros() + 2'000'000;
+    while (parsed == HttpParseResult::kNeedMore && buf.size() < 16 * 1024 &&
+           PipelineMetrics::NowMicros() < deadline_us) {
+      struct pollfd rp {};
+      rp.fd = cfd;
+      rp.events = POLLIN;
+      if (::poll(&rp, 1, 100) <= 0) continue;
+      char chunk[1024];
+      const ssize_t got = ::recv(cfd, chunk, sizeof chunk, 0);
+      if (got <= 0) break;
+      buf.append(chunk, static_cast<size_t>(got));
+      parsed = ParseHttpRequest(buf, &request, &consumed);
+    }
+    HttpResponse response;
+    if (parsed == HttpParseResult::kComplete) {
+      response = http_->Handle(request);
+    } else if (parsed == HttpParseResult::kBad) {
+      response.status = 400;
+      response.body = "bad request\n";
+    } else {
+      continue;  // incomplete head: nothing useful to answer
+    }
+    const std::string wire = EncodeHttpResponse(response);
+    size_t off = 0;
+    while (off < wire.size()) {
+      const ssize_t sent =
+          ::send(cfd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+      if (sent <= 0) break;
+      off += static_cast<size_t>(sent);
+    }
+  }
 }
 
 }  // namespace streamworks

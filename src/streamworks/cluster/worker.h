@@ -12,6 +12,9 @@
 #include "streamworks/core/engine.h"
 #include "streamworks/graph/partition.h"
 #include "streamworks/net/peer_link.h"
+#include "streamworks/obs/http_endpoint.h"
+#include "streamworks/obs/metric_registry.h"
+#include "streamworks/obs/stage_trace.h"
 #include "streamworks/persist/frame_log.h"
 #include "streamworks/sjtree/exchange.h"
 #include "streamworks/stream/cluster_wire.h"
@@ -27,6 +30,11 @@ struct WorkerOptions {
   /// Read-poll granularity: how often the serve loop re-checks its stop
   /// flag while idle.
   int poll_interval_ms = 250;
+  /// Local observability endpoint: -1 = none, 0 = ephemeral (read
+  /// http_port() after Start). Serves /metrics, /trace.json and /healthz
+  /// from the daemon's serve thread — same single-threaded discipline as
+  /// the control link, so a scrape never races an apply.
+  int http_port = -1;
 };
 
 /// Aggregate counters one worker daemon exposes to tests.
@@ -82,6 +90,13 @@ class WorkerDaemon {
   /// Bound TCP port (valid after Start).
   int port() const { return port_; }
 
+  /// Bound HTTP port (valid after Start; -1 when the endpoint is off).
+  int http_port() const { return http_port_; }
+
+  /// The daemon's metric registry (local /metrics; snapshotted into
+  /// MetricsReport frames for coordinator federation).
+  MetricRegistry* registry() { return &registry_; }
+
   /// Serves until `stop` becomes true: accept one coordinator connection,
   /// handshake, dispatch frames; on link failure, go back to accepting.
   /// Returns the first non-recoverable error (log corruption, engine
@@ -128,10 +143,30 @@ class WorkerDaemon {
 
   Status SendInfoAck(PeerLink* link, const CtrlInfo& info);
   Status SendStatsAck(PeerLink* link);
+  /// Snapshots the registry + cursors into a CRC'd MetricsReport frame.
+  Status SendMetricsReport(PeerLink* link);
+
+  /// Accepts and answers every pending HTTP scrape (non-blocking poll,
+  /// one request per connection). Runs inline on the serve thread —
+  /// between accepts while idle, between control frames while a
+  /// coordinator session is live — so it reads engine state safely.
+  void ServeHttpConnection();
+  /// The worker's /healthz document.
+  std::string RenderWorkerHealth() const;
 
   WorkerOptions options_;
   UniqueFd listen_fd_;
   int port_ = -1;
+  UniqueFd http_listen_fd_;
+  int http_port_ = -1;
+
+  /// Local observability: per-worker registry + pipeline stage metrics,
+  /// scraped directly over HTTP and federated through MetricsReport.
+  MetricRegistry registry_;
+  PipelineMetrics pipeline_;
+  MetricCounter* edges_fed_ = nullptr;  ///< {role="worker"} ingest counter.
+  int pipeline_collector_token_ = -1;
+  std::unique_ptr<HttpHandler> http_;
 
   Interner interner_;
   std::unique_ptr<HashModuloPartitioner> partitioner_;

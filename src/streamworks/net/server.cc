@@ -48,6 +48,9 @@ Status SocketServer::Start() {
     providers.pipeline = options_.pipeline;
     providers.stats = [this] { return service_->Snapshot(); };
     providers.queries = [this] { return service_->QueryInfos(); };
+    providers.cluster = options_.cluster_provider;
+    providers.epochs = options_.epochs_provider;
+    providers.health = options_.health_provider;
     http_handler_ = std::make_unique<HttpHandler>(std::move(providers));
   }
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "streamworks/obs/metric_registry.h"
@@ -76,6 +77,15 @@ struct ServerOptions {
   /// pump drain passes, and serves /trace.json from it. Must outlive the
   /// server. Null = no stage timing, trace endpoint answers 503.
   PipelineMetrics* pipeline = nullptr;
+  /// Cluster deployments: pre-rendered /cluster.json and /epochs.json
+  /// documents, plus a /healthz override that folds worker health into
+  /// the answer (the coordinator binds these to its federation cache and
+  /// epoch trace ring). Invoked on the scraping IO loop under the
+  /// server's control mutex, like every other provider. Unset = the
+  /// cluster routes answer 503 and /healthz stays stats-based.
+  std::function<std::string()> cluster_provider;
+  std::function<std::string()> epochs_provider;
+  std::function<std::string()> health_provider;
   /// Durable deployments set this so Stop()'s connection teardown leaves
   /// still-connected tenants' sessions OPEN: the shutdown snapshot taken
   /// after Stop must capture them (a graceful restart preserves exactly

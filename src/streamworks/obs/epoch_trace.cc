@@ -1,0 +1,94 @@
+#include "streamworks/obs/epoch_trace.h"
+
+namespace streamworks {
+
+namespace {
+
+// Entry packed into the slot's atomic words: word-at-a-time relaxed
+// stores/loads are what make the seqlock race-free in the C++ memory
+// model (a plain struct copy under a racing writer is UB).
+std::array<uint64_t, 11> PackEntry(const EpochTraceEntry& e) {
+  return {e.epoch,    e.edges,      e.relay_rounds, e.relayed_items,
+          e.batch_us, e.apply_us,   e.relay_us,     e.barrier_us,
+          e.commit_us, e.total_us,  e.at_us};
+}
+
+EpochTraceEntry UnpackEntry(const std::array<uint64_t, 11>& w) {
+  EpochTraceEntry e;
+  e.epoch = w[0];
+  e.edges = w[1];
+  e.relay_rounds = w[2];
+  e.relayed_items = w[3];
+  e.batch_us = w[4];
+  e.apply_us = w[5];
+  e.relay_us = w[6];
+  e.barrier_us = w[7];
+  e.commit_us = w[8];
+  e.total_us = w[9];
+  e.at_us = w[10];
+  return e;
+}
+
+}  // namespace
+
+EpochTraceRing::EpochTraceRing(size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity) {}
+
+void EpochTraceRing::Push(const EpochTraceEntry& entry) {
+  const uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx % slots_.size()];
+  // Claim by CAS from the published (even) sequence to this claim's odd
+  // marker; a failed claim means a concurrent writer lapped the ring onto
+  // the slot — drop this entry rather than tear the winner's.
+  const uint64_t claim = 2 * idx + 1;
+  uint64_t cur = slot.seq.load(std::memory_order_relaxed);
+  if (cur % 2 == 1 || cur > claim) return;
+  if (!slot.seq.compare_exchange_strong(cur, claim, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    return;
+  }
+  const std::array<uint64_t, 11> words = PackEntry(entry);
+  for (size_t i = 0; i < kEntryWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * (idx + 1), std::memory_order_release);
+}
+
+std::vector<EpochTraceEntry> EpochTraceRing::Snapshot() const {
+  struct Numbered {
+    uint64_t idx;
+    EpochTraceEntry entry;
+  };
+  std::vector<Numbered> collected;
+  collected.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before == 0 || seq_before % 2 == 1) continue;
+    std::array<uint64_t, 11> words;
+    // Acquire word loads keep the seq re-check below from reordering
+    // ahead of the copy (gcc's tsan mode has no atomic_thread_fence): an
+    // unchanged sequence then proves no writer touched the slot mid-copy.
+    for (size_t i = 0; i < kEntryWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_acquire);
+    }
+    const uint64_t seq_after = slot.seq.load(std::memory_order_relaxed);
+    if (seq_after != seq_before) continue;  // overwritten mid-copy: drop
+    collected.push_back(Numbered{seq_before / 2 - 1, UnpackEntry(words)});
+  }
+  // Insertion sort by claim index: the ring is small and nearly ordered.
+  for (size_t i = 1; i < collected.size(); ++i) {
+    Numbered item = collected[i];
+    size_t j = i;
+    while (j > 0 && collected[j - 1].idx > item.idx) {
+      collected[j] = collected[j - 1];
+      --j;
+    }
+    collected[j] = item;
+  }
+  std::vector<EpochTraceEntry> out;
+  out.reserve(collected.size());
+  for (const Numbered& n : collected) out.push_back(n.entry);
+  return out;
+}
+
+}  // namespace streamworks

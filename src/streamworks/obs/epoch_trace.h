@@ -1,0 +1,72 @@
+#ifndef STREAMWORKS_OBS_EPOCH_TRACE_H_
+#define STREAMWORKS_OBS_EPOCH_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace streamworks {
+
+/// One completed ingest epoch of the distributed backend, decomposed into
+/// the phases the coordinator drives: route + encode + send the per-worker
+/// batches (`batch_us`), wait for the first barrier round's acks — the
+/// round dominated by workers applying the batch (`apply_us`), forward the
+/// exchange items barriers flush out of workers (`relay_us`), wait out the
+/// remaining barrier rounds until a round moves nothing (`barrier_us`),
+/// and broadcast the watermark commit (`commit_us`). This is the direct
+/// measurement for the "barrier-dominated at small epochs" question: the
+/// answer is the barrier_us share of total_us as epoch_edges shrinks.
+struct EpochTraceEntry {
+  uint64_t epoch = 0;  ///< Coordinator-assigned epoch id, dense from 0.
+  uint64_t edges = 0;  ///< Admitted edges fanned out this epoch.
+  uint64_t relay_rounds = 0;   ///< Barrier rounds that moved items.
+  uint64_t relayed_items = 0;  ///< Exchange items forwarded in total.
+  uint64_t batch_us = 0;
+  uint64_t apply_us = 0;
+  uint64_t relay_us = 0;
+  uint64_t barrier_us = 0;
+  uint64_t commit_us = 0;
+  uint64_t total_us = 0;
+  uint64_t at_us = 0;  ///< Completion time, PipelineMetrics::NowMicros.
+};
+
+/// Seqlock ring of the last N epochs, TraceRing's discipline applied to
+/// the wider epoch record: the pump thread publishes entries lock-free
+/// while HTTP scrapes snapshot without blocking it. Writers claim a slot
+/// by CAS-ing its sequence odd and publish with a release store; readers
+/// re-check the sequence after copying and drop torn slots. The epoch
+/// pump is a single writer today, but the ring keeps the multi-writer
+/// discipline so pipelined epochs (the ROADMAP follow-up this telemetry
+/// exists to judge) need no rework.
+class EpochTraceRing {
+ public:
+  explicit EpochTraceRing(size_t capacity);
+
+  void Push(const EpochTraceEntry& entry);
+
+  /// Point-in-time copy, oldest first; entries overwritten mid-read are
+  /// dropped rather than returned torn.
+  std::vector<EpochTraceEntry> Snapshot() const;
+
+  size_t capacity() const { return slots_.size(); }
+  uint64_t total_pushed() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kEntryWords = 11;
+
+  struct Slot {
+    /// 0 = never written; odd = write in progress; even = (claim index
+    /// + 1) * 2 of the published entry.
+    std::atomic<uint64_t> seq{0};
+    std::array<std::atomic<uint64_t>, kEntryWords> words{};
+  };
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> next_{0};
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_OBS_EPOCH_TRACE_H_

@@ -138,16 +138,32 @@ HttpResponse HttpHandler::Handle(const HttpRequest& request) const {
     r.body = RenderTraceJson(*providers_.pipeline, PipelineMetrics::NowMicros());
     return r;
   }
-  if (path == "/healthz") {
-    if (!providers_.stats) return NotWired("stats provider");
+  if (path == "/cluster.json") {
+    if (!providers_.cluster) return NotWired("cluster provider");
     r.content_type = std::string(kJsonContentType);
+    r.body = providers_.cluster();
+    return r;
+  }
+  if (path == "/epochs.json") {
+    if (!providers_.epochs) return NotWired("epoch trace provider");
+    r.content_type = std::string(kJsonContentType);
+    r.body = providers_.epochs();
+    return r;
+  }
+  if (path == "/healthz") {
+    r.content_type = std::string(kJsonContentType);
+    if (providers_.health) {
+      r.body = providers_.health();
+      return r;
+    }
+    if (!providers_.stats) return NotWired("stats provider");
     r.body = RenderHealthJson(providers_.stats(),
                               PipelineMetrics::NowMicros() - start_us_);
     return r;
   }
   r.status = 404;
   r.body = "unknown path; try /metrics /stats.json /shards.json "
-           "/queries.json /trace.json /healthz\n";
+           "/queries.json /trace.json /cluster.json /epochs.json /healthz\n";
   return r;
 }
 

@@ -63,13 +63,22 @@ class HttpHandler {
     PipelineMetrics* pipeline = nullptr;   ///< /trace.json
     std::function<ServiceStatsSnapshot()> stats;  ///< /stats.json, /shards.json, /healthz
     std::function<std::vector<QueryObsSnapshot>()> queries;  ///< /queries.json
+    /// Cluster deployments: pre-rendered /cluster.json and /epochs.json
+    /// documents (the coordinator binds these to its federation cache and
+    /// epoch trace ring).
+    std::function<std::string()> cluster;
+    std::function<std::string()> epochs;
+    /// When set, /healthz serves this document instead of the stats-based
+    /// one — how a coordinator folds worker staleness into its health and
+    /// a worker daemon (which has no ServiceStatsSnapshot) reports at all.
+    std::function<std::string()> health;
   };
 
   explicit HttpHandler(Providers providers);
 
   /// Answers one request: GET /metrics, /stats.json, /shards.json,
-  /// /queries.json, /trace.json, /healthz; 404 otherwise, 405 for
-  /// non-GET methods.
+  /// /queries.json, /trace.json, /cluster.json, /epochs.json, /healthz;
+  /// 404 otherwise, 405 for non-GET methods.
   HttpResponse Handle(const HttpRequest& request) const;
 
  private:

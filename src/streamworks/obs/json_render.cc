@@ -416,6 +416,133 @@ std::string FormatTraceText(const PipelineMetrics& pipeline, uint64_t now_us) {
   return out;
 }
 
+std::string RenderClusterJson(const ClusterObsSnapshot& snap) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("healthy");
+  w.Bool(snap.healthy);
+  w.Key("epochs");
+  w.Uint(snap.epochs);
+  w.Key("stale_threshold_us");
+  w.Uint(snap.stale_threshold_us);
+  w.Key("workers");
+  w.BeginArray();
+  for (const WorkerObsSnapshot& worker : snap.workers) {
+    w.BeginObject();
+    w.Key("shard");
+    w.Int(worker.shard);
+    w.Key("endpoint");
+    w.String(worker.host + ":" + std::to_string(worker.port));
+    w.Key("connected");
+    w.Bool(worker.connected);
+    w.Key("has_report");
+    w.Bool(worker.has_report);
+    w.Key("report_age_us");
+    w.Uint(worker.report_age_us);
+    w.Key("wal_seq");
+    w.Uint(worker.wal_seq);
+    w.Key("replayed_frames");
+    w.Uint(worker.replayed_frames);
+    w.Key("exchange_items_sent");
+    w.Uint(worker.exchange_items_sent);
+    w.Key("completions_sent");
+    w.Uint(worker.completions_sent);
+    w.Key("sent_state");
+    w.Uint(worker.sent_state);
+    w.Key("retained_frames");
+    w.Uint(worker.retained_frames);
+    w.Key("stages");
+    w.BeginArray();
+    for (const WorkerStageSummary& stage : worker.stages) {
+      w.BeginObject();
+      w.Key("stage");
+      w.String(stage.stage);
+      w.Key("count");
+      w.Uint(stage.count);
+      w.Key("sum_us");
+      w.Uint(stage.sum_us);
+      w.Key("p50_us");
+      w.Uint(stage.p50_us);
+      w.Key("p99_us");
+      w.Uint(stage.p99_us);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string RenderClusterHealthJson(const ClusterObsSnapshot& snap) {
+  size_t connected = 0;
+  size_t stale = 0;
+  for (const WorkerObsSnapshot& worker : snap.workers) {
+    if (worker.connected) ++connected;
+    if (!worker.has_report || worker.report_age_us > snap.stale_threshold_us) {
+      ++stale;
+    }
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String(snap.healthy ? "ok" : "degraded");
+  w.Key("role");
+  w.String("coordinator");
+  w.Key("workers");
+  w.Uint(snap.workers.size());
+  w.Key("connected");
+  w.Uint(connected);
+  w.Key("stale_reports");
+  w.Uint(stale);
+  w.Key("epochs");
+  w.Uint(snap.epochs);
+  w.EndObject();
+  std::string out = w.TakeString();
+  out.push_back('\n');
+  return out;
+}
+
+std::string RenderEpochsJson(const std::vector<EpochTraceEntry>& entries,
+                             uint64_t total_epochs, uint64_t now_us) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("total_epochs");
+  w.Uint(total_epochs);
+  w.Key("epochs");
+  w.BeginArray();
+  for (const EpochTraceEntry& e : entries) {
+    w.BeginObject();
+    w.Key("epoch");
+    w.Uint(e.epoch);
+    w.Key("edges");
+    w.Uint(e.edges);
+    w.Key("relay_rounds");
+    w.Uint(e.relay_rounds);
+    w.Key("relayed_items");
+    w.Uint(e.relayed_items);
+    w.Key("batch_us");
+    w.Uint(e.batch_us);
+    w.Key("apply_us");
+    w.Uint(e.apply_us);
+    w.Key("relay_us");
+    w.Uint(e.relay_us);
+    w.Key("barrier_us");
+    w.Uint(e.barrier_us);
+    w.Key("commit_us");
+    w.Uint(e.commit_us);
+    w.Key("total_us");
+    w.Uint(e.total_us);
+    w.Key("age_us");
+    w.Uint(now_us >= e.at_us ? now_us - e.at_us : 0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
 void ContributeServiceMetrics(const ServiceStatsSnapshot& snap,
                               MetricSnapshotBuilder* out) {
   out->EmitCounter("streamworks_edges_fed_total",
@@ -588,19 +715,22 @@ void ContributeServiceMetrics(const ServiceStatsSnapshot& snap,
 }
 
 void ContributePipelineMetrics(const PipelineMetrics& pipeline,
-                               MetricSnapshotBuilder* out) {
+                               MetricSnapshotBuilder* out,
+                               const MetricLabels& base_labels) {
   for (int s = 0; s < kNumPipelineStages; ++s) {
     const PipelineStage stage = static_cast<PipelineStage>(s);
+    MetricLabels labels = base_labels;
+    labels.emplace_back("stage", std::string(PipelineStageName(stage)));
     out->EmitHistogram("streamworks_stage_duration_us",
                        "Pipeline stage execution time, by stage.",
-                       {{"stage", std::string(PipelineStageName(stage))}},
+                       std::move(labels),
                        pipeline.stage_histogram(stage).Snapshot());
   }
   out->EmitCounter("streamworks_slow_ops_total",
-                   "Stage executions at or above the slow threshold.", {},
-                   pipeline.slow_ops_recorded());
+                   "Stage executions at or above the slow threshold.",
+                   base_labels, pipeline.slow_ops_recorded());
   out->EmitGauge("streamworks_slow_threshold_us",
-                 "Current slow-op trace threshold.", {},
+                 "Current slow-op trace threshold.", base_labels,
                  static_cast<double>(pipeline.slow_threshold_us()));
 }
 
@@ -614,10 +744,12 @@ int RegisterServiceCollector(
 }
 
 int RegisterPipelineCollector(MetricRegistry* registry,
-                              const PipelineMetrics* pipeline) {
-  return registry->AddCollector([pipeline](MetricSnapshotBuilder* out) {
-    ContributePipelineMetrics(*pipeline, out);
-  });
+                              const PipelineMetrics* pipeline,
+                              MetricLabels base_labels) {
+  return registry->AddCollector(
+      [pipeline, labels = std::move(base_labels)](MetricSnapshotBuilder* out) {
+        ContributePipelineMetrics(*pipeline, out, labels);
+      });
 }
 
 }  // namespace streamworks

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "streamworks/obs/cluster_snapshot.h"
+#include "streamworks/obs/epoch_trace.h"
 #include "streamworks/obs/metric_registry.h"
 #include "streamworks/obs/stage_trace.h"
 #include "streamworks/service/query_service.h"
@@ -45,6 +47,21 @@ std::string RenderHealthJson(const ServiceStatsSnapshot& snap,
 /// verb: one "slow stage=... dur_us=..." line per entry, oldest first.
 std::string FormatTraceText(const PipelineMetrics& pipeline, uint64_t now_us);
 
+/// The /cluster.json document: per-worker link state, report freshness,
+/// recovery cursors, and stage latency digests.
+std::string RenderClusterJson(const ClusterObsSnapshot& snap);
+
+/// The coordinator's /healthz document: degraded when any worker is
+/// disconnected or its last report is older than the staleness threshold.
+std::string RenderClusterHealthJson(const ClusterObsSnapshot& snap);
+
+/// The /epochs.json document: the epoch trace ring's per-epoch phase
+/// durations, oldest first. `total_epochs` is the ring's lifetime push
+/// count (entries may have been lapped); `now_us` is
+/// PipelineMetrics::NowMicros() at render time.
+std::string RenderEpochsJson(const std::vector<EpochTraceEntry>& entries,
+                             uint64_t total_epochs, uint64_t now_us);
+
 /// Emits the streamworks_* metric families derived from one service
 /// snapshot into a scrape builder (counters, gauges, the delivery-lag
 /// histogram, per-shard/persist/frontend series).
@@ -52,8 +69,12 @@ void ContributeServiceMetrics(const ServiceStatsSnapshot& snap,
                               MetricSnapshotBuilder* out);
 
 /// Emits the per-stage duration histograms and slow-op counters.
+/// `base_labels` prefix every series — cluster workers pass
+/// {{"role","worker"}} so their federated stage histograms stay
+/// distinguishable from (and never merge into) the coordinator's own.
 void ContributePipelineMetrics(const PipelineMetrics& pipeline,
-                               MetricSnapshotBuilder* out);
+                               MetricSnapshotBuilder* out,
+                               const MetricLabels& base_labels = {});
 
 /// Registers a scrape-time collector calling `snapshot_fn` (typically
 /// bound to QueryService::Snapshot on the control thread). Returns the
@@ -62,9 +83,11 @@ int RegisterServiceCollector(MetricRegistry* registry,
                              std::function<ServiceStatsSnapshot()> snapshot_fn);
 
 /// Registers a scrape-time collector over `pipeline`, which must outlive
-/// the registration. Returns the registry token.
+/// the registration. `base_labels` prefix every emitted series (see
+/// ContributePipelineMetrics). Returns the registry token.
 int RegisterPipelineCollector(MetricRegistry* registry,
-                              const PipelineMetrics* pipeline);
+                              const PipelineMetrics* pipeline,
+                              MetricLabels base_labels = {});
 
 }  // namespace streamworks
 

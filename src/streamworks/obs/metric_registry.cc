@@ -85,24 +85,32 @@ MetricSnapshotBuilder::Family* MetricSnapshotBuilder::FamilyFor(
   return &families_.back();
 }
 
+MetricSnapshotBuilder::Sample* MetricSnapshotBuilder::SampleFor(
+    Family* family, MetricLabels&& labels) {
+  for (Sample& existing : family->samples) {
+    if (existing.labels == labels) return &existing;
+  }
+  Sample sample;
+  sample.labels = std::move(labels);
+  family->samples.push_back(std::move(sample));
+  return &family->samples.back();
+}
+
 void MetricSnapshotBuilder::EmitCounter(std::string_view name,
                                         std::string_view help,
                                         MetricLabels labels, uint64_t value) {
   Family* family = FamilyFor(name, help, Type::kCounter);
-  Sample sample;
-  sample.labels = std::move(labels);
-  sample.value = std::to_string(value);
-  family->samples.push_back(std::move(sample));
+  SampleFor(family, std::move(labels))->counter += value;
 }
 
 void MetricSnapshotBuilder::EmitGauge(std::string_view name,
                                       std::string_view help,
                                       MetricLabels labels, double value) {
   Family* family = FamilyFor(name, help, Type::kGauge);
-  Sample sample;
-  sample.labels = std::move(labels);
-  sample.value = RenderDouble(value);
-  family->samples.push_back(std::move(sample));
+  // Gauges federate by sum too: most cluster gauges (queue depths,
+  // retained frames, open sessions) are meaningful as totals, and a sum
+  // keeps the merge associative for the report codec roundtrip.
+  SampleFor(family, std::move(labels))->gauge += value;
 }
 
 void MetricSnapshotBuilder::EmitHistogram(std::string_view name,
@@ -110,10 +118,43 @@ void MetricSnapshotBuilder::EmitHistogram(std::string_view name,
                                           MetricLabels labels,
                                           const Histogram& histogram) {
   Family* family = FamilyFor(name, help, Type::kHistogram);
-  Sample sample;
-  sample.labels = std::move(labels);
-  sample.histogram = histogram;
-  family->samples.push_back(std::move(sample));
+  SampleFor(family, std::move(labels))->histogram.Merge(histogram);
+}
+
+void MetricSnapshotBuilder::EmitSample(const MetricSample& sample) {
+  switch (sample.kind) {
+    case MetricSample::Kind::kCounter:
+      EmitCounter(sample.name, sample.help, sample.labels, sample.counter);
+      break;
+    case MetricSample::Kind::kGauge:
+      EmitGauge(sample.name, sample.help, sample.labels, sample.gauge);
+      break;
+    case MetricSample::Kind::kHistogram:
+      EmitHistogram(sample.name, sample.help, sample.labels, sample.histogram);
+      break;
+  }
+}
+
+std::vector<MetricSample> MetricSnapshotBuilder::ExportSamples() const {
+  std::vector<MetricSample> out;
+  for (const Family& family : families_) {
+    for (const Sample& sample : family.samples) {
+      MetricSample exported;
+      exported.kind = family.type == Type::kCounter
+                          ? MetricSample::Kind::kCounter
+                          : family.type == Type::kGauge
+                                ? MetricSample::Kind::kGauge
+                                : MetricSample::Kind::kHistogram;
+      exported.name = family.name;
+      exported.help = family.help;
+      exported.labels = sample.labels;
+      exported.counter = sample.counter;
+      exported.gauge = sample.gauge;
+      exported.histogram = sample.histogram;
+      out.push_back(std::move(exported));
+    }
+  }
+  return out;
 }
 
 std::string MetricSnapshotBuilder::RenderPrometheus() const {
@@ -135,7 +176,8 @@ std::string MetricSnapshotBuilder::RenderPrometheus() const {
         out += family.name;
         AppendLabels(&out, sample.labels);
         out += ' ';
-        out += sample.value;
+        out += family.type == Type::kCounter ? std::to_string(sample.counter)
+                                             : RenderDouble(sample.gauge);
         out += '\n';
         continue;
       }
@@ -229,8 +271,7 @@ void MetricRegistry::RemoveCollector(int token) {
                 [token](const auto& entry) { return entry.first == token; });
 }
 
-std::string MetricRegistry::RenderPrometheus() const {
-  MetricSnapshotBuilder builder;
+void MetricRegistry::Collect(MetricSnapshotBuilder* builder) const {
   // Collectors may take their own time (a service Snapshot quiesces a
   // sharded backend); copy them out so registration from another thread
   // is never blocked behind a scrape.
@@ -238,22 +279,33 @@ std::string MetricRegistry::RenderPrometheus() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& inst : counters_) {
-      builder.EmitCounter(inst.name, inst.help, inst.labels,
-                          inst.handle.value());
+      builder->EmitCounter(inst.name, inst.help, inst.labels,
+                           inst.handle.value());
     }
     for (const auto& inst : gauges_) {
-      builder.EmitGauge(inst.name, inst.help, inst.labels,
-                        inst.handle.value());
+      builder->EmitGauge(inst.name, inst.help, inst.labels,
+                         inst.handle.value());
     }
     for (const auto& inst : histograms_) {
-      builder.EmitHistogram(inst.name, inst.help, inst.labels,
-                            inst.handle.Snapshot());
+      builder->EmitHistogram(inst.name, inst.help, inst.labels,
+                             inst.handle.Snapshot());
     }
     collectors.reserve(collectors_.size());
     for (const auto& [token, fn] : collectors_) collectors.push_back(fn);
   }
-  for (const auto& fn : collectors) fn(&builder);
+  for (const auto& fn : collectors) fn(builder);
+}
+
+std::string MetricRegistry::RenderPrometheus() const {
+  MetricSnapshotBuilder builder;
+  Collect(&builder);
   return builder.RenderPrometheus();
+}
+
+std::vector<MetricSample> MetricRegistry::ExportSamples() const {
+  MetricSnapshotBuilder builder;
+  Collect(&builder);
+  return builder.ExportSamples();
 }
 
 }  // namespace streamworks

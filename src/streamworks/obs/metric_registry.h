@@ -13,12 +13,10 @@
 #include <vector>
 
 #include "streamworks/common/histogram.h"
+#include "streamworks/obs/metric_sample.h"
 #include "streamworks/obs/stage_trace.h"
 
 namespace streamworks {
-
-/// Label set of one metric sample, rendered in registration order.
-using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonic counter handle; increments are relaxed atomics, safe from any
 /// thread. Pointers stay valid for the registry's lifetime.
@@ -45,7 +43,11 @@ class MetricGauge {
 
 /// Where scrape-time collectors write their samples. Samples of the same
 /// metric name group into one family (first emitter's help/type win);
-/// families render in first-appearance order.
+/// families render in first-appearance order. Re-emitting the same
+/// (name, labels) series merges additively — counters and gauges sum,
+/// histograms bucket-wise Merge — which is what makes one builder the
+/// cluster federation point: coordinator-local emitters and absorbed
+/// worker samples collapse into single cluster-wide series.
 class MetricSnapshotBuilder {
  public:
   void EmitCounter(std::string_view name, std::string_view help,
@@ -54,6 +56,13 @@ class MetricSnapshotBuilder {
                  MetricLabels labels, double value);
   void EmitHistogram(std::string_view name, std::string_view help,
                      MetricLabels labels, const Histogram& histogram);
+  /// Emits one flattened sample (a decoded MetricsReport entry) through
+  /// the kind-matching Emit* above.
+  void EmitSample(const MetricSample& sample);
+
+  /// Flattens everything emitted so far into wire-shaped samples, in
+  /// family order — what a worker packs into its MetricsReport.
+  std::vector<MetricSample> ExportSamples() const;
 
   /// Prometheus text exposition (version 0.0.4) of everything emitted:
   /// one # HELP / # TYPE pair per family, histograms as cumulative
@@ -64,7 +73,8 @@ class MetricSnapshotBuilder {
   enum class Type { kCounter, kGauge, kHistogram };
   struct Sample {
     MetricLabels labels;
-    std::string value;      ///< Prerendered (counters/gauges).
+    uint64_t counter = 0;   ///< kCounter only.
+    double gauge = 0;       ///< kGauge only.
     Histogram histogram;    ///< kHistogram only.
   };
   struct Family {
@@ -75,6 +85,8 @@ class MetricSnapshotBuilder {
   };
 
   Family* FamilyFor(std::string_view name, std::string_view help, Type type);
+  /// The sample in `family` with exactly `labels`, appending if absent.
+  static Sample* SampleFor(Family* family, MetricLabels&& labels);
 
   std::vector<Family> families_;
   std::map<std::string, size_t, std::less<>> index_;
@@ -109,7 +121,15 @@ class MetricRegistry {
   /// every collector's contribution.
   std::string RenderPrometheus() const;
 
+  /// Everything RenderPrometheus would render, flattened to wire-shaped
+  /// samples — what a worker snapshots into its MetricsReport frame.
+  std::vector<MetricSample> ExportSamples() const;
+
  private:
+  /// Instruments + collectors into `builder` (the shared front half of
+  /// RenderPrometheus and ExportSamples).
+  void Collect(MetricSnapshotBuilder* builder) const;
+
   template <typename Handle>
   struct Instrument {
     std::string name;

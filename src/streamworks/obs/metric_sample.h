@@ -1,0 +1,37 @@
+#ifndef STREAMWORKS_OBS_METRIC_SAMPLE_H_
+#define STREAMWORKS_OBS_METRIC_SAMPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "streamworks/common/histogram.h"
+
+namespace streamworks {
+
+/// Label set of one metric sample, rendered in registration order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// One metric series at a point in time — the unit of metric federation.
+/// A worker's registry flattens into a vector of these, they cross the
+/// cluster wire inside a MetricsReport frame, and the coordinator's
+/// snapshot builder absorbs them additively (same name+labels merge:
+/// counters and gauges sum, histograms bucket-wise Merge). Lives apart
+/// from the registry so stream/cluster_wire can speak samples without
+/// pulling in the whole obs layer.
+struct MetricSample {
+  enum class Kind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::string help;
+  MetricLabels labels;
+  uint64_t counter = 0;    ///< kCounter only.
+  double gauge = 0;        ///< kGauge only.
+  Histogram histogram;     ///< kHistogram only.
+};
+
+}  // namespace streamworks
+
+#endif  // STREAMWORKS_OBS_METRIC_SAMPLE_H_

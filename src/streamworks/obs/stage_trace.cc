@@ -18,6 +18,10 @@ std::string_view PipelineStageName(PipelineStage stage) {
       return "enqueue";
     case PipelineStage::kDeliveryFlush:
       return "delivery_flush";
+    case PipelineStage::kExchangeRelay:
+      return "exchange_relay";
+    case PipelineStage::kBarrierWait:
+      return "barrier_wait";
   }
   return "unknown";
 }

@@ -27,6 +27,11 @@ namespace streamworks {
 ///   kEnqueue         service: pushing one completed match into its
 ///                    subscription's result queue
 ///   kDeliveryFlush   net: one coalesced stream-pump drain+write pass
+///   kExchangeRelay   cluster: one coordinator relay round — forwarding
+///                    the exchange items a barrier flushed out of workers
+///   kBarrierWait     cluster: coordinator time blocked awaiting one
+///                    worker's BarrierAck (the settle cost the epoch
+///                    timeline decomposes per phase)
 enum class PipelineStage : uint8_t {
   kFrameDecode = 0,
   kAdmission,
@@ -35,9 +40,11 @@ enum class PipelineStage : uint8_t {
   kExchangeForward,
   kEnqueue,
   kDeliveryFlush,
+  kExchangeRelay,
+  kBarrierWait,
 };
 
-inline constexpr int kNumPipelineStages = 7;
+inline constexpr int kNumPipelineStages = 9;
 
 /// Stable snake_case stage name (Prometheus label value / trace field).
 std::string_view PipelineStageName(PipelineStage stage);

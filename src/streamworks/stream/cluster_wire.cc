@@ -1,10 +1,13 @@
 #include "streamworks/stream/cluster_wire.h"
 
+#include <array>
+#include <bit>
 #include <cstring>
 #include <limits>
 
 #include "streamworks/common/binio.h"
 #include "streamworks/common/str_util.h"
+#include "streamworks/persist/crc32.h"
 
 namespace streamworks {
 
@@ -369,7 +372,95 @@ void DecodeBody(Reader* r, Interner* interner, CtrlFrame* frame) {
       break;
     }
     case CtrlType::kStats:
+    case CtrlType::kMetricsRequest:
       break;
+    case CtrlType::kMetricsReport: {
+      // Verify the trailing CRC-32 before trusting any field: a report
+      // that parses but lies would silently skew every federated series.
+      if (r->remaining() < 4) {
+        r->Fail("metrics report shorter than its CRC");
+        return;
+      }
+      const size_t payload_len = r->remaining() - 4;
+      if (Crc32(r->p, payload_len) != GetU32(r->p + payload_len)) {
+        r->Fail("metrics report CRC mismatch");
+        return;
+      }
+      CtrlMetricsReport& rep = frame->metrics_report;
+      rep.wal_seq = r->U64("metrics wal seq");
+      rep.replayed_frames = r->U64("metrics replayed");
+      rep.exchange_items_sent = r->U64("metrics exchange sent");
+      rep.completions_sent = r->U64("metrics completions sent");
+      const uint32_t n = r->U32("metrics sample count");
+      if (!r->ok) return;
+      // A sample costs at least kind + three u16 lengths; bound before
+      // reserving.
+      if (n > r->remaining() / 7) {
+        r->Fail("metrics sample count exceeds body");
+        return;
+      }
+      rep.samples.reserve(n);
+      for (uint32_t i = 0; i < n && r->ok; ++i) {
+        MetricSample s;
+        const uint8_t kind = r->U8("metrics sample kind");
+        if (kind > static_cast<uint8_t>(MetricSample::Kind::kHistogram)) {
+          r->Fail("metrics sample kind out of range");
+          return;
+        }
+        s.kind = static_cast<MetricSample::Kind>(kind);
+        s.name = r->String("metrics sample name");
+        s.help = r->String("metrics sample help");
+        const uint16_t nl = r->U16("metrics label count");
+        if (nl > r->remaining() / 4) {
+          r->Fail("metrics label count exceeds body");
+          return;
+        }
+        s.labels.reserve(nl);
+        for (uint16_t l = 0; l < nl && r->ok; ++l) {
+          std::string key = r->String("metrics label key");
+          std::string value = r->String("metrics label value");
+          s.labels.emplace_back(std::move(key), std::move(value));
+        }
+        switch (s.kind) {
+          case MetricSample::Kind::kCounter:
+            s.counter = r->U64("metrics counter value");
+            break;
+          case MetricSample::Kind::kGauge:
+            s.gauge = std::bit_cast<double>(r->U64("metrics gauge bits"));
+            break;
+          case MetricSample::Kind::kHistogram: {
+            // Sparse buckets: (index, count) pairs in strictly ascending
+            // index order, then the value sum.
+            const uint8_t nb = r->U8("metrics histogram bucket count");
+            if (nb > Histogram::kNumBuckets) {
+              r->Fail("metrics histogram bucket count out of range");
+              return;
+            }
+            std::array<uint64_t, Histogram::kNumBuckets> counts{};
+            int last = -1;
+            for (uint8_t b = 0; b < nb && r->ok; ++b) {
+              const uint8_t idx = r->U8("metrics histogram bucket index");
+              if (idx >= Histogram::kNumBuckets ||
+                  static_cast<int>(idx) <= last) {
+                r->Fail("metrics histogram bucket index out of order");
+                return;
+              }
+              last = idx;
+              counts[idx] = r->U64("metrics histogram bucket value");
+            }
+            const uint64_t sum = r->U64("metrics histogram sum");
+            s.histogram = Histogram::FromBuckets(counts, sum);
+            break;
+          }
+        }
+        if (!r->ok) return;
+        rep.samples.push_back(std::move(s));
+      }
+      // The verified CRC trailer; consuming it satisfies the whole-body
+      // trailing-bytes check.
+      r->U32("metrics report crc");
+      break;
+    }
     case CtrlType::kStatsAck: {
       CtrlStatsAck& ack = frame->stats_ack;
       ack.retained_edges = r->U64("stats retained edges");
@@ -434,7 +525,7 @@ CtrlDecodeResult DecodeCtrlFrame(std::string_view buf, size_t max_body_bytes,
   Reader r(body, body + body_len);
   const uint8_t type = r.U8("frame type");
   if (type < static_cast<uint8_t>(CtrlType::kHello) ||
-      type > static_cast<uint8_t>(CtrlType::kStatsAck)) {
+      type > static_cast<uint8_t>(CtrlType::kMetricsReport)) {
     result.status = FrameDecodeStatus::kMalformed;
     result.frame_bytes = frame_bytes;
     result.error = StrCat("unknown control frame type ", type);
@@ -637,6 +728,56 @@ std::string EncodeStatsAckFrame(const CtrlStatsAck& ack) {
   PutU64(&body, ack.exchange.received_expansions);
   PutU64(&body, ack.exchange.received_inserts);
   PutU64(&body, ack.exchange.received_completions);
+  return FinishFrame(std::move(body));
+}
+
+std::string EncodeMetricsRequestFrame() {
+  return FinishFrame(BodyFor(CtrlType::kMetricsRequest));
+}
+
+std::string EncodeMetricsReportFrame(const CtrlMetricsReport& report) {
+  std::string body = BodyFor(CtrlType::kMetricsReport);
+  PutU64(&body, report.wal_seq);
+  PutU64(&body, report.replayed_frames);
+  PutU64(&body, report.exchange_items_sent);
+  PutU64(&body, report.completions_sent);
+  PutU32(&body, static_cast<uint32_t>(report.samples.size()));
+  for (const MetricSample& s : report.samples) {
+    body.push_back(static_cast<char>(s.kind));
+    PutString(&body, s.name);
+    PutString(&body, s.help);
+    PutU16(&body, static_cast<uint16_t>(s.labels.size()));
+    for (const auto& [key, value] : s.labels) {
+      PutString(&body, key);
+      PutString(&body, value);
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        PutU64(&body, s.counter);
+        break;
+      case MetricSample::Kind::kGauge:
+        PutU64(&body, std::bit_cast<uint64_t>(s.gauge));
+        break;
+      case MetricSample::Kind::kHistogram: {
+        uint8_t occupied = 0;
+        for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+          if (s.histogram.bucket_count(b) != 0) ++occupied;
+        }
+        body.push_back(static_cast<char>(occupied));
+        for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+          const uint64_t count = s.histogram.bucket_count(b);
+          if (count == 0) continue;
+          body.push_back(static_cast<char>(b));
+          PutU64(&body, count);
+        }
+        PutU64(&body, s.histogram.sum());
+        break;
+      }
+    }
+  }
+  // CRC over the payload (everything after the type byte); the decoder
+  // verifies it before reading a single field.
+  PutU32(&body, Crc32(body.data() + 1, body.size() - 1));
   return FinishFrame(std::move(body));
 }
 

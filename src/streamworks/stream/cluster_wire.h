@@ -11,6 +11,7 @@
 #include "streamworks/common/statusor.h"
 #include "streamworks/common/types.h"
 #include "streamworks/graph/stream_edge.h"
+#include "streamworks/obs/metric_sample.h"
 #include "streamworks/sjtree/exchange.h"
 #include "streamworks/stream/wire_format.h"
 
@@ -56,6 +57,8 @@ enum class CtrlType : uint8_t {
   kInfoAck = 14,
   kStats = 15,      ///< coordinator -> worker: shard-load request
   kStatsAck = 16,
+  kMetricsRequest = 17,  ///< coordinator -> worker: registry snapshot pull
+  kMetricsReport = 18,   ///< worker -> coordinator: CRC'd registry snapshot
 };
 
 /// True for the frame types a worker logs-then-applies (everything that
@@ -186,6 +189,21 @@ struct CtrlStatsAck {
   ExchangeCounters exchange;
 };
 
+/// A worker's full metric snapshot: health header plus every series its
+/// MetricRegistry renders, flattened to wire samples. Unlike the other
+/// payloads this one carries a trailing CRC-32 over the payload bytes —
+/// a report that decodes but lies (one flipped histogram bucket) would
+/// silently skew every federated quantile, so the coordinator verifies
+/// integrity before merging, the same trust posture the frame log takes
+/// with its on-disk records.
+struct CtrlMetricsReport {
+  uint64_t wal_seq = 0;          ///< State frames durable in the worker's log.
+  uint64_t replayed_frames = 0;  ///< Frames replayed at last restart.
+  uint64_t exchange_items_sent = 0;
+  uint64_t completions_sent = 0;
+  std::vector<MetricSample> samples;
+};
+
 /// One decoded control frame: `type` says which payload member is live
 /// (the others stay default-constructed). A tagged union would save a few
 /// hundred idle bytes per frame; frames are transient decode scratch, so
@@ -206,6 +224,7 @@ struct CtrlFrame {
   CtrlInfo info;
   CtrlInfoAck info_ack;
   CtrlStatsAck stats_ack;
+  CtrlMetricsReport metrics_report;
 };
 
 /// Decode result, shaped exactly like the FEEDB decoder's so callers (and
@@ -256,6 +275,8 @@ std::string EncodeInfoFrame(const CtrlInfo& info);
 std::string EncodeInfoAckFrame(const CtrlInfoAck& ack);
 std::string EncodeStatsFrame();
 std::string EncodeStatsAckFrame(const CtrlStatsAck& ack);
+std::string EncodeMetricsRequestFrame();
+std::string EncodeMetricsReportFrame(const CtrlMetricsReport& report);
 
 }  // namespace streamworks
 

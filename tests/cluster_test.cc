@@ -24,6 +24,9 @@
 #include "streamworks/common/interner.h"
 #include "streamworks/core/engine.h"
 #include "streamworks/graph/query_graph.h"
+#include "streamworks/obs/json_render.h"
+#include "streamworks/obs/metric_registry.h"
+#include "streamworks/obs/stage_trace.h"
 #include "streamworks/stream/netflow_gen.h"
 
 namespace streamworks {
@@ -62,6 +65,7 @@ class WorkerHarness {
   int port() const { return daemon_->port(); }
   const Status& serve_status() const { return serve_status_; }
   const WorkerCounters& counters() const { return daemon_->counters(); }
+  MetricRegistry* registry() { return daemon_->registry(); }
 
  private:
   std::unique_ptr<WorkerDaemon> daemon_;
@@ -174,12 +178,19 @@ struct ClusterFixture {
     }
     options.epoch_edges = 64;  // small epochs: many barriers, more traffic
     options.reconnect_deadline_ms = 10000;
+    // Federate worker metrics into a fixture-owned registry; cache 0 so
+    // every scrape pulls fresh reports, which is what exactness tests need.
+    options.registry = &registry;
+    options.pipeline = &pipeline;
+    options.metrics_cache_ms = 0;
     backend = std::make_unique<DistributedBackend>(options, &interner);
     ok = backend->Start().ok();
   }
 
   bool ok = false;
   Interner interner;
+  MetricRegistry registry;
+  PipelineMetrics pipeline;
   std::vector<std::unique_ptr<WorkerHarness>> workers;
   std::unique_ptr<DistributedBackend> backend;
 };
@@ -291,6 +302,106 @@ TEST(ClusterTest, InfoAggregatesAcrossWorkers) {
   }
   // Every admitted edge lands on one or two owner shards.
   EXPECT_GE(processed, edges.size() - cluster.backend->rejected_edges());
+  cluster.backend->Stop();
+}
+
+/// Value of one exposition line, e.g. `name{labels} 42`.
+uint64_t SeriesValue(const std::string& text, const std::string& series) {
+  const std::string needle = series + " ";
+  const size_t pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << series << " missing in:\n" << text;
+  if (pos == std::string::npos) return 0;
+  return std::stoull(text.substr(pos + needle.size()));
+}
+
+TEST(ClusterTest, FederatedMetricsMatchWorkerLocalScrapes) {
+  ClusterFixture cluster(2);
+  ASSERT_TRUE(cluster.ok);
+  MatchSink sink;
+  const QueryGraph worm_chain = BuildWormChain(&cluster.interner);
+  ASSERT_TRUE(cluster.backend
+                  ->Register(worm_chain, DecompositionStrategy::kLeftDeepEdgeOrder,
+                             60, sink.Callback())
+                  .ok());
+  const EdgeBatch edges = TestStream(&cluster.interner, 300);
+  ASSERT_TRUE(cluster.backend->FeedBatch(edges, nullptr).ok());
+  cluster.backend->Flush();
+
+  // The coordinator scrape must answer exactly the sum of the workers'
+  // own registries — federation adds no edges and loses none.
+  const std::string series = "streamworks_edges_fed_total{role=\"worker\"}";
+  const uint64_t federated =
+      SeriesValue(cluster.registry.RenderPrometheus(), series);
+  uint64_t local_sum = 0;
+  for (auto& w : cluster.workers) {
+    local_sum += SeriesValue(w->registry()->RenderPrometheus(), series);
+  }
+  EXPECT_EQ(federated, local_sum);
+  // Every admitted edge is applied by at least its owner shard.
+  EXPECT_GE(federated, edges.size() - cluster.backend->rejected_edges());
+
+  // The coordinator contributes its own families alongside the workers'.
+  const std::string merged = cluster.registry.RenderPrometheus();
+  EXPECT_NE(merged.find("streamworks_epochs_total "), std::string::npos);
+  EXPECT_NE(merged.find("streamworks_epoch_phase_us_bucket{phase=\"barrier\""),
+            std::string::npos);
+
+  cluster.backend->Stop();
+}
+
+TEST(ClusterTest, EpochTimelineAndHealthTrackTheCluster) {
+  ClusterFixture cluster(2);
+  ASSERT_TRUE(cluster.ok);
+  MatchSink sink;
+  const QueryGraph probe = BuildProbe(&cluster.interner);
+  ASSERT_TRUE(cluster.backend
+                  ->Register(probe, DecompositionStrategy::kLeftDeepEdgeOrder,
+                             100, sink.Callback())
+                  .ok());
+  const EdgeBatch edges = TestStream(&cluster.interner, 300);
+  ASSERT_TRUE(cluster.backend->FeedBatch(edges, nullptr).ok());
+  cluster.backend->Flush();
+
+  // Epoch timeline: every fed edge shows up in exactly one traced epoch
+  // (admission rejects happen inside the epoch, after the take), and
+  // phase durations are populated.
+  ASSERT_GT(cluster.backend->epochs_completed(), 0u);
+  const std::vector<EpochTraceEntry> epochs = cluster.backend->EpochTrace();
+  ASSERT_FALSE(epochs.empty());
+  uint64_t traced_edges = 0;
+  for (const EpochTraceEntry& e : epochs) {
+    EXPECT_GT(e.epoch, 0u);
+    EXPECT_GT(e.edges, 0u);
+    EXPECT_GT(e.total_us, 0u);
+    EXPECT_GE(e.total_us, e.apply_us);
+    traced_edges += e.edges;
+  }
+  EXPECT_EQ(traced_edges, edges.size());
+  const std::string epochs_json = RenderEpochsJson(
+      epochs, cluster.backend->epochs_completed(), PipelineMetrics::NowMicros());
+  EXPECT_NE(epochs_json.find("\"barrier_us\""), std::string::npos);
+
+  // Healthy cluster: both workers connected with fresh reports.
+  ClusterObsSnapshot healthy = cluster.backend->ObsSnapshot(/*refresh=*/true);
+  EXPECT_TRUE(healthy.healthy);
+  ASSERT_EQ(healthy.workers.size(), 2u);
+  for (const WorkerObsSnapshot& w : healthy.workers) {
+    EXPECT_TRUE(w.connected);
+    EXPECT_TRUE(w.has_report);
+    EXPECT_GT(w.wal_seq, 0u);
+  }
+  EXPECT_NE(RenderClusterJson(healthy).find("\"wal_seq\""), std::string::npos);
+  EXPECT_NE(RenderClusterHealthJson(healthy).find("\"ok\""), std::string::npos);
+
+  // Kill one worker: the next refreshing scrape discovers the dead link
+  // (the pull fails fast) and degrades without waiting out staleness.
+  cluster.workers[0]->Kill();
+  ClusterObsSnapshot degraded = cluster.backend->ObsSnapshot(/*refresh=*/true);
+  EXPECT_FALSE(degraded.healthy);
+  EXPECT_FALSE(degraded.workers[0].connected);
+  EXPECT_TRUE(degraded.workers[1].connected);
+  EXPECT_NE(RenderClusterHealthJson(degraded).find("\"degraded\""),
+            std::string::npos);
   cluster.backend->Stop();
 }
 

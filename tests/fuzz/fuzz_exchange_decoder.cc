@@ -87,6 +87,12 @@ void CheckReencode(const streamworks::CtrlFrame& frame,
     case CtrlType::kStatsAck:
       encoded = EncodeStatsAckFrame(frame.stats_ack);
       break;
+    case CtrlType::kMetricsRequest:
+      encoded = streamworks::EncodeMetricsRequestFrame();
+      break;
+    case CtrlType::kMetricsReport:
+      encoded = EncodeMetricsReportFrame(frame.metrics_report);
+      break;
   }
   streamworks::Interner fresh;
   const streamworks::CtrlDecodeResult again =

@@ -17,6 +17,7 @@
 #include "streamworks/common/json_writer.h"
 #include "streamworks/core/engine.h"
 #include "streamworks/graph/query_graph.h"
+#include "streamworks/obs/epoch_trace.h"
 #include "streamworks/obs/http_endpoint.h"
 #include "streamworks/obs/json_render.h"
 #include "streamworks/obs/metric_registry.h"
@@ -77,6 +78,29 @@ TEST(HistogramTest, MergeOfDisjointRangesKeepsBothTails) {
   EXPECT_EQ(low.sum(), 90u * 3 + 10u * (1u << 16));
   EXPECT_LT(low.Quantile(0.5), 4u);
   EXPECT_GE(low.Quantile(0.95), uint64_t{1} << 16);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  // Federation merges worker histograms in whatever order reports arrive;
+  // the merged digest must not depend on that order or grouping.
+  Histogram a, b, c;
+  for (int i = 0; i < 11; ++i) a.Record(3);
+  for (int i = 0; i < 7; ++i) b.Record(900);
+  b.Record(0);
+  for (int i = 0; i < 29; ++i) c.Record(1u << 18);
+  Histogram left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  Histogram right = c;  // (c + b) + a
+  right.Merge(b);
+  right.Merge(a);
+  EXPECT_EQ(left.total_count(), right.total_count());
+  EXPECT_EQ(left.sum(), right.sum());
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(left.bucket_count(i), right.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(left.Quantile(0.5), right.Quantile(0.5));
+  EXPECT_EQ(left.Quantile(0.99), right.Quantile(0.99));
 }
 
 TEST(HistogramTest, QuantileIsMonotonicInQ) {
@@ -239,6 +263,49 @@ TEST(MetricRegistryTest, SameNameSamplesShareOneFamilyHeader) {
   EXPECT_NE(text.find("sw_multi_total{k=\"b\"} 2\n"), std::string::npos);
 }
 
+TEST(MetricRegistryTest, ReEmittingSameSeriesMergesAdditively) {
+  // The federation mechanism: coordinator series and every worker report
+  // land in one builder; identical (name, labels) keys must fold into a
+  // single cluster-wide series.
+  MetricSnapshotBuilder builder;
+  builder.EmitCounter("sw_fed_total", "Fed.", {{"role", "worker"}}, 10);
+  builder.EmitCounter("sw_fed_total", "Fed.", {{"role", "worker"}}, 32);
+  builder.EmitGauge("sw_fed_gauge", "Fed gauge.", {}, 1.5);
+  builder.EmitGauge("sw_fed_gauge", "Fed gauge.", {}, 2.25);
+  Histogram h1;
+  h1.Record(1);
+  Histogram h2;
+  h2.Record(100);
+  h2.Record(100);
+  builder.EmitHistogram("sw_fed_us", "Fed hist.", {}, h1);
+  builder.EmitHistogram("sw_fed_us", "Fed hist.", {}, h2);
+  const std::string text = builder.RenderPrometheus();
+  EXPECT_NE(text.find("sw_fed_total{role=\"worker\"} 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sw_fed_gauge 3.75\n"), std::string::npos);
+  EXPECT_NE(text.find("sw_fed_us_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("sw_fed_us_sum 201\n"), std::string::npos);
+  // Different labels stay distinct series.
+  builder.EmitCounter("sw_fed_total", "Fed.", {{"role", "coord"}}, 1);
+  EXPECT_NE(builder.RenderPrometheus().find("sw_fed_total{role=\"coord\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, ExportSamplesRoundTripsThroughEmitSample) {
+  // A worker exports its registry as samples, ships them over the wire,
+  // and the coordinator re-emits them sample by sample: the rendered
+  // exposition must match a direct local render.
+  MetricRegistry registry;
+  registry.RegisterCounter("sw_rt_total", "RT.", {{"role", "worker"}})
+      ->Increment(9);
+  registry.RegisterGauge("sw_rt_gauge", "RT gauge.")->Set(-0.5);
+  registry.RegisterHistogram("sw_rt_us", "RT hist.")->Record(77);
+  const std::vector<MetricSample> samples = registry.ExportSamples();
+  MetricSnapshotBuilder rebuilt;
+  for (const MetricSample& s : samples) rebuilt.EmitSample(s);
+  EXPECT_EQ(rebuilt.RenderPrometheus(), registry.RenderPrometheus());
+}
+
 // --- PipelineMetrics / TraceRing -------------------------------------------
 
 TEST(PipelineMetricsTest, RecordsHistogramsAndOnlySlowOpsEnterTheRing) {
@@ -295,6 +362,26 @@ TEST(TraceRingTest, ConcurrentWritersNeverProduceTornEntries) {
     EXPECT_EQ(e.detail, e.duration_us * 2);
   }
   EXPECT_EQ(ring.total_pushed(), kThreads * kPerThread);
+}
+
+TEST(EpochTraceRingTest, WrapsKeepingNewestEpochsOldestFirst) {
+  EpochTraceRing ring(4);
+  for (uint64_t e = 1; e <= 10; ++e) {
+    EpochTraceEntry entry;
+    entry.epoch = e;
+    entry.edges = e * 100;
+    entry.batch_us = e;
+    entry.total_us = e * 7;
+    ring.Push(entry);
+  }
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  const std::vector<EpochTraceEntry> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].epoch, 7 + i);
+    EXPECT_EQ(snap[i].edges, (7 + i) * 100);
+    EXPECT_EQ(snap[i].total_us, (7 + i) * 7);
+  }
 }
 
 TEST(PipelineMetricsTest, StageNamesAreStableSnakeCase) {

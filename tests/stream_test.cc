@@ -924,6 +924,116 @@ TEST(ClusterWireTest, StateTypeClassificationMatchesProtocol) {
   EXPECT_FALSE(IsStateCtrlType(CtrlType::kBarrierAck));
   EXPECT_FALSE(IsStateCtrlType(CtrlType::kCompletion));
   EXPECT_FALSE(IsStateCtrlType(CtrlType::kInfo));
+  // Metrics federation frames are pure observability — never logged,
+  // never replayed.
+  EXPECT_FALSE(IsStateCtrlType(CtrlType::kMetricsRequest));
+  EXPECT_FALSE(IsStateCtrlType(CtrlType::kMetricsReport));
+}
+
+// Builds a representative MetricsReport: one sample of each kind, with
+// and without labels, plus a sparse histogram.
+CtrlMetricsReport SampleMetricsReport() {
+  CtrlMetricsReport report;
+  report.wal_seq = 17;
+  report.replayed_frames = 3;
+  report.exchange_items_sent = 1234;
+  report.completions_sent = 56;
+  MetricSample counter;
+  counter.kind = MetricSample::Kind::kCounter;
+  counter.name = "streamworks_edges_fed_total";
+  counter.help = "Stream edges admitted through the query service.";
+  counter.labels = {{"role", "worker"}};
+  counter.counter = 4242;
+  MetricSample gauge;
+  gauge.kind = MetricSample::Kind::kGauge;
+  gauge.name = "streamworks_watermark";
+  gauge.help = "Group watermark.";
+  gauge.gauge = -12.75;
+  MetricSample hist;
+  hist.kind = MetricSample::Kind::kHistogram;
+  hist.name = "streamworks_stage_duration_us";
+  hist.help = "Stage durations.";
+  hist.labels = {{"stage", "sjtree_join"}, {"unit", "us"}};
+  hist.histogram.Record(0);
+  hist.histogram.Record(7);
+  hist.histogram.Record(7);
+  hist.histogram.Record(1 << 20);
+  report.samples = {counter, gauge, hist};
+  return report;
+}
+
+TEST(ClusterWireTest, MetricsFramesRoundTrip) {
+  Interner interner;
+  const CtrlFrame req = MustDecode(EncodeMetricsRequestFrame(), &interner);
+  EXPECT_EQ(req.type, CtrlType::kMetricsRequest);
+
+  const CtrlMetricsReport report = SampleMetricsReport();
+  const CtrlFrame f = MustDecode(EncodeMetricsReportFrame(report), &interner);
+  ASSERT_EQ(f.type, CtrlType::kMetricsReport);
+  const CtrlMetricsReport& d = f.metrics_report;
+  EXPECT_EQ(d.wal_seq, 17u);
+  EXPECT_EQ(d.replayed_frames, 3u);
+  EXPECT_EQ(d.exchange_items_sent, 1234u);
+  EXPECT_EQ(d.completions_sent, 56u);
+  ASSERT_EQ(d.samples.size(), 3u);
+  EXPECT_EQ(d.samples[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(d.samples[0].name, "streamworks_edges_fed_total");
+  ASSERT_EQ(d.samples[0].labels.size(), 1u);
+  EXPECT_EQ(d.samples[0].labels[0].first, "role");
+  EXPECT_EQ(d.samples[0].labels[0].second, "worker");
+  EXPECT_EQ(d.samples[0].counter, 4242u);
+  EXPECT_EQ(d.samples[1].kind, MetricSample::Kind::kGauge);
+  EXPECT_EQ(d.samples[1].gauge, -12.75);  // bit-exact through bit_cast
+  EXPECT_TRUE(d.samples[1].labels.empty());
+  EXPECT_EQ(d.samples[2].kind, MetricSample::Kind::kHistogram);
+  ASSERT_EQ(d.samples[2].labels.size(), 2u);
+  EXPECT_EQ(d.samples[2].labels[0].second, "sjtree_join");
+  EXPECT_EQ(d.samples[2].histogram.total_count(), 4u);
+  EXPECT_EQ(d.samples[2].histogram.sum(),
+            report.samples[2].histogram.sum());
+  EXPECT_EQ(d.samples[2].histogram.Quantile(0.5),
+            report.samples[2].histogram.Quantile(0.5));
+}
+
+TEST(ClusterWireTest, MetricsReportTruncationNeedsMoreAtEveryPrefix) {
+  const std::string whole = EncodeMetricsReportFrame(SampleMetricsReport());
+  Interner interner;
+  for (size_t len = 0; len < whole.size(); ++len) {
+    const CtrlDecodeResult result = DecodeCtrlFrame(
+        whole.substr(0, len), kDefaultMaxFrameBodyBytes, &interner);
+    EXPECT_EQ(result.status, FrameDecodeStatus::kNeedMore)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(ClusterWireTest, MetricsReportCorruptByteIsCaughtByCrc) {
+  const std::string whole = EncodeMetricsReportFrame(SampleMetricsReport());
+  Interner interner;
+  for (size_t i = 0; i < whole.size(); ++i) {
+    std::string corrupt = whole;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x41);
+    const CtrlDecodeResult result =
+        DecodeCtrlFrame(corrupt, kDefaultMaxFrameBodyBytes, &interner);
+    if (i < kCtrlFrameHeaderBytes) {
+      // Magic/body_len corruption: malformed, oversized, or starved —
+      // never accepted.
+      EXPECT_NE(result.status, FrameDecodeStatus::kOk) << "byte " << i;
+    } else {
+      // Every body byte (the type byte and the whole CRC-covered
+      // payload, trailer included) must be rejected outright.
+      EXPECT_EQ(result.status, FrameDecodeStatus::kMalformed) << "byte " << i;
+    }
+  }
+}
+
+TEST(ClusterWireTest, MetricsReportCrcMismatchNamesTheCheck) {
+  std::string corrupt = EncodeMetricsReportFrame(SampleMetricsReport());
+  corrupt.back() = static_cast<char>(corrupt.back() ^ 0x01);  // CRC trailer
+  Interner interner;
+  const CtrlDecodeResult result =
+      DecodeCtrlFrame(corrupt, kDefaultMaxFrameBodyBytes, &interner);
+  EXPECT_EQ(result.status, FrameDecodeStatus::kMalformed);
+  EXPECT_NE(result.error.find("CRC"), std::string::npos) << result.error;
 }
 
 }  // namespace
